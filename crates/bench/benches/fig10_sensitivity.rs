@@ -1,0 +1,61 @@
+//! Reproduces **Figure 10**: sensitivity of execution time to the
+//! Supplier Predictor size and organization.
+//!
+//! Twelve predictor configurations (paper §5.2): `Sub512/Sub2k/Sub8k` for
+//! Subset, `y512/y2k/n2k` for each Superset variant, `Exa512/Exa2k/Exa8k`
+//! for Exact. Each bar is normalized to the §6.1 default (the middle, 2K
+//! configuration) of its algorithm and workload group.
+//!
+//! Paper shape: almost flat everywhere — "these environments are not very
+//! sensitive to the size and organization of the Supplier Predictor" —
+//! except Exact on SPLASH-2, where small predictors cause many downgrades.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexsnoop::{Algorithm, PredictorSpec};
+use flexsnoop_bench::sweeps::{figure10_cases, figure10_sweep};
+use flexsnoop_bench::{run_with_predictor, FIGURE_ACCESSES};
+use flexsnoop_metrics::Table;
+use flexsnoop_workload::profiles;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 10: execution time vs predictor size (normalized to the 2K config) ===");
+    let mut table = Table::with_columns(&[
+        "algorithm",
+        "predictor",
+        "SPLASH-2",
+        "SPECjbb",
+        "SPECweb",
+    ]);
+    for (algorithm, configs) in figure10_cases() {
+        for (name, rows) in figure10_sweep(algorithm, configs, FIGURE_ACCESSES) {
+            let get = |key: &str| {
+                rows.iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, v)| format!("{v:.3}"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            table.row(vec![
+                algorithm.to_string(),
+                name,
+                get("SPLASH-2"),
+                get("SPECjbb"),
+                get("SPECweb"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "expectation: near-1.0 everywhere except Exact/Exa512 on SPLASH-2\n\
+         (small Exact tables downgrade aggressively; paper §6.2)."
+    );
+    let workload = profiles::specweb().with_accesses(400);
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("specweb_sub512_400", |b| {
+        b.iter(|| run_with_predictor(&workload, Algorithm::Subset, PredictorSpec::SUB512, 400))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

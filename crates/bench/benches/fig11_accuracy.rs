@@ -1,0 +1,46 @@
+//! Reproduces **Figure 11**: Supplier Predictor accuracy — the fraction of
+//! true-positive, true-negative, false-positive and false-negative
+//! predictions issued by read snoop requests, for each predictor
+//! implementation plus a perfect predictor.
+//!
+//! Paper shape: the perfect predictor makes ~4 negative predictions per
+//! positive on SPLASH-2/SPECweb (supplier ≈ 5 nodes away) and almost only
+//! negatives on SPECjbb (no suppliers); Subset predictors show few false
+//! negatives, vanishing at 8K entries; Superset predictors show 20–40%
+//! false positives; Exact predictors' true-positive fraction shrinks as
+//! the table shrinks (downgrades remove suppliers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexsnoop::{Algorithm, PredictorSpec};
+use flexsnoop_bench::sweeps::{figure11_accuracy, figure11_configs};
+use flexsnoop_bench::{run_with_predictor, FIGURE_ACCESSES};
+use flexsnoop_metrics::Table;
+use flexsnoop_workload::profiles;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 11: Supplier Predictor accuracy (fractions of predictions) ===");
+    let mut table = Table::with_columns(&["predictor", "group", "TP", "TN", "FP", "FN"]);
+    for (name, algorithm, spec) in figure11_configs() {
+        for (group, acc) in figure11_accuracy(algorithm, spec, FIGURE_ACCESSES) {
+            table.row(vec![
+                name.to_string(),
+                group.to_string(),
+                format!("{:.3}", acc.fraction_true_positive()),
+                format!("{:.3}", acc.fraction_true_negative()),
+                format!("{:.3}", acc.fraction_false_positive()),
+                format!("{:.3}", acc.fraction_false_negative()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    let workload = profiles::specweb().with_accesses(400);
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.bench_function("specweb_exa2k_400", |b| {
+        b.iter(|| run_with_predictor(&workload, Algorithm::Exact, PredictorSpec::EXA2K, 400))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Reproduces **Figure 4**: the design space of Flexible Snooping
+//! algorithms — unloaded snoop-request latency until the supplier is found
+//! (X) versus snoop operations per request (Y).
+//!
+//! The paper places the algorithms qualitatively: Eager at (low, N−1),
+//! Lazy at (high, (N−1)/2), Oracle at the origin, Subset on the low-latency
+//! axis above Lazy, the Supersets at low/medium latency with few snoops,
+//! and Exact at the origin with Oracle.
+//!
+//! An unloaded machine is approximated with a single-core-active uniform
+//! workload (one outstanding request at a time, no contention).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexsnoop::{run_workload, Algorithm};
+use flexsnoop_bench::SEED;
+use flexsnoop_metrics::Table;
+use flexsnoop_workload::{PoolKind, PoolSpec, WorkloadGroup, WorkloadProfile};
+
+/// A near-unloaded scenario: core 0 on CMP 0 reads a shared pool that the
+/// other seven nodes already cached (they warm it up early, then idle), so
+/// each of core 0's reads finds a supplier at a uniform distance with no
+/// competing traffic.
+fn unloaded_workload() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "unloaded".to_string(),
+        group: WorkloadGroup::Splash2,
+        cores: 8,
+        accesses_per_core: 3_000,
+        write_fraction: 0.0,
+        // Long think times keep at most one request in flight on average.
+        think: (2_000, 3_000),
+        pools: vec![PoolSpec {
+            kind: PoolKind::SharedRo,
+            lines: 1_024,
+            weight: 1.0,
+            hot_fraction: 0.0,
+        }],
+    }
+}
+
+fn fig4_rows() -> Table {
+    let workload = unloaded_workload();
+    let mut table = Table::with_columns(&[
+        "algorithm",
+        "unloaded latency [cyc]",
+        "snoops/request",
+        "paper placement",
+    ]);
+    let placement = |alg: Algorithm| match alg {
+        Algorithm::Lazy => "high latency, (N-1)/2 snoops",
+        Algorithm::Eager => "low latency, N-1 snoops",
+        Algorithm::Oracle => "origin",
+        Algorithm::Subset => "low latency, above Lazy snoops",
+        Algorithm::SupersetCon => "medium latency, few snoops",
+        Algorithm::SupersetAgg => "low latency, few snoops",
+        Algorithm::Exact => "origin (with Oracle)",
+        Algorithm::SupersetDyn(_) => "between Con and Agg",
+    };
+    for alg in Algorithm::PAPER_SET {
+        let s = run_workload(&workload, alg, None, SEED).expect("run");
+        table.row(vec![
+            alg.to_string(),
+            format!("{:.0}", s.read_latency.mean()),
+            format!("{:.2}", s.snoops_per_read()),
+            placement(alg).to_string(),
+        ]);
+    }
+    table
+}
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 4: design space (unloaded latency vs snoops/request) ===");
+    println!("{}", fig4_rows().render());
+    let workload = unloaded_workload().with_accesses(300);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("unloaded_oracle_300", |b| {
+        b.iter(|| run_workload(&workload, Algorithm::Oracle, None, SEED).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Reproduces **Figure 6**: average number of snoop operations per read
+//! snoop request (absolute), per workload group.
+//!
+//! Paper shape: Eager snoops all 7 CMPs; Lazy ≈ 3.5–7 (close to 7 on
+//! SPECjbb where most requests go to memory); Subset slightly above Lazy;
+//! the Supersets at 2–3 with Con slightly below Agg; Oracle below 1
+//! (memory-bound requests snoop nothing); Exact at or below Oracle
+//! (downgrades shift supply to memory).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexsnoop::{run_workload, Algorithm};
+use flexsnoop_bench::{figure_report, FIGURE_ACCESSES, SEED};
+use flexsnoop_workload::profiles;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 6: snoop operations per read snoop request (absolute) ===");
+    println!(
+        "{}",
+        figure_report(
+            "rows: algorithm; columns: workload group (SPLASH-2 = arithmetic mean of 11 apps)",
+            |s| s.snoops_per_read(),
+            false,
+            FIGURE_ACCESSES,
+        )
+    );
+    let workload = profiles::specjbb().with_accesses(500);
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("specjbb_lazy_500", |b| {
+        b.iter(|| run_workload(&workload, Algorithm::Lazy, None, SEED).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

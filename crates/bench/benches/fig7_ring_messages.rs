@@ -1,0 +1,36 @@
+//! Reproduces **Figure 7**: total number of read snoop requests and
+//! replies in the ring (counted as ring-link crossings), normalized to
+//! Lazy.
+//!
+//! Paper shape: Eager ≈ 1.9× (request + reply on all but the first
+//! segment); Subset and Superset Agg in between and similar — except on
+//! SPECjbb, where Superset Agg filters most nodes and stays low while
+//! Subset still splits; Superset Con, Exact and Oracle at exactly 1×.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexsnoop::{run_workload, Algorithm};
+use flexsnoop_bench::{figure_report, FIGURE_ACCESSES, SEED};
+use flexsnoop_workload::profiles;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 7: ring read messages, normalized to Lazy ===");
+    println!(
+        "{}",
+        figure_report(
+            "rows: algorithm; columns: workload group (SPLASH-2 = geometric mean)",
+            |s| s.read_ring_hops as f64,
+            true,
+            FIGURE_ACCESSES,
+        )
+    );
+    let workload = profiles::specweb().with_accesses(500);
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("specweb_subset_500", |b| {
+        b.iter(|| run_workload(&workload, Algorithm::Subset, None, SEED).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Reproduces **Figure 8**: total execution time, normalized to Lazy.
+//!
+//! Paper shape: Lazy is the slowest; Superset Agg is the fastest and
+//! tracks Oracle (−14% / −13% / −6% vs Lazy on SPLASH-2 / SPECjbb /
+//! SPECweb); Eager and Subset track Superset Agg closely; Superset Con is
+//! slightly slower (false positives put snoops on the critical path);
+//! Exact loses ground where downgrades push supply to memory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexsnoop::{run_workload, Algorithm};
+use flexsnoop_bench::{figure_report, FIGURE_ACCESSES, SEED};
+use flexsnoop_workload::profiles;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== Figure 8: execution time, normalized to Lazy ===");
+    println!(
+        "{}",
+        figure_report(
+            "rows: algorithm; columns: workload group (SPLASH-2 = geometric mean)",
+            |s| s.exec_time(),
+            true,
+            FIGURE_ACCESSES,
+        )
+    );
+    let workload = profiles::splash2_apps().remove(0).with_accesses(400);
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("barnes_superset_agg_400", |b| {
+        b.iter(|| run_workload(&workload, Algorithm::SupersetAgg, None, SEED).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

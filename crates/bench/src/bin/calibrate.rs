@@ -1,0 +1,54 @@
+//! Calibration harness: prints the four main figure metrics for the full
+//! (workload x algorithm) matrix so profile/energy constants can be tuned
+//! against the paper's reported shapes.
+use flexsnoop::Algorithm;
+use flexsnoop_bench::{aggregate, paper_workloads, render_aggregate, run_matrix, SEED};
+
+fn main() {
+    let accesses: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6_000);
+    let algorithms = Algorithm::PAPER_SET;
+    let t0 = std::time::Instant::now();
+    let results = run_matrix(&paper_workloads(), &algorithms, accesses, SEED);
+    eprintln!("matrix done in {:?}", t0.elapsed());
+    type Metric = Box<dyn Fn(&flexsnoop::RunStats) -> f64>;
+    let figs: [(&str, Metric, bool); 4] = [
+        ("Fig 6: snoops per read request (absolute)", Box::new(|s: &flexsnoop::RunStats| s.snoops_per_read()), false),
+        ("Fig 7: ring read messages (normalized to Lazy)", Box::new(|s: &flexsnoop::RunStats| s.read_ring_hops as f64), true),
+        ("Fig 8: execution time (normalized to Lazy)", Box::new(|s: &flexsnoop::RunStats| s.exec_time()), true),
+        ("Fig 9: snoop energy (normalized to Lazy)", Box::new(|s: &flexsnoop::RunStats| s.energy_nj()), true),
+    ];
+    for (title, metric, norm) in figs {
+        let agg = aggregate(&results, &algorithms, metric, norm);
+        println!("\n{}", render_aggregate(title, &agg, &algorithms));
+    }
+    // supplementary diagnostics
+    println!("\nDiagnostics (per workload, Lazy): supply% / mem% / ring-reads per access");
+    for cell in results.iter().filter(|c| c.algorithm == Algorithm::Lazy) {
+        let s = &cell.stats;
+        let accesses_total = s.l1_hits + s.l2_hits + s.local_peer_hits + s.read_txns + s.write_txns + s.silent_write_hits;
+        println!(
+            "  {:<12} supply={:4.1}% ringrd/acc={:5.3} l1={:4.1}% peer={:4.1}% col={} exactDG: -",
+            cell.workload,
+            s.cache_supply_fraction() * 100.0,
+            s.read_txns as f64 / accesses_total as f64,
+            100.0 * s.l1_hits as f64 / accesses_total as f64,
+            100.0 * s.local_peer_hits as f64 / accesses_total as f64,
+            s.collisions,
+        );
+    }
+    println!("\nExact diagnostics: downgrades / dirty-wb / rereads per read txn");
+    for cell in results.iter().filter(|c| c.algorithm == Algorithm::Exact) {
+        let s = &cell.stats;
+        println!(
+            "  {:<12} dg/rd={:5.2} dgwb/rd={:5.2} reread/rd={:5.2} mem%={:4.1}",
+            cell.workload,
+            s.downgrades as f64 / s.read_txns as f64,
+            s.downgrade_writebacks as f64 / s.read_txns as f64,
+            s.downgrade_rereads as f64 / s.read_txns as f64,
+            100.0 * s.reads_from_memory as f64 / s.read_txns as f64
+        );
+    }
+}

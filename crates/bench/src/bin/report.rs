@@ -1,0 +1,94 @@
+//! Regenerates every measured table of EXPERIMENTS.md in one run and
+//! writes them to `results/report.md` (and stdout).
+//!
+//! ```text
+//! cargo run --release -p flexsnoop-bench --bin report [accesses_per_core]
+//! ```
+//!
+//! Unlike `cargo bench`, this skips Criterion timing and produces only the
+//! simulation results, which are deterministic.
+
+use std::fmt::Write as _;
+
+use flexsnoop::Algorithm;
+use flexsnoop_bench::sweeps::{figure10_cases, figure10_sweep, figure11_accuracy, figure11_configs};
+use flexsnoop_bench::{aggregate, paper_workloads, render_aggregate, run_matrix, SEED};
+use flexsnoop_metrics::Table;
+
+fn main() {
+    let accesses: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12_000);
+    let t0 = std::time::Instant::now();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# flexsnoop measured report\n\nSeed {SEED}, {accesses} accesses/core.\n"
+    );
+
+    // Figures 6-9 share one matrix.
+    let algorithms = Algorithm::PAPER_SET;
+    let results = run_matrix(&paper_workloads(), &algorithms, accesses, SEED);
+    eprintln!("figure matrix: {:?}", t0.elapsed());
+    type Metric = fn(&flexsnoop::RunStats) -> f64;
+    let figures: [(&str, Metric, bool); 4] = [
+        ("Figure 6 — snoops per read request (absolute)", |s| s.snoops_per_read(), false),
+        ("Figure 7 — ring read messages (x Lazy)", |s| s.read_ring_hops as f64, true),
+        ("Figure 8 — execution time (x Lazy)", |s| s.exec_time(), true),
+        ("Figure 9 — snoop energy (x Lazy)", |s| s.energy_nj(), true),
+    ];
+    for (title, metric, norm) in figures {
+        let agg = aggregate(&results, &algorithms, metric, norm);
+        let _ = writeln!(out, "## {title}\n\n```");
+        let _ = writeln!(out, "{}```\n", render_aggregate("", &agg, &algorithms));
+    }
+
+    // Figure 10.
+    let _ = writeln!(out, "## Figure 10 — predictor-size sensitivity (x the 2K config)\n\n```");
+    let mut t10 = Table::with_columns(&["algorithm", "predictor", "SPLASH-2", "SPECjbb", "SPECweb"]);
+    for (algorithm, configs) in figure10_cases() {
+        for (name, rows) in figure10_sweep(algorithm, configs, accesses) {
+            let get = |key: &str| {
+                rows.iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, v)| format!("{v:.3}"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            t10.row(vec![
+                algorithm.to_string(),
+                name,
+                get("SPLASH-2"),
+                get("SPECjbb"),
+                get("SPECweb"),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{}```\n", t10.render());
+    eprintln!("figure 10: {:?}", t0.elapsed());
+
+    // Figure 11.
+    let _ = writeln!(out, "## Figure 11 — predictor accuracy\n\n```");
+    let mut t11 = Table::with_columns(&["predictor", "group", "TP", "TN", "FP", "FN"]);
+    for (name, algorithm, spec) in figure11_configs() {
+        for (group, acc) in figure11_accuracy(algorithm, spec, accesses) {
+            t11.row(vec![
+                name.to_string(),
+                group.to_string(),
+                format!("{:.3}", acc.fraction_true_positive()),
+                format!("{:.3}", acc.fraction_true_negative()),
+                format!("{:.3}", acc.fraction_false_positive()),
+                format!("{:.3}", acc.fraction_false_negative()),
+            ]);
+        }
+    }
+    let _ = writeln!(out, "{}```", t11.render());
+    eprintln!("figure 11: {:?}", t0.elapsed());
+
+    print!("{out}");
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/report.md", &out).is_ok()
+    {
+        eprintln!("wrote results/report.md in {:?}", t0.elapsed());
+    }
+}

@@ -1,0 +1,159 @@
+//! Structured experiment sweeps shared by the bench targets and the
+//! report generator: the Figure 10 predictor-size sensitivity study and
+//! the Figure 11 accuracy study.
+
+use std::collections::BTreeMap;
+
+use flexsnoop::{Algorithm, GroupAggregator, PredictorSpec};
+use flexsnoop_predictor::AccuracyStats;
+use flexsnoop_workload::{profiles, WorkloadGroup};
+
+use crate::run_with_predictor;
+
+/// The three Subset predictor sizes of §5.2.
+pub const SUBSET_CONFIGS: [(&str, PredictorSpec); 3] = [
+    ("Sub512", PredictorSpec::SUB512),
+    ("Sub2k", PredictorSpec::SUB2K),
+    ("Sub8k", PredictorSpec::SUB8K),
+];
+
+/// The three Superset predictor organizations of §5.2 (shared by the
+/// conservative and aggressive algorithms).
+pub const SUPERSET_CONFIGS: [(&str, PredictorSpec); 3] = [
+    ("y512", PredictorSpec::SUP_Y512),
+    ("y2k", PredictorSpec::SUP_Y2K),
+    ("n2k", PredictorSpec::SUP_N2K),
+];
+
+/// The three Exact predictor sizes of §5.2.
+pub const EXACT_CONFIGS: [(&str, PredictorSpec); 3] = [
+    ("Exa512", PredictorSpec::EXA512),
+    ("Exa2k", PredictorSpec::EXA2K),
+    ("Exa8k", PredictorSpec::EXA8K),
+];
+
+/// The four (algorithm, predictor set) cases of Figure 10.
+pub fn figure10_cases() -> [(Algorithm, &'static [(&'static str, PredictorSpec)]); 4] {
+    [
+        (Algorithm::Subset, &SUBSET_CONFIGS),
+        (Algorithm::SupersetCon, &SUPERSET_CONFIGS),
+        (Algorithm::SupersetAgg, &SUPERSET_CONFIGS),
+        (Algorithm::Exact, &EXACT_CONFIGS),
+    ]
+}
+
+/// Runs one algorithm over its predictor configurations and the full
+/// workload suite; returns per-config execution times per group,
+/// normalized to the middle (2K, §6.1 default) configuration.
+pub fn figure10_sweep(
+    algorithm: Algorithm,
+    configs: &[(&str, PredictorSpec)],
+    accesses: u64,
+) -> Vec<(String, Vec<(&'static str, f64)>)> {
+    let workloads = profiles::all();
+    let mut per_config: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
+    for (name, spec) in configs {
+        let mut agg = GroupAggregator::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = workloads
+                .iter()
+                .map(|w| {
+                    scope.spawn(move || {
+                        (w.group, run_with_predictor(w, algorithm, *spec, accesses).exec_time())
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (group, exec) = h.join().unwrap();
+                agg.record(group, exec);
+            }
+        });
+        per_config.push((name.to_string(), agg.means()));
+    }
+    let baseline: BTreeMap<&'static str, f64> = per_config[1].1.iter().copied().collect();
+    for (_, rows) in &mut per_config {
+        for (group, v) in rows.iter_mut() {
+            *v /= baseline[group];
+        }
+    }
+    per_config
+}
+
+/// The ten predictor configurations of Figure 11, each with the algorithm
+/// that exercises it. The perfect predictor rides Oracle; the two
+/// Superset algorithms behave very similarly, so (like the paper) only
+/// the conservative one is measured.
+pub fn figure11_configs() -> Vec<(&'static str, Algorithm, PredictorSpec)> {
+    vec![
+        ("Perfect", Algorithm::Oracle, PredictorSpec::Perfect),
+        ("Sub512", Algorithm::Subset, PredictorSpec::SUB512),
+        ("Sub2k", Algorithm::Subset, PredictorSpec::SUB2K),
+        ("Sub8k", Algorithm::Subset, PredictorSpec::SUB8K),
+        ("SupCy512", Algorithm::SupersetCon, PredictorSpec::SUP_Y512),
+        ("SupCy2k", Algorithm::SupersetCon, PredictorSpec::SUP_Y2K),
+        ("SupCn2k", Algorithm::SupersetCon, PredictorSpec::SUP_N2K),
+        ("Exa512", Algorithm::Exact, PredictorSpec::EXA512),
+        ("Exa2k", Algorithm::Exact, PredictorSpec::EXA2K),
+        ("Exa8k", Algorithm::Exact, PredictorSpec::EXA8K),
+    ]
+}
+
+/// Runs one (algorithm, predictor) pair over the full suite, returning
+/// merged accuracy per workload group in reporting order.
+pub fn figure11_accuracy(
+    algorithm: Algorithm,
+    spec: PredictorSpec,
+    accesses: u64,
+) -> Vec<(&'static str, AccuracyStats)> {
+    let workloads = profiles::all();
+    let mut per_group: Vec<(&'static str, AccuracyStats)> = vec![
+        ("SPLASH-2", AccuracyStats::default()),
+        ("SPECjbb", AccuracyStats::default()),
+        ("SPECweb", AccuracyStats::default()),
+    ];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                scope.spawn(move || {
+                    (w.group, run_with_predictor(w, algorithm, spec, accesses).accuracy)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (group, acc) = h.join().unwrap();
+            let idx = match group {
+                WorkloadGroup::Splash2 => 0,
+                WorkloadGroup::SpecJbb => 1,
+                WorkloadGroup::SpecWeb => 2,
+            };
+            per_group[idx].1.merge(&acc);
+        }
+    });
+    per_group
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure10_normalizes_to_middle_config() {
+        // A tiny sweep: the middle config must read exactly 1.0 per group.
+        let rows = figure10_sweep(Algorithm::Subset, &SUBSET_CONFIGS, 300);
+        assert_eq!(rows.len(), 3);
+        for (group, v) in &rows[1].1 {
+            assert!((v - 1.0).abs() < 1e-12, "{group}: {v}");
+        }
+    }
+
+    #[test]
+    fn figure11_perfect_predictor_never_errs() {
+        let rows = figure11_accuracy(Algorithm::Oracle, PredictorSpec::Perfect, 300);
+        for (group, acc) in rows {
+            assert_eq!(acc.false_positives, 0, "{group}");
+            assert_eq!(acc.false_negatives, 0, "{group}");
+            assert!(acc.total() > 0, "{group}");
+        }
+    }
+}

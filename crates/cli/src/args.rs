@@ -1,0 +1,175 @@
+//! Hand-rolled `--key value` argument parsing.
+
+/// The subcommand to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// List workloads, algorithms, predictors.
+    List,
+    /// One (workload, algorithm) run.
+    Run,
+    /// Every paper algorithm on one workload.
+    Compare,
+    /// Per-transaction event walkthrough.
+    Timeline,
+    /// Record a trace to a file.
+    Trace,
+    /// Replay a recorded trace.
+    Replay,
+    /// Run the directory-protocol baseline on one workload.
+    Directory,
+    /// Print usage.
+    Help,
+}
+
+/// Parsed command-line arguments with defaults applied.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand.
+    pub command: Command,
+    /// `--workload` (profile name).
+    pub workload: String,
+    /// `--algorithm`.
+    pub algorithm: String,
+    /// `--predictor` (empty = the algorithm's default).
+    pub predictor: String,
+    /// `--accesses` per core.
+    pub accesses: u64,
+    /// `--seed`.
+    pub seed: u64,
+    /// `--nodes` on the ring.
+    pub nodes: usize,
+    /// `--transactions` for `timeline`.
+    pub transactions: usize,
+    /// `--trace` input file for `replay`.
+    pub trace: String,
+    /// `--out` output file for `trace`.
+    pub out: String,
+    /// `--csv` flag.
+    pub csv: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            command: Command::Help,
+            workload: "specweb".to_string(),
+            algorithm: "superset-agg".to_string(),
+            predictor: String::new(),
+            accesses: 4_000,
+            seed: 42,
+            nodes: 8,
+            transactions: 3,
+            trace: String::new(),
+            out: String::new(),
+            csv: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parses `argv` (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message for unknown commands or options,
+    /// missing values, and unparsable numbers.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = argv.iter().peekable();
+        let Some(cmd) = it.next() else {
+            return Ok(args); // no command: Help
+        };
+        args.command = match cmd.as_str() {
+            "list" => Command::List,
+            "run" => Command::Run,
+            "compare" => Command::Compare,
+            "timeline" => Command::Timeline,
+            "trace" => Command::Trace,
+            "replay" => Command::Replay,
+            "directory" => Command::Directory,
+            "help" | "--help" | "-h" => Command::Help,
+            other => return Err(format!("unknown command {other:?}; try `flexsnoop help`")),
+        };
+        while let Some(key) = it.next() {
+            if key == "--csv" {
+                args.csv = true;
+                continue;
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("option {key} expects a value"))?;
+            let num = |what: &str| -> Result<u64, String> {
+                value
+                    .parse::<u64>()
+                    .map_err(|_| format!("{what} expects a number, got {value:?}"))
+            };
+            match key.as_str() {
+                "--workload" => args.workload = value.clone(),
+                "--algorithm" => args.algorithm = value.clone(),
+                "--predictor" => args.predictor = value.clone(),
+                "--accesses" => args.accesses = num("--accesses")?,
+                "--seed" => args.seed = num("--seed")?,
+                "--nodes" => args.nodes = num("--nodes")? as usize,
+                "--transactions" => args.transactions = num("--transactions")? as usize,
+                "--trace" => args.trace = value.clone(),
+                "--out" => args.out = value.clone(),
+                other => {
+                    return Err(format!(
+                        "unknown option {other:?}; try `flexsnoop help`"
+                    ))
+                }
+            }
+        }
+        Ok(args)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = Args::parse(&argv("run")).unwrap();
+        assert_eq!(a.command, Command::Run);
+        assert_eq!(a.workload, "specweb");
+        assert_eq!(a.accesses, 4_000);
+        assert_eq!(a.nodes, 8);
+        assert!(!a.csv);
+    }
+
+    #[test]
+    fn full_option_set() {
+        let a = Args::parse(&argv(
+            "compare --workload fft --algorithm lazy --predictor sub2k \
+             --accesses 123 --seed 9 --nodes 4 --transactions 7 --csv",
+        ))
+        .unwrap();
+        assert_eq!(a.command, Command::Compare);
+        assert_eq!(a.workload, "fft");
+        assert_eq!(a.algorithm, "lazy");
+        assert_eq!(a.predictor, "sub2k");
+        assert_eq!(a.accesses, 123);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.nodes, 4);
+        assert_eq!(a.transactions, 7);
+        assert!(a.csv);
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(Args::parse(&[]).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn errors_are_actionable() {
+        assert!(Args::parse(&argv("frobnicate")).unwrap_err().contains("unknown command"));
+        assert!(Args::parse(&argv("run --accesses")).unwrap_err().contains("expects a value"));
+        assert!(Args::parse(&argv("run --accesses many")).unwrap_err().contains("number"));
+        assert!(Args::parse(&argv("run --bogus 1")).unwrap_err().contains("unknown option"));
+    }
+}

@@ -1,0 +1,260 @@
+//! Implementations of the CLI subcommands. Each returns the text to print
+//! so the logic is fully testable without capturing stdout.
+
+use flexsnoop::{energy_model_for, Algorithm, RunStats, Simulator, VecStream};
+use flexsnoop_metrics::Table;
+use flexsnoop_workload::{profiles, AccessStream, Trace, WorkloadProfile};
+
+use crate::args::Args;
+use crate::names::{algorithm_names, parse_algorithm, parse_predictor, parse_workload, predictor_names};
+
+/// `flexsnoop list`.
+pub fn list() -> Result<String, String> {
+    let mut out = String::from("workloads:\n");
+    for p in profiles::all() {
+        out.push_str(&format!(
+            "  {:<12} {:>3} cores, {} ({} pools)\n",
+            p.name,
+            p.cores,
+            p.group,
+            p.pools.len()
+        ));
+    }
+    out.push_str("  uniform      (microbenchmark, sized by --nodes)\n\nalgorithms:\n");
+    for (name, _) in algorithm_names() {
+        out.push_str(&format!("  {name}\n"));
+    }
+    out.push_str("\npredictors:\n");
+    for (name, _) in predictor_names() {
+        out.push_str(&format!("  {name}\n"));
+    }
+    Ok(out)
+}
+
+fn build_sim(args: &Args, algorithm: Algorithm) -> Result<Simulator, String> {
+    let workload = parse_workload(&args.workload, args.nodes)?.with_accesses(args.accesses);
+    let predictor = parse_predictor(&args.predictor)?;
+    Simulator::for_workload_on(&workload, algorithm, predictor, args.seed, args.nodes)
+}
+
+fn stats_table(rows: &[(Algorithm, RunStats)], csv: bool) -> String {
+    let mut table = Table::with_columns(&[
+        "algorithm",
+        "exec-cycles",
+        "snoops/read",
+        "hops/read",
+        "energy-uJ",
+        "supply-pct",
+        "collisions",
+    ]);
+    for (alg, s) in rows {
+        table.row(vec![
+            alg.to_string(),
+            s.exec_cycles.as_u64().to_string(),
+            format!("{:.2}", s.snoops_per_read()),
+            format!("{:.2}", s.ring_hops_per_read()),
+            format!("{:.1}", s.energy_nj() / 1000.0),
+            format!("{:.1}", s.cache_supply_fraction() * 100.0),
+            s.collisions.to_string(),
+        ]);
+    }
+    if csv {
+        table.to_csv()
+    } else {
+        table.render()
+    }
+}
+
+/// `flexsnoop run`.
+pub fn run_one(args: &Args) -> Result<String, String> {
+    let algorithm = parse_algorithm(&args.algorithm)?;
+    let mut sim = build_sim(args, algorithm)?;
+    let stats = sim.run();
+    sim.validate_coherence()?;
+    Ok(stats_table(&[(algorithm, stats)], args.csv))
+}
+
+/// `flexsnoop compare`.
+pub fn compare(args: &Args) -> Result<String, String> {
+    let mut rows = Vec::new();
+    for algorithm in Algorithm::PAPER_SET {
+        let mut sim = build_sim(args, algorithm)?;
+        let stats = sim.run();
+        sim.validate_coherence()?;
+        rows.push((algorithm, stats));
+    }
+    Ok(stats_table(&rows, args.csv))
+}
+
+/// `flexsnoop timeline`.
+pub fn timeline(args: &Args) -> Result<String, String> {
+    let algorithm = parse_algorithm(&args.algorithm)?;
+    let mut sim = build_sim(args, algorithm)?;
+    sim.enable_timeline(args.transactions);
+    sim.run();
+    let mut out = String::new();
+    for txn in sim.timeline().transactions().collect::<Vec<_>>() {
+        out.push_str(&sim.timeline().render(txn));
+        out.push('\n');
+    }
+    if out.is_empty() {
+        out.push_str("no ring transactions occurred\n");
+    }
+    Ok(out)
+}
+
+fn record_trace(workload: &WorkloadProfile, accesses: u64, seed: u64) -> Trace {
+    let mut streams = workload.streams(seed);
+    Trace::record(&mut streams, accesses)
+}
+
+/// `flexsnoop trace`.
+pub fn trace(args: &Args) -> Result<String, String> {
+    let workload = parse_workload(&args.workload, args.nodes)?;
+    let trace = record_trace(&workload, args.accesses, args.seed);
+    let text = trace.to_text();
+    if args.out.is_empty() {
+        Ok(text)
+    } else {
+        std::fs::write(&args.out, &text).map_err(|e| format!("write {}: {e}", args.out))?;
+        Ok(format!(
+            "wrote {} accesses x {} cores to {}\n",
+            args.accesses,
+            trace.cores(),
+            args.out
+        ))
+    }
+}
+
+/// `flexsnoop replay`.
+pub fn replay(args: &Args) -> Result<String, String> {
+    if args.trace.is_empty() {
+        return Err("replay needs --trace FILE".to_string());
+    }
+    let text =
+        std::fs::read_to_string(&args.trace).map_err(|e| format!("read {}: {e}", args.trace))?;
+    let trace: Trace = text.parse()?;
+    let algorithm = parse_algorithm(&args.algorithm)?;
+    if !trace.cores().is_multiple_of(args.nodes) {
+        return Err(format!(
+            "trace has {} cores, not a multiple of {} nodes",
+            trace.cores(),
+            args.nodes
+        ));
+    }
+    let machine = flexsnoop::MachineConfig {
+        nodes: args.nodes,
+        ..flexsnoop::MachineConfig::isca2006(trace.cores() / args.nodes)
+    };
+    let limit = (0..trace.cores())
+        .map(|c| trace.core(c).len() as u64)
+        .max()
+        .unwrap_or(1);
+    let streams: Vec<Box<dyn AccessStream + Send>> = VecStream::from_trace(&trace)
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn AccessStream + Send>)
+        .collect();
+    let predictor = parse_predictor(&args.predictor)?.unwrap_or_else(|| algorithm.default_predictor());
+    let mut sim = Simulator::new(
+        machine,
+        algorithm,
+        predictor,
+        energy_model_for(&predictor),
+        streams,
+        limit.max(1),
+    )?;
+    let stats = sim.run();
+    sim.validate_coherence()?;
+    Ok(stats_table(&[(algorithm, stats)], args.csv))
+}
+
+/// `flexsnoop directory`: the §2.1.2 baseline on the same workload.
+pub fn directory(args: &Args) -> Result<String, String> {
+    let workload = parse_workload(&args.workload, args.nodes)?.with_accesses(args.accesses);
+    let mut sim =
+        flexsnoop_directory::DirSimulator::for_workload(&workload, args.seed, args.nodes)?;
+    let s = sim.run();
+    sim.validate_coherence()?;
+    let mut table = Table::with_columns(&[
+        "protocol",
+        "exec-cycles",
+        "2hop-reads",
+        "3hop-reads",
+        "invals",
+        "energy-uJ",
+        "conflicts",
+    ]);
+    table.row(vec![
+        "directory".into(),
+        s.exec_cycles.as_u64().to_string(),
+        s.reads_two_hop.to_string(),
+        s.reads_three_hop.to_string(),
+        s.invalidations.to_string(),
+        format!("{:.1}", s.energy_nj() / 1000.0),
+        s.home_conflicts.to_string(),
+    ]);
+    Ok(if args.csv { table.to_csv() } else { table.render() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Command;
+
+    fn base_args() -> Args {
+        Args {
+            command: Command::Run,
+            workload: "specjbb".to_string(),
+            accesses: 120,
+            seed: 5,
+            ..Args::default()
+        }
+    }
+
+    #[test]
+    fn run_and_compare_share_format() {
+        let run = run_one(&base_args()).unwrap();
+        let cmp = compare(&base_args()).unwrap();
+        let header = run.lines().next().unwrap().to_string();
+        assert_eq!(cmp.lines().next().unwrap(), header);
+        assert_eq!(cmp.lines().count(), 2 + Algorithm::PAPER_SET.len());
+    }
+
+    #[test]
+    fn trace_then_replay_roundtrip() {
+        let dir = std::env::temp_dir().join("flexsnoop-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.txt").to_string_lossy().to_string();
+        let mut args = base_args();
+        args.out = path.clone();
+        args.accesses = 80;
+        let msg = trace(&args).unwrap();
+        assert!(msg.contains("wrote"), "{msg}");
+        let mut rargs = base_args();
+        rargs.trace = path;
+        rargs.algorithm = "lazy".to_string();
+        let out = replay(&rargs).unwrap();
+        assert!(out.contains("Lazy"), "{out}");
+    }
+
+    #[test]
+    fn directory_command_runs() {
+        let out = directory(&base_args()).unwrap();
+        assert!(out.contains("directory"), "{out}");
+        assert!(out.contains("2hop-reads"), "{out}");
+    }
+
+    #[test]
+    fn replay_requires_trace_file() {
+        assert!(replay(&base_args()).unwrap_err().contains("--trace"));
+    }
+
+    #[test]
+    fn trace_without_out_prints_text() {
+        let mut args = base_args();
+        args.accesses = 5;
+        let text = trace(&args).unwrap();
+        assert!(text.lines().count() >= 5);
+        assert!(text.lines().all(|l| l.split_whitespace().count() == 4));
+    }
+}

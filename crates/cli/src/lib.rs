@@ -1,0 +1,147 @@
+//! Command-line driver for the flexsnoop simulator.
+//!
+//! The `flexsnoop` binary exposes the library's main entry points without
+//! writing any Rust:
+//!
+//! ```text
+//! flexsnoop list
+//! flexsnoop run      --workload barnes --algorithm superset-agg --accesses 8000
+//! flexsnoop compare  --workload specjbb --seed 7 --csv
+//! flexsnoop timeline --workload specweb --algorithm lazy --transactions 3
+//! flexsnoop trace    --workload specjbb --accesses 2000 --out trace.txt
+//! flexsnoop replay   --trace trace.txt --algorithm eager
+//! ```
+//!
+//! Argument parsing is hand-rolled (no CLI dependency): every option is a
+//! `--key value` pair and unknown keys fail loudly.
+
+pub mod args;
+pub mod commands;
+pub mod names;
+
+pub use args::{Args, Command};
+pub use names::{parse_algorithm, parse_predictor, parse_workload};
+
+/// Entry point shared by the binary and the tests.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad arguments or failed runs.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let args = Args::parse(argv)?;
+    match args.command {
+        Command::List => commands::list(),
+        Command::Run => commands::run_one(&args),
+        Command::Compare => commands::compare(&args),
+        Command::Timeline => commands::timeline(&args),
+        Command::Trace => commands::trace(&args),
+        Command::Replay => commands::replay(&args),
+        Command::Directory => commands::directory(&args),
+        Command::Help => Ok(usage()),
+    }
+}
+
+/// The usage text.
+pub fn usage() -> String {
+    "\
+flexsnoop — embedded-ring snoop coherence simulator (ISCA 2006 reproduction)
+
+USAGE:
+    flexsnoop <COMMAND> [--key value ...]
+
+COMMANDS:
+    list        List workloads, algorithms and predictor configurations
+    run         Run one (workload, algorithm) pair and print statistics
+    compare     Run every paper algorithm on one workload
+    timeline    Trace the first ring transactions of a run, hop by hop
+    trace       Record a workload's access trace to a file
+    replay      Replay a recorded trace under one algorithm
+    directory   Run the directory-protocol baseline (crates/directory)
+    help        Show this message
+
+OPTIONS (where applicable):
+    --workload NAME      Workload profile (see `flexsnoop list`) [specweb]
+    --algorithm NAME     Snooping algorithm [superset-agg]
+    --predictor NAME     Predictor override (defaults to the algorithm's)
+    --accesses N         Accesses per core [4000]
+    --seed N             Simulation seed [42]
+    --nodes N            CMP nodes on the ring [8]
+    --transactions N     Transactions to record for `timeline` [3]
+    --trace FILE         Trace file for `replay`
+    --out FILE           Output file for `trace`
+    --csv                Emit CSV instead of an aligned table
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn help_paths() {
+        assert!(run(&argv("help")).unwrap().contains("USAGE"));
+        assert!(run(&[]).unwrap_or_else(|e| e).contains("USAGE"));
+    }
+
+    #[test]
+    fn list_names_everything() {
+        let out = run(&argv("list")).unwrap();
+        for needle in ["barnes", "specjbb", "specweb", "superset-agg", "sub2k", "exa8k"] {
+            assert!(out.contains(needle), "missing {needle} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn run_produces_stats() {
+        let out = run(&argv(
+            "run --workload specjbb --algorithm lazy --accesses 150 --seed 3",
+        ))
+        .unwrap();
+        assert!(out.contains("snoops/read"), "{out}");
+        assert!(out.contains("Lazy"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_unknown_options() {
+        let err = run(&argv("run --wrkload specjbb")).unwrap_err();
+        assert!(err.contains("unknown option"), "{err}");
+    }
+
+    #[test]
+    fn run_rejects_bad_names() {
+        assert!(run(&argv("run --workload nope")).is_err());
+        assert!(run(&argv("run --algorithm nope")).is_err());
+        assert!(run(&argv("run --algorithm lazy --predictor sub2k")).is_err());
+    }
+
+    #[test]
+    fn compare_emits_csv() {
+        let out = run(&argv("compare --workload specjbb --accesses 120 --csv")).unwrap();
+        assert!(out.lines().next().unwrap().starts_with("algorithm,"));
+        assert!(out.contains("SupersetAgg,"));
+    }
+
+    #[test]
+    fn timeline_walks_transactions() {
+        let out = run(&argv(
+            "timeline --workload specweb --algorithm lazy --accesses 60 --transactions 2",
+        ))
+        .unwrap();
+        assert!(out.contains("issued at"), "{out}");
+        assert!(out.contains("retired"), "{out}");
+    }
+
+    #[test]
+    fn scaled_run_works() {
+        let out = run(&argv(
+            "run --workload uniform --algorithm eager --accesses 150 --nodes 4",
+        ))
+        .unwrap();
+        assert!(out.contains("Eager"), "{out}");
+    }
+}

@@ -1,0 +1,12 @@
+//! The `flexsnoop` command-line binary.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match flexsnoop_cli::run(&argv) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

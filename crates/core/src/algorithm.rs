@@ -1,0 +1,276 @@
+//! The Flexible Snooping algorithms (paper §3–§4).
+//!
+//! On each snoop-request arrival a node's gateway consults its Supplier
+//! Predictor and performs one of three primitives (Table 2):
+//!
+//! * [`SnoopAction::SnoopThenForward`] — snoop; then emit a single
+//!   *combined request/reply* message.
+//! * [`SnoopAction::ForwardThenSnoop`] — forward the request immediately;
+//!   snoop in parallel; emit/merge a trailing *snoop reply*.
+//! * [`SnoopAction::Forward`] — pass the message through without snooping
+//!   (filtering).
+//!
+//! [`Algorithm`] maps each of the paper's seven evaluated algorithms (plus
+//! the dynamic Con/Agg extension of §6.1.5) to its prediction-conditional
+//! action, its default predictor, and its write-decoupling class (§5.3).
+
+use std::fmt;
+
+use flexsnoop_predictor::PredictorSpec;
+
+/// The three primitive operations of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnoopAction {
+    /// Snoop the CMP, then send a combined request/reply.
+    SnoopThenForward,
+    /// Forward the request at once, snoop in parallel, reply trails.
+    ForwardThenSnoop,
+    /// Forward without snooping.
+    Forward,
+}
+
+/// Governor for the dynamic Superset variant (extension of §6.1.5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DynPolicy {
+    /// Always take the aggressive action (equivalent to Superset Agg).
+    PerformanceFirst,
+    /// Always take the conservative action (equivalent to Superset Con).
+    EnergyFirst,
+    /// Aggressive while measured snoop energy stays under the budget, in
+    /// nanojoules per thousand cycles; conservative once it is exceeded.
+    EnergyBudget(f64),
+}
+
+/// A snooping algorithm: how a node reacts to a read snoop request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Snoop at every node before forwarding (the §2.2 baseline).
+    Lazy,
+    /// Forward at every node before snooping (Barroso & Dubois).
+    Eager,
+    /// Unimplementable reference: snoop only at the supplier. Realized as
+    /// Exact actions driven by a perfect predictor.
+    Oracle,
+    /// Subset predictor: positive → snoop-then-forward, negative →
+    /// forward-then-snoop (never filters; no false positives to exploit).
+    Subset,
+    /// Superset predictor, conservative: positive → snoop-then-forward,
+    /// negative → forward (filter).
+    SupersetCon,
+    /// Superset predictor, aggressive: positive → forward-then-snoop,
+    /// negative → forward (filter).
+    SupersetAgg,
+    /// Exact predictor (downgrades): positive → snoop-then-forward,
+    /// negative → forward.
+    Exact,
+    /// Extension: Superset predictor with the Con/Agg positive action
+    /// chosen dynamically by a governor (paper §6.1.5 envisions this).
+    SupersetDyn(DynPolicy),
+}
+
+impl Algorithm {
+    /// The seven algorithms evaluated in the paper, in figure order.
+    pub const PAPER_SET: [Algorithm; 7] = [
+        Algorithm::Lazy,
+        Algorithm::Eager,
+        Algorithm::Oracle,
+        Algorithm::Subset,
+        Algorithm::SupersetCon,
+        Algorithm::SupersetAgg,
+        Algorithm::Exact,
+    ];
+
+    /// The action a node takes for a read snoop request, given the
+    /// predictor's answer. `energy_over_budget` only matters for the
+    /// dynamic variant.
+    pub fn action(&self, predicted_supplier: bool, energy_over_budget: bool) -> SnoopAction {
+        use Algorithm::*;
+        use SnoopAction::*;
+        match (self, predicted_supplier) {
+            (Lazy, _) => SnoopThenForward,
+            (Eager, _) => ForwardThenSnoop,
+            (Oracle, true) | (Exact, true) => SnoopThenForward,
+            (Oracle, false) | (Exact, false) => Forward,
+            (Subset, true) => SnoopThenForward,
+            (Subset, false) => ForwardThenSnoop,
+            (SupersetCon, true) => SnoopThenForward,
+            (SupersetCon, false) => Forward,
+            (SupersetAgg, true) => ForwardThenSnoop,
+            (SupersetAgg, false) => Forward,
+            (SupersetDyn(policy), true) => match policy {
+                DynPolicy::PerformanceFirst => ForwardThenSnoop,
+                DynPolicy::EnergyFirst => SnoopThenForward,
+                DynPolicy::EnergyBudget(_) => {
+                    if energy_over_budget {
+                        SnoopThenForward
+                    } else {
+                        ForwardThenSnoop
+                    }
+                }
+            },
+            (SupersetDyn(_), false) => Forward,
+        }
+    }
+
+    /// Whether this algorithm consults a Supplier Predictor at all.
+    pub fn uses_predictor(&self) -> bool {
+        !matches!(self, Algorithm::Lazy | Algorithm::Eager)
+    }
+
+    /// The predictor the paper pairs with this algorithm in §6.1
+    /// (the 2K-entry configurations).
+    pub fn default_predictor(&self) -> PredictorSpec {
+        match self {
+            Algorithm::Lazy | Algorithm::Eager => PredictorSpec::None,
+            Algorithm::Oracle => PredictorSpec::Perfect,
+            Algorithm::Subset => PredictorSpec::SUB2K,
+            Algorithm::SupersetCon | Algorithm::SupersetAgg | Algorithm::SupersetDyn(_) => {
+                PredictorSpec::SUP_Y2K
+            }
+            Algorithm::Exact => PredictorSpec::EXA2K,
+        }
+    }
+
+    /// Whether a predictor spec is legal for this algorithm (the paper's
+    /// taxonomy depends on the predictor's error class).
+    pub fn accepts_predictor(&self, spec: &PredictorSpec) -> bool {
+        match self {
+            Algorithm::Lazy | Algorithm::Eager => matches!(spec, PredictorSpec::None),
+            Algorithm::Oracle => matches!(spec, PredictorSpec::Perfect),
+            Algorithm::Subset => matches!(
+                spec,
+                PredictorSpec::Subset { .. } | PredictorSpec::Perfect
+            ),
+            Algorithm::SupersetCon | Algorithm::SupersetAgg | Algorithm::SupersetDyn(_) => {
+                matches!(
+                    spec,
+                    PredictorSpec::Superset { .. } | PredictorSpec::Perfect
+                )
+            }
+            Algorithm::Exact => {
+                matches!(spec, PredictorSpec::Exact { .. } | PredictorSpec::Perfect)
+            }
+        }
+    }
+
+    /// Whether this algorithm decouples **write** snoop messages into
+    /// request + reply for parallel invalidation (paper §5.3: the classes
+    /// that decouple reads — Eager, Subset, Superset Agg — plus Oracle).
+    pub fn decouples_writes(&self) -> bool {
+        match self {
+            Algorithm::Eager | Algorithm::Subset | Algorithm::SupersetAgg | Algorithm::Oracle => {
+                true
+            }
+            Algorithm::Lazy | Algorithm::SupersetCon | Algorithm::Exact => false,
+            // The dynamic variant spends most of its time in Agg mode;
+            // the paper would build the decoupled datapath.
+            Algorithm::SupersetDyn(_) => true,
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Algorithm::Lazy => "Lazy",
+            Algorithm::Eager => "Eager",
+            Algorithm::Oracle => "Oracle",
+            Algorithm::Subset => "Subset",
+            Algorithm::SupersetCon => "SupersetCon",
+            Algorithm::SupersetAgg => "SupersetAgg",
+            Algorithm::Exact => "Exact",
+            Algorithm::SupersetDyn(_) => "SupersetDyn",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SnoopAction::*;
+    use super::*;
+
+    #[test]
+    fn table3_actions() {
+        // Paper Table 3, row by row.
+        assert_eq!(Algorithm::Subset.action(true, false), SnoopThenForward);
+        assert_eq!(Algorithm::Subset.action(false, false), ForwardThenSnoop);
+        assert_eq!(Algorithm::SupersetCon.action(true, false), SnoopThenForward);
+        assert_eq!(Algorithm::SupersetCon.action(false, false), Forward);
+        assert_eq!(Algorithm::SupersetAgg.action(true, false), ForwardThenSnoop);
+        assert_eq!(Algorithm::SupersetAgg.action(false, false), Forward);
+        assert_eq!(Algorithm::Exact.action(true, false), SnoopThenForward);
+        assert_eq!(Algorithm::Exact.action(false, false), Forward);
+    }
+
+    #[test]
+    fn baselines_ignore_prediction() {
+        for p in [true, false] {
+            assert_eq!(Algorithm::Lazy.action(p, false), SnoopThenForward);
+            assert_eq!(Algorithm::Eager.action(p, false), ForwardThenSnoop);
+        }
+    }
+
+    #[test]
+    fn oracle_mirrors_exact_with_perfect_prediction() {
+        assert_eq!(Algorithm::Oracle.action(true, false), SnoopThenForward);
+        assert_eq!(Algorithm::Oracle.action(false, false), Forward);
+        assert!(Algorithm::Oracle.accepts_predictor(&PredictorSpec::Perfect));
+        assert!(!Algorithm::Oracle.accepts_predictor(&PredictorSpec::SUB2K));
+    }
+
+    #[test]
+    fn predictor_pairings_follow_the_taxonomy() {
+        assert!(Algorithm::Subset.accepts_predictor(&PredictorSpec::SUB512));
+        assert!(!Algorithm::Subset.accepts_predictor(&PredictorSpec::SUP_Y2K));
+        assert!(Algorithm::SupersetCon.accepts_predictor(&PredictorSpec::SUP_N2K));
+        assert!(!Algorithm::SupersetCon.accepts_predictor(&PredictorSpec::EXA2K));
+        assert!(Algorithm::Exact.accepts_predictor(&PredictorSpec::EXA8K));
+        assert!(Algorithm::Lazy.accepts_predictor(&PredictorSpec::None));
+        assert!(!Algorithm::Lazy.accepts_predictor(&PredictorSpec::SUB2K));
+    }
+
+    #[test]
+    fn default_predictors_are_the_2k_configs() {
+        assert_eq!(Algorithm::Subset.default_predictor(), PredictorSpec::SUB2K);
+        assert_eq!(
+            Algorithm::SupersetAgg.default_predictor(),
+            PredictorSpec::SUP_Y2K
+        );
+        assert_eq!(Algorithm::Exact.default_predictor(), PredictorSpec::EXA2K);
+        assert_eq!(Algorithm::Lazy.default_predictor(), PredictorSpec::None);
+    }
+
+    #[test]
+    fn write_decoupling_classes_match_section_5_3() {
+        assert!(!Algorithm::Lazy.decouples_writes());
+        assert!(!Algorithm::SupersetCon.decouples_writes());
+        assert!(!Algorithm::Exact.decouples_writes());
+        assert!(Algorithm::Eager.decouples_writes());
+        assert!(Algorithm::Subset.decouples_writes());
+        assert!(Algorithm::SupersetAgg.decouples_writes());
+        assert!(Algorithm::Oracle.decouples_writes());
+    }
+
+    #[test]
+    fn dynamic_variant_switches_on_budget() {
+        let alg = Algorithm::SupersetDyn(DynPolicy::EnergyBudget(10.0));
+        assert_eq!(alg.action(true, false), ForwardThenSnoop);
+        assert_eq!(alg.action(true, true), SnoopThenForward);
+        assert_eq!(alg.action(false, true), Forward);
+        let perf = Algorithm::SupersetDyn(DynPolicy::PerformanceFirst);
+        assert_eq!(perf.action(true, true), ForwardThenSnoop);
+        let eco = Algorithm::SupersetDyn(DynPolicy::EnergyFirst);
+        assert_eq!(eco.action(true, false), SnoopThenForward);
+    }
+
+    #[test]
+    fn every_paper_algorithm_accepts_its_default() {
+        for alg in Algorithm::PAPER_SET {
+            assert!(
+                alg.accepts_predictor(&alg.default_predictor()),
+                "{alg} rejects its own default predictor"
+            );
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Ring message representation.
+//!
+//! A snoop transaction travels the ring as at most two messages at a time:
+//! a *request carrier* ([`MsgKind::Request`] or [`MsgKind::Combined`]) and,
+//! when split, a trailing *reply* ([`MsgKind::Reply`]). Table 2's
+//! primitives split, merge and recombine these; the reply accumulator
+//! ([`ReplyInfo`]) rides inside `Reply` and `Combined` messages.
+
+use flexsnoop_mem::{CmpId, LineAddr};
+
+/// Unique transaction identifier, in issue order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl std::fmt::Display for TxnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// Read or write transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOp {
+    /// A read snoop transaction (miss looking for a supplier).
+    Read,
+    /// A write snoop transaction (invalidation; may also collect data).
+    Write,
+}
+
+/// The accumulated outcome a reply carries around the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplyInfo {
+    /// A supplier was found; data is on its way to the requester.
+    pub found: bool,
+    /// Every node visited so far actually snooped (false once any node
+    /// filtered). Needed to prove exclusivity for `E` fills.
+    pub all_snooped: bool,
+    /// Some node held a valid (even non-supplier) copy.
+    pub any_copy: bool,
+}
+
+impl ReplyInfo {
+    /// The accumulator's initial value at the requester.
+    pub fn start() -> Self {
+        ReplyInfo {
+            found: false,
+            all_snooped: true,
+            any_copy: false,
+        }
+    }
+
+    /// Folds one node's snoop outcome into the accumulator.
+    pub fn merge_snoop(&mut self, found_here: bool, any_copy_here: bool) {
+        self.found |= found_here;
+        self.any_copy |= any_copy_here;
+    }
+
+    /// Marks that a node was skipped without snooping.
+    pub fn mark_filtered(&mut self) {
+        self.all_snooped = false;
+    }
+
+    /// Folds another accumulator (e.g. a buffered trailing reply) in.
+    pub fn merge(&mut self, other: ReplyInfo) {
+        self.found |= other.found;
+        self.all_snooped &= other.all_snooped;
+        self.any_copy |= other.any_copy;
+    }
+
+    /// Whether a memory fill may install `E`: no supplier, every node
+    /// snooped, no copy anywhere.
+    pub fn proves_exclusive(&self) -> bool {
+        !self.found && self.all_snooped && !self.any_copy
+    }
+}
+
+/// What a ring message is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    /// A bare snoop request running ahead of its reply.
+    Request,
+    /// A trailing snoop reply with the accumulator.
+    Reply(ReplyInfo),
+    /// A combined request/reply (Table 2's "Combined R/R").
+    Combined(ReplyInfo),
+}
+
+impl MsgKind {
+    /// Whether this message can trigger snoops downstream (a request
+    /// carrier whose outcome is still open).
+    pub fn is_open_request(&self) -> bool {
+        match self {
+            MsgKind::Request => true,
+            MsgKind::Combined(info) => !info.found,
+            MsgKind::Reply(_) => false,
+        }
+    }
+
+    /// The accumulator, if this message carries one.
+    pub fn info(&self) -> Option<ReplyInfo> {
+        match self {
+            MsgKind::Request => None,
+            MsgKind::Reply(i) | MsgKind::Combined(i) => Some(*i),
+        }
+    }
+}
+
+/// One message on the embedded ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingMsg {
+    /// The transaction it belongs to.
+    pub txn: TxnId,
+    /// The line being snooped.
+    pub line: LineAddr,
+    /// Read or write.
+    pub op: TxnOp,
+    /// The node that started the transaction (messages stop there).
+    pub requester: CmpId,
+    /// Payload.
+    pub kind: MsgKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_starts_open() {
+        let i = ReplyInfo::start();
+        assert!(!i.found);
+        assert!(i.all_snooped);
+        assert!(!i.any_copy);
+        assert!(i.proves_exclusive() || i.proves_exclusive());
+    }
+
+    #[test]
+    fn merge_snoop_accumulates() {
+        let mut i = ReplyInfo::start();
+        i.merge_snoop(false, true);
+        assert!(!i.found && i.any_copy);
+        i.merge_snoop(true, true);
+        assert!(i.found);
+        assert!(i.all_snooped, "snooping keeps the all-snooped proof");
+    }
+
+    #[test]
+    fn filtering_destroys_exclusivity_proof() {
+        let mut i = ReplyInfo::start();
+        assert!(i.proves_exclusive());
+        i.mark_filtered();
+        assert!(!i.proves_exclusive());
+    }
+
+    #[test]
+    fn copies_destroy_exclusivity_proof() {
+        let mut i = ReplyInfo::start();
+        i.merge_snoop(false, true);
+        assert!(!i.proves_exclusive());
+    }
+
+    #[test]
+    fn merge_combines_pessimistically() {
+        let mut a = ReplyInfo::start();
+        let mut b = ReplyInfo::start();
+        b.mark_filtered();
+        b.merge_snoop(true, true);
+        a.merge(b);
+        assert!(a.found && !a.all_snooped && a.any_copy);
+    }
+
+    #[test]
+    fn open_request_classification() {
+        assert!(MsgKind::Request.is_open_request());
+        assert!(MsgKind::Combined(ReplyInfo::start()).is_open_request());
+        let mut found = ReplyInfo::start();
+        found.merge_snoop(true, true);
+        assert!(!MsgKind::Combined(found).is_open_request());
+        assert!(!MsgKind::Reply(ReplyInfo::start()).is_open_request());
+    }
+
+    #[test]
+    fn info_extraction() {
+        assert_eq!(MsgKind::Request.info(), None);
+        let i = ReplyInfo::start();
+        assert_eq!(MsgKind::Reply(i).info(), Some(i));
+        assert_eq!(MsgKind::Combined(i).info(), Some(i));
+    }
+}

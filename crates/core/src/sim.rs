@@ -1,0 +1,1717 @@
+//! The embedded-ring multiprocessor simulator.
+//!
+//! A discrete-event model of the paper's machine: in-order cores issuing a
+//! deterministic access stream, private L1/L2 caches per core, the
+//! seven-state ring snoop protocol (§2.2), the Table 2 message primitives,
+//! per-node supplier predictors, home-node memory with optional prefetch,
+//! and contention on ring links, CMP snoop ports, torus links and memory
+//! controllers.
+//!
+//! # Model notes (vs. the paper)
+//!
+//! * Cores are in-order and blocking (one outstanding miss). The paper's
+//!   out-of-order cores change absolute times, not the relative ordering of
+//!   the snooping algorithms, which is driven by the memory system.
+//! * Same-line transaction collisions are resolved at the requester by
+//!   serializing the later transaction behind the earlier one (a
+//!   squash-and-immediate-retry). The paper squashes mid-ring and retries;
+//!   both orderings admit exactly one winner and charge the loser a retry
+//!   delay.
+//! * Exact-predictor downgrades take effect immediately (the state change
+//!   is not given a latency); the induced write-back and re-read costs are
+//!   fully modeled.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use flexsnoop_engine::{Cycle, Cycles, Resource, Scheduler};
+use flexsnoop_mem::{CacheGeometry, CmpCaches, CmpId, CoherState, LineAddr};
+use flexsnoop_metrics::{EnergyCategory, EnergyModel};
+use flexsnoop_net::{RingConfig, RingNetwork, Torus, TorusConfig};
+use flexsnoop_predictor::{BloomFilter, BloomSpec, PredictorSpec, SupplierPredictor};
+use flexsnoop_workload::{AccessStream, MemAccess, WorkloadProfile};
+
+use crate::algorithm::{Algorithm, DynPolicy, SnoopAction};
+use crate::config::MachineConfig;
+use crate::message::{MsgKind, ReplyInfo, RingMsg, TxnId, TxnOp};
+use crate::stats::RunStats;
+use crate::timeline::{Timeline, TxnEvent};
+
+fn kind_label(kind: &MsgKind) -> &'static str {
+    match kind {
+        MsgKind::Request => "Req",
+        MsgKind::Reply(_) => "Rep",
+        MsgKind::Combined(_) => "R/R",
+    }
+}
+
+/// Per-node, per-transaction gateway state (Table 2's bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NodeState {
+    /// No message for this transaction has been seen yet.
+    Untouched,
+    /// The node chose `Forward`; a trailing reply (if any) is also passed
+    /// through, marked as filtered.
+    PassThrough,
+    /// A snoop is in flight.
+    Snooping {
+        /// The incoming accumulator, present iff the request arrived as a
+        /// combined R/R.
+        acc: Option<ReplyInfo>,
+        /// Whether the outgoing message is a combined R/R (Snoop Then
+        /// Forward) or a bare reply (Forward Then Snoop).
+        combine_out: bool,
+        /// A trailing negative reply that arrived mid-snoop.
+        buffered: Option<ReplyInfo>,
+    },
+    /// The snoop finished negative on a split request; waiting for the
+    /// trailing reply to merge with. `any_copy` is the local outcome.
+    AwaitReply { combine_out: bool, any_copy: bool },
+    /// This node's part is done; any further (trailing) reply is stale
+    /// information and is discarded (Table 2: "Discard snoop reply").
+    Finished,
+}
+
+/// How the requesting core gets the data of a ring write transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteData {
+    /// Upgrade or a local copy exists: no remote data needed.
+    Local,
+    /// Data must come from a remote supplier or memory.
+    Remote,
+}
+
+#[derive(Debug)]
+struct Txn {
+    line: LineAddr,
+    op: TxnOp,
+    requester: CmpId,
+    /// Global core id of the requester.
+    core: usize,
+    issue: Cycle,
+    node_states: Vec<NodeState>,
+    /// When cache-supplied data reached the requester.
+    data_arrived: Option<Cycle>,
+    /// The returned ring outcome.
+    reply_info: Option<ReplyInfo>,
+    /// Completion of the speculative home-node DRAM prefetch.
+    prefetch_ready: Option<Cycle>,
+    /// Write transactions: where the data comes from.
+    write_data: WriteData,
+    /// A remote cache has already sent the data (writes: first supplier
+    /// invalidation wins).
+    data_sent: bool,
+    /// The core has been resumed (or never blocked: writes drain from a
+    /// store buffer and do not stall the core).
+    resumed: bool,
+    /// Whether the issuing core blocks until this transaction completes
+    /// (reads do; writes are fire-and-forget).
+    blocking: bool,
+    /// Memory fill state chosen when the negative reply returned.
+    fill_state: CoherState,
+}
+
+struct CoreState {
+    stream: Box<dyn AccessStream + Send>,
+    issued: u64,
+    limit: u64,
+    done: bool,
+    /// Ring read transactions currently in flight from this core.
+    outstanding_reads: usize,
+    /// The core hit its outstanding-read limit and awaits a completion.
+    stalled: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A core issues a memory access. `replay` marks a collided access
+    /// being retried: the core (for writes) was already advanced at the
+    /// original issue and must not be advanced again.
+    CoreIssue {
+        core: usize,
+        access: MemAccess,
+        replay: bool,
+    },
+    /// A ring message arrives at a node's gateway.
+    RingArrive { msg: RingMsg, node: CmpId },
+    /// A read-snoop operation completes at a node.
+    SnoopDone { txn: TxnId, node: CmpId },
+    /// A write-snoop (invalidation) completes at a node.
+    WriteSnoopDone { txn: TxnId, node: CmpId },
+    /// Cache-to-cache data reaches the requester.
+    DataArrive { txn: TxnId },
+    /// Memory data reaches the requester.
+    MemData { txn: TxnId },
+}
+
+/// The full-machine simulator for one (algorithm, predictor, workload) run.
+pub struct Simulator {
+    cfg: MachineConfig,
+    alg: Algorithm,
+    sched: Scheduler<Event>,
+    cmps: Vec<CmpCaches>,
+    predictors: Vec<Box<dyn SupplierPredictor + Send>>,
+    /// Per-node presence filters (only maintained when write filtering is
+    /// on): a counting Bloom over every valid line in the CMP's L2s. No
+    /// false negatives, so a "definitely absent" answer makes skipping a
+    /// write invalidation safe (§5.3 extension).
+    presence: Vec<BloomFilter>,
+    write_snoops_filtered: u64,
+    ring: RingNetwork,
+    torus: Torus,
+    /// One shared intra-CMP bus per node: ring snoops and local
+    /// cache-to-cache supplies arbitrate for it.
+    snoop_ports: Vec<Resource>,
+    mem_ports: Vec<Resource>,
+    cores: Vec<CoreState>,
+    txns: HashMap<TxnId, Txn>,
+    next_txn: u64,
+    /// In-flight transaction counts per line: `(readers, writers)`.
+    /// Read–read concurrency is benign (no state is modified that another
+    /// read could observe inconsistently); any write serializes.
+    line_busy: HashMap<LineAddr, (u32, u32)>,
+    line_waiters: HashMap<LineAddr, VecDeque<(usize, MemAccess)>>,
+    downgraded: HashSet<LineAddr>,
+    stats: RunStats,
+    timeline: Timeline,
+    active_cores: usize,
+    finished: bool,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("algorithm", &self.alg)
+            .field("nodes", &self.cfg.nodes)
+            .field("cores", &self.cores.len())
+            .field("now", &self.sched.now())
+            .field("in_flight_txns", &self.txns.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulator {
+    /// Builds a simulator from explicit parts.
+    ///
+    /// `streams` must contain one access stream per core
+    /// (`machine.total_cores()`), and `limit` caps the accesses each core
+    /// issues.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the machine config is invalid, the stream
+    /// count is wrong, or the predictor spec is illegal for the algorithm.
+    pub fn new(
+        machine: MachineConfig,
+        algorithm: Algorithm,
+        predictor: PredictorSpec,
+        energy: EnergyModel,
+        streams: Vec<Box<dyn AccessStream + Send>>,
+        limit: u64,
+    ) -> Result<Self, String> {
+        machine.validate()?;
+        if streams.len() != machine.total_cores() {
+            return Err(format!(
+                "expected {} streams, got {}",
+                machine.total_cores(),
+                streams.len()
+            ));
+        }
+        if !algorithm.accepts_predictor(&predictor) {
+            return Err(format!(
+                "algorithm {algorithm} cannot use predictor {predictor}"
+            ));
+        }
+        let predictors = (0..machine.nodes).map(|_| predictor.build()).collect();
+        Self::with_predictors(machine, algorithm, predictors, energy, streams, limit)
+    }
+
+    /// Builds a simulator with caller-supplied per-node predictors (one
+    /// per CMP), bypassing the [`PredictorSpec`] registry. This is the
+    /// research entry point for custom predictor designs and for fault
+    /// injection ([`flexsnoop_predictor::FaultInjectingPredictor`]); the
+    /// caller is responsible for matching the algorithm's error-class
+    /// expectations — a predictor with false negatives under a filtering
+    /// algorithm reproduces exactly the §4.3.4 hardware-race hazard.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the machine config is invalid or the stream or
+    /// predictor counts are wrong.
+    pub fn with_predictors(
+        machine: MachineConfig,
+        algorithm: Algorithm,
+        predictors: Vec<Box<dyn SupplierPredictor + Send>>,
+        energy: EnergyModel,
+        streams: Vec<Box<dyn AccessStream + Send>>,
+        limit: u64,
+    ) -> Result<Self, String> {
+        machine.validate()?;
+        if streams.len() != machine.total_cores() {
+            return Err(format!(
+                "expected {} streams, got {}",
+                machine.total_cores(),
+                streams.len()
+            ));
+        }
+        if predictors.len() != machine.nodes {
+            return Err(format!(
+                "expected {} predictors, got {}",
+                machine.nodes,
+                predictors.len()
+            ));
+        }
+        let l1 = CacheGeometry::from_capacity(
+            machine.caches.l1_bytes,
+            machine.caches.l1_ways,
+            machine.caches.line_bytes,
+        );
+        let l2 = CacheGeometry::from_capacity(
+            machine.caches.l2_bytes,
+            machine.caches.l2_ways,
+            machine.caches.line_bytes,
+        );
+        let cmps = (0..machine.nodes)
+            .map(|_| CmpCaches::new(machine.cores_per_cmp, l1, l2))
+            .collect();
+        let presence = (0..machine.nodes)
+            .map(|_| BloomFilter::new(BloomSpec::y_filter()))
+            .collect();
+        let ring = RingNetwork::new(RingConfig {
+            nodes: machine.nodes,
+            rings: machine.ring.rings,
+            hop_latency: machine.ring.hop_latency,
+            link_service: machine.ring.link_service,
+        });
+        let torus = Torus::new(TorusConfig::near_square(
+            machine.nodes,
+            machine.data_net.hop_latency,
+            machine.data_net.router_latency,
+            machine.data_net.link_service,
+        ));
+        let active_cores = streams.len();
+        let cores = streams
+            .into_iter()
+            .map(|stream| CoreState {
+                stream,
+                issued: 0,
+                limit,
+                done: false,
+                outstanding_reads: 0,
+                stalled: false,
+            })
+            .collect();
+        Ok(Self {
+            alg: algorithm,
+            sched: Scheduler::new(),
+            cmps,
+            predictors,
+            presence,
+            write_snoops_filtered: 0,
+            ring,
+            torus,
+            snoop_ports: (0..machine.nodes).map(|_| Resource::new()).collect(),
+            mem_ports: (0..machine.nodes).map(|_| Resource::new()).collect(),
+            cores,
+            txns: HashMap::new(),
+            next_txn: 0,
+            line_busy: HashMap::new(),
+            line_waiters: HashMap::new(),
+            downgraded: HashSet::new(),
+            stats: RunStats::new(energy),
+            timeline: Timeline::disabled(),
+            active_cores,
+            finished: false,
+            cfg: machine,
+        })
+    }
+
+    /// Convenience constructor: the paper machine sized for `profile`,
+    /// with the algorithm's default predictor unless `predictor` overrides
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the profile's core count is not divisible by
+    /// the node count or the configuration is otherwise invalid.
+    pub fn for_workload(
+        profile: &WorkloadProfile,
+        algorithm: Algorithm,
+        predictor: Option<PredictorSpec>,
+        seed: u64,
+    ) -> Result<Self, String> {
+        Self::for_workload_on(profile, algorithm, predictor, seed, 8)
+    }
+
+    /// Like [`for_workload`](Self::for_workload) but with an explicit node
+    /// count, for machine-scaling studies (the paper argues the embedded
+    /// ring suits 8–16 node machines; §2.1.4).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the profile's core count is not divisible by
+    /// `nodes` or the configuration is otherwise invalid.
+    pub fn for_workload_on(
+        profile: &WorkloadProfile,
+        algorithm: Algorithm,
+        predictor: Option<PredictorSpec>,
+        seed: u64,
+        nodes: usize,
+    ) -> Result<Self, String> {
+        if nodes == 0 || !profile.cores.is_multiple_of(nodes) {
+            return Err(format!(
+                "workload cores ({}) must be a multiple of {nodes} nodes",
+                profile.cores
+            ));
+        }
+        let machine = MachineConfig {
+            nodes,
+            ..MachineConfig::isca2006(profile.cores / nodes)
+        };
+        let predictor = predictor.unwrap_or_else(|| algorithm.default_predictor());
+        let energy = energy_model_for(&predictor);
+        let streams: Vec<Box<dyn AccessStream + Send>> = profile
+            .streams(seed)
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn AccessStream + Send>)
+            .collect();
+        Self::new(
+            machine,
+            algorithm,
+            predictor,
+            energy,
+            streams,
+            profile.accesses_per_core,
+        )
+    }
+
+    /// The algorithm under test.
+    pub fn algorithm(&self) -> Algorithm {
+        self.alg
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Statistics collected so far (complete after [`run`](Self::run)).
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Enables per-transaction event recording for the first `limit` ring
+    /// transactions (see [`crate::timeline::Timeline`]). Call before
+    /// [`run`](Self::run).
+    pub fn enable_timeline(&mut self, limit: usize) {
+        self.timeline = Timeline::with_limit(limit);
+    }
+
+    /// The recorded transaction timelines.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Write-snoop invalidations skipped by the presence filter (only
+    /// non-zero when `policy.write_filtering` is on).
+    pub fn write_snoops_filtered(&self) -> u64 {
+        self.write_snoops_filtered
+    }
+
+    /// The coherence state of `line` in one core's L2 (for inspection and
+    /// testing).
+    pub fn line_state(&self, node: CmpId, core: usize, line: LineAddr) -> CoherState {
+        self.cmps[node.0].l2(core).state_of(line)
+    }
+
+    /// Checks the global storage invariants of Figure 2(b) for every
+    /// resident line: all pairs of copies must be compatible, which implies
+    /// at most one supplier-state copy machine-wide.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, naming the line and states.
+    pub fn validate_coherence(&self) -> Result<(), String> {
+        let mut copies: HashMap<LineAddr, Vec<(usize, CoherState)>> = HashMap::new();
+        for (n, cmp) in self.cmps.iter().enumerate() {
+            for core in 0..cmp.cores() {
+                for (line, state) in cmp.l2(core).iter() {
+                    copies.entry(line).or_default().push((n, state));
+                }
+            }
+        }
+        for (line, states) in &copies {
+            for (i, &(na, a)) in states.iter().enumerate() {
+                for &(nb, b) in &states[i + 1..] {
+                    if !a.compatible_with(b, na == nb) {
+                        return Err(format!(
+                            "{line}: {a} at cmp{na} incompatible with {b} at cmp{nb}"
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ----- topology helpers -------------------------------------------------
+
+    fn cmp_of(&self, core: usize) -> CmpId {
+        CmpId(core / self.cfg.cores_per_cmp)
+    }
+
+    fn local_idx(&self, core: usize) -> usize {
+        core % self.cfg.cores_per_cmp
+    }
+
+    // ----- driving the run --------------------------------------------------
+
+    /// Runs the simulation to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn run(&mut self) -> RunStats {
+        assert!(!self.finished, "run() may only be called once");
+        self.finished = true;
+        // Prime every core with its first access.
+        for core in 0..self.cores.len() {
+            self.advance_core(core, Cycle::ZERO);
+        }
+        while let Some((now, ev)) = self.sched.pop() {
+            self.dispatch(now, ev);
+        }
+        assert_eq!(self.active_cores, 0, "drained queue with cores unfinished");
+        self.stats.exec_cycles = self.sched.now();
+        // Fold predictor activity into the energy account.
+        for p in &self.predictors {
+            let c = p.counters();
+            self.stats
+                .energy
+                .add(EnergyCategory::PredictorLookup, c.lookups);
+            self.stats
+                .energy
+                .add(EnergyCategory::PredictorTrain, c.trainings);
+        }
+        self.stats.clone()
+    }
+
+    /// Pulls the next access for `core` and schedules its issue, or marks
+    /// the core done.
+    fn advance_core(&mut self, core: usize, at: Cycle) {
+        let c = &mut self.cores[core];
+        if c.issued >= c.limit {
+            if !c.done {
+                c.done = true;
+                self.active_cores -= 1;
+            }
+            return;
+        }
+        match c.stream.next_access() {
+            Some(access) => {
+                c.issued += 1;
+                self.sched.schedule_at(
+                    at + access.think,
+                    Event::CoreIssue {
+                        core,
+                        access,
+                        replay: false,
+                    },
+                );
+            }
+            None => {
+                c.done = true;
+                self.active_cores -= 1;
+            }
+        }
+    }
+
+    fn dispatch(&mut self, now: Cycle, ev: Event) {
+        match ev {
+            Event::CoreIssue {
+                core,
+                access,
+                replay,
+            } => self.on_core_issue(core, access, replay, now),
+            Event::RingArrive { msg, node } => self.on_ring_arrive(msg, node, now),
+            Event::SnoopDone { txn, node } => self.on_snoop_done(txn, node, now),
+            Event::WriteSnoopDone { txn, node } => self.on_write_snoop_done(txn, node, now),
+            Event::DataArrive { txn } => self.on_data_arrive(txn, now),
+            Event::MemData { txn } => self.on_mem_data(txn, now),
+        }
+    }
+
+    // ----- core-side handling ----------------------------------------------
+
+    fn on_core_issue(&mut self, core: usize, access: MemAccess, replay: bool, now: Cycle) {
+        if access.write {
+            self.handle_write(core, access, replay, now);
+        } else {
+            self.handle_read(core, access, replay, now);
+        }
+    }
+
+    /// Returns a load-queue slot after a read completes (or a replayed
+    /// read turns out to hit locally), unstalling the core if it was
+    /// waiting for one.
+    fn release_read_slot(&mut self, core: usize, at: Cycle) {
+        let c = &mut self.cores[core];
+        c.outstanding_reads = c.outstanding_reads.saturating_sub(1);
+        if c.stalled {
+            c.stalled = false;
+            self.advance_core(core, at);
+        }
+    }
+
+    fn handle_read(&mut self, core: usize, access: MemAccess, replay: bool, now: Cycle) {
+        use flexsnoop_mem::cmp::LocalLookup;
+        let node = self.cmp_of(core);
+        let local = self.local_idx(core);
+        let line = access.line;
+        // A replayed read already holds a load-queue slot; if it now hits
+        // locally it completes here, so the slot is released (which also
+        // resumes the core). Fresh hits just advance the core.
+        let finish = |sim: &mut Self, at: Cycle| {
+            if replay {
+                sim.release_read_slot(core, at);
+            } else {
+                sim.advance_core(core, at);
+            }
+        };
+        match self.cmps[node.0].local_lookup(local, line) {
+            LocalLookup::OwnL1(_) => {
+                self.stats.l1_hits += 1;
+                finish(self, now + self.cfg.timing.l1_rt);
+            }
+            LocalLookup::OwnL2(_) => {
+                self.stats.l2_hits += 1;
+                finish(self, now + self.cfg.timing.l2_rt);
+            }
+            LocalLookup::Peer { peer, state } => {
+                self.stats.local_peer_hits += 1;
+                // Peer supplies within the CMP over the shared intra-CMP
+                // bus, which ring snoops also arbitrate for.
+                let grant = self.snoop_ports[node.0]
+                    .acquire(now, self.cfg.timing.snoop_occupancy);
+                self.transition(node, peer, line, state.after_local_supply());
+                self.fill_line(node, local, line, CoherState::S);
+                finish(self, grant.start + self.cfg.timing.cmp_bus_rt);
+            }
+            LocalLookup::Miss => {
+                self.start_txn(core, access, TxnOp::Read, WriteData::Remote, replay, now)
+            }
+        }
+    }
+
+    fn handle_write(&mut self, core: usize, access: MemAccess, replay: bool, now: Cycle) {
+        use flexsnoop_mem::cmp::LocalLookup;
+        let node = self.cmp_of(core);
+        let local = self.local_idx(core);
+        let line = access.line;
+        match self.cmps[node.0].local_lookup(local, line) {
+            LocalLookup::OwnL1(st) | LocalLookup::OwnL2(st) if st.writable_silently() => {
+                self.stats.silent_write_hits += 1;
+                if st != CoherState::D {
+                    self.transition(node, local, line, CoherState::D);
+                }
+                if !replay {
+                    let rt = if matches!(
+                        self.cmps[node.0].local_lookup(local, line),
+                        LocalLookup::OwnL1(_)
+                    ) {
+                        self.cfg.timing.l1_rt
+                    } else {
+                        self.cfg.timing.l2_rt
+                    };
+                    self.advance_core(core, now + rt);
+                }
+            }
+            LocalLookup::OwnL1(_) | LocalLookup::OwnL2(_) | LocalLookup::Peer { .. } => {
+                // Upgrade (own shared copy) or local data available (peer):
+                // the ring transaction only needs to invalidate remote copies.
+                self.start_txn(core, access, TxnOp::Write, WriteData::Local, replay, now);
+            }
+            LocalLookup::Miss => {
+                self.start_txn(core, access, TxnOp::Write, WriteData::Remote, replay, now)
+            }
+        }
+    }
+
+    /// Starts a ring transaction, or queues the access if the line already
+    /// has one in flight (collision serialization).
+    fn start_txn(
+        &mut self,
+        core: usize,
+        access: MemAccess,
+        op: TxnOp,
+        write_data: WriteData,
+        replay: bool,
+        now: Cycle,
+    ) {
+        let line = access.line;
+        let blocking = op == TxnOp::Read;
+        if !blocking && !replay {
+            // Stores retire into a store buffer; the core moves on while the
+            // invalidation circulates (per-line ordering is still enforced
+            // by the line-busy serialization below).
+            self.advance_core(core, now + self.cfg.timing.l2_rt);
+        }
+        if blocking && !replay {
+            // Reads occupy a load-queue slot; the core keeps issuing until
+            // the outstanding-read limit is reached (MLP model).
+            let limit = self.cfg.policy.max_outstanding_reads;
+            let c = &mut self.cores[core];
+            c.outstanding_reads += 1;
+            if c.outstanding_reads < limit {
+                self.advance_core(core, now + self.cfg.timing.l2_rt);
+            } else {
+                self.cores[core].stalled = true;
+            }
+        }
+        let (readers, writers) = self.line_busy.get(&line).copied().unwrap_or((0, 0));
+        let conflict = match op {
+            TxnOp::Read => writers > 0,
+            TxnOp::Write => readers > 0 || writers > 0,
+        };
+        if conflict {
+            self.stats.collisions += 1;
+            self.line_waiters
+                .entry(line)
+                .or_default()
+                .push_back((core, access));
+            return;
+        }
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let requester = self.cmp_of(core);
+        match op {
+            TxnOp::Read => self.stats.read_txns += 1,
+            TxnOp::Write => self.stats.write_txns += 1,
+        }
+        let slot = self.line_busy.entry(line).or_insert((0, 0));
+        match op {
+            TxnOp::Read => slot.0 += 1,
+            TxnOp::Write => slot.1 += 1,
+        }
+        self.timeline
+            .record(id, now, TxnEvent::Issued { node: requester });
+        self.txns.insert(
+            id,
+            Txn {
+                line,
+                op,
+                requester,
+                core,
+                issue: now,
+                node_states: vec![NodeState::Untouched; self.cfg.nodes],
+                data_arrived: None,
+                reply_info: None,
+                prefetch_ready: None,
+                write_data,
+                data_sent: false,
+                resumed: false,
+                blocking,
+                fill_state: CoherState::Sg,
+            },
+        );
+        let msg = RingMsg {
+            txn: id,
+            line,
+            op,
+            requester,
+            kind: MsgKind::Combined(ReplyInfo::start()),
+        };
+        self.send_ring(msg, requester, now + self.cfg.timing.gateway_latency, op);
+    }
+
+    // ----- ring transport ----------------------------------------------------
+
+    /// Sends `msg` over the ring link leaving `from` at `leave`, charging
+    /// energy and counting the hop.
+    fn send_ring(&mut self, msg: RingMsg, from: CmpId, leave: Cycle, op: TxnOp) {
+        self.timeline.record(
+            msg.txn,
+            leave,
+            TxnEvent::Forwarded {
+                node: from,
+                kind: kind_label(&msg.kind),
+            },
+        );
+        let ring_id = self.ring.ring_for(msg.line);
+        let arrival = self.ring.send_hop(ring_id, from, leave);
+        match op {
+            TxnOp::Read => self.stats.read_ring_hops += 1,
+            TxnOp::Write => self.stats.write_ring_hops += 1,
+        }
+        self.stats.energy.add(EnergyCategory::RingLink, 1);
+        let node = self.ring.next_node(from);
+        self.sched.schedule_at(arrival, Event::RingArrive { msg, node });
+    }
+
+    fn on_ring_arrive(&mut self, msg: RingMsg, node: CmpId, now: Cycle) {
+        self.timeline.record(
+            msg.txn,
+            now,
+            TxnEvent::Arrived {
+                node,
+                kind: kind_label(&msg.kind),
+            },
+        );
+        if node == msg.requester {
+            self.on_ring_return(msg, now);
+            return;
+        }
+        // Home-node prefetch: the gateway sees every passing read message.
+        if self.cfg.memory.home_prefetch && msg.op == TxnOp::Read {
+            let home = CmpId(msg.line.home_node(self.cfg.nodes));
+            if node == home {
+                if let Some(txn) = self.txns.get(&msg.txn) {
+                    if txn.prefetch_ready.is_none() {
+                        let grant = self.mem_ports[home.0].acquire(now, self.cfg.memory.occupancy);
+                        let ready = grant.start
+                            + self.cfg.memory.dram_latency
+                            + self.cfg.memory.controller_overhead;
+                        if let Some(txn) = self.txns.get_mut(&msg.txn) {
+                            txn.prefetch_ready = Some(ready);
+                        }
+                        self.timeline.record(
+                            msg.txn,
+                            now,
+                            TxnEvent::MemoryStarted {
+                                home,
+                                prefetch: true,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        match msg.op {
+            TxnOp::Read => self.on_read_arrive(msg, node, now),
+            TxnOp::Write => self.on_write_arrive(msg, node, now),
+        }
+    }
+
+    // ----- read transactions at intermediate nodes ---------------------------
+
+    fn on_read_arrive(&mut self, msg: RingMsg, node: CmpId, now: Cycle) {
+        match msg.kind {
+            MsgKind::Reply(info) => self.on_trailing_reply(msg, node, info, now),
+            MsgKind::Combined(info) if info.found => {
+                // A positive combined R/R is a reply in transit: forward
+                // without snooping (paper §2.2).
+                self.set_node_state(msg.txn, node, NodeState::Finished);
+                self.send_ring(
+                    msg,
+                    node,
+                    now + self.cfg.timing.gateway_latency,
+                    TxnOp::Read,
+                );
+            }
+            MsgKind::Request | MsgKind::Combined(_) => {
+                self.on_open_request(msg, node, now);
+            }
+        }
+    }
+
+    /// An open (outcome-unknown) read request-carrier arrives: consult the
+    /// predictor, pick the primitive, and execute it.
+    fn on_open_request(&mut self, msg: RingMsg, node: CmpId, now: Cycle) {
+        let line = msg.line;
+        let acc = match msg.kind {
+            MsgKind::Combined(info) => Some(info),
+            _ => None,
+        };
+        let mut proc = self.cfg.timing.gateway_latency;
+        let action = if self.alg.uses_predictor() {
+            proc += self.cfg.timing.predictor_latency;
+            let predicted = self.predictors[node.0].predict(line);
+            let actual = self.cmps[node.0].supplier_of(line).is_some();
+            self.stats.accuracy.record(predicted, actual);
+            self.timeline.record(
+                msg.txn,
+                now,
+                TxnEvent::Predicted {
+                    node,
+                    positive: predicted,
+                },
+            );
+            let over_budget = self.energy_over_budget(now);
+            self.alg.action(predicted, over_budget)
+        } else {
+            self.alg.action(false, false)
+        };
+        match action {
+            SnoopAction::Forward => {
+                match acc {
+                    Some(mut info) => {
+                        info.mark_filtered();
+                        self.set_node_state(msg.txn, node, NodeState::Finished);
+                        let out = RingMsg {
+                            kind: MsgKind::Combined(info),
+                            ..msg
+                        };
+                        self.send_ring(out, node, now + proc, TxnOp::Read);
+                    }
+                    None => {
+                        // Split request: pass it on; the trailing reply will
+                        // be marked as filtered when it comes through.
+                        self.set_node_state(msg.txn, node, NodeState::PassThrough);
+                        let out = RingMsg {
+                            kind: MsgKind::Request,
+                            ..msg
+                        };
+                        self.send_ring(out, node, now + proc, TxnOp::Read);
+                    }
+                }
+            }
+            SnoopAction::ForwardThenSnoop => {
+                let out = RingMsg {
+                    kind: MsgKind::Request,
+                    ..msg
+                };
+                self.send_ring(out, node, now + proc, TxnOp::Read);
+                self.begin_snoop(msg.txn, node, now + proc, false, acc);
+            }
+            SnoopAction::SnoopThenForward => {
+                self.begin_snoop(msg.txn, node, now + proc, true, acc);
+            }
+        }
+    }
+
+    fn begin_snoop(
+        &mut self,
+        txn: TxnId,
+        node: CmpId,
+        start: Cycle,
+        combine_out: bool,
+        acc: Option<ReplyInfo>,
+    ) {
+        self.set_node_state(
+            txn,
+            node,
+            NodeState::Snooping {
+                acc,
+                combine_out,
+                buffered: None,
+            },
+        );
+        self.timeline
+            .record(txn, start, TxnEvent::SnoopStarted { node });
+        let grant = self.snoop_ports[node.0].acquire(start, self.cfg.timing.snoop_occupancy);
+        self.sched
+            .schedule_at(grant.start + self.cfg.timing.snoop_time, Event::SnoopDone { txn, node });
+    }
+
+    fn on_snoop_done(&mut self, txn_id: TxnId, node: CmpId, now: Cycle) {
+        self.stats.read_snoops += 1;
+        self.stats.energy.add(EnergyCategory::Snoop, 1);
+        let Some(txn) = self.txns.get(&txn_id) else {
+            return; // transaction already retired (stale snoop)
+        };
+        let line = txn.line;
+        let requester = txn.requester;
+        let state = txn.node_states[node.0];
+        let result = self.cmps[node.0].snoop(line);
+        if self.alg.uses_predictor() {
+            self.predictors[node.0].feedback(line, result.supplier.is_some());
+        }
+        let NodeState::Snooping {
+            acc,
+            combine_out,
+            buffered,
+        } = state
+        else {
+            // A positive trailing reply was already forwarded mid-snoop;
+            // nothing remains to do (the snoop energy is already counted).
+            debug_assert_eq!(state, NodeState::Finished);
+            debug_assert!(result.supplier.is_none());
+            return;
+        };
+        self.timeline.record(
+            txn_id,
+            now,
+            TxnEvent::SnoopFinished {
+                node,
+                supplier: result.supplier.is_some(),
+            },
+        );
+        if let Some((supplier_core, st)) = result.supplier {
+            // Supply the line: data via the torus, positive outcome on the
+            // ring.
+            self.transition(node, supplier_core, line, st.after_remote_supply());
+            self.stats.reads_cache_supplied += 1;
+            self.timeline
+                .record(txn_id, now, TxnEvent::DataSent { node });
+            let data_at = self.torus.send(node, requester, now);
+            self.sched
+                .schedule_at(data_at, Event::DataArrive { txn: txn_id });
+            let mut info = acc.unwrap_or_else(ReplyInfo::start);
+            info.merge_snoop(true, true);
+            self.finish_node(txn_id, node, info, combine_out, now);
+        } else {
+            let any_copy = result.any_copy;
+            match acc {
+                Some(mut info) => {
+                    info.merge_snoop(false, any_copy);
+                    self.finish_node(txn_id, node, info, combine_out, now);
+                }
+                None => match buffered {
+                    Some(mut info) => {
+                        info.merge_snoop(false, any_copy);
+                        self.finish_node(txn_id, node, info, combine_out, now);
+                    }
+                    None => {
+                        self.set_node_state(
+                            txn_id,
+                            node,
+                            NodeState::AwaitReply {
+                                combine_out,
+                                any_copy,
+                            },
+                        );
+                    }
+                },
+            }
+        }
+    }
+
+    /// Emits this node's outgoing message for a read transaction and marks
+    /// the node finished.
+    fn finish_node(
+        &mut self,
+        txn_id: TxnId,
+        node: CmpId,
+        info: ReplyInfo,
+        combine_out: bool,
+        now: Cycle,
+    ) {
+        self.set_node_state(txn_id, node, NodeState::Finished);
+        let Some(txn) = self.txns.get(&txn_id) else {
+            return;
+        };
+        let kind = if combine_out {
+            MsgKind::Combined(info)
+        } else {
+            MsgKind::Reply(info)
+        };
+        let msg = RingMsg {
+            txn: txn_id,
+            line: txn.line,
+            op: txn.op,
+            requester: txn.requester,
+            kind,
+        };
+        self.send_ring(
+            msg,
+            node,
+            now + self.cfg.timing.gateway_latency,
+            TxnOp::Read,
+        );
+    }
+
+    /// A trailing reply arrives at an intermediate node.
+    fn on_trailing_reply(&mut self, msg: RingMsg, node: CmpId, info: ReplyInfo, now: Cycle) {
+        let state = match self.txns.get(&msg.txn) {
+            Some(t) => t.node_states[node.0],
+            None => return,
+        };
+        match state {
+            NodeState::PassThrough => {
+                let mut info = info;
+                info.mark_filtered();
+                let out = RingMsg {
+                    kind: MsgKind::Reply(info),
+                    ..msg
+                };
+                self.send_ring(out, node, now + self.cfg.timing.gateway_latency, TxnOp::Read);
+            }
+            NodeState::Snooping {
+                acc, combine_out, ..
+            } => {
+                debug_assert!(acc.is_none(), "combined arrival cannot trail a reply");
+                if info.found {
+                    // A supplier upstream: our pending snoop cannot also be
+                    // the supplier, so forward the good news immediately.
+                    self.finish_node(msg.txn, node, info, combine_out, now);
+                } else {
+                    self.set_node_state(
+                        msg.txn,
+                        node,
+                        NodeState::Snooping {
+                            acc,
+                            combine_out,
+                            buffered: Some(info),
+                        },
+                    );
+                }
+            }
+            NodeState::AwaitReply {
+                combine_out,
+                any_copy,
+            } => {
+                let mut info = info;
+                info.merge_snoop(false, any_copy);
+                self.finish_node(msg.txn, node, info, combine_out, now);
+            }
+            NodeState::Finished => { /* stale information: discard */ }
+            NodeState::Untouched => {
+                unreachable!("reply overtook its request at {node} for {}", msg.txn)
+            }
+        }
+    }
+
+    // ----- write transactions at intermediate nodes ---------------------------
+
+    fn on_write_arrive(&mut self, msg: RingMsg, node: CmpId, now: Cycle) {
+        match msg.kind {
+            MsgKind::Reply(info) => self.on_write_trailing_reply(msg, node, info, now),
+            MsgKind::Request | MsgKind::Combined(_) => {
+                let acc = msg.kind.info();
+                let mut proc = self.cfg.timing.gateway_latency;
+                // §5.3 extension: with a presence filter, a node that
+                // provably holds no copy forwards the invalidation without
+                // snooping (it cannot hold data to invalidate or supply).
+                if self.cfg.policy.write_filtering {
+                    proc += self.cfg.timing.predictor_latency;
+                    self.stats.energy.add(EnergyCategory::PredictorLookup, 1);
+                    if !self.presence[node.0].may_contain(msg.line) {
+                        debug_assert!(!self.cmps[node.0].has_copy(msg.line));
+                        self.write_snoops_filtered += 1;
+                        match acc {
+                            Some(info) => {
+                                let out = RingMsg {
+                                    kind: MsgKind::Combined(info),
+                                    ..msg
+                                };
+                                self.set_node_state(msg.txn, node, NodeState::Finished);
+                                self.send_ring(out, node, now + proc, TxnOp::Write);
+                            }
+                            None => {
+                                self.set_node_state(msg.txn, node, NodeState::PassThrough);
+                                let out = RingMsg {
+                                    kind: MsgKind::Request,
+                                    ..msg
+                                };
+                                self.send_ring(out, node, now + proc, TxnOp::Write);
+                            }
+                        }
+                        return;
+                    }
+                }
+                // Writes otherwise snoop (invalidate) at every node; the
+                // only choice is whether the message is decoupled (§5.3).
+                if self.alg.decouples_writes() {
+                    let out = RingMsg {
+                        kind: MsgKind::Request,
+                        ..msg
+                    };
+                    self.send_ring(out, node, now + proc, TxnOp::Write);
+                    self.begin_write_snoop(msg.txn, node, now + proc, false, acc);
+                } else {
+                    self.begin_write_snoop(msg.txn, node, now + proc, true, acc);
+                }
+            }
+        }
+    }
+
+    fn begin_write_snoop(
+        &mut self,
+        txn: TxnId,
+        node: CmpId,
+        start: Cycle,
+        combine_out: bool,
+        acc: Option<ReplyInfo>,
+    ) {
+        self.set_node_state(
+            txn,
+            node,
+            NodeState::Snooping {
+                acc,
+                combine_out,
+                buffered: None,
+            },
+        );
+        self.timeline
+            .record(txn, start, TxnEvent::SnoopStarted { node });
+        let grant = self.snoop_ports[node.0].acquire(start, self.cfg.timing.snoop_occupancy);
+        self.sched.schedule_at(
+            grant.start + self.cfg.timing.snoop_time,
+            Event::WriteSnoopDone { txn, node },
+        );
+    }
+
+    fn on_write_snoop_done(&mut self, txn_id: TxnId, node: CmpId, now: Cycle) {
+        self.stats.write_snoops += 1;
+        self.stats.energy.add(EnergyCategory::Snoop, 1);
+        let Some(txn) = self.txns.get(&txn_id) else {
+            return;
+        };
+        let line = txn.line;
+        let requester = txn.requester;
+        let needs_data = txn.write_data == WriteData::Remote && !txn.data_sent;
+        let state = txn.node_states[node.0];
+        // Invalidate every copy in this CMP; a supplier-state copy donates
+        // the data if the writer still needs it.
+        let dropped = self.invalidate_cmp(node, line);
+        let had_supplier = dropped.iter().any(|s| s.is_supplier());
+        self.timeline.record(
+            txn_id,
+            now,
+            TxnEvent::SnoopFinished {
+                node,
+                supplier: had_supplier,
+            },
+        );
+        let mut sent_data = false;
+        if needs_data && had_supplier {
+            let data_at = self.torus.send(node, requester, now);
+            self.sched
+                .schedule_at(data_at, Event::DataArrive { txn: txn_id });
+            if let Some(txn) = self.txns.get_mut(&txn_id) {
+                txn.data_sent = true;
+            }
+            sent_data = true;
+        }
+        let NodeState::Snooping {
+            acc,
+            combine_out,
+            buffered,
+        } = state
+        else {
+            debug_assert_eq!(state, NodeState::Finished);
+            return;
+        };
+        let any_copy = !dropped.is_empty();
+        let mut info = match (acc, buffered) {
+            (Some(i), _) => i,
+            (None, Some(i)) => i,
+            (None, None) => {
+                // Split write: the trailing reply has not arrived yet.
+                self.set_node_state(
+                    txn_id,
+                    node,
+                    NodeState::AwaitReply {
+                        combine_out,
+                        any_copy: sent_data, // reused as "found" marker below
+                    },
+                );
+                return;
+            }
+        };
+        info.merge_snoop(sent_data, any_copy);
+        self.finish_write_node(txn_id, node, info, combine_out, now);
+    }
+
+    fn finish_write_node(
+        &mut self,
+        txn_id: TxnId,
+        node: CmpId,
+        info: ReplyInfo,
+        combine_out: bool,
+        now: Cycle,
+    ) {
+        self.set_node_state(txn_id, node, NodeState::Finished);
+        let Some(txn) = self.txns.get(&txn_id) else {
+            return;
+        };
+        let kind = if combine_out {
+            MsgKind::Combined(info)
+        } else {
+            MsgKind::Reply(info)
+        };
+        let msg = RingMsg {
+            txn: txn_id,
+            line: txn.line,
+            op: TxnOp::Write,
+            requester: txn.requester,
+            kind,
+        };
+        self.send_ring(
+            msg,
+            node,
+            now + self.cfg.timing.gateway_latency,
+            TxnOp::Write,
+        );
+    }
+
+    fn on_write_trailing_reply(&mut self, msg: RingMsg, node: CmpId, info: ReplyInfo, now: Cycle) {
+        let state = match self.txns.get(&msg.txn) {
+            Some(t) => t.node_states[node.0],
+            None => return,
+        };
+        match state {
+            NodeState::Snooping {
+                acc, combine_out, ..
+            } => {
+                // The invalidation ack cannot be skipped: buffer until the
+                // local snoop completes.
+                self.set_node_state(
+                    msg.txn,
+                    node,
+                    NodeState::Snooping {
+                        acc,
+                        combine_out,
+                        buffered: Some(info),
+                    },
+                );
+            }
+            NodeState::AwaitReply {
+                combine_out,
+                any_copy: sent_data,
+            } => {
+                let mut info = info;
+                info.found |= sent_data;
+                self.finish_write_node(msg.txn, node, info, combine_out, now);
+            }
+            NodeState::Finished => {}
+            NodeState::PassThrough => {
+                // This node filtered the write (presence says no copy);
+                // pass the trailing reply through untouched.
+                let out = RingMsg {
+                    kind: MsgKind::Reply(info),
+                    ..msg
+                };
+                self.send_ring(out, node, now + self.cfg.timing.gateway_latency, TxnOp::Write);
+            }
+            NodeState::Untouched => {
+                unreachable!("write reply overtook its request at {node}")
+            }
+        }
+    }
+
+    // ----- messages returning to the requester --------------------------------
+
+    fn on_ring_return(&mut self, msg: RingMsg, now: Cycle) {
+        let info = match msg.kind {
+            MsgKind::Request => return, // wait for the trailing reply
+            MsgKind::Reply(i) | MsgKind::Combined(i) => i,
+        };
+        let Some(txn) = self.txns.get_mut(&msg.txn) else {
+            return;
+        };
+        txn.reply_info = Some(info);
+        match msg.op {
+            TxnOp::Read => self.on_read_reply_returned(msg.txn, info, now),
+            TxnOp::Write => self.on_write_reply_returned(msg.txn, info, now),
+        }
+    }
+
+    fn on_read_reply_returned(&mut self, txn_id: TxnId, info: ReplyInfo, now: Cycle) {
+        if info.found {
+            // Data is on its way (or already arrived and resumed the core).
+            self.try_retire(txn_id, now);
+            return;
+        }
+        // Negative response: fetch from memory (paper §2.2).
+        self.stats.reads_from_memory += 1;
+        let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+        txn.fill_state = if self.cfg.policy.exclusive_fill && info.proves_exclusive() {
+            CoherState::E
+        } else {
+            CoherState::Sg
+        };
+        let line = txn.line;
+        let requester = txn.requester;
+        let home = CmpId(line.home_node(self.cfg.nodes));
+        let prefetch = txn.prefetch_ready;
+        // Figure 9 scope: ordinary memory reads are program traffic, not
+        // snoop energy; only re-reads caused by Exact's downgrades count.
+        if self.downgraded.remove(&line) {
+            self.stats.downgrade_rereads += 1;
+            self.stats.energy.add(EnergyCategory::MemRead, 1);
+        }
+        let data_at = match prefetch {
+            Some(ready) => {
+                // The home node anticipated this read; data leaves as soon
+                // as both the DRAM access and the decision are available.
+                let leave = now.max(ready);
+                self.torus.send(home, requester, leave)
+            }
+            None => {
+                let at_home = self.torus.send(requester, home, now);
+                self.timeline.record(
+                    txn_id,
+                    at_home,
+                    TxnEvent::MemoryStarted {
+                        home,
+                        prefetch: false,
+                    },
+                );
+                let grant = self.mem_ports[home.0].acquire(at_home, self.cfg.memory.occupancy);
+                let done = grant.start
+                    + self.cfg.memory.dram_latency
+                    + self.cfg.memory.controller_overhead;
+                self.torus.send(home, requester, done)
+            }
+        };
+        self.sched.schedule_at(data_at, Event::MemData { txn: txn_id });
+    }
+
+    fn on_write_reply_returned(&mut self, txn_id: TxnId, info: ReplyInfo, now: Cycle) {
+        let txn = self.txns.get(&txn_id).expect("txn exists");
+        let node = txn.requester;
+        let core = txn.core;
+        let line = txn.line;
+        let local = self.local_idx(core);
+        let write_data = txn.write_data;
+        let data_arrived = txn.data_arrived;
+        match write_data {
+            WriteData::Local => {
+                // Upgrade or local copy: all remote copies are now invalid;
+                // clear other local copies and own the line dirty.
+                self.complete_write_fill(node, local, line);
+                self.resume_core(txn_id, now);
+                self.try_retire(txn_id, now);
+            }
+            WriteData::Remote => {
+                if info.found {
+                    // A remote cache donated the data.
+                    if data_arrived.is_some() {
+                        self.complete_write_fill(node, local, line);
+                        self.resume_core(txn_id, now);
+                        self.try_retire(txn_id, now);
+                    }
+                    // else: DataArrive will complete the write.
+                } else {
+                    // Write-allocate from memory.
+                    let home = CmpId(line.home_node(self.cfg.nodes));
+                    let prefetch = self.txns.get(&txn_id).and_then(|t| t.prefetch_ready);
+                    if self.downgraded.remove(&line) {
+                        self.stats.downgrade_rereads += 1;
+                        self.stats.energy.add(EnergyCategory::MemRead, 1);
+                    }
+                    let data_at = match prefetch {
+                        Some(ready) => self.torus.send(home, node, now.max(ready)),
+                        None => {
+                            let at_home = self.torus.send(node, home, now);
+                            let grant =
+                                self.mem_ports[home.0].acquire(at_home, self.cfg.memory.occupancy);
+                            let done = grant.start
+                                + self.cfg.memory.dram_latency
+                                + self.cfg.memory.controller_overhead;
+                            self.torus.send(home, node, done)
+                        }
+                    };
+                    self.sched.schedule_at(data_at, Event::MemData { txn: txn_id });
+                }
+            }
+        }
+    }
+
+    /// Installs the written line dirty in the writer's L2, clearing any
+    /// other copy in the writer's CMP.
+    fn complete_write_fill(&mut self, node: CmpId, local: usize, line: LineAddr) {
+        // Clear every local copy (including a stale own copy), then own it.
+        self.invalidate_cmp(node, line);
+        self.fill_line(node, local, line, CoherState::D);
+    }
+
+    fn on_data_arrive(&mut self, txn_id: TxnId, now: Cycle) {
+        let Some(txn) = self.txns.get_mut(&txn_id) else {
+            return;
+        };
+        txn.data_arrived = Some(now);
+        self.timeline.record(txn_id, now, TxnEvent::DataArrived);
+        let op = txn.op;
+        let node = txn.requester;
+        let core = txn.core;
+        let line = txn.line;
+        let reply_returned = txn.reply_info.is_some();
+        let local = self.local_idx(core);
+        match op {
+            TxnOp::Read => {
+                // The paper: the processor may use cache-supplied data as
+                // soon as it arrives (§2.2). The requester becomes the
+                // CMP's Local Master — unless a concurrent read by a peer
+                // in the same CMP already brought the line in (read–read
+                // concurrency), in which case this copy is plain S (only
+                // one SL per CMP; Figure 2b).
+                let state = if self.cmps[node.0].has_copy(line) {
+                    CoherState::S
+                } else {
+                    CoherState::Sl
+                };
+                self.fill_line(node, local, line, state);
+                self.resume_core(txn_id, now);
+                self.try_retire(txn_id, now);
+            }
+            TxnOp::Write => {
+                if reply_returned {
+                    self.complete_write_fill(node, local, line);
+                    self.resume_core(txn_id, now);
+                    self.try_retire(txn_id, now);
+                }
+                // else: completion happens when the reply returns.
+            }
+        }
+    }
+
+    fn on_mem_data(&mut self, txn_id: TxnId, now: Cycle) {
+        let Some(txn) = self.txns.get(&txn_id) else {
+            return;
+        };
+        let node = txn.requester;
+        let core = txn.core;
+        let line = txn.line;
+        let local = self.local_idx(core);
+        match txn.op {
+            TxnOp::Read => {
+                match self.memory_fill_state(node, line, txn.fill_state) {
+                    Some(fill) => self.fill_line(node, local, line, fill),
+                    None => {
+                        // A dirty or exclusive copy appeared while this read
+                        // was in flight (a concurrent transaction won the
+                        // race): the memory data is unusable. This is the
+                        // collision-squash case — retire the transaction
+                        // and retry the read, which will now find the
+                        // supplier.
+                        self.stats.collisions += 1;
+                        if let Some(t) = self.txns.get_mut(&txn_id) {
+                            t.resumed = true; // the retry resumes the core
+                        }
+                        self.try_retire(txn_id, now);
+                        // `replay: true`: the original issue already took
+                        // the load-queue slot; the retry must not recount.
+                        self.sched.schedule_at(
+                            now + Cycles(1),
+                            Event::CoreIssue {
+                                core,
+                                access: MemAccess::read(line, Cycles::ZERO),
+                                replay: true,
+                            },
+                        );
+                        return;
+                    }
+                }
+            }
+            TxnOp::Write => {
+                self.complete_write_fill(node, local, line);
+            }
+        }
+        self.resume_core(txn_id, now);
+        self.try_retire(txn_id, now);
+    }
+
+    /// Decides the install state for a memory fill at `node`, accounting
+    /// for copies created by transactions that raced with this one.
+    ///
+    /// Returns `None` if a dirty or exclusive copy exists (memory data is
+    /// stale or the fill would violate exclusivity): the read must retry.
+    fn memory_fill_state(
+        &self,
+        node: CmpId,
+        line: LineAddr,
+        proven: CoherState,
+    ) -> Option<CoherState> {
+        let mut any_copy = false;
+        let mut local_copy = false;
+        for (n, cmp) in self.cmps.iter().enumerate() {
+            for c in 0..cmp.cores() {
+                let st = cmp.l2(c).state_of(line);
+                if !st.is_valid() {
+                    continue;
+                }
+                if matches!(st, CoherState::E | CoherState::D | CoherState::T) {
+                    return None;
+                }
+                any_copy = true;
+                if n == node.0 {
+                    local_copy = true;
+                }
+                // A racing SL in this CMP also forbids another local master.
+            }
+        }
+        Some(if !any_copy {
+            proven // SG, or E when the ring proved exclusivity
+        } else if local_copy {
+            CoherState::S
+        } else {
+            CoherState::Sl
+        })
+    }
+
+    /// Resumes the requesting core (once) and records the latency.
+    fn resume_core(&mut self, txn_id: TxnId, now: Cycle) {
+        let Some(txn) = self.txns.get_mut(&txn_id) else {
+            return;
+        };
+        if txn.resumed {
+            return;
+        }
+        txn.resumed = true;
+        let core = txn.core;
+        let issued_at = txn.issue;
+        let blocking = txn.blocking;
+        if txn.op == TxnOp::Read {
+            self.stats.read_latency.record((now - issued_at).as_u64());
+        }
+        self.timeline.record(txn_id, now, TxnEvent::Completed);
+        if blocking {
+            self.release_read_slot(core, now);
+        }
+    }
+
+    /// Retires the transaction once the ring reply has returned and the
+    /// core has been resumed; releases the line and wakes collided waiters.
+    fn try_retire(&mut self, txn_id: TxnId, now: Cycle) {
+        let Some(txn) = self.txns.get(&txn_id) else {
+            return;
+        };
+        if txn.reply_info.is_none() || !txn.resumed {
+            return;
+        }
+        let line = txn.line;
+        let op = txn.op;
+        self.timeline.record(txn_id, now, TxnEvent::Retired);
+        self.txns.remove(&txn_id);
+        if let Some(slot) = self.line_busy.get_mut(&line) {
+            match op {
+                TxnOp::Read => slot.0 = slot.0.saturating_sub(1),
+                TxnOp::Write => slot.1 = slot.1.saturating_sub(1),
+            }
+            if *slot == (0, 0) {
+                self.line_busy.remove(&line);
+            }
+        }
+        // Wake every waiter; each replays its access and re-checks the
+        // conflict rule (some may immediately re-queue).
+        if let Some(waiters) = self.line_waiters.remove(&line) {
+            for (core, access) in waiters {
+                self.sched.schedule_at(
+                    now + Cycles(1),
+                    Event::CoreIssue {
+                        core,
+                        access,
+                        replay: true,
+                    },
+                );
+            }
+        }
+    }
+
+    fn set_node_state(&mut self, txn: TxnId, node: CmpId, state: NodeState) {
+        if let Some(t) = self.txns.get_mut(&txn) {
+            t.node_states[node.0] = state;
+        }
+    }
+
+    // ----- state mutation with predictor maintenance --------------------------
+
+    /// Fills `line` into a core's L2, handling the victim (write-back,
+    /// predictor) and predictor gain (with Exact downgrades).
+    fn fill_line(&mut self, node: CmpId, local: usize, line: LineAddr, state: CoherState) {
+        if self.cfg.policy.write_filtering {
+            self.presence[node.0].insert(line);
+        }
+        if let Some(victim) = self.cmps[node.0].fill(local, line, state) {
+            if self.cfg.policy.write_filtering {
+                self.presence[node.0].remove(victim.line);
+            }
+            if victim.state.is_supplier() {
+                self.predictor_lost(node, victim.line);
+            }
+            if victim.needs_writeback() {
+                // Ordinary capacity write-backs are program traffic and are
+                // not charged to the snoop-energy account (Figure 9 scope).
+                self.stats.eviction_writebacks += 1;
+                let home = CmpId(victim.line.home_node(self.cfg.nodes));
+                let now = self.sched.now();
+                let _ = self.torus.send(node, home, now);
+            }
+        }
+        if state.is_supplier() {
+            self.predictor_gained(node, line);
+        }
+    }
+
+    /// Changes the state of a resident line, keeping the predictor in sync.
+    fn transition(&mut self, node: CmpId, local: usize, line: LineAddr, new: CoherState) {
+        let old = self.cmps[node.0].l2(local).state_of(line);
+        debug_assert!(old.is_valid(), "transition on invalid line {line}");
+        if old == new {
+            return;
+        }
+        self.cmps[node.0].set_state(local, line, new);
+        match (old.is_supplier(), new.is_supplier()) {
+            (false, true) => self.predictor_gained(node, line),
+            (true, false) => self.predictor_lost(node, line),
+            _ => {}
+        }
+    }
+
+    /// Invalidates every copy of `line` in a CMP, keeping the predictor in
+    /// sync; returns the dropped states.
+    fn invalidate_cmp(&mut self, node: CmpId, line: LineAddr) -> Vec<CoherState> {
+        let dropped = self.cmps[node.0].invalidate_all(line);
+        if self.cfg.policy.write_filtering {
+            for _ in &dropped {
+                self.presence[node.0].remove(line);
+            }
+        }
+        if dropped.iter().any(|s| s.is_supplier()) {
+            self.predictor_lost(node, line);
+        }
+        dropped
+    }
+
+    fn predictor_gained(&mut self, node: CmpId, line: LineAddr) {
+        if let Some(victim) = self.predictors[node.0].supplier_gained(line) {
+            self.perform_downgrade(node, victim);
+        }
+    }
+
+    fn predictor_lost(&mut self, node: CmpId, line: LineAddr) {
+        self.predictors[node.0].supplier_lost(line);
+    }
+
+    /// Executes an Exact-predictor downgrade (paper §4.3.3): the victim
+    /// line leaves its supplier state; dirty victims are written back.
+    ///
+    /// The predictor has already dropped its entry, so the cache state is
+    /// changed directly (not through [`transition`](Self::transition),
+    /// which would double-remove).
+    fn perform_downgrade(&mut self, node: CmpId, line: LineAddr) {
+        let Some((core, st)) = self.cmps[node.0].supplier_of(line) else {
+            return; // raced with an invalidation; nothing to downgrade
+        };
+        let (new, writeback) = st.after_downgrade();
+        self.cmps[node.0].set_state(core, line, new);
+        self.stats.downgrades += 1;
+        self.stats.energy.add(EnergyCategory::Downgrade, 1);
+        self.downgraded.insert(line);
+        if writeback {
+            self.stats.downgrade_writebacks += 1;
+            self.stats.energy.add(EnergyCategory::MemWrite, 1);
+            let home = CmpId(line.home_node(self.cfg.nodes));
+            let now = self.sched.now();
+            let _ = self.torus.send(node, home, now);
+        }
+    }
+
+    // ----- dynamic governor ----------------------------------------------------
+
+    /// Whether the dynamic Superset governor considers the energy budget
+    /// exceeded at `now`.
+    fn energy_over_budget(&self, now: Cycle) -> bool {
+        if let Algorithm::SupersetDyn(DynPolicy::EnergyBudget(nj_per_kcycle)) = self.alg {
+            if now == Cycle::ZERO {
+                return false;
+            }
+            let budget = nj_per_kcycle * now.as_u64() as f64 / 1000.0;
+            self.stats.energy.total_nj() > budget
+        } else {
+            false
+        }
+    }
+}
+
+/// Builds the energy model matching a predictor's structure class.
+pub fn energy_model_for(spec: &PredictorSpec) -> EnergyModel {
+    match spec {
+        PredictorSpec::None | PredictorSpec::Perfect => EnergyModel::paper_baseline(),
+        PredictorSpec::Subset { .. } | PredictorSpec::Exact { .. } => {
+            EnergyModel::with_cache_predictor()
+        }
+        PredictorSpec::Superset { .. } => EnergyModel::with_bloom_predictor(),
+    }
+}

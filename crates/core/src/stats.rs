@@ -1,0 +1,146 @@
+//! Per-run statistics: everything the paper's figures report.
+
+use flexsnoop_engine::Cycle;
+use flexsnoop_metrics::{EnergyAccount, EnergyModel, Histogram};
+use flexsnoop_predictor::AccuracyStats;
+
+/// Statistics collected over one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Ring read snoop transactions issued (completed).
+    pub read_txns: u64,
+    /// Ring write snoop transactions issued (completed).
+    pub write_txns: u64,
+    /// CMP snoop operations performed on behalf of read transactions.
+    pub read_snoops: u64,
+    /// CMP snoop operations performed on behalf of write transactions.
+    pub write_snoops: u64,
+    /// Ring link crossings by read-transaction messages (requests plus
+    /// replies; the Figure 7 quantity).
+    pub read_ring_hops: u64,
+    /// Ring link crossings by write-transaction messages.
+    pub write_ring_hops: u64,
+    /// Read transactions supplied by a remote cache.
+    pub reads_cache_supplied: u64,
+    /// Read transactions satisfied from memory.
+    pub reads_from_memory: u64,
+    /// Accesses satisfied in the requesting core's own L1.
+    pub l1_hits: u64,
+    /// Accesses satisfied in the requesting core's own L2.
+    pub l2_hits: u64,
+    /// Accesses supplied by a peer cache in the same CMP.
+    pub local_peer_hits: u64,
+    /// Write hits that completed silently (line in `E`/`D`).
+    pub silent_write_hits: u64,
+    /// Exact-predictor downgrades performed.
+    pub downgrades: u64,
+    /// Downgrades whose victim was dirty (caused a write-back).
+    pub downgrade_writebacks: u64,
+    /// Memory re-reads of previously downgraded lines.
+    pub downgrade_rereads: u64,
+    /// Same-line transaction collisions serialized (squash-and-retry).
+    pub collisions: u64,
+    /// Cache-eviction write-backs of dirty lines.
+    pub eviction_writebacks: u64,
+    /// Read-transaction latency, issue to data arrival.
+    pub read_latency: Histogram,
+    /// Simulated cycles until every core finished its stream.
+    pub exec_cycles: Cycle,
+    /// Snoop-related energy account.
+    pub energy: EnergyAccount,
+    /// Supplier-predictor accuracy (summed over all nodes).
+    pub accuracy: AccuracyStats,
+}
+
+impl RunStats {
+    /// Creates a zeroed record using `model` for energy accounting.
+    pub fn new(model: EnergyModel) -> Self {
+        RunStats {
+            read_txns: 0,
+            write_txns: 0,
+            read_snoops: 0,
+            write_snoops: 0,
+            read_ring_hops: 0,
+            write_ring_hops: 0,
+            reads_cache_supplied: 0,
+            reads_from_memory: 0,
+            l1_hits: 0,
+            l2_hits: 0,
+            local_peer_hits: 0,
+            silent_write_hits: 0,
+            downgrades: 0,
+            downgrade_writebacks: 0,
+            downgrade_rereads: 0,
+            collisions: 0,
+            eviction_writebacks: 0,
+            read_latency: Histogram::new(),
+            exec_cycles: Cycle::ZERO,
+            energy: EnergyAccount::new(model),
+            accuracy: AccuracyStats::default(),
+        }
+    }
+
+    /// Average CMP snoop operations per read snoop request (Figure 6).
+    pub fn snoops_per_read(&self) -> f64 {
+        if self.read_txns == 0 {
+            0.0
+        } else {
+            self.read_snoops as f64 / self.read_txns as f64
+        }
+    }
+
+    /// Average ring link crossings per read snoop request (Figure 7's raw
+    /// quantity before normalizing to Lazy).
+    pub fn ring_hops_per_read(&self) -> f64 {
+        if self.read_txns == 0 {
+            0.0
+        } else {
+            self.read_ring_hops as f64 / self.read_txns as f64
+        }
+    }
+
+    /// Fraction of ring read transactions a cache supplied.
+    pub fn cache_supply_fraction(&self) -> f64 {
+        if self.read_txns == 0 {
+            0.0
+        } else {
+            self.reads_cache_supplied as f64 / self.read_txns as f64
+        }
+    }
+
+    /// Total snoop-related energy in nanojoules (Figure 9's raw quantity).
+    pub fn energy_nj(&self) -> f64 {
+        self.energy.total_nj()
+    }
+
+    /// Execution time in cycles as a float (Figure 8's raw quantity).
+    pub fn exec_time(&self) -> f64 {
+        self.exec_cycles.as_u64() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_ratios_are_safe() {
+        let s = RunStats::new(EnergyModel::paper_baseline());
+        assert_eq!(s.snoops_per_read(), 0.0);
+        assert_eq!(s.ring_hops_per_read(), 0.0);
+        assert_eq!(s.cache_supply_fraction(), 0.0);
+        assert_eq!(s.energy_nj(), 0.0);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let mut s = RunStats::new(EnergyModel::paper_baseline());
+        s.read_txns = 10;
+        s.read_snoops = 35;
+        s.read_ring_hops = 80;
+        s.reads_cache_supplied = 7;
+        assert!((s.snoops_per_read() - 3.5).abs() < 1e-12);
+        assert!((s.ring_hops_per_read() - 8.0).abs() < 1e-12);
+        assert!((s.cache_supply_fraction() - 0.7).abs() < 1e-12);
+    }
+}

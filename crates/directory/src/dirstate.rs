@@ -1,0 +1,176 @@
+//! The full-map directory state.
+
+use std::collections::HashMap;
+
+use flexsnoop_mem::{CmpId, LineAddr};
+
+/// A directory entry: where a line's copies live.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DirEntry {
+    /// Only memory holds the line.
+    #[default]
+    Uncached,
+    /// Clean copies at these nodes; memory is valid.
+    Shared(Vec<CmpId>),
+    /// One node owns the line dirty; memory is stale.
+    Owned(CmpId),
+}
+
+impl DirEntry {
+    /// Whether `node` holds a copy according to the directory.
+    pub fn includes(&self, node: CmpId) -> bool {
+        match self {
+            DirEntry::Uncached => false,
+            DirEntry::Shared(sharers) => sharers.contains(&node),
+            DirEntry::Owned(owner) => *owner == node,
+        }
+    }
+
+    /// Number of nodes holding a copy.
+    pub fn copies(&self) -> usize {
+        match self {
+            DirEntry::Uncached => 0,
+            DirEntry::Shared(sharers) => sharers.len(),
+            DirEntry::Owned(_) => 1,
+        }
+    }
+}
+
+/// One home node's full-map directory (entries spring into existence on
+/// first touch; absent means `Uncached`).
+#[derive(Debug, Clone, Default)]
+pub struct Directory {
+    entries: HashMap<LineAddr, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The entry for `line` (`Uncached` if never touched).
+    pub fn entry(&self, line: LineAddr) -> &DirEntry {
+        self.entries.get(&line).unwrap_or(&DirEntry::Uncached)
+    }
+
+    /// Records a clean copy at `sharer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is currently `Owned` — the owner must be
+    /// downgraded through [`set`](Self::set) first (protocol bug otherwise).
+    pub fn add_sharer(&mut self, line: LineAddr, sharer: CmpId) {
+        let entry = self.entries.entry(line).or_default();
+        match entry {
+            DirEntry::Uncached => *entry = DirEntry::Shared(vec![sharer]),
+            DirEntry::Shared(sharers) => {
+                if !sharers.contains(&sharer) {
+                    sharers.push(sharer);
+                }
+            }
+            DirEntry::Owned(owner) => {
+                panic!("add_sharer({line}, {sharer}) while owned by {owner}")
+            }
+        }
+    }
+
+    /// Replaces the entry outright.
+    pub fn set(&mut self, line: LineAddr, entry: DirEntry) {
+        if entry == DirEntry::Uncached {
+            self.entries.remove(&line);
+        } else {
+            self.entries.insert(line, entry);
+        }
+    }
+
+    /// Removes `node` from the line's sharer set / ownership (an eviction
+    /// notification). Silently ignores nodes not present.
+    pub fn drop_node(&mut self, line: LineAddr, node: CmpId) {
+        let Some(entry) = self.entries.get_mut(&line) else {
+            return;
+        };
+        match entry {
+            DirEntry::Uncached => {}
+            DirEntry::Shared(sharers) => {
+                sharers.retain(|&s| s != node);
+                if sharers.is_empty() {
+                    self.entries.remove(&line);
+                }
+            }
+            DirEntry::Owned(owner) => {
+                if *owner == node {
+                    self.entries.remove(&line);
+                }
+            }
+        }
+    }
+
+    /// Number of tracked lines (directory storage footprint).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_lines_are_uncached() {
+        let d = Directory::new();
+        assert_eq!(d.entry(LineAddr(5)), &DirEntry::Uncached);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn sharers_accumulate_without_duplicates() {
+        let mut d = Directory::new();
+        d.add_sharer(LineAddr(1), CmpId(2));
+        d.add_sharer(LineAddr(1), CmpId(3));
+        d.add_sharer(LineAddr(1), CmpId(2));
+        assert_eq!(d.entry(LineAddr(1)).copies(), 2);
+        assert!(d.entry(LineAddr(1)).includes(CmpId(3)));
+        assert!(!d.entry(LineAddr(1)).includes(CmpId(4)));
+    }
+
+    #[test]
+    fn ownership_round_trip() {
+        let mut d = Directory::new();
+        d.set(LineAddr(1), DirEntry::Owned(CmpId(7)));
+        assert!(d.entry(LineAddr(1)).includes(CmpId(7)));
+        d.set(LineAddr(1), DirEntry::Shared(vec![CmpId(7), CmpId(1)]));
+        assert_eq!(d.entry(LineAddr(1)).copies(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "while owned")]
+    fn adding_sharer_to_owned_line_panics() {
+        let mut d = Directory::new();
+        d.set(LineAddr(1), DirEntry::Owned(CmpId(0)));
+        d.add_sharer(LineAddr(1), CmpId(1));
+    }
+
+    #[test]
+    fn drop_node_cleans_up() {
+        let mut d = Directory::new();
+        d.add_sharer(LineAddr(1), CmpId(0));
+        d.add_sharer(LineAddr(1), CmpId(1));
+        d.drop_node(LineAddr(1), CmpId(0));
+        assert_eq!(d.entry(LineAddr(1)).copies(), 1);
+        d.drop_node(LineAddr(1), CmpId(1));
+        assert_eq!(d.entry(LineAddr(1)), &DirEntry::Uncached);
+        assert!(d.is_empty());
+
+        d.set(LineAddr(2), DirEntry::Owned(CmpId(3)));
+        d.drop_node(LineAddr(2), CmpId(4)); // not the owner: no-op
+        assert_eq!(d.entry(LineAddr(2)), &DirEntry::Owned(CmpId(3)));
+        d.drop_node(LineAddr(2), CmpId(3));
+        assert_eq!(d.entry(LineAddr(2)), &DirEntry::Uncached);
+    }
+}

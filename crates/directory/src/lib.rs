@@ -1,0 +1,30 @@
+//! Directory-based coherence on the flexsnoop machine substrate.
+//!
+//! The paper's §2.1.2 positions directory protocols as the scalable — but
+//! indirection-laden — alternative to the embedded-ring design: *"all
+//! transactions on a memory line L are directed to the directory at the
+//! home node of that line … directories introduce a time-consuming
+//! indirection in all transactions [and] the directory itself is a
+//! complicated component."* This crate implements that alternative on the
+//! *same* substrate (cores, L1/L2 caches, 2-D torus, DRAM timing) so the
+//! two serialization approaches can be compared head to head:
+//!
+//! * a full-map directory at each line's home node, tracking
+//!   `Uncached / Shared{sharers} / Owned{owner}`;
+//! * 2-hop reads for clean lines (requester → home → requester),
+//!   3-hop reads for dirty lines (… → owner → requester);
+//! * writes that collect invalidations for every sharer through the home;
+//! * per-line serialization at the home node — the directory's version of
+//!   the ring's transaction ordering.
+//!
+//! The same workloads, cache geometries and memory timings as the ring
+//! simulator apply; see `examples/ring_vs_directory.rs` for the
+//! comparison experiment.
+
+pub mod dirstate;
+pub mod sim;
+#[cfg(test)]
+mod sim_tests;
+
+pub use dirstate::{Directory, DirEntry};
+pub use sim::{DirSimulator, DirStats};

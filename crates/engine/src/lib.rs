@@ -1,0 +1,163 @@
+//! Discrete-event simulation substrate for the flexsnoop simulator.
+//!
+//! This crate provides the timing machinery every other flexsnoop crate is
+//! built on:
+//!
+//! * [`Cycle`] / [`Cycles`] — newtypes for absolute simulation time and
+//!   durations, measured in processor clock cycles.
+//! * [`EventQueue`] — a deterministic time-ordered priority queue with FIFO
+//!   tie-breaking for events scheduled at the same cycle.
+//! * [`Scheduler`] — an event queue plus a simulation clock.
+//! * [`Resource`] — a serially-occupied resource (bus, link, memory port)
+//!   used to model contention.
+//! * [`SplitMix64`] — a tiny deterministic RNG for reproducible simulations.
+//!
+//! # Example
+//!
+//! ```
+//! use flexsnoop_engine::{Cycles, Scheduler};
+//!
+//! let mut sched: Scheduler<&str> = Scheduler::new();
+//! sched.schedule_in(Cycles(10), "b");
+//! sched.schedule_in(Cycles(5), "a");
+//! let (t, ev) = sched.pop().unwrap();
+//! assert_eq!((t.as_u64(), ev), (5, "a"));
+//! let (t, ev) = sched.pop().unwrap();
+//! assert_eq!((t.as_u64(), ev), (10, "b"));
+//! ```
+
+pub mod queue;
+pub mod resource;
+pub mod rng;
+pub mod time;
+
+pub use queue::EventQueue;
+pub use resource::Resource;
+pub use rng::SplitMix64;
+pub use time::{Cycle, Cycles};
+
+/// An event queue combined with a simulation clock.
+///
+/// The clock advances monotonically to the timestamp of each popped event.
+/// Events may never be scheduled in the past; doing so is a logic error and
+/// panics (see [`Scheduler::schedule_at`]).
+#[derive(Debug, Clone)]
+pub struct Scheduler<E> {
+    now: Cycle,
+    queue: EventQueue<E>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the clock at cycle 0.
+    pub fn new() -> Self {
+        Self {
+            now: Cycle::ZERO,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time: an event
+    /// in the past can never be dispatched by a monotonic clock and always
+    /// indicates a model bug.
+    pub fn schedule_at(&mut self, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedules `event` after a delay of `delay` cycles from now.
+    pub fn schedule_in(&mut self, delay: Cycles, event: E) {
+        let at = self.now + delay;
+        self.queue.push(at, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    ///
+    /// Returns `None` when the queue is drained; the clock keeps its last
+    /// value so a post-mortem caller can still ask "when did we finish?".
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let (t, e) = self.queue.pop()?;
+        debug_assert!(t >= self.now, "event queue returned a past event");
+        self.now = t;
+        Some((t, e))
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.queue.peek_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheduler_orders_by_time_then_fifo() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(Cycle::new(7), 1);
+        s.schedule_at(Cycle::new(3), 2);
+        s.schedule_at(Cycle::new(7), 3);
+        assert_eq!(s.pop(), Some((Cycle::new(3), 2)));
+        assert_eq!(s.now(), Cycle::new(3));
+        assert_eq!(s.pop(), Some((Cycle::new(7), 1)));
+        assert_eq!(s.pop(), Some((Cycle::new(7), 3)));
+        assert_eq!(s.pop(), None);
+        assert_eq!(s.now(), Cycle::new(7));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_in(Cycles(5), "x");
+        let _ = s.pop();
+        s.schedule_in(Cycles(5), "y");
+        assert_eq!(s.pop(), Some((Cycle::new(10), "y")));
+    }
+
+    #[test]
+    #[should_panic(expected = "event scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(Cycle::new(10), "x");
+        let _ = s.pop();
+        s.schedule_at(Cycle::new(5), "y");
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut s: Scheduler<u8> = Scheduler::new();
+        assert!(s.is_empty());
+        s.schedule_in(Cycles(1), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.peek_time(), Some(Cycle::new(1)));
+    }
+}

@@ -1,0 +1,210 @@
+//! Cycle-granular time types.
+//!
+//! The simulator measures all time in processor clock cycles (the paper's
+//! Table 4 is specified in 6 GHz processor cycles). Two newtypes keep
+//! absolute timestamps and durations from being confused:
+//!
+//! * [`Cycle`] — a point on the simulation timeline.
+//! * [`Cycles`] — a span of time (duration).
+//!
+//! `Cycle + Cycles = Cycle`, `Cycle - Cycle = Cycles`; adding two absolute
+//! timestamps is a compile error, which catches a whole class of latency
+//! bookkeeping bugs statically.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// An absolute point in simulation time, in processor cycles.
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_engine::{Cycle, Cycles};
+///
+/// let start = Cycle::new(100);
+/// let end = start + Cycles(39);
+/// assert_eq!(end - start, Cycles(39));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The origin of the simulation timeline.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates an absolute timestamp at cycle `c`.
+    pub const fn new(c: u64) -> Self {
+        Cycle(c)
+    }
+
+    /// The raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn since(self, earlier: Cycle) -> Cycles {
+        debug_assert!(self >= earlier, "since() called with a later timestamp");
+        Cycles(self.0 - earlier.0)
+    }
+
+    /// The later of two timestamps.
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+/// A duration in processor cycles.
+///
+/// The inner field is public: `Cycles` is a plain value in the C-struct
+/// spirit and has no invariant to protect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// The zero-length duration.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// The raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: returns zero rather than underflowing.
+    pub fn saturating_sub(self, other: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+impl Add<Cycles> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: Cycles) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Cycles> for Cycle {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycle) -> Cycles {
+        assert!(self >= rhs, "timestamp subtraction underflow");
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    fn sub(self, rhs: Cycles) -> Cycles {
+        assert!(self >= rhs, "duration subtraction underflow");
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    fn sub_assign(&mut self, rhs: Cycles) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Self {
+        Cycles(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Cycle::new(10) + Cycles(5);
+        assert_eq!(t, Cycle::new(15));
+        assert_eq!(t - Cycle::new(10), Cycles(5));
+        assert_eq!(Cycles(3) + Cycles(4), Cycles(7));
+        assert_eq!(Cycles(4) - Cycles(3), Cycles(1));
+        assert_eq!(Cycles(3) * 4, Cycles(12));
+    }
+
+    #[test]
+    fn since_and_max() {
+        assert_eq!(Cycle::new(20).since(Cycle::new(5)), Cycles(15));
+        assert_eq!(Cycle::new(3).max(Cycle::new(9)), Cycle::new(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn timestamp_subtraction_underflow_panics() {
+        let _ = Cycle::new(1) - Cycle::new(2);
+    }
+
+    #[test]
+    fn saturating_sub_floors_at_zero() {
+        assert_eq!(Cycles(3).saturating_sub(Cycles(5)), Cycles::ZERO);
+        assert_eq!(Cycles(5).saturating_sub(Cycles(3)), Cycles(2));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Cycles = [Cycles(1), Cycles(2), Cycles(3)].into_iter().sum();
+        assert_eq!(total, Cycles(6));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycle::new(7).to_string(), "cycle 7");
+        assert_eq!(Cycles(7).to_string(), "7 cycles");
+    }
+}

@@ -1,0 +1,143 @@
+//! Byte and cache-line addresses.
+//!
+//! The coherence protocol operates at cache-line granularity, so most of the
+//! simulator passes [`LineAddr`] values around; [`Addr`] exists for the
+//! workload layer, which thinks in bytes.
+
+use std::fmt;
+
+/// A physical byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this byte, for lines of `line_bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    pub fn line(self, line_bytes: u64) -> LineAddr {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        LineAddr(self.0 >> line_bytes.trailing_zeros())
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// A cache-line address (a byte address shifted right by the line-offset
+/// bits). All coherence bookkeeping is keyed by this type.
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_mem::{Addr, LineAddr};
+///
+/// let line = Addr(0x1040).line(64);
+/// assert_eq!(line, LineAddr(0x41));
+/// assert_eq!(line.byte_addr(64), Addr(0x1040));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The first byte address of this line.
+    pub fn byte_addr(self, line_bytes: u64) -> Addr {
+        Addr(self.0 << line_bytes.trailing_zeros())
+    }
+
+    /// The home node of this line among `nodes` memory-interleaved CMPs.
+    ///
+    /// The shared memory is physically distributed one slice per CMP
+    /// (paper Figure 2a); lines are interleaved line-by-line across slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn home_node(self, nodes: usize) -> usize {
+        assert!(nodes > 0, "home_node needs at least one node");
+        (self.0 % nodes as u64) as usize
+    }
+
+    /// Extracts `bits` consecutive address bits starting at bit `lo`,
+    /// used by Bloom-filter field hashing and set indexing.
+    pub fn bits(self, lo: u32, bits: u32) -> u64 {
+        debug_assert!(bits <= 64);
+        if bits == 64 {
+            self.0 >> lo
+        } else {
+            (self.0 >> lo) & ((1u64 << bits) - 1)
+        }
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#x}", self.0)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(v: u64) -> Self {
+        LineAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_to_line_and_back() {
+        let a = Addr(0x12345);
+        let l = a.line(64);
+        assert_eq!(l, LineAddr(0x12345 >> 6));
+        assert_eq!(l.byte_addr(64), Addr(0x12340));
+    }
+
+    #[test]
+    fn same_line_bytes_map_together() {
+        assert_eq!(Addr(0x100).line(64), Addr(0x13f).line(64));
+        assert_ne!(Addr(0x100).line(64), Addr(0x140).line(64));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_line_size_panics() {
+        Addr(0).line(48);
+    }
+
+    #[test]
+    fn home_node_interleaves() {
+        assert_eq!(LineAddr(0).home_node(8), 0);
+        assert_eq!(LineAddr(7).home_node(8), 7);
+        assert_eq!(LineAddr(8).home_node(8), 0);
+        assert_eq!(LineAddr(13).home_node(8), 5);
+    }
+
+    #[test]
+    fn bit_extraction() {
+        let l = LineAddr(0b1011_0110);
+        assert_eq!(l.bits(0, 4), 0b0110);
+        assert_eq!(l.bits(4, 4), 0b1011);
+        assert_eq!(l.bits(2, 3), 0b101);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Addr(0x40).to_string(), "0x40");
+        assert_eq!(LineAddr(0x40).to_string(), "line 0x40");
+    }
+}

@@ -1,0 +1,302 @@
+//! Generic set-associative cache array with LRU replacement.
+//!
+//! Used for the L2 data caches, the L1 tag filters, and the Subset/Exact
+//! supplier-predictor tables (paper §4.3.1), all of which are
+//! set-associative structures differing only in what they store per line.
+
+use crate::addr::LineAddr;
+
+/// Geometry of a set-associative array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Number of sets (must be a power of two).
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheGeometry {
+    /// Builds a geometry from a total entry count and associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible by `ways`, if the resulting set
+    /// count is not a power of two, or if either argument is zero.
+    pub fn from_entries(entries: usize, ways: usize) -> Self {
+        assert!(entries > 0 && ways > 0, "geometry must be non-empty");
+        assert!(
+            entries.is_multiple_of(ways),
+            "entries ({entries}) must be a multiple of ways ({ways})"
+        );
+        let sets = entries / ways;
+        assert!(
+            sets.is_power_of_two(),
+            "set count ({sets}) must be a power of two"
+        );
+        CacheGeometry { sets, ways }
+    }
+
+    /// Builds a geometry from a capacity in bytes (e.g. a 512 KB, 8-way,
+    /// 64 B-line L2).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CacheGeometry::from_entries`].
+    pub fn from_capacity(bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(line_bytes > 0, "line size must be positive");
+        assert!(
+            bytes.is_multiple_of(line_bytes),
+            "capacity must be a whole number of lines"
+        );
+        Self::from_entries(bytes / line_bytes, ways)
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// The set index for a line address.
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 % self.sets as u64) as usize
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way<V> {
+    line: LineAddr,
+    value: V,
+    last_use: u64,
+}
+
+/// A set-associative cache mapping [`LineAddr`] to `V` with true-LRU
+/// replacement inside each set.
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_mem::{CacheGeometry, LineAddr, SetAssocCache};
+///
+/// let mut c: SetAssocCache<u32> = SetAssocCache::new(CacheGeometry::from_entries(8, 2));
+/// assert!(c.insert(LineAddr(1), 10).is_none());
+/// assert_eq!(c.get(LineAddr(1)), Some(&10));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<V> {
+    geometry: CacheGeometry,
+    sets: Vec<Vec<Way<V>>>,
+    clock: u64,
+    occupied: usize,
+}
+
+impl<V> SetAssocCache<V> {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = (0..geometry.sets)
+            .map(|_| Vec::with_capacity(geometry.ways))
+            .collect();
+        Self {
+            geometry,
+            sets,
+            clock: 0,
+            occupied: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Looks up `line` without touching LRU state (a *probe*, as a snoop
+    /// would perform on the tag array).
+    pub fn peek(&self, line: LineAddr) -> Option<&V> {
+        self.sets[self.geometry.set_of(line)]
+            .iter()
+            .find(|w| w.line == line)
+            .map(|w| &w.value)
+    }
+
+    /// Looks up `line`, promoting it to most-recently-used on hit.
+    pub fn get(&mut self, line: LineAddr) -> Option<&V> {
+        let stamp = self.tick();
+        let set = &mut self.sets[self.geometry.set_of(line)];
+        let way = set.iter_mut().find(|w| w.line == line)?;
+        way.last_use = stamp;
+        Some(&way.value)
+    }
+
+    /// Mutable lookup, promoting to most-recently-used on hit.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut V> {
+        let stamp = self.tick();
+        let set = &mut self.sets[self.geometry.set_of(line)];
+        let way = set.iter_mut().find(|w| w.line == line)?;
+        way.last_use = stamp;
+        Some(&mut way.value)
+    }
+
+    /// Whether `line` is present (no LRU update).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Inserts `line → value`, returning the victim `(line, value)` evicted
+    /// to make room, if the set was full. Inserting an already-present line
+    /// replaces its value in place (no eviction) and promotes it.
+    pub fn insert(&mut self, line: LineAddr, value: V) -> Option<(LineAddr, V)> {
+        let stamp = self.tick();
+        let ways = self.geometry.ways;
+        let set = &mut self.sets[self.geometry.set_of(line)];
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            way.last_use = stamp;
+            way.value = value;
+            return None;
+        }
+        let mut victim = None;
+        if set.len() == ways {
+            // Evict the least recently used way.
+            let (idx, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.last_use)
+                .expect("full set is non-empty");
+            let old = set.swap_remove(idx);
+            self.occupied -= 1;
+            victim = Some((old.line, old.value));
+        }
+        set.push(Way {
+            line,
+            value,
+            last_use: stamp,
+        });
+        self.occupied += 1;
+        victim
+    }
+
+    /// Removes `line`, returning its value if present.
+    pub fn remove(&mut self, line: LineAddr) -> Option<V> {
+        let set = &mut self.sets[self.geometry.set_of(line)];
+        let idx = set.iter().position(|w| w.line == line)?;
+        self.occupied -= 1;
+        Some(set.swap_remove(idx).value)
+    }
+
+    /// Iterates over all `(line, value)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &V)> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter().map(|w| (w.line, &w.value)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache<u32> {
+        SetAssocCache::new(CacheGeometry::from_entries(8, 2)) // 4 sets x 2 ways
+    }
+
+    #[test]
+    fn geometry_from_capacity() {
+        let g = CacheGeometry::from_capacity(512 * 1024, 8, 64);
+        assert_eq!(g.entries(), 8192);
+        assert_eq!(g.sets, 1024);
+        assert_eq!(g.ways, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        CacheGeometry::from_entries(12, 2);
+    }
+
+    #[test]
+    fn insert_then_get() {
+        let mut c = small();
+        assert!(c.insert(LineAddr(4), 42).is_none());
+        assert_eq!(c.get(LineAddr(4)), Some(&42));
+        assert_eq!(c.peek(LineAddr(4)), Some(&42));
+        assert_eq!(c.get(LineAddr(8)), None);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut c = small();
+        c.insert(LineAddr(4), 1);
+        assert!(c.insert(LineAddr(4), 2).is_none());
+        assert_eq!(c.get(LineAddr(4)), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = small();
+        // Lines 0, 4, 8 all map to set 0 (4 sets).
+        c.insert(LineAddr(0), 10);
+        c.insert(LineAddr(4), 20);
+        c.get(LineAddr(0)); // make line 0 MRU
+        let victim = c.insert(LineAddr(8), 30);
+        assert_eq!(victim, Some((LineAddr(4), 20)));
+        assert!(c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(8)));
+    }
+
+    #[test]
+    fn peek_does_not_promote() {
+        let mut c = small();
+        c.insert(LineAddr(0), 10);
+        c.insert(LineAddr(4), 20);
+        c.peek(LineAddr(0)); // must NOT refresh line 0
+        let victim = c.insert(LineAddr(8), 30);
+        assert_eq!(victim, Some((LineAddr(0), 10)));
+    }
+
+    #[test]
+    fn remove_frees_the_way() {
+        let mut c = small();
+        c.insert(LineAddr(0), 10);
+        c.insert(LineAddr(4), 20);
+        assert_eq!(c.remove(LineAddr(0)), Some(10));
+        assert_eq!(c.remove(LineAddr(0)), None);
+        assert!(c.insert(LineAddr(8), 30).is_none(), "no eviction needed");
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c = small();
+        for i in 0..4u64 {
+            assert!(c.insert(LineAddr(i), i as u32).is_none());
+        }
+        assert_eq!(c.len(), 4);
+        for i in 0..4u64 {
+            assert!(c.contains(LineAddr(i)));
+        }
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let mut c = small();
+        c.insert(LineAddr(1), 100);
+        c.insert(LineAddr(2), 200);
+        let mut all: Vec<_> = c.iter().map(|(l, &v)| (l.0, v)).collect();
+        all.sort_unstable();
+        assert_eq!(all, [(1, 100), (2, 200)]);
+    }
+}

@@ -1,0 +1,301 @@
+//! A CMP's group of private caches and its snoop-side lookups.
+//!
+//! Each CMP holds one private L2 per core plus an L1 tag filter per core
+//! (the L1 only affects hit latency; coherence is kept at the L2, with L1s
+//! maintained inclusive by invalidation). This module implements the two
+//! lookups the protocol needs:
+//!
+//! * a **local lookup** when a core misses its own caches — can another
+//!   cache *in the same CMP* supply (`SL, SG, E, D, T`)?
+//! * a **snoop** when a ring request arrives — does any L2 hold the line in
+//!   a *supplier state* (`SG, E, D, T`)? All L2s are probed in parallel.
+
+use crate::addr::LineAddr;
+use crate::cache::{CacheGeometry, SetAssocCache};
+use crate::l2::{Eviction, L2Cache};
+use crate::state::CoherState;
+
+/// Where a core's access was satisfied within its own CMP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalLookup {
+    /// Hit in the requesting core's own L1 (fast path).
+    OwnL1(CoherState),
+    /// Hit in the requesting core's own L2.
+    OwnL2(CoherState),
+    /// Another L2 in the same CMP can supply; carries its local core index
+    /// and state.
+    Peer {
+        /// Index of the supplying core within this CMP.
+        peer: usize,
+        /// The supplier's state.
+        state: CoherState,
+    },
+    /// No cache in this CMP can supply the line.
+    Miss,
+}
+
+/// Result of a ring snoop probing all L2s of a CMP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnoopResult {
+    /// The supplier, if one of the L2s holds the line in `SG`, `E`, `D`, `T`:
+    /// `(local core index, state)`.
+    pub supplier: Option<(usize, CoherState)>,
+    /// Whether *any* L2 holds a valid copy (used to prove exclusivity for
+    /// `E` fills when every node is snooped).
+    pub any_copy: bool,
+}
+
+/// The caches of one CMP: per-core L1 tag filters and L2s.
+#[derive(Debug, Clone)]
+pub struct CmpCaches {
+    l1s: Vec<SetAssocCache<()>>,
+    l2s: Vec<L2Cache>,
+}
+
+impl CmpCaches {
+    /// Creates a CMP with `cores` cores and the given cache geometries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize, l1_geometry: CacheGeometry, l2_geometry: CacheGeometry) -> Self {
+        assert!(cores > 0, "a CMP needs at least one core");
+        Self {
+            l1s: (0..cores).map(|_| SetAssocCache::new(l1_geometry)).collect(),
+            l2s: (0..cores).map(|_| L2Cache::new(l2_geometry)).collect(),
+        }
+    }
+
+    /// Number of cores in this CMP.
+    pub fn cores(&self) -> usize {
+        self.l2s.len()
+    }
+
+    /// Read-only view of a core's L2.
+    pub fn l2(&self, core: usize) -> &L2Cache {
+        &self.l2s[core]
+    }
+
+    /// Mutable view of a core's L2.
+    pub fn l2_mut(&mut self, core: usize) -> &mut L2Cache {
+        &mut self.l2s[core]
+    }
+
+    /// A core's access as seen by its own CMP: own L1, own L2, then peer
+    /// L2s over the intra-CMP bus.
+    ///
+    /// The L1 tag filter is refreshed on L1 hits and filled on L2 hits
+    /// (inclusive hierarchy: the L1 never holds a line its L2 does not).
+    pub fn local_lookup(&mut self, core: usize, line: LineAddr) -> LocalLookup {
+        let own_state = self.l2s[core].access(line);
+        if own_state.is_valid() {
+            if self.l1s[core].get(line).is_some() {
+                return LocalLookup::OwnL1(own_state);
+            }
+            self.l1s[core].insert(line, ());
+            return LocalLookup::OwnL2(own_state);
+        }
+        // The line is not in the core's own hierarchy; drop any stale L1 tag.
+        self.l1s[core].remove(line);
+        for (peer, l2) in self.l2s.iter().enumerate() {
+            if peer == core {
+                continue;
+            }
+            let state = l2.state_of(line);
+            if state.supplies_locally() {
+                return LocalLookup::Peer { peer, state };
+            }
+        }
+        LocalLookup::Miss
+    }
+
+    /// Probes every L2 for a ring snoop (parallel tag lookup in hardware).
+    pub fn snoop(&self, line: LineAddr) -> SnoopResult {
+        let mut supplier = None;
+        let mut any_copy = false;
+        for (idx, l2) in self.l2s.iter().enumerate() {
+            let state = l2.state_of(line);
+            if state.is_valid() {
+                any_copy = true;
+                if state.is_supplier() {
+                    debug_assert!(supplier.is_none(), "two suppliers in one CMP for {line}");
+                    supplier = Some((idx, state));
+                }
+            }
+        }
+        SnoopResult { supplier, any_copy }
+    }
+
+    /// Finds the supplier among this CMP's L2s without marking presence
+    /// (convenience over [`snoop`](Self::snoop)).
+    pub fn supplier_of(&self, line: LineAddr) -> Option<(usize, CoherState)> {
+        self.snoop(line).supplier
+    }
+
+    /// Invalidates `line` everywhere in this CMP (a write snoop hit).
+    /// Returns the states the copies were in (empty if none were resident).
+    pub fn invalidate_all(&mut self, line: LineAddr) -> Vec<CoherState> {
+        let mut dropped = Vec::new();
+        for (l1, l2) in self.l1s.iter_mut().zip(&mut self.l2s) {
+            l1.remove(line);
+            if let Some(state) = l2.invalidate(line) {
+                dropped.push(state);
+            }
+        }
+        dropped
+    }
+
+    /// Fills `line` into `core`'s L2 (and L1) in `state`, returning the L2
+    /// victim if one was evicted. The victim's L1 tag is dropped to keep
+    /// the hierarchy inclusive.
+    pub fn fill(&mut self, core: usize, line: LineAddr, state: CoherState) -> Option<Eviction> {
+        let victim = self.l2s[core].fill(line, state);
+        if let Some(ev) = victim {
+            self.l1s[core].remove(ev.line);
+        }
+        self.l1s[core].insert(line, ());
+        victim
+    }
+
+    /// Changes the state of a resident line in `core`'s L2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not resident there (see [`L2Cache::set_state`]).
+    pub fn set_state(&mut self, core: usize, line: LineAddr, state: CoherState) {
+        self.l2s[core].set_state(line, state);
+    }
+
+    /// Whether any valid copy of `line` exists in this CMP.
+    pub fn has_copy(&self, line: LineAddr) -> bool {
+        self.l2s.iter().any(|l2| l2.state_of(line).is_valid())
+    }
+
+    /// Debug check: the per-CMP storage invariants from Figure 2(b) —
+    /// at most one supplier-state copy and at most one local master.
+    pub fn validate_line(&self, line: LineAddr) -> Result<(), String> {
+        let states: Vec<CoherState> = self
+            .l2s
+            .iter()
+            .map(|l2| l2.state_of(line))
+            .filter(|s| s.is_valid())
+            .collect();
+        for (i, &a) in states.iter().enumerate() {
+            for &b in &states[i + 1..] {
+                if !a.compatible_with(b, true) {
+                    return Err(format!("{line}: states {a} and {b} coexist in one CMP"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CoherState::*;
+
+    fn cmp() -> CmpCaches {
+        CmpCaches::new(
+            4,
+            CacheGeometry::from_entries(4, 2),
+            CacheGeometry::from_entries(16, 4),
+        )
+    }
+
+    #[test]
+    fn miss_everywhere() {
+        let mut c = cmp();
+        assert_eq!(c.local_lookup(0, LineAddr(1)), LocalLookup::Miss);
+        assert_eq!(c.snoop(LineAddr(1)), SnoopResult { supplier: None, any_copy: false });
+    }
+
+    #[test]
+    fn own_l2_then_own_l1() {
+        let mut c = cmp();
+        c.fill(1, LineAddr(5), E);
+        // fill() pre-loads the L1 tag, so the first lookup already hits L1.
+        assert_eq!(c.local_lookup(1, LineAddr(5)), LocalLookup::OwnL1(E));
+        // After an L1-tag eviction the next access reports an L2 hit.
+        c.l1s[1].remove(LineAddr(5));
+        assert_eq!(c.local_lookup(1, LineAddr(5)), LocalLookup::OwnL2(E));
+        assert_eq!(c.local_lookup(1, LineAddr(5)), LocalLookup::OwnL1(E));
+    }
+
+    #[test]
+    fn peer_supplies_local_master() {
+        let mut c = cmp();
+        c.fill(2, LineAddr(7), Sl);
+        assert_eq!(
+            c.local_lookup(0, LineAddr(7)),
+            LocalLookup::Peer { peer: 2, state: Sl }
+        );
+    }
+
+    #[test]
+    fn plain_shared_peer_cannot_supply() {
+        let mut c = cmp();
+        c.fill(2, LineAddr(7), S);
+        assert_eq!(c.local_lookup(0, LineAddr(7)), LocalLookup::Miss);
+    }
+
+    #[test]
+    fn snoop_finds_supplier_and_presence() {
+        let mut c = cmp();
+        c.fill(0, LineAddr(9), S);
+        c.fill(3, LineAddr(9), T);
+        let r = c.snoop(LineAddr(9));
+        assert_eq!(r.supplier, Some((3, T)));
+        assert!(r.any_copy);
+    }
+
+    #[test]
+    fn snoop_sees_copies_without_supplier() {
+        let mut c = cmp();
+        c.fill(0, LineAddr(9), S);
+        c.fill(1, LineAddr(9), Sl);
+        let r = c.snoop(LineAddr(9));
+        assert_eq!(r.supplier, None);
+        assert!(r.any_copy, "SL is a copy but not a ring supplier");
+    }
+
+    #[test]
+    fn invalidate_all_clears_cmp() {
+        let mut c = cmp();
+        c.fill(0, LineAddr(9), S);
+        c.fill(1, LineAddr(9), Sl);
+        let dropped = c.invalidate_all(LineAddr(9));
+        assert_eq!(dropped.len(), 2);
+        assert!(!c.has_copy(LineAddr(9)));
+        assert_eq!(c.local_lookup(0, LineAddr(9)), LocalLookup::Miss);
+    }
+
+    #[test]
+    fn fill_eviction_drops_l1_tag() {
+        let mut c = cmp();
+        // L2 set 0 (4 sets in a 16-entry, 4-way array) holds 4 ways.
+        for i in 0..4 {
+            c.fill(0, LineAddr(i * 4), S);
+        }
+        let ev = c.fill(0, LineAddr(16), S).expect("one way must be evicted");
+        // The victim's L1 tag must be gone (inclusive hierarchy).
+        assert!(c.l1s[0].peek(ev.line).is_none());
+    }
+
+    #[test]
+    fn validate_line_catches_two_suppliers() {
+        let mut c = cmp();
+        c.fill(0, LineAddr(3), E);
+        c.fill(1, LineAddr(3), D); // protocol bug injected on purpose
+        assert!(c.validate_line(LineAddr(3)).is_err());
+    }
+
+    #[test]
+    fn validate_line_accepts_legal_mix() {
+        let mut c = cmp();
+        c.fill(0, LineAddr(3), Sg);
+        c.fill(1, LineAddr(3), S);
+        assert!(c.validate_line(LineAddr(3)).is_ok());
+    }
+}

@@ -1,0 +1,107 @@
+//! Typed identifiers for the machine's structural elements.
+
+use std::fmt;
+
+/// Identifies one CMP (chip multiprocessor) node on the ring.
+///
+/// CMPs are numbered `0..n` in ring order: the unidirectional ring forwards
+/// from CMP `i` to CMP `(i + 1) % n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CmpId(pub usize);
+
+impl CmpId {
+    /// The next CMP downstream on the unidirectional ring of `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn next_on_ring(self, n: usize) -> CmpId {
+        assert!(n > 0, "ring must have at least one node");
+        CmpId((self.0 + 1) % n)
+    }
+
+    /// Number of ring hops from `self` to `dst` travelling downstream.
+    pub fn hops_to(self, dst: CmpId, n: usize) -> usize {
+        assert!(n > 0, "ring must have at least one node");
+        (dst.0 + n - self.0) % n
+    }
+}
+
+impl fmt::Display for CmpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cmp{}", self.0)
+    }
+}
+
+impl From<usize> for CmpId {
+    fn from(v: usize) -> Self {
+        CmpId(v)
+    }
+}
+
+/// Identifies one core (and its private L1/L2) globally across the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// The CMP this core belongs to, with `cores_per_cmp` cores per chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_per_cmp` is zero.
+    pub fn cmp_id(self, cores_per_cmp: usize) -> CmpId {
+        assert!(cores_per_cmp > 0, "cores_per_cmp must be positive");
+        CmpId(self.0 / cores_per_cmp)
+    }
+
+    /// This core's index within its CMP.
+    pub fn local_index(self, cores_per_cmp: usize) -> usize {
+        assert!(cores_per_cmp > 0, "cores_per_cmp must be positive");
+        self.0 % cores_per_cmp
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(v: usize) -> Self {
+        CoreId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_neighbour_wraps() {
+        assert_eq!(CmpId(0).next_on_ring(8), CmpId(1));
+        assert_eq!(CmpId(7).next_on_ring(8), CmpId(0));
+    }
+
+    #[test]
+    fn ring_hops() {
+        assert_eq!(CmpId(2).hops_to(CmpId(5), 8), 3);
+        assert_eq!(CmpId(5).hops_to(CmpId(2), 8), 5);
+        assert_eq!(CmpId(3).hops_to(CmpId(3), 8), 0);
+    }
+
+    #[test]
+    fn core_to_cmp_mapping() {
+        assert_eq!(CoreId(0).cmp_id(4), CmpId(0));
+        assert_eq!(CoreId(3).cmp_id(4), CmpId(0));
+        assert_eq!(CoreId(4).cmp_id(4), CmpId(1));
+        assert_eq!(CoreId(31).cmp_id(4), CmpId(7));
+        assert_eq!(CoreId(6).local_index(4), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CmpId(3).to_string(), "cmp3");
+        assert_eq!(CoreId(12).to_string(), "core12");
+    }
+}

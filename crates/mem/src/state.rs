@@ -1,0 +1,300 @@
+//! The coherence state lattice of the embedded-ring protocol.
+//!
+//! The protocol (paper §2.2) is MESI enhanced with a Global/Local Master
+//! qualifier on Shared and a Tagged state for dirty sharing:
+//!
+//! | State | Meaning |
+//! |-------|---------|
+//! | `I`   | Invalid |
+//! | `S`   | Shared, plain copy |
+//! | `SL`  | Shared, **Local Master**: brought the line into this CMP; supplies local reads |
+//! | `SG`  | Shared, **Global Master**: brought the line from memory; supplies remote reads |
+//! | `E`   | Exclusive clean |
+//! | `D`   | Dirty (Modified) |
+//! | `T`   | Tagged: dirty but shared; supplies remote reads, written back on eviction |
+//!
+//! The *supplier states* are `SG`, `E`, `D`, `T`: at most one cache in the
+//! whole machine may hold a given line in any of them, and that cache is the
+//! one that services a remote read snoop.
+
+use std::fmt;
+
+/// A cache line's coherence state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoherState {
+    /// Invalid: the line is not present (or has been invalidated).
+    #[default]
+    I,
+    /// Shared: a plain read-only copy.
+    S,
+    /// Shared Local-Master: the copy that brought the line into this CMP;
+    /// supplies reads from other cores in the same CMP.
+    Sl,
+    /// Shared Global-Master: the copy that brought the line from memory;
+    /// supplies remote read snoops. Clean.
+    Sg,
+    /// Exclusive: the only cached copy anywhere; clean.
+    E,
+    /// Dirty (Modified): the only cached copy anywhere; memory is stale.
+    D,
+    /// Tagged: dirty but shared; other caches may hold `S`/`SL` copies.
+    /// Supplies remote read snoops and is written back on eviction.
+    T,
+}
+
+impl CoherState {
+    /// All seven states, for exhaustive testing.
+    pub const ALL: [CoherState; 7] = [
+        CoherState::I,
+        CoherState::S,
+        CoherState::Sl,
+        CoherState::Sg,
+        CoherState::E,
+        CoherState::D,
+        CoherState::T,
+    ];
+
+    /// Whether the line is present in the cache (any state but `I`).
+    pub fn is_valid(self) -> bool {
+        self != CoherState::I
+    }
+
+    /// Whether this state can supply a **remote** read snoop
+    /// (the paper's supplier states: `SG`, `E`, `D`, `T`).
+    pub fn is_supplier(self) -> bool {
+        matches!(
+            self,
+            CoherState::Sg | CoherState::E | CoherState::D | CoherState::T
+        )
+    }
+
+    /// Whether this state can supply a read from another core in the
+    /// **same** CMP (paper §2.2: `SL`, `SG`, `E`, `D`, `T`).
+    pub fn supplies_locally(self) -> bool {
+        self.is_supplier() || self == CoherState::Sl
+    }
+
+    /// Whether the line holds data newer than memory and must be written
+    /// back on eviction.
+    pub fn is_dirty(self) -> bool {
+        matches!(self, CoherState::D | CoherState::T)
+    }
+
+    /// Whether a write hit in this state needs no coherence transaction
+    /// (the copy is provably the only one in the machine).
+    pub fn writable_silently(self) -> bool {
+        matches!(self, CoherState::E | CoherState::D)
+    }
+
+    /// The supplier's state after servicing a **remote** read snoop.
+    ///
+    /// `E → SG` (now shared, still global master), `D → T` (dirty shared),
+    /// `SG` and `T` keep their state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-supplier state.
+    pub fn after_remote_supply(self) -> CoherState {
+        match self {
+            CoherState::E => CoherState::Sg,
+            CoherState::D => CoherState::T,
+            CoherState::Sg => CoherState::Sg,
+            CoherState::T => CoherState::T,
+            other => panic!("{other} cannot supply a remote read"),
+        }
+    }
+
+    /// The supplier's state after servicing a read from a core in the
+    /// **same** CMP. Same downgrades as the remote case; `SL` stays `SL`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a state that cannot supply locally.
+    pub fn after_local_supply(self) -> CoherState {
+        match self {
+            CoherState::Sl => CoherState::Sl,
+            other if other.is_supplier() => other.after_remote_supply(),
+            other => panic!("{other} cannot supply a local read"),
+        }
+    }
+
+    /// The state after an Exact-predictor conflict **downgrade**
+    /// (paper §4.3.3): the line leaves its supplier state but stays cached
+    /// as a local master. Returns `(new_state, needs_writeback)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-supplier state.
+    pub fn after_downgrade(self) -> (CoherState, bool) {
+        match self {
+            CoherState::Sg | CoherState::E => (CoherState::Sl, false),
+            CoherState::D | CoherState::T => (CoherState::Sl, true),
+            other => panic!("{other} is not a supplier state, cannot downgrade"),
+        }
+    }
+
+    /// Whether a line in `self` at one cache may coexist with a line in
+    /// `other` at another cache, given whether the two caches are in the
+    /// same CMP (paper Figure 2b; `*` entries require different CMPs).
+    pub fn compatible_with(self, other: CoherState, same_cmp: bool) -> bool {
+        use CoherState::*;
+        // Order the pair to halve the case analysis; the matrix is symmetric.
+        let (a, b) = if (self as u8) <= (other as u8) {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        match (a, b) {
+            (I, _) => true,
+            (S, S) | (S, Sl) | (S, Sg) | (S, T) => true,
+            (Sl, Sl) | (Sl, Sg) | (Sl, T) => !same_cmp,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for CoherState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CoherState::I => "I",
+            CoherState::S => "S",
+            CoherState::Sl => "SL",
+            CoherState::Sg => "SG",
+            CoherState::E => "E",
+            CoherState::D => "D",
+            CoherState::T => "T",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::CoherState::*;
+    use super::*;
+
+    #[test]
+    fn supplier_states_match_paper() {
+        let suppliers: Vec<_> = CoherState::ALL
+            .into_iter()
+            .filter(|s| s.is_supplier())
+            .collect();
+        assert_eq!(suppliers, [Sg, E, D, T]);
+    }
+
+    #[test]
+    fn local_supply_states_match_paper() {
+        let locals: Vec<_> = CoherState::ALL
+            .into_iter()
+            .filter(|s| s.supplies_locally())
+            .collect();
+        assert_eq!(locals, [Sl, Sg, E, D, T]);
+    }
+
+    #[test]
+    fn dirty_states() {
+        assert!(D.is_dirty() && T.is_dirty());
+        assert!(!Sg.is_dirty() && !E.is_dirty() && !S.is_dirty());
+    }
+
+    #[test]
+    fn remote_supply_transitions() {
+        assert_eq!(E.after_remote_supply(), Sg);
+        assert_eq!(D.after_remote_supply(), T);
+        assert_eq!(Sg.after_remote_supply(), Sg);
+        assert_eq!(T.after_remote_supply(), T);
+    }
+
+    #[test]
+    fn local_supply_transitions() {
+        assert_eq!(Sl.after_local_supply(), Sl);
+        assert_eq!(E.after_local_supply(), Sg);
+        assert_eq!(D.after_local_supply(), T);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot supply")]
+    fn plain_shared_cannot_supply_remote() {
+        let _ = S.after_remote_supply();
+    }
+
+    #[test]
+    fn downgrades_per_section_4_3_3() {
+        assert_eq!(Sg.after_downgrade(), (Sl, false));
+        assert_eq!(E.after_downgrade(), (Sl, false));
+        assert_eq!(D.after_downgrade(), (Sl, true));
+        assert_eq!(T.after_downgrade(), (Sl, true));
+    }
+
+    /// The full Figure 2(b) matrix, rows in paper order.
+    /// Entry values: 0 = incompatible, 1 = compatible, 2 = compatible only
+    /// if the copies are in different CMPs (the paper's `*`).
+    #[rustfmt::skip]
+    const FIG_2B: [[u8; 7]; 7] = [
+        //         I  S  SL SG E  D  T
+        /* I  */ [ 1, 1, 1, 1, 1, 1, 1 ],
+        /* S  */ [ 1, 1, 1, 1, 0, 0, 1 ],
+        /* SL */ [ 1, 1, 2, 2, 0, 0, 2 ],
+        /* SG */ [ 1, 1, 2, 0, 0, 0, 0 ],
+        /* E  */ [ 1, 0, 0, 0, 0, 0, 0 ],
+        /* D  */ [ 1, 0, 0, 0, 0, 0, 0 ],
+        /* T  */ [ 1, 1, 2, 0, 0, 0, 0 ],
+    ];
+
+    #[test]
+    fn compatibility_matrix_matches_figure_2b() {
+        for (i, &a) in CoherState::ALL.iter().enumerate() {
+            for (j, &b) in CoherState::ALL.iter().enumerate() {
+                let want = FIG_2B[i][j];
+                assert_eq!(
+                    a.compatible_with(b, false),
+                    want >= 1,
+                    "{a} vs {b} (different CMP)"
+                );
+                assert_eq!(
+                    a.compatible_with(b, true),
+                    want == 1,
+                    "{a} vs {b} (same CMP)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        for &a in &CoherState::ALL {
+            for &b in &CoherState::ALL {
+                for same in [false, true] {
+                    assert_eq!(
+                        a.compatible_with(b, same),
+                        b.compatible_with(a, same),
+                        "{a} vs {b} same_cmp={same}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_one_supplier_follows_from_matrix() {
+        // Any two supplier states must be mutually incompatible even across
+        // CMPs — this is the storage-level root of the "at most one supplier"
+        // invariant.
+        for &a in &CoherState::ALL {
+            for &b in &CoherState::ALL {
+                if a.is_supplier() && b.is_supplier() {
+                    assert!(
+                        !a.compatible_with(b, false),
+                        "{a} and {b} are both suppliers yet compatible"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let names: Vec<String> = CoherState::ALL.iter().map(|s| s.to_string()).collect();
+        assert_eq!(names, ["I", "S", "SL", "SG", "E", "D", "T"]);
+    }
+}

@@ -1,0 +1,288 @@
+//! The per-event energy model (paper §6.1.4).
+//!
+//! The paper reduces CACTI, Orion, HyperTransport and Micron tool output to
+//! per-event energies and publishes three anchors:
+//!
+//! * transferring one snoop message over one ring link: **3.17 nJ**,
+//! * snooping one CMP (all L2 tag arrays in parallel): **0.69 nJ**,
+//! * reading a line from main memory: **24 nJ**.
+//!
+//! The remaining constants (predictor lookup/training, write-backs,
+//! downgrades) are CACTI-style size-scaled estimates calibrated so that the
+//! paper's qualitative energy ordering holds; they are documented in
+//! EXPERIMENTS.md and overridable per experiment.
+//!
+//! Energy is accounted for **snoop-transaction activity only** — exactly
+//! the scope of Figure 9: snoops, ring messages, predictor activity, and
+//! the memory traffic *caused by the algorithm* (Exact's downgrade
+//! write-backs and re-reads), not the program's baseline DRAM traffic.
+
+use std::fmt;
+
+/// Per-event energy costs in nanojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// One snoop message crossing one ring link (paper: 3.17 nJ).
+    pub ring_link_nj: f64,
+    /// One CMP snoop — bus access plus parallel L2 tag probe (paper: 0.69 nJ).
+    pub snoop_nj: f64,
+    /// One cache line read from main memory (paper: 24 nJ).
+    pub mem_read_nj: f64,
+    /// One cache line written back to main memory (calibrated: 24 nJ, the
+    /// DRAM array activity is symmetric at this granularity).
+    pub mem_write_nj: f64,
+    /// One supplier-predictor lookup (set per predictor kind; calibrated).
+    pub predictor_lookup_nj: f64,
+    /// One supplier-predictor training update (calibrated).
+    pub predictor_train_nj: f64,
+    /// One Exact-predictor downgrade: the L2 state change (calibrated to a
+    /// tag-array write, 0.35 nJ). The induced write-back/re-read memory
+    /// energy is charged separately via `mem_write_nj`/`mem_read_nj`.
+    pub downgrade_nj: f64,
+}
+
+impl EnergyModel {
+    /// The paper's published anchors with no predictor
+    /// (Lazy/Eager/Oracle: predictor events never occur).
+    pub fn paper_baseline() -> Self {
+        EnergyModel {
+            ring_link_nj: 3.17,
+            snoop_nj: 0.69,
+            mem_read_nj: 24.0,
+            mem_write_nj: 24.0,
+            predictor_lookup_nj: 0.0,
+            predictor_train_nj: 0.0,
+            downgrade_nj: 0.35,
+        }
+    }
+
+    /// Baseline anchors plus small-cache predictor costs
+    /// (Subset/Exact: a 1.3–17 KB tag array; CACTI-scaled ≈ 0.06/0.06 nJ).
+    pub fn with_cache_predictor() -> Self {
+        EnergyModel {
+            predictor_lookup_nj: 0.06,
+            predictor_train_nj: 0.06,
+            ..Self::paper_baseline()
+        }
+    }
+
+    /// Baseline anchors plus Bloom-filter predictor costs (Superset: three
+    /// counter tables + Exclude cache per lookup; counters updated on every
+    /// supplier gain/loss — the paper calls this energy "substantial",
+    /// ≈ 0.20/0.30 nJ calibrated).
+    pub fn with_bloom_predictor() -> Self {
+        EnergyModel {
+            predictor_lookup_nj: 0.20,
+            predictor_train_nj: 0.30,
+            ..Self::paper_baseline()
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+/// Categories of energy-consuming events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EnergyCategory {
+    /// A snoop message crossing one ring link.
+    RingLink,
+    /// A CMP snoop operation.
+    Snoop,
+    /// A line read from main memory caused by snoop activity.
+    MemRead,
+    /// A line written back to main memory.
+    MemWrite,
+    /// A supplier-predictor lookup.
+    PredictorLookup,
+    /// A supplier-predictor training update.
+    PredictorTrain,
+    /// An Exact-predictor downgrade (tag state change).
+    Downgrade,
+}
+
+impl EnergyCategory {
+    /// All categories, in reporting order.
+    pub const ALL: [EnergyCategory; 7] = [
+        EnergyCategory::RingLink,
+        EnergyCategory::Snoop,
+        EnergyCategory::MemRead,
+        EnergyCategory::MemWrite,
+        EnergyCategory::PredictorLookup,
+        EnergyCategory::PredictorTrain,
+        EnergyCategory::Downgrade,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            EnergyCategory::RingLink => 0,
+            EnergyCategory::Snoop => 1,
+            EnergyCategory::MemRead => 2,
+            EnergyCategory::MemWrite => 3,
+            EnergyCategory::PredictorLookup => 4,
+            EnergyCategory::PredictorTrain => 5,
+            EnergyCategory::Downgrade => 6,
+        }
+    }
+}
+
+impl fmt::Display for EnergyCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EnergyCategory::RingLink => "ring-link",
+            EnergyCategory::Snoop => "snoop",
+            EnergyCategory::MemRead => "mem-read",
+            EnergyCategory::MemWrite => "mem-write",
+            EnergyCategory::PredictorLookup => "pred-lookup",
+            EnergyCategory::PredictorTrain => "pred-train",
+            EnergyCategory::Downgrade => "downgrade",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Tallies energy events against an [`EnergyModel`].
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_metrics::{EnergyAccount, EnergyCategory, EnergyModel};
+///
+/// let mut acct = EnergyAccount::new(EnergyModel::paper_baseline());
+/// acct.add(EnergyCategory::RingLink, 2);
+/// acct.add(EnergyCategory::Snoop, 1);
+/// assert!((acct.total_nj() - (2.0 * 3.17 + 0.69)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnergyAccount {
+    model: EnergyModel,
+    counts: [u64; 7],
+}
+
+impl EnergyAccount {
+    /// Creates an empty account using `model`'s per-event costs.
+    pub fn new(model: EnergyModel) -> Self {
+        Self {
+            model,
+            counts: [0; 7],
+        }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &EnergyModel {
+        &self.model
+    }
+
+    /// Records `n` events of `category`.
+    pub fn add(&mut self, category: EnergyCategory, n: u64) {
+        self.counts[category.index()] += n;
+    }
+
+    /// Event count in a category.
+    pub fn count(&self, category: EnergyCategory) -> u64 {
+        self.counts[category.index()]
+    }
+
+    /// Energy of one category in nanojoules.
+    pub fn category_nj(&self, category: EnergyCategory) -> f64 {
+        let per_event = match category {
+            EnergyCategory::RingLink => self.model.ring_link_nj,
+            EnergyCategory::Snoop => self.model.snoop_nj,
+            EnergyCategory::MemRead => self.model.mem_read_nj,
+            EnergyCategory::MemWrite => self.model.mem_write_nj,
+            EnergyCategory::PredictorLookup => self.model.predictor_lookup_nj,
+            EnergyCategory::PredictorTrain => self.model.predictor_train_nj,
+            EnergyCategory::Downgrade => self.model.downgrade_nj,
+        };
+        self.count(category) as f64 * per_event
+    }
+
+    /// Total energy in nanojoules.
+    pub fn total_nj(&self) -> f64 {
+        EnergyCategory::ALL
+            .iter()
+            .map(|&c| self.category_nj(c))
+            .sum()
+    }
+
+    /// Per-category breakdown `(category, count, nanojoules)`.
+    pub fn breakdown(&self) -> Vec<(EnergyCategory, u64, f64)> {
+        EnergyCategory::ALL
+            .iter()
+            .map(|&c| (c, self.count(c), self.category_nj(c)))
+            .collect()
+    }
+
+    /// Merges another account (which must use the same model).
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchor_values() {
+        let m = EnergyModel::paper_baseline();
+        assert_eq!(m.ring_link_nj, 3.17);
+        assert_eq!(m.snoop_nj, 0.69);
+        assert_eq!(m.mem_read_nj, 24.0);
+    }
+
+    #[test]
+    fn ring_links_dominate_snoops() {
+        // Paper §6.1.4: "a lot of the energy is dissipated in the ring links".
+        let m = EnergyModel::paper_baseline();
+        assert!(m.ring_link_nj > 4.0 * m.snoop_nj);
+    }
+
+    #[test]
+    fn account_accumulates() {
+        let mut a = EnergyAccount::new(EnergyModel::paper_baseline());
+        a.add(EnergyCategory::Snoop, 10);
+        a.add(EnergyCategory::Snoop, 5);
+        assert_eq!(a.count(EnergyCategory::Snoop), 15);
+        assert!((a.category_nj(EnergyCategory::Snoop) - 15.0 * 0.69).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_sums_all_categories() {
+        let mut a = EnergyAccount::new(EnergyModel::with_bloom_predictor());
+        a.add(EnergyCategory::RingLink, 1);
+        a.add(EnergyCategory::MemRead, 1);
+        a.add(EnergyCategory::PredictorLookup, 10);
+        let expect = 3.17 + 24.0 + 10.0 * 0.20;
+        assert!((a.total_nj() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn breakdown_covers_every_category() {
+        let a = EnergyAccount::new(EnergyModel::paper_baseline());
+        assert_eq!(a.breakdown().len(), EnergyCategory::ALL.len());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = EnergyAccount::new(EnergyModel::paper_baseline());
+        a.add(EnergyCategory::MemWrite, 2);
+        let mut b = EnergyAccount::new(EnergyModel::paper_baseline());
+        b.add(EnergyCategory::MemWrite, 3);
+        a.merge(&b);
+        assert_eq!(a.count(EnergyCategory::MemWrite), 5);
+    }
+
+    #[test]
+    fn bloom_predictor_costs_more_than_cache_predictor() {
+        let cache = EnergyModel::with_cache_predictor();
+        let bloom = EnergyModel::with_bloom_predictor();
+        assert!(bloom.predictor_lookup_nj > cache.predictor_lookup_nj);
+        assert!(bloom.predictor_train_nj > cache.predictor_train_nj);
+    }
+}

@@ -1,0 +1,16 @@
+//! Statistics and energy accounting for flexsnoop experiments.
+//!
+//! * [`stats`] — aggregation helpers (means, geometric means, normalized
+//!   series) and a latency histogram.
+//! * [`energy`] — the per-event energy model (paper §6.1.4) and an account
+//!   that tallies events into nanojoules, broken down by category.
+//! * [`table`] — plain-text and CSV table rendering used by the benchmark
+//!   harness to print paper-style rows.
+
+pub mod energy;
+pub mod stats;
+pub mod table;
+
+pub use energy::{EnergyAccount, EnergyCategory, EnergyModel};
+pub use stats::{geomean, mean, normalize_to, Histogram};
+pub use table::Table;

@@ -1,0 +1,197 @@
+//! Plain-text and CSV table rendering for the benchmark harness.
+//!
+//! The benches print each reproduced paper table/figure as an aligned text
+//! table (for humans) and can emit CSV (for plotting). No external
+//! dependencies — results must be readable straight off a terminal.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_metrics::Table;
+///
+/// let mut t = Table::new(vec!["algorithm".into(), "snoops".into()]);
+/// t.row(vec!["Lazy".into(), "3.52".into()]);
+/// let text = t.render();
+/// assert!(text.contains("Lazy"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn with_columns(headers: &[&str]) -> Self {
+        Self::new(headers.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's width differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a row of display-able values.
+    pub fn row_display<I, D>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = D>,
+        D: std::fmt::Display,
+    {
+        self.row(cells.into_iter().map(|c| c.to_string()).collect())
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table with a header separator.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}", w = *w);
+            }
+            // Trim the padding of the last column.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        emit(&mut out, &sep);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders the table as CSV (no quoting: cells must not contain commas).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any cell contains a comma or newline.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for cells in std::iter::once(&self.headers).chain(&self.rows) {
+            for cell in cells {
+                assert!(
+                    !cell.contains(',') && !cell.contains('\n'),
+                    "CSV cells must not contain commas or newlines: {cell:?}"
+                );
+            }
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimal places (the paper's usual precision).
+pub fn fmt2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio as a percentage with sign, e.g. `-14%`.
+pub fn fmt_pct_delta(ratio: f64) -> String {
+    format!("{:+.0}%", (ratio - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::with_columns(&["alg", "value"]);
+        t.row(vec!["Lazy".into(), "1.00".into()]);
+        t.row(vec!["SupersetAgg".into(), "0.86".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("alg"));
+        assert!(lines[1].starts_with("---"));
+        // Columns align: "1.00" and "0.86" start at the same offset.
+        let off1 = lines[2].find("1.00").unwrap();
+        let off2 = lines[3].find("0.86").unwrap();
+        assert_eq!(off1, off2);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Table::with_columns(&["a", "b"]);
+        t.row_display([1, 2]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::with_columns(&["a"]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not contain commas")]
+    fn csv_rejects_commas() {
+        let mut t = Table::with_columns(&["a"]);
+        t.row(vec!["x,y".into()]);
+        t.to_csv();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt2(1.005), "1.00"); // bankers-ish rounding is fine
+        assert_eq!(fmt_pct_delta(0.86), "-14%");
+        assert_eq!(fmt_pct_delta(1.8), "+80%");
+    }
+
+    #[test]
+    fn empty_table_renders_headers() {
+        let t = Table::with_columns(&["only"]);
+        assert!(t.is_empty());
+        assert!(t.render().contains("only"));
+    }
+}

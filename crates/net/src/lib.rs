@@ -1,0 +1,20 @@
+//! Interconnect substrate: embedded snoop ring(s) and the data network.
+//!
+//! The modeled machine (paper §2.2, Table 4) interconnects 8 CMPs with a
+//! 2-D torus. On top of that physical network:
+//!
+//! * one or more **unidirectional rings** are logically embedded; *all* snoop
+//!   requests and replies travel on a ring, hop by hop, CMP `i → i+1`.
+//!   With multiple rings, a line's address selects its ring, balancing load.
+//! * **data transfers** (cache-to-cache lines, memory traffic) use the
+//!   regular torus links with dimension-order routing.
+//!
+//! Both networks model contention with per-link FIFO occupancy
+//! ([`flexsnoop_engine::Resource`]): a message arriving at a busy link
+//! queues behind earlier traffic.
+
+pub mod ring;
+pub mod torus;
+
+pub use ring::{RingConfig, RingNetwork};
+pub use torus::{Torus, TorusConfig};

@@ -1,0 +1,221 @@
+//! The embedded unidirectional snoop ring(s).
+//!
+//! A ring of `n` nodes has `n` directed links, link `i` connecting CMP `i`
+//! to CMP `(i+1) % n`. Snoop messages occupy a link for a configurable
+//! serialization time (they are short control messages) and arrive
+//! `hop_latency` cycles after leaving — Table 4's 39-cycle CMP-to-CMP
+//! latency at 6 GHz.
+//!
+//! With `rings > 1` embedded rings, the line address picks the ring
+//! (`line % rings`), mirroring the paper's two address-interleaved rings.
+
+use flexsnoop_engine::{Cycle, Cycles, Resource};
+use flexsnoop_mem::{CmpId, LineAddr};
+
+/// Static parameters of the embedded ring network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingConfig {
+    /// Number of CMP nodes on each ring.
+    pub nodes: usize,
+    /// Number of embedded rings (snoops are interleaved by address).
+    pub rings: usize,
+    /// Propagation latency of one CMP-to-CMP hop.
+    pub hop_latency: Cycles,
+    /// Link occupancy per message (serialization; limits ring bandwidth).
+    pub link_service: Cycles,
+}
+
+impl RingConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint (zero nodes
+    /// or zero rings).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("ring must have at least one node".into());
+        }
+        if self.rings == 0 {
+            return Err("at least one embedded ring is required".into());
+        }
+        Ok(())
+    }
+}
+
+/// The embedded ring network: per-ring, per-link occupancy tracking.
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_engine::{Cycle, Cycles};
+/// use flexsnoop_mem::{CmpId, LineAddr};
+/// use flexsnoop_net::{RingConfig, RingNetwork};
+///
+/// let mut net = RingNetwork::new(RingConfig {
+///     nodes: 8,
+///     rings: 2,
+///     hop_latency: Cycles(39),
+///     link_service: Cycles(4),
+/// });
+/// let ring = net.ring_for(LineAddr(5));
+/// let arrival = net.send_hop(ring, CmpId(3), Cycle::new(100));
+/// assert_eq!(arrival, Cycle::new(100 + 4 + 39));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingNetwork {
+    config: RingConfig,
+    /// `links[ring][node]` is the directed link from `node` to its successor.
+    links: Vec<Vec<Resource>>,
+    messages_sent: u64,
+    link_crossings: u64,
+}
+
+impl RingNetwork {
+    /// Creates an idle ring network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`RingConfig::validate`]).
+    pub fn new(config: RingConfig) -> Self {
+        config.validate().expect("invalid ring config");
+        Self {
+            config,
+            links: (0..config.rings)
+                .map(|_| (0..config.nodes).map(|_| Resource::new()).collect())
+                .collect(),
+            messages_sent: 0,
+            link_crossings: 0,
+        }
+    }
+
+    /// The configuration this network was built with.
+    pub fn config(&self) -> &RingConfig {
+        &self.config
+    }
+
+    /// Which embedded ring carries snoops for `line`.
+    pub fn ring_for(&self, line: LineAddr) -> usize {
+        (line.0 % self.config.rings as u64) as usize
+    }
+
+    /// Sends one message over the link leaving `from` on ring `ring` at
+    /// time `now`; returns its arrival time at the next node downstream,
+    /// accounting for link occupancy (FIFO queueing) and propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring` or `from` are out of range.
+    pub fn send_hop(&mut self, ring: usize, from: CmpId, now: Cycle) -> Cycle {
+        let link = &mut self.links[ring][from.0];
+        let grant = link.acquire(now, self.config.link_service);
+        self.messages_sent += 1;
+        self.link_crossings += 1;
+        grant.end + self.config.hop_latency
+    }
+
+    /// The node downstream of `from`.
+    pub fn next_node(&self, from: CmpId) -> CmpId {
+        from.next_on_ring(self.config.nodes)
+    }
+
+    /// Unloaded latency for a message to travel `hops` consecutive hops.
+    pub fn unloaded_latency(&self, hops: usize) -> Cycles {
+        (self.config.link_service + self.config.hop_latency) * hops as u64
+    }
+
+    /// Total messages sent over any link (each hop counts once); this is
+    /// the quantity Figure 7 reports, aggregated over a run.
+    pub fn link_crossings(&self) -> u64 {
+        self.link_crossings
+    }
+
+    /// Total busy cycles over all links of all rings (for utilization).
+    pub fn total_busy(&self) -> Cycles {
+        self.links
+            .iter()
+            .flatten()
+            .map(|l| l.busy_cycles())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> RingNetwork {
+        RingNetwork::new(RingConfig {
+            nodes: 8,
+            rings: 2,
+            hop_latency: Cycles(39),
+            link_service: Cycles(4),
+        })
+    }
+
+    #[test]
+    fn hop_includes_service_and_propagation() {
+        let mut n = net();
+        let t = n.send_hop(0, CmpId(0), Cycle::new(0));
+        assert_eq!(t, Cycle::new(43));
+    }
+
+    #[test]
+    fn contention_queues_on_same_link() {
+        let mut n = net();
+        let a = n.send_hop(0, CmpId(0), Cycle::new(0));
+        let b = n.send_hop(0, CmpId(0), Cycle::new(0));
+        assert_eq!(a, Cycle::new(43));
+        assert_eq!(b, Cycle::new(47), "second message serializes behind first");
+    }
+
+    #[test]
+    fn different_links_do_not_contend() {
+        let mut n = net();
+        let a = n.send_hop(0, CmpId(0), Cycle::new(0));
+        let b = n.send_hop(0, CmpId(1), Cycle::new(0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_rings_do_not_contend() {
+        let mut n = net();
+        let a = n.send_hop(0, CmpId(0), Cycle::new(0));
+        let b = n.send_hop(1, CmpId(0), Cycle::new(0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn address_interleaving_across_rings() {
+        let n = net();
+        assert_eq!(n.ring_for(LineAddr(10)), 0);
+        assert_eq!(n.ring_for(LineAddr(11)), 1);
+    }
+
+    #[test]
+    fn unloaded_latency_scales_with_hops() {
+        let n = net();
+        assert_eq!(n.unloaded_latency(0), Cycles(0));
+        assert_eq!(n.unloaded_latency(3), Cycles(3 * 43));
+    }
+
+    #[test]
+    fn crossing_counter_accumulates() {
+        let mut n = net();
+        for i in 0..5 {
+            n.send_hop(0, CmpId(i % 8), Cycle::new(i as u64 * 100));
+        }
+        assert_eq!(n.link_crossings(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ring config")]
+    fn zero_rings_rejected() {
+        RingNetwork::new(RingConfig {
+            nodes: 8,
+            rings: 0,
+            hop_latency: Cycles(39),
+            link_service: Cycles(4),
+        });
+    }
+}

@@ -1,0 +1,229 @@
+//! The 2-D torus data network.
+//!
+//! Data messages (cache lines, memory requests/responses) do not use the
+//! snoop ring; they take the shortest path on the physical 2-D torus with
+//! dimension-order (X then Y) routing. Each directed link is a FIFO
+//! resource, so heavy data traffic between neighbouring nodes queues.
+
+use flexsnoop_engine::{Cycle, Cycles, Resource};
+use flexsnoop_mem::CmpId;
+
+/// Static parameters of the torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TorusConfig {
+    /// Torus width (X dimension).
+    pub width: usize,
+    /// Torus height (Y dimension).
+    pub height: usize,
+    /// Propagation latency per link.
+    pub hop_latency: Cycles,
+    /// Per-hop router pipeline latency.
+    pub router_latency: Cycles,
+    /// Link occupancy per message (serialization of a 64 B line + header).
+    pub link_service: Cycles,
+}
+
+impl TorusConfig {
+    /// A torus that covers `nodes` nodes with near-square dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn near_square(nodes: usize, hop_latency: Cycles, router_latency: Cycles, link_service: Cycles) -> Self {
+        assert!(nodes > 0, "torus needs at least one node");
+        let mut width = (nodes as f64).sqrt().ceil() as usize;
+        while !nodes.is_multiple_of(width) {
+            width += 1;
+        }
+        TorusConfig {
+            width,
+            height: nodes / width,
+            hop_latency,
+            router_latency,
+            link_service,
+        }
+    }
+
+    /// Total nodes on the torus.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    fn coords(&self, node: CmpId) -> (usize, usize) {
+        (node.0 % self.width, node.0 / self.width)
+    }
+
+    /// Minimal wraparound distance along one dimension of size `dim`.
+    fn dim_hops(a: usize, b: usize, dim: usize) -> usize {
+        let d = (b + dim - a) % dim;
+        d.min(dim - d)
+    }
+
+    /// Number of links on the shortest path from `a` to `b`.
+    pub fn hops(&self, a: CmpId, b: CmpId) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        Self::dim_hops(ax, bx, self.width) + Self::dim_hops(ay, by, self.height)
+    }
+}
+
+/// The torus with per-directed-link occupancy.
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_engine::{Cycle, Cycles};
+/// use flexsnoop_mem::CmpId;
+/// use flexsnoop_net::{Torus, TorusConfig};
+///
+/// let mut t = Torus::new(TorusConfig::near_square(8, Cycles(10), Cycles(4), Cycles(2)));
+/// let arrival = t.send(CmpId(0), CmpId(1), Cycle::new(0));
+/// assert!(arrival > Cycle::new(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Torus {
+    config: TorusConfig,
+    /// One resource per (node, direction); directions: 0=+X, 1=-X, 2=+Y, 3=-Y.
+    links: Vec<[Resource; 4]>,
+    messages: u64,
+}
+
+impl Torus {
+    /// Creates an idle torus.
+    pub fn new(config: TorusConfig) -> Self {
+        Self {
+            links: (0..config.nodes()).map(|_| Default::default()).collect(),
+            config,
+            messages: 0,
+        }
+    }
+
+    /// The configuration this torus was built with.
+    pub fn config(&self) -> &TorusConfig {
+        &self.config
+    }
+
+    /// Sends one data message from `src` to `dst` starting at `now` using
+    /// dimension-order routing; returns its arrival time. A message to self
+    /// arrives after one router traversal (the on-chip turnaround).
+    pub fn send(&mut self, src: CmpId, dst: CmpId, now: Cycle) -> Cycle {
+        self.messages += 1;
+        let mut t = now;
+        let (mut x, mut y) = self.config.coords(src);
+        let (dx, dy) = self.config.coords(dst);
+        if src == dst {
+            return t + self.config.router_latency;
+        }
+        // X dimension first, then Y (deadlock-free dimension-order routing).
+        while x != dx {
+            let (dir, nx) = Self::step(x, dx, self.config.width);
+            let node = y * self.config.width + x;
+            t = self.traverse(node, dir, t);
+            x = nx;
+        }
+        while y != dy {
+            let (dir, ny) = Self::step(y, dy, self.config.height);
+            let node = y * self.config.width + x;
+            t = self.traverse(node, dir + 2, t);
+            y = ny;
+        }
+        t
+    }
+
+    /// Chooses the direction (0 = increasing, 1 = decreasing) and next
+    /// coordinate for the shortest wraparound move from `a` toward `b`.
+    fn step(a: usize, b: usize, dim: usize) -> (usize, usize) {
+        let fwd = (b + dim - a) % dim;
+        if fwd <= dim - fwd {
+            (0, (a + 1) % dim)
+        } else {
+            (1, (a + dim - 1) % dim)
+        }
+    }
+
+    fn traverse(&mut self, node: usize, dir: usize, now: Cycle) -> Cycle {
+        let grant = self.links[node][dir].acquire(now, self.config.link_service);
+        grant.end + self.config.hop_latency + self.config.router_latency
+    }
+
+    /// Unloaded latency between two nodes.
+    pub fn unloaded_latency(&self, a: CmpId, b: CmpId) -> Cycles {
+        let hops = self.config.hops(a, b) as u64;
+        if hops == 0 {
+            return self.config.router_latency;
+        }
+        (self.config.link_service + self.config.hop_latency + self.config.router_latency) * hops
+    }
+
+    /// Total data messages sent.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus8() -> Torus {
+        Torus::new(TorusConfig::near_square(8, Cycles(10), Cycles(4), Cycles(2)))
+    }
+
+    #[test]
+    fn near_square_factors() {
+        let c = TorusConfig::near_square(8, Cycles(1), Cycles(1), Cycles(1));
+        assert_eq!((c.width, c.height), (4, 2));
+        assert_eq!(c.nodes(), 8);
+        let c16 = TorusConfig::near_square(16, Cycles(1), Cycles(1), Cycles(1));
+        assert_eq!((c16.width, c16.height), (4, 4));
+    }
+
+    #[test]
+    fn hop_counts_use_wraparound() {
+        let c = TorusConfig::near_square(8, Cycles(1), Cycles(1), Cycles(1));
+        // 4x2 torus: node 0 at (0,0), node 3 at (3,0) is 1 hop via wrap.
+        assert_eq!(c.hops(CmpId(0), CmpId(3)), 1);
+        assert_eq!(c.hops(CmpId(0), CmpId(1)), 1);
+        assert_eq!(c.hops(CmpId(0), CmpId(2)), 2);
+        assert_eq!(c.hops(CmpId(0), CmpId(6)), 3); // (2,1): 2 in X + 1 in Y
+        assert_eq!(c.hops(CmpId(5), CmpId(5)), 0);
+    }
+
+    #[test]
+    fn send_to_self_is_cheap() {
+        let mut t = torus8();
+        assert_eq!(t.send(CmpId(2), CmpId(2), Cycle::new(5)), Cycle::new(9));
+    }
+
+    #[test]
+    fn unloaded_send_matches_unloaded_latency() {
+        let t = torus8();
+        for a in 0..8 {
+            for b in 0..8 {
+                let mut fresh = torus8();
+                let arrive = fresh.send(CmpId(a), CmpId(b), Cycle::new(0));
+                assert_eq!(
+                    arrive - Cycle::new(0),
+                    t.unloaded_latency(CmpId(a), CmpId(b)),
+                    "{a}->{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contention_on_shared_first_link() {
+        let mut t = torus8();
+        let a = t.send(CmpId(0), CmpId(1), Cycle::new(0));
+        let b = t.send(CmpId(0), CmpId(1), Cycle::new(0));
+        assert!(b > a, "same route must serialize");
+    }
+
+    #[test]
+    fn message_counter() {
+        let mut t = torus8();
+        t.send(CmpId(0), CmpId(5), Cycle::new(0));
+        t.send(CmpId(1), CmpId(2), Cycle::new(0));
+        assert_eq!(t.messages(), 2);
+    }
+}

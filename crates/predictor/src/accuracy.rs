@@ -1,0 +1,131 @@
+//! Prediction-accuracy bookkeeping for Figure 11.
+
+/// Counts of the four prediction outcomes.
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_predictor::AccuracyStats;
+///
+/// let mut acc = AccuracyStats::default();
+/// acc.record(true, true); // predicted supplier, was supplier
+/// acc.record(true, false); // false positive
+/// assert_eq!(acc.true_positives, 1);
+/// assert_eq!(acc.false_positives, 1);
+/// assert!((acc.fraction_false_positive() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AccuracyStats {
+    /// Predicted supplier, CMP was the supplier.
+    pub true_positives: u64,
+    /// Predicted supplier, CMP was not the supplier.
+    pub false_positives: u64,
+    /// Predicted non-supplier, CMP was not the supplier.
+    pub true_negatives: u64,
+    /// Predicted non-supplier, CMP was the supplier.
+    pub false_negatives: u64,
+}
+
+impl AccuracyStats {
+    /// Records one prediction against ground truth.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.true_positives += 1,
+            (true, false) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+            (false, true) => self.false_negatives += 1,
+        }
+    }
+
+    /// Total predictions recorded.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    fn frac(&self, n: u64) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            n as f64 / t as f64
+        }
+    }
+
+    /// Fraction of predictions that were true positives.
+    pub fn fraction_true_positive(&self) -> f64 {
+        self.frac(self.true_positives)
+    }
+
+    /// Fraction of predictions that were false positives.
+    pub fn fraction_false_positive(&self) -> f64 {
+        self.frac(self.false_positives)
+    }
+
+    /// Fraction of predictions that were true negatives.
+    pub fn fraction_true_negative(&self) -> f64 {
+        self.frac(self.true_negatives)
+    }
+
+    /// Fraction of predictions that were false negatives.
+    pub fn fraction_false_negative(&self) -> f64 {
+        self.frac(self.false_negatives)
+    }
+
+    /// Merges another accuracy record into this one.
+    pub fn merge(&mut self, other: &AccuracyStats) {
+        self.true_positives += other.true_positives;
+        self.false_positives += other.false_positives;
+        self.true_negatives += other.true_negatives;
+        self.false_negatives += other.false_negatives;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_all_four_quadrants() {
+        let mut a = AccuracyStats::default();
+        a.record(true, true);
+        a.record(true, false);
+        a.record(false, false);
+        a.record(false, true);
+        assert_eq!(a.true_positives, 1);
+        assert_eq!(a.false_positives, 1);
+        assert_eq!(a.true_negatives, 1);
+        assert_eq!(a.false_negatives, 1);
+        assert_eq!(a.total(), 4);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let mut a = AccuracyStats::default();
+        for i in 0..100 {
+            a.record(i % 3 == 0, i % 2 == 0);
+        }
+        let sum = a.fraction_true_positive()
+            + a.fraction_false_positive()
+            + a.fraction_true_negative()
+            + a.fraction_false_negative();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_fractions() {
+        let a = AccuracyStats::default();
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.fraction_true_positive(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = AccuracyStats::default();
+        a.record(true, true);
+        let mut b = AccuracyStats::default();
+        b.record(false, true);
+        a.merge(&b);
+        assert_eq!(a.true_positives, 1);
+        assert_eq!(a.false_negatives, 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Counting Bloom filter over line addresses (paper §4.3.2, Table 4).
+//!
+//! The filter splits the line address into `P` consecutive bit fields; each
+//! field indexes its own table of counters. A counter tracks how many
+//! tracked lines share that bit combination. A line is *possibly present*
+//! iff all `P` of its counters are non-zero, so the filter can yield false
+//! positives (aliasing) but never false negatives.
+//!
+//! Table 4 specifies the two evaluated geometries: the `y` filter with
+//! fields of 10, 4 and 7 bits (2.5 KB) and the `n` filter with 9, 9 and
+//! 6 bits (2.3 KB); counters are 16 bits plus a zero-indicator bit.
+
+use flexsnoop_mem::LineAddr;
+
+/// Bit-field geometry of a Bloom filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomSpec {
+    /// Widths, in bits, of the consecutive address fields, lowest first.
+    pub field_bits: Vec<u32>,
+    /// Width of each counter in bits (16 in the paper; counters saturate).
+    pub counter_bits: u32,
+}
+
+impl BloomSpec {
+    /// The paper's `y` filter: fields of 10, 4 and 7 bits (Table 4).
+    pub fn y_filter() -> Self {
+        BloomSpec {
+            field_bits: vec![10, 4, 7],
+            counter_bits: 16,
+        }
+    }
+
+    /// The paper's `n` filter: fields of 9, 9 and 6 bits (Table 4).
+    pub fn n_filter() -> Self {
+        BloomSpec {
+            field_bits: vec![9, 9, 6],
+            counter_bits: 16,
+        }
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if there are no fields, a field is empty or wider
+    /// than 32 bits, or counters are narrower than 2 bits.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.field_bits.is_empty() {
+            return Err("bloom filter needs at least one field".into());
+        }
+        if self.field_bits.iter().any(|&b| b == 0 || b > 32) {
+            return Err("bloom field widths must be in 1..=32".into());
+        }
+        if self.counter_bits < 2 {
+            return Err("bloom counters need at least 2 bits".into());
+        }
+        Ok(())
+    }
+
+    /// Total storage in bits (counters plus the per-entry zero bit).
+    pub fn storage_bits(&self) -> usize {
+        self.field_bits
+            .iter()
+            .map(|&b| (1usize << b) * (self.counter_bits as usize + 1))
+            .sum()
+    }
+}
+
+/// A counting Bloom filter tracking a multiset of line addresses.
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_mem::LineAddr;
+/// use flexsnoop_predictor::{BloomFilter, BloomSpec};
+///
+/// let mut f = BloomFilter::new(BloomSpec::y_filter());
+/// f.insert(LineAddr(0xabc));
+/// assert!(f.may_contain(LineAddr(0xabc))); // never a false negative
+/// f.remove(LineAddr(0xabc));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    spec: BloomSpec,
+    tables: Vec<Vec<u32>>,
+    saturation: u32,
+}
+
+impl BloomFilter {
+    /// Creates an empty filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` is invalid (see [`BloomSpec::validate`]).
+    pub fn new(spec: BloomSpec) -> Self {
+        spec.validate().expect("invalid bloom spec");
+        let tables = spec
+            .field_bits
+            .iter()
+            .map(|&b| vec![0u32; 1 << b])
+            .collect();
+        let saturation = if spec.counter_bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << spec.counter_bits) - 1
+        };
+        Self {
+            spec,
+            tables,
+            saturation,
+        }
+    }
+
+    /// The geometry of this filter.
+    pub fn spec(&self) -> &BloomSpec {
+        &self.spec
+    }
+
+    fn indices(&self, line: LineAddr) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let mut lo = 0u32;
+        self.spec.field_bits.iter().enumerate().map(move |(t, &b)| {
+            let idx = line.bits(lo, b) as usize;
+            lo += b;
+            (t, idx)
+        })
+    }
+
+    /// Adds one occurrence of `line`.
+    pub fn insert(&mut self, line: LineAddr) {
+        let idxs: Vec<_> = self.indices(line).collect();
+        for (t, i) in idxs {
+            let c = &mut self.tables[t][i];
+            // Saturating: a saturated counter is never decremented again, so
+            // the no-false-negative guarantee survives overflow.
+            if *c < self.saturation {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Removes one occurrence of `line`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a counter would underflow, which means the
+    /// caller removed a line it never inserted.
+    pub fn remove(&mut self, line: LineAddr) {
+        let idxs: Vec<_> = self.indices(line).collect();
+        for (t, i) in idxs {
+            let c = &mut self.tables[t][i];
+            debug_assert!(*c > 0, "bloom underflow for {line}");
+            if *c > 0 && *c < self.saturation {
+                *c -= 1;
+            }
+        }
+    }
+
+    /// Whether `line` may be present (no false negatives; false positives
+    /// possible through aliasing).
+    pub fn may_contain(&self, line: LineAddr) -> bool {
+        self.indices(line).all(|(t, i)| self.tables[t][i] > 0)
+    }
+
+    /// Total storage in bits.
+    pub fn storage_bits(&self) -> usize {
+        self.spec.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_filter_sizes() {
+        // Paper: y filter 2.5 KB, n filter 2.3 KB, with 16-bit counters + zero bit.
+        let y = BloomSpec::y_filter().storage_bits() as f64 / 8.0 / 1024.0;
+        let n = BloomSpec::n_filter().storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((y - 2.44).abs() < 0.2, "y filter = {y:.2} KB");
+        assert!((n - 2.30).abs() < 0.2, "n filter = {n:.2} KB");
+    }
+
+    #[test]
+    fn insert_then_contains() {
+        let mut f = BloomFilter::new(BloomSpec::n_filter());
+        assert!(!f.may_contain(LineAddr(42)));
+        f.insert(LineAddr(42));
+        assert!(f.may_contain(LineAddr(42)));
+    }
+
+    #[test]
+    fn remove_clears_unaliased_line() {
+        let mut f = BloomFilter::new(BloomSpec::n_filter());
+        f.insert(LineAddr(42));
+        f.remove(LineAddr(42));
+        assert!(!f.may_contain(LineAddr(42)));
+    }
+
+    #[test]
+    fn multiset_semantics() {
+        let mut f = BloomFilter::new(BloomSpec::n_filter());
+        // Two different lines that alias in the low field still resolve
+        // correctly because counters count.
+        let a = LineAddr(0x1);
+        let b = LineAddr(0x1 | (1 << 30)); // same low bits, different high bits
+        f.insert(a);
+        f.insert(b);
+        f.remove(a);
+        assert!(f.may_contain(b));
+    }
+
+    #[test]
+    fn aliasing_produces_false_positive() {
+        // One field of 4 bits: any two lines equal mod 16 alias completely.
+        let mut f = BloomFilter::new(BloomSpec {
+            field_bits: vec![4],
+            counter_bits: 16,
+        });
+        f.insert(LineAddr(0x5));
+        assert!(f.may_contain(LineAddr(0x15)), "aliased line reads present");
+    }
+
+    #[test]
+    fn never_false_negative_under_churn() {
+        let mut f = BloomFilter::new(BloomSpec::y_filter());
+        let live: Vec<LineAddr> = (0..500).map(|i| LineAddr(i * 37 + 1)).collect();
+        for &l in &live {
+            f.insert(l);
+        }
+        for i in 0..500u64 {
+            f.insert(LineAddr(i * 91 + 7));
+            f.remove(LineAddr(i * 91 + 7));
+        }
+        for &l in &live {
+            assert!(f.may_contain(l), "false negative for {l}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bloom spec")]
+    fn empty_spec_rejected() {
+        BloomFilter::new(BloomSpec {
+            field_bits: vec![],
+            counter_bits: 16,
+        });
+    }
+}

@@ -1,0 +1,178 @@
+//! The Exact supplier predictor (paper §4.3.3).
+//!
+//! Built on the Subset table, with false negatives eliminated by force:
+//! whenever inserting a newly-gained supplier line evicts a victim from the
+//! predictor table, the predictor demands that the protocol **downgrade**
+//! the victim line in the CMP — `SG`/`E` silently become `SL`; `D`/`T` are
+//! written back to memory and kept in `SL`. After the downgrade the CMP
+//! genuinely cannot supply the victim, so the table is exact: the tracked
+//! set *is* the supplier set.
+//!
+//! The downgrades are also where Exact's costs come from: later reads of a
+//! downgraded line must go to memory, and dirty victims pay a write-back
+//! plus eventual re-read (Figure 9's 3.2× energy on SPLASH-2).
+
+use flexsnoop_mem::{CacheGeometry, LineAddr, SetAssocCache};
+
+use crate::{PredictorCounters, SupplierPredictor};
+
+/// Exact predictor: a supplier-address table kept exact via downgrades.
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_mem::LineAddr;
+/// use flexsnoop_predictor::{ExactPredictor, SupplierPredictor};
+///
+/// let mut p = ExactPredictor::exa2k();
+/// assert_eq!(p.supplier_gained(LineAddr(1)), None);
+/// assert!(p.predict(LineAddr(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExactPredictor {
+    table: SetAssocCache<()>,
+    entry_bits: usize,
+    counters: PredictorCounters,
+    downgrades: u64,
+}
+
+impl ExactPredictor {
+    /// Creates a predictor with the given geometry and per-entry tag width.
+    pub fn new(geometry: CacheGeometry, entry_bits: usize) -> Self {
+        Self {
+            table: SetAssocCache::new(geometry),
+            entry_bits,
+            counters: PredictorCounters::default(),
+            downgrades: 0,
+        }
+    }
+
+    /// The paper's `Exa512` configuration (512 entries, 8-way).
+    pub fn exa512() -> Self {
+        Self::new(CacheGeometry::from_entries(512, 8), 20)
+    }
+
+    /// The paper's `Exa2k` configuration (2K entries, 8-way).
+    pub fn exa2k() -> Self {
+        Self::new(CacheGeometry::from_entries(2048, 8), 18)
+    }
+
+    /// The paper's `Exa8k` configuration (8K entries, 8-way).
+    pub fn exa8k() -> Self {
+        Self::new(CacheGeometry::from_entries(8192, 8), 16)
+    }
+
+    /// Number of downgrades this predictor has demanded.
+    pub fn downgrades(&self) -> u64 {
+        self.downgrades
+    }
+
+    /// Number of lines currently tracked.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no lines are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+impl SupplierPredictor for ExactPredictor {
+    fn predict(&mut self, line: LineAddr) -> bool {
+        self.counters.lookups += 1;
+        self.table.get(line).is_some()
+    }
+
+    fn supplier_gained(&mut self, line: LineAddr) -> Option<LineAddr> {
+        self.counters.trainings += 1;
+        let victim = self.table.insert(line, ()).map(|(l, ())| l);
+        if victim.is_some() {
+            self.downgrades += 1;
+        }
+        victim
+    }
+
+    fn supplier_lost(&mut self, line: LineAddr) {
+        self.counters.trainings += 1;
+        self.table.remove(line);
+    }
+
+    fn counters(&self) -> PredictorCounters {
+        self.counters
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.table.geometry().entries() * (self.entry_bits + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExactPredictor {
+        ExactPredictor::new(CacheGeometry::from_entries(4, 2), 20)
+    }
+
+    #[test]
+    fn conflict_demands_downgrade_of_victim() {
+        let mut p = tiny();
+        // Lines 0, 2, 4 share set 0 of the 2-set, 2-way table.
+        assert_eq!(p.supplier_gained(LineAddr(0)), None);
+        assert_eq!(p.supplier_gained(LineAddr(2)), None);
+        let victim = p.supplier_gained(LineAddr(4));
+        assert_eq!(victim, Some(LineAddr(0)), "LRU victim must be downgraded");
+        assert_eq!(p.downgrades(), 1);
+    }
+
+    #[test]
+    fn table_is_exact_after_downgrade() {
+        let mut p = tiny();
+        p.supplier_gained(LineAddr(0));
+        p.supplier_gained(LineAddr(2));
+        let victim = p.supplier_gained(LineAddr(4)).unwrap();
+        // The protocol downgrades `victim` and (per supplier_lost contract)
+        // the line is already absent from the table.
+        assert!(!p.predict(victim));
+        assert!(p.predict(LineAddr(2)));
+        assert!(p.predict(LineAddr(4)));
+    }
+
+    #[test]
+    fn lookups_refresh_lru() {
+        let mut p = tiny();
+        p.supplier_gained(LineAddr(0));
+        p.supplier_gained(LineAddr(2));
+        p.predict(LineAddr(0)); // keep line 0 warm
+        let victim = p.supplier_gained(LineAddr(4)).unwrap();
+        assert_eq!(victim, LineAddr(2));
+    }
+
+    #[test]
+    fn loss_removes_tracking() {
+        let mut p = tiny();
+        p.supplier_gained(LineAddr(6));
+        p.supplier_lost(LineAddr(6));
+        assert!(!p.predict(LineAddr(6)));
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn no_downgrade_without_conflict() {
+        let mut p = ExactPredictor::exa2k();
+        for i in 0..2048u64 {
+            assert_eq!(p.supplier_gained(LineAddr(i)), None, "no conflicts yet");
+        }
+        assert_eq!(p.downgrades(), 0);
+        assert_eq!(p.len(), 2048);
+    }
+
+    #[test]
+    fn paper_sizes() {
+        let kb = |p: &ExactPredictor| p.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((kb(&ExactPredictor::exa512()) - 1.3).abs() < 0.1);
+        assert!((kb(&ExactPredictor::exa2k()) - 4.8).abs() < 0.2);
+        assert!((kb(&ExactPredictor::exa8k()) - 17.0).abs() < 0.5);
+    }
+}

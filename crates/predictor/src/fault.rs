@@ -1,0 +1,163 @@
+//! Fault injection for predictor-robustness studies (paper §4.3.4).
+//!
+//! The paper's implementation-difficulty argument hinges on what happens
+//! when a hardware race corrupts a prediction: *"an unnoticed false
+//! negative in Superset and Exact [means] a request skips the snoop
+//! operation at the CMP that has the line in supplier state; therefore,
+//! execution is incorrect. [An unnoticed false positive in Subset means]
+//! the request unnecessarily snoops a CMP that does not have the line;
+//! therefore, execution is slower but still correct."*
+//!
+//! [`FaultInjectingPredictor`] wraps any predictor and flips a bounded
+//! number of its answers in a chosen direction, letting tests and studies
+//! observe exactly those two failure modes.
+
+use flexsnoop_mem::LineAddr;
+
+use crate::{PredictorCounters, SupplierPredictor};
+
+/// Which way injected faults flip predictions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Turn positives into negatives (the dangerous direction for
+    /// Superset/Exact: a supplier may be skipped).
+    ForceNegative,
+    /// Turn negatives into positives (the benign direction: a useless
+    /// snoop happens; execution stays correct).
+    ForcePositive,
+}
+
+/// A predictor wrapper that corrupts every `period`-th prediction, up to
+/// `budget` times.
+#[derive(Debug)]
+pub struct FaultInjectingPredictor<P> {
+    inner: P,
+    kind: FaultKind,
+    period: u64,
+    budget: u64,
+    seen: u64,
+    injected: u64,
+}
+
+impl<P: SupplierPredictor> FaultInjectingPredictor<P> {
+    /// Wraps `inner`, flipping every `period`-th prediction (1 = every
+    /// prediction) in the `kind` direction, at most `budget` times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(inner: P, kind: FaultKind, period: u64, budget: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        Self {
+            inner,
+            kind,
+            period,
+            budget,
+            seen: 0,
+            injected: 0,
+        }
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// The wrapped predictor.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: SupplierPredictor> SupplierPredictor for FaultInjectingPredictor<P> {
+    fn predict(&mut self, line: LineAddr) -> bool {
+        let honest = self.inner.predict(line);
+        self.seen += 1;
+        if self.injected < self.budget && self.seen.is_multiple_of(self.period) {
+            let corrupted = match self.kind {
+                FaultKind::ForceNegative => false,
+                FaultKind::ForcePositive => true,
+            };
+            if corrupted != honest {
+                self.injected += 1;
+                return corrupted;
+            }
+        }
+        honest
+    }
+
+    fn supplier_gained(&mut self, line: LineAddr) -> Option<LineAddr> {
+        self.inner.supplier_gained(line)
+    }
+
+    fn supplier_lost(&mut self, line: LineAddr) {
+        self.inner.supplier_lost(line)
+    }
+
+    fn feedback(&mut self, line: LineAddr, was_supplier: bool) {
+        self.inner.feedback(line, was_supplier)
+    }
+
+    fn counters(&self) -> PredictorCounters {
+        self.inner.counters()
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.inner.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PerfectPredictor;
+
+    fn tracked() -> FaultInjectingPredictor<PerfectPredictor> {
+        let mut p = PerfectPredictor::new();
+        p.supplier_gained(LineAddr(1));
+        FaultInjectingPredictor::new(p, FaultKind::ForceNegative, 1, 2)
+    }
+
+    #[test]
+    fn injects_up_to_budget() {
+        let mut p = tracked();
+        assert!(!p.predict(LineAddr(1)), "fault 1");
+        assert!(!p.predict(LineAddr(1)), "fault 2");
+        assert!(p.predict(LineAddr(1)), "budget exhausted: honest again");
+        assert_eq!(p.injected(), 2);
+    }
+
+    #[test]
+    fn period_spaces_faults() {
+        let mut inner = PerfectPredictor::new();
+        inner.supplier_gained(LineAddr(1));
+        let mut p = FaultInjectingPredictor::new(inner, FaultKind::ForceNegative, 3, 10);
+        let answers: Vec<bool> = (0..6).map(|_| p.predict(LineAddr(1))).collect();
+        assert_eq!(answers, [true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn force_positive_only_flips_negatives() {
+        let inner = PerfectPredictor::new(); // tracks nothing: all negative
+        let mut p = FaultInjectingPredictor::new(inner, FaultKind::ForcePositive, 1, 1);
+        assert!(p.predict(LineAddr(9)), "negative flipped to positive");
+        assert!(!p.predict(LineAddr(9)), "budget spent");
+        assert_eq!(p.injected(), 1);
+    }
+
+    #[test]
+    fn maintenance_passes_through() {
+        let mut p = tracked();
+        p.supplier_lost(LineAddr(1));
+        // Budget would corrupt positives, but the honest answer is now
+        // negative anyway; no injection is recorded for a no-op flip.
+        assert!(!p.predict(LineAddr(1)));
+        assert_eq!(p.injected(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_rejected() {
+        FaultInjectingPredictor::new(PerfectPredictor::new(), FaultKind::ForceNegative, 0, 1);
+    }
+}

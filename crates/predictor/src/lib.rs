@@ -1,0 +1,133 @@
+//! Supplier predictors for Flexible Snooping (paper §4.3).
+//!
+//! Each CMP's gateway hosts a *Supplier Predictor* answering one question:
+//! "does this CMP hold line X in a supplier state (`SG`, `E`, `D`, `T`)?"
+//! The three implementable designs trade off which way they may be wrong:
+//!
+//! | Predictor | False positives | False negatives | Structure |
+//! |-----------|-----------------|-----------------|-----------|
+//! | [`SubsetPredictor`]   | never | possible | set-associative address cache |
+//! | [`SupersetPredictor`] | possible | never | counting Bloom filter + Exclude cache |
+//! | [`ExactPredictor`]    | never | never | address cache + line **downgrades** |
+//!
+//! [`PerfectPredictor`] is the evaluation-only oracle used for Figure 11's
+//! "perfect" bars; [`NullPredictor`] stands in for algorithms that never
+//! consult a predictor (Lazy, Eager, Oracle).
+//!
+//! The predictors only *track* supplier lines; the protocol tells them when
+//! a line gains or loses supplier state via [`SupplierPredictor::supplier_gained`]
+//! / [`supplier_lost`](SupplierPredictor::supplier_lost), and reports snoop
+//! ground truth via [`feedback`](SupplierPredictor::feedback) (which trains
+//! Superset's Exclude cache).
+
+pub mod accuracy;
+pub mod bloom;
+pub mod fault;
+pub mod exact;
+pub mod perfect;
+pub mod spec;
+pub mod subset;
+pub mod superset;
+
+pub use accuracy::AccuracyStats;
+pub use bloom::{BloomFilter, BloomSpec};
+pub use exact::ExactPredictor;
+pub use fault::{FaultInjectingPredictor, FaultKind};
+pub use perfect::PerfectPredictor;
+pub use spec::PredictorSpec;
+pub use subset::SubsetPredictor;
+pub use superset::SupersetPredictor;
+
+use flexsnoop_mem::LineAddr;
+
+/// Event counters every predictor keeps, consumed by the energy model
+/// (predictions and training updates both cost energy; paper §6.1.4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PredictorCounters {
+    /// Prediction lookups performed.
+    pub lookups: u64,
+    /// Training updates (inserts, removes, Bloom counter updates,
+    /// Exclude-cache fills).
+    pub trainings: u64,
+}
+
+/// A per-CMP supplier predictor (paper §4.3).
+///
+/// Implementations must uphold their advertised error class: `Subset` and
+/// `Exact` must never return a positive for a line the CMP cannot supply,
+/// and `Superset`, `Exact` and `Perfect` must never return a negative for a
+/// line it can. The property tests in this crate enforce both.
+pub trait SupplierPredictor: std::fmt::Debug {
+    /// Predicts whether the CMP can supply `line`.
+    fn predict(&mut self, line: LineAddr) -> bool;
+
+    /// Records that `line` entered a supplier state in this CMP.
+    ///
+    /// Returns a line that the protocol must **downgrade** out of its
+    /// supplier state to keep the predictor exact (only [`ExactPredictor`]
+    /// ever returns `Some`; paper §4.3.3).
+    fn supplier_gained(&mut self, line: LineAddr) -> Option<LineAddr>;
+
+    /// Records that `line` left supplier state (eviction, invalidation or
+    /// downgrade).
+    fn supplier_lost(&mut self, line: LineAddr);
+
+    /// Ground-truth feedback after an actual snoop of this CMP: `line` was
+    /// (not) suppliable. Default: ignored.
+    fn feedback(&mut self, line: LineAddr, was_supplier: bool) {
+        let _ = (line, was_supplier);
+    }
+
+    /// Access/training counters for the energy model.
+    fn counters(&self) -> PredictorCounters;
+
+    /// Total storage the predictor occupies, in bits (for reporting).
+    fn storage_bits(&self) -> usize;
+}
+
+/// Predictor stand-in for algorithms that never predict (Lazy, Eager,
+/// Oracle). Always answers `false` and is never charged energy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullPredictor;
+
+impl SupplierPredictor for NullPredictor {
+    fn predict(&mut self, _line: LineAddr) -> bool {
+        false
+    }
+
+    fn supplier_gained(&mut self, _line: LineAddr) -> Option<LineAddr> {
+        None
+    }
+
+    fn supplier_lost(&mut self, _line: LineAddr) {}
+
+    fn counters(&self) -> PredictorCounters {
+        PredictorCounters::default()
+    }
+
+    fn storage_bits(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_predictor_is_inert() {
+        let mut p = NullPredictor;
+        assert!(!p.predict(LineAddr(1)));
+        assert_eq!(p.supplier_gained(LineAddr(1)), None);
+        p.supplier_lost(LineAddr(1));
+        p.feedback(LineAddr(1), true);
+        assert_eq!(p.counters(), PredictorCounters::default());
+        assert_eq!(p.storage_bits(), 0);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut p: Box<dyn SupplierPredictor> = Box::new(NullPredictor);
+        assert!(!p.predict(LineAddr(0)));
+    }
+}

@@ -1,0 +1,103 @@
+//! The perfect supplier predictor (evaluation oracle).
+//!
+//! Tracks the supplier set exactly with unbounded storage and therefore
+//! never errs and never downgrades. Not implementable in hardware at this
+//! cost — the paper uses it for Figure 11's "Perfect" bars and the Oracle
+//! algorithm's lower bound; so do we.
+
+use std::collections::HashSet;
+
+use flexsnoop_mem::LineAddr;
+
+use crate::{PredictorCounters, SupplierPredictor};
+
+/// A predictor with perfect knowledge of the CMP's supplier lines.
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_mem::LineAddr;
+/// use flexsnoop_predictor::{PerfectPredictor, SupplierPredictor};
+///
+/// let mut p = PerfectPredictor::new();
+/// p.supplier_gained(LineAddr(9));
+/// assert!(p.predict(LineAddr(9)));
+/// p.supplier_lost(LineAddr(9));
+/// assert!(!p.predict(LineAddr(9)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PerfectPredictor {
+    lines: HashSet<LineAddr>,
+    counters: PredictorCounters,
+}
+
+impl PerfectPredictor {
+    /// Creates an empty perfect predictor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of supplier lines currently tracked.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether no supplier lines are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+impl SupplierPredictor for PerfectPredictor {
+    fn predict(&mut self, line: LineAddr) -> bool {
+        self.counters.lookups += 1;
+        self.lines.contains(&line)
+    }
+
+    fn supplier_gained(&mut self, line: LineAddr) -> Option<LineAddr> {
+        self.counters.trainings += 1;
+        self.lines.insert(line);
+        None
+    }
+
+    fn supplier_lost(&mut self, line: LineAddr) {
+        self.counters.trainings += 1;
+        self.lines.remove(&line);
+    }
+
+    fn counters(&self) -> PredictorCounters {
+        self.counters
+    }
+
+    fn storage_bits(&self) -> usize {
+        // Unbounded structure; report the current footprint (one full line
+        // address per tracked line) for curiosity's sake.
+        self.lines.len() * 64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_tracking_without_downgrades() {
+        let mut p = PerfectPredictor::new();
+        for i in 0..10_000u64 {
+            assert_eq!(p.supplier_gained(LineAddr(i)), None);
+        }
+        assert_eq!(p.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert!(p.predict(LineAddr(i)));
+        }
+        assert!(!p.predict(LineAddr(10_001)));
+    }
+
+    #[test]
+    fn loss_is_immediate() {
+        let mut p = PerfectPredictor::new();
+        p.supplier_gained(LineAddr(5));
+        p.supplier_lost(LineAddr(5));
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Declarative predictor configurations.
+//!
+//! The evaluation sweeps twelve named predictor configurations (paper §5.2):
+//! `Sub512/Sub2k/Sub8k`, `SupCy512/SupCy2k/SupCn2k` (shared with the
+//! aggressive variants `SupAy512/SupAy2k/SupAn2k` — Con and Agg differ only
+//! in the *action* taken, not the predictor), and `Exa512/Exa2k/Exa8k`.
+//! [`PredictorSpec`] names them declaratively so experiment configs stay
+//! plain data.
+
+use std::fmt;
+
+use flexsnoop_mem::CacheGeometry;
+
+use crate::bloom::BloomSpec;
+use crate::{
+    ExactPredictor, NullPredictor, PerfectPredictor, SubsetPredictor, SupersetPredictor,
+    SupplierPredictor,
+};
+
+/// Which Bloom filter geometry a Superset predictor uses (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BloomVariant {
+    /// Fields of 10, 4 and 7 bits ("y filter", 2.5 KB).
+    Y,
+    /// Fields of 9, 9 and 6 bits ("n filter", 2.3 KB).
+    N,
+}
+
+impl BloomVariant {
+    fn spec(self) -> BloomSpec {
+        match self {
+            BloomVariant::Y => BloomSpec::y_filter(),
+            BloomVariant::N => BloomSpec::n_filter(),
+        }
+    }
+}
+
+/// A buildable description of a supplier predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictorSpec {
+    /// No predictor (Lazy, Eager, Oracle).
+    None,
+    /// Subset cache with the given entry count (8-way).
+    Subset {
+        /// Table entries (512, 2048 or 8192 in the paper).
+        entries: usize,
+    },
+    /// Counting Bloom filter plus Exclude cache.
+    Superset {
+        /// Bloom geometry.
+        bloom: BloomVariant,
+        /// Exclude-cache entries (0 disables the Exclude cache).
+        exclude_entries: usize,
+    },
+    /// Exact table (downgrades on conflict) with the given entry count.
+    Exact {
+        /// Table entries.
+        entries: usize,
+    },
+    /// The evaluation-only oracle.
+    Perfect,
+}
+
+impl PredictorSpec {
+    /// The paper's `Sub512` configuration.
+    pub const SUB512: Self = PredictorSpec::Subset { entries: 512 };
+    /// The paper's `Sub2k` configuration.
+    pub const SUB2K: Self = PredictorSpec::Subset { entries: 2048 };
+    /// The paper's `Sub8k` configuration.
+    pub const SUB8K: Self = PredictorSpec::Subset { entries: 8192 };
+    /// The paper's `y512` Superset configuration.
+    pub const SUP_Y512: Self = PredictorSpec::Superset {
+        bloom: BloomVariant::Y,
+        exclude_entries: 512,
+    };
+    /// The paper's `y2k` Superset configuration (the §6.1 default).
+    pub const SUP_Y2K: Self = PredictorSpec::Superset {
+        bloom: BloomVariant::Y,
+        exclude_entries: 2048,
+    };
+    /// The paper's `n2k` Superset configuration.
+    pub const SUP_N2K: Self = PredictorSpec::Superset {
+        bloom: BloomVariant::N,
+        exclude_entries: 2048,
+    };
+    /// The paper's `Exa512` configuration.
+    pub const EXA512: Self = PredictorSpec::Exact { entries: 512 };
+    /// The paper's `Exa2k` configuration.
+    pub const EXA2K: Self = PredictorSpec::Exact { entries: 2048 };
+    /// The paper's `Exa8k` configuration.
+    pub const EXA8K: Self = PredictorSpec::Exact { entries: 8192 };
+
+    /// Tag width used by the paper for a table of `entries` entries
+    /// (Table 4: 20, 18 or 16 bits for 512, 2K, 8K).
+    fn entry_bits(entries: usize) -> usize {
+        match entries {
+            0..=512 => 20,
+            513..=2048 => 18,
+            _ => 16,
+        }
+    }
+
+    /// Builds the predictor this spec describes.
+    pub fn build(&self) -> Box<dyn SupplierPredictor + Send> {
+        match *self {
+            PredictorSpec::None => Box::new(NullPredictor),
+            PredictorSpec::Subset { entries } => Box::new(SubsetPredictor::new(
+                CacheGeometry::from_entries(entries, 8),
+                Self::entry_bits(entries),
+            )),
+            PredictorSpec::Superset {
+                bloom,
+                exclude_entries,
+            } => {
+                let exclude = (exclude_entries > 0).then(|| {
+                    (
+                        CacheGeometry::from_entries(exclude_entries, 8),
+                        Self::entry_bits(exclude_entries),
+                    )
+                });
+                Box::new(SupersetPredictor::new(bloom.spec(), exclude))
+            }
+            PredictorSpec::Exact { entries } => Box::new(ExactPredictor::new(
+                CacheGeometry::from_entries(entries, 8),
+                Self::entry_bits(entries),
+            )),
+            PredictorSpec::Perfect => Box::new(PerfectPredictor::new()),
+        }
+    }
+}
+
+impl fmt::Display for PredictorSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            PredictorSpec::None => write!(f, "none"),
+            PredictorSpec::Subset { entries } => write!(f, "Sub{}", fmt_entries(entries)),
+            PredictorSpec::Superset {
+                bloom,
+                exclude_entries,
+            } => {
+                let b = match bloom {
+                    BloomVariant::Y => "y",
+                    BloomVariant::N => "n",
+                };
+                write!(f, "Sup{b}{}", fmt_entries(exclude_entries))
+            }
+            PredictorSpec::Exact { entries } => write!(f, "Exa{}", fmt_entries(entries)),
+            PredictorSpec::Perfect => write!(f, "Perfect"),
+        }
+    }
+}
+
+fn fmt_entries(entries: usize) -> String {
+    if entries >= 1024 && entries.is_multiple_of(1024) {
+        format!("{}k", entries / 1024)
+    } else {
+        format!("{entries}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsnoop_mem::LineAddr;
+
+    #[test]
+    fn builds_every_paper_config() {
+        let specs = [
+            PredictorSpec::SUB512,
+            PredictorSpec::SUB2K,
+            PredictorSpec::SUB8K,
+            PredictorSpec::SUP_Y512,
+            PredictorSpec::SUP_Y2K,
+            PredictorSpec::SUP_N2K,
+            PredictorSpec::EXA512,
+            PredictorSpec::EXA2K,
+            PredictorSpec::EXA8K,
+            PredictorSpec::Perfect,
+            PredictorSpec::None,
+        ];
+        for spec in specs {
+            let mut p = spec.build();
+            p.supplier_gained(LineAddr(1));
+            let _ = p.predict(LineAddr(1));
+        }
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(PredictorSpec::SUB2K.to_string(), "Sub2k");
+        assert_eq!(PredictorSpec::SUP_Y512.to_string(), "Supy512");
+        assert_eq!(PredictorSpec::SUP_N2K.to_string(), "Supn2k");
+        assert_eq!(PredictorSpec::EXA8K.to_string(), "Exa8k");
+    }
+
+    #[test]
+    fn superset_without_exclude_builds() {
+        let spec = PredictorSpec::Superset {
+            bloom: BloomVariant::Y,
+            exclude_entries: 0,
+        };
+        let mut p = spec.build();
+        p.supplier_gained(LineAddr(3));
+        assert!(p.predict(LineAddr(3)));
+    }
+}

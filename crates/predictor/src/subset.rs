@@ -1,0 +1,165 @@
+//! The Subset supplier predictor (paper §4.3.1).
+//!
+//! A set-associative cache of addresses known to be in supplier states in
+//! the CMP. Insertions that conflict overwrite the LRU entry, *silently
+//! forgetting* a supplier line — that is where false negatives come from.
+//! Evictions and invalidations remove the address, so a positive answer is
+//! always right: **no false positives**.
+
+use flexsnoop_mem::{CacheGeometry, LineAddr, SetAssocCache};
+
+use crate::{PredictorCounters, SupplierPredictor};
+
+/// Subset predictor: tracks a subset of the CMP's supplier lines.
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_mem::{CacheGeometry, LineAddr};
+/// use flexsnoop_predictor::{SubsetPredictor, SupplierPredictor};
+///
+/// let mut p = SubsetPredictor::new(CacheGeometry::from_entries(512, 8), 20);
+/// p.supplier_gained(LineAddr(7));
+/// assert!(p.predict(LineAddr(7)));
+/// p.supplier_lost(LineAddr(7));
+/// assert!(!p.predict(LineAddr(7)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SubsetPredictor {
+    table: SetAssocCache<()>,
+    entry_bits: usize,
+    counters: PredictorCounters,
+}
+
+impl SubsetPredictor {
+    /// Creates a predictor with the given table geometry and per-entry tag
+    /// width in bits (Table 4: 20/18/16 bits for 512/2K/8K entries).
+    pub fn new(geometry: CacheGeometry, entry_bits: usize) -> Self {
+        Self {
+            table: SetAssocCache::new(geometry),
+            entry_bits,
+            counters: PredictorCounters::default(),
+        }
+    }
+
+    /// The paper's `Sub512` configuration (512 entries, 8-way, 20-bit tags).
+    pub fn sub512() -> Self {
+        Self::new(CacheGeometry::from_entries(512, 8), 20)
+    }
+
+    /// The paper's `Sub2k` configuration (2K entries, 8-way, 18-bit tags).
+    pub fn sub2k() -> Self {
+        Self::new(CacheGeometry::from_entries(2048, 8), 18)
+    }
+
+    /// The paper's `Sub8k` configuration (8K entries, 8-way, 16-bit tags).
+    pub fn sub8k() -> Self {
+        Self::new(CacheGeometry::from_entries(8192, 8), 16)
+    }
+
+    /// Number of lines currently tracked.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no lines are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+impl SupplierPredictor for SubsetPredictor {
+    fn predict(&mut self, line: LineAddr) -> bool {
+        self.counters.lookups += 1;
+        // Prediction refreshes LRU: a line that keeps being asked about is
+        // a line worth remembering.
+        self.table.get(line).is_some()
+    }
+
+    fn supplier_gained(&mut self, line: LineAddr) -> Option<LineAddr> {
+        self.counters.trainings += 1;
+        // A conflict silently drops the victim from the table: the CMP still
+        // holds that line in a supplier state, so a later prediction for it
+        // will be a false negative (by design — no downgrade here).
+        let _victim = self.table.insert(line, ());
+        None
+    }
+
+    fn supplier_lost(&mut self, line: LineAddr) {
+        self.counters.trainings += 1;
+        self.table.remove(line);
+    }
+
+    fn counters(&self) -> PredictorCounters {
+        self.counters
+    }
+
+    fn storage_bits(&self) -> usize {
+        self.table.geometry().entries() * (self.entry_bits + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SubsetPredictor {
+        SubsetPredictor::new(CacheGeometry::from_entries(4, 2), 20)
+    }
+
+    #[test]
+    fn no_false_positives_after_loss() {
+        let mut p = tiny();
+        p.supplier_gained(LineAddr(1));
+        p.supplier_lost(LineAddr(1));
+        assert!(!p.predict(LineAddr(1)));
+    }
+
+    #[test]
+    fn conflict_creates_false_negative() {
+        let mut p = tiny();
+        // Lines 0, 2, 4 map to set 0 of a 2-set, 2-way table.
+        p.supplier_gained(LineAddr(0));
+        p.supplier_gained(LineAddr(2));
+        p.supplier_gained(LineAddr(4)); // evicts line 0 silently
+        assert!(!p.predict(LineAddr(0)), "forgotten line answers negative");
+        assert!(p.predict(LineAddr(2)));
+        assert!(p.predict(LineAddr(4)));
+    }
+
+    #[test]
+    fn never_requests_downgrades() {
+        let mut p = tiny();
+        for i in 0..100u64 {
+            assert_eq!(p.supplier_gained(LineAddr(i)), None);
+        }
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut p = tiny();
+        p.supplier_gained(LineAddr(1));
+        p.predict(LineAddr(1));
+        p.predict(LineAddr(2));
+        p.supplier_lost(LineAddr(1));
+        let c = p.counters();
+        assert_eq!(c.lookups, 2);
+        assert_eq!(c.trainings, 2);
+    }
+
+    #[test]
+    fn paper_configurations_have_table4_sizes() {
+        // Table 4: total size 1.3, 4.8, 17 KB for 512/2K/8K entries.
+        let kb = |p: &SubsetPredictor| p.storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((kb(&SubsetPredictor::sub512()) - 1.3).abs() < 0.1);
+        assert!((kb(&SubsetPredictor::sub2k()) - 4.8).abs() < 0.2);
+        assert!((kb(&SubsetPredictor::sub8k()) - 17.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn losing_untracked_line_is_harmless() {
+        let mut p = tiny();
+        p.supplier_lost(LineAddr(99));
+        assert!(p.is_empty());
+    }
+}

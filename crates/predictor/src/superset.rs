@@ -1,0 +1,214 @@
+//! The Superset supplier predictor (paper §4.3.2).
+//!
+//! A counting Bloom filter tracks the CMP's supplier lines; aliasing makes
+//! it answer "maybe" for lines that are not there (**false positives**), but
+//! it can never miss a tracked line (**no false negatives**). A JETTY-style
+//! *Exclude cache* — a small set-associative cache of addresses proven not
+//! to be suppliable — filters out repeat offenders: every time a snoop
+//! exposes a false positive, the address is inserted; every time the line
+//! actually becomes suppliable, it is removed (before the Bloom insert, so
+//! there is never a window where both structures disagree toward a false
+//! negative).
+
+use flexsnoop_mem::{CacheGeometry, LineAddr, SetAssocCache};
+
+use crate::bloom::{BloomFilter, BloomSpec};
+use crate::{PredictorCounters, SupplierPredictor};
+
+/// Superset predictor: counting Bloom filter plus Exclude cache.
+///
+/// # Example
+///
+/// ```
+/// use flexsnoop_mem::LineAddr;
+/// use flexsnoop_predictor::{SupersetPredictor, SupplierPredictor};
+///
+/// let mut p = SupersetPredictor::y2k();
+/// p.supplier_gained(LineAddr(3));
+/// assert!(p.predict(LineAddr(3))); // guaranteed: no false negatives
+/// ```
+#[derive(Debug, Clone)]
+pub struct SupersetPredictor {
+    bloom: BloomFilter,
+    exclude: Option<SetAssocCache<()>>,
+    exclude_entry_bits: usize,
+    counters: PredictorCounters,
+}
+
+impl SupersetPredictor {
+    /// Creates a predictor from a Bloom geometry and an optional Exclude
+    /// cache geometry with its per-entry tag width.
+    pub fn new(spec: BloomSpec, exclude: Option<(CacheGeometry, usize)>) -> Self {
+        let (exclude, exclude_entry_bits) = match exclude {
+            Some((g, bits)) => (Some(SetAssocCache::new(g)), bits),
+            None => (None, 0),
+        };
+        Self {
+            bloom: BloomFilter::new(spec),
+            exclude,
+            exclude_entry_bits,
+            counters: PredictorCounters::default(),
+        }
+    }
+
+    /// Paper `y512`: `y` Bloom filter + 512-entry Exclude cache.
+    pub fn y512() -> Self {
+        Self::new(
+            BloomSpec::y_filter(),
+            Some((CacheGeometry::from_entries(512, 8), 20)),
+        )
+    }
+
+    /// Paper `y2k`: `y` Bloom filter + 2K-entry Exclude cache.
+    pub fn y2k() -> Self {
+        Self::new(
+            BloomSpec::y_filter(),
+            Some((CacheGeometry::from_entries(2048, 8), 18)),
+        )
+    }
+
+    /// Paper `n2k`: `n` Bloom filter + 2K-entry Exclude cache.
+    pub fn n2k() -> Self {
+        Self::new(
+            BloomSpec::n_filter(),
+            Some((CacheGeometry::from_entries(2048, 8), 18)),
+        )
+    }
+
+    /// A bare Bloom filter with no Exclude cache (ablation configuration).
+    pub fn bare(spec: BloomSpec) -> Self {
+        Self::new(spec, None)
+    }
+}
+
+impl SupplierPredictor for SupersetPredictor {
+    fn predict(&mut self, line: LineAddr) -> bool {
+        self.counters.lookups += 1;
+        if !self.bloom.may_contain(line) {
+            return false;
+        }
+        if let Some(exclude) = &mut self.exclude {
+            if exclude.get(line).is_some() {
+                // Known alias: the Bloom filter says maybe, but a previous
+                // snoop proved this exact address is not suppliable here.
+                return false;
+            }
+        }
+        true
+    }
+
+    fn supplier_gained(&mut self, line: LineAddr) -> Option<LineAddr> {
+        self.counters.trainings += 1;
+        // Remove from the Exclude cache FIRST: if the line were still
+        // excluded after the Bloom insert, predictions would be false
+        // negatives, breaking the Superset guarantee.
+        if let Some(exclude) = &mut self.exclude {
+            exclude.remove(line);
+        }
+        self.bloom.insert(line);
+        None
+    }
+
+    fn supplier_lost(&mut self, line: LineAddr) {
+        self.counters.trainings += 1;
+        self.bloom.remove(line);
+    }
+
+    fn feedback(&mut self, line: LineAddr, was_supplier: bool) {
+        if was_supplier {
+            return;
+        }
+        // The snoop found nothing: this address was a false positive.
+        if let Some(exclude) = &mut self.exclude {
+            self.counters.trainings += 1;
+            exclude.insert(line, ());
+        }
+    }
+
+    fn counters(&self) -> PredictorCounters {
+        self.counters
+    }
+
+    fn storage_bits(&self) -> usize {
+        let exclude_bits = self
+            .exclude
+            .as_ref()
+            .map(|e| e.geometry().entries() * (self.exclude_entry_bits + 1))
+            .unwrap_or(0);
+        self.bloom.storage_bits() + exclude_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracked_lines_always_predict_positive() {
+        let mut p = SupersetPredictor::y2k();
+        for i in 0..3000u64 {
+            p.supplier_gained(LineAddr(i * 13));
+        }
+        for i in 0..3000u64 {
+            assert!(p.predict(LineAddr(i * 13)), "false negative at {i}");
+        }
+    }
+
+    #[test]
+    fn feedback_trains_exclude_cache() {
+        let mut p = SupersetPredictor::y2k();
+        // Force an alias: one tracked line, probe a different line that
+        // shares all three Bloom fields (identical low 21 bits).
+        let tracked = LineAddr(0xABCDE);
+        let alias = LineAddr(0xABCDE | (1 << 40));
+        p.supplier_gained(tracked);
+        assert!(p.predict(alias), "aliased address is a false positive");
+        p.feedback(alias, false);
+        assert!(!p.predict(alias), "exclude cache filters the repeat");
+        assert!(p.predict(tracked), "the real line still predicts positive");
+    }
+
+    #[test]
+    fn gaining_excluded_line_clears_exclusion() {
+        let mut p = SupersetPredictor::y2k();
+        let line = LineAddr(0x42);
+        p.supplier_gained(LineAddr(0x42 | (1 << 40))); // make bloom positive for alias group
+        p.feedback(line, false); // exclude `line`
+        assert!(!p.predict(line));
+        p.supplier_gained(line); // the CMP now really can supply it
+        assert!(p.predict(line), "no false negative allowed");
+    }
+
+    #[test]
+    fn positive_feedback_is_a_no_op() {
+        let mut p = SupersetPredictor::y2k();
+        p.supplier_gained(LineAddr(7));
+        p.feedback(LineAddr(7), true);
+        assert!(p.predict(LineAddr(7)));
+    }
+
+    #[test]
+    fn bare_filter_has_no_exclude() {
+        let mut p = SupersetPredictor::bare(BloomSpec::n_filter());
+        let tracked = LineAddr(0x123);
+        let alias = LineAddr(0x123 | (1 << 40));
+        p.supplier_gained(tracked);
+        p.feedback(alias, false); // nowhere to learn
+        assert!(p.predict(alias), "without an exclude cache the FP persists");
+    }
+
+    #[test]
+    fn table4_total_sizes() {
+        // Paper: Superset predictors are ~7.3 KB total with the 2K exclude.
+        let kb = SupersetPredictor::y2k().storage_bits() as f64 / 8.0 / 1024.0;
+        assert!((kb - 7.3).abs() < 0.4, "y2k = {kb:.2} KB");
+    }
+
+    #[test]
+    fn loss_makes_unaliased_line_negative() {
+        let mut p = SupersetPredictor::y2k();
+        p.supplier_gained(LineAddr(5));
+        p.supplier_lost(LineAddr(5));
+        assert!(!p.predict(LineAddr(5)));
+    }
+}

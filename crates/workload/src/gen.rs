@@ -1,0 +1,283 @@
+//! Deterministic synthetic access-stream generation.
+
+use flexsnoop_engine::{Cycles, SplitMix64};
+use flexsnoop_mem::LineAddr;
+
+use crate::{MemAccess, PoolKind, PoolSpec};
+
+/// A source of memory accesses for one core.
+///
+/// Streams are timing-independent: the sequence depends only on the seed,
+/// never on how fast the simulator consumes it, so different snooping
+/// algorithms observe identical traces.
+pub trait AccessStream {
+    /// The next access, or `None` when the stream is exhausted
+    /// (synthetic streams are infinite; traces end).
+    fn next_access(&mut self) -> Option<MemAccess>;
+}
+
+/// Pool-address layout: each pool occupies a disjoint region.
+///
+/// Regions are spaced far apart so pools can grow without overlapping;
+/// within a region, lines are consecutive, which spreads home nodes evenly
+/// across the ring (home = line mod nodes).
+fn pool_base(pool_idx: usize) -> u64 {
+    (pool_idx as u64 + 1) << 34
+}
+
+/// An infinite synthetic access stream for one core.
+#[derive(Debug, Clone)]
+pub struct SyntheticStream {
+    core: usize,
+    cores: usize,
+    pools: Vec<PoolSpec>,
+    weights: Vec<f64>,
+    write_fraction: f64,
+    think_min: u64,
+    think_max: u64,
+    rng: SplitMix64,
+    /// Second half of a migratory read-modify-write pair.
+    pending: Option<MemAccess>,
+    /// Per-pool streaming cursor (only used by `Streaming` pools).
+    stream_pos: Vec<u64>,
+}
+
+impl SyntheticStream {
+    /// Creates the stream for `core` of `cores` total, from a workload's
+    /// pool mix and knobs. `seed` must already be per-core unique.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pools` is empty, `cores` is zero or `core >= cores`.
+    pub fn new(
+        core: usize,
+        cores: usize,
+        pools: Vec<PoolSpec>,
+        write_fraction: f64,
+        think_range: (u64, u64),
+        seed: u64,
+    ) -> Self {
+        assert!(!pools.is_empty(), "a workload needs at least one pool");
+        assert!(cores > 0 && core < cores, "core index out of range");
+        let weights = pools.iter().map(|p| p.weight).collect();
+        let stream_pos = vec![0; pools.len()];
+        Self {
+            core,
+            cores,
+            pools,
+            weights,
+            write_fraction,
+            think_min: think_range.0,
+            think_max: think_range.1,
+            rng: SplitMix64::new(seed),
+            pending: None,
+            stream_pos,
+        }
+    }
+
+    fn think(&mut self) -> Cycles {
+        if self.think_max <= self.think_min {
+            return Cycles(self.think_min);
+        }
+        Cycles(self.think_min + self.rng.next_below(self.think_max - self.think_min + 1))
+    }
+
+    /// Picks an offset within a pool, honouring the hot-subset knob.
+    fn pick_offset(&mut self, lines: u64, hot_fraction: f64) -> u64 {
+        debug_assert!(lines > 0);
+        let hot_lines = (lines / 8).max(1);
+        if hot_fraction > 0.0 && self.rng.chance(hot_fraction) {
+            self.rng.next_below(hot_lines)
+        } else {
+            self.rng.next_below(lines)
+        }
+    }
+
+    fn generate(&mut self) -> MemAccess {
+        let pool_idx = self.rng.pick_weighted(&self.weights);
+        let pool = self.pools[pool_idx];
+        let base = pool_base(pool_idx);
+        let think = self.think();
+        match pool.kind {
+            PoolKind::Private => {
+                let off = self.pick_offset(pool.lines, pool.hot_fraction);
+                let line = LineAddr(base + self.core as u64 * pool.lines + off);
+                if self.rng.chance(self.write_fraction) {
+                    MemAccess::write(line, think)
+                } else {
+                    MemAccess::read(line, think)
+                }
+            }
+            PoolKind::SharedRo => {
+                let off = self.pick_offset(pool.lines, pool.hot_fraction);
+                MemAccess::read(LineAddr(base + off), think)
+            }
+            PoolKind::ProducerConsumer => {
+                let off = self.pick_offset(pool.lines, pool.hot_fraction);
+                let line = LineAddr(base + off);
+                let producer = (off % self.cores as u64) as usize;
+                if producer == self.core {
+                    // The producer refreshes the line (sometimes re-reading
+                    // its own data first, which is an L2 hit and harmless).
+                    MemAccess::write(line, think)
+                } else {
+                    MemAccess::read(line, think)
+                }
+            }
+            PoolKind::Migratory => {
+                // Read-modify-write: emit the read now, queue the write.
+                let off = self.pick_offset(pool.lines, pool.hot_fraction);
+                let line = LineAddr(base + off);
+                self.pending = Some(MemAccess::write(line, Cycles(self.think_min)));
+                MemAccess::read(line, think)
+            }
+            PoolKind::Streaming => {
+                // Sequential walk through a per-core region, wrapping.
+                let pos = self.stream_pos[pool_idx];
+                self.stream_pos[pool_idx] = (pos + 1) % pool.lines;
+                let line = LineAddr(base + self.core as u64 * pool.lines + pos);
+                MemAccess::read(line, think)
+            }
+        }
+    }
+}
+
+impl AccessStream for SyntheticStream {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        if let Some(pending) = self.pending.take() {
+            return Some(pending);
+        }
+        Some(self.generate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_pool(kind: PoolKind, lines: u64) -> Vec<PoolSpec> {
+        vec![PoolSpec {
+            kind,
+            lines,
+            weight: 1.0,
+            hot_fraction: 0.0,
+        }]
+    }
+
+    fn stream(core: usize, pools: Vec<PoolSpec>, seed: u64) -> SyntheticStream {
+        SyntheticStream::new(core, 4, pools, 0.3, (10, 20), seed)
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = stream(0, one_pool(PoolKind::Private, 64), 7);
+        let mut b = stream(0, one_pool(PoolKind::Private, 64), 7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    #[test]
+    fn private_pools_are_disjoint_across_cores() {
+        let mut a = stream(0, one_pool(PoolKind::Private, 64), 1);
+        let mut b = stream(1, one_pool(PoolKind::Private, 64), 2);
+        let la: std::collections::HashSet<_> =
+            (0..500).map(|_| a.next_access().unwrap().line).collect();
+        let lb: std::collections::HashSet<_> =
+            (0..500).map(|_| b.next_access().unwrap().line).collect();
+        assert!(la.is_disjoint(&lb));
+    }
+
+    #[test]
+    fn shared_ro_never_writes() {
+        let mut s = stream(2, one_pool(PoolKind::SharedRo, 128), 3);
+        for _ in 0..1000 {
+            assert!(!s.next_access().unwrap().write);
+        }
+    }
+
+    #[test]
+    fn producer_consumer_roles() {
+        // With 4 cores, core 1 produces lines with offset % 4 == 1.
+        let mut s = stream(1, one_pool(PoolKind::ProducerConsumer, 64), 5);
+        for _ in 0..1000 {
+            let a = s.next_access().unwrap();
+            let off = a.line.0 & 0xffff_ffff; // offset within region
+            if a.write {
+                assert_eq!(off % 4, 1, "only own lines are written");
+            } else {
+                assert_ne!(off % 4, 1, "own lines are written, not read");
+            }
+        }
+    }
+
+    #[test]
+    fn migratory_emits_read_write_pairs() {
+        let mut s = stream(0, one_pool(PoolKind::Migratory, 32), 9);
+        for _ in 0..100 {
+            let r = s.next_access().unwrap();
+            let w = s.next_access().unwrap();
+            assert!(!r.write && w.write, "read then write");
+            assert_eq!(r.line, w.line, "same line in the pair");
+        }
+    }
+
+    #[test]
+    fn streaming_walks_sequentially() {
+        let mut s = stream(0, one_pool(PoolKind::Streaming, 1000), 11);
+        let first = s.next_access().unwrap().line.0;
+        for i in 1..100 {
+            assert_eq!(s.next_access().unwrap().line.0, first + i);
+        }
+    }
+
+    #[test]
+    fn streaming_wraps_at_pool_end() {
+        let mut s = stream(0, one_pool(PoolKind::Streaming, 10), 13);
+        let first = s.next_access().unwrap().line.0;
+        for _ in 1..10 {
+            s.next_access();
+        }
+        assert_eq!(s.next_access().unwrap().line.0, first, "wrapped around");
+    }
+
+    #[test]
+    fn hot_fraction_concentrates_accesses() {
+        let pools = vec![PoolSpec {
+            kind: PoolKind::SharedRo,
+            lines: 800,
+            weight: 1.0,
+            hot_fraction: 0.9,
+        }];
+        let mut s = stream(0, pools, 17);
+        let hot_limit = 100; // lines/8
+        let hot_hits = (0..10_000)
+            .filter(|_| {
+                let off = s.next_access().unwrap().line.0 & 0xffff_ffff;
+                off < hot_limit
+            })
+            .count();
+        // ~90% hot picks + ~(10% * 1/8) uniform picks that land hot ≈ 91%.
+        assert!(hot_hits > 8_500, "hot hits: {hot_hits}");
+    }
+
+    #[test]
+    fn think_times_within_range() {
+        let mut s = stream(0, one_pool(PoolKind::Private, 64), 19);
+        for _ in 0..1000 {
+            let t = s.next_access().unwrap().think.as_u64();
+            assert!((10..=20).contains(&t), "think={t}");
+        }
+    }
+
+    #[test]
+    fn pools_occupy_disjoint_regions() {
+        assert!(pool_base(1) - pool_base(0) >= (1 << 34));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pool")]
+    fn empty_pools_rejected() {
+        SyntheticStream::new(0, 1, vec![], 0.0, (0, 0), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! Synthetic workloads standing in for SPLASH-2, SPECjbb and SPECweb.
+//!
+//! The paper drives its simulator with SESC-executed SPLASH-2 binaries and
+//! Simics traces of SPECjbb 2000 / SPECweb 2005 — none of which can ship
+//! with this reproduction. What the evaluated algorithms are sensitive to,
+//! however, is not instruction semantics but the *coherence behaviour* of
+//! the access streams: how often a read miss finds a cache supplier, how
+//! far away that supplier sits on the ring, how much data is written and
+//! re-read by other CMPs, and how large the working sets are. Figure 11's
+//! "perfect predictor" bars pin these observables down per workload.
+//!
+//! This crate synthesizes per-core access streams from five composable
+//! sharing patterns ([`PoolKind`]):
+//!
+//! * `Private` — per-core data, high locality, no sharing.
+//! * `SharedRo` — read-mostly shared data (one global master supplies).
+//! * `ProducerConsumer` — lines written by a home core, read by others
+//!   (dirty cache-to-cache transfers, `D → T`).
+//! * `Migratory` — read-modify-write by rotating cores (locks, reductions).
+//! * `Streaming` — large sequential regions exceeding cache capacity
+//!   (memory-bound, no suppliers).
+//!
+//! Named profiles ([`profiles`]) mix these with per-application parameters
+//! calibrated against the paper's reported behaviours. Streams are
+//! generated deterministically from a seed and independently of simulation
+//! timing, so every snooping algorithm sees byte-identical traces — the
+//! same methodology the paper uses for its trace-driven SPEC runs.
+
+pub mod gen;
+pub mod profiles;
+pub mod trace;
+
+pub use gen::{AccessStream, SyntheticStream};
+pub use profiles::{WorkloadGroup, WorkloadProfile};
+pub use trace::Trace;
+
+use flexsnoop_engine::Cycles;
+use flexsnoop_mem::LineAddr;
+
+/// One memory access issued by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// The cache line touched.
+    pub line: LineAddr,
+    /// `true` for a store, `false` for a load.
+    pub write: bool,
+    /// Compute time the core spends before issuing this access.
+    pub think: Cycles,
+}
+
+impl MemAccess {
+    /// A read with the given think time.
+    pub fn read(line: LineAddr, think: Cycles) -> Self {
+        MemAccess {
+            line,
+            write: false,
+            think,
+        }
+    }
+
+    /// A write with the given think time.
+    pub fn write(line: LineAddr, think: Cycles) -> Self {
+        MemAccess {
+            line,
+            write: true,
+            think,
+        }
+    }
+}
+
+/// The sharing pattern of one address-pool component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolKind {
+    /// Per-core private data: each core only touches its own partition.
+    Private,
+    /// Read-mostly shared data: all cores read the same lines.
+    SharedRo,
+    /// Producer–consumer: each line has a producing core that writes it;
+    /// all others read it.
+    ProducerConsumer,
+    /// Migratory data: whichever core selects a line reads then writes it.
+    Migratory,
+    /// Streaming: long sequential walks through a region far larger than
+    /// the caches; essentially no reuse or sharing.
+    Streaming,
+}
+
+/// One weighted address-pool component of a workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoolSpec {
+    /// The sharing pattern.
+    pub kind: PoolKind,
+    /// Pool size in cache lines (per core for `Private`/`Streaming`,
+    /// total for the shared kinds).
+    pub lines: u64,
+    /// Relative probability of an access landing in this pool.
+    pub weight: f64,
+    /// Fraction of accesses concentrated on a hot eighth of the pool
+    /// (coarse locality knob; 0.0 = uniform).
+    pub hot_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_constructors() {
+        let r = MemAccess::read(LineAddr(1), Cycles(5));
+        assert!(!r.write);
+        let w = MemAccess::write(LineAddr(1), Cycles(5));
+        assert!(w.write);
+        assert_eq!(r.line, w.line);
+    }
+}

@@ -1,0 +1,214 @@
+//! Trace recording and replay.
+//!
+//! The paper runs its SPEC workloads trace-driven so that "the different
+//! snooping algorithms \[see\] exactly the same traces". Synthetic streams
+//! are already timing-independent, but a recorded [`Trace`] additionally
+//! lets experiments snapshot a stream to disk (a simple line-oriented text
+//! format) and replay it later, e.g. to bisect a divergence between two
+//! algorithm implementations.
+
+use std::str::FromStr;
+
+use flexsnoop_engine::Cycles;
+use flexsnoop_mem::LineAddr;
+
+use crate::gen::AccessStream;
+use crate::MemAccess;
+
+/// A finite recorded access trace for a set of cores.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    per_core: Vec<Vec<MemAccess>>,
+}
+
+impl Trace {
+    /// Creates an empty trace for `cores` cores.
+    pub fn new(cores: usize) -> Self {
+        Self {
+            per_core: vec![Vec::new(); cores],
+        }
+    }
+
+    /// Records `n` accesses per core from the given streams.
+    pub fn record<S: AccessStream>(streams: &mut [S], n: u64) -> Self {
+        let per_core = streams
+            .iter_mut()
+            .map(|s| {
+                (0..n)
+                    .map_while(|_| s.next_access())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        Self { per_core }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Appends one access to a core's stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn push(&mut self, core: usize, access: MemAccess) {
+        self.per_core[core].push(access);
+    }
+
+    /// The recorded accesses of one core.
+    pub fn core(&self, core: usize) -> &[MemAccess] {
+        &self.per_core[core]
+    }
+
+    /// Replay streams, one per core.
+    pub fn players(&self) -> Vec<TracePlayer<'_>> {
+        self.per_core
+            .iter()
+            .map(|accesses| TracePlayer { accesses, pos: 0 })
+            .collect()
+    }
+
+    /// Serializes to the text format: one `core r|w line think` per line.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (core, accesses) in self.per_core.iter().enumerate() {
+            for a in accesses {
+                let rw = if a.write { 'w' } else { 'r' };
+                out.push_str(&format!(
+                    "{core} {rw} {:#x} {}\n",
+                    a.line.0,
+                    a.think.as_u64()
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl FromStr for Trace {
+    type Err = String;
+
+    /// Parses the [`Trace::to_text`] format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut per_core: Vec<Vec<MemAccess>> = Vec::new();
+        for (no, raw) in s.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let err = |what: &str| format!("line {}: {what}: {raw:?}", no + 1);
+            let core: usize = parts
+                .next()
+                .ok_or_else(|| err("missing core"))?
+                .parse()
+                .map_err(|_| err("bad core"))?;
+            let write = match parts.next().ok_or_else(|| err("missing r/w"))? {
+                "r" => false,
+                "w" => true,
+                _ => return Err(err("bad r/w flag")),
+            };
+            let addr_str = parts.next().ok_or_else(|| err("missing address"))?;
+            let addr = u64::from_str_radix(addr_str.trim_start_matches("0x"), 16)
+                .map_err(|_| err("bad address"))?;
+            let think: u64 = parts
+                .next()
+                .ok_or_else(|| err("missing think time"))?
+                .parse()
+                .map_err(|_| err("bad think time"))?;
+            if parts.next().is_some() {
+                return Err(err("trailing fields"));
+            }
+            if per_core.len() <= core {
+                per_core.resize(core + 1, Vec::new());
+            }
+            per_core[core].push(MemAccess {
+                line: LineAddr(addr),
+                write,
+                think: Cycles(think),
+            });
+        }
+        Ok(Trace { per_core })
+    }
+}
+
+/// A replay stream over one core's slice of a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TracePlayer<'a> {
+    accesses: &'a [MemAccess],
+    pos: usize,
+}
+
+impl AccessStream for TracePlayer<'_> {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        let a = self.accesses.get(self.pos).copied();
+        if a.is_some() {
+            self.pos += 1;
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    #[test]
+    fn record_and_replay_match() {
+        let profile = profiles::specweb();
+        let mut streams = profile.streams(5);
+        let trace = Trace::record(&mut streams, 100);
+        assert_eq!(trace.cores(), 8);
+
+        let mut fresh = profile.streams(5);
+        let mut players = trace.players();
+        for (f, p) in fresh.iter_mut().zip(&mut players) {
+            for _ in 0..100 {
+                assert_eq!(f.next_access(), p.next_access());
+            }
+            assert_eq!(p.next_access(), None, "trace is finite");
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let profile = profiles::specjbb();
+        let mut streams = profile.streams(7);
+        let trace = Trace::record(&mut streams, 50);
+        let text = trace.to_text();
+        let parsed: Trace = text.parse().expect("parse own output");
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn parser_skips_comments_and_blanks() {
+        let text = "# header\n\n0 r 0x10 5\n0 w 0x11 6\n";
+        let t: Trace = text.parse().unwrap();
+        assert_eq!(t.core(0).len(), 2);
+        assert!(t.core(0)[1].write);
+        assert_eq!(t.core(0)[0].line, LineAddr(0x10));
+    }
+
+    #[test]
+    fn parser_reports_bad_lines() {
+        assert!("x r 0x10 5".parse::<Trace>().is_err());
+        assert!("0 q 0x10 5".parse::<Trace>().is_err());
+        assert!("0 r zz 5".parse::<Trace>().is_err());
+        assert!("0 r 0x10".parse::<Trace>().is_err());
+        assert!("0 r 0x10 5 extra".parse::<Trace>().is_err());
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut t = Trace::new(2);
+        t.push(1, MemAccess::read(LineAddr(9), Cycles(1)));
+        assert_eq!(t.core(1).len(), 1);
+        assert_eq!(t.core(0).len(), 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! The adaptive system the paper envisions (§6.1.5): Superset Con and
+//! Superset Agg share one predictor and differ only in the action taken on
+//! a positive prediction, so a machine can switch between them at run time
+//! — aggressive for performance, conservative when energy must be saved.
+//!
+//! This example sweeps the `SupersetDyn` governor's energy budget and
+//! prints the resulting energy/performance frontier between the two fixed
+//! policies.
+//!
+//! ```text
+//! cargo run --release --example adaptive_switching
+//! ```
+
+use flexsnoop::{run_workload, Algorithm, DynPolicy};
+use flexsnoop_metrics::Table;
+use flexsnoop_workload::profiles;
+
+fn main() -> Result<(), String> {
+    let workload = profiles::specweb().with_accesses(8_000);
+    println!(
+        "workload: {} ({} accesses/core)\n",
+        workload.name, workload.accesses_per_core
+    );
+    let mut table = Table::with_columns(&[
+        "policy",
+        "exec cycles",
+        "energy [uJ]",
+        "snoops/read",
+        "msgs/read",
+    ]);
+    let mut run = |name: String, alg: Algorithm| -> Result<f64, String> {
+        let s = run_workload(&workload, alg, None, 7)?;
+        table.row(vec![
+            name,
+            s.exec_cycles.as_u64().to_string(),
+            format!("{:.1}", s.energy_nj() / 1000.0),
+            format!("{:.2}", s.snoops_per_read()),
+            format!("{:.2}", s.ring_hops_per_read()),
+        ]);
+        // The workload's energy rate in nJ per kilocycle, which is the
+        // unit the governor budgets in.
+        Ok(s.energy_nj() / (s.exec_cycles.as_u64() as f64 / 1000.0))
+    };
+    let con_rate = run("SupersetCon (fixed)".into(), Algorithm::SupersetCon)?;
+    // Sweep budgets bracketing the conservative policy's natural rate: a
+    // budget below it forces Con behaviour throughout; well above it the
+    // governor never needs to throttle and runs aggressive.
+    for factor in [0.8, 1.0, 1.2, 1.5, 2.0] {
+        let budget = con_rate * factor;
+        run(
+            format!("Dyn budget={budget:.0} nJ/kcycle"),
+            Algorithm::SupersetDyn(DynPolicy::EnergyBudget(budget)),
+        )?;
+    }
+    run("SupersetAgg (fixed)".into(), Algorithm::SupersetAgg)?;
+    println!("{}", table.render());
+    println!(
+        "Low budgets behave like Superset Con (frugal); high budgets like\n\
+         Superset Agg (fast). Intermediate budgets trade between the two."
+    );
+    Ok(())
+}

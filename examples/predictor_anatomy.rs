@@ -1,0 +1,111 @@
+//! Inside the Supplier Predictors: how each structure behaves as the
+//! tracked supplier set grows (the §4.3 design-space intuition, measured
+//! on the raw structures rather than in the full simulator).
+//!
+//! ```text
+//! cargo run --release --example predictor_anatomy
+//! ```
+
+use flexsnoop_engine::SplitMix64;
+use flexsnoop_mem::LineAddr;
+use flexsnoop_metrics::Table;
+use flexsnoop_predictor::{
+    ExactPredictor, SubsetPredictor, SupersetPredictor, SupplierPredictor,
+};
+
+/// Measures one predictor at a given tracked-set size: insert `tracked`
+/// supplier lines, then probe `probes` lines (half tracked, half not) and
+/// report the error rates.
+fn measure<P: SupplierPredictor>(
+    mut p: P,
+    tracked: u64,
+    rng: &mut SplitMix64,
+) -> (f64, f64, u64) {
+    let lines: Vec<LineAddr> = (0..tracked)
+        .map(|_| LineAddr(rng.next_below(1 << 30)))
+        .collect();
+    let mut downgraded = Vec::new();
+    for &l in &lines {
+        if let Some(victim) = p.supplier_gained(l) {
+            downgraded.push(victim);
+        }
+    }
+    // Lines the Exact predictor downgraded are genuinely no longer
+    // suppliable; drop them from the positive probe set.
+    let live: Vec<LineAddr> = lines
+        .iter()
+        .copied()
+        .filter(|l| !downgraded.contains(l))
+        .collect();
+    let mut false_neg = 0u64;
+    let mut pos_probes = 0u64;
+    // Sample across insertion recency (LRU keeps the newest entries).
+    let stride = (live.len() / 2_000).max(1);
+    for &l in live.iter().step_by(stride).take(2_000) {
+        pos_probes += 1;
+        if !p.predict(l) {
+            false_neg += 1;
+        }
+    }
+    let mut false_pos = 0u64;
+    let mut neg_probes = 0u64;
+    for _ in 0..2_000 {
+        let probe = LineAddr((1 << 40) + rng.next_below(1 << 30));
+        neg_probes += 1;
+        if p.predict(probe) {
+            false_pos += 1;
+        }
+    }
+    (
+        false_neg as f64 / pos_probes.max(1) as f64,
+        false_pos as f64 / neg_probes.max(1) as f64,
+        downgraded.len() as u64,
+    )
+}
+
+fn main() {
+    let mut table = Table::with_columns(&[
+        "predictor",
+        "tracked lines",
+        "FN rate",
+        "FP rate",
+        "downgrades",
+    ]);
+    for tracked in [512u64, 2_048, 8_192, 32_768] {
+        let mut rng = SplitMix64::new(tracked);
+        let (fnr, fpr, _) = measure(SubsetPredictor::sub2k(), tracked, &mut rng);
+        table.row(vec![
+            "Sub2k".into(),
+            tracked.to_string(),
+            format!("{fnr:.3}"),
+            format!("{fpr:.3}"),
+            "-".into(),
+        ]);
+        let mut rng = SplitMix64::new(tracked);
+        let (fnr, fpr, _) = measure(SupersetPredictor::y2k(), tracked, &mut rng);
+        table.row(vec![
+            "SupY2k".into(),
+            tracked.to_string(),
+            format!("{fnr:.3}"),
+            format!("{fpr:.3}"),
+            "-".into(),
+        ]);
+        let mut rng = SplitMix64::new(tracked);
+        let (fnr, fpr, dg) = measure(ExactPredictor::exa2k(), tracked, &mut rng);
+        table.row(vec![
+            "Exa2k".into(),
+            tracked.to_string(),
+            format!("{fnr:.3}"),
+            format!("{fpr:.3}"),
+            dg.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "Sub2k: FP rate is structurally zero; FN rate climbs once the\n\
+         supplier set exceeds the table. SupY2k: FN rate is structurally\n\
+         zero; FP rate climbs as the Bloom filter saturates. Exa2k: both\n\
+         error rates are zero — purchased with downgrades once the set\n\
+         exceeds the table (paper §4.3)."
+    );
+}

@@ -1,0 +1,25 @@
+//! Quickstart: compare all seven snooping algorithms on one workload.
+use flexsnoop::{run_workload, Algorithm};
+use flexsnoop_workload::profiles;
+
+fn main() -> Result<(), String> {
+    let workload = profiles::specweb().with_accesses(2_000);
+    println!("workload: {} ({} cores)", workload.name, workload.cores);
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>12} {:>10}",
+        "algorithm", "snoops/rd", "hops/rd", "exec cycles", "energy (uJ)", "cache-sup%"
+    );
+    for alg in Algorithm::PAPER_SET {
+        let s = run_workload(&workload, alg, None, 42)?;
+        println!(
+            "{:<12} {:>8.2} {:>10.2} {:>12} {:>12.1} {:>10.1}",
+            alg.to_string(),
+            s.snoops_per_read(),
+            s.ring_hops_per_read(),
+            s.exec_cycles.as_u64(),
+            s.energy_nj() / 1000.0,
+            s.cache_supply_fraction() * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Ring snooping vs. a directory protocol on the same machine (§2.1).
+//!
+//! The paper motivates the embedded ring as the simple, low-cost option
+//! and directories as the scalable one that "introduce[s] a time-consuming
+//! indirection in all transactions". This experiment runs both protocols
+//! on identical hardware (caches, torus, DRAM timing) and identical
+//! access traces:
+//!
+//! ```text
+//! cargo run --release --example ring_vs_directory [accesses]
+//! ```
+
+use flexsnoop::{run_workload, Algorithm};
+use flexsnoop_directory::DirSimulator;
+use flexsnoop_metrics::Table;
+use flexsnoop_workload::profiles;
+
+fn main() -> Result<(), String> {
+    let accesses: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+    let mut table = Table::with_columns(&[
+        "workload",
+        "protocol",
+        "exec cycles",
+        "mean read lat",
+        "energy [uJ]",
+        "notes",
+    ]);
+    for workload in [
+        profiles::splash2_apps().remove(0).with_accesses(accesses), // barnes
+        profiles::specjbb().with_accesses(accesses),
+        profiles::specweb().with_accesses(accesses),
+    ] {
+        for (name, alg) in [
+            ("ring/Lazy", Algorithm::Lazy),
+            ("ring/SupAgg", Algorithm::SupersetAgg),
+        ] {
+            let s = run_workload(&workload, alg, None, 77)?;
+            table.row(vec![
+                workload.name.clone(),
+                name.into(),
+                s.exec_cycles.as_u64().to_string(),
+                format!("{:.0}", s.read_latency.mean()),
+                format!("{:.1}", s.energy_nj() / 1000.0),
+                format!("{:.2} snoops/rd", s.snoops_per_read()),
+            ]);
+        }
+        let mut dir = DirSimulator::for_workload(&workload, 77, 8)?;
+        let s = dir.run();
+        dir.validate_coherence()?;
+        table.row(vec![
+            workload.name.clone(),
+            "directory".into(),
+            s.exec_cycles.as_u64().to_string(),
+            format!("{:.0}", s.read_latency.mean()),
+            format!("{:.1}", s.energy_nj() / 1000.0),
+            format!("{:.0}% 3-hop", s.three_hop_fraction() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "\nBoth protocols run the same traces on the same caches, torus and\n\
+         DRAM. On memory-bound workloads (SPECjbb/web) the directory's 2-hop\n\
+         home path beats even the best ring algorithm's full circulation; on\n\
+         sharing-heavy SPLASH-2 the ring's direct cache-to-cache supply wins\n\
+         and the directory pays its indirection plus 3-hop dirty reads —\n\
+         while needing per-line home state the ring does without (§2.1)."
+    );
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! Machine-scaling study: how the embedded-ring approach behaves as the
+//! node count grows.
+//!
+//! The paper argues (§2.1.4) that ring snooping "is not scalable to large
+//! numbers of processors [but] is appropriate for CMP-based machines" in
+//! the 8–16 node range: snoop latency grows linearly with the ring, and
+//! the adaptive algorithms blunt — but cannot remove — that growth. This
+//! example quantifies the claim.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use flexsnoop::{Algorithm, Simulator};
+use flexsnoop_metrics::Table;
+use flexsnoop_workload::profiles;
+
+fn main() -> Result<(), String> {
+    let mut table = Table::with_columns(&[
+        "nodes",
+        "algorithm",
+        "snoops/rd",
+        "read latency [cyc]",
+        "energy/read [nJ]",
+    ]);
+    for nodes in [4usize, 8, 12, 16] {
+        // One core per node, uniform shared pool: every read finds a
+        // supplier at a uniform ring distance.
+        let workload = profiles::uniform_microbench(nodes, 4_000);
+        for algorithm in [Algorithm::Lazy, Algorithm::Eager, Algorithm::SupersetAgg] {
+            let mut sim = Simulator::for_workload_on(&workload, algorithm, None, 99, nodes)?;
+            let s = sim.run();
+            sim.validate_coherence()?;
+            table.row(vec![
+                nodes.to_string(),
+                algorithm.to_string(),
+                format!("{:.2}", s.snoops_per_read()),
+                format!("{:.0}", s.read_latency.mean()),
+                format!("{:.1}", s.energy_nj() / s.read_txns as f64),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "Latency and energy grow roughly linearly with the ring; adaptive\n\
+         filtering keeps the snoop count flat but cannot shorten the ring\n\
+         itself — the paper's medium-scale (8-16 node) sweet spot."
+    );
+    Ok(())
+}

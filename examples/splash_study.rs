@@ -1,0 +1,61 @@
+//! Per-application SPLASH-2 study: the four main figure metrics for every
+//! app in the suite, one algorithm pair at a time.
+//!
+//! This is the view behind the paper's SPLASH-2 geometric-mean bars: which
+//! applications drive each effect. Usage:
+//!
+//! ```text
+//! cargo run --release --example splash_study [accesses_per_core]
+//! ```
+
+use flexsnoop::{run_algorithms, Algorithm};
+use flexsnoop_metrics::Table;
+use flexsnoop_workload::profiles;
+
+fn main() {
+    let accesses: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6_000);
+    let algorithms = [
+        Algorithm::Lazy,
+        Algorithm::Eager,
+        Algorithm::SupersetCon,
+        Algorithm::SupersetAgg,
+        Algorithm::Exact,
+    ];
+    let mut table = Table::with_columns(&[
+        "app",
+        "algorithm",
+        "snoops/rd",
+        "msgs (xLazy)",
+        "exec (xLazy)",
+        "energy (xLazy)",
+        "supply%",
+    ]);
+    for app in profiles::splash2_apps() {
+        let app = app.with_accesses(accesses);
+        let results = run_algorithms(&app, &algorithms, 42);
+        let lazy = results
+            .iter()
+            .find(|(a, _)| *a == Algorithm::Lazy)
+            .map(|(_, s)| s.clone())
+            .expect("lazy baseline");
+        for (alg, stats) in &results {
+            table.row(vec![
+                app.name.clone(),
+                alg.to_string(),
+                format!("{:.2}", stats.snoops_per_read()),
+                format!(
+                    "{:.2}",
+                    stats.read_ring_hops as f64 / lazy.read_ring_hops as f64
+                ),
+                format!("{:.2}", stats.exec_time() / lazy.exec_time()),
+                format!("{:.2}", stats.energy_nj() / lazy.energy_nj()),
+                format!("{:.0}", stats.cache_supply_fraction() * 100.0),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!("(normalize columns are relative to Lazy within each app)");
+}

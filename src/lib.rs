@@ -1,0 +1,9 @@
+//! Umbrella crate for the flexsnoop reproduction repository.
+//!
+//! This crate exists to host the runnable [examples] and the cross-crate
+//! integration tests in `tests/`. The actual library surface lives in the
+//! [`flexsnoop`] facade crate and the substrate crates it re-exports.
+//!
+//! [examples]: https://github.com/flexsnoop/flexsnoop/tree/main/examples
+
+pub use flexsnoop;

@@ -1,0 +1,89 @@
+//! Cross-protocol integration: the directory baseline against the ring on
+//! identical traces and hardware.
+
+use flexsnoop::{run_workload, Algorithm};
+use flexsnoop_directory::DirSimulator;
+use flexsnoop_workload::profiles;
+
+const SEED: u64 = 4242;
+
+/// Every workload group completes coherently under the directory protocol
+/// with internally consistent accounting.
+#[test]
+fn directory_completes_every_group() {
+    for p in [
+        profiles::splash2_apps().remove(0).with_accesses(800),
+        profiles::specjbb().with_accesses(1_500),
+        profiles::specweb().with_accesses(1_500),
+    ] {
+        let mut sim = DirSimulator::for_workload(&p, SEED, 8)
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let s = sim.run();
+        sim.validate_coherence()
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        assert!(s.read_txns > 0, "{}", p.name);
+        assert_eq!(
+            s.read_txns,
+            s.reads_two_hop + s.reads_three_hop,
+            "{}: every read is 2-hop or 3-hop",
+            p.name
+        );
+        assert!(s.energy_nj() > 0.0);
+    }
+}
+
+/// Dirty sharing shows up as 3-hop reads exactly where the workloads have
+/// producer-consumer traffic.
+#[test]
+fn three_hop_fraction_tracks_dirty_sharing() {
+    let frac = |p: flexsnoop_workload::WorkloadProfile| {
+        let mut sim = DirSimulator::for_workload(&p, SEED, 8).unwrap();
+        sim.run().three_hop_fraction()
+    };
+    let splash = frac(profiles::splash2_apps().remove(0).with_accesses(2_000));
+    let jbb = frac(profiles::specjbb().with_accesses(2_000));
+    assert!(
+        splash > jbb,
+        "barnes ({splash:.2}) must see more dirty forwards than specjbb ({jbb:.2})"
+    );
+}
+
+/// The §2.1 trade-off is visible: on a memory-bound workload the
+/// directory's 2-hop path beats the ring's circulation-then-memory; on a
+/// sharing-heavy workload the ring's direct supply is competitive.
+#[test]
+fn protocol_tradeoff_matches_section_2_1() {
+    let jbb = profiles::specjbb().with_accesses(3_000);
+    let ring = run_workload(&jbb, Algorithm::SupersetAgg, None, SEED).unwrap();
+    let mut dir_sim = DirSimulator::for_workload(&jbb, SEED, 8).unwrap();
+    let dir = dir_sim.run();
+    assert!(
+        dir.read_latency.mean() < ring.read_latency.mean(),
+        "memory-bound: directory ({:.0}) should beat the ring ({:.0})",
+        dir.read_latency.mean(),
+        ring.read_latency.mean()
+    );
+
+    let barnes = profiles::splash2_apps().remove(0).with_accesses(3_000);
+    let ring = run_workload(&barnes, Algorithm::SupersetAgg, None, SEED).unwrap();
+    let mut dir_sim = DirSimulator::for_workload(&barnes, SEED, 8).unwrap();
+    let dir = dir_sim.run();
+    assert!(
+        ring.read_latency.mean() < dir.read_latency.mean() * 1.1,
+        "sharing-heavy: the ring ({:.0}) must be at least competitive ({:.0})",
+        ring.read_latency.mean(),
+        dir.read_latency.mean()
+    );
+}
+
+/// Directory runs are deterministic and scale to other node counts.
+#[test]
+fn directory_scales_and_reproduces() {
+    let p = profiles::uniform_microbench(4, 800);
+    let mut a = DirSimulator::for_workload(&p, 9, 4).unwrap();
+    let sa = a.run();
+    let mut b = DirSimulator::for_workload(&p, 9, 4).unwrap();
+    let sb = b.run();
+    assert_eq!(sa.exec_cycles, sb.exec_cycles);
+    assert!(DirSimulator::for_workload(&p, 9, 3).is_err(), "4 cores on 3 nodes");
+}

@@ -1,0 +1,210 @@
+//! Cross-crate integration tests: full simulations spanning the workload
+//! generators, predictors, network models and the protocol engine.
+
+use flexsnoop::{run_algorithms, run_workload, Algorithm, PredictorSpec};
+use flexsnoop_workload::profiles;
+
+/// Every paper algorithm completes every workload group and leaves the
+/// machine coherent (coherence is validated inside the scenario tests; at
+/// this level we assert the runs complete with sane counters).
+#[test]
+fn every_algorithm_completes_every_group() {
+    let workloads = [
+        profiles::splash2_apps().remove(0).with_accesses(600),
+        profiles::specjbb().with_accesses(1_500),
+        profiles::specweb().with_accesses(1_500),
+    ];
+    for workload in &workloads {
+        for alg in Algorithm::PAPER_SET {
+            let s = run_workload(workload, alg, None, 11)
+                .unwrap_or_else(|e| panic!("{alg} on {}: {e}", workload.name));
+            assert!(s.read_txns > 0, "{alg}/{}: no ring reads", workload.name);
+            assert!(
+                s.exec_cycles.as_u64() > 0,
+                "{alg}/{}: zero exec time",
+                workload.name
+            );
+            assert!(s.energy_nj() > 0.0);
+            assert_eq!(
+                s.read_txns,
+                s.reads_cache_supplied + s.reads_from_memory,
+                "{alg}/{}: every ring read is supplied by cache or memory",
+                workload.name
+            );
+        }
+    }
+}
+
+/// The three protocol-level inequalities of Table 1 / Table 3 that must
+/// hold on any workload with at least some cache-to-cache supply.
+#[test]
+fn structural_inequalities_hold() {
+    let workload = profiles::splash2_apps().remove(0).with_accesses(2_000);
+    let results = run_algorithms(&workload, &Algorithm::PAPER_SET, 3);
+    let get = |alg: Algorithm| {
+        results
+            .iter()
+            .find(|(a, _)| *a == alg)
+            .map(|(_, s)| s.clone())
+            .unwrap()
+    };
+    let lazy = get(Algorithm::Lazy);
+    let eager = get(Algorithm::Eager);
+    let oracle = get(Algorithm::Oracle);
+    let con = get(Algorithm::SupersetCon);
+    let agg = get(Algorithm::SupersetAgg);
+    let subset = get(Algorithm::Subset);
+    let exact = get(Algorithm::Exact);
+
+    // Eager snoops everything; nobody snoops more.
+    assert_eq!(eager.snoops_per_read(), 7.0);
+    for s in [&lazy, &oracle, &con, &agg, &subset, &exact] {
+        assert!(s.snoops_per_read() <= 7.0 + 1e-9);
+    }
+    // Oracle snoops at most once per request.
+    assert!(oracle.snoops_per_read() <= 1.0);
+    // Con snoops no more than Agg (checks fewer predictors).
+    assert!(con.snoops_per_read() <= agg.snoops_per_read() + 0.05);
+    // Combined-message algorithms use exactly one full circulation.
+    for s in [&lazy, &oracle, &con, &exact] {
+        assert!((s.ring_hops_per_read() - 8.0).abs() < 1e-9);
+    }
+    // Split-message algorithms use more hops, bounded by 2 circulations.
+    for s in [&eager, &agg, &subset] {
+        assert!(s.ring_hops_per_read() > 8.0);
+        assert!(s.ring_hops_per_read() <= 15.0 + 1e-9);
+    }
+    // Lazy is the slowest of the baseline trio.
+    assert!(lazy.exec_cycles >= eager.exec_cycles);
+    assert!(lazy.exec_cycles >= oracle.exec_cycles);
+    // Eager burns the most energy of the non-Exact algorithms.
+    for s in [&lazy, &oracle, &con, &agg] {
+        assert!(s.energy_nj() <= eager.energy_nj());
+    }
+}
+
+/// The predictor error-class contracts hold end-to-end on a real workload.
+#[test]
+fn predictor_error_classes_end_to_end() {
+    let workload = profiles::splash2_apps().remove(0).with_accesses(1_500);
+    let subset = run_workload(&workload, Algorithm::Subset, None, 17).unwrap();
+    assert_eq!(subset.accuracy.false_positives, 0, "Subset: no FPs");
+    let con = run_workload(&workload, Algorithm::SupersetCon, None, 17).unwrap();
+    assert_eq!(con.accuracy.false_negatives, 0, "Superset: no FNs");
+    let exact = run_workload(&workload, Algorithm::Exact, None, 17).unwrap();
+    assert_eq!(exact.accuracy.false_positives, 0, "Exact: no FPs");
+    assert_eq!(exact.accuracy.false_negatives, 0, "Exact: no FNs");
+    let oracle = run_workload(&workload, Algorithm::Oracle, None, 17).unwrap();
+    assert_eq!(oracle.accuracy.false_positives, 0);
+    assert_eq!(oracle.accuracy.false_negatives, 0);
+}
+
+/// Only Exact downgrades; downgrades imply its supply fraction can only
+/// drop relative to a downgrade-free algorithm on the same trace.
+#[test]
+fn only_exact_downgrades() {
+    let workload = profiles::splash2_apps().remove(2).with_accesses(1_500); // fft
+    for alg in Algorithm::PAPER_SET {
+        let s = run_workload(&workload, alg, None, 23).unwrap();
+        if alg == Algorithm::Exact {
+            assert!(s.downgrades > 0, "fft must pressure the Exact table");
+        } else {
+            assert_eq!(s.downgrades, 0, "{alg} must not downgrade");
+        }
+    }
+}
+
+/// Parallel multi-algorithm runs agree with sequential runs.
+#[test]
+fn parallel_runner_matches_sequential() {
+    let workload = profiles::specjbb().with_accesses(800);
+    let parallel = run_algorithms(&workload, &[Algorithm::Lazy, Algorithm::Eager], 31);
+    for (alg, p) in parallel {
+        let s = run_workload(&workload, alg, None, 31).unwrap();
+        assert_eq!(p.exec_cycles, s.exec_cycles, "{alg}");
+        assert_eq!(p.read_snoops, s.read_snoops, "{alg}");
+    }
+}
+
+/// Predictor-size sensitivity is wired through: bigger Subset tables mean
+/// fewer false negatives (monotone within noise).
+#[test]
+fn subset_size_reduces_false_negatives() {
+    let workload = profiles::splash2_apps().remove(0).with_accesses(2_500);
+    let fn_rate = |spec| {
+        let s = run_workload(&workload, Algorithm::Subset, Some(spec), 41).unwrap();
+        s.accuracy.fraction_false_negative()
+    };
+    let small = fn_rate(PredictorSpec::SUB512);
+    let large = fn_rate(PredictorSpec::SUB8K);
+    assert!(
+        large <= small + 1e-9,
+        "8K-entry table should not have more FNs ({large} vs {small})"
+    );
+}
+
+/// SPECjbb's construction satisfies the paper's Figure 11 observation:
+/// there is rarely a supplier node.
+#[test]
+fn specjbb_rarely_finds_a_supplier() {
+    let s = run_workload(
+        &profiles::specjbb().with_accesses(3_000),
+        Algorithm::Lazy,
+        None,
+        43,
+    )
+    .unwrap();
+    assert!(
+        s.cache_supply_fraction() < 0.25,
+        "supply fraction {} too high for SPECjbb",
+        s.cache_supply_fraction()
+    );
+}
+
+/// SPLASH-2's construction satisfies the same observation in reverse:
+/// a read miss usually finds a supplier.
+#[test]
+fn splash_usually_finds_a_supplier() {
+    let s = run_workload(
+        &profiles::splash2_apps().remove(0).with_accesses(3_000),
+        Algorithm::Lazy,
+        None,
+        43,
+    )
+    .unwrap();
+    assert!(
+        s.cache_supply_fraction() > 0.5,
+        "supply fraction {} too low for barnes",
+        s.cache_supply_fraction()
+    );
+}
+
+/// Full-size (4 cores/CMP) runs leave the machine globally coherent for
+/// every algorithm — this is the end-to-end Figure 2(b) check.
+#[test]
+fn full_runs_end_coherent() {
+    use flexsnoop::{energy_model_for, MachineConfig, Simulator};
+    use flexsnoop_workload::AccessStream;
+    let workload = profiles::splash2_apps().remove(0).with_accesses(1_200);
+    for alg in Algorithm::PAPER_SET {
+        let machine = MachineConfig::isca2006(4);
+        let streams: Vec<Box<dyn AccessStream + Send>> = workload
+            .streams(19)
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn AccessStream + Send>)
+            .collect();
+        let predictor = alg.default_predictor();
+        let mut sim = Simulator::new(
+            machine,
+            alg,
+            predictor,
+            energy_model_for(&predictor),
+            streams,
+            1_200,
+        )
+        .unwrap();
+        sim.run();
+        sim.validate_coherence()
+            .unwrap_or_else(|e| panic!("{alg}: {e}"));
+    }
+}

@@ -19,13 +19,8 @@ use flexsnoop_workload::profiles;
 
 fn bench(c: &mut Criterion) {
     println!("\n=== Figure 10: execution time vs predictor size (normalized to the 2K config) ===");
-    let mut table = Table::with_columns(&[
-        "algorithm",
-        "predictor",
-        "SPLASH-2",
-        "SPECjbb",
-        "SPECweb",
-    ]);
+    let mut table =
+        Table::with_columns(&["algorithm", "predictor", "SPLASH-2", "SPECjbb", "SPECweb"]);
     for (algorithm, configs) in figure10_cases() {
         for (name, rows) in figure10_sweep(algorithm, configs, FIGURE_ACCESSES) {
             let get = |key: &str| {

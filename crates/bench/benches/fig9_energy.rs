@@ -11,7 +11,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flexsnoop::{run_workload, Algorithm};
-use flexsnoop_bench::{aggregate, paper_workloads, render_aggregate, run_matrix, FIGURE_ACCESSES, SEED};
+use flexsnoop_bench::{
+    aggregate, paper_workloads, render_aggregate, run_matrix, FIGURE_ACCESSES, SEED,
+};
 use flexsnoop_workload::profiles;
 
 fn bench(c: &mut Criterion) {

@@ -15,10 +15,26 @@ fn main() {
     eprintln!("matrix done in {:?}", t0.elapsed());
     type Metric = Box<dyn Fn(&flexsnoop::RunStats) -> f64>;
     let figs: [(&str, Metric, bool); 4] = [
-        ("Fig 6: snoops per read request (absolute)", Box::new(|s: &flexsnoop::RunStats| s.snoops_per_read()), false),
-        ("Fig 7: ring read messages (normalized to Lazy)", Box::new(|s: &flexsnoop::RunStats| s.read_ring_hops as f64), true),
-        ("Fig 8: execution time (normalized to Lazy)", Box::new(|s: &flexsnoop::RunStats| s.exec_time()), true),
-        ("Fig 9: snoop energy (normalized to Lazy)", Box::new(|s: &flexsnoop::RunStats| s.energy_nj()), true),
+        (
+            "Fig 6: snoops per read request (absolute)",
+            Box::new(|s: &flexsnoop::RunStats| s.snoops_per_read()),
+            false,
+        ),
+        (
+            "Fig 7: ring read messages (normalized to Lazy)",
+            Box::new(|s: &flexsnoop::RunStats| s.read_ring_hops as f64),
+            true,
+        ),
+        (
+            "Fig 8: execution time (normalized to Lazy)",
+            Box::new(|s: &flexsnoop::RunStats| s.exec_time()),
+            true,
+        ),
+        (
+            "Fig 9: snoop energy (normalized to Lazy)",
+            Box::new(|s: &flexsnoop::RunStats| s.energy_nj()),
+            true,
+        ),
     ];
     for (title, metric, norm) in figs {
         let agg = aggregate(&results, &algorithms, metric, norm);
@@ -28,7 +44,12 @@ fn main() {
     println!("\nDiagnostics (per workload, Lazy): supply% / mem% / ring-reads per access");
     for cell in results.iter().filter(|c| c.algorithm == Algorithm::Lazy) {
         let s = &cell.stats;
-        let accesses_total = s.l1_hits + s.l2_hits + s.local_peer_hits + s.read_txns + s.write_txns + s.silent_write_hits;
+        let accesses_total = s.l1_hits
+            + s.l2_hits
+            + s.local_peer_hits
+            + s.read_txns
+            + s.write_txns
+            + s.silent_write_hits;
         println!(
             "  {:<12} supply={:4.1}% ringrd/acc={:5.3} l1={:4.1}% peer={:4.1}% col={} exactDG: -",
             cell.workload,

@@ -11,7 +11,9 @@
 use std::fmt::Write as _;
 
 use flexsnoop::Algorithm;
-use flexsnoop_bench::sweeps::{figure10_cases, figure10_sweep, figure11_accuracy, figure11_configs};
+use flexsnoop_bench::sweeps::{
+    figure10_cases, figure10_sweep, figure11_accuracy, figure11_configs,
+};
 use flexsnoop_bench::{aggregate, paper_workloads, render_aggregate, run_matrix, SEED};
 use flexsnoop_metrics::Table;
 
@@ -33,9 +35,21 @@ fn main() {
     eprintln!("figure matrix: {:?}", t0.elapsed());
     type Metric = fn(&flexsnoop::RunStats) -> f64;
     let figures: [(&str, Metric, bool); 4] = [
-        ("Figure 6 — snoops per read request (absolute)", |s| s.snoops_per_read(), false),
-        ("Figure 7 — ring read messages (x Lazy)", |s| s.read_ring_hops as f64, true),
-        ("Figure 8 — execution time (x Lazy)", |s| s.exec_time(), true),
+        (
+            "Figure 6 — snoops per read request (absolute)",
+            |s| s.snoops_per_read(),
+            false,
+        ),
+        (
+            "Figure 7 — ring read messages (x Lazy)",
+            |s| s.read_ring_hops as f64,
+            true,
+        ),
+        (
+            "Figure 8 — execution time (x Lazy)",
+            |s| s.exec_time(),
+            true,
+        ),
         ("Figure 9 — snoop energy (x Lazy)", |s| s.energy_nj(), true),
     ];
     for (title, metric, norm) in figures {
@@ -45,8 +59,12 @@ fn main() {
     }
 
     // Figure 10.
-    let _ = writeln!(out, "## Figure 10 — predictor-size sensitivity (x the 2K config)\n\n```");
-    let mut t10 = Table::with_columns(&["algorithm", "predictor", "SPLASH-2", "SPECjbb", "SPECweb"]);
+    let _ = writeln!(
+        out,
+        "## Figure 10 — predictor-size sensitivity (x the 2K config)\n\n```"
+    );
+    let mut t10 =
+        Table::with_columns(&["algorithm", "predictor", "SPLASH-2", "SPECjbb", "SPECweb"]);
     for (algorithm, configs) in figure10_cases() {
         for (name, rows) in figure10_sweep(algorithm, configs, accesses) {
             let get = |key: &str| {

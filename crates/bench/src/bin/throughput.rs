@@ -1,0 +1,90 @@
+//! Simulator-throughput smoke benchmark.
+//!
+//! Runs the Figure 4 design-space sweep (every paper algorithm over the
+//! near-unloaded supplier-distance workload) plus one loaded full-suite
+//! column, and reports aggregate events/sec and transactions/sec as JSON
+//! on stdout. The numbers in EXPERIMENTS.md's "Performance" section come
+//! from this binary; run it before and after any hot-path change.
+//!
+//! Usage: `throughput [--accesses N] [--threads N] [--repeat N]`
+
+use std::time::Instant;
+
+use flexsnoop::{run_workload, Algorithm, RunStats};
+use flexsnoop_bench::SEED;
+use flexsnoop_workload::{profiles, PoolKind, PoolSpec, WorkloadGroup, WorkloadProfile};
+
+/// The Figure 4 near-unloaded scenario (same shape as the fig4 bench
+/// target): one active reader over a pool the other nodes pre-warmed.
+fn unloaded_workload(accesses: u64) -> WorkloadProfile {
+    WorkloadProfile {
+        name: "unloaded".to_string(),
+        group: WorkloadGroup::Splash2,
+        cores: 8,
+        accesses_per_core: accesses,
+        write_fraction: 0.0,
+        think: (2_000, 3_000),
+        pools: vec![PoolSpec {
+            kind: PoolKind::SharedRo,
+            lines: 1_024,
+            weight: 1.0,
+            hot_fraction: 0.0,
+        }],
+    }
+}
+
+fn main() {
+    let mut accesses: u64 = 3_000;
+    let mut threads: usize = 0;
+    let mut repeat: u32 = 1;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(key) = it.next() {
+        let value = it.next().map(String::as_str).unwrap_or("");
+        match key.as_str() {
+            "--accesses" => accesses = value.parse().expect("--accesses N"),
+            "--threads" => threads = value.parse().expect("--threads N"),
+            "--repeat" => repeat = value.parse().expect("--repeat N"),
+            other => {
+                eprintln!("unknown option {other}; usage: throughput [--accesses N] [--threads N] [--repeat N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    if threads > 0 {
+        flexsnoop_engine::executor::set_default_threads(threads);
+    }
+    let threads_used = flexsnoop_engine::executor::default_threads();
+
+    let fig4 = unloaded_workload(accesses);
+    let loaded = profiles::all();
+    let mut best: Option<(f64, u64, u64)> = None;
+    for _ in 0..repeat {
+        let start = Instant::now();
+        // Figure 4 design space: every paper algorithm, one workload.
+        let mut runs: Vec<RunStats> = flexsnoop::run_algorithms(&fig4, &Algorithm::PAPER_SET, SEED)
+            .into_iter()
+            .map(|(_, s)| s)
+            .collect();
+        // One loaded column: the full suite under the default adaptive
+        // algorithm, sized down to keep the smoke run in seconds.
+        for w in &loaded {
+            let w = w.clone().with_accesses(accesses.min(1_500));
+            runs.push(run_workload(&w, Algorithm::SupersetAgg, None, SEED).expect("loaded run"));
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let events: u64 = runs.iter().map(|s| s.events).sum();
+        let txns: u64 = runs.iter().map(|s| s.read_txns + s.write_txns).sum();
+        if best.is_none_or(|(w, _, _)| wall < w) {
+            best = Some((wall, events, txns));
+        }
+    }
+    let (wall, events, txns) = best.expect("at least one repeat");
+    println!(
+        "{{\"bench\":\"fig4_design_space\",\"accesses\":{accesses},\"threads\":{threads_used},\
+\"wall_s\":{wall:.3},\"events\":{events},\"txns\":{txns},\
+\"events_per_sec\":{:.0},\"txns_per_sec\":{:.0}}}",
+        events as f64 / wall,
+        txns as f64 / wall,
+    );
+}

@@ -36,8 +36,12 @@ pub struct CellResult {
     pub stats: RunStats,
 }
 
-/// Runs every workload under every algorithm, in parallel across
-/// workloads. `accesses` overrides each profile's per-core access count.
+/// Runs every workload under every algorithm, fanning the individual
+/// (workload, algorithm) cells out over the shared bounded executor
+/// instead of spawning one OS thread per workload (which oversubscribed
+/// the machine on wide sweeps). `accesses` overrides each profile's
+/// per-core access count. Results come back in workload-major order
+/// regardless of the worker count.
 ///
 /// # Panics
 ///
@@ -48,32 +52,28 @@ pub fn run_matrix(
     accesses: u64,
     seed: u64,
 ) -> Vec<CellResult> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|profile| {
-                let profile = profile.clone().with_accesses(accesses);
-                scope.spawn(move || {
-                    algorithms
-                        .iter()
-                        .map(|&algorithm| {
-                            let stats = run_workload(&profile, algorithm, None, seed)
-                                .unwrap_or_else(|e| {
-                                    panic!("{algorithm} on {}: {e}", profile.name)
-                                });
-                            CellResult {
-                                workload: profile.name.clone(),
-                                group: profile.group,
-                                algorithm,
-                                stats,
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
+    let profiles: Vec<WorkloadProfile> = workloads
+        .iter()
+        .map(|p| p.clone().with_accesses(accesses))
+        .collect();
+    let tasks: Vec<_> = profiles
+        .iter()
+        .flat_map(|profile| {
+            algorithms.iter().map(move |&algorithm| {
+                move || {
+                    let stats = run_workload(profile, algorithm, None, seed)
+                        .unwrap_or_else(|e| panic!("{algorithm} on {}: {e}", profile.name));
+                    CellResult {
+                        workload: profile.name.clone(),
+                        group: profile.group,
+                        algorithm,
+                        stats,
+                    }
+                }
             })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
-    })
+        })
+        .collect();
+    flexsnoop_engine::Executor::with_default().run(tasks)
 }
 
 /// The paper's standard workload suite (11 SPLASH-2 apps + SPECjbb +
@@ -137,12 +137,8 @@ pub fn render_aggregate(
     agg: &BTreeMap<String, Vec<(&'static str, f64)>>,
     algorithms: &[Algorithm],
 ) -> String {
-    let mut table = flexsnoop_metrics::Table::with_columns(&[
-        "algorithm",
-        "SPLASH-2",
-        "SPECjbb",
-        "SPECweb",
-    ]);
+    let mut table =
+        flexsnoop_metrics::Table::with_columns(&["algorithm", "SPLASH-2", "SPECjbb", "SPECweb"]);
     for &alg in algorithms {
         let name = alg.to_string();
         let rows = &agg[&name];
@@ -158,12 +154,7 @@ pub fn render_aggregate(
 }
 
 /// Convenience: run the full paper matrix and render one metric.
-pub fn figure_report<F>(
-    title: &str,
-    metric: F,
-    normalize_to_lazy: bool,
-    accesses: u64,
-) -> String
+pub fn figure_report<F>(title: &str, metric: F, normalize_to_lazy: bool, accesses: u64) -> String
 where
     F: Fn(&RunStats) -> f64,
 {
@@ -204,7 +195,10 @@ pub fn run_with_machine(
     use flexsnoop_workload::AccessStream;
     let profile = profile.clone().with_accesses(accesses);
     let nodes = 8;
-    assert!(profile.cores.is_multiple_of(nodes), "cores must divide nodes");
+    assert!(
+        profile.cores.is_multiple_of(nodes),
+        "cores must divide nodes"
+    );
     let mut machine = flexsnoop::MachineConfig::isca2006(profile.cores / nodes);
     tweak(&mut machine);
     let predictor = algorithm.default_predictor();
@@ -225,7 +219,6 @@ pub fn run_with_machine(
     sim.run()
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -245,10 +238,17 @@ mod tests {
         let algorithms = [Algorithm::Lazy, Algorithm::Eager];
         let cells = run_matrix(&workloads, &algorithms, 200, 1);
         let agg = aggregate(&cells, &algorithms, |s| s.ring_hops_per_read(), true);
-        let lazy = agg["Lazy"].iter().find(|(k, _)| *k == "SPLASH-2").unwrap().1;
+        let lazy = agg["Lazy"]
+            .iter()
+            .find(|(k, _)| *k == "SPLASH-2")
+            .unwrap()
+            .1;
         assert!((lazy - 1.0).abs() < 1e-9, "Lazy normalizes to itself");
-        let eager = agg["Eager"].iter().find(|(k, _)| *k == "SPLASH-2").unwrap().1;
+        let eager = agg["Eager"]
+            .iter()
+            .find(|(k, _)| *k == "SPLASH-2")
+            .unwrap()
+            .1;
         assert!(eager > 1.5, "Eager ≈ 2x Lazy messages, got {eager}");
     }
 }
-

@@ -54,20 +54,20 @@ pub fn figure10_sweep(
     let mut per_config: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
     for (name, spec) in configs {
         let mut agg = GroupAggregator::new();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = workloads
-                .iter()
-                .map(|w| {
-                    scope.spawn(move || {
-                        (w.group, run_with_predictor(w, algorithm, *spec, accesses).exec_time())
-                    })
-                })
-                .collect();
-            for h in handles {
-                let (group, exec) = h.join().unwrap();
-                agg.record(group, exec);
-            }
-        });
+        let tasks: Vec<_> = workloads
+            .iter()
+            .map(|w| {
+                move || {
+                    (
+                        w.group,
+                        run_with_predictor(w, algorithm, *spec, accesses).exec_time(),
+                    )
+                }
+            })
+            .collect();
+        for (group, exec) in flexsnoop_engine::Executor::with_default().run(tasks) {
+            agg.record(group, exec);
+        }
         per_config.push((name.to_string(), agg.means()));
     }
     let baseline: BTreeMap<&'static str, f64> = per_config[1].1.iter().copied().collect();
@@ -111,25 +111,25 @@ pub fn figure11_accuracy(
         ("SPECjbb", AccuracyStats::default()),
         ("SPECweb", AccuracyStats::default()),
     ];
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|w| {
-                scope.spawn(move || {
-                    (w.group, run_with_predictor(w, algorithm, spec, accesses).accuracy)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (group, acc) = h.join().unwrap();
-            let idx = match group {
-                WorkloadGroup::Splash2 => 0,
-                WorkloadGroup::SpecJbb => 1,
-                WorkloadGroup::SpecWeb => 2,
-            };
-            per_group[idx].1.merge(&acc);
-        }
-    });
+    let tasks: Vec<_> = workloads
+        .iter()
+        .map(|w| {
+            move || {
+                (
+                    w.group,
+                    run_with_predictor(w, algorithm, spec, accesses).accuracy,
+                )
+            }
+        })
+        .collect();
+    for (group, acc) in flexsnoop_engine::Executor::with_default().run(tasks) {
+        let idx = match group {
+            WorkloadGroup::Splash2 => 0,
+            WorkloadGroup::SpecJbb => 1,
+            WorkloadGroup::SpecWeb => 2,
+        };
+        per_group[idx].1.merge(&acc);
+    }
     per_group
 }
 

@@ -46,6 +46,9 @@ pub struct Args {
     pub out: String,
     /// `--csv` flag.
     pub csv: bool,
+    /// `--threads` worker-pool size for parallel sweeps (0 = auto: the
+    /// machine's available parallelism).
+    pub threads: usize,
 }
 
 impl Default for Args {
@@ -62,6 +65,7 @@ impl Default for Args {
             trace: String::new(),
             out: String::new(),
             csv: false,
+            threads: 0,
         }
     }
 }
@@ -113,11 +117,8 @@ impl Args {
                 "--transactions" => args.transactions = num("--transactions")? as usize,
                 "--trace" => args.trace = value.clone(),
                 "--out" => args.out = value.clone(),
-                other => {
-                    return Err(format!(
-                        "unknown option {other:?}; try `flexsnoop help`"
-                    ))
-                }
+                "--threads" => args.threads = num("--threads")? as usize,
+                other => return Err(format!("unknown option {other:?}; try `flexsnoop help`")),
             }
         }
         Ok(args)
@@ -166,10 +167,27 @@ mod tests {
     }
 
     #[test]
+    fn threads_defaults_to_auto() {
+        assert_eq!(Args::parse(&argv("compare")).unwrap().threads, 0);
+        assert_eq!(
+            Args::parse(&argv("compare --threads 3")).unwrap().threads,
+            3
+        );
+    }
+
+    #[test]
     fn errors_are_actionable() {
-        assert!(Args::parse(&argv("frobnicate")).unwrap_err().contains("unknown command"));
-        assert!(Args::parse(&argv("run --accesses")).unwrap_err().contains("expects a value"));
-        assert!(Args::parse(&argv("run --accesses many")).unwrap_err().contains("number"));
-        assert!(Args::parse(&argv("run --bogus 1")).unwrap_err().contains("unknown option"));
+        assert!(Args::parse(&argv("frobnicate"))
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(Args::parse(&argv("run --accesses"))
+            .unwrap_err()
+            .contains("expects a value"));
+        assert!(Args::parse(&argv("run --accesses many"))
+            .unwrap_err()
+            .contains("number"));
+        assert!(Args::parse(&argv("run --bogus 1"))
+            .unwrap_err()
+            .contains("unknown option"));
     }
 }

@@ -6,7 +6,9 @@ use flexsnoop_metrics::Table;
 use flexsnoop_workload::{profiles, AccessStream, Trace, WorkloadProfile};
 
 use crate::args::Args;
-use crate::names::{algorithm_names, parse_algorithm, parse_predictor, parse_workload, predictor_names};
+use crate::names::{
+    algorithm_names, parse_algorithm, parse_predictor, parse_workload, predictor_names,
+};
 
 /// `flexsnoop list`.
 pub fn list() -> Result<String, String> {
@@ -76,13 +78,23 @@ pub fn run_one(args: &Args) -> Result<String, String> {
 
 /// `flexsnoop compare`.
 pub fn compare(args: &Args) -> Result<String, String> {
-    let mut rows = Vec::new();
-    for algorithm in Algorithm::PAPER_SET {
-        let mut sim = build_sim(args, algorithm)?;
-        let stats = sim.run();
-        sim.validate_coherence()?;
-        rows.push((algorithm, stats));
-    }
+    // One bounded pool for all seven runs (each is deterministic, so the
+    // row values do not depend on the worker count or `--threads`).
+    let tasks: Vec<_> = Algorithm::PAPER_SET
+        .into_iter()
+        .map(|algorithm| {
+            move || -> Result<(Algorithm, RunStats), String> {
+                let mut sim = build_sim(args, algorithm)?;
+                let stats = sim.run();
+                sim.validate_coherence()?;
+                Ok((algorithm, stats))
+            }
+        })
+        .collect();
+    let rows = flexsnoop_engine::Executor::with_default()
+        .run(tasks)
+        .into_iter()
+        .collect::<Result<Vec<_>, String>>()?;
     Ok(stats_table(&rows, args.csv))
 }
 
@@ -154,7 +166,8 @@ pub fn replay(args: &Args) -> Result<String, String> {
         .into_iter()
         .map(|s| Box::new(s) as Box<dyn AccessStream + Send>)
         .collect();
-    let predictor = parse_predictor(&args.predictor)?.unwrap_or_else(|| algorithm.default_predictor());
+    let predictor =
+        parse_predictor(&args.predictor)?.unwrap_or_else(|| algorithm.default_predictor());
     let mut sim = Simulator::new(
         machine,
         algorithm,
@@ -193,7 +206,11 @@ pub fn directory(args: &Args) -> Result<String, String> {
         format!("{:.1}", s.energy_nj() / 1000.0),
         s.home_conflicts.to_string(),
     ]);
-    Ok(if args.csv { table.to_csv() } else { table.render() })
+    Ok(if args.csv {
+        table.to_csv()
+    } else {
+        table.render()
+    })
 }
 
 #[cfg(test)]

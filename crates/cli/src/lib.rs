@@ -29,6 +29,9 @@ pub use names::{parse_algorithm, parse_predictor, parse_workload};
 /// Returns a user-facing message on bad arguments or failed runs.
 pub fn run(argv: &[String]) -> Result<String, String> {
     let args = Args::parse(argv)?;
+    if args.threads > 0 {
+        flexsnoop_engine::executor::set_default_threads(args.threads);
+    }
     match args.command {
         Command::List => commands::list(),
         Command::Run => commands::run_one(&args),
@@ -70,6 +73,7 @@ OPTIONS (where applicable):
     --trace FILE         Trace file for `replay`
     --out FILE           Output file for `trace`
     --csv                Emit CSV instead of an aligned table
+    --threads N          Worker threads for parallel runs [machine parallelism]
 "
     .to_string()
 }
@@ -91,7 +95,14 @@ mod tests {
     #[test]
     fn list_names_everything() {
         let out = run(&argv("list")).unwrap();
-        for needle in ["barnes", "specjbb", "specweb", "superset-agg", "sub2k", "exa8k"] {
+        for needle in [
+            "barnes",
+            "specjbb",
+            "specweb",
+            "superset-agg",
+            "sub2k",
+            "exa8k",
+        ] {
             assert!(out.contains(needle), "missing {needle} in:\n{out}");
         }
     }

@@ -137,10 +137,9 @@ impl Algorithm {
         match self {
             Algorithm::Lazy | Algorithm::Eager => matches!(spec, PredictorSpec::None),
             Algorithm::Oracle => matches!(spec, PredictorSpec::Perfect),
-            Algorithm::Subset => matches!(
-                spec,
-                PredictorSpec::Subset { .. } | PredictorSpec::Perfect
-            ),
+            Algorithm::Subset => {
+                matches!(spec, PredictorSpec::Subset { .. } | PredictorSpec::Perfect)
+            }
             Algorithm::SupersetCon | Algorithm::SupersetAgg | Algorithm::SupersetDyn(_) => {
                 matches!(
                     spec,

@@ -56,8 +56,10 @@ pub fn run_workload(
     Ok(sim.run())
 }
 
-/// Runs one workload under several algorithms in parallel (one OS thread
-/// per algorithm; each simulator is independent and deterministic).
+/// Runs one workload under several algorithms in parallel on the shared
+/// bounded executor (see [`flexsnoop_engine::Executor`]); each simulator
+/// is independent and deterministic, so results do not depend on the
+/// worker count.
 ///
 /// # Panics
 ///
@@ -68,19 +70,17 @@ pub fn run_algorithms(
     algorithms: &[Algorithm],
     seed: u64,
 ) -> Vec<(Algorithm, RunStats)> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = algorithms
-            .iter()
-            .map(|&alg| {
-                scope.spawn(move || {
-                    let stats = run_workload(profile, alg, None, seed)
-                        .unwrap_or_else(|e| panic!("run {alg} failed: {e}"));
-                    (alg, stats)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
+    let tasks: Vec<_> = algorithms
+        .iter()
+        .map(|&alg| {
+            move || {
+                let stats = run_workload(profile, alg, None, seed)
+                    .unwrap_or_else(|e| panic!("run {alg} failed: {e}"));
+                (alg, stats)
+            }
+        })
+        .collect();
+    flexsnoop_engine::Executor::with_default().run(tasks)
 }
 
 /// Per-group aggregation of a metric over many workloads.

@@ -43,6 +43,7 @@
 //! `flexsnoop-metrics` (statistics and the energy model).
 
 pub mod algorithm;
+pub mod arena;
 pub mod config;
 pub mod experiments;
 pub mod message;

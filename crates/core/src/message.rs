@@ -8,13 +8,44 @@
 
 use flexsnoop_mem::{CmpId, LineAddr};
 
-/// Unique transaction identifier, in issue order.
+/// Unique transaction identifier.
+///
+/// Packs an arena slot (low 32 bits) and a generation counter (high
+/// 32 bits) so the in-flight transaction table can be a slab indexed by
+/// slot while stale ids from a recycled slot can never alias a newer
+/// transaction (see [`crate::arena::TxnArena`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxnId(pub u64);
 
+impl TxnId {
+    /// Builds an id from an arena slot index and that slot's generation.
+    #[inline]
+    pub fn from_parts(slot: u32, generation: u32) -> Self {
+        TxnId(((generation as u64) << 32) | slot as u64)
+    }
+
+    /// The arena slot this id refers to.
+    #[inline]
+    pub fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// The generation the slot had when this id was issued.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 impl std::fmt::Display for TxnId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "txn{}", self.0)
+        // First-generation ids print as plain "txnN"; recycled slots add a
+        // generation suffix so every live id renders uniquely in traces.
+        if self.generation() == 0 {
+            write!(f, "txn{}", self.slot())
+        } else {
+            write!(f, "txn{}g{}", self.slot(), self.generation())
+        }
     }
 }
 

@@ -21,16 +21,17 @@
 //!   is not given a latency); the induced write-back and re-read costs are
 //!   fully modeled.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
-use flexsnoop_engine::{Cycle, Cycles, Resource, Scheduler};
-use flexsnoop_mem::{CacheGeometry, CmpCaches, CmpId, CoherState, LineAddr};
+use flexsnoop_engine::{Cycle, Cycles, FxHashMap, FxHashSet, QueueKind, Resource, Scheduler};
+use flexsnoop_mem::{CacheGeometry, CmpCaches, CmpId, CoherState, InvalidateOutcome, LineAddr};
 use flexsnoop_metrics::{EnergyCategory, EnergyModel};
 use flexsnoop_net::{RingConfig, RingNetwork, Torus, TorusConfig};
 use flexsnoop_predictor::{BloomFilter, BloomSpec, PredictorSpec, SupplierPredictor};
 use flexsnoop_workload::{AccessStream, MemAccess, WorkloadProfile};
 
 use crate::algorithm::{Algorithm, DynPolicy, SnoopAction};
+use crate::arena::TxnArena;
 use crate::config::MachineConfig;
 use crate::message::{MsgKind, ReplyInfo, RingMsg, TxnId, TxnOp};
 use crate::stats::RunStats;
@@ -163,14 +164,16 @@ pub struct Simulator {
     snoop_ports: Vec<Resource>,
     mem_ports: Vec<Resource>,
     cores: Vec<CoreState>,
-    txns: HashMap<TxnId, Txn>,
-    next_txn: u64,
+    txns: TxnArena<Txn>,
     /// In-flight transaction counts per line: `(readers, writers)`.
     /// Read–read concurrency is benign (no state is modified that another
     /// read could observe inconsistently); any write serializes.
-    line_busy: HashMap<LineAddr, (u32, u32)>,
-    line_waiters: HashMap<LineAddr, VecDeque<(usize, MemAccess)>>,
-    downgraded: HashSet<LineAddr>,
+    line_busy: FxHashMap<LineAddr, (u32, u32)>,
+    line_waiters: FxHashMap<LineAddr, VecDeque<(usize, MemAccess)>>,
+    downgraded: FxHashSet<LineAddr>,
+    /// Recycled `node_states` buffers from retired transactions, so the
+    /// steady state allocates no per-transaction memory.
+    node_state_pool: Vec<Vec<NodeState>>,
     stats: RunStats,
     timeline: Timeline,
     active_cores: usize,
@@ -312,11 +315,11 @@ impl Simulator {
             snoop_ports: (0..machine.nodes).map(|_| Resource::new()).collect(),
             mem_ports: (0..machine.nodes).map(|_| Resource::new()).collect(),
             cores,
-            txns: HashMap::new(),
-            next_txn: 0,
-            line_busy: HashMap::new(),
-            line_waiters: HashMap::new(),
-            downgraded: HashSet::new(),
+            txns: TxnArena::new(),
+            line_busy: FxHashMap::default(),
+            line_waiters: FxHashMap::default(),
+            downgraded: FxHashSet::default(),
+            node_state_pool: Vec::new(),
             stats: RunStats::new(energy),
             timeline: Timeline::disabled(),
             active_cores,
@@ -406,6 +409,22 @@ impl Simulator {
         self.timeline = Timeline::with_limit(limit);
     }
 
+    /// Selects the event-queue implementation backing the scheduler. Both
+    /// kinds dispatch events in the identical order, so results are
+    /// bit-for-bit the same either way; only throughput differs. Call
+    /// before [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn use_event_queue(&mut self, kind: QueueKind) {
+        assert!(
+            !self.finished && self.sched.is_empty(),
+            "use_event_queue() must be called before run()"
+        );
+        self.sched = Scheduler::with_queue(kind);
+    }
+
     /// The recorded transaction timelines.
     pub fn timeline(&self) -> &Timeline {
         &self.timeline
@@ -431,7 +450,7 @@ impl Simulator {
     ///
     /// Returns the first violation found, naming the line and states.
     pub fn validate_coherence(&self) -> Result<(), String> {
-        let mut copies: HashMap<LineAddr, Vec<(usize, CoherState)>> = HashMap::new();
+        let mut copies: FxHashMap<LineAddr, Vec<(usize, CoherState)>> = FxHashMap::default();
         for (n, cmp) in self.cmps.iter().enumerate() {
             for core in 0..cmp.cores() {
                 for (line, state) in cmp.l2(core).iter() {
@@ -478,6 +497,7 @@ impl Simulator {
             self.advance_core(core, Cycle::ZERO);
         }
         while let Some((now, ev)) = self.sched.pop() {
+            self.stats.events += 1;
             self.dispatch(now, ev);
         }
         assert_eq!(self.active_cores, 0, "drained queue with cores unfinished");
@@ -590,8 +610,7 @@ impl Simulator {
                 self.stats.local_peer_hits += 1;
                 // Peer supplies within the CMP over the shared intra-CMP
                 // bus, which ring snoops also arbitrate for.
-                let grant = self.snoop_ports[node.0]
-                    .acquire(now, self.cfg.timing.snoop_occupancy);
+                let grant = self.snoop_ports[node.0].acquire(now, self.cfg.timing.snoop_occupancy);
                 self.transition(node, peer, line, state.after_local_supply());
                 self.fill_line(node, local, line, CoherState::S);
                 finish(self, grant.start + self.cfg.timing.cmp_bus_rt);
@@ -680,8 +699,6 @@ impl Simulator {
                 .push_back((core, access));
             return;
         }
-        let id = TxnId(self.next_txn);
-        self.next_txn += 1;
         let requester = self.cmp_of(core);
         match op {
             TxnOp::Read => self.stats.read_txns += 1,
@@ -692,27 +709,27 @@ impl Simulator {
             TxnOp::Read => slot.0 += 1,
             TxnOp::Write => slot.1 += 1,
         }
+        let mut node_states = self.node_state_pool.pop().unwrap_or_default();
+        node_states.clear();
+        node_states.resize(self.cfg.nodes, NodeState::Untouched);
+        let id = self.txns.insert(Txn {
+            line,
+            op,
+            requester,
+            core,
+            issue: now,
+            node_states,
+            data_arrived: None,
+            reply_info: None,
+            prefetch_ready: None,
+            write_data,
+            data_sent: false,
+            resumed: false,
+            blocking,
+            fill_state: CoherState::Sg,
+        });
         self.timeline
             .record(id, now, TxnEvent::Issued { node: requester });
-        self.txns.insert(
-            id,
-            Txn {
-                line,
-                op,
-                requester,
-                core,
-                issue: now,
-                node_states: vec![NodeState::Untouched; self.cfg.nodes],
-                data_arrived: None,
-                reply_info: None,
-                prefetch_ready: None,
-                write_data,
-                data_sent: false,
-                resumed: false,
-                blocking,
-                fill_state: CoherState::Sg,
-            },
-        );
         let msg = RingMsg {
             txn: id,
             line,
@@ -744,7 +761,8 @@ impl Simulator {
         }
         self.stats.energy.add(EnergyCategory::RingLink, 1);
         let node = self.ring.next_node(from);
-        self.sched.schedule_at(arrival, Event::RingArrive { msg, node });
+        self.sched
+            .schedule_at(arrival, Event::RingArrive { msg, node });
     }
 
     fn on_ring_arrive(&mut self, msg: RingMsg, node: CmpId, now: Cycle) {
@@ -764,13 +782,13 @@ impl Simulator {
         if self.cfg.memory.home_prefetch && msg.op == TxnOp::Read {
             let home = CmpId(msg.line.home_node(self.cfg.nodes));
             if node == home {
-                if let Some(txn) = self.txns.get(&msg.txn) {
+                if let Some(txn) = self.txns.get(msg.txn) {
                     if txn.prefetch_ready.is_none() {
                         let grant = self.mem_ports[home.0].acquire(now, self.cfg.memory.occupancy);
                         let ready = grant.start
                             + self.cfg.memory.dram_latency
                             + self.cfg.memory.controller_overhead;
-                        if let Some(txn) = self.txns.get_mut(&msg.txn) {
+                        if let Some(txn) = self.txns.get_mut(msg.txn) {
                             txn.prefetch_ready = Some(ready);
                         }
                         self.timeline.record(
@@ -898,14 +916,16 @@ impl Simulator {
         self.timeline
             .record(txn, start, TxnEvent::SnoopStarted { node });
         let grant = self.snoop_ports[node.0].acquire(start, self.cfg.timing.snoop_occupancy);
-        self.sched
-            .schedule_at(grant.start + self.cfg.timing.snoop_time, Event::SnoopDone { txn, node });
+        self.sched.schedule_at(
+            grant.start + self.cfg.timing.snoop_time,
+            Event::SnoopDone { txn, node },
+        );
     }
 
     fn on_snoop_done(&mut self, txn_id: TxnId, node: CmpId, now: Cycle) {
         self.stats.read_snoops += 1;
         self.stats.energy.add(EnergyCategory::Snoop, 1);
-        let Some(txn) = self.txns.get(&txn_id) else {
+        let Some(txn) = self.txns.get(txn_id) else {
             return; // transaction already retired (stale snoop)
         };
         let line = txn.line;
@@ -986,7 +1006,7 @@ impl Simulator {
         now: Cycle,
     ) {
         self.set_node_state(txn_id, node, NodeState::Finished);
-        let Some(txn) = self.txns.get(&txn_id) else {
+        let Some(txn) = self.txns.get(txn_id) else {
             return;
         };
         let kind = if combine_out {
@@ -1011,7 +1031,7 @@ impl Simulator {
 
     /// A trailing reply arrives at an intermediate node.
     fn on_trailing_reply(&mut self, msg: RingMsg, node: CmpId, info: ReplyInfo, now: Cycle) {
-        let state = match self.txns.get(&msg.txn) {
+        let state = match self.txns.get(msg.txn) {
             Some(t) => t.node_states[node.0],
             None => return,
         };
@@ -1023,7 +1043,12 @@ impl Simulator {
                     kind: MsgKind::Reply(info),
                     ..msg
                 };
-                self.send_ring(out, node, now + self.cfg.timing.gateway_latency, TxnOp::Read);
+                self.send_ring(
+                    out,
+                    node,
+                    now + self.cfg.timing.gateway_latency,
+                    TxnOp::Read,
+                );
             }
             NodeState::Snooping {
                 acc, combine_out, ..
@@ -1143,7 +1168,7 @@ impl Simulator {
     fn on_write_snoop_done(&mut self, txn_id: TxnId, node: CmpId, now: Cycle) {
         self.stats.write_snoops += 1;
         self.stats.energy.add(EnergyCategory::Snoop, 1);
-        let Some(txn) = self.txns.get(&txn_id) else {
+        let Some(txn) = self.txns.get(txn_id) else {
             return;
         };
         let line = txn.line;
@@ -1153,7 +1178,7 @@ impl Simulator {
         // Invalidate every copy in this CMP; a supplier-state copy donates
         // the data if the writer still needs it.
         let dropped = self.invalidate_cmp(node, line);
-        let had_supplier = dropped.iter().any(|s| s.is_supplier());
+        let had_supplier = dropped.had_supplier;
         self.timeline.record(
             txn_id,
             now,
@@ -1167,7 +1192,7 @@ impl Simulator {
             let data_at = self.torus.send(node, requester, now);
             self.sched
                 .schedule_at(data_at, Event::DataArrive { txn: txn_id });
-            if let Some(txn) = self.txns.get_mut(&txn_id) {
+            if let Some(txn) = self.txns.get_mut(txn_id) {
                 txn.data_sent = true;
             }
             sent_data = true;
@@ -1181,7 +1206,7 @@ impl Simulator {
             debug_assert_eq!(state, NodeState::Finished);
             return;
         };
-        let any_copy = !dropped.is_empty();
+        let any_copy = dropped.copies > 0;
         let mut info = match (acc, buffered) {
             (Some(i), _) => i,
             (None, Some(i)) => i,
@@ -1211,7 +1236,7 @@ impl Simulator {
         now: Cycle,
     ) {
         self.set_node_state(txn_id, node, NodeState::Finished);
-        let Some(txn) = self.txns.get(&txn_id) else {
+        let Some(txn) = self.txns.get(txn_id) else {
             return;
         };
         let kind = if combine_out {
@@ -1235,7 +1260,7 @@ impl Simulator {
     }
 
     fn on_write_trailing_reply(&mut self, msg: RingMsg, node: CmpId, info: ReplyInfo, now: Cycle) {
-        let state = match self.txns.get(&msg.txn) {
+        let state = match self.txns.get(msg.txn) {
             Some(t) => t.node_states[node.0],
             None => return,
         };
@@ -1271,7 +1296,12 @@ impl Simulator {
                     kind: MsgKind::Reply(info),
                     ..msg
                 };
-                self.send_ring(out, node, now + self.cfg.timing.gateway_latency, TxnOp::Write);
+                self.send_ring(
+                    out,
+                    node,
+                    now + self.cfg.timing.gateway_latency,
+                    TxnOp::Write,
+                );
             }
             NodeState::Untouched => {
                 unreachable!("write reply overtook its request at {node}")
@@ -1286,7 +1316,7 @@ impl Simulator {
             MsgKind::Request => return, // wait for the trailing reply
             MsgKind::Reply(i) | MsgKind::Combined(i) => i,
         };
-        let Some(txn) = self.txns.get_mut(&msg.txn) else {
+        let Some(txn) = self.txns.get_mut(msg.txn) else {
             return;
         };
         txn.reply_info = Some(info);
@@ -1304,7 +1334,7 @@ impl Simulator {
         }
         // Negative response: fetch from memory (paper §2.2).
         self.stats.reads_from_memory += 1;
-        let txn = self.txns.get_mut(&txn_id).expect("txn exists");
+        let txn = self.txns.get_mut(txn_id).expect("txn exists");
         txn.fill_state = if self.cfg.policy.exclusive_fill && info.proves_exclusive() {
             CoherState::E
         } else {
@@ -1344,11 +1374,12 @@ impl Simulator {
                 self.torus.send(home, requester, done)
             }
         };
-        self.sched.schedule_at(data_at, Event::MemData { txn: txn_id });
+        self.sched
+            .schedule_at(data_at, Event::MemData { txn: txn_id });
     }
 
     fn on_write_reply_returned(&mut self, txn_id: TxnId, info: ReplyInfo, now: Cycle) {
-        let txn = self.txns.get(&txn_id).expect("txn exists");
+        let txn = self.txns.get(txn_id).expect("txn exists");
         let node = txn.requester;
         let core = txn.core;
         let line = txn.line;
@@ -1375,7 +1406,7 @@ impl Simulator {
                 } else {
                     // Write-allocate from memory.
                     let home = CmpId(line.home_node(self.cfg.nodes));
-                    let prefetch = self.txns.get(&txn_id).and_then(|t| t.prefetch_ready);
+                    let prefetch = self.txns.get(txn_id).and_then(|t| t.prefetch_ready);
                     if self.downgraded.remove(&line) {
                         self.stats.downgrade_rereads += 1;
                         self.stats.energy.add(EnergyCategory::MemRead, 1);
@@ -1392,7 +1423,8 @@ impl Simulator {
                             self.torus.send(home, node, done)
                         }
                     };
-                    self.sched.schedule_at(data_at, Event::MemData { txn: txn_id });
+                    self.sched
+                        .schedule_at(data_at, Event::MemData { txn: txn_id });
                 }
             }
         }
@@ -1407,7 +1439,7 @@ impl Simulator {
     }
 
     fn on_data_arrive(&mut self, txn_id: TxnId, now: Cycle) {
-        let Some(txn) = self.txns.get_mut(&txn_id) else {
+        let Some(txn) = self.txns.get_mut(txn_id) else {
             return;
         };
         txn.data_arrived = Some(now);
@@ -1447,7 +1479,7 @@ impl Simulator {
     }
 
     fn on_mem_data(&mut self, txn_id: TxnId, now: Cycle) {
-        let Some(txn) = self.txns.get(&txn_id) else {
+        let Some(txn) = self.txns.get(txn_id) else {
             return;
         };
         let node = txn.requester;
@@ -1466,7 +1498,7 @@ impl Simulator {
                         // and retry the read, which will now find the
                         // supplier.
                         self.stats.collisions += 1;
-                        if let Some(t) = self.txns.get_mut(&txn_id) {
+                        if let Some(t) = self.txns.get_mut(txn_id) {
                             t.resumed = true; // the retry resumes the core
                         }
                         self.try_retire(txn_id, now);
@@ -1532,7 +1564,7 @@ impl Simulator {
 
     /// Resumes the requesting core (once) and records the latency.
     fn resume_core(&mut self, txn_id: TxnId, now: Cycle) {
-        let Some(txn) = self.txns.get_mut(&txn_id) else {
+        let Some(txn) = self.txns.get_mut(txn_id) else {
             return;
         };
         if txn.resumed {
@@ -1554,7 +1586,7 @@ impl Simulator {
     /// Retires the transaction once the ring reply has returned and the
     /// core has been resumed; releases the line and wakes collided waiters.
     fn try_retire(&mut self, txn_id: TxnId, now: Cycle) {
-        let Some(txn) = self.txns.get(&txn_id) else {
+        let Some(txn) = self.txns.get(txn_id) else {
             return;
         };
         if txn.reply_info.is_none() || !txn.resumed {
@@ -1563,7 +1595,9 @@ impl Simulator {
         let line = txn.line;
         let op = txn.op;
         self.timeline.record(txn_id, now, TxnEvent::Retired);
-        self.txns.remove(&txn_id);
+        if let Some(done) = self.txns.remove(txn_id) {
+            self.node_state_pool.push(done.node_states);
+        }
         if let Some(slot) = self.line_busy.get_mut(&line) {
             match op {
                 TxnOp::Read => slot.0 = slot.0.saturating_sub(1),
@@ -1590,7 +1624,7 @@ impl Simulator {
     }
 
     fn set_node_state(&mut self, txn: TxnId, node: CmpId, state: NodeState) {
-        if let Some(t) = self.txns.get_mut(&txn) {
+        if let Some(t) = self.txns.get_mut(txn) {
             t.node_states[node.0] = state;
         }
     }
@@ -1640,15 +1674,16 @@ impl Simulator {
     }
 
     /// Invalidates every copy of `line` in a CMP, keeping the predictor in
-    /// sync; returns the dropped states.
-    fn invalidate_cmp(&mut self, node: CmpId, line: LineAddr) -> Vec<CoherState> {
-        let dropped = self.cmps[node.0].invalidate_all(line);
+    /// sync; returns what was dropped (counts only — no allocation, this
+    /// runs once per write snoop).
+    fn invalidate_cmp(&mut self, node: CmpId, line: LineAddr) -> InvalidateOutcome {
+        let dropped = self.cmps[node.0].invalidate_all_counted(line);
         if self.cfg.policy.write_filtering {
-            for _ in &dropped {
+            for _ in 0..dropped.copies {
                 self.presence[node.0].remove(line);
             }
         }
-        if dropped.iter().any(|s| s.is_supplier()) {
+        if dropped.had_supplier {
             self.predictor_lost(node, line);
         }
         dropped

@@ -62,13 +62,7 @@ fn run_script(
 
 /// Shorthand: 1 core per CMP (global core i lives on CMP i).
 fn run1(algorithm: Algorithm, script: &[&[(u64, bool)]]) -> (Simulator, RunStats) {
-    run_script(
-        algorithm,
-        algorithm.default_predictor(),
-        1,
-        script,
-        |_| {},
-    )
+    run_script(algorithm, algorithm.default_predictor(), 1, script, |_| {})
 }
 
 const RD: bool = false;
@@ -87,9 +81,13 @@ fn cold_read_fills_from_memory_as_sg() {
 #[test]
 fn exclusive_fill_installs_e_when_proven() {
     // Lazy snoops every node, proving no copy exists anywhere.
-    let (sim, _) = run_script(Algorithm::Lazy, PredictorSpec::None, 1, &[&[(100, RD)]], |m| {
-        m.policy.exclusive_fill = true
-    });
+    let (sim, _) = run_script(
+        Algorithm::Lazy,
+        PredictorSpec::None,
+        1,
+        &[&[(100, RD)]],
+        |m| m.policy.exclusive_fill = true,
+    );
     assert_eq!(sim.line_state(CmpId(0), 0, LineAddr(100)), CoherState::E);
 }
 
@@ -118,10 +116,7 @@ fn second_read_hits_own_cache() {
 fn remote_cache_supplies_and_states_transition() {
     // Core 0 (cmp0) fetches line 100 from memory (SG). Core 1 (cmp1) then
     // reads it: cmp0 supplies, stays SG; cmp1 installs SL.
-    let (sim, stats) = run1(
-        Algorithm::Lazy,
-        &[&[(100, RD)], &[(0, RD), (100, RD)]],
-    );
+    let (sim, stats) = run1(Algorithm::Lazy, &[&[(100, RD)], &[(0, RD), (100, RD)]]);
     assert_eq!(stats.reads_cache_supplied, 1);
     assert_eq!(sim.line_state(CmpId(0), 0, LineAddr(100)), CoherState::Sg);
     assert_eq!(sim.line_state(CmpId(1), 0, LineAddr(100)), CoherState::Sl);
@@ -492,9 +487,13 @@ fn energy_accounts_for_ring_snoop_and_predictor() {
 
 #[test]
 fn single_ring_configuration_works() {
-    let (_, stats) = run_script(Algorithm::Lazy, PredictorSpec::None, 1, &[&[(100, RD)]], |m| {
-        m.ring.rings = 1
-    });
+    let (_, stats) = run_script(
+        Algorithm::Lazy,
+        PredictorSpec::None,
+        1,
+        &[&[(100, RD)]],
+        |m| m.ring.rings = 1,
+    );
     assert_eq!(stats.read_ring_hops, 8);
 }
 
@@ -550,13 +549,8 @@ fn mlp_with_collisions_does_not_leak_slots() {
     // All cores hammer two hot lines with reads and writes under MLP:
     // collision replays must return their load-queue slots or the run
     // deadlocks (the run() completion assert catches that).
-    let script: Vec<&[(u64, bool)]> = vec![&[
-        (7000, RD),
-        (7001, WR),
-        (7000, WR),
-        (7001, RD),
-        (7000, RD),
-    ]; 8];
+    let script: Vec<&[(u64, bool)]> =
+        vec![&[(7000, RD), (7001, WR), (7000, WR), (7001, RD), (7000, RD),]; 8];
     let (sim, stats) = run_script(Algorithm::Lazy, PredictorSpec::None, 1, &script, |m| {
         m.policy.max_outstanding_reads = 4
     });
@@ -626,7 +620,10 @@ fn timeline_records_full_transaction_life() {
     let has = |pred: fn(&TxnEvent) -> bool| events.iter().any(|(_, e)| pred(e));
     assert!(has(|e| matches!(e, TxnEvent::Issued { .. })));
     assert!(has(|e| matches!(e, TxnEvent::SnoopFinished { .. })));
-    assert!(has(|e| matches!(e, TxnEvent::MemoryStarted { prefetch: true, .. })));
+    assert!(has(|e| matches!(
+        e,
+        TxnEvent::MemoryStarted { prefetch: true, .. }
+    )));
     assert!(has(|e| matches!(e, TxnEvent::Completed)));
     assert!(has(|e| matches!(e, TxnEvent::Retired)));
     // Timestamps are non-decreasing in record order.
@@ -689,10 +686,7 @@ fn concurrent_same_cmp_reads_elect_one_local_master() {
     assert!(stats.reads_cache_supplied >= 2);
     let s0 = sim.line_state(CmpId(0), 0, LineAddr(100));
     let s1 = sim.line_state(CmpId(0), 1, LineAddr(100));
-    let sl_count = [s0, s1]
-        .iter()
-        .filter(|&&s| s == CoherState::Sl)
-        .count();
+    let sl_count = [s0, s1].iter().filter(|&&s| s == CoherState::Sl).count();
     assert!(sl_count <= 1, "states: {s0} {s1}");
     assert!(s0.is_valid() && s1.is_valid());
 }
@@ -701,9 +695,13 @@ fn concurrent_same_cmp_reads_elect_one_local_master() {
 fn write_filtering_skips_copyless_nodes() {
     // A cold write miss: no node holds the line, so with the presence
     // filter on, all 7 invalidation snoops are (mostly) filtered away.
-    let (sim, stats) = run_script(Algorithm::Lazy, PredictorSpec::None, 1, &[&[(100, WR)]], |m| {
-        m.policy.write_filtering = true
-    });
+    let (sim, stats) = run_script(
+        Algorithm::Lazy,
+        PredictorSpec::None,
+        1,
+        &[&[(100, WR)]],
+        |m| m.policy.write_filtering = true,
+    );
     assert!(
         sim.write_snoops_filtered() >= 5,
         "filtered only {}",
@@ -782,7 +780,10 @@ fn write_filtering_preserves_results_on_full_workload() {
     // Timing shifts may change collision interleavings slightly, but the
     // transaction volume must stay essentially identical.
     let ratio = filt.write_txns as f64 / base.write_txns as f64;
-    assert!((0.98..=1.02).contains(&ratio), "write txns diverged: {ratio}");
+    assert!(
+        (0.98..=1.02).contains(&ratio),
+        "write txns diverged: {ratio}"
+    );
 }
 
 /// §4.3.4's asymmetry, demonstrated end to end: injected FALSE POSITIVES
@@ -791,7 +792,9 @@ fn write_filtering_preserves_results_on_full_workload() {
 #[test]
 fn injected_false_positives_are_harmless() {
     use flexsnoop_metrics::EnergyModel;
-    use flexsnoop_predictor::{FaultInjectingPredictor, FaultKind, SupersetPredictor, SupplierPredictor};
+    use flexsnoop_predictor::{
+        FaultInjectingPredictor, FaultKind, SupersetPredictor, SupplierPredictor,
+    };
     let profile = flexsnoop_workload::profiles::specweb().with_accesses(600);
     let machine = MachineConfig::isca2006(1);
     let build = |faulty: bool| {
@@ -829,7 +832,9 @@ fn injected_false_positives_are_harmless() {
     honest.validate_coherence().expect("honest run coherent");
     let mut faulty = build(true);
     let faulty_stats = faulty.run();
-    faulty.validate_coherence().expect("FP-injected run stays coherent");
+    faulty
+        .validate_coherence()
+        .expect("FP-injected run stays coherent");
     assert!(
         faulty_stats.read_snoops > honest_stats.read_snoops,
         "forced positives must add useless snoops ({} vs {})",
@@ -850,7 +855,9 @@ fn injected_false_positives_are_harmless() {
 #[test]
 fn injected_false_negative_forces_squash_retry() {
     use flexsnoop_metrics::EnergyModel;
-    use flexsnoop_predictor::{FaultInjectingPredictor, FaultKind, PerfectPredictor, SupplierPredictor};
+    use flexsnoop_predictor::{
+        FaultInjectingPredictor, FaultKind, PerfectPredictor, SupplierPredictor,
+    };
     let machine = MachineConfig::isca2006(1);
     // Core 0 dirties line 100 (D at cmp0); core 4 then reads it. All
     // predictions are corrupted to "no supplier", so every node filters,
@@ -900,7 +907,8 @@ fn injected_false_negative_forces_squash_retry() {
     )
     .unwrap();
     let stats = sim.run();
-    sim.validate_coherence().expect("guarded run stays coherent");
+    sim.validate_coherence()
+        .expect("guarded run stays coherent");
     assert!(
         stats.collisions > 0,
         "the stale-memory race must be caught and retried"

@@ -5,7 +5,7 @@ use flexsnoop_metrics::{EnergyAccount, EnergyModel, Histogram};
 use flexsnoop_predictor::AccuracyStats;
 
 /// Statistics collected over one simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Ring read snoop transactions issued (completed).
     pub read_txns: u64,
@@ -40,6 +40,10 @@ pub struct RunStats {
     pub downgrade_rereads: u64,
     /// Same-line transaction collisions serialized (squash-and-retry).
     pub collisions: u64,
+    /// Discrete events dispatched by the scheduler over the whole run (the
+    /// simulator-throughput denominator reported by `bench`'s `throughput`
+    /// binary).
+    pub events: u64,
     /// Cache-eviction write-backs of dirty lines.
     pub eviction_writebacks: u64,
     /// Read-transaction latency, issue to data arrival.
@@ -72,6 +76,7 @@ impl RunStats {
             downgrade_writebacks: 0,
             downgrade_rereads: 0,
             collisions: 0,
+            events: 0,
             eviction_writebacks: 0,
             read_latency: Histogram::new(),
             exec_cycles: Cycle::ZERO,

@@ -84,17 +84,29 @@ impl std::fmt::Display for TxnEvent {
             TxnEvent::Issued { node } => write!(f, "issued at {node}"),
             TxnEvent::Arrived { node, kind } => write!(f, "{kind} arrives at {node}"),
             TxnEvent::Predicted { node, positive } => {
-                write!(f, "{node} predicts {}", if *positive { "supplier" } else { "no supplier" })
+                write!(
+                    f,
+                    "{node} predicts {}",
+                    if *positive { "supplier" } else { "no supplier" }
+                )
             }
             TxnEvent::SnoopStarted { node } => write!(f, "snoop starts at {node}"),
             TxnEvent::SnoopFinished { node, supplier } => {
-                write!(f, "snoop at {node}: {}", if *supplier { "SUPPLIER" } else { "miss" })
+                write!(
+                    f,
+                    "snoop at {node}: {}",
+                    if *supplier { "SUPPLIER" } else { "miss" }
+                )
             }
             TxnEvent::Forwarded { node, kind } => write!(f, "{kind} leaves {node}"),
             TxnEvent::DataSent { node } => write!(f, "data sent from {node}"),
             TxnEvent::DataArrived => write!(f, "data at requester"),
             TxnEvent::MemoryStarted { home, prefetch } => {
-                write!(f, "memory {} at {home}", if *prefetch { "prefetch" } else { "access" })
+                write!(
+                    f,
+                    "memory {} at {home}",
+                    if *prefetch { "prefetch" } else { "access" }
+                )
             }
             TxnEvent::Completed => write!(f, "core resumes"),
             TxnEvent::Retired => write!(f, "retired"),
@@ -191,7 +203,11 @@ mod tests {
     #[test]
     fn render_uses_relative_times() {
         let mut t = Timeline::with_limit(1);
-        t.record(TxnId(7), Cycle::new(100), TxnEvent::Issued { node: CmpId(3) });
+        t.record(
+            TxnId(7),
+            Cycle::new(100),
+            TxnEvent::Issued { node: CmpId(3) },
+        );
         t.record(TxnId(7), Cycle::new(143), TxnEvent::DataArrived);
         let text = t.render(TxnId(7));
         assert!(text.contains("txn7"), "{text}");
@@ -203,9 +219,18 @@ mod tests {
     #[test]
     fn event_display_is_informative() {
         let samples = [
-            TxnEvent::Predicted { node: CmpId(2), positive: true },
-            TxnEvent::SnoopFinished { node: CmpId(5), supplier: true },
-            TxnEvent::MemoryStarted { home: CmpId(1), prefetch: true },
+            TxnEvent::Predicted {
+                node: CmpId(2),
+                positive: true,
+            },
+            TxnEvent::SnoopFinished {
+                node: CmpId(5),
+                supplier: true,
+            },
+            TxnEvent::MemoryStarted {
+                home: CmpId(1),
+                prefetch: true,
+            },
         ];
         let texts: Vec<String> = samples.iter().map(|e| e.to_string()).collect();
         assert_eq!(texts[0], "cmp2 predicts supplier");

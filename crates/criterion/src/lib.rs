@@ -1,0 +1,147 @@
+//! A minimal, dependency-free drop-in for the subset of the `criterion`
+//! API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! criterion crate cannot be fetched. The bench targets only need a thin
+//! timing loop (`Criterion::benchmark_group`, `sample_size`,
+//! `bench_function`, `Bencher::iter`) plus the `criterion_group!` /
+//! `criterion_main!` macros; this crate provides exactly that, reporting
+//! min/mean/max wall-clock times per benchmark to stdout.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level handle passed to each bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` for `sample_size` samples and prints a summary line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed / b.iters);
+            }
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = if samples.is_empty() {
+            Duration::ZERO
+        } else {
+            samples.iter().sum::<Duration>() / samples.len() as u32
+        };
+        println!(
+            "{}/{}: time [{:.3?} {:.3?} {:.3?}] ({} samples)",
+            self.name,
+            id,
+            min,
+            mean,
+            max,
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (match the real criterion API; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times one sample of `f` (one iteration per sample keeps the shim
+    /// simple; the workloads measured here run for milliseconds).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Declares a function that runs each listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                $target(&mut $crate::Criterion::default());
+            )+
+        }
+    };
+}
+
+/// Declares `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,7 +1,6 @@
 //! The full-map directory state.
 
-use std::collections::HashMap;
-
+use flexsnoop_engine::FxHashMap;
 use flexsnoop_mem::{CmpId, LineAddr};
 
 /// A directory entry: where a line's copies live.
@@ -40,7 +39,7 @@ impl DirEntry {
 /// first touch; absent means `Uncached`).
 #[derive(Debug, Clone, Default)]
 pub struct Directory {
-    entries: HashMap<LineAddr, DirEntry>,
+    entries: FxHashMap<LineAddr, DirEntry>,
 }
 
 impl Directory {

@@ -26,5 +26,5 @@ pub mod sim;
 #[cfg(test)]
 mod sim_tests;
 
-pub use dirstate::{Directory, DirEntry};
+pub use dirstate::{DirEntry, Directory};
 pub use sim::{DirSimulator, DirStats};

@@ -19,10 +19,10 @@
 //! the home node: concurrent reads of a clean line proceed together,
 //! anything involving a write is exclusive.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use flexsnoop::MachineConfig;
-use flexsnoop_engine::{Cycle, Cycles, Resource, Scheduler};
+use flexsnoop_engine::{Cycle, Cycles, FxHashMap, Resource, Scheduler};
 use flexsnoop_mem::{CacheGeometry, CmpCaches, CmpId, CoherState, LineAddr};
 use flexsnoop_metrics::Histogram;
 use flexsnoop_net::{Torus, TorusConfig};
@@ -142,11 +142,11 @@ pub struct DirSimulator {
     dir_ports: Vec<Resource>,
     snoop_ports: Vec<Resource>,
     cores: Vec<CoreState>,
-    txns: HashMap<TxnId, Txn>,
+    txns: FxHashMap<TxnId, Txn>,
     next_txn: u64,
     /// Per-line `(readers, writers)` in flight, serialized at the home.
-    line_busy: HashMap<LineAddr, (u32, u32)>,
-    line_waiters: HashMap<LineAddr, VecDeque<(usize, MemAccess)>>,
+    line_busy: FxHashMap<LineAddr, (u32, u32)>,
+    line_waiters: FxHashMap<LineAddr, VecDeque<(usize, MemAccess)>>,
     stats: DirStats,
     active_cores: usize,
     finished: bool,
@@ -217,10 +217,10 @@ impl DirSimulator {
                     done: false,
                 })
                 .collect(),
-            txns: HashMap::new(),
+            txns: FxHashMap::default(),
             next_txn: 0,
-            line_busy: HashMap::new(),
-            line_waiters: HashMap::new(),
+            line_busy: FxHashMap::default(),
+            line_waiters: FxHashMap::default(),
             stats: DirStats::default(),
             active_cores,
             finished: false,
@@ -233,7 +233,11 @@ impl DirSimulator {
     /// # Errors
     ///
     /// Returns a message if the profile's cores do not divide `nodes`.
-    pub fn for_workload(profile: &WorkloadProfile, seed: u64, nodes: usize) -> Result<Self, String> {
+    pub fn for_workload(
+        profile: &WorkloadProfile,
+        seed: u64,
+        nodes: usize,
+    ) -> Result<Self, String> {
         if nodes == 0 || !profile.cores.is_multiple_of(nodes) {
             return Err(format!(
                 "workload cores ({}) must be a multiple of {nodes} nodes",
@@ -407,7 +411,8 @@ impl DirSimulator {
         );
         let home = CmpId(line.home_node(self.cfg.nodes));
         let at_home = self.send(requester, home, now + self.cfg.timing.gateway_latency);
-        self.sched.schedule_at(at_home, Event::HomeReceive { txn: id });
+        self.sched
+            .schedule_at(at_home, Event::HomeReceive { txn: id });
     }
 
     /// All directory work happens when the request reaches the home: the
@@ -421,9 +426,7 @@ impl DirSimulator {
         let home = CmpId(line.home_node(self.cfg.nodes));
         self.stats.dir_accesses += 1;
         // A small SRAM lookup; the port serializes concurrent transactions.
-        let dir_done = self.dir_ports[home.0]
-            .acquire(now, Cycles(4))
-            .end;
+        let dir_done = self.dir_ports[home.0].acquire(now, Cycles(4)).end;
         let entry = self.dirs[home.0].entry(line).clone();
         let (data_at, fill) = if write {
             self.home_write(txn_id, &entry, home, requester, dir_done)
@@ -433,7 +436,8 @@ impl DirSimulator {
         if let Some(t) = self.txns.get_mut(&txn_id) {
             t.fill = fill;
         }
-        self.sched.schedule_at(data_at, Event::Complete { txn: txn_id });
+        self.sched
+            .schedule_at(data_at, Event::Complete { txn: txn_id });
     }
 
     fn dram(&mut self, home: CmpId, at: Cycle) -> Cycle {
@@ -480,10 +484,7 @@ impl DirSimulator {
                 self.stats.mem_writes += 1;
                 let _ = self.send(owner, home, probed);
                 let data_at = self.send(owner, requester, probed);
-                self.dirs[home.0].set(
-                    line,
-                    DirEntry::Shared(vec![owner, requester]),
-                );
+                self.dirs[home.0].set(line, DirEntry::Shared(vec![owner, requester]));
                 (data_at, CoherState::Sl)
             }
         }
@@ -561,9 +562,7 @@ impl DirSimulator {
                 txn.fill
             };
             self.fill(node, local, txn.line, state);
-            self.stats
-                .read_latency
-                .record((now - txn.issue).as_u64());
+            self.stats.read_latency.record((now - txn.issue).as_u64());
             self.advance_core(txn.core, now);
         }
         // Release the line and wake waiters.
@@ -612,7 +611,7 @@ impl DirSimulator {
     ///
     /// Returns the first incompatible pair of copies.
     pub fn validate_coherence(&self) -> Result<(), String> {
-        let mut copies: HashMap<LineAddr, Vec<(usize, CoherState)>> = HashMap::new();
+        let mut copies: FxHashMap<LineAddr, Vec<(usize, CoherState)>> = FxHashMap::default();
         for (n, cmp) in self.cmps.iter().enumerate() {
             for core in 0..cmp.cores() {
                 for (line, state) in cmp.l2(core).iter() {

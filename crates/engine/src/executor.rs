@@ -1,0 +1,218 @@
+//! A bounded work-stealing task executor for simulation sweeps.
+//!
+//! The figure/table sweeps run hundreds of independent simulator
+//! configurations. Spawning one OS thread per configuration (the seed's
+//! `std::thread::scope` fan-out) oversubscribes the machine as soon as the
+//! sweep outgrows the core count: every simulator is CPU-bound, so excess
+//! threads only add context-switch and cache-thrash overhead.
+//!
+//! [`Executor`] instead runs a **fixed pool** of workers over the task
+//! list. Tasks are pre-distributed round-robin onto per-worker deques (plus
+//! a shared injector for spillover); an idle worker first drains its own
+//! deque from the front, then the injector, then **steals from the back**
+//! of a sibling's deque. Stealing from the opposite end keeps the common
+//! fast path (own front pop) and the steal path from contending on the
+//! same entries.
+//!
+//! Results are returned **in task order**, so callers are deterministic
+//! regardless of worker count or interleaving — the property the
+//! determinism regression tests pin down.
+//!
+//! The pool size defaults to the machine's available parallelism and can be
+//! overridden globally ([`set_default_threads`], wired to the CLI's
+//! `--threads` flag) or per call ([`Executor::new`]), or via the
+//! `FLEXSNOOP_THREADS` environment variable.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Process-wide worker-count override; 0 means "not set".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the default worker count for every subsequently created
+/// [`Executor::with_default`] pool (the CLI's `--threads` knob lands here).
+/// `0` clears the override.
+pub fn set_default_threads(n: usize) {
+    DEFAULT_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The worker count used by [`Executor::with_default`]: the
+/// [`set_default_threads`] override if set, else `FLEXSNOOP_THREADS` from
+/// the environment, else the machine's available parallelism (at least 1).
+pub fn default_threads() -> usize {
+    let n = DEFAULT_THREADS.load(Ordering::Relaxed);
+    if n > 0 {
+        return n;
+    }
+    if let Ok(s) = std::env::var("FLEXSNOOP_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A bounded pool that runs a batch of independent tasks with work
+/// stealing and returns their results in task order.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Executor {
+    /// A pool of exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by [`default_threads`].
+    pub fn with_default() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// The worker count this pool runs with.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every task and returns the results in the order the tasks were
+    /// given, independent of scheduling.
+    ///
+    /// With one worker (or one task) the tasks run inline on the calling
+    /// thread, in order — no threads are spawned.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic of any task after the pool unwinds.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 {
+            return tasks.into_iter().map(|f| f()).collect();
+        }
+        // Pre-distribute round-robin so every worker starts busy; the
+        // shared injector takes spillover (empty here, but it is the
+        // hand-off point if task submission ever becomes incremental).
+        let mut locals: Vec<Mutex<VecDeque<(usize, F)>>> =
+            (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+        for (i, task) in tasks.into_iter().enumerate() {
+            locals[i % workers].get_mut().unwrap().push_back((i, task));
+        }
+        let injector: Mutex<VecDeque<(usize, F)>> = Mutex::new(VecDeque::new());
+        let locals = &locals;
+        let injector = &injector;
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let job = locals[w]
+                        .lock()
+                        .unwrap()
+                        .pop_front()
+                        .or_else(|| injector.lock().unwrap().pop_front())
+                        .or_else(|| {
+                            (1..workers).find_map(|off| {
+                                locals[(w + off) % workers].lock().unwrap().pop_back()
+                            })
+                        });
+                    match job {
+                        Some((i, task)) => {
+                            if tx.send((i, task())).is_err() {
+                                break;
+                            }
+                        }
+                        None => break,
+                    }
+                });
+            }
+            drop(tx);
+            let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            for (i, result) in rx {
+                out[i] = Some(result);
+            }
+            out.into_iter()
+                .map(|slot| slot.expect("worker exited without completing its task"))
+                .collect()
+        })
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::with_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for threads in [1, 2, 4, 16] {
+            let tasks: Vec<_> = (0..64u64).map(|i| move || i * i).collect();
+            let out = Executor::new(threads).run(tasks);
+            assert_eq!(out, (0..64u64).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        use std::sync::atomic::AtomicUsize;
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..100)
+            .map(|i| {
+                move || {
+                    let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                    PEAK.fetch_max(live, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                    LIVE.fetch_sub(1, Ordering::SeqCst);
+                    i
+                }
+            })
+            .collect();
+        let out = Executor::new(3).run(tasks);
+        assert_eq!(out.len(), 100);
+        assert!(
+            PEAK.load(Ordering::SeqCst) <= 3,
+            "more concurrent tasks than workers: {}",
+            PEAK.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn empty_and_single_task_batches() {
+        let none: Vec<fn() -> u8> = Vec::new();
+        assert!(Executor::new(4).run(none).is_empty());
+        assert_eq!(Executor::new(4).run(vec![|| 7u8]), vec![7]);
+    }
+
+    #[test]
+    fn tasks_may_borrow_the_caller_stack() {
+        let data = vec![1u64, 2, 3, 4];
+        let data = &data;
+        let tasks: Vec<_> = (0..data.len()).map(|i| move || data[i] * 10).collect();
+        assert_eq!(Executor::new(2).run(tasks), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_overridable() {
+        assert!(default_threads() >= 1);
+        set_default_threads(5);
+        assert_eq!(default_threads(), 5);
+        assert_eq!(Executor::with_default().threads(), 5);
+        set_default_threads(0);
+        assert!(default_threads() >= 1);
+    }
+}

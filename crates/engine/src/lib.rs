@@ -5,12 +5,17 @@
 //!
 //! * [`Cycle`] / [`Cycles`] — newtypes for absolute simulation time and
 //!   durations, measured in processor clock cycles.
-//! * [`EventQueue`] — a deterministic time-ordered priority queue with FIFO
-//!   tie-breaking for events scheduled at the same cycle.
+//! * [`EventQueue`] / [`queue::BucketQueue`] — deterministic time-ordered
+//!   queues with FIFO tie-breaking for events scheduled at the same cycle
+//!   (a binary heap and a timing wheel with identical pop order; see
+//!   [`QueueKind`]).
 //! * [`Scheduler`] — an event queue plus a simulation clock.
 //! * [`Resource`] — a serially-occupied resource (bus, link, memory port)
 //!   used to model contention.
 //! * [`SplitMix64`] — a tiny deterministic RNG for reproducible simulations.
+//! * [`fxhash`] — a fast deterministic hasher for simulator-internal maps.
+//! * [`Executor`] — a bounded work-stealing pool for sweeping many
+//!   independent simulations without oversubscribing the machine.
 //!
 //! # Example
 //!
@@ -26,12 +31,16 @@
 //! assert_eq!((t.as_u64(), ev), (10, "b"));
 //! ```
 
+pub mod executor;
+pub mod fxhash;
 pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod time;
 
-pub use queue::EventQueue;
+pub use executor::Executor;
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use queue::{EventQueue, QueueKind};
 pub use resource::Resource;
 pub use rng::SplitMix64;
 pub use time::{Cycle, Cycles};
@@ -41,10 +50,21 @@ pub use time::{Cycle, Cycles};
 /// The clock advances monotonically to the timestamp of each popped event.
 /// Events may never be scheduled in the past; doing so is a logic error and
 /// panics (see [`Scheduler::schedule_at`]).
+///
+/// The backing queue is chosen by [`QueueKind`]; both implementations pop
+/// in the identical `(time, insertion order)` sequence, so the choice
+/// never changes simulation results — only throughput.
 #[derive(Debug, Clone)]
 pub struct Scheduler<E> {
     now: Cycle,
-    queue: EventQueue<E>,
+    queue: AnyQueue<E>,
+}
+
+/// Dispatch between the two queue implementations.
+#[derive(Debug, Clone)]
+enum AnyQueue<E> {
+    Heap(EventQueue<E>),
+    Bucketed(queue::BucketQueue<E>),
 }
 
 impl<E> Default for Scheduler<E> {
@@ -54,11 +74,28 @@ impl<E> Default for Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    /// Creates an empty scheduler with the clock at cycle 0.
+    /// Creates an empty scheduler with the clock at cycle 0, backed by the
+    /// default (bucketed) queue.
     pub fn new() -> Self {
+        Self::with_queue(QueueKind::default())
+    }
+
+    /// Creates an empty scheduler backed by the given queue implementation.
+    pub fn with_queue(kind: QueueKind) -> Self {
         Self {
             now: Cycle::ZERO,
-            queue: EventQueue::new(),
+            queue: match kind {
+                QueueKind::Heap => AnyQueue::Heap(EventQueue::new()),
+                QueueKind::Bucketed => AnyQueue::Bucketed(queue::BucketQueue::new()),
+            },
+        }
+    }
+
+    /// Which queue implementation backs this scheduler.
+    pub fn queue_kind(&self) -> QueueKind {
+        match &self.queue {
+            AnyQueue::Heap(_) => QueueKind::Heap,
+            AnyQueue::Bucketed(_) => QueueKind::Bucketed,
         }
     }
 
@@ -69,12 +106,15 @@ impl<E> Scheduler<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.queue.len()
+        match &self.queue {
+            AnyQueue::Heap(q) => q.len(),
+            AnyQueue::Bucketed(q) => q.len(),
+        }
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.queue.is_empty()
+        self.len() == 0
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -84,27 +124,39 @@ impl<E> Scheduler<E> {
     /// Panics if `at` is earlier than the current simulation time: an event
     /// in the past can never be dispatched by a monotonic clock and always
     /// indicates a model bug.
+    #[inline]
     pub fn schedule_at(&mut self, at: Cycle, event: E) {
         assert!(
             at >= self.now,
             "event scheduled in the past: at={at}, now={}",
             self.now
         );
-        self.queue.push(at, event);
+        match &mut self.queue {
+            AnyQueue::Heap(q) => q.push(at, event),
+            AnyQueue::Bucketed(q) => q.push(at, event),
+        }
     }
 
     /// Schedules `event` after a delay of `delay` cycles from now.
+    #[inline]
     pub fn schedule_in(&mut self, delay: Cycles, event: E) {
         let at = self.now + delay;
-        self.queue.push(at, event);
+        match &mut self.queue {
+            AnyQueue::Heap(q) => q.push(at, event),
+            AnyQueue::Bucketed(q) => q.push(at, event),
+        }
     }
 
     /// Pops the next event, advancing the clock to its timestamp.
     ///
     /// Returns `None` when the queue is drained; the clock keeps its last
     /// value so a post-mortem caller can still ask "when did we finish?".
+    #[inline]
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let (t, e) = self.queue.pop()?;
+        let (t, e) = match &mut self.queue {
+            AnyQueue::Heap(q) => q.pop()?,
+            AnyQueue::Bucketed(q) => q.pop()?,
+        };
         debug_assert!(t >= self.now, "event queue returned a past event");
         self.now = t;
         Some((t, e))
@@ -112,7 +164,10 @@ impl<E> Scheduler<E> {
 
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<Cycle> {
-        self.queue.peek_time()
+        match &self.queue {
+            AnyQueue::Heap(q) => q.peek_time(),
+            AnyQueue::Bucketed(q) => q.peek_time(),
+        }
     }
 }
 

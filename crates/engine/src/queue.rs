@@ -1,9 +1,32 @@
-//! Deterministic time-ordered event queue.
+//! Deterministic time-ordered event queues.
+//!
+//! Two implementations with identical pop order:
+//!
+//! * [`EventQueue`] — a binary heap; O(log n) everywhere, no assumptions
+//!   about the time distribution.
+//! * [`BucketQueue`] — a timing wheel for the near-monotonic schedules a
+//!   discrete-event simulator produces (almost every event lands within a
+//!   few hundred cycles of "now"); O(1) push/pop for in-horizon events,
+//!   with a heap fallback for far-future ones.
+//!
+//! Both order events by `(time, insertion sequence)`, so simulations are
+//! bit-for-bit reproducible whichever queue backs the [`crate::Scheduler`]
+//! — a property pinned by the determinism regression tests.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Cycle;
+
+/// Which event-queue implementation a [`crate::Scheduler`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Binary heap ([`EventQueue`]).
+    Heap,
+    /// Timing wheel with heap overflow ([`BucketQueue`]); the default.
+    #[default]
+    Bucketed,
+}
 
 /// A priority queue of `(Cycle, E)` pairs ordered by ascending time.
 ///
@@ -103,6 +126,158 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// Wheel span in cycles. Ring hops, snoops and cache round-trips are all
+/// tens of cycles and DRAM a few hundred, so nearly every event lands in
+/// the wheel; only workload think times (thousands of cycles) overflow to
+/// the heap.
+const WHEEL: u64 = 4096;
+
+/// A timing-wheel event queue with a heap fallback for events beyond the
+/// wheel horizon.
+///
+/// Events within `WHEEL` cycles of the queue's clock go into per-cycle
+/// FIFO buckets (O(1)); later events go into an overflow heap. `pop`
+/// compares the earliest bucket against the heap top by
+/// `(time, insertion sequence)`, so the pop order is identical to
+/// [`EventQueue`]'s.
+///
+/// **Contract:** pushes must not be earlier than the last popped time
+/// (enforced by [`crate::Scheduler`], which never schedules in the past).
+/// This is what lets the wheel advance a monotonic cursor instead of
+/// re-scanning.
+#[derive(Debug, Clone)]
+pub struct BucketQueue<E> {
+    /// `WHEEL` per-cycle buckets, indexed by `time % WHEEL`; each bucket
+    /// holds the events of exactly one timestamp, in insertion order.
+    buckets: Vec<VecDeque<(u64, E)>>,
+    /// Lower bound on every wheel entry's time; advances on every pop.
+    cursor: u64,
+    /// Events currently in the wheel (not counting the overflow heap).
+    in_wheel: usize,
+    /// Events at or beyond `cursor + WHEEL` at push time.
+    overflow: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+impl<E> Default for BucketQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> BucketQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..WHEEL).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            in_wheel: 0,
+            overflow: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_index(t: u64) -> usize {
+        (t % WHEEL) as usize
+    }
+
+    /// Inserts `event` with timestamp `time`.
+    #[inline]
+    pub fn push(&mut self, time: Cycle, event: E) {
+        let t = time.as_u64();
+        debug_assert!(
+            t >= self.cursor,
+            "BucketQueue push at {t} behind cursor {}",
+            self.cursor
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        if t < self.cursor + WHEEL {
+            self.buckets[Self::bucket_index(t)].push_back((seq, event));
+            self.in_wheel += 1;
+        } else {
+            self.overflow.push(Entry { time, seq, event });
+        }
+    }
+
+    /// Time of the earliest non-empty bucket, scanning forward from the
+    /// cursor. `None` when the wheel is empty.
+    #[inline]
+    fn earliest_wheel_time(&self) -> Option<u64> {
+        if self.in_wheel == 0 {
+            return None;
+        }
+        // All wheel entries lie in [cursor, cursor + WHEEL), so the scan
+        // finds one within WHEEL steps; the cursor's monotonic advance
+        // makes the amortized cost O(1) per simulated cycle.
+        let mut t = self.cursor;
+        loop {
+            if !self.buckets[Self::bucket_index(t)].is_empty() {
+                return Some(t);
+            }
+            t += 1;
+            debug_assert!(t < self.cursor + WHEEL, "wheel count out of sync");
+        }
+    }
+
+    /// Removes and returns the earliest event (FIFO within a timestamp).
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let wheel_t = self.earliest_wheel_time();
+        // Take the wheel entry unless the overflow heap holds something
+        // earlier — or equal-time with a smaller sequence number (cannot
+        // happen in practice: an overflow push predates, hence out-ranks,
+        // any same-time wheel push; compared anyway for strict equivalence
+        // with EventQueue).
+        let from_wheel = match (wheel_t, self.overflow.peek()) {
+            (None, None) => return None,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(wt), Some(top)) => {
+                let wseq = self.buckets[Self::bucket_index(wt)][0].0;
+                (wt, wseq) < (top.time.as_u64(), top.seq)
+            }
+        };
+        if from_wheel {
+            let t = wheel_t.expect("wheel entry present");
+            let (_, event) = self.buckets[Self::bucket_index(t)]
+                .pop_front()
+                .expect("bucket non-empty");
+            self.in_wheel -= 1;
+            self.cursor = t;
+            Some((Cycle::new(t), event))
+        } else {
+            let e = self.overflow.pop().expect("overflow entry present");
+            // The popped time is the global minimum, so it is still a
+            // valid lower bound for every wheel entry.
+            self.cursor = e.time.as_u64();
+            Some((e.time, e.event))
+        }
+    }
+
+    /// Timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        let wheel = self.earliest_wheel_time();
+        let heap = self.overflow.peek().map(|e| e.time.as_u64());
+        match (wheel, heap) {
+            (None, None) => None,
+            (Some(a), None) => Some(Cycle::new(a)),
+            (None, Some(b)) => Some(Cycle::new(b)),
+            (Some(a), Some(b)) => Some(Cycle::new(a.min(b))),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.in_wheel + self.overflow.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +323,107 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Cycle::new(9)));
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    // ----- BucketQueue ----------------------------------------------------
+
+    #[test]
+    fn bucket_pops_in_time_order() {
+        let mut q = BucketQueue::new();
+        q.push(Cycle::new(30), 3);
+        q.push(Cycle::new(10), 1);
+        q.push(Cycle::new(20), 2);
+        assert_eq!(q.pop(), Some((Cycle::new(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle::new(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle::new(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn bucket_equal_times_are_fifo() {
+        let mut q = BucketQueue::new();
+        for i in 0..100 {
+            q.push(Cycle::new(42), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle::new(42), i)));
+        }
+    }
+
+    #[test]
+    fn bucket_overflow_beyond_horizon_round_trips() {
+        let mut q = BucketQueue::new();
+        // Far beyond the wheel: lands in the overflow heap.
+        q.push(Cycle::new(10 * WHEEL), "far");
+        q.push(Cycle::new(1), "near");
+        q.push(Cycle::new(10 * WHEEL), "far2");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((Cycle::new(1), "near")));
+        // FIFO survives the overflow path too.
+        assert_eq!(q.pop(), Some((Cycle::new(10 * WHEEL), "far")));
+        assert_eq!(q.pop(), Some((Cycle::new(10 * WHEEL), "far2")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn bucket_overflow_and_wheel_merge_fifo_at_equal_time() {
+        let mut q = BucketQueue::new();
+        // Pushed while 2*WHEEL is beyond the horizon: goes to overflow.
+        q.push(Cycle::new(2 * WHEEL), "heap-resident");
+        q.push(Cycle::new(WHEEL + 1), "mover");
+        assert_eq!(q.pop(), Some((Cycle::new(WHEEL + 1), "mover")));
+        // Now 2*WHEEL is inside the horizon: same time, wheel-resident,
+        // pushed later — must pop after the overflow entry.
+        q.push(Cycle::new(2 * WHEEL), "wheel-resident");
+        assert_eq!(q.pop(), Some((Cycle::new(2 * WHEEL), "heap-resident")));
+        assert_eq!(q.pop(), Some((Cycle::new(2 * WHEEL), "wheel-resident")));
+    }
+
+    #[test]
+    fn bucket_peek_matches_pop() {
+        let mut q = BucketQueue::new();
+        q.push(Cycle::new(7), 'a');
+        q.push(Cycle::new(3 + WHEEL * 5), 'z');
+        assert_eq!(q.peek_time(), Some(Cycle::new(7)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(Cycle::new(3 + WHEEL * 5)));
+        assert_eq!(q.len(), 1);
+    }
+
+    /// The two queues must pop identically on a randomized near-monotonic
+    /// schedule (the exact workload a simulator produces).
+    #[test]
+    fn heap_and_bucket_orders_are_identical() {
+        let mut rng = crate::SplitMix64::new(0xdecaf);
+        let mut heap = EventQueue::new();
+        let mut wheel = BucketQueue::new();
+        let mut now = 0u64;
+        for step in 0..50_000u64 {
+            // Mix of short hops, same-cycle events, and far think times.
+            let delay = match rng.next_below(10) {
+                0 => 0,
+                1..=7 => rng.next_below(300),
+                8 => rng.next_below(WHEEL * 2),
+                _ => WHEEL * 2 + rng.next_below(10_000),
+            };
+            heap.push(Cycle::new(now + delay), step);
+            wheel.push(Cycle::new(now + delay), step);
+            if rng.next_below(3) > 0 {
+                let a = heap.pop();
+                let b = wheel.pop();
+                assert_eq!(a, b, "diverged at step {step}");
+                if let Some((t, _)) = a {
+                    now = t.as_u64();
+                }
+            }
+        }
+        loop {
+            let a = heap.pop();
+            let b = wheel.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -75,6 +75,17 @@ impl SplitMix64 {
     /// Panics if `weights` is empty or sums to zero.
     pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
+        self.pick_weighted_presummed(weights, total)
+    }
+
+    /// [`Self::pick_weighted`] with the weight total precomputed by the
+    /// caller. Draws the same value and walks the same scan, so the result
+    /// is identical to `pick_weighted` for the matching `total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or `total` is not positive.
+    pub fn pick_weighted_presummed(&mut self, weights: &[f64], total: f64) -> usize {
         assert!(
             !weights.is_empty() && total > 0.0,
             "pick_weighted needs positive total weight"

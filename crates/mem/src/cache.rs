@@ -57,8 +57,13 @@ impl CacheGeometry {
     }
 
     /// The set index for a line address.
+    #[inline]
     pub fn set_of(&self, line: LineAddr) -> usize {
-        (line.0 % self.sets as u64) as usize
+        // `sets` is asserted to be a power of two at construction, so the
+        // modulo reduces to a mask (a hardware divide here would sit on
+        // every tag probe in the simulator's hot path).
+        debug_assert!(self.sets.is_power_of_two());
+        (line.0 & (self.sets as u64 - 1)) as usize
     }
 }
 

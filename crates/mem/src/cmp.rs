@@ -10,6 +10,8 @@
 //! * a **snoop** when a ring request arrives — does any L2 hold the line in
 //!   a *supplier state* (`SG, E, D, T`)? All L2s are probed in parallel.
 
+use flexsnoop_engine::FxHashMap;
+
 use crate::addr::LineAddr;
 use crate::cache::{CacheGeometry, SetAssocCache};
 use crate::l2::{Eviction, L2Cache};
@@ -45,11 +47,46 @@ pub struct SnoopResult {
     pub any_copy: bool,
 }
 
-/// The caches of one CMP: per-core L1 tag filters and L2s.
+/// What a CMP-wide invalidation dropped (allocation-free summary of
+/// [`CmpCaches::invalidate_all`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidateOutcome {
+    /// Number of valid copies invalidated across the CMP's L2s.
+    pub copies: u32,
+    /// Whether one of them was in a supplier state (`SG`, `E`, `D`, `T`).
+    pub had_supplier: bool,
+}
+
+/// A line's presence summary within one CMP, kept in sync with the L2
+/// arrays by every mutating method.
+///
+/// The Figure 2(b) storage invariants bound what a snoop can find: at most
+/// one copy per CMP is in a locally-supplying state (`SL, SG, E, D, T` —
+/// any pair of those is same-CMP incompatible, see
+/// [`CoherState::compatible_with`]), so one `(core, state)` slot plus a
+/// copy count answers every snoop-side question without scanning tag
+/// arrays.
+#[derive(Debug, Clone, Copy)]
+struct Residency {
+    /// Valid copies across the CMP's L2s (entry removed when it hits 0).
+    copies: u8,
+    /// The unique copy in a locally-supplying state, if any.
+    local: Option<(u8, CoherState)>,
+}
+
+/// The caches of one CMP: per-core L1 tag filters and L2s, plus a
+/// residency index that turns snoop probes into single hash lookups.
+///
+/// In hardware a snoop probes every L2 tag array in parallel; modeling
+/// that as a literal scan made `snoop`/`supplier_of` the simulator's
+/// hottest functions. The index is a pure lookup accelerator — it never
+/// changes any answer (debug builds cross-check it against a full scan on
+/// every snoop).
 #[derive(Debug, Clone)]
 pub struct CmpCaches {
     l1s: Vec<SetAssocCache<()>>,
     l2s: Vec<L2Cache>,
+    index: FxHashMap<LineAddr, Residency>,
 }
 
 impl CmpCaches {
@@ -61,8 +98,57 @@ impl CmpCaches {
     pub fn new(cores: usize, l1_geometry: CacheGeometry, l2_geometry: CacheGeometry) -> Self {
         assert!(cores > 0, "a CMP needs at least one core");
         Self {
-            l1s: (0..cores).map(|_| SetAssocCache::new(l1_geometry)).collect(),
+            l1s: (0..cores)
+                .map(|_| SetAssocCache::new(l1_geometry))
+                .collect(),
             l2s: (0..cores).map(|_| L2Cache::new(l2_geometry)).collect(),
+            // The index holds at most one entry per resident line, bounded
+            // by the CMP's total L2 capacity; sizing it up front avoids
+            // rehashing as the caches warm.
+            index: FxHashMap::with_capacity_and_hasher(
+                cores * l2_geometry.entries(),
+                Default::default(),
+            ),
+        }
+    }
+
+    /// Records that `core`'s copy of `line` (which was in `state`) left
+    /// its L2 — by eviction or invalidation.
+    fn index_drop(&mut self, core: usize, line: LineAddr, state: CoherState) {
+        let entry = self
+            .index
+            .get_mut(&line)
+            .expect("residency index missed a resident line");
+        entry.copies -= 1;
+        if state.supplies_locally() {
+            debug_assert_eq!(entry.local.map(|(c, _)| c as usize), Some(core));
+            entry.local = None;
+        }
+        if entry.copies == 0 {
+            self.index.remove(&line);
+        }
+    }
+
+    /// Records that `core` now holds `line` in `state` (fill or state
+    /// change); `old` is the state the core held it in before (`I` if it
+    /// did not).
+    fn index_update(&mut self, core: usize, line: LineAddr, old: CoherState, state: CoherState) {
+        let entry = self.index.entry(line).or_insert(Residency {
+            copies: 0,
+            local: None,
+        });
+        if !old.is_valid() {
+            entry.copies += 1;
+        }
+        if old.supplies_locally() {
+            debug_assert_eq!(entry.local.map(|(c, _)| c as usize), Some(core));
+            entry.local = None;
+        }
+        if state.supplies_locally() {
+            // A correct protocol never has two locally-supplying copies in
+            // one CMP; last-writer-wins here so [`validate_line`] (not the
+            // index) stays the detector for injected protocol bugs.
+            entry.local = Some((core as u8, state));
         }
     }
 
@@ -74,11 +160,6 @@ impl CmpCaches {
     /// Read-only view of a core's L2.
     pub fn l2(&self, core: usize) -> &L2Cache {
         &self.l2s[core]
-    }
-
-    /// Mutable view of a core's L2.
-    pub fn l2_mut(&mut self, core: usize) -> &mut L2Cache {
-        &mut self.l2s[core]
     }
 
     /// A core's access as seen by its own CMP: own L1, own L2, then peer
@@ -97,20 +178,42 @@ impl CmpCaches {
         }
         // The line is not in the core's own hierarchy; drop any stale L1 tag.
         self.l1s[core].remove(line);
-        for (peer, l2) in self.l2s.iter().enumerate() {
-            if peer == core {
-                continue;
-            }
-            let state = l2.state_of(line);
-            if state.supplies_locally() {
-                return LocalLookup::Peer { peer, state };
+        if let Some(entry) = self.index.get(&line) {
+            if let Some((peer, state)) = entry.local {
+                let peer = peer as usize;
+                if peer != core {
+                    debug_assert_eq!(self.l2s[peer].state_of(line), state);
+                    return LocalLookup::Peer { peer, state };
+                }
             }
         }
         LocalLookup::Miss
     }
 
-    /// Probes every L2 for a ring snoop (parallel tag lookup in hardware).
+    /// Probes every L2 for a ring snoop (parallel tag lookup in hardware;
+    /// here a single residency-index lookup).
     pub fn snoop(&self, line: LineAddr) -> SnoopResult {
+        let result = match self.index.get(&line) {
+            None => SnoopResult {
+                supplier: None,
+                any_copy: false,
+            },
+            Some(entry) => SnoopResult {
+                supplier: entry
+                    .local
+                    .filter(|&(_, s)| s.is_supplier())
+                    .map(|(c, s)| (c as usize, s)),
+                any_copy: entry.copies > 0,
+            },
+        };
+        debug_assert_eq!(result, self.snoop_scan(line), "residency index drifted");
+        result
+    }
+
+    /// The scan the hardware's parallel tag probe corresponds to; used to
+    /// cross-check the residency index in debug builds (release builds
+    /// compile the check and this scan away).
+    fn snoop_scan(&self, line: LineAddr) -> SnoopResult {
         let mut supplier = None;
         let mut any_copy = false;
         for (idx, l2) in self.l2s.iter().enumerate() {
@@ -136,6 +239,11 @@ impl CmpCaches {
     /// Returns the states the copies were in (empty if none were resident).
     pub fn invalidate_all(&mut self, line: LineAddr) -> Vec<CoherState> {
         let mut dropped = Vec::new();
+        if self.index.remove(&line).is_none() {
+            // No L2 holds the line, so (inclusive hierarchy) no L1 does
+            // either: nothing to do.
+            return dropped;
+        }
         for (l1, l2) in self.l1s.iter_mut().zip(&mut self.l2s) {
             l1.remove(line);
             if let Some(state) = l2.invalidate(line) {
@@ -145,15 +253,39 @@ impl CmpCaches {
         dropped
     }
 
+    /// Like [`invalidate_all`](Self::invalidate_all) but returns only the
+    /// counts the protocol acts on, so the per-write-snoop hot path does
+    /// not allocate a `Vec` of dropped states.
+    pub fn invalidate_all_counted(&mut self, line: LineAddr) -> InvalidateOutcome {
+        let mut out = InvalidateOutcome {
+            copies: 0,
+            had_supplier: false,
+        };
+        if self.index.remove(&line).is_none() {
+            return out;
+        }
+        for (l1, l2) in self.l1s.iter_mut().zip(&mut self.l2s) {
+            l1.remove(line);
+            if let Some(state) = l2.invalidate(line) {
+                out.copies += 1;
+                out.had_supplier |= state.is_supplier();
+            }
+        }
+        out
+    }
+
     /// Fills `line` into `core`'s L2 (and L1) in `state`, returning the L2
     /// victim if one was evicted. The victim's L1 tag is dropped to keep
     /// the hierarchy inclusive.
     pub fn fill(&mut self, core: usize, line: LineAddr, state: CoherState) -> Option<Eviction> {
+        let old = self.l2s[core].state_of(line);
         let victim = self.l2s[core].fill(line, state);
         if let Some(ev) = victim {
             self.l1s[core].remove(ev.line);
+            self.index_drop(core, ev.line, ev.state);
         }
         self.l1s[core].insert(line, ());
+        self.index_update(core, line, old, state);
         victim
     }
 
@@ -163,12 +295,19 @@ impl CmpCaches {
     ///
     /// Panics if the line is not resident there (see [`L2Cache::set_state`]).
     pub fn set_state(&mut self, core: usize, line: LineAddr, state: CoherState) {
+        let old = self.l2s[core].state_of(line);
         self.l2s[core].set_state(line, state);
+        self.index_update(core, line, old, state);
     }
 
     /// Whether any valid copy of `line` exists in this CMP.
     pub fn has_copy(&self, line: LineAddr) -> bool {
-        self.l2s.iter().any(|l2| l2.state_of(line).is_valid())
+        debug_assert_eq!(
+            self.index.contains_key(&line),
+            self.l2s.iter().any(|l2| l2.state_of(line).is_valid()),
+            "residency index drifted for {line}"
+        );
+        self.index.contains_key(&line)
     }
 
     /// Debug check: the per-CMP storage invariants from Figure 2(b) —
@@ -208,7 +347,13 @@ mod tests {
     fn miss_everywhere() {
         let mut c = cmp();
         assert_eq!(c.local_lookup(0, LineAddr(1)), LocalLookup::Miss);
-        assert_eq!(c.snoop(LineAddr(1)), SnoopResult { supplier: None, any_copy: false });
+        assert_eq!(
+            c.snoop(LineAddr(1)),
+            SnoopResult {
+                supplier: None,
+                any_copy: false
+            }
+        );
     }
 
     #[test]

@@ -141,13 +141,22 @@ mod tests {
         c.fill(LineAddr(0), D);
         c.fill(LineAddr(4), S);
         let ev = c.fill(LineAddr(8), E).expect("eviction");
-        assert_eq!(ev, Eviction { line: LineAddr(0), state: D });
+        assert_eq!(
+            ev,
+            Eviction {
+                line: LineAddr(0),
+                state: D
+            }
+        );
         assert!(ev.needs_writeback());
     }
 
     #[test]
     fn clean_victim_needs_no_writeback() {
-        let ev = Eviction { line: LineAddr(0), state: Sg };
+        let ev = Eviction {
+            line: LineAddr(0),
+            state: Sg,
+        };
         assert!(!ev.needs_writeback());
     }
 

@@ -25,7 +25,7 @@ pub mod state;
 
 pub use addr::{Addr, LineAddr};
 pub use cache::{CacheGeometry, SetAssocCache};
-pub use cmp::CmpCaches;
+pub use cmp::{CmpCaches, InvalidateOutcome};
 pub use ids::{CmpId, CoreId};
 pub use l2::L2Cache;
 pub use state::CoherState;

@@ -156,7 +156,7 @@ impl fmt::Display for EnergyCategory {
 /// acct.add(EnergyCategory::Snoop, 1);
 /// assert!((acct.total_nj() - (2.0 * 3.17 + 0.69)).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyAccount {
     model: EnergyModel,
     counts: [u64; 7],

@@ -58,7 +58,7 @@ pub fn normalize_to(xs: &[f64], baseline: f64) -> Vec<f64> {
 /// A histogram with power-of-two buckets, used for latency distributions.
 ///
 /// Bucket `i` holds values in `[2^i, 2^(i+1))`; bucket 0 also holds 0.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,

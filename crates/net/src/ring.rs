@@ -132,11 +132,7 @@ impl RingNetwork {
 
     /// Total busy cycles over all links of all rings (for utilization).
     pub fn total_busy(&self) -> Cycles {
-        self.links
-            .iter()
-            .flatten()
-            .map(|l| l.busy_cycles())
-            .sum()
+        self.links.iter().flatten().map(|l| l.busy_cycles()).sum()
     }
 }
 

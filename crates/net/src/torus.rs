@@ -29,7 +29,12 @@ impl TorusConfig {
     /// # Panics
     ///
     /// Panics if `nodes` is zero.
-    pub fn near_square(nodes: usize, hop_latency: Cycles, router_latency: Cycles, link_service: Cycles) -> Self {
+    pub fn near_square(
+        nodes: usize,
+        hop_latency: Cycles,
+        router_latency: Cycles,
+        link_service: Cycles,
+    ) -> Self {
         assert!(nodes > 0, "torus needs at least one node");
         let mut width = (nodes as f64).sqrt().ceil() as usize;
         while !nodes.is_multiple_of(width) {
@@ -166,7 +171,12 @@ mod tests {
     use super::*;
 
     fn torus8() -> Torus {
-        Torus::new(TorusConfig::near_square(8, Cycles(10), Cycles(4), Cycles(2)))
+        Torus::new(TorusConfig::near_square(
+            8,
+            Cycles(10),
+            Cycles(4),
+            Cycles(2),
+        ))
     }
 
     #[test]

@@ -127,8 +127,10 @@ impl BloomFilter {
 
     /// Adds one occurrence of `line`.
     pub fn insert(&mut self, line: LineAddr) {
-        let idxs: Vec<_> = self.indices(line).collect();
-        for (t, i) in idxs {
+        let mut lo = 0u32;
+        for (t, &b) in self.spec.field_bits.iter().enumerate() {
+            let i = line.bits(lo, b) as usize;
+            lo += b;
             let c = &mut self.tables[t][i];
             // Saturating: a saturated counter is never decremented again, so
             // the no-false-negative guarantee survives overflow.
@@ -145,8 +147,10 @@ impl BloomFilter {
     /// Panics in debug builds if a counter would underflow, which means the
     /// caller removed a line it never inserted.
     pub fn remove(&mut self, line: LineAddr) {
-        let idxs: Vec<_> = self.indices(line).collect();
-        for (t, i) in idxs {
+        let mut lo = 0u32;
+        for (t, &b) in self.spec.field_bits.iter().enumerate() {
+            let i = line.bits(lo, b) as usize;
+            lo += b;
             let c = &mut self.tables[t][i];
             debug_assert!(*c > 0, "bloom underflow for {line}");
             if *c > 0 && *c < self.saturation {

@@ -22,8 +22,8 @@
 
 pub mod accuracy;
 pub mod bloom;
-pub mod fault;
 pub mod exact;
+pub mod fault;
 pub mod perfect;
 pub mod spec;
 pub mod subset;

@@ -5,8 +5,7 @@
 //! cost — the paper uses it for Figure 11's "Perfect" bars and the Oracle
 //! algorithm's lower bound; so do we.
 
-use std::collections::HashSet;
-
+use flexsnoop_engine::FxHashSet;
 use flexsnoop_mem::LineAddr;
 
 use crate::{PredictorCounters, SupplierPredictor};
@@ -27,7 +26,7 @@ use crate::{PredictorCounters, SupplierPredictor};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PerfectPredictor {
-    lines: HashSet<LineAddr>,
+    lines: FxHashSet<LineAddr>,
     counters: PredictorCounters,
 }
 

@@ -32,6 +32,9 @@ pub struct SyntheticStream {
     cores: usize,
     pools: Vec<PoolSpec>,
     weights: Vec<f64>,
+    /// Sum of `weights`, precomputed once: `generate` draws a pool on
+    /// every access and must not re-sum the mix each time.
+    weight_total: f64,
     write_fraction: f64,
     think_min: u64,
     think_max: u64,
@@ -59,13 +62,15 @@ impl SyntheticStream {
     ) -> Self {
         assert!(!pools.is_empty(), "a workload needs at least one pool");
         assert!(cores > 0 && core < cores, "core index out of range");
-        let weights = pools.iter().map(|p| p.weight).collect();
+        let weights: Vec<f64> = pools.iter().map(|p| p.weight).collect();
+        let weight_total = weights.iter().sum();
         let stream_pos = vec![0; pools.len()];
         Self {
             core,
             cores,
             pools,
             weights,
+            weight_total,
             write_fraction,
             think_min: think_range.0,
             think_max: think_range.1,
@@ -94,7 +99,9 @@ impl SyntheticStream {
     }
 
     fn generate(&mut self) -> MemAccess {
-        let pool_idx = self.rng.pick_weighted(&self.weights);
+        let pool_idx = self
+            .rng
+            .pick_weighted_presummed(&self.weights, self.weight_total);
         let pool = self.pools[pool_idx];
         let base = pool_base(pool_idx);
         let think = self.think();

@@ -252,8 +252,7 @@ mod tests {
     fn all_profiles_have_unique_names() {
         let profiles = all();
         assert_eq!(profiles.len(), 13);
-        let names: std::collections::HashSet<_> =
-            profiles.iter().map(|p| p.name.clone()).collect();
+        let names: std::collections::HashSet<_> = profiles.iter().map(|p| p.name.clone()).collect();
         assert_eq!(names.len(), 13);
     }
 

@@ -33,11 +33,7 @@ impl Trace {
     pub fn record<S: AccessStream>(streams: &mut [S], n: u64) -> Self {
         let per_core = streams
             .iter_mut()
-            .map(|s| {
-                (0..n)
-                    .map_while(|_| s.next_access())
-                    .collect::<Vec<_>>()
-            })
+            .map(|s| (0..n).map_while(|_| s.next_access()).collect::<Vec<_>>())
             .collect();
         Self { per_core }
     }

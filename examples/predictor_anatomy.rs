@@ -9,18 +9,12 @@
 use flexsnoop_engine::SplitMix64;
 use flexsnoop_mem::LineAddr;
 use flexsnoop_metrics::Table;
-use flexsnoop_predictor::{
-    ExactPredictor, SubsetPredictor, SupersetPredictor, SupplierPredictor,
-};
+use flexsnoop_predictor::{ExactPredictor, SubsetPredictor, SupersetPredictor, SupplierPredictor};
 
 /// Measures one predictor at a given tracked-set size: insert `tracked`
 /// supplier lines, then probe `probes` lines (half tracked, half not) and
 /// report the error rates.
-fn measure<P: SupplierPredictor>(
-    mut p: P,
-    tracked: u64,
-    rng: &mut SplitMix64,
-) -> (f64, f64, u64) {
+fn measure<P: SupplierPredictor>(mut p: P, tracked: u64, rng: &mut SplitMix64) -> (f64, f64, u64) {
     let lines: Vec<LineAddr> = (0..tracked)
         .map(|_| LineAddr(rng.next_below(1 << 30)))
         .collect();

@@ -29,7 +29,10 @@ fn main() -> Result<(), String> {
 
     // 3. Replay the identical trace under each algorithm.
     let machine = MachineConfig::isca2006(1);
-    println!("\n{:<12} {:>12} {:>10} {:>12}", "algorithm", "exec cycles", "snoops/rd", "energy [uJ]");
+    println!(
+        "\n{:<12} {:>12} {:>10} {:>12}",
+        "algorithm", "exec cycles", "snoops/rd", "energy [uJ]"
+    );
     for alg in [Algorithm::Lazy, Algorithm::Eager, Algorithm::SupersetAgg] {
         let streams: Vec<Box<dyn AccessStream + Send>> = VecStream::from_trace(&parsed)
             .into_iter()

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-a60ebcb9dff04def.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-a60ebcb9dff04def: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-74b60aa3b2778da0.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-74b60aa3b2778da0: tests/calibration.rs
+
+tests/calibration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-b9e2868fd031c5d3.d: tests/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-b9e2868fd031c5d3.rmeta: tests/calibration.rs Cargo.toml
+
+tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

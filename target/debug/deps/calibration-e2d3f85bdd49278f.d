@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-e2d3f85bdd49278f.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-e2d3f85bdd49278f: tests/calibration.rs
+
+tests/calibration.rs:

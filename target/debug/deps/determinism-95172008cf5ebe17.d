@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-95172008cf5ebe17.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-95172008cf5ebe17: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/directory_integration-9e98a322bbe8d3d4.d: tests/directory_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdirectory_integration-9e98a322bbe8d3d4.rmeta: tests/directory_integration.rs Cargo.toml
+
+tests/directory_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/directory_integration-ae479749ba65d6dc.d: tests/directory_integration.rs
+
+/root/repo/target/debug/deps/directory_integration-ae479749ba65d6dc: tests/directory_integration.rs
+
+tests/directory_integration.rs:

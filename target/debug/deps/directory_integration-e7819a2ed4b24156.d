@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/directory_integration-e7819a2ed4b24156.d: tests/directory_integration.rs
+
+/root/repo/target/debug/deps/directory_integration-e7819a2ed4b24156: tests/directory_integration.rs
+
+tests/directory_integration.rs:

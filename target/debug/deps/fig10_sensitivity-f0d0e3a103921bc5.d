@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_sensitivity-f0d0e3a103921bc5.d: crates/bench/benches/fig10_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_sensitivity-f0d0e3a103921bc5.rmeta: crates/bench/benches/fig10_sensitivity.rs Cargo.toml
+
+crates/bench/benches/fig10_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_accuracy-e317ecd4b8eac0b7.d: crates/bench/benches/fig11_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_accuracy-e317ecd4b8eac0b7.rmeta: crates/bench/benches/fig11_accuracy.rs Cargo.toml
+
+crates/bench/benches/fig11_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

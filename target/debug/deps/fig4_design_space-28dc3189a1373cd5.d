@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_design_space-28dc3189a1373cd5.d: crates/bench/benches/fig4_design_space.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_design_space-28dc3189a1373cd5.rmeta: crates/bench/benches/fig4_design_space.rs Cargo.toml
+
+crates/bench/benches/fig4_design_space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

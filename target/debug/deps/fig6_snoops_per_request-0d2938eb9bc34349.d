@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_snoops_per_request-0d2938eb9bc34349.d: crates/bench/benches/fig6_snoops_per_request.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_snoops_per_request-0d2938eb9bc34349.rmeta: crates/bench/benches/fig6_snoops_per_request.rs Cargo.toml
+
+crates/bench/benches/fig6_snoops_per_request.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_ring_messages-afa4ee8c37574be7.d: crates/bench/benches/fig7_ring_messages.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_ring_messages-afa4ee8c37574be7.rmeta: crates/bench/benches/fig7_ring_messages.rs Cargo.toml
+
+crates/bench/benches/fig7_ring_messages.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

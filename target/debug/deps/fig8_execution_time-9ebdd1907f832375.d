@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_execution_time-9ebdd1907f832375.d: crates/bench/benches/fig8_execution_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_execution_time-9ebdd1907f832375.rmeta: crates/bench/benches/fig8_execution_time.rs Cargo.toml
+
+crates/bench/benches/fig8_execution_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_energy-db8a984e381bee41.d: crates/bench/benches/fig9_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_energy-db8a984e381bee41.rmeta: crates/bench/benches/fig9_energy.rs Cargo.toml
+
+crates/bench/benches/fig9_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

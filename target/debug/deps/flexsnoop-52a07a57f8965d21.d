@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flexsnoop-52a07a57f8965d21.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/sim_tests.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+/root/repo/target/debug/deps/flexsnoop-52a07a57f8965d21: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/sim_tests.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/config.rs:
+crates/core/src/experiments.rs:
+crates/core/src/message.rs:
+crates/core/src/sim.rs:
+crates/core/src/sim_tests.rs:
+crates/core/src/stats.rs:
+crates/core/src/timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexsnoop-7b2be984efbfe2a1.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/flexsnoop-7b2be984efbfe2a1: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

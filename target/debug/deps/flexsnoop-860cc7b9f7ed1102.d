@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flexsnoop-860cc7b9f7ed1102.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/sim_tests.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+/root/repo/target/debug/deps/flexsnoop-860cc7b9f7ed1102: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/sim_tests.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/arena.rs:
+crates/core/src/config.rs:
+crates/core/src/experiments.rs:
+crates/core/src/message.rs:
+crates/core/src/sim.rs:
+crates/core/src/sim_tests.rs:
+crates/core/src/stats.rs:
+crates/core/src/timeline.rs:

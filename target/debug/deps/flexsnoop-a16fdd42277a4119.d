@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/flexsnoop-a16fdd42277a4119.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+/root/repo/target/debug/deps/libflexsnoop-a16fdd42277a4119.rlib: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+/root/repo/target/debug/deps/libflexsnoop-a16fdd42277a4119.rmeta: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/config.rs:
+crates/core/src/experiments.rs:
+crates/core/src/message.rs:
+crates/core/src/sim.rs:
+crates/core/src/stats.rs:
+crates/core/src/timeline.rs:

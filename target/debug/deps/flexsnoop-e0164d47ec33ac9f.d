@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/flexsnoop-e0164d47ec33ac9f.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/sim_tests.rs crates/core/src/stats.rs crates/core/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsnoop-e0164d47ec33ac9f.rmeta: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/sim_tests.rs crates/core/src/stats.rs crates/core/src/timeline.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/arena.rs:
+crates/core/src/config.rs:
+crates/core/src/experiments.rs:
+crates/core/src/message.rs:
+crates/core/src/sim.rs:
+crates/core/src/sim_tests.rs:
+crates/core/src/stats.rs:
+crates/core/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

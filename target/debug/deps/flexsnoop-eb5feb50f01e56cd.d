@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flexsnoop-eb5feb50f01e56cd.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+/root/repo/target/debug/deps/libflexsnoop-eb5feb50f01e56cd.rlib: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+/root/repo/target/debug/deps/libflexsnoop-eb5feb50f01e56cd.rmeta: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/arena.rs:
+crates/core/src/config.rs:
+crates/core/src/experiments.rs:
+crates/core/src/message.rs:
+crates/core/src/sim.rs:
+crates/core/src/stats.rs:
+crates/core/src/timeline.rs:

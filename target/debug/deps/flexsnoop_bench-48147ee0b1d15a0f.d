@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/flexsnoop_bench-48147ee0b1d15a0f.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/flexsnoop_bench-48147ee0b1d15a0f: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

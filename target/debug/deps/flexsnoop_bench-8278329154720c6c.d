@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flexsnoop_bench-8278329154720c6c.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/libflexsnoop_bench-8278329154720c6c.rlib: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/debug/deps/libflexsnoop_bench-8278329154720c6c.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flexsnoop_bench-dffb2f8119907f98.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsnoop_bench-dffb2f8119907f98.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flexsnoop_cli-422f3413977dd6fc.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+/root/repo/target/debug/deps/flexsnoop_cli-422f3413977dd6fc: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/names.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flexsnoop_cli-4997e7d63a65f4ec.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+/root/repo/target/debug/deps/libflexsnoop_cli-4997e7d63a65f4ec.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+/root/repo/target/debug/deps/libflexsnoop_cli-4997e7d63a65f4ec.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/names.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexsnoop_directory-8d2b14954a3feaee.d: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsnoop_directory-8d2b14954a3feaee.rmeta: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs Cargo.toml
+
+crates/directory/src/lib.rs:
+crates/directory/src/dirstate.rs:
+crates/directory/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexsnoop_directory-a85bc15abfeb5c20.d: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+/root/repo/target/debug/deps/libflexsnoop_directory-a85bc15abfeb5c20.rlib: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+/root/repo/target/debug/deps/libflexsnoop_directory-a85bc15abfeb5c20.rmeta: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+crates/directory/src/lib.rs:
+crates/directory/src/dirstate.rs:
+crates/directory/src/sim.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flexsnoop_directory-ba5c9de1b7d982d7.d: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs crates/directory/src/sim_tests.rs
+
+/root/repo/target/debug/deps/flexsnoop_directory-ba5c9de1b7d982d7: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs crates/directory/src/sim_tests.rs
+
+crates/directory/src/lib.rs:
+crates/directory/src/dirstate.rs:
+crates/directory/src/sim.rs:
+crates/directory/src/sim_tests.rs:

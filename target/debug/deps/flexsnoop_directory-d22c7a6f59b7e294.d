@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexsnoop_directory-d22c7a6f59b7e294.d: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+/root/repo/target/debug/deps/libflexsnoop_directory-d22c7a6f59b7e294.rlib: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+/root/repo/target/debug/deps/libflexsnoop_directory-d22c7a6f59b7e294.rmeta: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+crates/directory/src/lib.rs:
+crates/directory/src/dirstate.rs:
+crates/directory/src/sim.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flexsnoop_directory-d516d514f9c1c7bb.d: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs crates/directory/src/sim_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsnoop_directory-d516d514f9c1c7bb.rmeta: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs crates/directory/src/sim_tests.rs Cargo.toml
+
+crates/directory/src/lib.rs:
+crates/directory/src/dirstate.rs:
+crates/directory/src/sim.rs:
+crates/directory/src/sim_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flexsnoop_engine-b0fd9695ce374523.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/resource.rs crates/engine/src/rng.rs crates/engine/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsnoop_engine-b0fd9695ce374523.rmeta: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/resource.rs crates/engine/src/rng.rs crates/engine/src/time.rs Cargo.toml
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/fxhash.rs:
+crates/engine/src/queue.rs:
+crates/engine/src/resource.rs:
+crates/engine/src/rng.rs:
+crates/engine/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

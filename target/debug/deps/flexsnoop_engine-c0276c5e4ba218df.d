@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexsnoop_engine-c0276c5e4ba218df.d: crates/engine/src/lib.rs crates/engine/src/queue.rs crates/engine/src/resource.rs crates/engine/src/rng.rs crates/engine/src/time.rs
+
+/root/repo/target/debug/deps/flexsnoop_engine-c0276c5e4ba218df: crates/engine/src/lib.rs crates/engine/src/queue.rs crates/engine/src/resource.rs crates/engine/src/rng.rs crates/engine/src/time.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/queue.rs:
+crates/engine/src/resource.rs:
+crates/engine/src/rng.rs:
+crates/engine/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flexsnoop_engine-f307250c5025e946.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/resource.rs crates/engine/src/rng.rs crates/engine/src/time.rs
+
+/root/repo/target/debug/deps/libflexsnoop_engine-f307250c5025e946.rlib: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/resource.rs crates/engine/src/rng.rs crates/engine/src/time.rs
+
+/root/repo/target/debug/deps/libflexsnoop_engine-f307250c5025e946.rmeta: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/resource.rs crates/engine/src/rng.rs crates/engine/src/time.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/fxhash.rs:
+crates/engine/src/queue.rs:
+crates/engine/src/resource.rs:
+crates/engine/src/rng.rs:
+crates/engine/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flexsnoop_mem-848e8303c9a17eab.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/cmp.rs crates/mem/src/ids.rs crates/mem/src/l2.rs crates/mem/src/state.rs
+
+/root/repo/target/debug/deps/libflexsnoop_mem-848e8303c9a17eab.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/cmp.rs crates/mem/src/ids.rs crates/mem/src/l2.rs crates/mem/src/state.rs
+
+/root/repo/target/debug/deps/libflexsnoop_mem-848e8303c9a17eab.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/cmp.rs crates/mem/src/ids.rs crates/mem/src/l2.rs crates/mem/src/state.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/cmp.rs:
+crates/mem/src/ids.rs:
+crates/mem/src/l2.rs:
+crates/mem/src/state.rs:

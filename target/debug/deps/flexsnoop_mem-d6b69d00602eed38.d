@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexsnoop_mem-d6b69d00602eed38.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/cmp.rs crates/mem/src/ids.rs crates/mem/src/l2.rs crates/mem/src/state.rs
+
+/root/repo/target/debug/deps/flexsnoop_mem-d6b69d00602eed38: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/cmp.rs crates/mem/src/ids.rs crates/mem/src/l2.rs crates/mem/src/state.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/cmp.rs:
+crates/mem/src/ids.rs:
+crates/mem/src/l2.rs:
+crates/mem/src/state.rs:

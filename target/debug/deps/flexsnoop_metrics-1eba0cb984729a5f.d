@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flexsnoop_metrics-1eba0cb984729a5f.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/libflexsnoop_metrics-1eba0cb984729a5f.rlib: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/libflexsnoop_metrics-1eba0cb984729a5f.rmeta: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/table.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flexsnoop_metrics-21251acbebcbbb27.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsnoop_metrics-21251acbebcbbb27.rmeta: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

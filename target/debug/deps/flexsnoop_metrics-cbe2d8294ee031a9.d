@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flexsnoop_metrics-cbe2d8294ee031a9.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/debug/deps/flexsnoop_metrics-cbe2d8294ee031a9: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/table.rs:

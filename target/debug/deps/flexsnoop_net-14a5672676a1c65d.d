@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexsnoop_net-14a5672676a1c65d.d: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+/root/repo/target/debug/deps/libflexsnoop_net-14a5672676a1c65d.rlib: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+/root/repo/target/debug/deps/libflexsnoop_net-14a5672676a1c65d.rmeta: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+crates/net/src/lib.rs:
+crates/net/src/ring.rs:
+crates/net/src/torus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexsnoop_net-4656f1f54ebd72e0.d: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+/root/repo/target/debug/deps/libflexsnoop_net-4656f1f54ebd72e0.rlib: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+/root/repo/target/debug/deps/libflexsnoop_net-4656f1f54ebd72e0.rmeta: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+crates/net/src/lib.rs:
+crates/net/src/ring.rs:
+crates/net/src/torus.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flexsnoop_net-48c7c25f0a15b97f.d: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+/root/repo/target/debug/deps/flexsnoop_net-48c7c25f0a15b97f: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+crates/net/src/lib.rs:
+crates/net/src/ring.rs:
+crates/net/src/torus.rs:

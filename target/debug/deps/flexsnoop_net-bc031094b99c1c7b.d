@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexsnoop_net-bc031094b99c1c7b.d: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsnoop_net-bc031094b99c1c7b.rmeta: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/ring.rs:
+crates/net/src/torus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

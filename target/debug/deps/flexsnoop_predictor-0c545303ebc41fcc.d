@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/flexsnoop_predictor-0c545303ebc41fcc.d: crates/predictor/src/lib.rs crates/predictor/src/accuracy.rs crates/predictor/src/bloom.rs crates/predictor/src/exact.rs crates/predictor/src/fault.rs crates/predictor/src/perfect.rs crates/predictor/src/spec.rs crates/predictor/src/subset.rs crates/predictor/src/superset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsnoop_predictor-0c545303ebc41fcc.rmeta: crates/predictor/src/lib.rs crates/predictor/src/accuracy.rs crates/predictor/src/bloom.rs crates/predictor/src/exact.rs crates/predictor/src/fault.rs crates/predictor/src/perfect.rs crates/predictor/src/spec.rs crates/predictor/src/subset.rs crates/predictor/src/superset.rs Cargo.toml
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/accuracy.rs:
+crates/predictor/src/bloom.rs:
+crates/predictor/src/exact.rs:
+crates/predictor/src/fault.rs:
+crates/predictor/src/perfect.rs:
+crates/predictor/src/spec.rs:
+crates/predictor/src/subset.rs:
+crates/predictor/src/superset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flexsnoop_predictor-a6e1d358410318c2.d: crates/predictor/src/lib.rs crates/predictor/src/accuracy.rs crates/predictor/src/bloom.rs crates/predictor/src/fault.rs crates/predictor/src/exact.rs crates/predictor/src/perfect.rs crates/predictor/src/spec.rs crates/predictor/src/subset.rs crates/predictor/src/superset.rs
+
+/root/repo/target/debug/deps/libflexsnoop_predictor-a6e1d358410318c2.rlib: crates/predictor/src/lib.rs crates/predictor/src/accuracy.rs crates/predictor/src/bloom.rs crates/predictor/src/fault.rs crates/predictor/src/exact.rs crates/predictor/src/perfect.rs crates/predictor/src/spec.rs crates/predictor/src/subset.rs crates/predictor/src/superset.rs
+
+/root/repo/target/debug/deps/libflexsnoop_predictor-a6e1d358410318c2.rmeta: crates/predictor/src/lib.rs crates/predictor/src/accuracy.rs crates/predictor/src/bloom.rs crates/predictor/src/fault.rs crates/predictor/src/exact.rs crates/predictor/src/perfect.rs crates/predictor/src/spec.rs crates/predictor/src/subset.rs crates/predictor/src/superset.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/accuracy.rs:
+crates/predictor/src/bloom.rs:
+crates/predictor/src/fault.rs:
+crates/predictor/src/exact.rs:
+crates/predictor/src/perfect.rs:
+crates/predictor/src/spec.rs:
+crates/predictor/src/subset.rs:
+crates/predictor/src/superset.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flexsnoop_predictor-c72db74d3300f7fc.d: crates/predictor/src/lib.rs crates/predictor/src/accuracy.rs crates/predictor/src/bloom.rs crates/predictor/src/fault.rs crates/predictor/src/exact.rs crates/predictor/src/perfect.rs crates/predictor/src/spec.rs crates/predictor/src/subset.rs crates/predictor/src/superset.rs
+
+/root/repo/target/debug/deps/flexsnoop_predictor-c72db74d3300f7fc: crates/predictor/src/lib.rs crates/predictor/src/accuracy.rs crates/predictor/src/bloom.rs crates/predictor/src/fault.rs crates/predictor/src/exact.rs crates/predictor/src/perfect.rs crates/predictor/src/spec.rs crates/predictor/src/subset.rs crates/predictor/src/superset.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/accuracy.rs:
+crates/predictor/src/bloom.rs:
+crates/predictor/src/fault.rs:
+crates/predictor/src/exact.rs:
+crates/predictor/src/perfect.rs:
+crates/predictor/src/spec.rs:
+crates/predictor/src/subset.rs:
+crates/predictor/src/superset.rs:

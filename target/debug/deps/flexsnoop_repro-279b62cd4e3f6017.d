@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexsnoop_repro-279b62cd4e3f6017.d: src/lib.rs
+
+/root/repo/target/debug/deps/flexsnoop_repro-279b62cd4e3f6017: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexsnoop_repro-524f0dd38ddc442f.d: src/lib.rs
+
+/root/repo/target/debug/deps/flexsnoop_repro-524f0dd38ddc442f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flexsnoop_repro-67ca0ed51a89f9dd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflexsnoop_repro-67ca0ed51a89f9dd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflexsnoop_repro-67ca0ed51a89f9dd.rmeta: src/lib.rs
+
+src/lib.rs:

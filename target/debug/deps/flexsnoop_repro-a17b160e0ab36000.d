@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flexsnoop_repro-a17b160e0ab36000.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflexsnoop_repro-a17b160e0ab36000.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflexsnoop_repro-a17b160e0ab36000.rmeta: src/lib.rs
+
+src/lib.rs:

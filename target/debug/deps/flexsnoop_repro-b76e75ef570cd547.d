@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexsnoop_repro-b76e75ef570cd547.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsnoop_repro-b76e75ef570cd547.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

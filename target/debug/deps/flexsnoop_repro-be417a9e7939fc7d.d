@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexsnoop_repro-be417a9e7939fc7d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsnoop_repro-be417a9e7939fc7d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flexsnoop_workload-8a7e18c1418154c6.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexsnoop_workload-8a7e18c1418154c6.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flexsnoop_workload-b4e1bcdf33e43272.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libflexsnoop_workload-b4e1bcdf33e43272.rlib: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/libflexsnoop_workload-b4e1bcdf33e43272.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/trace.rs:

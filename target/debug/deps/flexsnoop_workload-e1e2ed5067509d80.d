@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flexsnoop_workload-e1e2ed5067509d80.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+/root/repo/target/debug/deps/flexsnoop_workload-e1e2ed5067509d80: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-4bf13dbb36dc8b0b.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-4bf13dbb36dc8b0b: tests/integration.rs
+
+tests/integration.rs:

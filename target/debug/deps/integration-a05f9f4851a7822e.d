@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration-a05f9f4851a7822e.d: tests/integration.rs
+
+/root/repo/target/debug/deps/integration-a05f9f4851a7822e: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-051c34d2f282b499.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-051c34d2f282b499: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

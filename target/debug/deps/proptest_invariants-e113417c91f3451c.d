@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-e113417c91f3451c.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-e113417c91f3451c: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report-198cac3700304d2b.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/debug/deps/report-198cac3700304d2b: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_baselines-0c7350f39f2f022a.d: crates/bench/benches/table1_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_baselines-0c7350f39f2f022a.rmeta: crates/bench/benches/table1_baselines.rs Cargo.toml
+
+crates/bench/benches/table1_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

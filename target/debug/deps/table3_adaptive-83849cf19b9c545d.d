@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_adaptive-83849cf19b9c545d.d: crates/bench/benches/table3_adaptive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_adaptive-83849cf19b9c545d.rmeta: crates/bench/benches/table3_adaptive.rs Cargo.toml
+
+crates/bench/benches/table3_adaptive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

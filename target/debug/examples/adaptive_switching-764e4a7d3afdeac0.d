@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_switching-764e4a7d3afdeac0.d: examples/adaptive_switching.rs
+
+/root/repo/target/debug/examples/adaptive_switching-764e4a7d3afdeac0: examples/adaptive_switching.rs
+
+examples/adaptive_switching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/adaptive_switching-e3729b71f863421e.d: examples/adaptive_switching.rs
+
+/root/repo/target/debug/examples/adaptive_switching-e3729b71f863421e: examples/adaptive_switching.rs
+
+examples/adaptive_switching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/adaptive_switching-e853d36a70a45c9b.d: examples/adaptive_switching.rs Cargo.toml
+
+/root/repo/target/debug/examples/libadaptive_switching-e853d36a70a45c9b.rmeta: examples/adaptive_switching.rs Cargo.toml
+
+examples/adaptive_switching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/predictor_anatomy-082297409d94f4d6.d: examples/predictor_anatomy.rs
+
+/root/repo/target/debug/examples/predictor_anatomy-082297409d94f4d6: examples/predictor_anatomy.rs
+
+examples/predictor_anatomy.rs:

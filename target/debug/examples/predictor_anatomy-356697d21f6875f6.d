@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/predictor_anatomy-356697d21f6875f6.d: examples/predictor_anatomy.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpredictor_anatomy-356697d21f6875f6.rmeta: examples/predictor_anatomy.rs Cargo.toml
+
+examples/predictor_anatomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

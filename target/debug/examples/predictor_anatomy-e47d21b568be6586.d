@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/predictor_anatomy-e47d21b568be6586.d: examples/predictor_anatomy.rs
+
+/root/repo/target/debug/examples/predictor_anatomy-e47d21b568be6586: examples/predictor_anatomy.rs
+
+examples/predictor_anatomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4bdad0259d5f7da2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4bdad0259d5f7da2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-72cbb6c9563b4b8b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-72cbb6c9563b4b8b: examples/quickstart.rs
+
+examples/quickstart.rs:

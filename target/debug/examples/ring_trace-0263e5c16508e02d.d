@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ring_trace-0263e5c16508e02d.d: examples/ring_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libring_trace-0263e5c16508e02d.rmeta: examples/ring_trace.rs Cargo.toml
+
+examples/ring_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

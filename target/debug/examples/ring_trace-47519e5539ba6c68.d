@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ring_trace-47519e5539ba6c68.d: examples/ring_trace.rs
+
+/root/repo/target/debug/examples/ring_trace-47519e5539ba6c68: examples/ring_trace.rs
+
+examples/ring_trace.rs:

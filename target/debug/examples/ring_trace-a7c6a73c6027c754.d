@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ring_trace-a7c6a73c6027c754.d: examples/ring_trace.rs
+
+/root/repo/target/debug/examples/ring_trace-a7c6a73c6027c754: examples/ring_trace.rs
+
+examples/ring_trace.rs:

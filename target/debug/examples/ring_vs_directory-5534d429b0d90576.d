@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ring_vs_directory-5534d429b0d90576.d: examples/ring_vs_directory.rs
+
+/root/repo/target/debug/examples/ring_vs_directory-5534d429b0d90576: examples/ring_vs_directory.rs
+
+examples/ring_vs_directory.rs:

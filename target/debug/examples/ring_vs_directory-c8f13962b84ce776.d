@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ring_vs_directory-c8f13962b84ce776.d: examples/ring_vs_directory.rs Cargo.toml
+
+/root/repo/target/debug/examples/libring_vs_directory-c8f13962b84ce776.rmeta: examples/ring_vs_directory.rs Cargo.toml
+
+examples/ring_vs_directory.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ring_vs_directory-dc38665cf8aa8d09.d: examples/ring_vs_directory.rs
+
+/root/repo/target/debug/examples/ring_vs_directory-dc38665cf8aa8d09: examples/ring_vs_directory.rs
+
+examples/ring_vs_directory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-0b1fa506953d8cf9.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-0b1fa506953d8cf9: examples/scaling_study.rs
+
+examples/scaling_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scaling_study-fa459380525e3651.d: examples/scaling_study.rs
+
+/root/repo/target/debug/examples/scaling_study-fa459380525e3651: examples/scaling_study.rs
+
+examples/scaling_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/splash_study-2433c5983aa034ae.d: examples/splash_study.rs
+
+/root/repo/target/debug/examples/splash_study-2433c5983aa034ae: examples/splash_study.rs
+
+examples/splash_study.rs:

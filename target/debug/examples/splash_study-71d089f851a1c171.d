@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/splash_study-71d089f851a1c171.d: examples/splash_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsplash_study-71d089f851a1c171.rmeta: examples/splash_study.rs Cargo.toml
+
+examples/splash_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/splash_study-7a6450fb4213fc93.d: examples/splash_study.rs
+
+/root/repo/target/debug/examples/splash_study-7a6450fb4213fc93: examples/splash_study.rs
+
+examples/splash_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-3949ed796886c83a.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-3949ed796886c83a: examples/trace_replay.rs
+
+examples/trace_replay.rs:

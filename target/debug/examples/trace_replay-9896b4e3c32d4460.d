@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_replay-9896b4e3c32d4460.d: examples/trace_replay.rs
+
+/root/repo/target/debug/examples/trace_replay-9896b4e3c32d4460: examples/trace_replay.rs
+
+examples/trace_replay.rs:

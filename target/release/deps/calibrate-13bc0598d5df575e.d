@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-13bc0598d5df575e.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-13bc0598d5df575e: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

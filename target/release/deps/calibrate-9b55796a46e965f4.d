@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-9b55796a46e965f4.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-9b55796a46e965f4: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-a0f217c0e10b3f31.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-a0f217c0e10b3f31: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibration-4211fc60a44b214b.d: tests/calibration.rs
+
+/root/repo/target/release/deps/calibration-4211fc60a44b214b: tests/calibration.rs
+
+tests/calibration.rs:

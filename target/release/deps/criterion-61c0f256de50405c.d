@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-61c0f256de50405c.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-61c0f256de50405c: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-8fa16b464ca95e9e.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-8fa16b464ca95e9e: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/directory_integration-078f1ffce8719116.d: tests/directory_integration.rs
+
+/root/repo/target/release/deps/directory_integration-078f1ffce8719116: tests/directory_integration.rs
+
+tests/directory_integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flexsnoop-35b78a6cc8db0457.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/flexsnoop-35b78a6cc8db0457: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

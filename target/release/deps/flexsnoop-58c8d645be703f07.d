@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/flexsnoop-58c8d645be703f07.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+/root/repo/target/release/deps/libflexsnoop-58c8d645be703f07.rlib: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+/root/repo/target/release/deps/libflexsnoop-58c8d645be703f07.rmeta: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/arena.rs:
+crates/core/src/config.rs:
+crates/core/src/experiments.rs:
+crates/core/src/message.rs:
+crates/core/src/sim.rs:
+crates/core/src/stats.rs:
+crates/core/src/timeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flexsnoop-89cb1a3c99e5afc0.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/flexsnoop-89cb1a3c99e5afc0: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flexsnoop-8ebb5e746ba9f1aa.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/flexsnoop-8ebb5e746ba9f1aa: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

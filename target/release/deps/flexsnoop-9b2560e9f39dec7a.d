@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/flexsnoop-9b2560e9f39dec7a.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+/root/repo/target/release/deps/libflexsnoop-9b2560e9f39dec7a.rlib: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+/root/repo/target/release/deps/libflexsnoop-9b2560e9f39dec7a.rmeta: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/arena.rs:
+crates/core/src/config.rs:
+crates/core/src/experiments.rs:
+crates/core/src/message.rs:
+crates/core/src/sim.rs:
+crates/core/src/stats.rs:
+crates/core/src/timeline.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/flexsnoop-ef246f4ec0908e44.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/sim_tests.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+/root/repo/target/release/deps/flexsnoop-ef246f4ec0908e44: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/arena.rs crates/core/src/config.rs crates/core/src/experiments.rs crates/core/src/message.rs crates/core/src/sim.rs crates/core/src/sim_tests.rs crates/core/src/stats.rs crates/core/src/timeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/arena.rs:
+crates/core/src/config.rs:
+crates/core/src/experiments.rs:
+crates/core/src/message.rs:
+crates/core/src/sim.rs:
+crates/core/src/sim_tests.rs:
+crates/core/src/stats.rs:
+crates/core/src/timeline.rs:

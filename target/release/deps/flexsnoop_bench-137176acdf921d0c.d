@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flexsnoop_bench-137176acdf921d0c.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libflexsnoop_bench-137176acdf921d0c.rlib: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libflexsnoop_bench-137176acdf921d0c.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flexsnoop_bench-3fe7ca00856dbb58.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libflexsnoop_bench-3fe7ca00856dbb58.rlib: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libflexsnoop_bench-3fe7ca00856dbb58.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

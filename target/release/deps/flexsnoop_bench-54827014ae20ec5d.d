@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/flexsnoop_bench-54827014ae20ec5d.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/flexsnoop_bench-54827014ae20ec5d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

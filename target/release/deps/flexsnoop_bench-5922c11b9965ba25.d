@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flexsnoop_bench-5922c11b9965ba25.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libflexsnoop_bench-5922c11b9965ba25.rlib: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libflexsnoop_bench-5922c11b9965ba25.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flexsnoop_bench-ad903eb51f3fdcce.d: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libflexsnoop_bench-ad903eb51f3fdcce.rlib: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+/root/repo/target/release/deps/libflexsnoop_bench-ad903eb51f3fdcce.rmeta: crates/bench/src/lib.rs crates/bench/src/sweeps.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/sweeps.rs:

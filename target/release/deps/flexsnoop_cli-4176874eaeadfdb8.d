@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flexsnoop_cli-4176874eaeadfdb8.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+/root/repo/target/release/deps/libflexsnoop_cli-4176874eaeadfdb8.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+/root/repo/target/release/deps/libflexsnoop_cli-4176874eaeadfdb8.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/names.rs:

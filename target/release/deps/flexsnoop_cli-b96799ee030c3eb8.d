@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flexsnoop_cli-b96799ee030c3eb8.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+/root/repo/target/release/deps/libflexsnoop_cli-b96799ee030c3eb8.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+/root/repo/target/release/deps/libflexsnoop_cli-b96799ee030c3eb8.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/names.rs:

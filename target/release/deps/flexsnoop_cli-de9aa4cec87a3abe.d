@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flexsnoop_cli-de9aa4cec87a3abe.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+/root/repo/target/release/deps/flexsnoop_cli-de9aa4cec87a3abe: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/commands.rs crates/cli/src/names.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:
+crates/cli/src/names.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flexsnoop_directory-6b34d92551a91192.d: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+/root/repo/target/release/deps/libflexsnoop_directory-6b34d92551a91192.rlib: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+/root/repo/target/release/deps/libflexsnoop_directory-6b34d92551a91192.rmeta: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+crates/directory/src/lib.rs:
+crates/directory/src/dirstate.rs:
+crates/directory/src/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flexsnoop_directory-b03e607fc85d9168.d: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+/root/repo/target/release/deps/libflexsnoop_directory-b03e607fc85d9168.rlib: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+/root/repo/target/release/deps/libflexsnoop_directory-b03e607fc85d9168.rmeta: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+crates/directory/src/lib.rs:
+crates/directory/src/dirstate.rs:
+crates/directory/src/sim.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flexsnoop_directory-f948a3056b2724cf.d: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs crates/directory/src/sim_tests.rs
+
+/root/repo/target/release/deps/flexsnoop_directory-f948a3056b2724cf: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs crates/directory/src/sim_tests.rs
+
+crates/directory/src/lib.rs:
+crates/directory/src/dirstate.rs:
+crates/directory/src/sim.rs:
+crates/directory/src/sim_tests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flexsnoop_directory-fa01eb6f0e1680f7.d: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+/root/repo/target/release/deps/libflexsnoop_directory-fa01eb6f0e1680f7.rlib: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+/root/repo/target/release/deps/libflexsnoop_directory-fa01eb6f0e1680f7.rmeta: crates/directory/src/lib.rs crates/directory/src/dirstate.rs crates/directory/src/sim.rs
+
+crates/directory/src/lib.rs:
+crates/directory/src/dirstate.rs:
+crates/directory/src/sim.rs:

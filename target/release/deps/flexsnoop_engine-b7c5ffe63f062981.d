@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flexsnoop_engine-b7c5ffe63f062981.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/resource.rs crates/engine/src/rng.rs crates/engine/src/time.rs
+
+/root/repo/target/release/deps/flexsnoop_engine-b7c5ffe63f062981: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/resource.rs crates/engine/src/rng.rs crates/engine/src/time.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/fxhash.rs:
+crates/engine/src/queue.rs:
+crates/engine/src/resource.rs:
+crates/engine/src/rng.rs:
+crates/engine/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flexsnoop_engine-ba101d6ef8acaad1.d: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/resource.rs crates/engine/src/rng.rs crates/engine/src/time.rs
+
+/root/repo/target/release/deps/libflexsnoop_engine-ba101d6ef8acaad1.rlib: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/resource.rs crates/engine/src/rng.rs crates/engine/src/time.rs
+
+/root/repo/target/release/deps/libflexsnoop_engine-ba101d6ef8acaad1.rmeta: crates/engine/src/lib.rs crates/engine/src/executor.rs crates/engine/src/fxhash.rs crates/engine/src/queue.rs crates/engine/src/resource.rs crates/engine/src/rng.rs crates/engine/src/time.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/executor.rs:
+crates/engine/src/fxhash.rs:
+crates/engine/src/queue.rs:
+crates/engine/src/resource.rs:
+crates/engine/src/rng.rs:
+crates/engine/src/time.rs:

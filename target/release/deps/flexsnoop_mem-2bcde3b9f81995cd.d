@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flexsnoop_mem-2bcde3b9f81995cd.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/cmp.rs crates/mem/src/ids.rs crates/mem/src/l2.rs crates/mem/src/state.rs
+
+/root/repo/target/release/deps/flexsnoop_mem-2bcde3b9f81995cd: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/cmp.rs crates/mem/src/ids.rs crates/mem/src/l2.rs crates/mem/src/state.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/cmp.rs:
+crates/mem/src/ids.rs:
+crates/mem/src/l2.rs:
+crates/mem/src/state.rs:

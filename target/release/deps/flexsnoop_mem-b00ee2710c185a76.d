@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flexsnoop_mem-b00ee2710c185a76.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/cmp.rs crates/mem/src/ids.rs crates/mem/src/l2.rs crates/mem/src/state.rs
+
+/root/repo/target/release/deps/libflexsnoop_mem-b00ee2710c185a76.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/cmp.rs crates/mem/src/ids.rs crates/mem/src/l2.rs crates/mem/src/state.rs
+
+/root/repo/target/release/deps/libflexsnoop_mem-b00ee2710c185a76.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/cmp.rs crates/mem/src/ids.rs crates/mem/src/l2.rs crates/mem/src/state.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/cmp.rs:
+crates/mem/src/ids.rs:
+crates/mem/src/l2.rs:
+crates/mem/src/state.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flexsnoop_metrics-27433855ae1828d2.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libflexsnoop_metrics-27433855ae1828d2.rlib: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libflexsnoop_metrics-27433855ae1828d2.rmeta: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/table.rs:

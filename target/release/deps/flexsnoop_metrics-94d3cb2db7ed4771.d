@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flexsnoop_metrics-94d3cb2db7ed4771.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/flexsnoop_metrics-94d3cb2db7ed4771: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flexsnoop_metrics-f05461b47481559d.d: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libflexsnoop_metrics-f05461b47481559d.rlib: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+/root/repo/target/release/deps/libflexsnoop_metrics-f05461b47481559d.rmeta: crates/metrics/src/lib.rs crates/metrics/src/energy.rs crates/metrics/src/stats.rs crates/metrics/src/table.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/energy.rs:
+crates/metrics/src/stats.rs:
+crates/metrics/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flexsnoop_net-19a05bbbc197186d.d: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+/root/repo/target/release/deps/libflexsnoop_net-19a05bbbc197186d.rlib: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+/root/repo/target/release/deps/libflexsnoop_net-19a05bbbc197186d.rmeta: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+crates/net/src/lib.rs:
+crates/net/src/ring.rs:
+crates/net/src/torus.rs:

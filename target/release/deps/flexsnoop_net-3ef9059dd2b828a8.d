@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flexsnoop_net-3ef9059dd2b828a8.d: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+/root/repo/target/release/deps/flexsnoop_net-3ef9059dd2b828a8: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+crates/net/src/lib.rs:
+crates/net/src/ring.rs:
+crates/net/src/torus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flexsnoop_net-92c5d3482568efaf.d: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+/root/repo/target/release/deps/libflexsnoop_net-92c5d3482568efaf.rlib: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+/root/repo/target/release/deps/libflexsnoop_net-92c5d3482568efaf.rmeta: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+crates/net/src/lib.rs:
+crates/net/src/ring.rs:
+crates/net/src/torus.rs:

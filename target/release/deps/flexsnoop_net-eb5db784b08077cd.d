@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flexsnoop_net-eb5db784b08077cd.d: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+/root/repo/target/release/deps/libflexsnoop_net-eb5db784b08077cd.rlib: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+/root/repo/target/release/deps/libflexsnoop_net-eb5db784b08077cd.rmeta: crates/net/src/lib.rs crates/net/src/ring.rs crates/net/src/torus.rs
+
+crates/net/src/lib.rs:
+crates/net/src/ring.rs:
+crates/net/src/torus.rs:

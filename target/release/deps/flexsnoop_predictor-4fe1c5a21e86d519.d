@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/flexsnoop_predictor-4fe1c5a21e86d519.d: crates/predictor/src/lib.rs crates/predictor/src/accuracy.rs crates/predictor/src/bloom.rs crates/predictor/src/exact.rs crates/predictor/src/fault.rs crates/predictor/src/perfect.rs crates/predictor/src/spec.rs crates/predictor/src/subset.rs crates/predictor/src/superset.rs
+
+/root/repo/target/release/deps/libflexsnoop_predictor-4fe1c5a21e86d519.rlib: crates/predictor/src/lib.rs crates/predictor/src/accuracy.rs crates/predictor/src/bloom.rs crates/predictor/src/exact.rs crates/predictor/src/fault.rs crates/predictor/src/perfect.rs crates/predictor/src/spec.rs crates/predictor/src/subset.rs crates/predictor/src/superset.rs
+
+/root/repo/target/release/deps/libflexsnoop_predictor-4fe1c5a21e86d519.rmeta: crates/predictor/src/lib.rs crates/predictor/src/accuracy.rs crates/predictor/src/bloom.rs crates/predictor/src/exact.rs crates/predictor/src/fault.rs crates/predictor/src/perfect.rs crates/predictor/src/spec.rs crates/predictor/src/subset.rs crates/predictor/src/superset.rs
+
+crates/predictor/src/lib.rs:
+crates/predictor/src/accuracy.rs:
+crates/predictor/src/bloom.rs:
+crates/predictor/src/exact.rs:
+crates/predictor/src/fault.rs:
+crates/predictor/src/perfect.rs:
+crates/predictor/src/spec.rs:
+crates/predictor/src/subset.rs:
+crates/predictor/src/superset.rs:

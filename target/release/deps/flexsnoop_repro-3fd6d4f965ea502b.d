@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flexsnoop_repro-3fd6d4f965ea502b.d: src/lib.rs
+
+/root/repo/target/release/deps/libflexsnoop_repro-3fd6d4f965ea502b.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflexsnoop_repro-3fd6d4f965ea502b.rmeta: src/lib.rs
+
+src/lib.rs:

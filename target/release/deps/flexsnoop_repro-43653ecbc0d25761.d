@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flexsnoop_repro-43653ecbc0d25761.d: src/lib.rs
+
+/root/repo/target/release/deps/flexsnoop_repro-43653ecbc0d25761: src/lib.rs
+
+src/lib.rs:

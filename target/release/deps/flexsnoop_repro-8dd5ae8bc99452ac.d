@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flexsnoop_repro-8dd5ae8bc99452ac.d: src/lib.rs
+
+/root/repo/target/release/deps/libflexsnoop_repro-8dd5ae8bc99452ac.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflexsnoop_repro-8dd5ae8bc99452ac.rmeta: src/lib.rs
+
+src/lib.rs:

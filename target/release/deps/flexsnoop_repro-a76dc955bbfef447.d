@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flexsnoop_repro-a76dc955bbfef447.d: src/lib.rs
+
+/root/repo/target/release/deps/libflexsnoop_repro-a76dc955bbfef447.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflexsnoop_repro-a76dc955bbfef447.rmeta: src/lib.rs
+
+src/lib.rs:

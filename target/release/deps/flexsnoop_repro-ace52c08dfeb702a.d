@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flexsnoop_repro-ace52c08dfeb702a.d: src/lib.rs
+
+/root/repo/target/release/deps/libflexsnoop_repro-ace52c08dfeb702a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflexsnoop_repro-ace52c08dfeb702a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/flexsnoop_workload-23ad864e3567cd87.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/flexsnoop_workload-23ad864e3567cd87: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flexsnoop_workload-4c09dcbfa5d083a0.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libflexsnoop_workload-4c09dcbfa5d083a0.rlib: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libflexsnoop_workload-4c09dcbfa5d083a0.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flexsnoop_workload-53830e0002edb94e.d: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libflexsnoop_workload-53830e0002edb94e.rlib: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+/root/repo/target/release/deps/libflexsnoop_workload-53830e0002edb94e.rmeta: crates/workload/src/lib.rs crates/workload/src/gen.rs crates/workload/src/profiles.rs crates/workload/src/trace.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/gen.rs:
+crates/workload/src/profiles.rs:
+crates/workload/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/integration-6c3553f52713304b.d: tests/integration.rs
+
+/root/repo/target/release/deps/integration-6c3553f52713304b: tests/integration.rs
+
+tests/integration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_invariants-b2857ca24ffacfd4.d: tests/proptest_invariants.rs
+
+/root/repo/target/release/deps/proptest_invariants-b2857ca24ffacfd4: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-0eff659c068005c2.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-0eff659c068005c2: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

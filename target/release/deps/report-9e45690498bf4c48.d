@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-9e45690498bf4c48.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-9e45690498bf4c48: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

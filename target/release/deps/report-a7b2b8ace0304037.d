@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/report-a7b2b8ace0304037.d: crates/bench/src/bin/report.rs
+
+/root/repo/target/release/deps/report-a7b2b8ace0304037: crates/bench/src/bin/report.rs
+
+crates/bench/src/bin/report.rs:

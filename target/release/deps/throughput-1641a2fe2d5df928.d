@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-1641a2fe2d5df928.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-1641a2fe2d5df928: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

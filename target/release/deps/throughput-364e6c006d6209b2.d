@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-364e6c006d6209b2.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-364e6c006d6209b2: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

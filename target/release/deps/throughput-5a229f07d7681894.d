@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-5a229f07d7681894.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-5a229f07d7681894: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

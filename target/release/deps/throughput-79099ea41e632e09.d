@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-79099ea41e632e09.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-79099ea41e632e09: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

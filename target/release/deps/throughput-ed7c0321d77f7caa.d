@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-ed7c0321d77f7caa.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-ed7c0321d77f7caa: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

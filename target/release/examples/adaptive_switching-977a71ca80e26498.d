@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adaptive_switching-977a71ca80e26498.d: examples/adaptive_switching.rs
+
+/root/repo/target/release/examples/adaptive_switching-977a71ca80e26498: examples/adaptive_switching.rs
+
+examples/adaptive_switching.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/predictor_anatomy-1710f19fe66e0d81.d: examples/predictor_anatomy.rs
+
+/root/repo/target/release/examples/predictor_anatomy-1710f19fe66e0d81: examples/predictor_anatomy.rs
+
+examples/predictor_anatomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ce671d7e72c9d584.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ce671d7e72c9d584: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ring_trace-f4472391f0d7427e.d: examples/ring_trace.rs
+
+/root/repo/target/release/examples/ring_trace-f4472391f0d7427e: examples/ring_trace.rs
+
+examples/ring_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ring_vs_directory-9c2a01f6ac85a070.d: examples/ring_vs_directory.rs
+
+/root/repo/target/release/examples/ring_vs_directory-9c2a01f6ac85a070: examples/ring_vs_directory.rs
+
+examples/ring_vs_directory.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scaling_study-13c253679994556f.d: examples/scaling_study.rs
+
+/root/repo/target/release/examples/scaling_study-13c253679994556f: examples/scaling_study.rs
+
+examples/scaling_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/splash_study-1c9264c873d368c5.d: examples/splash_study.rs
+
+/root/repo/target/release/examples/splash_study-1c9264c873d368c5: examples/splash_study.rs
+
+examples/splash_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_replay-49b58cdee46eb086.d: examples/trace_replay.rs
+
+/root/repo/target/release/examples/trace_replay-49b58cdee46eb086: examples/trace_replay.rs
+
+examples/trace_replay.rs:

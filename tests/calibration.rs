@@ -22,9 +22,14 @@ fn supply_fraction_ordering_matches_figure_11() {
         let sum: f64 = profiles
             .iter()
             .map(|p| {
-                run_workload(&p.clone().with_accesses(ACCESSES), Algorithm::Lazy, None, SEED)
-                    .unwrap()
-                    .cache_supply_fraction()
+                run_workload(
+                    &p.clone().with_accesses(ACCESSES),
+                    Algorithm::Lazy,
+                    None,
+                    SEED,
+                )
+                .unwrap()
+                .cache_supply_fraction()
             })
             .sum();
         sum / profiles.len() as f64
@@ -39,7 +44,10 @@ fn supply_fraction_ordering_matches_figure_11() {
     assert!(jbb < 0.2, "SPECjbb must rarely find a supplier ({jbb:.2})");
     // Short calibration runs are cold-start heavy; the full figure runs
     // (12k accesses) sit near 0.55-0.70.
-    assert!(splash > 0.38, "SPLASH-2 must usually find one ({splash:.2})");
+    assert!(
+        splash > 0.38,
+        "SPLASH-2 must usually find one ({splash:.2})"
+    );
 }
 
 /// Figure 6's Lazy anchor: between 4.5 and 7 snoops per request on every
@@ -48,8 +56,13 @@ fn supply_fraction_ordering_matches_figure_11() {
 #[test]
 fn lazy_snoop_counts_stay_in_the_paper_band() {
     for p in profiles::all() {
-        let s = run_workload(&p.clone().with_accesses(ACCESSES), Algorithm::Lazy, None, SEED)
-            .unwrap();
+        let s = run_workload(
+            &p.clone().with_accesses(ACCESSES),
+            Algorithm::Lazy,
+            None,
+            SEED,
+        )
+        .unwrap();
         let snoops = s.snoops_per_read();
         assert!(
             (4.0..=7.0).contains(&snoops),
@@ -64,8 +77,13 @@ fn lazy_snoop_counts_stay_in_the_paper_band() {
 #[test]
 fn ring_read_rates_are_sane() {
     for p in profiles::all() {
-        let s = run_workload(&p.clone().with_accesses(ACCESSES), Algorithm::Lazy, None, SEED)
-            .unwrap();
+        let s = run_workload(
+            &p.clone().with_accesses(ACCESSES),
+            Algorithm::Lazy,
+            None,
+            SEED,
+        )
+        .unwrap();
         let accesses = p.cores as u64 * ACCESSES;
         let rate = s.read_txns as f64 / accesses as f64;
         assert!(
@@ -96,7 +114,10 @@ fn exact_pressure_varies_across_apps() {
         heavy > light,
         "radix ({heavy:.2}) must out-pressure raytrace ({light:.2})"
     );
-    assert!(heavy > 0.3, "radix must thrash the Exact table ({heavy:.2})");
+    assert!(
+        heavy > 0.3,
+        "radix must thrash the Exact table ({heavy:.2})"
+    );
 }
 
 /// Think-time scaling keeps the Lazy-to-SupersetAgg gap in the paper's

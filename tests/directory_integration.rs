@@ -16,8 +16,8 @@ fn directory_completes_every_group() {
         profiles::specjbb().with_accesses(1_500),
         profiles::specweb().with_accesses(1_500),
     ] {
-        let mut sim = DirSimulator::for_workload(&p, SEED, 8)
-            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let mut sim =
+            DirSimulator::for_workload(&p, SEED, 8).unwrap_or_else(|e| panic!("{}: {e}", p.name));
         let s = sim.run();
         sim.validate_coherence()
             .unwrap_or_else(|e| panic!("{}: {e}", p.name));
@@ -85,5 +85,8 @@ fn directory_scales_and_reproduces() {
     let mut b = DirSimulator::for_workload(&p, 9, 4).unwrap();
     let sb = b.run();
     assert_eq!(sa.exec_cycles, sb.exec_cycles);
-    assert!(DirSimulator::for_workload(&p, 9, 3).is_err(), "4 cores on 3 nodes");
+    assert!(
+        DirSimulator::for_workload(&p, 9, 3).is_err(),
+        "4 cores on 3 nodes"
+    );
 }

@@ -1,73 +1,61 @@
-//! Property-based tests on the core data structures and on the protocol's
+//! Randomized tests on the core data structures and on the protocol's
 //! end-to-end invariants.
+//!
+//! These were originally written against `proptest`, which cannot be
+//! fetched in the offline build environment; they now drive the same
+//! invariants from the engine's own deterministic [`SplitMix64`] generator,
+//! so every run explores the same (fixed, seeded) input space.
 
-use proptest::collection::vec;
-use proptest::prelude::*;
-
-use flexsnoop_engine::{Cycle, Cycles, Resource};
+use flexsnoop_engine::{Cycle, Cycles, Resource, SplitMix64};
 use flexsnoop_mem::{CacheGeometry, CoherState, LineAddr, SetAssocCache};
 use flexsnoop_predictor::{
     BloomFilter, BloomSpec, SubsetPredictor, SupersetPredictor, SupplierPredictor,
 };
 use flexsnoop_workload::{AccessStream, MemAccess};
 
+const CASES: u64 = 48;
+
 // ---------------------------------------------------------------------------
 // Bloom filter: never a false negative, whatever the op sequence.
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone)]
-enum BloomOp {
-    Insert(u64),
-    Remove(usize), // index into the live multiset
-}
-
-fn bloom_ops() -> impl Strategy<Value = Vec<BloomOp>> {
-    vec(
-        prop_oneof![
-            (0u64..1u64 << 24).prop_map(BloomOp::Insert),
-            (0usize..64).prop_map(BloomOp::Remove),
-        ],
-        0..200,
-    )
-}
-
-proptest! {
-    #[test]
-    fn bloom_filter_has_no_false_negatives(ops in bloom_ops()) {
+#[test]
+fn bloom_filter_has_no_false_negatives() {
+    let mut rng = SplitMix64::new(0xb100_f117);
+    for _ in 0..CASES {
         let mut filter = BloomFilter::new(BloomSpec::y_filter());
         let mut live: Vec<u64> = Vec::new();
-        for op in ops {
-            match op {
-                BloomOp::Insert(line) => {
-                    filter.insert(LineAddr(line));
-                    live.push(line);
-                }
-                BloomOp::Remove(idx) => {
-                    if !live.is_empty() {
-                        let line = live.swap_remove(idx % live.len());
-                        filter.remove(LineAddr(line));
-                    }
-                }
+        let ops = rng.next_below(200);
+        for _ in 0..ops {
+            if rng.next_below(2) == 0 {
+                let line = rng.next_below(1 << 24);
+                filter.insert(LineAddr(line));
+                live.push(line);
+            } else if !live.is_empty() {
+                let idx = rng.next_below(live.len() as u64) as usize;
+                let line = live.swap_remove(idx);
+                filter.remove(LineAddr(line));
             }
             for &l in &live {
-                prop_assert!(filter.may_contain(LineAddr(l)),
-                    "false negative for {l:#x}");
+                assert!(filter.may_contain(LineAddr(l)), "false negative for {l:#x}");
             }
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // Subset predictor: a positive answer is always correct (no FPs).
-    // ------------------------------------------------------------------
-    #[test]
-    fn subset_predictor_has_no_false_positives(
-        ops in vec((0u64..512, any::<bool>()), 0..300),
-        probes in vec(0u64..512, 0..50),
-    ) {
+// ---------------------------------------------------------------------------
+// Subset predictor: a positive answer is always correct (no FPs).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn subset_predictor_has_no_false_positives() {
+    let mut rng = SplitMix64::new(0x5ab_5e7 ^ 0xffff);
+    for _ in 0..CASES {
         let mut p = SubsetPredictor::new(CacheGeometry::from_entries(16, 2), 20);
         let mut truth = std::collections::HashSet::new();
-        for (line, gain) in ops {
-            if gain {
+        for _ in 0..rng.next_below(300) {
+            let line = rng.next_below(512);
+            if rng.next_below(2) == 0 {
                 p.supplier_gained(LineAddr(line));
                 truth.insert(line);
             } else {
@@ -75,27 +63,29 @@ proptest! {
                 truth.remove(&line);
             }
         }
-        for probe in probes {
+        for _ in 0..50 {
+            let probe = rng.next_below(512);
             if p.predict(LineAddr(probe)) {
-                prop_assert!(truth.contains(&probe),
-                    "false positive for {probe}");
+                assert!(truth.contains(&probe), "false positive for {probe}");
             }
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // Superset predictor: a negative answer is always correct (no FNs),
-    // including under feedback training of the Exclude cache.
-    // ------------------------------------------------------------------
-    #[test]
-    fn superset_predictor_has_no_false_negatives(
-        ops in vec((0u64..512, 0u8..3), 0..300),
-        probes in vec(0u64..512, 0..50),
-    ) {
+// ---------------------------------------------------------------------------
+// Superset predictor: a negative answer is always correct (no FNs),
+// including under feedback training of the Exclude cache.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn superset_predictor_has_no_false_negatives() {
+    let mut rng = SplitMix64::new(0x50_bee5);
+    for _ in 0..CASES {
         let mut p = SupersetPredictor::y512();
         let mut truth = std::collections::HashSet::new();
-        for (line, op) in ops {
-            match op {
+        for _ in 0..rng.next_below(300) {
+            let line = rng.next_below(512);
+            match rng.next_below(3) {
                 0 => {
                     p.supplier_gained(LineAddr(line));
                     truth.insert(line);
@@ -111,26 +101,29 @@ proptest! {
                 }
             }
         }
-        for probe in probes {
+        for _ in 0..50 {
+            let probe = rng.next_below(512);
             if truth.contains(&probe) {
-                prop_assert!(p.predict(LineAddr(probe)),
-                    "false negative for {probe}");
+                assert!(p.predict(LineAddr(probe)), "false negative for {probe}");
             }
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // Set-associative cache: size bound, membership, and LRU sanity.
-    // ------------------------------------------------------------------
-    #[test]
-    fn cache_never_exceeds_capacity_and_tracks_membership(
-        ops in vec((0u64..256, any::<bool>()), 0..400),
-    ) {
+// ---------------------------------------------------------------------------
+// Set-associative cache: size bound, membership, and LRU sanity.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cache_never_exceeds_capacity_and_tracks_membership() {
+    let mut rng = SplitMix64::new(0x000c_ac4e);
+    for _ in 0..CASES {
         let geometry = CacheGeometry::from_entries(32, 4);
         let mut cache: SetAssocCache<u64> = SetAssocCache::new(geometry);
         let mut shadow = std::collections::HashMap::new();
-        for (line, insert) in ops {
-            if insert {
+        for _ in 0..rng.next_below(400) {
+            let line = rng.next_below(256);
+            if rng.next_below(2) == 0 {
                 if let Some((victim, _)) = cache.insert(LineAddr(line), line * 3) {
                     shadow.remove(&victim.0);
                 }
@@ -139,60 +132,63 @@ proptest! {
                 cache.remove(LineAddr(line));
                 shadow.remove(&line);
             }
-            prop_assert!(cache.len() <= geometry.entries());
-            prop_assert_eq!(cache.len(), shadow.len());
+            assert!(cache.len() <= geometry.entries());
+            assert_eq!(cache.len(), shadow.len());
         }
         for (&line, &value) in &shadow {
-            prop_assert_eq!(cache.peek(LineAddr(line)), Some(&value));
+            assert_eq!(cache.peek(LineAddr(line)), Some(&value));
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // Resource: grants never overlap and never start before arrival.
-    // ------------------------------------------------------------------
-    #[test]
-    fn resource_grants_are_serial_and_causal(
-        reqs in vec((0u64..10_000, 1u64..100), 1..50),
-    ) {
-        let mut sorted = reqs.clone();
-        sorted.sort_by_key(|&(arrival, _)| arrival);
+// ---------------------------------------------------------------------------
+// Resource: grants never overlap and never start before arrival.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn resource_grants_are_serial_and_causal() {
+    let mut rng = SplitMix64::new(0x04e5_05ce);
+    for _ in 0..CASES {
+        let mut reqs: Vec<(u64, u64)> = (0..1 + rng.next_below(50))
+            .map(|_| (rng.next_below(10_000), 1 + rng.next_below(99)))
+            .collect();
+        reqs.sort_by_key(|&(arrival, _)| arrival);
         let mut resource = Resource::new();
         let mut last_end = Cycle::ZERO;
-        for (arrival, service) in sorted {
+        for (arrival, service) in reqs {
             let grant = resource.acquire(Cycle::new(arrival), Cycles(service));
-            prop_assert!(grant.start >= Cycle::new(arrival), "starts before arrival");
-            prop_assert!(grant.start >= last_end, "grants overlap");
-            prop_assert_eq!(grant.end, grant.start + Cycles(service));
+            assert!(grant.start >= Cycle::new(arrival), "starts before arrival");
+            assert!(grant.start >= last_end, "grants overlap");
+            assert_eq!(grant.end, grant.start + Cycles(service));
             last_end = grant.end;
         }
     }
+}
 
-    // ------------------------------------------------------------------
-    // End-to-end protocol invariants on random small workloads: the final
-    // machine state is coherent and the counters are internally
-    // consistent, for every algorithm.
-    // ------------------------------------------------------------------
-    #[test]
-    fn random_workloads_stay_coherent(
-        accesses in vec((0u64..64, any::<bool>(), 0u64..8), 8..120),
-        alg_idx in 0usize..7,
-    ) {
-        use flexsnoop::{energy_model_for, Algorithm, MachineConfig, Simulator, VecStream};
-        let algorithm = Algorithm::PAPER_SET[alg_idx];
+// ---------------------------------------------------------------------------
+// End-to-end protocol invariants on random small workloads: the final
+// machine state is coherent and the counters are internally consistent,
+// for every algorithm.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn random_workloads_stay_coherent() {
+    use flexsnoop::{energy_model_for, Algorithm, MachineConfig, Simulator, VecStream};
+    let mut rng = SplitMix64::new(0xc0_4e8e17);
+    for case in 0..CASES {
+        let algorithm = Algorithm::PAPER_SET[(case % 7) as usize];
         let machine = MachineConfig::isca2006(1);
         // Distribute the generated accesses round-robin over 8 cores.
         let mut scripts: Vec<Vec<MemAccess>> = vec![Vec::new(); 8];
-        let mut limit = 1u64;
-        for (i, (line, write, think)) in accesses.iter().enumerate() {
-            scripts[i % 8].push(MemAccess {
-                line: LineAddr(*line),
-                write: *write,
-                think: Cycles(*think),
+        let n = 8 + rng.next_below(112);
+        for i in 0..n {
+            scripts[(i % 8) as usize].push(MemAccess {
+                line: LineAddr(rng.next_below(64)),
+                write: rng.next_below(2) == 0,
+                think: Cycles(rng.next_below(8)),
             });
         }
-        for s in &scripts {
-            limit = limit.max(s.len() as u64);
-        }
+        let limit = scripts.iter().map(|s| s.len() as u64).max().unwrap().max(1);
         let streams: Vec<Box<dyn AccessStream + Send>> = scripts
             .into_iter()
             .map(|s| Box::new(VecStream::new(s)) as Box<dyn AccessStream + Send>)
@@ -205,32 +201,38 @@ proptest! {
             energy_model_for(&predictor),
             streams,
             limit,
-        ).unwrap();
+        )
+        .unwrap();
         let stats = sim.run();
-        prop_assert!(sim.validate_coherence().is_ok(),
-            "{algorithm}: {:?}", sim.validate_coherence());
-        prop_assert_eq!(
+        assert!(
+            sim.validate_coherence().is_ok(),
+            "{algorithm}: {:?}",
+            sim.validate_coherence()
+        );
+        assert_eq!(
             stats.read_txns,
             stats.reads_cache_supplied + stats.reads_from_memory
         );
-        prop_assert!(stats.read_snoops <= stats.read_txns * 7 + stats.collisions * 7);
+        assert!(stats.read_snoops <= stats.read_txns * 7 + stats.collisions * 7);
     }
+}
 
-    // ------------------------------------------------------------------
-    // Coherence-state algebra: supply transitions always land in a
-    // supplier state, downgrades always leave one.
-    // ------------------------------------------------------------------
-    #[test]
-    fn supply_keeps_supplier_status(state_idx in 0usize..7) {
-        let state = CoherState::ALL[state_idx];
+// ---------------------------------------------------------------------------
+// Coherence-state algebra: supply transitions always land in a supplier
+// state, downgrades always leave one.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn supply_keeps_supplier_status() {
+    for &state in &CoherState::ALL {
         if state.is_supplier() {
-            prop_assert!(state.after_remote_supply().is_supplier());
+            assert!(state.after_remote_supply().is_supplier());
             let (down, _) = state.after_downgrade();
-            prop_assert!(!down.is_supplier());
-            prop_assert!(down.is_valid(), "downgraded lines stay cached");
+            assert!(!down.is_supplier());
+            assert!(down.is_valid(), "downgraded lines stay cached");
         }
         if state.supplies_locally() {
-            prop_assert!(state.after_local_supply().supplies_locally());
+            assert!(state.after_local_supply().supplies_locally());
         }
     }
 }

@@ -47,6 +47,7 @@ pub mod arena;
 pub mod config;
 pub mod experiments;
 pub mod message;
+pub mod oracle;
 pub mod sim;
 #[cfg(test)]
 mod sim_tests;
@@ -57,6 +58,7 @@ pub use algorithm::{Algorithm, DynPolicy, SnoopAction};
 pub use config::MachineConfig;
 pub use experiments::{run_algorithms, run_workload, GroupAggregator, VecStream};
 pub use message::{MsgKind, ReplyInfo, RingMsg, TxnId, TxnOp};
+pub use oracle::{ProtocolMutation, Violation};
 pub use sim::{energy_model_for, Simulator};
 pub use stats::RunStats;
 pub use timeline::{Timeline, TxnEvent};

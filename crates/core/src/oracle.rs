@@ -1,0 +1,75 @@
+//! The per-event protocol-invariant oracle.
+//!
+//! When enabled (at runtime via `enable_invariant_checks`, or
+//! unconditionally by building with the `strict-invariants` cargo
+//! feature), the simulators re-check the paper's protocol invariants
+//! after every transaction retirement instead of only in a final-state
+//! scan — so a mid-run violation that a later transaction would mask is
+//! caught at the first retirement that exposes it, with the transaction
+//! id and cycle attached. The recorded [`Violation`] names the line, the
+//! offending transaction and the specific invariant, which is what lets
+//! the differential harness render a pinpointed Timeline walkthrough of
+//! the first divergent transaction.
+//!
+//! [`ProtocolMutation`] is the oracle's own test harness: it deliberately
+//! breaks one protocol rule inside the simulator so tests can prove the
+//! oracle (and the differential harness built on it) actually detects
+//! the class of bug it exists for. Mutations are for testing only and
+//! must never be enabled in experiments.
+
+use flexsnoop_engine::Cycle;
+use flexsnoop_mem::LineAddr;
+
+use crate::message::TxnId;
+
+/// One detected protocol-invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The transaction whose retirement (or prediction) exposed the
+    /// violation — the "first divergent transaction" the harness reports.
+    pub txn: TxnId,
+    /// Simulation time of detection.
+    pub at: Cycle,
+    /// The line involved.
+    pub line: LineAddr,
+    /// Which invariant was violated, with the offending states located.
+    pub what: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cycle {}, {}: {}", self.at, self.txn, self.what)
+    }
+}
+
+/// A deliberate protocol bug, injectable for oracle/harness self-tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolMutation {
+    /// The supplier keeps its state after servicing a remote read
+    /// (skipping the `E → SG` / `D → T` downgrade of §2.2), so a second
+    /// supplier-class copy appears as soon as the requester fills.
+    SkipSupplierDowngrade,
+    /// Remote write snoops report their invalidation done without
+    /// invalidating anything, leaving stale shared copies alongside the
+    /// writer's new dirty line.
+    SkipWriteInvalidation,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_renders_its_context() {
+        let v = Violation {
+            txn: TxnId(7),
+            at: Cycle::new(123),
+            line: LineAddr(9),
+            what: "2 supplier-state copies".to_string(),
+        };
+        let text = v.to_string();
+        assert!(text.contains("txn7"), "{text}");
+        assert!(text.contains("123"), "{text}");
+        assert!(text.contains("supplier"), "{text}");
+    }
+}

@@ -30,10 +30,13 @@ use flexsnoop_net::{RingConfig, RingNetwork, Torus, TorusConfig};
 use flexsnoop_predictor::{BloomFilter, BloomSpec, PredictorSpec, SupplierPredictor};
 use flexsnoop_workload::{AccessStream, MemAccess, WorkloadProfile};
 
+use flexsnoop_mem::invariants;
+
 use crate::algorithm::{Algorithm, DynPolicy, SnoopAction};
 use crate::arena::TxnArena;
 use crate::config::MachineConfig;
 use crate::message::{MsgKind, ReplyInfo, RingMsg, TxnId, TxnOp};
+use crate::oracle::{ProtocolMutation, Violation};
 use crate::stats::RunStats;
 use crate::timeline::{Timeline, TxnEvent};
 
@@ -176,6 +179,12 @@ pub struct Simulator {
     node_state_pool: Vec<Vec<NodeState>>,
     stats: RunStats,
     timeline: Timeline,
+    /// Per-retirement invariant oracle (see [`crate::oracle`]): on when
+    /// [`enable_invariant_checks`](Self::enable_invariant_checks) was
+    /// called or the crate was built with `strict-invariants`.
+    checks: bool,
+    violations: Vec<Violation>,
+    mutation: Option<ProtocolMutation>,
     active_cores: usize,
     finished: bool,
 }
@@ -322,6 +331,9 @@ impl Simulator {
             node_state_pool: Vec::new(),
             stats: RunStats::new(energy),
             timeline: Timeline::disabled(),
+            checks: cfg!(feature = "strict-invariants"),
+            violations: Vec::new(),
+            mutation: None,
             active_cores,
             finished: false,
             cfg: machine,
@@ -450,26 +462,55 @@ impl Simulator {
     ///
     /// Returns the first violation found, naming the line and states.
     pub fn validate_coherence(&self) -> Result<(), String> {
-        let mut copies: FxHashMap<LineAddr, Vec<(usize, CoherState)>> = FxHashMap::default();
-        for (n, cmp) in self.cmps.iter().enumerate() {
-            for core in 0..cmp.cores() {
-                for (line, state) in cmp.l2(core).iter() {
-                    copies.entry(line).or_default().push((n, state));
-                }
-            }
+        invariants::check_all(&self.cmps)
+    }
+
+    /// Enables the per-retirement invariant oracle: after every transaction
+    /// retires (and whenever a predictor-filtering decision skips a snoop),
+    /// the affected line is re-checked against the Figure 2(b) invariants
+    /// and any violation is recorded with the transaction and cycle that
+    /// exposed it. Call before [`run`](Self::run). With the
+    /// `strict-invariants` cargo feature the oracle is always on and panics
+    /// at the first violation instead of recording it (unless the violation
+    /// was provoked by an injected [`ProtocolMutation`]).
+    pub fn enable_invariant_checks(&mut self) {
+        self.checks = true;
+    }
+
+    /// Violations recorded by the invariant oracle, in detection order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The first violation the oracle detected, if any.
+    pub fn first_violation(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+
+    /// Deliberately breaks one protocol rule (testing only), so tests can
+    /// prove the oracle catches the corresponding bug class. Call before
+    /// [`run`](Self::run).
+    pub fn inject_mutation(&mut self, mutation: ProtocolMutation) {
+        self.mutation = Some(mutation);
+    }
+
+    /// A canonical `(line, cmp, core, state)` snapshot of every resident L2
+    /// line, for differential comparison between runs.
+    pub fn state_snapshot(&self) -> Vec<(LineAddr, usize, usize, CoherState)> {
+        invariants::state_snapshot(&self.cmps)
+    }
+
+    fn record_violation(&mut self, txn: TxnId, at: Cycle, line: LineAddr, what: String) {
+        let v = Violation {
+            txn,
+            at,
+            line,
+            what,
+        };
+        if cfg!(feature = "strict-invariants") && self.mutation.is_none() {
+            panic!("protocol invariant violated: {v}");
         }
-        for (line, states) in &copies {
-            for (i, &(na, a)) in states.iter().enumerate() {
-                for &(nb, b) in &states[i + 1..] {
-                    if !a.compatible_with(b, na == nb) {
-                        return Err(format!(
-                            "{line}: {a} at cmp{na} incompatible with {b} at cmp{nb}"
-                        ));
-                    }
-                }
-            }
-        }
-        Ok(())
+        self.violations.push(v);
     }
 
     // ----- topology helpers -------------------------------------------------
@@ -854,7 +895,24 @@ impl Simulator {
                 },
             );
             let over_budget = self.energy_over_budget(now);
-            self.alg.action(predicted, over_budget)
+            let action = self.alg.action(predicted, over_budget);
+            // Oracle hook: filtering (plain Forward) past a node that holds
+            // the supplier is the §4.3.4 hazard — legal only for predictors
+            // with no false negatives (Superset family, Exact, Oracle), so
+            // an occurrence is a protocol violation, not a mere miss.
+            if self.checks && actual && action == SnoopAction::Forward {
+                self.record_violation(
+                    msg.txn,
+                    now,
+                    line,
+                    format!(
+                        "{}: snoop filtered at cmp{} despite a resident supplier \
+                         (predictor false negative)",
+                        self.alg, node.0
+                    ),
+                );
+            }
+            action
         } else {
             self.alg.action(false, false)
         };
@@ -943,8 +1001,11 @@ impl Simulator {
         else {
             // A positive trailing reply was already forwarded mid-snoop;
             // nothing remains to do (the snoop energy is already counted).
+            // An injected mutation legitimately leaves stray suppliers
+            // around, so the protocol-cleanliness assert stands down then —
+            // the invariant oracle is what reports the breakage.
             debug_assert_eq!(state, NodeState::Finished);
-            debug_assert!(result.supplier.is_none());
+            debug_assert!(self.mutation.is_some() || result.supplier.is_none());
             return;
         };
         self.timeline.record(
@@ -958,7 +1019,9 @@ impl Simulator {
         if let Some((supplier_core, st)) = result.supplier {
             // Supply the line: data via the torus, positive outcome on the
             // ring.
-            self.transition(node, supplier_core, line, st.after_remote_supply());
+            if self.mutation != Some(ProtocolMutation::SkipSupplierDowngrade) {
+                self.transition(node, supplier_core, line, st.after_remote_supply());
+            }
             self.stats.reads_cache_supplied += 1;
             self.timeline
                 .record(txn_id, now, TxnEvent::DataSent { node });
@@ -1177,7 +1240,14 @@ impl Simulator {
         let state = txn.node_states[node.0];
         // Invalidate every copy in this CMP; a supplier-state copy donates
         // the data if the writer still needs it.
-        let dropped = self.invalidate_cmp(node, line);
+        let dropped = if self.mutation == Some(ProtocolMutation::SkipWriteInvalidation) {
+            InvalidateOutcome {
+                copies: 0,
+                had_supplier: false,
+            }
+        } else {
+            self.invalidate_cmp(node, line)
+        };
         let had_supplier = dropped.had_supplier;
         self.timeline.record(
             txn_id,
@@ -1595,6 +1665,13 @@ impl Simulator {
         let line = txn.line;
         let op = txn.op;
         self.timeline.record(txn_id, now, TxnEvent::Retired);
+        // Oracle hook: at retirement the line's copies must satisfy the
+        // Figure 2(b) invariants again (mid-flight windows are over).
+        if self.checks {
+            if let Err(what) = invariants::check_line(&self.cmps, line) {
+                self.record_violation(txn_id, now, line, what);
+            }
+        }
         if let Some(done) = self.txns.remove(txn_id) {
             self.node_state_pool.push(done.node_states);
         }

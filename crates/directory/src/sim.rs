@@ -21,9 +21,10 @@
 
 use std::collections::VecDeque;
 
+use flexsnoop::oracle::Violation;
 use flexsnoop::MachineConfig;
 use flexsnoop_engine::{Cycle, Cycles, FxHashMap, Resource, Scheduler};
-use flexsnoop_mem::{CacheGeometry, CmpCaches, CmpId, CoherState, LineAddr};
+use flexsnoop_mem::{invariants, CacheGeometry, CmpCaches, CmpId, CoherState, LineAddr};
 use flexsnoop_metrics::Histogram;
 use flexsnoop_net::{Torus, TorusConfig};
 use flexsnoop_workload::{AccessStream, MemAccess, WorkloadProfile};
@@ -148,6 +149,10 @@ pub struct DirSimulator {
     line_busy: FxHashMap<LineAddr, (u32, u32)>,
     line_waiters: FxHashMap<LineAddr, VecDeque<(usize, MemAccess)>>,
     stats: DirStats,
+    /// Per-completion invariant oracle, mirroring the ring simulator's
+    /// (see `flexsnoop::oracle`).
+    checks: bool,
+    violations: Vec<Violation>,
     active_cores: usize,
     finished: bool,
 }
@@ -222,6 +227,8 @@ impl DirSimulator {
             line_busy: FxHashMap::default(),
             line_waiters: FxHashMap::default(),
             stats: DirStats::default(),
+            checks: cfg!(feature = "strict-invariants"),
+            violations: Vec::new(),
             active_cores,
             finished: false,
             cfg: machine,
@@ -565,6 +572,13 @@ impl DirSimulator {
             self.stats.read_latency.record((now - txn.issue).as_u64());
             self.advance_core(txn.core, now);
         }
+        // Oracle hook: the transaction is complete, so the line's copies
+        // must satisfy the Figure 2(b) invariants again.
+        if self.checks {
+            if let Err(what) = invariants::check_line(&self.cmps, txn.line) {
+                self.record_violation(txn_id, now, txn.line, what);
+            }
+        }
         // Release the line and wake waiters.
         if let Some(slot) = self.line_busy.get_mut(&txn.line) {
             if txn.write {
@@ -611,26 +625,47 @@ impl DirSimulator {
     ///
     /// Returns the first incompatible pair of copies.
     pub fn validate_coherence(&self) -> Result<(), String> {
-        let mut copies: FxHashMap<LineAddr, Vec<(usize, CoherState)>> = FxHashMap::default();
-        for (n, cmp) in self.cmps.iter().enumerate() {
-            for core in 0..cmp.cores() {
-                for (line, state) in cmp.l2(core).iter() {
-                    copies.entry(line).or_default().push((n, state));
-                }
-            }
+        invariants::check_all(&self.cmps)
+    }
+
+    /// Enables the per-completion invariant oracle, mirroring the ring
+    /// simulator's [`enable_invariant_checks`]. Call before
+    /// [`run`](Self::run).
+    ///
+    /// [`enable_invariant_checks`]: flexsnoop::Simulator::enable_invariant_checks
+    pub fn enable_invariant_checks(&mut self) {
+        self.checks = true;
+    }
+
+    /// Violations recorded by the invariant oracle, in detection order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// The first violation the oracle detected, if any.
+    pub fn first_violation(&self) -> Option<&Violation> {
+        self.violations.first()
+    }
+
+    /// A canonical `(line, cmp, core, state)` snapshot of every resident L2
+    /// line, comparable against `flexsnoop::Simulator::state_snapshot`.
+    pub fn state_snapshot(&self) -> Vec<(LineAddr, usize, usize, CoherState)> {
+        invariants::state_snapshot(&self.cmps)
+    }
+
+    fn record_violation(&mut self, txn: TxnId, at: Cycle, line: LineAddr, what: String) {
+        // The directory's transaction ids are sequential, so they embed
+        // loss-free into the ring's arena-style id (slot = id, gen = 0).
+        let v = Violation {
+            txn: flexsnoop::TxnId(txn.0),
+            at,
+            line,
+            what,
+        };
+        if cfg!(feature = "strict-invariants") {
+            panic!("protocol invariant violated: {v}");
         }
-        for (line, states) in &copies {
-            for (i, &(na, a)) in states.iter().enumerate() {
-                for &(nb, b) in &states[i + 1..] {
-                    if !a.compatible_with(b, na == nb) {
-                        return Err(format!(
-                            "{line}: {a} at cmp{na} incompatible with {b} at cmp{nb}"
-                        ));
-                    }
-                }
-            }
-        }
-        Ok(())
+        self.violations.push(v);
     }
 
     /// The coherence state of one line in one core's L2.

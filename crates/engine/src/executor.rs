@@ -24,8 +24,18 @@
 //! `FLEXSNOOP_THREADS` environment variable.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Mutex, MutexGuard, PoisonError};
+
+/// Locks a deque mutex, ignoring poisoning. The queues only hold plain
+/// data (task closures and indices), which stays structurally intact when
+/// a panic unwinds past a lock guard, so a poisoned lock is still safe to
+/// read — and honouring the poison would cascade `PoisonError` panics
+/// through every sibling worker, masking the original task panic.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Process-wide worker-count override; 0 means "not set".
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -88,7 +98,10 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Propagates the first panic of any task after the pool unwinds.
+    /// If a task panics, the remaining tasks still run, and the first
+    /// panic (by task order) is then re-raised with its original payload.
+    /// Sibling workers never see a `PoisonError` cascade from a panicking
+    /// task: the steal path ignores mutex poisoning.
     pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
     where
         T: Send,
@@ -110,24 +123,28 @@ impl Executor {
         let injector: Mutex<VecDeque<(usize, F)>> = Mutex::new(VecDeque::new());
         let locals = &locals;
         let injector = &injector;
-        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        type TaskResult<T> = Result<T, Box<dyn std::any::Any + Send>>;
+        let (tx, rx) = mpsc::channel::<(usize, TaskResult<T>)>();
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let tx = tx.clone();
                 scope.spawn(move || loop {
-                    let job = locals[w]
-                        .lock()
-                        .unwrap()
+                    let job = lock_ignore_poison(&locals[w])
                         .pop_front()
-                        .or_else(|| injector.lock().unwrap().pop_front())
+                        .or_else(|| lock_ignore_poison(injector).pop_front())
                         .or_else(|| {
                             (1..workers).find_map(|off| {
-                                locals[(w + off) % workers].lock().unwrap().pop_back()
+                                lock_ignore_poison(&locals[(w + off) % workers]).pop_back()
                             })
                         });
                     match job {
                         Some((i, task)) => {
-                            if tx.send((i, task())).is_err() {
+                            // Capture the panic instead of unwinding through
+                            // the scope: the scope would join every worker
+                            // and surface a cascade of secondary panics that
+                            // masks the original.
+                            let result = catch_unwind(AssertUnwindSafe(task));
+                            if tx.send((i, result)).is_err() {
                                 break;
                             }
                         }
@@ -137,8 +154,19 @@ impl Executor {
             }
             drop(tx);
             let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            let mut first_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
             for (i, result) in rx {
-                out[i] = Some(result);
+                match result {
+                    Ok(value) => out[i] = Some(value),
+                    Err(payload) => {
+                        if first_panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                            first_panic = Some((i, payload));
+                        }
+                    }
+                }
+            }
+            if let Some((_, payload)) = first_panic {
+                resume_unwind(payload);
             }
             out.into_iter()
                 .map(|slot| slot.expect("worker exited without completing its task"))
@@ -204,6 +232,79 @@ mod tests {
         let data = &data;
         let tasks: Vec<_> = (0..data.len()).map(|i| move || data[i] * 10).collect();
         assert_eq!(Executor::new(2).run(tasks), vec![10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn task_panic_propagates_original_payload() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..16u32)
+                .map(|i| {
+                    Box::new(move || {
+                        if i == 5 {
+                            panic!("task five exploded");
+                        }
+                        i
+                    }) as Box<dyn FnOnce() -> u32 + Send>
+                })
+                .collect();
+            Executor::new(4).run(tasks)
+        }))
+        .expect_err("the task panic must propagate");
+        // The payload is the original one, not a PoisonError cascade from
+        // sibling workers dying on poisoned deque mutexes.
+        let msg = caught
+            .downcast_ref::<&str>()
+            .copied()
+            .expect("original &str payload");
+        assert_eq!(msg, "task five exploded");
+    }
+
+    #[test]
+    fn siblings_finish_their_tasks_despite_a_panic() {
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        RAN.store(0, Ordering::SeqCst);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..32)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 0 {
+                        panic!("early panic");
+                    }
+                    RAN.fetch_add(1, Ordering::SeqCst);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        let result = catch_unwind(AssertUnwindSafe(|| Executor::new(4).run(tasks)));
+        assert!(result.is_err());
+        assert_eq!(
+            RAN.load(Ordering::SeqCst),
+            31,
+            "every non-panicking task must still run"
+        );
+    }
+
+    #[test]
+    fn first_panic_by_task_order_wins() {
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+                .map(|i| {
+                    Box::new(move || {
+                        // Two tasks panic; the lower-indexed payload must
+                        // be the one re-raised, regardless of scheduling.
+                        if i == 2 {
+                            panic!("panic two");
+                        }
+                        if i == 6 {
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                            panic!("panic six");
+                        }
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            Executor::new(2).run(tasks)
+        }))
+        .expect_err("must panic");
+        let msg = caught.downcast_ref::<&str>().copied().unwrap();
+        assert_eq!(msg, "panic two");
     }
 
     #[test]

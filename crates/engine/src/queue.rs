@@ -183,10 +183,17 @@ impl<E> BucketQueue<E> {
     }
 
     /// Inserts `event` with timestamp `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is behind the last popped time. A past-time push
+    /// would land in a bucket `WHEEL` cycles in the future and silently
+    /// reorder events, so the contract is enforced unconditionally — the
+    /// branch is perfectly predicted and free on the hot path.
     #[inline]
     pub fn push(&mut self, time: Cycle, event: E) {
         let t = time.as_u64();
-        debug_assert!(
+        assert!(
             t >= self.cursor,
             "BucketQueue push at {t} behind cursor {}",
             self.cursor
@@ -388,6 +395,17 @@ mod tests {
         q.pop();
         assert_eq!(q.peek_time(), Some(Cycle::new(3 + WHEEL * 5)));
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "behind cursor")]
+    fn bucket_rejects_push_behind_cursor() {
+        let mut q = BucketQueue::new();
+        q.push(Cycle::new(100), 'a');
+        assert_eq!(q.pop(), Some((Cycle::new(100), 'a')));
+        // The cursor now sits at 100; a past-time push must panic rather
+        // than land in a future bucket and reorder events.
+        q.push(Cycle::new(99), 'b');
     }
 
     /// The two queues must pop identically on a randomized near-monotonic

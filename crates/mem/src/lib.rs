@@ -20,6 +20,7 @@ pub mod addr;
 pub mod cache;
 pub mod cmp;
 pub mod ids;
+pub mod invariants;
 pub mod l2;
 pub mod state;
 

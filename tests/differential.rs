@@ -1,0 +1,85 @@
+//! Differential smoke suite: the ring simulator against itself (queue
+//! backends, executor widths) and against the directory baseline, over
+//! the four Table 3 algorithms, with the per-retirement invariant oracle
+//! armed.
+//!
+//! The smoke tests run in the normal `cargo test` budget; the
+//! paper-scale sweep is `#[ignore]`d and runs in CI's scheduled job via
+//! `cargo test --test differential -- --ignored`.
+
+use flexsnoop_checker::{run_differential, DiffOptions, TABLE3_ALGORITHMS};
+use flexsnoop_workload::profiles;
+use flexsnoop_workload::WorkloadProfile;
+
+fn smoke() -> DiffOptions {
+    DiffOptions {
+        accesses_per_core: 150,
+        nodes: 4,
+        threads: 4,
+        ..DiffOptions::default()
+    }
+}
+
+fn smoke_profiles() -> Vec<WorkloadProfile> {
+    vec![
+        profiles::specweb(),
+        profiles::specjbb(),
+        profiles::uniform_microbench(8, 150),
+    ]
+}
+
+#[test]
+fn table3_matrix_has_zero_divergences_on_three_profiles() {
+    for profile in smoke_profiles() {
+        let report = run_differential(&profile, 2026, &smoke())
+            .unwrap_or_else(|e| panic!("{}: {e}", profile.name));
+        assert!(report.is_clean(), "{}", report.render());
+        // 4 algorithms × 2 queue backends × 2 executor widths.
+        assert_eq!(report.ring_runs, TABLE3_ALGORITHMS.len() * 4);
+    }
+}
+
+#[test]
+fn differential_is_seed_stable() {
+    // A second seed exercises different collision interleavings; the
+    // guarantees must hold for any seed.
+    for seed in [7, 99] {
+        let report = run_differential(&profiles::specweb(), seed, &smoke()).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+    }
+}
+
+#[test]
+fn injected_protocol_bug_yields_pinpointed_report() {
+    use flexsnoop::ProtocolMutation;
+    let opts = DiffOptions {
+        mutation: Some(ProtocolMutation::SkipSupplierDowngrade),
+        ..smoke()
+    };
+    let report = run_differential(&profiles::specweb(), 2026, &opts).unwrap();
+    assert!(!report.is_clean(), "the oracle must catch the mutation");
+    let rendered = report.render();
+    // The report names the violated invariant and walks the first
+    // divergent transaction's timeline.
+    assert!(
+        rendered.contains("supplier") || rendered.contains("incompatible"),
+        "{rendered}"
+    );
+    assert!(
+        rendered.contains("first divergent transaction"),
+        "{rendered}"
+    );
+}
+
+#[test]
+#[ignore = "paper-scale budget; run with -- --ignored"]
+fn full_budget_differential_sweep() {
+    let opts = DiffOptions::full();
+    let mut profiles_under_test = smoke_profiles();
+    profiles_under_test.push(profiles::splash2_apps().remove(0)); // barnes, 32 cores
+    for profile in profiles_under_test {
+        let report = run_differential(&profile, 2026, &opts)
+            .unwrap_or_else(|e| panic!("{}: {e}", profile.name));
+        assert!(report.is_clean(), "{}", report.render());
+    }
+}

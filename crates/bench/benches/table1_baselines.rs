@@ -12,45 +12,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flexsnoop::{run_workload, Algorithm};
+use flexsnoop_bench::sweeps::{render_table1, table1_rows};
 use flexsnoop_bench::SEED;
-use flexsnoop_metrics::Table;
 use flexsnoop_workload::profiles;
-
-/// Runs the uniform microbenchmark with a warm shared pool so that nearly
-/// every ring read finds a supplier at a uniformly-distributed distance.
-fn table1_rows() -> Table {
-    let workload = profiles::uniform_microbench(8, 4_000);
-    let mut table = Table::with_columns(&[
-        "algorithm",
-        "snoops/request (paper)",
-        "ring msgs/request, x Lazy (paper)",
-        "mean unloaded latency [cyc]",
-    ]);
-    let lazy_hops = run_workload(&workload, Algorithm::Lazy, None, SEED)
-        .expect("lazy run")
-        .ring_hops_per_read();
-    for (alg, paper_snoops, paper_msgs) in [
-        (Algorithm::Lazy, "(N-1)/2 = 3.5", "1.00"),
-        (Algorithm::Eager, "N-1 = 7", "~2"),
-        (Algorithm::Oracle, "1", "1.00"),
-    ] {
-        let stats = run_workload(&workload, alg, None, SEED).expect("run");
-        table.row(vec![
-            alg.to_string(),
-            format!("{:.2}  ({paper_snoops})", stats.snoops_per_read()),
-            format!(
-                "{:.2}  ({paper_msgs})",
-                stats.ring_hops_per_read() / lazy_hops
-            ),
-            format!("{:.0}", stats.read_latency.mean()),
-        ]);
-    }
-    table
-}
 
 fn bench(c: &mut Criterion) {
     println!("\n=== Table 1: baseline algorithm characteristics ===");
-    println!("{}", table1_rows().render());
+    println!("{}", render_table1(&table1_rows(4_000)).render());
     let workload = profiles::uniform_microbench(8, 500);
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);

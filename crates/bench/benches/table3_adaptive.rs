@@ -15,48 +15,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use flexsnoop::{run_workload, Algorithm};
+use flexsnoop_bench::sweeps::{render_table3, table3_rows};
 use flexsnoop_bench::SEED;
-use flexsnoop_metrics::Table;
 use flexsnoop_workload::profiles;
-
-fn table3_rows() -> Table {
-    let workload = profiles::splash2_apps()
-        .into_iter()
-        .next()
-        .expect("barnes")
-        .with_accesses(8_000);
-    let lazy = run_workload(&workload, Algorithm::Lazy, None, SEED).expect("lazy");
-    let mut table = Table::with_columns(&[
-        "algorithm",
-        "FP observed",
-        "FN observed",
-        "snoops/request",
-        "vs Lazy",
-        "msgs/request (x Lazy)",
-    ]);
-    for alg in [
-        Algorithm::Subset,
-        Algorithm::SupersetCon,
-        Algorithm::SupersetAgg,
-        Algorithm::Exact,
-    ] {
-        let s = run_workload(&workload, alg, None, SEED).expect("run");
-        table.row(vec![
-            alg.to_string(),
-            s.accuracy.false_positives.to_string(),
-            s.accuracy.false_negatives.to_string(),
-            format!("{:.2}", s.snoops_per_read()),
-            format!("{:+.2}", s.snoops_per_read() - lazy.snoops_per_read()),
-            format!("{:.2}", s.ring_hops_per_read() / lazy.ring_hops_per_read()),
-        ]);
-    }
-    table
-}
 
 fn bench(c: &mut Criterion) {
     println!("\n=== Table 3: adaptive algorithm characterization ===");
-    let rows = table3_rows();
-    println!("{}", rows.render());
+    println!("{}", render_table3(&table3_rows(8_000)).render());
     println!(
         "expectations: Subset FP=0, Superset/Exact FN=0; Subset snoops ≥ Lazy;\n\
          Superset snoops small; Exact ≈ 1 per supplied request;\n\

@@ -10,7 +10,9 @@ pub mod sweeps;
 
 use std::collections::BTreeMap;
 
-use flexsnoop::{run_workload, Algorithm, GroupAggregator, RunStats};
+use flexsnoop::probe::ProbeReport;
+use flexsnoop::{run_workload, Algorithm, GroupAggregator, RunStats, Simulator};
+use flexsnoop_engine::ExecutorStats;
 use flexsnoop_predictor::PredictorSpec;
 use flexsnoop_workload::{profiles, WorkloadGroup, WorkloadProfile};
 
@@ -34,6 +36,8 @@ pub struct CellResult {
     pub algorithm: Algorithm,
     /// Collected statistics.
     pub stats: RunStats,
+    /// Observability counters, when the cell ran with the probe on.
+    pub probe: Option<ProbeReport>,
 }
 
 /// Runs every workload under every algorithm, fanning the individual
@@ -52,6 +56,27 @@ pub fn run_matrix(
     accesses: u64,
     seed: u64,
 ) -> Vec<CellResult> {
+    run_matrix_instrumented(workloads, algorithms, accesses, seed, false).0
+}
+
+/// [`run_matrix`] with optional per-cell probes and executor utilization.
+///
+/// With `probe` set, each simulation runs with the counting probe
+/// installed and its [`ProbeReport`] lands in the matching
+/// [`CellResult::probe`]; either way the sweep itself is timed through
+/// [`Executor::run_with_stats`](flexsnoop_engine::Executor::run_with_stats)
+/// so callers see per-worker utilization.
+///
+/// # Panics
+///
+/// Panics if any simulation fails to configure.
+pub fn run_matrix_instrumented(
+    workloads: &[WorkloadProfile],
+    algorithms: &[Algorithm],
+    accesses: u64,
+    seed: u64,
+    probe: bool,
+) -> (Vec<CellResult>, ExecutorStats) {
     let profiles: Vec<WorkloadProfile> = workloads
         .iter()
         .map(|p| p.clone().with_accesses(accesses))
@@ -61,19 +86,43 @@ pub fn run_matrix(
         .flat_map(|profile| {
             algorithms.iter().map(move |&algorithm| {
                 move || {
-                    let stats = run_workload(profile, algorithm, None, seed)
-                        .unwrap_or_else(|e| panic!("{algorithm} on {}: {e}", profile.name));
+                    let (stats, report) = run_cell(profile, algorithm, seed, probe);
                     CellResult {
                         workload: profile.name.clone(),
                         group: profile.group,
                         algorithm,
                         stats,
+                        probe: report,
                     }
                 }
             })
         })
         .collect();
-    flexsnoop_engine::Executor::with_default().run(tasks)
+    flexsnoop_engine::Executor::with_default().run_with_stats(tasks)
+}
+
+/// Runs one (workload, algorithm) cell, optionally with the counting
+/// probe installed.
+///
+/// # Panics
+///
+/// Panics if the simulation fails to configure.
+fn run_cell(
+    profile: &WorkloadProfile,
+    algorithm: Algorithm,
+    seed: u64,
+    probe: bool,
+) -> (RunStats, Option<ProbeReport>) {
+    if !probe {
+        let stats = run_workload(profile, algorithm, None, seed)
+            .unwrap_or_else(|e| panic!("{algorithm} on {}: {e}", profile.name));
+        return (stats, None);
+    }
+    let mut sim = Simulator::for_workload(profile, algorithm, None, seed)
+        .unwrap_or_else(|e| panic!("{algorithm} on {}: {e}", profile.name));
+    sim.enable_probe();
+    let stats = sim.run();
+    (stats, sim.probe_report())
 }
 
 /// The paper's standard workload suite (11 SPLASH-2 apps + SPECjbb +
@@ -230,6 +279,23 @@ mod tests {
         let cells = run_matrix(&workloads, &algorithms, 200, 1);
         assert_eq!(cells.len(), 2);
         assert!(cells.iter().all(|c| c.stats.read_txns > 0));
+    }
+
+    #[test]
+    fn instrumented_matrix_carries_probes_and_utilization() {
+        let workloads = vec![profiles::uniform_microbench(8, 200)];
+        let algorithms = [Algorithm::Lazy, Algorithm::SupersetCon];
+        let (cells, exec) = run_matrix_instrumented(&workloads, &algorithms, 200, 1, true);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(exec.total_tasks(), 2);
+        assert!(!exec.workers.is_empty());
+        for cell in &cells {
+            let probe = cell.probe.as_ref().expect("probe requested");
+            assert_eq!(probe.events, cell.stats.events);
+        }
+        // Without the probe flag, cells carry no report.
+        let (cells, _) = run_matrix_instrumented(&workloads, &algorithms, 200, 1, false);
+        assert!(cells.iter().all(|c| c.probe.is_none()));
     }
 
     #[test]

@@ -1,14 +1,159 @@
 //! Structured experiment sweeps shared by the bench targets and the
-//! report generator: the Figure 10 predictor-size sensitivity study and
-//! the Figure 11 accuracy study.
+//! report generator: the Table 1 and Table 3 characterizations, the
+//! Figure 10 predictor-size sensitivity study and the Figure 11 accuracy
+//! study.
 
 use std::collections::BTreeMap;
 
-use flexsnoop::{Algorithm, GroupAggregator, PredictorSpec};
+use flexsnoop::{run_workload, Algorithm, GroupAggregator, PredictorSpec};
 use flexsnoop_predictor::AccuracyStats;
 use flexsnoop_workload::{profiles, WorkloadGroup};
 
-use crate::run_with_predictor;
+use crate::{run_with_predictor, SEED};
+
+/// One row of Table 1: a baseline algorithm's characteristics under the
+/// perfectly-uniform microbenchmark (one node can always supply).
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// The baseline algorithm.
+    pub algorithm: Algorithm,
+    /// Measured snoop operations per read request.
+    pub snoops_per_request: f64,
+    /// Measured ring messages per request, normalized to Lazy.
+    pub msgs_x_lazy: f64,
+    /// Mean read latency in cycles (unloaded-latency proxy).
+    pub mean_read_latency: f64,
+    /// The paper's analytical snoop count for N = 8 nodes.
+    pub paper_snoops: &'static str,
+    /// The paper's analytical message count (× Lazy).
+    pub paper_msgs: &'static str,
+}
+
+/// Runs the Table 1 characterization: Lazy, Eager and Oracle on the
+/// uniform microbenchmark at `accesses` per core.
+///
+/// # Panics
+///
+/// Panics if a simulation fails to configure.
+pub fn table1_rows(accesses: u64) -> Vec<Table1Row> {
+    let workload = profiles::uniform_microbench(8, accesses);
+    let lazy_hops = run_workload(&workload, Algorithm::Lazy, None, SEED)
+        .expect("lazy run")
+        .ring_hops_per_read();
+    [
+        (Algorithm::Lazy, "(N-1)/2 = 3.5", "1.00"),
+        (Algorithm::Eager, "N-1 = 7", "~2"),
+        (Algorithm::Oracle, "1", "1.00"),
+    ]
+    .into_iter()
+    .map(|(algorithm, paper_snoops, paper_msgs)| {
+        let stats = run_workload(&workload, algorithm, None, SEED).expect("run");
+        Table1Row {
+            algorithm,
+            snoops_per_request: stats.snoops_per_read(),
+            msgs_x_lazy: stats.ring_hops_per_read() / lazy_hops,
+            mean_read_latency: stats.read_latency.mean(),
+            paper_snoops,
+            paper_msgs,
+        }
+    })
+    .collect()
+}
+
+/// One row of Table 3: an adaptive algorithm's error class and resulting
+/// snoop/message counts on a sharing-heavy workload (barnes).
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// The adaptive algorithm.
+    pub algorithm: Algorithm,
+    /// Observed predictor false positives.
+    pub false_positives: u64,
+    /// Observed predictor false negatives.
+    pub false_negatives: u64,
+    /// Measured snoop operations per read request.
+    pub snoops_per_request: f64,
+    /// `snoops_per_request` minus Lazy's (positive = more than Lazy).
+    pub snoops_vs_lazy: f64,
+    /// Ring messages per request, normalized to Lazy.
+    pub msgs_x_lazy: f64,
+}
+
+/// Runs the Table 3 characterization: the four adaptive algorithms on
+/// barnes at `accesses` per core, against a Lazy baseline.
+///
+/// # Panics
+///
+/// Panics if a simulation fails to configure.
+pub fn table3_rows(accesses: u64) -> Vec<Table3Row> {
+    let workload = profiles::splash2_apps()
+        .into_iter()
+        .next()
+        .expect("barnes")
+        .with_accesses(accesses);
+    let lazy = run_workload(&workload, Algorithm::Lazy, None, SEED).expect("lazy");
+    [
+        Algorithm::Subset,
+        Algorithm::SupersetCon,
+        Algorithm::SupersetAgg,
+        Algorithm::Exact,
+    ]
+    .into_iter()
+    .map(|algorithm| {
+        let s = run_workload(&workload, algorithm, None, SEED).expect("run");
+        Table3Row {
+            algorithm,
+            false_positives: s.accuracy.false_positives,
+            false_negatives: s.accuracy.false_negatives,
+            snoops_per_request: s.snoops_per_read(),
+            snoops_vs_lazy: s.snoops_per_read() - lazy.snoops_per_read(),
+            msgs_x_lazy: s.ring_hops_per_read() / lazy.ring_hops_per_read(),
+        }
+    })
+    .collect()
+}
+
+/// Renders Table 1 rows in the paper's layout (measured values with the
+/// analytical expectations in parentheses).
+pub fn render_table1(rows: &[Table1Row]) -> flexsnoop_metrics::Table {
+    let mut table = flexsnoop_metrics::Table::with_columns(&[
+        "algorithm",
+        "snoops/request (paper)",
+        "ring msgs/request, x Lazy (paper)",
+        "mean unloaded latency [cyc]",
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.algorithm.to_string(),
+            format!("{:.2}  ({})", r.snoops_per_request, r.paper_snoops),
+            format!("{:.2}  ({})", r.msgs_x_lazy, r.paper_msgs),
+            format!("{:.0}", r.mean_read_latency),
+        ]);
+    }
+    table
+}
+
+/// Renders Table 3 rows in the paper's layout.
+pub fn render_table3(rows: &[Table3Row]) -> flexsnoop_metrics::Table {
+    let mut table = flexsnoop_metrics::Table::with_columns(&[
+        "algorithm",
+        "FP observed",
+        "FN observed",
+        "snoops/request",
+        "vs Lazy",
+        "msgs/request (x Lazy)",
+    ]);
+    for r in rows {
+        table.row(vec![
+            r.algorithm.to_string(),
+            r.false_positives.to_string(),
+            r.false_negatives.to_string(),
+            format!("{:.2}", r.snoops_per_request),
+            format!("{:+.2}", r.snoops_vs_lazy),
+            format!("{:.2}", r.msgs_x_lazy),
+        ]);
+    }
+    table
+}
 
 /// The three Subset predictor sizes of §5.2.
 pub const SUBSET_CONFIGS: [(&str, PredictorSpec); 3] = [
@@ -50,7 +195,17 @@ pub fn figure10_sweep(
     configs: &[(&str, PredictorSpec)],
     accesses: u64,
 ) -> Vec<(String, Vec<(&'static str, f64)>)> {
-    let workloads = profiles::all();
+    figure10_sweep_on(&profiles::all(), algorithm, configs, accesses)
+}
+
+/// [`figure10_sweep`] over an explicit workload subset (used by the
+/// report pipeline's scaled-down self-tests).
+pub fn figure10_sweep_on(
+    workloads: &[flexsnoop_workload::WorkloadProfile],
+    algorithm: Algorithm,
+    configs: &[(&str, PredictorSpec)],
+    accesses: u64,
+) -> Vec<(String, Vec<(&'static str, f64)>)> {
     let mut per_config: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
     for (name, spec) in configs {
         let mut agg = GroupAggregator::new();
@@ -105,7 +260,16 @@ pub fn figure11_accuracy(
     spec: PredictorSpec,
     accesses: u64,
 ) -> Vec<(&'static str, AccuracyStats)> {
-    let workloads = profiles::all();
+    figure11_accuracy_on(&profiles::all(), algorithm, spec, accesses)
+}
+
+/// [`figure11_accuracy`] over an explicit workload subset.
+pub fn figure11_accuracy_on(
+    workloads: &[flexsnoop_workload::WorkloadProfile],
+    algorithm: Algorithm,
+    spec: PredictorSpec,
+    accesses: u64,
+) -> Vec<(&'static str, AccuracyStats)> {
     let mut per_group: Vec<(&'static str, AccuracyStats)> = vec![
         ("SPLASH-2", AccuracyStats::default()),
         ("SPECjbb", AccuracyStats::default()),
@@ -145,6 +309,32 @@ mod tests {
         for (group, v) in &rows[1].1 {
             assert!((v - 1.0).abs() < 1e-12, "{group}: {v}");
         }
+    }
+
+    #[test]
+    fn table1_matches_paper_shape() {
+        let rows = table1_rows(400);
+        assert_eq!(rows.len(), 3);
+        let lazy = &rows[0];
+        let eager = &rows[1];
+        let oracle = &rows[2];
+        assert!((lazy.msgs_x_lazy - 1.0).abs() < 1e-12);
+        assert!(eager.snoops_per_request > lazy.snoops_per_request);
+        assert!(oracle.snoops_per_request < lazy.snoops_per_request);
+        assert_eq!(render_table1(&rows).render().lines().count(), 3 + 2);
+    }
+
+    #[test]
+    fn table3_error_classes_hold() {
+        let rows = table3_rows(500);
+        assert_eq!(rows.len(), 4);
+        let by_alg = |a: Algorithm| rows.iter().find(|r| r.algorithm == a).unwrap();
+        assert_eq!(by_alg(Algorithm::Subset).false_positives, 0);
+        assert_eq!(by_alg(Algorithm::SupersetCon).false_negatives, 0);
+        assert_eq!(by_alg(Algorithm::SupersetAgg).false_negatives, 0);
+        assert_eq!(by_alg(Algorithm::Exact).false_positives, 0);
+        assert_eq!(by_alg(Algorithm::Exact).false_negatives, 0);
+        assert_eq!(render_table3(&rows).render().lines().count(), 4 + 2);
     }
 
     #[test]

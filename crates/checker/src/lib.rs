@@ -361,6 +361,29 @@ fn first_snapshot_diff(a: &Snapshot, b: &Snapshot) -> Option<String> {
 
 /// Runs the full differential matrix for one workload profile.
 ///
+/// The same recorded trace drives every ring configuration *and* the
+/// directory baseline on identical hardware, the comparison at the heart
+/// of `examples/ring_vs_directory.rs`:
+///
+/// ```
+/// use flexsnoop_checker::{run_differential, DiffOptions};
+/// use flexsnoop_workload::profiles;
+///
+/// # fn main() -> Result<(), String> {
+/// let opts = DiffOptions {
+///     accesses_per_core: 60,
+///     threads: 1,
+///     ..DiffOptions::default()
+/// };
+/// let report = run_differential(&profiles::specjbb(), 77, &opts)?;
+/// // 4 Table 3 algorithms × 2 queue backends × 2 executor widths, all
+/// // bit-identical, invariant-clean, and consistent with the directory.
+/// assert_eq!(report.ring_runs, 16);
+/// assert!(report.is_clean(), "{}", report.render());
+/// # Ok(())
+/// # }
+/// ```
+///
 /// # Errors
 ///
 /// Returns a message if a simulator rejects the configuration (the

@@ -17,6 +17,8 @@ pub enum Command {
     Replay,
     /// Run the directory-protocol baseline on one workload.
     Directory,
+    /// Regenerate the paper-figure report and JSON artifacts.
+    Report,
     /// Print usage.
     Help,
 }
@@ -46,6 +48,15 @@ pub struct Args {
     pub out: String,
     /// `--csv` flag.
     pub csv: bool,
+    /// `--smoke` flag for `report`: the fast scale the committed
+    /// `results/report.md` is generated at.
+    pub smoke: bool,
+    /// `--probe` flag for `report`: attach observability counters to the
+    /// JSON artifacts.
+    pub probe: bool,
+    /// `--check` flag for `report`: compare against the committed report
+    /// instead of writing.
+    pub check: bool,
     /// `--threads` worker-pool size for parallel sweeps (0 = auto: the
     /// machine's available parallelism).
     pub threads: usize,
@@ -65,6 +76,9 @@ impl Default for Args {
             trace: String::new(),
             out: String::new(),
             csv: false,
+            smoke: false,
+            probe: false,
+            check: false,
             threads: 0,
         }
     }
@@ -91,13 +105,30 @@ impl Args {
             "trace" => Command::Trace,
             "replay" => Command::Replay,
             "directory" => Command::Directory,
+            "report" => Command::Report,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(format!("unknown command {other:?}; try `flexsnoop help`")),
         };
         while let Some(key) = it.next() {
-            if key == "--csv" {
-                args.csv = true;
-                continue;
+            // Boolean flags take no value.
+            match key.as_str() {
+                "--csv" => {
+                    args.csv = true;
+                    continue;
+                }
+                "--smoke" => {
+                    args.smoke = true;
+                    continue;
+                }
+                "--probe" => {
+                    args.probe = true;
+                    continue;
+                }
+                "--check" => {
+                    args.check = true;
+                    continue;
+                }
+                _ => {}
             }
             let value = it
                 .next()

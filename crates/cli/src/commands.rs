@@ -213,6 +213,49 @@ pub fn directory(args: &Args) -> Result<String, String> {
     })
 }
 
+/// `flexsnoop report`: the one-command paper-figure reproduction pipeline.
+///
+/// Runs the Figure 6–11 and Table 1/3 sweep matrix, then either writes
+/// `report.md` plus the `bench_*.json` artifacts (default) or, with
+/// `--check`, compares the regenerated report against the committed copy
+/// and fails if it is stale.
+pub fn report(args: &Args) -> Result<String, String> {
+    let mut opts = if args.smoke {
+        flexsnoop_report::ReportOptions::smoke()
+    } else {
+        flexsnoop_report::ReportOptions::full()
+    };
+    opts.probe = args.probe;
+    if !args.out.is_empty() {
+        opts.out_dir = std::path::PathBuf::from(&args.out);
+    }
+    report_with(&opts, args.check)
+}
+
+fn report_with(opts: &flexsnoop_report::ReportOptions, check: bool) -> Result<String, String> {
+    let generated = flexsnoop_report::generate(opts);
+    if check {
+        generated.check(&opts.out_dir)?;
+        Ok(format!(
+            "{} is up to date\n\n{}",
+            opts.out_dir.join("report.md").display(),
+            generated.summary
+        ))
+    } else {
+        generated.write(&opts.out_dir)?;
+        let mut out = format!("wrote {}\n", opts.out_dir.join("report.md").display());
+        for artifact in &generated.artifacts {
+            out.push_str(&format!(
+                "wrote {}\n",
+                opts.out_dir.join(&artifact.filename).display()
+            ));
+        }
+        out.push('\n');
+        out.push_str(&generated.summary);
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +307,58 @@ mod tests {
     #[test]
     fn replay_requires_trace_file() {
         assert!(replay(&base_args()).unwrap_err().contains("--trace"));
+    }
+
+    #[test]
+    fn report_write_then_check_roundtrip() {
+        // A tiny matrix keeps this test fast in debug builds; the report
+        // crate's own tests cover the full section set.
+        let workloads: Vec<_> = profiles::all()
+            .into_iter()
+            .filter(|p| p.name == "specjbb")
+            .collect();
+        assert_eq!(workloads.len(), 1);
+        let dir = std::env::temp_dir().join("flexsnoop-cli-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = flexsnoop_report::ReportOptions {
+            scale: flexsnoop_report::ReportScale {
+                figure_accesses: 60,
+                table1_accesses: 60,
+                table3_accesses: 60,
+            },
+            probe: true,
+            out_dir: dir.clone(),
+            workloads: Some(workloads),
+        };
+        let wrote = report_with(&opts, false).unwrap();
+        assert!(wrote.contains("report.md"), "{wrote}");
+        assert!(wrote.contains("bench_fig6.json"), "{wrote}");
+        let checked = report_with(&opts, true).unwrap();
+        assert!(checked.contains("up to date"), "{checked}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_check_flags_missing_report() {
+        let dir = std::env::temp_dir().join("flexsnoop-cli-report-missing");
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = flexsnoop_report::ReportOptions {
+            scale: flexsnoop_report::ReportScale {
+                figure_accesses: 60,
+                table1_accesses: 60,
+                table3_accesses: 60,
+            },
+            probe: false,
+            out_dir: dir,
+            workloads: Some(
+                profiles::all()
+                    .into_iter()
+                    .filter(|p| p.name == "specjbb")
+                    .collect(),
+            ),
+        };
+        let err = report_with(&opts, true).unwrap_err();
+        assert!(err.contains("report.md"), "{err}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! flexsnoop timeline --workload specweb --algorithm lazy --transactions 3
 //! flexsnoop trace    --workload specjbb --accesses 2000 --out trace.txt
 //! flexsnoop replay   --trace trace.txt --algorithm eager
+//! flexsnoop report   --smoke --probe
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency): every option is a
@@ -40,6 +41,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Trace => commands::trace(&args),
         Command::Replay => commands::replay(&args),
         Command::Directory => commands::directory(&args),
+        Command::Report => commands::report(&args),
         Command::Help => Ok(usage()),
     }
 }
@@ -60,6 +62,7 @@ COMMANDS:
     trace       Record a workload's access trace to a file
     replay      Replay a recorded trace under one algorithm
     directory   Run the directory-protocol baseline (crates/directory)
+    report      Regenerate results/report.md and the bench_*.json artifacts
     help        Show this message
 
 OPTIONS (where applicable):
@@ -71,8 +74,11 @@ OPTIONS (where applicable):
     --nodes N            CMP nodes on the ring [8]
     --transactions N     Transactions to record for `timeline` [3]
     --trace FILE         Trace file for `replay`
-    --out FILE           Output file for `trace`
+    --out PATH           Output file for `trace`; output dir for `report` [results]
     --csv                Emit CSV instead of an aligned table
+    --smoke              `report`: fast scale (the committed report.md scale)
+    --probe              `report`: attach observability counters to artifacts
+    --check              `report`: fail if the committed report.md is stale
     --threads N          Worker threads for parallel runs [machine parallelism]
 "
     .to_string()

@@ -33,6 +33,7 @@
 //! | [`algorithm`] | The snooping algorithms and Table 2 primitives. |
 //! | [`message`] | Ring message representation (request / reply / combined R/R). |
 //! | [`sim`] | The discrete-event machine simulator. |
+//! | [`probe`] | Run-level observability hooks ([`probe::Probe`]). |
 //! | [`stats`] | Per-run statistics (every figure's raw quantities). |
 //! | [`experiments`] | Multi-run helpers used by benches and examples. |
 //!
@@ -42,12 +43,15 @@
 //! predictors), `flexsnoop-workload` (synthetic workloads) and
 //! `flexsnoop-metrics` (statistics and the energy model).
 
+#![warn(missing_docs)]
+
 pub mod algorithm;
 pub mod arena;
 pub mod config;
 pub mod experiments;
 pub mod message;
 pub mod oracle;
+pub mod probe;
 pub mod sim;
 #[cfg(test)]
 mod sim_tests;
@@ -59,6 +63,7 @@ pub use config::MachineConfig;
 pub use experiments::{run_algorithms, run_workload, GroupAggregator, VecStream};
 pub use message::{MsgKind, ReplyInfo, RingMsg, TxnId, TxnOp};
 pub use oracle::{ProtocolMutation, Violation};
+pub use probe::{CountingProbe, Probe, ProbeReport};
 pub use sim::{energy_model_for, Simulator};
 pub use stats::RunStats;
 pub use timeline::{Timeline, TxnEvent};

@@ -1,0 +1,278 @@
+//! Run-level observability probes.
+//!
+//! A [`Probe`] is a sink for fine-grained events the simulators emit while
+//! running: which Table 2 primitive each node picked, presence-filter
+//! outcomes on writes, predictor activity, per-hop ring latency, and event
+//! queue depth. Every hook has a no-op default, so a probe implementation
+//! only pays for what it observes, and a simulator with no probe installed
+//! pays a single branch per hook site.
+//!
+//! [`CountingProbe`] is the built-in implementation: it aggregates every
+//! hook into a [`ProbeReport`] that the CLI's `--probe` flag surfaces in
+//! the JSON benchmark artifacts.
+//!
+//! # Example
+//!
+//! ```
+//! use flexsnoop::{Algorithm, Simulator};
+//! use flexsnoop_workload::profiles;
+//!
+//! # fn main() -> Result<(), String> {
+//! let workload = profiles::uniform_microbench(8, 50);
+//! let mut sim = Simulator::for_workload(&workload, Algorithm::SupersetCon, None, 7)?;
+//! sim.enable_probe();
+//! let stats = sim.run();
+//! let report = sim.probe_report().expect("probe was enabled");
+//! // Every dispatched event was observed.
+//! assert_eq!(report.events, stats.events);
+//! // SupersetCon consults its predictor at every open read request.
+//! assert!(report.predictor_lookups > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use flexsnoop_engine::Cycles;
+use flexsnoop_metrics::Histogram;
+
+use crate::algorithm::SnoopAction;
+
+/// A sink for run-level observability events.
+///
+/// All methods have no-op defaults; implement only the hooks you care
+/// about. The simulators call these from their hot paths, so
+/// implementations should be cheap — counters, not I/O.
+pub trait Probe: Send {
+    /// An open read request-carrier arrived at a node and the algorithm
+    /// chose `action` (one of the Table 2 primitives).
+    fn snoop_action(&mut self, action: SnoopAction) {
+        let _ = action;
+    }
+
+    /// A write invalidation consulted the presence filter at a node;
+    /// `skipped` is true when the filter proved absence and the snoop was
+    /// elided (§5.3 extension). Only fired when write filtering is on.
+    fn write_filter(&mut self, skipped: bool) {
+        let _ = skipped;
+    }
+
+    /// A supplier predictor was consulted for an open read request;
+    /// `positive` is its answer.
+    fn predictor_lookup(&mut self, positive: bool) {
+        let _ = positive;
+    }
+
+    /// Total predictor training operations, reported once per node at the
+    /// end of the run (trainings happen inside the predictor and are
+    /// cheapest to total from its own counters).
+    fn predictor_trained(&mut self, count: u64) {
+        let _ = count;
+    }
+
+    /// A message traversed one ring link; `latency` is the full
+    /// leave-to-arrival time including link contention.
+    fn ring_hop(&mut self, latency: Cycles) {
+        let _ = latency;
+    }
+
+    /// An event was dispatched; `queue_depth` is the number of events
+    /// still pending afterwards.
+    fn event_dispatched(&mut self, queue_depth: usize) {
+        let _ = queue_depth;
+    }
+
+    /// The aggregated report, if this probe produces one.
+    ///
+    /// The default returns `None`; [`CountingProbe`] overrides it. This
+    /// lets [`Simulator::probe_report`](crate::Simulator::probe_report)
+    /// work through the trait object without downcasting.
+    fn report(&self) -> Option<ProbeReport> {
+        None
+    }
+}
+
+/// Aggregated observability counters from one simulation run.
+///
+/// Produced by [`CountingProbe`]; serialized into the `probe` section of
+/// the JSON benchmark artifacts when the CLI runs with `--probe`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProbeReport {
+    /// Read requests passed through without snooping (`forward`).
+    pub forwards: u64,
+    /// Read requests forwarded in parallel with a snoop
+    /// (`forward then snoop`).
+    pub forward_then_snoop: u64,
+    /// Read requests held until the local snoop finished
+    /// (`snoop then forward`).
+    pub snoop_then_forward: u64,
+    /// Write invalidations skipped because the presence filter proved
+    /// absence.
+    pub write_filter_hits: u64,
+    /// Write invalidations that had to snoop despite the presence filter.
+    pub write_filter_misses: u64,
+    /// Supplier-predictor consultations on the read path.
+    pub predictor_lookups: u64,
+    /// Consultations that predicted a resident supplier.
+    pub predictor_positive: u64,
+    /// Predictor training operations across all nodes.
+    pub predictor_trains: u64,
+    /// Events dispatched by the scheduler.
+    pub events: u64,
+    /// Highest pending-event count observed after any dispatch.
+    pub queue_depth_high_water: usize,
+    /// Leave-to-arrival latency of every ring hop, in cycles.
+    pub ring_hop_latency: Histogram,
+}
+
+impl ProbeReport {
+    /// Total Table 2 primitive decisions observed on the read path.
+    pub fn total_actions(&self) -> u64 {
+        self.forwards + self.forward_then_snoop + self.snoop_then_forward
+    }
+
+    /// Fraction of presence-filter consultations that elided a write
+    /// snoop (0.0 when write filtering never fired).
+    pub fn write_filter_hit_rate(&self) -> f64 {
+        let total = self.write_filter_hits + self.write_filter_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.write_filter_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of predictor lookups that answered "supplier present"
+    /// (0.0 when the algorithm uses no predictor).
+    pub fn predictor_positive_rate(&self) -> f64 {
+        if self.predictor_lookups == 0 {
+            0.0
+        } else {
+            self.predictor_positive as f64 / self.predictor_lookups as f64
+        }
+    }
+}
+
+/// The built-in [`Probe`]: counts every hook into a [`ProbeReport`].
+#[derive(Debug, Clone, Default)]
+pub struct CountingProbe {
+    report: ProbeReport,
+}
+
+impl CountingProbe {
+    /// Creates a probe with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counters aggregated so far.
+    pub fn snapshot(&self) -> &ProbeReport {
+        &self.report
+    }
+}
+
+impl Probe for CountingProbe {
+    fn snoop_action(&mut self, action: SnoopAction) {
+        match action {
+            SnoopAction::Forward => self.report.forwards += 1,
+            SnoopAction::ForwardThenSnoop => self.report.forward_then_snoop += 1,
+            SnoopAction::SnoopThenForward => self.report.snoop_then_forward += 1,
+        }
+    }
+
+    fn write_filter(&mut self, skipped: bool) {
+        if skipped {
+            self.report.write_filter_hits += 1;
+        } else {
+            self.report.write_filter_misses += 1;
+        }
+    }
+
+    fn predictor_lookup(&mut self, positive: bool) {
+        self.report.predictor_lookups += 1;
+        if positive {
+            self.report.predictor_positive += 1;
+        }
+    }
+
+    fn predictor_trained(&mut self, count: u64) {
+        self.report.predictor_trains += count;
+    }
+
+    fn ring_hop(&mut self, latency: Cycles) {
+        self.report.ring_hop_latency.record(latency.0);
+    }
+
+    fn event_dispatched(&mut self, queue_depth: usize) {
+        self.report.events += 1;
+        if queue_depth > self.report.queue_depth_high_water {
+            self.report.queue_depth_high_water = queue_depth;
+        }
+    }
+
+    fn report(&self) -> Option<ProbeReport> {
+        Some(self.report.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_probe_aggregates_all_hooks() {
+        let mut p = CountingProbe::new();
+        p.snoop_action(SnoopAction::Forward);
+        p.snoop_action(SnoopAction::ForwardThenSnoop);
+        p.snoop_action(SnoopAction::SnoopThenForward);
+        p.snoop_action(SnoopAction::Forward);
+        p.write_filter(true);
+        p.write_filter(false);
+        p.write_filter(true);
+        p.predictor_lookup(true);
+        p.predictor_lookup(false);
+        p.predictor_trained(5);
+        p.ring_hop(Cycles(12));
+        p.ring_hop(Cycles(20));
+        p.event_dispatched(3);
+        p.event_dispatched(7);
+        p.event_dispatched(2);
+        let r = p.report().unwrap();
+        assert_eq!(r.forwards, 2);
+        assert_eq!(r.forward_then_snoop, 1);
+        assert_eq!(r.snoop_then_forward, 1);
+        assert_eq!(r.total_actions(), 4);
+        assert_eq!(r.write_filter_hits, 2);
+        assert_eq!(r.write_filter_misses, 1);
+        assert!((r.write_filter_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.predictor_lookups, 2);
+        assert_eq!(r.predictor_positive, 1);
+        assert!((r.predictor_positive_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(r.predictor_trains, 5);
+        assert_eq!(r.ring_hop_latency.count(), 2);
+        assert_eq!(r.ring_hop_latency.min(), Some(12));
+        assert_eq!(r.ring_hop_latency.max(), Some(20));
+        assert_eq!(r.events, 3);
+        assert_eq!(r.queue_depth_high_water, 7);
+    }
+
+    #[test]
+    fn default_probe_hooks_are_noops() {
+        struct Silent;
+        impl Probe for Silent {}
+        let mut s = Silent;
+        s.snoop_action(SnoopAction::Forward);
+        s.write_filter(true);
+        s.predictor_lookup(false);
+        s.predictor_trained(1);
+        s.ring_hop(Cycles(1));
+        s.event_dispatched(1);
+        assert!(s.report().is_none());
+    }
+
+    #[test]
+    fn rates_are_zero_when_empty() {
+        let r = ProbeReport::default();
+        assert_eq!(r.total_actions(), 0);
+        assert_eq!(r.write_filter_hit_rate(), 0.0);
+        assert_eq!(r.predictor_positive_rate(), 0.0);
+    }
+}

@@ -37,6 +37,7 @@ use crate::arena::TxnArena;
 use crate::config::MachineConfig;
 use crate::message::{MsgKind, ReplyInfo, RingMsg, TxnId, TxnOp};
 use crate::oracle::{ProtocolMutation, Violation};
+use crate::probe::{CountingProbe, Probe, ProbeReport};
 use crate::stats::RunStats;
 use crate::timeline::{Timeline, TxnEvent};
 
@@ -148,6 +149,29 @@ enum Event {
 }
 
 /// The full-machine simulator for one (algorithm, predictor, workload) run.
+///
+/// The typical flow — build from a workload profile, run to completion,
+/// validate, read the statistics — mirrors `examples/quickstart.rs`:
+///
+/// ```
+/// use flexsnoop::{Algorithm, Simulator};
+/// use flexsnoop_workload::profiles;
+///
+/// # fn main() -> Result<(), String> {
+/// let workload = profiles::specweb().with_accesses(150);
+/// let mut stats = Vec::new();
+/// for alg in [Algorithm::Lazy, Algorithm::SupersetAgg] {
+///     let mut sim = Simulator::for_workload(&workload, alg, None, 42)?;
+///     let s = sim.run();
+///     sim.validate_coherence()?;
+///     stats.push(s);
+/// }
+/// // The adaptive algorithm must not snoop more than Lazy's full walk.
+/// assert!(stats[1].snoops_per_read() <= stats[0].snoops_per_read());
+/// assert!(stats.iter().all(|s| s.read_txns > 0 && s.energy_nj() > 0.0));
+/// # Ok(())
+/// # }
+/// ```
 pub struct Simulator {
     cfg: MachineConfig,
     alg: Algorithm,
@@ -179,6 +203,9 @@ pub struct Simulator {
     node_state_pool: Vec<Vec<NodeState>>,
     stats: RunStats,
     timeline: Timeline,
+    /// Observability sink (see [`crate::probe`]); `None` keeps every hook
+    /// site down to one branch.
+    probe: Option<Box<dyn Probe>>,
     /// Per-retirement invariant oracle (see [`crate::oracle`]): on when
     /// [`enable_invariant_checks`](Self::enable_invariant_checks) was
     /// called or the crate was built with `strict-invariants`.
@@ -331,6 +358,7 @@ impl Simulator {
             node_state_pool: Vec::new(),
             stats: RunStats::new(energy),
             timeline: Timeline::disabled(),
+            probe: None,
             checks: cfg!(feature = "strict-invariants"),
             violations: Vec::new(),
             mutation: None,
@@ -442,6 +470,26 @@ impl Simulator {
         &self.timeline
     }
 
+    /// Installs the built-in counting probe (see [`crate::probe`]). Call
+    /// before [`run`](Self::run); read the result with
+    /// [`probe_report`](Self::probe_report) afterwards.
+    pub fn enable_probe(&mut self) {
+        self.probe = Some(Box::new(CountingProbe::new()));
+    }
+
+    /// Installs a caller-supplied observability sink. Call before
+    /// [`run`](Self::run).
+    pub fn set_probe(&mut self, probe: Box<dyn Probe>) {
+        self.probe = Some(probe);
+    }
+
+    /// The aggregated probe counters, if a report-producing probe (such as
+    /// the one installed by [`enable_probe`](Self::enable_probe)) is
+    /// present.
+    pub fn probe_report(&self) -> Option<ProbeReport> {
+        self.probe.as_ref().and_then(|p| p.report())
+    }
+
     /// Write-snoop invalidations skipped by the presence filter (only
     /// non-zero when `policy.write_filtering` is on).
     pub fn write_snoops_filtered(&self) -> u64 {
@@ -539,6 +587,9 @@ impl Simulator {
         }
         while let Some((now, ev)) = self.sched.pop() {
             self.stats.events += 1;
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.event_dispatched(self.sched.len());
+            }
             self.dispatch(now, ev);
         }
         assert_eq!(self.active_cores, 0, "drained queue with cores unfinished");
@@ -552,6 +603,9 @@ impl Simulator {
             self.stats
                 .energy
                 .add(EnergyCategory::PredictorTrain, c.trainings);
+            if let Some(probe) = self.probe.as_deref_mut() {
+                probe.predictor_trained(c.trainings);
+            }
         }
         self.stats.clone()
     }
@@ -796,6 +850,9 @@ impl Simulator {
         );
         let ring_id = self.ring.ring_for(msg.line);
         let arrival = self.ring.send_hop(ring_id, from, leave);
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.ring_hop(arrival - leave);
+        }
         match op {
             TxnOp::Read => self.stats.read_ring_hops += 1,
             TxnOp::Write => self.stats.write_ring_hops += 1,
@@ -886,6 +943,9 @@ impl Simulator {
             let predicted = self.predictors[node.0].predict(line);
             let actual = self.cmps[node.0].supplier_of(line).is_some();
             self.stats.accuracy.record(predicted, actual);
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.predictor_lookup(predicted);
+            }
             self.timeline.record(
                 msg.txn,
                 now,
@@ -916,6 +976,9 @@ impl Simulator {
         } else {
             self.alg.action(false, false)
         };
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.snoop_action(action);
+        }
         match action {
             SnoopAction::Forward => {
                 match acc {
@@ -1162,7 +1225,11 @@ impl Simulator {
                 if self.cfg.policy.write_filtering {
                     proc += self.cfg.timing.predictor_latency;
                     self.stats.energy.add(EnergyCategory::PredictorLookup, 1);
-                    if !self.presence[node.0].may_contain(msg.line) {
+                    let absent = !self.presence[node.0].may_contain(msg.line);
+                    if let Some(p) = self.probe.as_deref_mut() {
+                        p.write_filter(absent);
+                    }
+                    if absent {
                         debug_assert!(!self.cmps[node.0].has_copy(msg.line));
                         self.write_snoops_filtered += 1;
                         match acc {

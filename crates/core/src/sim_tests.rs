@@ -920,3 +920,88 @@ fn injected_false_negative_forces_squash_retry() {
     );
     assert!(stats.accuracy.false_negatives > 0, "faults were recorded");
 }
+
+#[test]
+fn probe_counters_agree_with_run_stats() {
+    let profile = flexsnoop_workload::profiles::specweb().with_accesses(300);
+    let mut sim = Simulator::for_workload(&profile, Algorithm::SupersetAgg, None, 11).unwrap();
+    sim.enable_probe();
+    let stats = sim.run();
+    let report = sim.probe_report().expect("counting probe installed");
+    // Every scheduler dispatch was observed.
+    assert_eq!(report.events, stats.events);
+    // Every ring hop fed one latency sample.
+    assert_eq!(
+        report.ring_hop_latency.count(),
+        stats.read_ring_hops + stats.write_ring_hops
+    );
+    // Each hop takes at least the configured link latency.
+    let hop = sim.config().ring.hop_latency.0;
+    assert!(report.ring_hop_latency.min().unwrap() >= hop);
+    // Predictor lookups at open requests match the accuracy tallies.
+    assert_eq!(report.predictor_lookups, stats.accuracy.total());
+    assert_eq!(
+        report.predictor_positive,
+        stats.accuracy.true_positives + stats.accuracy.false_positives
+    );
+    assert!(report.predictor_trains > 0, "training was reported");
+    // Table 2 primitive decisions were recorded, and the queue was
+    // observed non-trivially deep at least once.
+    assert!(report.total_actions() > 0);
+    assert!(report.queue_depth_high_water > 1);
+}
+
+#[test]
+fn probe_observes_write_filtering() {
+    let mut machine = MachineConfig::isca2006(1);
+    machine.policy.write_filtering = true;
+    let script: &[&[(u64, bool)]] = &[&[(10, RD), (20, WR)], &[(30, RD)]];
+    let total = machine.total_cores();
+    let mut streams: Vec<Box<dyn AccessStream + Send>> = Vec::new();
+    for c in 0..total {
+        let accesses: Vec<MemAccess> = script
+            .get(c)
+            .map(|s| {
+                s.iter()
+                    .map(|&(line, write)| MemAccess {
+                        line: LineAddr(line),
+                        write,
+                        think: Cycles(10),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        streams.push(Box::new(VecStream::new(accesses)));
+    }
+    let alg = Algorithm::SupersetAgg;
+    let predictor = alg.default_predictor();
+    let mut sim = Simulator::new(
+        machine,
+        alg,
+        predictor,
+        energy_model_for(&predictor),
+        streams,
+        2,
+    )
+    .expect("valid scenario");
+    sim.enable_probe();
+    let _ = sim.run();
+    let report = sim.probe_report().unwrap();
+    assert_eq!(
+        report.write_filter_hits,
+        sim.write_snoops_filtered(),
+        "probe and simulator agree on elided write snoops"
+    );
+    assert!(
+        report.write_filter_hits > 0,
+        "an all-idle ring filters some invalidations"
+    );
+}
+
+#[test]
+fn probe_disabled_reports_nothing() {
+    let profile = flexsnoop_workload::profiles::specweb().with_accesses(50);
+    let mut sim = Simulator::for_workload(&profile, Algorithm::Lazy, None, 11).unwrap();
+    let _ = sim.run();
+    assert!(sim.probe_report().is_none());
+}

@@ -4,7 +4,7 @@
 //! indirection-laden — alternative to the embedded-ring design: *"all
 //! transactions on a memory line L are directed to the directory at the
 //! home node of that line … directories introduce a time-consuming
-//! indirection in all transactions [and] the directory itself is a
+//! indirection in all transactions \[and\] the directory itself is a
 //! complicated component."* This crate implements that alternative on the
 //! *same* substrate (cores, L1/L2 caches, 2-D torus, DRAM timing) so the
 //! two serialization approaches can be compared head to head:

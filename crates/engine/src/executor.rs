@@ -27,6 +27,7 @@ use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Locks a deque mutex, ignoring poisoning. The queues only hold plain
 /// data (task closures and indices), which stays structurally intact when
@@ -72,6 +73,45 @@ pub struct Executor {
     threads: usize,
 }
 
+/// What one worker did during a [`Executor::run_with_stats`] batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Tasks this worker completed (own deque, injector, and steals).
+    pub tasks: u64,
+    /// Wall-clock time the worker spent inside task bodies.
+    pub busy: Duration,
+}
+
+/// Per-worker utilization of one [`Executor::run_with_stats`] batch: the
+/// observability view of a sweep — how evenly the work spread, and how much
+/// of the batch's wall-clock each worker actually computed for.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutorStats {
+    /// One entry per worker that participated, in worker order.
+    pub workers: Vec<WorkerStats>,
+    /// Wall-clock duration of the whole batch (distribution to last join).
+    pub wall: Duration,
+}
+
+impl ExecutorStats {
+    /// Total tasks completed across all workers.
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Mean worker utilization: busy time over the batch's wall-clock,
+    /// averaged across workers (1.0 = every worker computed the whole
+    /// time; 0 for an empty batch).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.workers.is_empty() || self.wall.is_zero() {
+            return 0.0;
+        }
+        let wall = self.wall.as_secs_f64();
+        let busy: f64 = self.workers.iter().map(|w| w.busy.as_secs_f64()).sum();
+        (busy / wall / self.workers.len() as f64).min(1.0)
+    }
+}
+
 impl Executor {
     /// A pool of exactly `threads` workers (clamped to at least 1).
     pub fn new(threads: usize) -> Self {
@@ -107,10 +147,57 @@ impl Executor {
         T: Send,
         F: FnOnce() -> T + Send,
     {
+        self.run_inner(tasks, false).0
+    }
+
+    /// Like [`run`](Self::run), but also reports per-worker utilization
+    /// (task counts and busy time). The instrumentation costs two
+    /// monotonic-clock reads per task — noise next to the simulations the
+    /// pool exists to sweep — and is only paid when this entry point is
+    /// used.
+    ///
+    /// # Panics
+    ///
+    /// Propagates task panics exactly as [`run`](Self::run) does.
+    pub fn run_with_stats<T, F>(&self, tasks: Vec<F>) -> (Vec<T>, ExecutorStats)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let (out, stats) = self.run_inner(tasks, true);
+        (out, stats.expect("instrumented run always yields stats"))
+    }
+
+    fn run_inner<T, F>(&self, tasks: Vec<F>, instrument: bool) -> (Vec<T>, Option<ExecutorStats>)
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
         let n = tasks.len();
         let workers = self.threads.min(n);
         if workers <= 1 {
-            return tasks.into_iter().map(|f| f()).collect();
+            if !instrument {
+                return (tasks.into_iter().map(|f| f()).collect(), None);
+            }
+            let batch_start = Instant::now();
+            let mut stats = WorkerStats::default();
+            let out = tasks
+                .into_iter()
+                .map(|f| {
+                    let t0 = Instant::now();
+                    let value = f();
+                    stats.busy += t0.elapsed();
+                    stats.tasks += 1;
+                    value
+                })
+                .collect();
+            return (
+                out,
+                Some(ExecutorStats {
+                    workers: vec![stats],
+                    wall: batch_start.elapsed(),
+                }),
+            );
         }
         // Pre-distribute round-robin so every worker starts busy; the
         // shared injector takes spillover (empty here, but it is the
@@ -121,34 +208,48 @@ impl Executor {
             locals[i % workers].get_mut().unwrap().push_back((i, task));
         }
         let injector: Mutex<VecDeque<(usize, F)>> = Mutex::new(VecDeque::new());
+        let worker_stats: Mutex<Vec<(usize, WorkerStats)>> = Mutex::new(Vec::new());
         let locals = &locals;
         let injector = &injector;
+        let worker_stats = &worker_stats;
+        let batch_start = Instant::now();
         type TaskResult<T> = Result<T, Box<dyn std::any::Any + Send>>;
         let (tx, rx) = mpsc::channel::<(usize, TaskResult<T>)>();
-        std::thread::scope(|scope| {
+        let out = std::thread::scope(|scope| {
             for w in 0..workers {
                 let tx = tx.clone();
-                scope.spawn(move || loop {
-                    let job = lock_ignore_poison(&locals[w])
-                        .pop_front()
-                        .or_else(|| lock_ignore_poison(injector).pop_front())
-                        .or_else(|| {
-                            (1..workers).find_map(|off| {
-                                lock_ignore_poison(&locals[(w + off) % workers]).pop_back()
-                            })
-                        });
-                    match job {
-                        Some((i, task)) => {
-                            // Capture the panic instead of unwinding through
-                            // the scope: the scope would join every worker
-                            // and surface a cascade of secondary panics that
-                            // masks the original.
-                            let result = catch_unwind(AssertUnwindSafe(task));
-                            if tx.send((i, result)).is_err() {
-                                break;
+                scope.spawn(move || {
+                    let mut mine = WorkerStats::default();
+                    loop {
+                        let job = lock_ignore_poison(&locals[w])
+                            .pop_front()
+                            .or_else(|| lock_ignore_poison(injector).pop_front())
+                            .or_else(|| {
+                                (1..workers).find_map(|off| {
+                                    lock_ignore_poison(&locals[(w + off) % workers]).pop_back()
+                                })
+                            });
+                        match job {
+                            Some((i, task)) => {
+                                // Capture the panic instead of unwinding through
+                                // the scope: the scope would join every worker
+                                // and surface a cascade of secondary panics that
+                                // masks the original.
+                                let t0 = instrument.then(Instant::now);
+                                let result = catch_unwind(AssertUnwindSafe(task));
+                                if let Some(t0) = t0 {
+                                    mine.busy += t0.elapsed();
+                                    mine.tasks += 1;
+                                }
+                                if tx.send((i, result)).is_err() {
+                                    break;
+                                }
                             }
+                            None => break,
                         }
-                        None => break,
+                    }
+                    if instrument {
+                        lock_ignore_poison(worker_stats).push((w, mine));
                     }
                 });
             }
@@ -171,7 +272,18 @@ impl Executor {
             out.into_iter()
                 .map(|slot| slot.expect("worker exited without completing its task"))
                 .collect()
-        })
+        });
+        let stats = instrument.then(|| {
+            let mut per_worker = lock_ignore_poison(worker_stats)
+                .drain(..)
+                .collect::<Vec<_>>();
+            per_worker.sort_by_key(|(w, _)| *w);
+            ExecutorStats {
+                workers: per_worker.into_iter().map(|(_, s)| s).collect(),
+                wall: batch_start.elapsed(),
+            }
+        });
+        (out, stats)
     }
 }
 
@@ -305,6 +417,42 @@ mod tests {
         .expect_err("must panic");
         let msg = caught.downcast_ref::<&str>().copied().unwrap();
         assert_eq!(msg, "panic two");
+    }
+
+    #[test]
+    fn instrumented_run_reports_every_task_once() {
+        for threads in [1, 3] {
+            let tasks: Vec<_> = (0..20u64).map(|i| move || i + 1).collect();
+            let (out, stats) = Executor::new(threads).run_with_stats(tasks);
+            assert_eq!(out, (1..=20u64).collect::<Vec<_>>());
+            assert_eq!(stats.total_tasks(), 20);
+            assert_eq!(stats.workers.len(), threads.min(20));
+            assert!(stats.mean_utilization() >= 0.0 && stats.mean_utilization() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn instrumented_run_measures_busy_time() {
+        let tasks: Vec<_> = (0..4)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    i
+                }
+            })
+            .collect();
+        let (_, stats) = Executor::new(2).run_with_stats(tasks);
+        let busy: Duration = stats.workers.iter().map(|w| w.busy).sum();
+        assert!(busy >= Duration::from_millis(4), "busy = {busy:?}");
+        assert!(stats.wall >= Duration::from_millis(2));
+        assert!(stats.mean_utilization() > 0.0);
+    }
+
+    #[test]
+    fn uninstrumented_stats_are_free() {
+        let (out, stats) = Executor::new(2).run_inner(vec![|| 1, || 2], false);
+        assert_eq!(out, vec![1, 2]);
+        assert!(stats.is_none());
     }
 
     #[test]

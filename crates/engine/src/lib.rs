@@ -31,6 +31,8 @@
 //! assert_eq!((t.as_u64(), ev), (10, "b"));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod executor;
 pub mod fxhash;
 pub mod queue;
@@ -38,7 +40,7 @@ pub mod resource;
 pub mod rng;
 pub mod time;
 
-pub use executor::Executor;
+pub use executor::{Executor, ExecutorStats, WorkerStats};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use queue::{EventQueue, QueueKind};
 pub use resource::Resource;

@@ -9,8 +9,9 @@
 //!
 //! The remaining constants (predictor lookup/training, write-backs,
 //! downgrades) are CACTI-style size-scaled estimates calibrated so that the
-//! paper's qualitative energy ordering holds; they are documented in
-//! EXPERIMENTS.md and overridable per experiment.
+//! paper's qualitative energy ordering holds; the per-constant provenance
+//! is tabulated in EXPERIMENTS.md ("Energy-constant provenance") and every
+//! value is an overridable public field.
 //!
 //! Energy is accounted for **snoop-transaction activity only** — exactly
 //! the scope of Figure 9: snoops, ring messages, predictor activity, and

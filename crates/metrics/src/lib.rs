@@ -7,6 +7,8 @@
 //! * [`table`] — plain-text and CSV table rendering used by the benchmark
 //!   harness to print paper-style rows.
 
+#![warn(missing_docs)]
+
 pub mod energy;
 pub mod stats;
 pub mod table;

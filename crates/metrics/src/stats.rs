@@ -58,13 +58,21 @@ pub fn normalize_to(xs: &[f64], baseline: f64) -> Vec<f64> {
 /// A histogram with power-of-two buckets, used for latency distributions.
 ///
 /// Bucket `i` holds values in `[2^i, 2^(i+1))`; bucket 0 also holds 0.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
     sum: u128,
     min: u64,
     max: u64,
+}
+
+impl Default for Histogram {
+    /// Same as [`Histogram::new`] (a derived default would seed `min`
+    /// with 0 and corrupt the first [`record`](Histogram::record)).
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Histogram {
@@ -135,7 +143,10 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= target.max(1) {
-                return Some(if i == 0 { 0 } else { 1 << i });
+                let floor = if i == 0 { 0 } else { 1 << i };
+                // The bucket floor can undershoot the exact tracked
+                // extremes; clamp so p50 never reads below min.
+                return Some(u64::clamp(floor, self.min, self.max));
             }
         }
         Some(self.max)

@@ -2,7 +2,7 @@
 //!
 //! The paper's implementation-difficulty argument hinges on what happens
 //! when a hardware race corrupts a prediction: *"an unnoticed false
-//! negative in Superset and Exact [means] a request skips the snoop
+//! negative in Superset and Exact \[means\] a request skips the snoop
 //! operation at the CMP that has the line in supplier state; therefore,
 //! execution is incorrect. [An unnoticed false positive in Subset means]
 //! the request unnecessarily snoops a CMP that does not have the line;

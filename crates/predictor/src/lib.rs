@@ -20,6 +20,8 @@
 //! ground truth via [`feedback`](SupplierPredictor::feedback) (which trains
 //! Superset's Exclude cache).
 
+#![warn(missing_docs)]
+
 pub mod accuracy;
 pub mod bloom;
 pub mod exact;

@@ -1,0 +1,320 @@
+//! A minimal, dependency-free JSON emitter.
+//!
+//! The benchmark artifacts must be machine-readable yet byte-stable
+//! across runs, so this module favors determinism over generality:
+//! object keys keep insertion order, floats print with Rust's shortest
+//! round-trip formatting, and an object can be marked *inline* so that
+//! volatile fields (timestamps, wall-clock throughput) collapse onto a
+//! single line that diff tooling can strip with `grep -v`.
+//!
+//! # Example
+//!
+//! ```
+//! use flexsnoop_report::json::Json;
+//!
+//! let doc = Json::obj([
+//!     ("schema", Json::str("demo/v1")),
+//!     ("values", Json::arr([Json::from(1u64), Json::from(2u64)])),
+//! ]);
+//! assert_eq!(
+//!     doc.render(),
+//!     "{\n  \"schema\": \"demo/v1\",\n  \"values\": [1, 2]\n}"
+//! );
+//! ```
+
+use std::fmt::Write as _;
+
+/// A JSON value with deterministic rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A float (non-finite values render as `null`).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys render in insertion order.
+    Obj(Vec<(String, Json)>),
+    /// An object rendered compactly on a single line regardless of
+    /// nesting depth (used for the volatile fields).
+    InlineObj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a single-line object from `(key, value)` pairs.
+    pub fn inline_obj<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::InlineObj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds an array.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent, no
+    /// trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // Shortest round-trip form; force a decimal point so
+                    // consumers always see a float.
+                    let s = format!("{x}");
+                    out.push_str(&s);
+                    if !s.contains(['.', 'e', 'E']) {
+                        out.push_str(".0");
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Arrays of scalars stay on one line; arrays holding any
+                // container break one element per line.
+                let nested = items
+                    .iter()
+                    .any(|i| matches!(i, Json::Arr(_) | Json::Obj(_) | Json::InlineObj(_)));
+                if nested {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        indent(out, depth + 1);
+                        item.write(out, depth + 1);
+                        if i + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    indent(out, depth);
+                    out.push(']');
+                } else {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, depth);
+                    }
+                    out.push(']');
+                }
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            Json::InlineObj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    // Inline propagates: nested containers also render flat.
+                    let mut flat = String::new();
+                    v.write_flat(&mut flat);
+                    out.push_str(&flat);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Writes the value with no newlines at all.
+    fn write_flat(&self, out: &mut String) {
+        match self {
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write_flat(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) | Json::InlineObj(pairs) => {
+                Json::InlineObj(pairs.clone()).write(out, 0);
+            }
+            other => other.write(out, 0),
+        }
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::str(s)
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::from(true).render(), "true");
+        assert_eq!(Json::from(42u64).render(), "42");
+        assert_eq!(Json::Int(-7).render(), "-7");
+        assert_eq!(Json::from(1.5).render(), "1.5");
+        assert_eq!(Json::from(2.0).render(), "2.0", "floats keep a point");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::str("a\"b\n").render(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn scalar_arrays_stay_inline() {
+        let j = Json::arr([Json::from(1u64), Json::from(2u64)]);
+        assert_eq!(j.render(), "[1, 2]");
+    }
+
+    #[test]
+    fn objects_pretty_print_in_insertion_order() {
+        let j = Json::obj([
+            ("z", Json::from(1u64)),
+            ("a", Json::obj([("k", Json::str("v"))])),
+        ]);
+        assert_eq!(
+            j.render(),
+            "{\n  \"z\": 1,\n  \"a\": {\n    \"k\": \"v\"\n  }\n}"
+        );
+    }
+
+    #[test]
+    fn inline_objects_take_one_line() {
+        let j = Json::obj([(
+            "volatile",
+            Json::inline_obj([
+                ("git_sha", Json::str("abc")),
+                ("wall_ms", Json::from(12u64)),
+                ("nested", Json::obj([("x", Json::from(1u64))])),
+            ]),
+        )]);
+        let rendered = j.render();
+        let volatile_line = rendered
+            .lines()
+            .find(|l| l.contains("\"volatile\""))
+            .unwrap();
+        assert!(volatile_line.contains("\"git_sha\": \"abc\""));
+        assert!(volatile_line.contains("\"nested\": {\"x\": 1}"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let build = || {
+            Json::obj([
+                ("rows", Json::arr([Json::obj([("v", Json::from(0.25))])])),
+                ("n", Json::from(3u64)),
+            ])
+        };
+        assert_eq!(build().render(), build().render());
+    }
+}

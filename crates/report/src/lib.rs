@@ -1,0 +1,806 @@
+//! The one-command paper-figure reproduction pipeline.
+//!
+//! [`generate`] runs the full Table 1 / Table 3 / Figure 6–11 sweep
+//! matrix through the shared bounded executor and produces:
+//!
+//! * one versioned JSON artifact per section (`results/bench_<fig>.json`)
+//!   carrying the schema id, a config fingerprint, the measured rows, and
+//!   a single-line `"volatile"` object with the git SHA, timestamp and
+//!   wall-clock throughput — strip it with `grep -v '"volatile":'` to
+//!   diff artifacts across commits;
+//! * the regenerated `results/report.md` with every paper-style table.
+//!
+//! Everything outside the `"volatile"` line is deterministic for a fixed
+//! (scale, seed, workload set), so a second run produces byte-identical
+//! output — that is what the CI staleness check relies on.
+//!
+//! The CLI front door is `flexsnoop report` (see `crates/cli`); `--smoke`
+//! selects [`ReportScale::smoke`], `--probe` attaches the run-level
+//! observability counters of [`flexsnoop::probe`] to the Figure 6
+//! artifact, and `--check` compares the regenerated report against the
+//! committed copy instead of writing.
+
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use flexsnoop::probe::ProbeReport;
+use flexsnoop::Algorithm;
+use flexsnoop_bench::sweeps::{
+    figure10_cases, figure10_sweep_on, figure11_accuracy_on, figure11_configs, render_table1,
+    render_table3, table1_rows, table3_rows,
+};
+use flexsnoop_bench::{
+    aggregate, paper_workloads, render_aggregate, run_matrix_instrumented, CellResult, SEED,
+};
+use flexsnoop_metrics::{Histogram, Table};
+use flexsnoop_workload::WorkloadProfile;
+use json::Json;
+
+/// The artifact schema identifier; bump when the JSON layout changes.
+pub const SCHEMA: &str = "flexsnoop-bench-artifact/v1";
+
+/// How many accesses per core each sweep runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportScale {
+    /// Figure 6–11 sweeps (the paper matrix).
+    pub figure_accesses: u64,
+    /// Table 1 (uniform microbenchmark).
+    pub table1_accesses: u64,
+    /// Table 3 (barnes characterization).
+    pub table3_accesses: u64,
+}
+
+impl ReportScale {
+    /// The smoke scale: every section in well under two minutes, and the
+    /// scale at which the committed `results/report.md` is generated.
+    pub fn smoke() -> Self {
+        Self {
+            figure_accesses: 800,
+            table1_accesses: 800,
+            table3_accesses: 800,
+        }
+    }
+
+    /// The full paper scale (`FIGURE_ACCESSES` for the figures, the
+    /// bench targets' historical scales for the tables).
+    pub fn full() -> Self {
+        Self {
+            figure_accesses: flexsnoop_bench::FIGURE_ACCESSES,
+            table1_accesses: 4_000,
+            table3_accesses: 8_000,
+        }
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{} accesses/core (figures), {} (Table 1), {} (Table 3)",
+            self.figure_accesses, self.table1_accesses, self.table3_accesses
+        )
+    }
+}
+
+/// What to run and where to write it.
+#[derive(Debug, Clone)]
+pub struct ReportOptions {
+    /// Sweep sizes.
+    pub scale: ReportScale,
+    /// Attach per-algorithm probe counters to the Figure 6 artifact.
+    pub probe: bool,
+    /// Output directory for `report.md` and `bench_*.json`.
+    pub out_dir: PathBuf,
+    /// Workload subset override (`None` = the full paper suite). Used by
+    /// the self-tests; the artifacts record which set ran.
+    pub workloads: Option<Vec<WorkloadProfile>>,
+}
+
+impl ReportOptions {
+    /// Smoke-scale options writing to `results/`.
+    pub fn smoke() -> Self {
+        Self {
+            scale: ReportScale::smoke(),
+            probe: false,
+            out_dir: PathBuf::from("results"),
+            workloads: None,
+        }
+    }
+
+    /// Full-scale options writing to `results/`.
+    pub fn full() -> Self {
+        Self {
+            scale: ReportScale::full(),
+            ..Self::smoke()
+        }
+    }
+}
+
+/// One generated artifact: a file name plus its rendered JSON.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// File name relative to the output directory, e.g. `bench_fig6.json`.
+    pub filename: String,
+    /// The rendered JSON document (trailing newline included).
+    pub contents: String,
+}
+
+/// Everything [`generate`] produced, still in memory.
+#[derive(Debug, Clone)]
+pub struct GeneratedReport {
+    /// The regenerated `report.md` contents.
+    pub report_md: String,
+    /// The JSON artifacts in section order.
+    pub artifacts: Vec<Artifact>,
+    /// Human-readable one-line-per-section timing summary.
+    pub summary: String,
+}
+
+impl GeneratedReport {
+    /// Writes `report.md` and every artifact into `out_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the file that failed to write.
+    pub fn write(&self, out_dir: &Path) -> Result<(), String> {
+        std::fs::create_dir_all(out_dir)
+            .map_err(|e| format!("create {}: {e}", out_dir.display()))?;
+        let report_path = out_dir.join("report.md");
+        std::fs::write(&report_path, &self.report_md)
+            .map_err(|e| format!("write {}: {e}", report_path.display()))?;
+        for artifact in &self.artifacts {
+            let path = out_dir.join(&artifact.filename);
+            std::fs::write(&path, &artifact.contents)
+                .map_err(|e| format!("write {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+
+    /// Compares the regenerated `report.md` against the copy on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the committed report is missing or differs
+    /// from regeneration (i.e. it is stale).
+    pub fn check(&self, out_dir: &Path) -> Result<(), String> {
+        let path = out_dir.join("report.md");
+        let committed =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        if committed == self.report_md {
+            return Ok(());
+        }
+        let first_diff = committed
+            .lines()
+            .zip(self.report_md.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| i + 1)
+            .unwrap_or_else(|| {
+                committed
+                    .lines()
+                    .count()
+                    .min(self.report_md.lines().count())
+                    + 1
+            });
+        Err(format!(
+            "{} is stale: first difference at line {first_diff}; \
+             regenerate with `cargo run --release -p flexsnoop-cli -- report --smoke`",
+            path.display()
+        ))
+    }
+}
+
+/// Runs every sweep and assembles the report and artifacts in memory.
+///
+/// # Panics
+///
+/// Panics if any simulation fails to configure (a bug, not an
+/// environment condition).
+pub fn generate(opts: &ReportOptions) -> GeneratedReport {
+    let volatile = VolatileContext::capture();
+    let workloads = opts.workloads.clone().unwrap_or_else(paper_workloads);
+    let scale = opts.scale;
+    let mut sections: Vec<Section> = Vec::new();
+    let mut summary = String::new();
+
+    // Table 1.
+    let t = Instant::now();
+    let t1 = table1_rows(scale.table1_accesses);
+    sections.push(Section {
+        slug: "table1",
+        heading: "Table 1 — baseline algorithm characteristics".into(),
+        body: render_table1(&t1).render(),
+        config: Json::obj([
+            ("seed", Json::from(SEED)),
+            ("accesses_per_core", Json::from(scale.table1_accesses)),
+            ("workload", Json::str("uniform_microbench")),
+        ]),
+        rows: Json::arr(t1.iter().map(|r| {
+            Json::obj([
+                ("algorithm", Json::str(r.algorithm.to_string())),
+                ("snoops_per_request", Json::from(r.snoops_per_request)),
+                ("msgs_x_lazy", Json::from(r.msgs_x_lazy)),
+                ("mean_read_latency", Json::from(r.mean_read_latency)),
+                ("paper_snoops", Json::str(r.paper_snoops)),
+                ("paper_msgs", Json::str(r.paper_msgs)),
+            ])
+        })),
+        extra: Vec::new(),
+        volatile_extra: Vec::new(),
+        wall_ms: t.elapsed().as_millis() as u64,
+    });
+    note(&mut summary, "table1", t.elapsed().as_millis());
+
+    // Table 3.
+    let t = Instant::now();
+    let t3 = table3_rows(scale.table3_accesses);
+    sections.push(Section {
+        slug: "table3",
+        heading: "Table 3 — adaptive algorithm characterization".into(),
+        body: render_table3(&t3).render(),
+        config: Json::obj([
+            ("seed", Json::from(SEED)),
+            ("accesses_per_core", Json::from(scale.table3_accesses)),
+            ("workload", Json::str("barnes")),
+        ]),
+        rows: Json::arr(t3.iter().map(|r| {
+            Json::obj([
+                ("algorithm", Json::str(r.algorithm.to_string())),
+                ("false_positives", Json::from(r.false_positives)),
+                ("false_negatives", Json::from(r.false_negatives)),
+                ("snoops_per_request", Json::from(r.snoops_per_request)),
+                ("snoops_vs_lazy", Json::from(r.snoops_vs_lazy)),
+                ("msgs_x_lazy", Json::from(r.msgs_x_lazy)),
+            ])
+        })),
+        extra: Vec::new(),
+        volatile_extra: Vec::new(),
+        wall_ms: t.elapsed().as_millis() as u64,
+    });
+    note(&mut summary, "table3", t.elapsed().as_millis());
+
+    // Figures 6–9 share one matrix.
+    let t = Instant::now();
+    let algorithms = Algorithm::PAPER_SET;
+    let (cells, exec) = run_matrix_instrumented(
+        &workloads,
+        &algorithms,
+        scale.figure_accesses,
+        SEED,
+        opts.probe,
+    );
+    let matrix_wall = t.elapsed();
+    let matrix_events: u64 = cells.iter().map(|c| c.stats.events).sum();
+    let events_per_sec = matrix_events as f64 / matrix_wall.as_secs_f64().max(1e-9);
+    note(&mut summary, "figure matrix (6-9)", matrix_wall.as_millis());
+
+    let matrix_config = |figure_metric: &str| {
+        Json::obj([
+            ("seed", Json::from(SEED)),
+            ("accesses_per_core", Json::from(scale.figure_accesses)),
+            ("metric", Json::str(figure_metric)),
+            (
+                "algorithms",
+                Json::arr(algorithms.iter().map(|a| Json::str(a.to_string()))),
+            ),
+            (
+                "workloads",
+                Json::arr(workloads.iter().map(|w| Json::str(w.name.clone()))),
+            ),
+        ])
+    };
+    // Throughput and executor utilization are timing-derived, so they
+    // ride the volatile line; the deterministic `events` total stays a
+    // regular field.
+    let matrix_volatile = vec![
+        ("events_per_sec".to_string(), Json::from(events_per_sec)),
+        (
+            "executor".to_string(),
+            Json::inline_obj([
+                ("workers", Json::from(exec.workers.len())),
+                ("tasks", Json::from(exec.total_tasks())),
+                ("mean_utilization", Json::from(exec.mean_utilization())),
+                (
+                    "per_worker",
+                    Json::arr(exec.workers.iter().map(|w| {
+                        Json::inline_obj([
+                            ("tasks", Json::from(w.tasks)),
+                            (
+                                "utilization",
+                                Json::from(if exec.wall.is_zero() {
+                                    0.0
+                                } else {
+                                    (w.busy.as_secs_f64() / exec.wall.as_secs_f64()).min(1.0)
+                                }),
+                            ),
+                        ])
+                    })),
+                ),
+                ("wall_ms", Json::from(exec.wall.as_millis() as u64)),
+            ]),
+        ),
+    ];
+    let matrix_extra = |probe_data: Option<Json>| {
+        let mut extra = vec![("events".to_string(), Json::from(matrix_events))];
+        if let Some(rows) = probe_data {
+            extra.push(("probe".to_string(), rows));
+        }
+        extra
+    };
+
+    type Metric = fn(&flexsnoop::RunStats) -> f64;
+    let figures: [(&'static str, String, Metric, bool); 4] = [
+        (
+            "fig6",
+            "Figure 6 — snoops per read request (absolute)".into(),
+            |s| s.snoops_per_read(),
+            false,
+        ),
+        (
+            "fig7",
+            "Figure 7 — ring read messages (x Lazy)".into(),
+            |s| s.read_ring_hops as f64,
+            true,
+        ),
+        (
+            "fig8",
+            "Figure 8 — execution time (x Lazy)".into(),
+            |s| s.exec_time(),
+            true,
+        ),
+        (
+            "fig9",
+            "Figure 9 — snoop energy (x Lazy)".into(),
+            |s| s.energy_nj(),
+            true,
+        ),
+    ];
+    for (slug, heading, metric, norm) in figures {
+        let agg = aggregate(&cells, &algorithms, metric, norm);
+        let rows = Json::arr(algorithms.iter().map(|alg| {
+            let groups = &agg[&alg.to_string()];
+            let mut pairs = vec![("algorithm".to_string(), Json::str(alg.to_string()))];
+            for (group, v) in groups {
+                pairs.push((group.to_string(), Json::from(*v)));
+            }
+            Json::Obj(pairs)
+        }));
+        // Probe counters ride the Figure 6 artifact: one aggregate per
+        // algorithm across the whole workload suite.
+        let probe_data = (slug == "fig6" && opts.probe).then(|| probe_rows(&cells, &algorithms));
+        sections.push(Section {
+            slug,
+            heading,
+            body: render_aggregate("", &agg, &algorithms)
+                .trim_start_matches('\n')
+                .to_string(),
+            config: matrix_config(slug),
+            rows,
+            extra: matrix_extra(probe_data),
+            volatile_extra: matrix_volatile.clone(),
+            wall_ms: matrix_wall.as_millis() as u64,
+        });
+    }
+
+    // Figure 10.
+    let t = Instant::now();
+    let mut t10 =
+        Table::with_columns(&["algorithm", "predictor", "SPLASH-2", "SPECjbb", "SPECweb"]);
+    let mut f10_rows = Vec::new();
+    for (algorithm, configs) in figure10_cases() {
+        for (name, groups) in
+            figure10_sweep_on(&workloads, algorithm, configs, scale.figure_accesses)
+        {
+            let get = |key: &str| {
+                groups
+                    .iter()
+                    .find(|(k, _)| *k == key)
+                    .map(|(_, v)| format!("{v:.3}"))
+                    .unwrap_or_else(|| "-".into())
+            };
+            t10.row(vec![
+                algorithm.to_string(),
+                name.clone(),
+                get("SPLASH-2"),
+                get("SPECjbb"),
+                get("SPECweb"),
+            ]);
+            let mut pairs = vec![
+                ("algorithm".to_string(), Json::str(algorithm.to_string())),
+                ("predictor".to_string(), Json::str(name)),
+            ];
+            for (group, v) in groups {
+                pairs.push((group.to_string(), Json::from(v)));
+            }
+            f10_rows.push(Json::Obj(pairs));
+        }
+    }
+    sections.push(Section {
+        slug: "fig10",
+        heading: "Figure 10 — predictor-size sensitivity (x the 2K config)".into(),
+        body: t10.render(),
+        config: Json::obj([
+            ("seed", Json::from(SEED)),
+            ("accesses_per_core", Json::from(scale.figure_accesses)),
+            (
+                "workloads",
+                Json::arr(workloads.iter().map(|w| Json::str(w.name.clone()))),
+            ),
+        ]),
+        rows: Json::Arr(f10_rows),
+        extra: Vec::new(),
+        volatile_extra: Vec::new(),
+        wall_ms: t.elapsed().as_millis() as u64,
+    });
+    note(&mut summary, "figure 10", t.elapsed().as_millis());
+
+    // Figure 11.
+    let t = Instant::now();
+    let mut t11 = Table::with_columns(&["predictor", "group", "TP", "TN", "FP", "FN"]);
+    let mut f11_rows = Vec::new();
+    for (name, algorithm, spec) in figure11_configs() {
+        for (group, acc) in figure11_accuracy_on(&workloads, algorithm, spec, scale.figure_accesses)
+        {
+            t11.row(vec![
+                name.to_string(),
+                group.to_string(),
+                format!("{:.3}", acc.fraction_true_positive()),
+                format!("{:.3}", acc.fraction_true_negative()),
+                format!("{:.3}", acc.fraction_false_positive()),
+                format!("{:.3}", acc.fraction_false_negative()),
+            ]);
+            f11_rows.push(Json::obj([
+                ("predictor", Json::str(name)),
+                ("group", Json::str(group)),
+                ("true_positive", Json::from(acc.fraction_true_positive())),
+                ("true_negative", Json::from(acc.fraction_true_negative())),
+                ("false_positive", Json::from(acc.fraction_false_positive())),
+                ("false_negative", Json::from(acc.fraction_false_negative())),
+            ]));
+        }
+    }
+    sections.push(Section {
+        slug: "fig11",
+        heading: "Figure 11 — predictor accuracy".into(),
+        body: t11.render(),
+        config: Json::obj([
+            ("seed", Json::from(SEED)),
+            ("accesses_per_core", Json::from(scale.figure_accesses)),
+            (
+                "workloads",
+                Json::arr(workloads.iter().map(|w| Json::str(w.name.clone()))),
+            ),
+        ]),
+        rows: Json::Arr(f11_rows),
+        extra: Vec::new(),
+        volatile_extra: Vec::new(),
+        wall_ms: t.elapsed().as_millis() as u64,
+    });
+    note(&mut summary, "figure 11", t.elapsed().as_millis());
+
+    // Assemble report.md (deterministic: no timings, no SHA).
+    let mut report_md = String::new();
+    let _ = writeln!(
+        report_md,
+        "# flexsnoop measured report\n\nSeed {SEED}; {}.\n\nGenerated by \
+         `flexsnoop report` — do not hand-edit; see the matching \
+         `bench_*.json` artifacts for machine-readable rows.\n",
+        scale.label()
+    );
+    for section in &sections {
+        let _ = writeln!(report_md, "## {}\n\n```", section.heading);
+        let _ = write!(report_md, "{}", section.body);
+        let _ = writeln!(report_md, "```\n");
+    }
+
+    let artifacts = sections.iter().map(|s| s.to_artifact(&volatile)).collect();
+
+    GeneratedReport {
+        report_md,
+        artifacts,
+        summary,
+    }
+}
+
+/// One report section, pre-assembly.
+struct Section {
+    slug: &'static str,
+    heading: String,
+    body: String,
+    config: Json,
+    rows: Json,
+    /// Deterministic extra top-level fields (e.g. `events`, `probe`).
+    extra: Vec<(String, Json)>,
+    /// Timing-derived fields appended to the single-line volatile object.
+    volatile_extra: Vec<(String, Json)>,
+    wall_ms: u64,
+}
+
+impl Section {
+    fn to_artifact(&self, volatile: &VolatileContext) -> Artifact {
+        let fingerprint = {
+            let canonical = format!("{SCHEMA}/{}/{}", self.slug, self.config.render());
+            format!("{:016x}", fnv1a64(canonical.as_bytes()))
+        };
+        let mut config_pairs = match &self.config {
+            Json::Obj(pairs) => pairs.clone(),
+            other => vec![("value".to_string(), other.clone())],
+        };
+        config_pairs.push(("fingerprint".to_string(), Json::Str(fingerprint)));
+        let mut volatile_pairs = vec![
+            ("git_sha".to_string(), Json::str(volatile.git_sha.clone())),
+            (
+                "generated_unix_ms".to_string(),
+                Json::from(volatile.unix_ms),
+            ),
+            ("wall_ms".to_string(), Json::from(self.wall_ms)),
+        ];
+        volatile_pairs.extend(self.volatile_extra.iter().cloned());
+        let mut doc = vec![
+            ("schema".to_string(), Json::str(SCHEMA)),
+            ("figure".to_string(), Json::str(self.slug)),
+            ("title".to_string(), Json::str(self.heading.clone())),
+            ("config".to_string(), Json::Obj(config_pairs)),
+            ("volatile".to_string(), Json::InlineObj(volatile_pairs)),
+        ];
+        for (k, v) in &self.extra {
+            doc.push((k.clone(), v.clone()));
+        }
+        doc.push(("rows".to_string(), self.rows.clone()));
+        Artifact {
+            filename: format!("bench_{}.json", self.slug),
+            contents: format!("{}\n", Json::Obj(doc).render()),
+        }
+    }
+}
+
+/// Fields that legitimately change between runs of identical code.
+struct VolatileContext {
+    git_sha: String,
+    unix_ms: u64,
+}
+
+impl VolatileContext {
+    fn capture() -> Self {
+        let git_sha = std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".into());
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        Self { git_sha, unix_ms }
+    }
+}
+
+/// Per-algorithm probe aggregates across the whole matrix.
+fn probe_rows(cells: &[CellResult], algorithms: &[Algorithm]) -> Json {
+    Json::arr(algorithms.iter().map(|&alg| {
+        let mut total = ProbeReport::default();
+        for cell in cells.iter().filter(|c| c.algorithm == alg) {
+            let Some(p) = &cell.probe else { continue };
+            total.forwards += p.forwards;
+            total.forward_then_snoop += p.forward_then_snoop;
+            total.snoop_then_forward += p.snoop_then_forward;
+            total.write_filter_hits += p.write_filter_hits;
+            total.write_filter_misses += p.write_filter_misses;
+            total.predictor_lookups += p.predictor_lookups;
+            total.predictor_positive += p.predictor_positive;
+            total.predictor_trains += p.predictor_trains;
+            total.events += p.events;
+            total.queue_depth_high_water =
+                total.queue_depth_high_water.max(p.queue_depth_high_water);
+            total.ring_hop_latency.merge(&p.ring_hop_latency);
+        }
+        let mut pairs = vec![("algorithm".to_string(), Json::str(alg.to_string()))];
+        match probe_json(&total) {
+            Json::Obj(fields) => pairs.extend(fields),
+            other => pairs.push(("probe".to_string(), other)),
+        }
+        Json::Obj(pairs)
+    }))
+}
+
+/// Serializes one [`ProbeReport`] (deterministic: counters only).
+fn probe_json(p: &ProbeReport) -> Json {
+    Json::obj([
+        ("forwards", Json::from(p.forwards)),
+        ("forward_then_snoop", Json::from(p.forward_then_snoop)),
+        ("snoop_then_forward", Json::from(p.snoop_then_forward)),
+        ("write_filter_hits", Json::from(p.write_filter_hits)),
+        ("write_filter_misses", Json::from(p.write_filter_misses)),
+        ("predictor_lookups", Json::from(p.predictor_lookups)),
+        ("predictor_positive", Json::from(p.predictor_positive)),
+        ("predictor_trains", Json::from(p.predictor_trains)),
+        ("events", Json::from(p.events)),
+        (
+            "queue_depth_high_water",
+            Json::from(p.queue_depth_high_water),
+        ),
+        ("ring_hop_latency", histogram_json(&p.ring_hop_latency)),
+    ])
+}
+
+/// Serializes a latency histogram as its summary statistics.
+fn histogram_json(h: &Histogram) -> Json {
+    Json::inline_obj([
+        ("count", Json::from(h.count())),
+        ("mean", Json::from(h.mean())),
+        ("min", h.min().map(Json::UInt).unwrap_or(Json::Null)),
+        ("max", h.max().map(Json::UInt).unwrap_or(Json::Null)),
+        (
+            "p50",
+            h.percentile(0.50).map(Json::UInt).unwrap_or(Json::Null),
+        ),
+        (
+            "p95",
+            h.percentile(0.95).map(Json::UInt).unwrap_or(Json::Null),
+        ),
+        (
+            "p99",
+            h.percentile(0.99).map(Json::UInt).unwrap_or(Json::Null),
+        ),
+    ])
+}
+
+fn note(summary: &mut String, what: &str, ms: u128) {
+    let _ = writeln!(summary, "{what}: {ms} ms");
+}
+
+/// FNV-1a 64-bit, used for the config fingerprint (stable across runs
+/// and platforms; not cryptographic).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Strips every line carrying a `"volatile"` object, for byte-comparing
+/// two artifacts across runs or commits.
+pub fn strip_volatile(artifact: &str) -> String {
+    artifact
+        .lines()
+        .filter(|l| !l.trim_start().starts_with("\"volatile\":"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsnoop_workload::profiles;
+
+    fn tiny_options() -> ReportOptions {
+        ReportOptions {
+            scale: ReportScale {
+                figure_accesses: 60,
+                table1_accesses: 60,
+                table3_accesses: 60,
+            },
+            probe: false,
+            out_dir: PathBuf::from("results"),
+            workloads: Some(vec![profiles::specjbb(), profiles::specweb()]),
+        }
+    }
+
+    #[test]
+    fn generates_eight_sections_and_artifacts() {
+        let report = generate(&tiny_options());
+        assert_eq!(report.artifacts.len(), 8);
+        assert_eq!(report.report_md.matches("\n## ").count(), 8);
+        let names: Vec<&str> = report
+            .artifacts
+            .iter()
+            .map(|a| a.filename.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "bench_table1.json",
+                "bench_table3.json",
+                "bench_fig6.json",
+                "bench_fig7.json",
+                "bench_fig8.json",
+                "bench_fig9.json",
+                "bench_fig10.json",
+                "bench_fig11.json",
+            ]
+        );
+        for a in &report.artifacts {
+            assert!(a.contents.contains(SCHEMA), "{} has schema", a.filename);
+            assert!(
+                a.contents.contains("\"fingerprint\""),
+                "{} has fingerprint",
+                a.filename
+            );
+            let volatile_lines = a
+                .contents
+                .lines()
+                .filter(|l| l.contains("\"volatile\":"))
+                .count();
+            assert_eq!(volatile_lines, 1, "{} volatile is one line", a.filename);
+        }
+    }
+
+    #[test]
+    fn regeneration_is_deterministic_modulo_volatile() {
+        let opts = tiny_options();
+        let a = generate(&opts);
+        let b = generate(&opts);
+        assert_eq!(a.report_md, b.report_md);
+        for (x, y) in a.artifacts.iter().zip(&b.artifacts) {
+            assert_eq!(
+                strip_volatile(&x.contents),
+                strip_volatile(&y.contents),
+                "{} deterministic",
+                x.filename
+            );
+        }
+    }
+
+    #[test]
+    fn probe_lands_in_fig6_artifact() {
+        let mut opts = tiny_options();
+        opts.probe = true;
+        let report = generate(&opts);
+        let fig6 = report
+            .artifacts
+            .iter()
+            .find(|a| a.filename == "bench_fig6.json")
+            .unwrap();
+        assert!(fig6.contents.contains("\"probe\":"));
+        assert!(fig6.contents.contains("\"ring_hop_latency\":"));
+        let fig7 = report
+            .artifacts
+            .iter()
+            .find(|a| a.filename == "bench_fig7.json")
+            .unwrap();
+        assert!(!fig7.contents.contains("\"probe\":"));
+    }
+
+    #[test]
+    fn check_detects_staleness_and_write_round_trips() {
+        let dir =
+            std::env::temp_dir().join(format!("flexsnoop-report-test-{}", std::process::id()));
+        let report = generate(&tiny_options());
+        report.write(&dir).expect("write");
+        report.check(&dir).expect("fresh copy passes");
+        std::fs::write(dir.join("report.md"), "tampered").unwrap();
+        let err = report.check(&dir).expect_err("stale copy fails");
+        assert!(err.contains("stale"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_tracks_config_changes() {
+        let opts = tiny_options();
+        let a = generate(&opts);
+        let mut opts2 = opts.clone();
+        opts2.scale.figure_accesses = 80;
+        let b = generate(&opts2);
+        let fp = |r: &GeneratedReport, name: &str| {
+            r.artifacts
+                .iter()
+                .find(|a| a.filename == name)
+                .unwrap()
+                .contents
+                .lines()
+                .find(|l| l.contains("\"fingerprint\""))
+                .unwrap()
+                .to_string()
+        };
+        assert_ne!(fp(&a, "bench_fig6.json"), fp(&b, "bench_fig6.json"));
+        // Table 1's scale did not change, so its fingerprint is stable.
+        assert_eq!(fp(&a, "bench_table1.json"), fp(&b, "bench_table1.json"));
+    }
+}

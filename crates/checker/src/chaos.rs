@@ -1,0 +1,644 @@
+//! Seeded chaos campaign: randomized ring-fault schedules × Table 3.
+//!
+//! The fault model ([`FaultPlan`]) makes the embedded ring drop,
+//! duplicate and delay messages and stall nodes; the recovery layer in
+//! [`flexsnoop::Simulator`] answers with sequence-number deduplication,
+//! requester timeouts, bounded-backoff retries, and per-line degradation
+//! to Lazy forwarding. This module is the harness that earns trust in
+//! that machinery: [`run_chaos`] sweeps many randomized schedules across
+//! every Table 3 algorithm and demands that **every** run still
+//!
+//! * retires every transaction (nothing left in flight, no stranded
+//!   cores),
+//! * records zero invariant-oracle violations and passes the final
+//!   Figure 2(b) coherence sweep,
+//! * keeps the (fault-relaxed) supply accounting consistent — a retried
+//!   read may be supplied more than once, never less than once,
+//! * dirties only lines the trace actually wrote.
+//!
+//! The identical trace also drives the fault-free directory-protocol
+//! baseline once per campaign ([`ChaosReport::baseline_reasons`]): the
+//! independent reference implementation must pass the same sound
+//! invariants the faulted ring runs are held to.
+//!
+//! A failing `(schedule, algorithm)` pair is **shrunk** to a minimal
+//! reproducer: the fault budget is binary-searched down to the smallest
+//! failing prefix (randomized faults are consumed in draw order, so a
+//! smaller budget replays a prefix of the same schedule), then whole
+//! fault kinds are removed while the failure persists. The report's
+//! reproducer line (`seed=… budget=…`) plugs straight into
+//! `flexsnoop chaos --schedule <seed>`.
+//!
+//! The campaign's self-test is [`ChaosOptions::recovery`]` = false`
+//! (CLI: `--no-retry`): with retries disabled, lossy schedules really do
+//! strand transactions, proving the harness can see the failures the
+//! recovery layer prevents.
+
+use flexsnoop::{energy_model_for, Algorithm, FaultPlan, RunStats, Simulator, Violation};
+use flexsnoop_directory::DirSimulator;
+use flexsnoop_engine::{Executor, QueueKind, SplitMix64};
+use flexsnoop_mem::LineAddr;
+use flexsnoop_workload::{Trace, WorkloadProfile};
+
+use crate::{boxed_streams, machine_for, written_lines, TABLE3_ALGORITHMS};
+use std::collections::BTreeSet;
+
+/// Knobs for one chaos campaign.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Randomized fault schedules to draw (each runs every Table 3
+    /// algorithm).
+    pub schedules: u64,
+    /// Seed for the schedule-seed stream (campaigns are reproducible).
+    pub base_seed: u64,
+    /// Accesses recorded (and replayed) per core.
+    pub accesses_per_core: u64,
+    /// Machine nodes; must divide the profile's core count.
+    pub nodes: usize,
+    /// Worker threads for the campaign sweep.
+    pub threads: usize,
+    /// Timeout/retry recovery on (the default). `false` is the harness
+    /// self-test: faults must then visibly strand transactions.
+    pub recovery: bool,
+    /// Shrink every failure to a minimal reproducer.
+    pub shrink: bool,
+    /// For the first N schedules, re-run each algorithm on the second
+    /// queue backend and compare bit-for-bit (determinism under faults).
+    pub determinism_probes: u64,
+    /// Run exactly this schedule seed instead of drawing `schedules`
+    /// seeds — the reproducer mode (`flexsnoop chaos --schedule SEED`).
+    pub schedule: Option<u64>,
+    /// Override the drawn plans' fault budget (replays a shrunk
+    /// reproducer's prefix).
+    pub budget: Option<u64>,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        Self {
+            schedules: 40,
+            base_seed: 0x00C0FFEE,
+            accesses_per_core: 150,
+            nodes: 4,
+            threads: 4,
+            recovery: true,
+            shrink: true,
+            determinism_probes: 2,
+            schedule: None,
+            budget: None,
+        }
+    }
+}
+
+impl ChaosOptions {
+    /// The full acceptance campaign (≥1000 schedules × 4 algorithms).
+    /// CI runs this behind `--ignored`.
+    pub fn full() -> Self {
+        Self {
+            schedules: 1000,
+            threads: 8,
+            ..Self::default()
+        }
+    }
+}
+
+/// Everything observable from one faulted run.
+#[derive(Debug, Clone)]
+struct ChaosOutcome {
+    stats: RunStats,
+    violations: Vec<Violation>,
+    coherence: Result<(), String>,
+    in_flight: usize,
+    snapshot: Vec<(LineAddr, usize, usize, flexsnoop_mem::CoherState)>,
+}
+
+/// One failing `(schedule, algorithm)` pair.
+#[derive(Debug, Clone)]
+pub struct ChaosFailure {
+    /// The schedule seed ([`FaultPlan::random`] input).
+    pub seed: u64,
+    /// The algorithm that failed under it.
+    pub algorithm: Algorithm,
+    /// The full plan as drawn.
+    pub plan: FaultPlan,
+    /// Why the run counts as failed (one line per broken property).
+    pub reasons: Vec<String>,
+    /// The shrunk plan (fewest faults still failing), when shrinking ran.
+    pub minimized: Option<FaultPlan>,
+}
+
+/// Campaign-wide fault and recovery totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosTotals {
+    /// Messages dropped by fault plans.
+    pub drops: u64,
+    /// Messages duplicated.
+    pub duplicates: u64,
+    /// Messages delayed.
+    pub delays: u64,
+    /// Injected duplicates suppressed by sequence numbers.
+    pub duplicates_suppressed: u64,
+    /// Deliveries discarded as belonging to superseded attempts.
+    pub stale_deliveries: u64,
+    /// Recovery timeouts fired.
+    pub timeouts: u64,
+    /// Retries issued.
+    pub retries: u64,
+    /// Lines that entered degraded (Lazy-forwarding) mode.
+    pub degraded_entries: u64,
+}
+
+impl ChaosTotals {
+    fn absorb(&mut self, s: &RunStats) {
+        let r = &s.robustness;
+        self.drops += r.ring_drops;
+        self.duplicates += r.ring_duplicates;
+        self.delays += r.ring_delays;
+        self.duplicates_suppressed += r.duplicates_suppressed;
+        self.stale_deliveries += r.stale_deliveries;
+        self.timeouts += r.timeouts;
+        self.retries += r.retries;
+        self.degraded_entries += r.degraded_entries;
+    }
+}
+
+/// The result of one [`run_chaos`] campaign.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Profile the trace was recorded from.
+    pub profile: String,
+    /// Campaign base seed: seeds the recorded trace and (unless a
+    /// schedule was pinned) the schedule-seed stream. Reproducer
+    /// commands must pin it, or they replay a different trace.
+    pub base_seed: u64,
+    /// Ring nodes each run simulated.
+    pub nodes: usize,
+    /// Accesses recorded per core.
+    pub accesses_per_core: u64,
+    /// Schedules drawn.
+    pub schedules: u64,
+    /// Total `(schedule, algorithm)` runs executed.
+    pub runs: u64,
+    /// Whether recovery was enabled.
+    pub recovery: bool,
+    /// Campaign-wide fault/recovery totals.
+    pub totals: ChaosTotals,
+    /// Determinism cross-checks performed (and passed, unless listed in
+    /// `failures`).
+    pub determinism_checks: u64,
+    /// Problems found in the fault-free directory-protocol baseline run
+    /// over the identical trace (empty when the reference implementation
+    /// is clean). Exact ring-vs-directory state equality is only sound
+    /// for read-only traces (DESIGN.md §7); under faults the shared
+    /// ground truth is the sound-invariant set, checked per run against
+    /// the same trace-derived written-line set this baseline must also
+    /// respect.
+    pub baseline_reasons: Vec<String>,
+    /// Every failing pair, in schedule order.
+    pub failures: Vec<ChaosFailure>,
+}
+
+impl ChaosReport {
+    /// True when every run satisfied every property and the fault-free
+    /// directory baseline was clean.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty() && self.baseline_reasons.is_empty()
+    }
+
+    /// Renders the campaign summary (the CI artifact body).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# Chaos campaign: {}\n\n\
+             - schedules: {} (runs: {}, recovery: {})\n\
+             - faults injected: {} drops, {} duplicates, {} delays\n\
+             - recovery activity: {} dup-suppressed, {} stale discarded, \
+             {} timeouts, {} retries, {} degraded lines\n\
+             - determinism cross-checks: {}\n\
+             - verdict: **{}**\n",
+            self.profile,
+            self.schedules,
+            self.runs,
+            if self.recovery { "on" } else { "off" },
+            self.totals.drops,
+            self.totals.duplicates,
+            self.totals.delays,
+            self.totals.duplicates_suppressed,
+            self.totals.stale_deliveries,
+            self.totals.timeouts,
+            self.totals.retries,
+            self.totals.degraded_entries,
+            self.determinism_checks,
+            if self.is_clean() {
+                "CLEAN".to_string()
+            } else {
+                format!(
+                    "{} FAILURE(S)",
+                    self.failures.len() + self.baseline_reasons.len()
+                )
+            }
+        ));
+        if self.baseline_reasons.is_empty() {
+            out.push_str("- directory baseline (fault-free): clean\n");
+        } else {
+            out.push_str("- directory baseline (fault-free): BROKEN\n");
+            for r in &self.baseline_reasons {
+                out.push_str(&format!("  - {r}\n"));
+            }
+        }
+        for f in &self.failures {
+            out.push_str(&format!(
+                "\n## seed {} / {}\n\nplan: `{}`\n",
+                f.seed,
+                f.algorithm,
+                f.plan.describe()
+            ));
+            for r in &f.reasons {
+                out.push_str(&format!("- {r}\n"));
+            }
+            if let Some(min) = &f.minimized {
+                // The budget prefix is replayable from the CLI; the
+                // kind-eliminated probabilities are extra diagnosis (the
+                // prefix already failed before elimination).
+                out.push_str(&format!(
+                    "\nminimal reproducer: `{}`\n(reproduce: `flexsnoop chaos --workload {} \
+                     --seed {} --nodes {} --accesses {} --schedule {} --budget {}{}`)\n",
+                    min.describe(),
+                    self.profile,
+                    self.base_seed,
+                    self.nodes,
+                    self.accesses_per_core,
+                    min.seed,
+                    min.budget,
+                    if self.recovery { "" } else { " --no-retry" },
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn run_one(
+    trace: &Trace,
+    alg: Algorithm,
+    plan: &FaultPlan,
+    kind: QueueKind,
+    opts: &ChaosOptions,
+) -> Result<ChaosOutcome, String> {
+    let machine = machine_for(trace, opts.nodes)?;
+    let predictor = alg.default_predictor();
+    let energy = energy_model_for(&predictor);
+    let mut sim = Simulator::new(
+        machine,
+        alg,
+        predictor,
+        energy,
+        boxed_streams(trace),
+        opts.accesses_per_core,
+    )?;
+    sim.use_event_queue(kind);
+    sim.enable_invariant_checks();
+    sim.set_fault_plan(plan.clone());
+    sim.set_recovery_enabled(opts.recovery);
+    let stats = sim.run();
+    Ok(ChaosOutcome {
+        stats,
+        violations: sim.violations().to_vec(),
+        coherence: sim.validate_coherence(),
+        in_flight: sim.in_flight(),
+        snapshot: sim.state_snapshot(),
+    })
+}
+
+/// The campaign's failure predicate: one line per broken property,
+/// empty when the run survived the schedule.
+fn failure_reasons(out: &ChaosOutcome, written: &BTreeSet<LineAddr>) -> Vec<String> {
+    let mut reasons = Vec::new();
+    if let Some(v) = out.violations.first() {
+        reasons.push(format!(
+            "invariant oracle recorded {} violation(s); first: {v}",
+            out.violations.len()
+        ));
+    }
+    if let Err(e) = &out.coherence {
+        reasons.push(format!("final coherence sweep failed: {e}"));
+    }
+    if out.in_flight > 0 {
+        reasons.push(format!(
+            "{} transaction(s) never retired (lost on the ring)",
+            out.in_flight
+        ));
+    }
+    let s = &out.stats;
+    if s.robustness.unfinished_cores > 0 {
+        reasons.push(format!(
+            "{} core(s) stranded mid-stream",
+            s.robustness.unfinished_cores
+        ));
+    }
+    // Under faults a retried read may be supplied twice (once per
+    // surviving circulation), so the lossless equality relaxes to "at
+    // least one supply per read" — but never fewer.
+    if s.reads_cache_supplied + s.reads_from_memory < s.read_txns {
+        reasons.push(format!(
+            "read supply accounting broken: {} txns > {} cache + {} memory",
+            s.read_txns, s.reads_cache_supplied, s.reads_from_memory
+        ));
+    }
+    let rogue: Vec<_> = out
+        .snapshot
+        .iter()
+        .filter(|(_, _, _, st)| st.is_dirty())
+        .map(|&(line, _, _, _)| line)
+        .filter(|l| !written.contains(l))
+        .collect();
+    if !rogue.is_empty() {
+        reasons.push(format!("dirty lines never written by the trace: {rogue:?}"));
+    }
+    reasons
+}
+
+/// Shrinks a failing plan to a minimal reproducer: binary-search the
+/// smallest failing budget prefix, then drop whole fault kinds while the
+/// failure persists (fewest distinct faults, then fewest fault kinds).
+fn shrink_plan(
+    trace: &Trace,
+    alg: Algorithm,
+    plan: &FaultPlan,
+    opts: &ChaosOptions,
+    written: &BTreeSet<LineAddr>,
+) -> FaultPlan {
+    let fails = |p: &FaultPlan| -> bool {
+        run_one(trace, alg, p, QueueKind::Heap, opts)
+            .map(|out| !failure_reasons(&out, written).is_empty())
+            .unwrap_or(false)
+    };
+    let mut best = plan.clone();
+    // Budget prefix: the plan draws faults in a fixed order, so budget b
+    // replays the first b faults of the original schedule. `hi` is known
+    // to fail; find the smallest failing prefix.
+    if best.budget > 1 {
+        let (mut lo, mut hi) = (1, best.budget);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if fails(&best.with_budget(mid)) {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let cand = best.with_budget(lo);
+        if fails(&cand) {
+            best = cand;
+        }
+    }
+    // Kind elimination: remove whole fault classes while still failing.
+    let simplifications: [fn(&mut FaultPlan); 5] = [
+        |p| p.stalls.clear(),
+        |p| p.link_drops.clear(),
+        |p| p.delay = 0.0,
+        |p| p.duplicate = 0.0,
+        |p| p.drop = 0.0,
+    ];
+    for simplify in simplifications {
+        let mut cand = best.clone();
+        simplify(&mut cand);
+        if cand != best && fails(&cand) {
+            best = cand;
+        }
+    }
+    best
+}
+
+/// Runs a seeded chaos campaign over one workload profile.
+///
+/// Records the profile's access trace once, then for each of
+/// `opts.schedules` randomized [`FaultPlan`]s runs every Table 3
+/// algorithm under that plan and checks the campaign's survival
+/// properties (see the [module docs](self)). Failures are shrunk to
+/// minimal reproducers when `opts.shrink` is set.
+///
+/// ```
+/// use flexsnoop_checker::chaos::{run_chaos, ChaosOptions};
+/// use flexsnoop_workload::profiles;
+///
+/// # fn main() -> Result<(), String> {
+/// let opts = ChaosOptions {
+///     schedules: 3,
+///     accesses_per_core: 60,
+///     threads: 2,
+///     ..ChaosOptions::default()
+/// };
+/// let report = run_chaos(&profiles::specweb(), &opts)?;
+/// assert!(report.is_clean(), "{}", report.render());
+/// assert_eq!(report.runs, 12); // 3 schedules × 4 Table 3 algorithms
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns a message if a simulator rejects the configuration (property
+/// failures land in the report, not the error).
+pub fn run_chaos(profile: &WorkloadProfile, opts: &ChaosOptions) -> Result<ChaosReport, String> {
+    let mut streams = profile.streams(opts.base_seed);
+    let trace = Trace::record(&mut streams, opts.accesses_per_core);
+    let written = written_lines(&trace);
+    let machine = machine_for(&trace, opts.nodes)?;
+    let rings = machine.ring.rings;
+
+    // The fault-free directory baseline over the identical trace: the
+    // independent reference implementation every faulted ring run is
+    // held against (through the shared sound-invariant set).
+    let baseline_reasons = directory_baseline(&trace, opts, &written)?;
+
+    // Draw the schedule seeds up front from a private stream, so the
+    // campaign is a pure function of `base_seed` — unless a single
+    // reproducer seed was pinned.
+    let seeds: Vec<u64> = match opts.schedule {
+        Some(seed) => vec![seed],
+        None => {
+            let mut seed_rng = SplitMix64::new(opts.base_seed ^ 0x5EED_CA05);
+            (0..opts.schedules).map(|_| seed_rng.next_u64()).collect()
+        }
+    };
+
+    let configs: Vec<(u64, Algorithm)> = seeds
+        .iter()
+        .flat_map(|&seed| TABLE3_ALGORITHMS.iter().map(move |&alg| (seed, alg)))
+        .collect();
+    let tasks: Vec<_> = configs
+        .iter()
+        .map(|&(seed, alg)| {
+            let trace = &trace;
+            move || {
+                let mut plan = FaultPlan::random(seed, opts.nodes, rings);
+                if let Some(budget) = opts.budget {
+                    plan.budget = budget;
+                }
+                run_one(trace, alg, &plan, QueueKind::Heap, opts).map(|out| (plan, out))
+            }
+        })
+        .collect();
+    let results = Executor::new(opts.threads.max(1)).run(tasks);
+
+    let mut totals = ChaosTotals::default();
+    let mut failures = Vec::new();
+    let mut outcomes = Vec::with_capacity(configs.len());
+    for (&(seed, alg), result) in configs.iter().zip(results) {
+        let (plan, out) = result?;
+        totals.absorb(&out.stats);
+        let reasons = failure_reasons(&out, &written);
+        if !reasons.is_empty() {
+            let minimized = opts
+                .shrink
+                .then(|| shrink_plan(&trace, alg, &plan, opts, &written));
+            failures.push(ChaosFailure {
+                seed,
+                algorithm: alg,
+                plan: plan.clone(),
+                reasons,
+                minimized,
+            });
+        }
+        outcomes.push((seed, alg, plan, out));
+    }
+
+    // Determinism under faults: the same (plan, algorithm) must be
+    // bit-for-bit identical on the other queue backend.
+    let probes = (opts.determinism_probes * TABLE3_ALGORITHMS.len() as u64)
+        .min(outcomes.len() as u64) as usize;
+    for (seed, alg, plan, heap_out) in &outcomes[..probes] {
+        let bucketed = run_one(&trace, *alg, plan, QueueKind::Bucketed, opts)?;
+        if bucketed.stats != heap_out.stats || bucketed.snapshot != heap_out.snapshot {
+            failures.push(ChaosFailure {
+                seed: *seed,
+                algorithm: *alg,
+                plan: plan.clone(),
+                reasons: vec![
+                    "faulted run diverges across queue backends (must be bit-for-bit)".into(),
+                ],
+                minimized: None,
+            });
+        }
+    }
+
+    Ok(ChaosReport {
+        profile: profile.name.clone(),
+        base_seed: opts.base_seed,
+        nodes: opts.nodes,
+        accesses_per_core: opts.accesses_per_core,
+        schedules: seeds.len() as u64,
+        runs: configs.len() as u64,
+        recovery: opts.recovery,
+        totals,
+        determinism_checks: probes as u64,
+        baseline_reasons,
+        failures,
+    })
+}
+
+/// Runs the fault-free directory-protocol baseline on `trace` and
+/// returns everything wrong with it (empty = clean). Mirrors the
+/// directory leg of [`crate::run_differential`].
+fn directory_baseline(
+    trace: &Trace,
+    opts: &ChaosOptions,
+    written: &BTreeSet<LineAddr>,
+) -> Result<Vec<String>, String> {
+    let machine = machine_for(trace, opts.nodes)?;
+    let mut dsim = DirSimulator::new(machine, boxed_streams(trace), opts.accesses_per_core)?;
+    dsim.enable_invariant_checks();
+    let dstats = dsim.run();
+    let mut reasons = Vec::new();
+    if let Some(v) = dsim.violations().first() {
+        reasons.push(format!(
+            "invariant oracle recorded {} violation(s); first: {v}",
+            dsim.violations().len()
+        ));
+    }
+    if let Err(e) = dsim.validate_coherence() {
+        reasons.push(format!("final coherence sweep failed: {e}"));
+    }
+    if dstats.read_txns != dstats.reads_two_hop + dstats.reads_three_hop {
+        reasons.push(format!(
+            "read hop accounting broken: {} txns != {} two-hop + {} three-hop",
+            dstats.read_txns, dstats.reads_two_hop, dstats.reads_three_hop
+        ));
+    }
+    let rogue: Vec<LineAddr> = dsim
+        .state_snapshot()
+        .iter()
+        .filter(|(_, _, _, st)| st.is_dirty())
+        .map(|&(line, _, _, _)| line)
+        .filter(|l| !written.contains(l))
+        .collect();
+    if !rogue.is_empty() {
+        reasons.push(format!("dirty lines never written by the trace: {rogue:?}"));
+    }
+    Ok(reasons)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexsnoop_workload::profiles;
+
+    fn tiny() -> ChaosOptions {
+        ChaosOptions {
+            schedules: 4,
+            accesses_per_core: 60,
+            threads: 2,
+            determinism_probes: 1,
+            ..ChaosOptions::default()
+        }
+    }
+
+    #[test]
+    fn small_campaign_is_clean_and_injects_faults() {
+        let report = run_chaos(&profiles::specweb(), &tiny()).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.runs, 16);
+        assert!(
+            report.totals.drops + report.totals.duplicates + report.totals.delays > 0,
+            "campaign must actually inject faults: {:?}",
+            report.totals
+        );
+        assert!(report.render().contains("CLEAN"));
+    }
+
+    #[test]
+    fn no_retry_campaign_fails_and_shrinks() {
+        let opts = ChaosOptions {
+            recovery: false,
+            schedules: 6,
+            ..tiny()
+        };
+        let report = run_chaos(&profiles::specweb(), &opts).unwrap();
+        assert!(
+            !report.is_clean(),
+            "dropping messages without retries must strand transactions"
+        );
+        let f = &report.failures[0];
+        assert!(!f.reasons.is_empty());
+        let min = f.minimized.as_ref().expect("shrinking was on");
+        assert!(
+            min.budget <= f.plan.budget,
+            "shrunk budget {} must not exceed original {}",
+            min.budget,
+            f.plan.budget
+        );
+        // The minimal reproducer must still fail.
+        let rendered = report.render();
+        assert!(rendered.contains("minimal reproducer"), "{rendered}");
+        assert!(rendered.contains("--no-retry"), "{rendered}");
+    }
+
+    #[test]
+    fn campaign_is_reproducible() {
+        let a = run_chaos(&profiles::specweb(), &tiny()).unwrap();
+        let b = run_chaos(&profiles::specweb(), &tiny()).unwrap();
+        assert_eq!(a.totals, b.totals);
+        assert_eq!(a.failures.len(), b.failures.len());
+    }
+}

@@ -40,6 +40,10 @@
 //! [`ProtocolMutation`] injection (see [`DiffOptions::mutation`]) is the
 //! self-test proving this detection path works end to end.
 
+pub mod chaos;
+
+pub use chaos::{run_chaos, ChaosFailure, ChaosOptions, ChaosReport, ChaosTotals};
+
 use std::collections::{BTreeMap, BTreeSet};
 
 use flexsnoop::{
@@ -174,7 +178,7 @@ struct RingOutcome {
     coherence: Result<(), String>,
 }
 
-fn machine_for(trace: &Trace, nodes: usize) -> Result<MachineConfig, String> {
+pub(crate) fn machine_for(trace: &Trace, nodes: usize) -> Result<MachineConfig, String> {
     let cores = trace.cores();
     if nodes == 0 || !cores.is_multiple_of(nodes) {
         return Err(format!(
@@ -187,7 +191,7 @@ fn machine_for(trace: &Trace, nodes: usize) -> Result<MachineConfig, String> {
     })
 }
 
-fn boxed_streams(trace: &Trace) -> Vec<Box<dyn AccessStream + Send>> {
+pub(crate) fn boxed_streams(trace: &Trace) -> Vec<Box<dyn AccessStream + Send>> {
     VecStream::from_trace(trace)
         .into_iter()
         .map(|s| Box::new(s) as Box<dyn AccessStream + Send>)
@@ -235,7 +239,7 @@ fn run_ring(
 }
 
 /// Lines the trace ever stores to.
-fn written_lines(trace: &Trace) -> BTreeSet<LineAddr> {
+pub(crate) fn written_lines(trace: &Trace) -> BTreeSet<LineAddr> {
     (0..trace.cores())
         .flat_map(|c| trace.core(c).iter().filter(|a| a.write).map(|a| a.line))
         .collect()

@@ -19,6 +19,8 @@ pub enum Command {
     Directory,
     /// Regenerate the paper-figure report and JSON artifacts.
     Report,
+    /// Seeded unreliable-ring chaos campaign.
+    Chaos,
     /// Print usage.
     Help,
 }
@@ -60,6 +62,23 @@ pub struct Args {
     /// `--threads` worker-pool size for parallel sweeps (0 = auto: the
     /// machine's available parallelism).
     pub threads: usize,
+    /// Whether `--accesses` was given explicitly (subcommands with a
+    /// different natural scale, like `chaos`, use their own default
+    /// otherwise).
+    pub accesses_explicit: bool,
+    /// `--schedules` for `chaos`: randomized fault schedules to draw.
+    pub schedules: u64,
+    /// `--schedule` for `chaos`: pin one schedule seed (reproducer mode).
+    pub schedule: Option<u64>,
+    /// `--budget` for `chaos`: override the plan's fault budget (replay
+    /// a shrunk reproducer).
+    pub budget: Option<u64>,
+    /// `--no-retry` for `chaos`: disable timeout/retry recovery (the
+    /// campaign's self-test; faults must then strand transactions).
+    pub no_retry: bool,
+    /// `--predictor-fault kind:period:budget` for `run`: wrap every
+    /// node's predictor in a fault injector (§4.3.4 studies).
+    pub predictor_fault: String,
 }
 
 impl Default for Args {
@@ -80,6 +99,12 @@ impl Default for Args {
             probe: false,
             check: false,
             threads: 0,
+            accesses_explicit: false,
+            schedules: 40,
+            schedule: None,
+            budget: None,
+            no_retry: false,
+            predictor_fault: String::new(),
         }
     }
 }
@@ -106,6 +131,7 @@ impl Args {
             "replay" => Command::Replay,
             "directory" => Command::Directory,
             "report" => Command::Report,
+            "chaos" => Command::Chaos,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(format!("unknown command {other:?}; try `flexsnoop help`")),
         };
@@ -128,6 +154,10 @@ impl Args {
                     args.check = true;
                     continue;
                 }
+                "--no-retry" => {
+                    args.no_retry = true;
+                    continue;
+                }
                 _ => {}
             }
             let value = it
@@ -142,13 +172,20 @@ impl Args {
                 "--workload" => args.workload = value.clone(),
                 "--algorithm" => args.algorithm = value.clone(),
                 "--predictor" => args.predictor = value.clone(),
-                "--accesses" => args.accesses = num("--accesses")?,
+                "--accesses" => {
+                    args.accesses = num("--accesses")?;
+                    args.accesses_explicit = true;
+                }
                 "--seed" => args.seed = num("--seed")?,
                 "--nodes" => args.nodes = num("--nodes")? as usize,
                 "--transactions" => args.transactions = num("--transactions")? as usize,
                 "--trace" => args.trace = value.clone(),
                 "--out" => args.out = value.clone(),
                 "--threads" => args.threads = num("--threads")? as usize,
+                "--schedules" => args.schedules = num("--schedules")?,
+                "--schedule" => args.schedule = Some(num("--schedule")?),
+                "--budget" => args.budget = Some(num("--budget")?),
+                "--predictor-fault" => args.predictor_fault = value.clone(),
                 other => return Err(format!("unknown option {other:?}; try `flexsnoop help`")),
             }
         }
@@ -204,6 +241,33 @@ mod tests {
             Args::parse(&argv("compare --threads 3")).unwrap().threads,
             3
         );
+    }
+
+    #[test]
+    fn chaos_options_parse() {
+        let a = Args::parse(&argv(
+            "chaos --schedules 12 --seed 3 --no-retry --out summary.md",
+        ))
+        .unwrap();
+        assert_eq!(a.command, Command::Chaos);
+        assert_eq!(a.schedules, 12);
+        assert!(a.no_retry);
+        assert_eq!(a.out, "summary.md");
+        assert_eq!(a.schedule, None);
+        assert!(!a.accesses_explicit);
+
+        let b = Args::parse(&argv("chaos --schedule 99 --budget 4")).unwrap();
+        assert_eq!(b.schedule, Some(99));
+        assert_eq!(b.budget, Some(4));
+        assert!(!b.no_retry);
+    }
+
+    #[test]
+    fn predictor_fault_option_parses() {
+        let a = Args::parse(&argv("run --predictor-fault force-negative:3:5")).unwrap();
+        assert_eq!(a.predictor_fault, "force-negative:3:5");
+        let b = Args::parse(&argv("run --accesses 77")).unwrap();
+        assert!(b.accesses_explicit);
     }
 
     #[test]

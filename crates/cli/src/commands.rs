@@ -1,7 +1,10 @@
 //! Implementations of the CLI subcommands. Each returns the text to print
 //! so the logic is fully testable without capturing stdout.
 
-use flexsnoop::{energy_model_for, Algorithm, RunStats, Simulator, VecStream};
+use flexsnoop::{
+    energy_model_for, Algorithm, FaultInjectingPredictor, FaultKind, MachineConfig, RunStats,
+    Simulator, SupplierPredictor, VecStream,
+};
 use flexsnoop_metrics::Table;
 use flexsnoop_workload::{profiles, AccessStream, Trace, WorkloadProfile};
 
@@ -67,13 +70,114 @@ fn stats_table(rows: &[(Algorithm, RunStats)], csv: bool) -> String {
     }
 }
 
+/// Parses `--predictor-fault kind:period:budget` (e.g.
+/// `force-negative:3:5`: flip every 3rd prediction negative, 5 times).
+fn parse_predictor_fault(spec: &str) -> Result<(FaultKind, u64, u64), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let [kind, period, budget] = parts.as_slice() else {
+        return Err(format!(
+            "--predictor-fault expects kind:period:budget, got {spec:?}"
+        ));
+    };
+    let kind = match *kind {
+        "force-negative" | "negative" => FaultKind::ForceNegative,
+        "force-positive" | "positive" => FaultKind::ForcePositive,
+        other => {
+            return Err(format!(
+                "unknown fault kind {other:?}; use force-negative or force-positive"
+            ))
+        }
+    };
+    let num = |what: &str, v: &str| -> Result<u64, String> {
+        v.parse::<u64>()
+            .map_err(|_| format!("--predictor-fault {what} expects a number, got {v:?}"))
+    };
+    let period = num("period", period)?;
+    if period == 0 {
+        return Err("--predictor-fault period must be positive".to_string());
+    }
+    Ok((kind, period, num("budget", budget)?))
+}
+
+/// Builds a simulator whose per-node predictors are wrapped in
+/// [`FaultInjectingPredictor`]s (the §4.3.4 hardware-race study).
+fn build_faulted_sim(
+    args: &Args,
+    algorithm: Algorithm,
+    kind: FaultKind,
+    period: u64,
+    budget: u64,
+) -> Result<Simulator, String> {
+    let workload = parse_workload(&args.workload, args.nodes)?.with_accesses(args.accesses);
+    if args.nodes == 0 || !workload.cores.is_multiple_of(args.nodes) {
+        return Err(format!(
+            "workload cores ({}) must be a multiple of {} nodes",
+            workload.cores, args.nodes
+        ));
+    }
+    let spec = parse_predictor(&args.predictor)?.unwrap_or_else(|| algorithm.default_predictor());
+    if !algorithm.accepts_predictor(&spec) {
+        return Err(format!("algorithm {algorithm} cannot use predictor {spec}"));
+    }
+    let machine = MachineConfig {
+        nodes: args.nodes,
+        ..MachineConfig::isca2006(workload.cores / args.nodes)
+    };
+    let energy = energy_model_for(&spec);
+    let streams: Vec<Box<dyn AccessStream + Send>> = workload
+        .streams(args.seed)
+        .into_iter()
+        .map(|s| Box::new(s) as Box<dyn AccessStream + Send>)
+        .collect();
+    let predictors: Vec<Box<dyn SupplierPredictor + Send>> = (0..machine.nodes)
+        .map(|_| {
+            Box::new(FaultInjectingPredictor::new(
+                spec.build(),
+                kind,
+                period,
+                budget,
+            )) as Box<dyn SupplierPredictor + Send>
+        })
+        .collect();
+    Simulator::with_predictors(
+        machine,
+        algorithm,
+        predictors,
+        energy,
+        streams,
+        workload.accesses_per_core,
+    )
+}
+
 /// `flexsnoop run`.
 pub fn run_one(args: &Args) -> Result<String, String> {
     let algorithm = parse_algorithm(&args.algorithm)?;
-    let mut sim = build_sim(args, algorithm)?;
+    if args.predictor_fault.is_empty() {
+        let mut sim = build_sim(args, algorithm)?;
+        let stats = sim.run();
+        sim.validate_coherence()?;
+        return Ok(stats_table(&[(algorithm, stats)], args.csv));
+    }
+    // Fault-injection mode: corrupted predictions can break coherence by
+    // design, so the invariant oracle records violations instead of the
+    // final sweep erroring out.
+    let (kind, period, budget) = parse_predictor_fault(&args.predictor_fault)?;
+    let mut sim = build_faulted_sim(args, algorithm, kind, period, budget)?;
+    sim.enable_invariant_checks();
     let stats = sim.run();
-    sim.validate_coherence()?;
-    Ok(stats_table(&[(algorithm, stats)], args.csv))
+    let mut out = stats_table(&[(algorithm, stats.clone())], args.csv);
+    out.push_str(&format!(
+        "\ninjected prediction faults: {}\n",
+        stats.robustness.injected_prediction_faults
+    ));
+    match sim.violations().len() {
+        0 => out.push_str("invariant oracle: clean\n"),
+        n => out.push_str(&format!(
+            "invariant oracle: {n} violation(s); first: {}\n",
+            sim.first_violation().expect("n > 0")
+        )),
+    }
+    Ok(out)
 }
 
 /// `flexsnoop compare`.
@@ -253,6 +357,45 @@ fn report_with(opts: &flexsnoop_report::ReportOptions, check: bool) -> Result<St
         out.push('\n');
         out.push_str(&generated.summary);
         Ok(out)
+    }
+}
+
+/// `flexsnoop chaos`: the seeded unreliable-ring campaign
+/// (see `flexsnoop_checker::chaos`).
+pub fn chaos(args: &Args) -> Result<String, String> {
+    let workload = parse_workload(&args.workload, args.nodes)?;
+    let defaults = flexsnoop_checker::ChaosOptions::default();
+    let opts = flexsnoop_checker::ChaosOptions {
+        schedules: args.schedules,
+        base_seed: args.seed,
+        // `run`'s 4000-access default would make a 40-schedule campaign
+        // crawl; chaos has its own scale unless --accesses is explicit.
+        accesses_per_core: if args.accesses_explicit {
+            args.accesses
+        } else {
+            defaults.accesses_per_core
+        },
+        nodes: args.nodes,
+        threads: if args.threads > 0 {
+            args.threads
+        } else {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        },
+        recovery: !args.no_retry,
+        schedule: args.schedule,
+        budget: args.budget,
+        ..defaults
+    };
+    let report = flexsnoop_checker::run_chaos(&workload, &opts)?;
+    let text = report.render();
+    if !args.out.is_empty() {
+        std::fs::write(&args.out, &text).map_err(|e| format!("write {}: {e}", args.out))?;
+    }
+    if report.is_clean() || args.no_retry {
+        // --no-retry failures are the self-test's expected outcome.
+        Ok(text)
+    } else {
+        Err(text)
     }
 }
 

@@ -42,6 +42,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Replay => commands::replay(&args),
         Command::Directory => commands::directory(&args),
         Command::Report => commands::report(&args),
+        Command::Chaos => commands::chaos(&args),
         Command::Help => Ok(usage()),
     }
 }
@@ -63,6 +64,7 @@ COMMANDS:
     replay      Replay a recorded trace under one algorithm
     directory   Run the directory-protocol baseline (crates/directory)
     report      Regenerate results/report.md and the bench_*.json artifacts
+    chaos       Sweep seeded ring-fault schedules across the Table 3 algorithms
     help        Show this message
 
 OPTIONS (where applicable):
@@ -80,6 +82,13 @@ OPTIONS (where applicable):
     --probe              `report`: attach observability counters to artifacts
     --check              `report`: fail if the committed report.md is stale
     --threads N          Worker threads for parallel runs [machine parallelism]
+    --schedules N        `chaos`: randomized fault schedules to draw [40]
+    --schedule SEED      `chaos`: replay exactly one schedule seed (reproducer)
+    --budget N           `chaos`: override the plan's fault budget (shrunk prefix)
+    --no-retry           `chaos`: disable timeout/retry recovery (self-test)
+    --predictor-fault K:P:B
+                         `run`: corrupt every P-th prediction, B times; K is
+                         force-negative (unsafe direction) or force-positive
 "
     .to_string()
 }
@@ -151,6 +160,46 @@ mod tests {
         .unwrap();
         assert!(out.contains("issued at"), "{out}");
         assert!(out.contains("retired"), "{out}");
+    }
+
+    #[test]
+    fn chaos_smoke_campaign_is_clean() {
+        let out = run(&argv(
+            "chaos --workload specjbb --schedules 2 --accesses 60 --nodes 4 --seed 5 --threads 2",
+        ))
+        .unwrap();
+        assert!(out.contains("Chaos campaign"), "{out}");
+        assert!(out.contains("CLEAN"), "{out}");
+    }
+
+    #[test]
+    fn chaos_no_retry_reports_reproducer() {
+        // Without recovery a lossy schedule eventually strands transactions;
+        // the command still exits Ok (self-test mode) but names a reproducer.
+        let out = run(&argv(
+            "chaos --workload specjbb --schedules 6 --accesses 60 --nodes 4 --seed 1 \
+             --no-retry --threads 2",
+        ))
+        .unwrap();
+        assert!(out.contains("--no-retry"), "{out}");
+    }
+
+    #[test]
+    fn run_with_predictor_fault_reports_injections() {
+        let out = run(&argv(
+            "run --workload specjbb --algorithm superset-agg --accesses 200 --seed 3 \
+             --predictor-fault force-negative:2:50",
+        ))
+        .unwrap();
+        assert!(out.contains("injected prediction faults"), "{out}");
+        assert!(out.contains("invariant oracle"), "{out}");
+    }
+
+    #[test]
+    fn predictor_fault_rejects_bad_specs() {
+        assert!(run(&argv("run --predictor-fault bogus:2:5")).is_err());
+        assert!(run(&argv("run --predictor-fault force-negative:0:5")).is_err());
+        assert!(run(&argv("run --predictor-fault force-negative")).is_err());
     }
 
     #[test]

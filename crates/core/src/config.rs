@@ -105,6 +105,56 @@ pub struct PolicyParams {
     pub write_filtering: bool,
 }
 
+/// Timeout/retry recovery parameters for an unreliable ring.
+///
+/// These only take effect when a non-lossless fault plan is armed
+/// ([`crate::Simulator::set_fault_plan`]); on a lossless ring no timeout
+/// events are ever scheduled, so the defaults cannot perturb existing
+/// runs.
+///
+/// The requester-side timeout for a transaction's ring phase is derived
+/// from the unloaded full-circulation latency plus per-node processing,
+/// padded by `queueing_slack` for contention:
+///
+/// ```text
+/// timeout = unloaded_latency(nodes)
+///         + nodes × (snoop_time + gateway_latency)
+///         + queueing_slack
+/// ```
+///
+/// Retries back off exponentially: retry *k* waits
+/// `min(backoff_base × 2^(k−1), backoff_cap)` before re-issuing. After
+/// `retry_cap` retries of one transaction, the line enters *degraded
+/// mode*: further attempts use Lazy forwarding (snoop everywhere, filter
+/// nothing), trading latency for the strongest delivery redundancy the
+/// ring offers. Retries continue past the cap — the fault budget is
+/// bounded, so a retry eventually circulates cleanly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryParams {
+    /// Contention padding added to the derived unloaded timeout.
+    pub queueing_slack: Cycles,
+    /// Backoff before the first retry.
+    pub backoff_base: Cycles,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap: Cycles,
+    /// Retries of one transaction before its line degrades to Lazy.
+    pub retry_cap: u32,
+}
+
+impl Default for RecoveryParams {
+    fn default() -> Self {
+        RecoveryParams {
+            // ~2 full unloaded circulations of headroom: generous enough
+            // that congestion alone rarely trips a spurious (but still
+            // harmless) retry, tight enough to bound recovery latency.
+            queueing_slack: Cycles(700),
+            backoff_base: Cycles(64),
+            backoff_cap: Cycles(4096),
+            retry_cap: 3,
+        }
+    }
+}
+
 /// The full machine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineConfig {
@@ -124,6 +174,8 @@ pub struct MachineConfig {
     pub data_net: DataNetParams,
     /// Policy knobs.
     pub policy: PolicyParams,
+    /// Unreliable-ring recovery (inert on a lossless ring).
+    pub recovery: RecoveryParams,
 }
 
 impl MachineConfig {
@@ -180,6 +232,7 @@ impl MachineConfig {
                 max_outstanding_reads: 1,
                 write_filtering: false,
             },
+            recovery: RecoveryParams::default(),
         }
     }
 
@@ -208,6 +261,12 @@ impl MachineConfig {
         }
         if self.policy.max_outstanding_reads == 0 {
             return Err("cores need at least one outstanding read".into());
+        }
+        if self.recovery.backoff_base.as_u64() == 0 {
+            return Err("retry backoff base must be positive".into());
+        }
+        if self.recovery.backoff_cap < self.recovery.backoff_base {
+            return Err("retry backoff cap must be at least the base".into());
         }
         let l1_lines = self.caches.l1_bytes / self.caches.line_bytes;
         if !l1_lines.is_multiple_of(self.caches.l1_ways)

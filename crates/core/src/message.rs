@@ -149,6 +149,15 @@ pub struct RingMsg {
     pub requester: CmpId,
     /// Payload.
     pub kind: MsgKind,
+    /// Which circulation attempt of the transaction this message belongs
+    /// to (0 = the original issue; bumped by timeout retries). Deliveries
+    /// from superseded attempts are discarded on an unreliable ring.
+    pub attempt: u32,
+    /// Emission sequence number, unique per `(txn, attempt)` emission.
+    /// Each emitted message reaches exactly one downstream gateway, so a
+    /// repeated `(attempt, seq)` delivery is an injected duplicate and is
+    /// suppressed. Always 0 on a lossless ring (never consulted).
+    pub seq: u32,
 }
 
 #[cfg(test)]

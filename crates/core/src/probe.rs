@@ -33,6 +33,7 @@
 
 use flexsnoop_engine::Cycles;
 use flexsnoop_metrics::Histogram;
+use flexsnoop_net::RingFault;
 
 use crate::algorithm::SnoopAction;
 
@@ -80,6 +81,36 @@ pub trait Probe: Send {
         let _ = queue_depth;
     }
 
+    /// The fault plan perturbed one link crossing (drop, duplicate or
+    /// delay). Only fired on an unreliable ring.
+    fn ring_fault(&mut self, fault: RingFault) {
+        let _ = fault;
+    }
+
+    /// A delivery was discarded by sequence-number dedup: `stale` is
+    /// true when it belonged to a superseded retry attempt, false when
+    /// it was a duplicate of an already-processed message.
+    fn delivery_suppressed(&mut self, stale: bool) {
+        let _ = stale;
+    }
+
+    /// A requester-side timeout fired and found its transaction's ring
+    /// phase still unresolved; `attempt` is the attempt that timed out
+    /// (0 = the original issue).
+    fn timeout_fired(&mut self, attempt: u32) {
+        let _ = attempt;
+    }
+
+    /// A transaction was re-issued on the ring after a timeout;
+    /// `attempt` is the new attempt number (1 = first retry).
+    fn retry_issued(&mut self, attempt: u32) {
+        let _ = attempt;
+    }
+
+    /// A line entered degraded (Lazy-forwarding) mode after a
+    /// transaction exhausted its retry cap.
+    fn degraded_mode_entered(&mut self) {}
+
     /// The aggregated report, if this probe produces one.
     ///
     /// The default returns `None`; [`CountingProbe`] overrides it. This
@@ -121,6 +152,22 @@ pub struct ProbeReport {
     pub queue_depth_high_water: usize,
     /// Leave-to-arrival latency of every ring hop, in cycles.
     pub ring_hop_latency: Histogram,
+    /// Ring messages dropped by the fault plan.
+    pub ring_drops: u64,
+    /// Ring messages duplicated by the fault plan.
+    pub ring_duplicates: u64,
+    /// Ring messages delayed by the fault plan.
+    pub ring_delays: u64,
+    /// Duplicate deliveries suppressed by sequence-number dedup.
+    pub duplicates_suppressed: u64,
+    /// Deliveries discarded for belonging to a superseded attempt.
+    pub stale_deliveries: u64,
+    /// Requester-side timeouts that fired.
+    pub timeouts: u64,
+    /// Transaction retries issued.
+    pub retries: u64,
+    /// Lines that entered degraded (Lazy-forwarding) mode.
+    pub degraded_entries: u64,
 }
 
 impl ProbeReport {
@@ -208,6 +255,34 @@ impl Probe for CountingProbe {
         }
     }
 
+    fn ring_fault(&mut self, fault: RingFault) {
+        match fault {
+            RingFault::Dropped => self.report.ring_drops += 1,
+            RingFault::Duplicated => self.report.ring_duplicates += 1,
+            RingFault::Delayed(_) => self.report.ring_delays += 1,
+        }
+    }
+
+    fn delivery_suppressed(&mut self, stale: bool) {
+        if stale {
+            self.report.stale_deliveries += 1;
+        } else {
+            self.report.duplicates_suppressed += 1;
+        }
+    }
+
+    fn timeout_fired(&mut self, _attempt: u32) {
+        self.report.timeouts += 1;
+    }
+
+    fn retry_issued(&mut self, _attempt: u32) {
+        self.report.retries += 1;
+    }
+
+    fn degraded_mode_entered(&mut self) {
+        self.report.degraded_entries += 1;
+    }
+
     fn report(&self) -> Option<ProbeReport> {
         Some(self.report.clone())
     }
@@ -235,6 +310,15 @@ mod tests {
         p.event_dispatched(3);
         p.event_dispatched(7);
         p.event_dispatched(2);
+        p.ring_fault(RingFault::Dropped);
+        p.ring_fault(RingFault::Duplicated);
+        p.ring_fault(RingFault::Delayed(Cycles(10)));
+        p.ring_fault(RingFault::Dropped);
+        p.delivery_suppressed(false);
+        p.delivery_suppressed(true);
+        p.timeout_fired(0);
+        p.retry_issued(1);
+        p.degraded_mode_entered();
         let r = p.report().unwrap();
         assert_eq!(r.forwards, 2);
         assert_eq!(r.forward_then_snoop, 1);
@@ -252,6 +336,14 @@ mod tests {
         assert_eq!(r.ring_hop_latency.max(), Some(20));
         assert_eq!(r.events, 3);
         assert_eq!(r.queue_depth_high_water, 7);
+        assert_eq!(r.ring_drops, 2);
+        assert_eq!(r.ring_duplicates, 1);
+        assert_eq!(r.ring_delays, 1);
+        assert_eq!(r.duplicates_suppressed, 1);
+        assert_eq!(r.stale_deliveries, 1);
+        assert_eq!(r.timeouts, 1);
+        assert_eq!(r.retries, 1);
+        assert_eq!(r.degraded_entries, 1);
     }
 
     #[test]
@@ -265,6 +357,11 @@ mod tests {
         s.predictor_trained(1);
         s.ring_hop(Cycles(1));
         s.event_dispatched(1);
+        s.ring_fault(RingFault::Dropped);
+        s.delivery_suppressed(true);
+        s.timeout_fired(0);
+        s.retry_issued(1);
+        s.degraded_mode_entered();
         assert!(s.report().is_none());
     }
 

@@ -26,7 +26,7 @@ use std::collections::VecDeque;
 use flexsnoop_engine::{Cycle, Cycles, FxHashMap, FxHashSet, QueueKind, Resource, Scheduler};
 use flexsnoop_mem::{CacheGeometry, CmpCaches, CmpId, CoherState, InvalidateOutcome, LineAddr};
 use flexsnoop_metrics::{EnergyCategory, EnergyModel};
-use flexsnoop_net::{RingConfig, RingNetwork, Torus, TorusConfig};
+use flexsnoop_net::{FaultPlan, FaultStats, RingConfig, RingNetwork, Torus, TorusConfig};
 use flexsnoop_predictor::{BloomFilter, BloomSpec, PredictorSpec, SupplierPredictor};
 use flexsnoop_workload::{AccessStream, MemAccess, WorkloadProfile};
 
@@ -113,6 +113,30 @@ struct Txn {
     blocking: bool,
     /// Memory fill state chosen when the negative reply returned.
     fill_state: CoherState,
+    /// Current circulation attempt (0 = original issue). Only advances on
+    /// an unreliable ring with recovery enabled.
+    attempt: u32,
+    /// Next emission sequence number for the current attempt.
+    emit_seq: u32,
+    /// Bitset of sequence numbers already delivered this attempt, for
+    /// duplicate suppression. Empty (never allocated) on a lossless ring.
+    seen_seqs: Vec<u64>,
+}
+
+impl Txn {
+    fn seen(&self, seq: u32) -> bool {
+        self.seen_seqs
+            .get(seq as usize / 64)
+            .is_some_and(|w| w & (1 << (seq % 64)) != 0)
+    }
+
+    fn mark_seen(&mut self, seq: u32) {
+        let word = seq as usize / 64;
+        if self.seen_seqs.len() <= word {
+            self.seen_seqs.resize(word + 1, 0);
+        }
+        self.seen_seqs[word] |= 1 << (seq % 64);
+    }
 }
 
 struct CoreState {
@@ -138,14 +162,27 @@ enum Event {
     },
     /// A ring message arrives at a node's gateway.
     RingArrive { msg: RingMsg, node: CmpId },
-    /// A read-snoop operation completes at a node.
-    SnoopDone { txn: TxnId, node: CmpId },
+    /// A read-snoop operation completes at a node. `attempt` tags the
+    /// circulation that started it; completions from superseded attempts
+    /// are counted (the work happened) but drive no protocol state.
+    SnoopDone {
+        txn: TxnId,
+        node: CmpId,
+        attempt: u32,
+    },
     /// A write-snoop (invalidation) completes at a node.
-    WriteSnoopDone { txn: TxnId, node: CmpId },
+    WriteSnoopDone {
+        txn: TxnId,
+        node: CmpId,
+        attempt: u32,
+    },
     /// Cache-to-cache data reaches the requester.
     DataArrive { txn: TxnId },
     /// Memory data reaches the requester.
     MemData { txn: TxnId },
+    /// The requester-side recovery timer for one circulation attempt
+    /// expired (only scheduled on an unreliable ring with recovery on).
+    Timeout { txn: TxnId, attempt: u32 },
 }
 
 /// The full-machine simulator for one (algorithm, predictor, workload) run.
@@ -198,6 +235,19 @@ pub struct Simulator {
     line_busy: FxHashMap<LineAddr, (u32, u32)>,
     line_waiters: FxHashMap<LineAddr, VecDeque<(usize, MemAccess)>>,
     downgraded: FxHashSet<LineAddr>,
+    /// Lines that exhausted their retry cap and now always use Lazy
+    /// forwarding (degraded mode; only populated on an unreliable ring).
+    degraded_lines: FxHashSet<LineAddr>,
+    /// A non-lossless fault plan is armed on the ring: sequence numbers
+    /// are assigned and checked, and (with `recovery`) timeouts guard
+    /// every transaction's ring phase.
+    unreliable: bool,
+    /// Timeout/retry recovery is active (default). Disabled only by
+    /// [`Self::set_recovery_enabled`] for the chaos harness's
+    /// self-test: a lossy ring without retries loses transactions.
+    recovery: bool,
+    /// Derived ring-phase timeout (see [`crate::config::RecoveryParams`]).
+    timeout_base: Cycles,
     /// Recycled `node_states` buffers from retired transactions, so the
     /// steady state allocates no per-transaction memory.
     node_state_pool: Vec<Vec<NodeState>>,
@@ -355,6 +405,10 @@ impl Simulator {
             line_busy: FxHashMap::default(),
             line_waiters: FxHashMap::default(),
             downgraded: FxHashSet::default(),
+            degraded_lines: FxHashSet::default(),
+            unreliable: false,
+            recovery: true,
+            timeout_base: Cycles(0),
             node_state_pool: Vec::new(),
             stats: RunStats::new(energy),
             timeline: Timeline::disabled(),
@@ -496,6 +550,81 @@ impl Simulator {
         self.write_snoops_filtered
     }
 
+    /// Arms a ring [`FaultPlan`] (see [`flexsnoop_net::fault`]) and the
+    /// timeout/retry recovery layer. A lossless plan leaves the simulator
+    /// bit-for-bit identical to an unconfigured one. Call before
+    /// [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.finished && self.sched.is_empty(),
+            "set_fault_plan() must be called before run()"
+        );
+        self.unreliable = !plan.is_lossless();
+        self.ring.set_fault_plan(plan);
+        // Ring-phase worst case without contention: a full circulation
+        // of hops plus per-node gateway + snoop processing, padded by
+        // the configured queueing slack. A spurious timeout (pure
+        // congestion) is wasteful but never incorrect: the retry is a
+        // fresh attempt and stale deliveries are discarded. Later
+        // attempts widen this window exponentially (see
+        // [`Self::timeout_window`]) so sustained congestion cannot
+        // livelock the requester.
+        let per_node = self.cfg.timing.snoop_time
+            + self.cfg.timing.gateway_latency
+            + self.cfg.timing.predictor_latency;
+        self.timeout_base = self.ring.unloaded_latency(self.cfg.nodes)
+            + per_node * self.cfg.nodes as u64
+            + self.cfg.recovery.queueing_slack;
+    }
+
+    /// Timeout window for circulation `attempt` of a transaction.
+    ///
+    /// Doubles per attempt: a window that only matched the uncongested
+    /// round trip could expire before *every* circulation under
+    /// sustained congestion (discarding each one as stale and retrying
+    /// forever). Widening guarantees some attempt's window exceeds the
+    /// actual transit time, because faults are budget-bounded and the
+    /// workload is finite. The shift cap only avoids overflow; at 2^16
+    /// windows the queue has long since drained.
+    fn timeout_window(&self, attempt: u32) -> Cycles {
+        Cycles(self.timeout_base.0.saturating_mul(1u64 << attempt.min(16)))
+    }
+
+    /// Enables or disables timeout/retry recovery (on by default). Only
+    /// meaningful with a non-lossless fault plan; disabling it exists so
+    /// the chaos harness can prove that faults without recovery really
+    /// lose transactions (`--no-retry`).
+    pub fn set_recovery_enabled(&mut self, on: bool) {
+        self.recovery = on;
+    }
+
+    /// Ring transactions still in flight (non-zero after
+    /// [`run`](Self::run) only when faults went unrecovered).
+    pub fn in_flight(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Counters for ring faults injected so far (all zero when lossless).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.ring.fault_stats()
+    }
+
+    /// Lines currently in degraded (Lazy-forwarding) mode.
+    pub fn degraded_line_count(&self) -> usize {
+        self.degraded_lines.len()
+    }
+
+    /// Predictions corrupted by armed
+    /// [`flexsnoop_predictor::FaultInjectingPredictor`] wrappers, summed
+    /// over all nodes.
+    pub fn injected_prediction_faults(&self) -> u64 {
+        self.predictors.iter().map(|p| p.injected_faults()).sum()
+    }
+
     /// The coherence state of `line` in one core's L2 (for inspection and
     /// testing).
     pub fn line_state(&self, node: CmpId, core: usize, line: LineAddr) -> CoherState {
@@ -592,8 +721,22 @@ impl Simulator {
             }
             self.dispatch(now, ev);
         }
-        assert_eq!(self.active_cores, 0, "drained queue with cores unfinished");
+        if self.active_cores > 0 {
+            // Only a lossy ring without recovery may strand cores: a lost
+            // message then hangs its transaction forever. Anywhere else
+            // this is a model bug.
+            assert!(
+                self.unreliable && !self.recovery,
+                "drained queue with cores unfinished"
+            );
+            self.stats.robustness.unfinished_cores = self.active_cores as u64;
+        }
         self.stats.exec_cycles = self.sched.now();
+        let fault_stats = self.ring.fault_stats();
+        self.stats.robustness.ring_drops = fault_stats.drops;
+        self.stats.robustness.ring_duplicates = fault_stats.duplicates;
+        self.stats.robustness.ring_delays = fault_stats.delays;
+        self.stats.robustness.injected_prediction_faults = self.injected_prediction_faults();
         // Fold predictor activity into the energy account.
         for p in &self.predictors {
             let c = p.counters();
@@ -648,10 +791,13 @@ impl Simulator {
                 replay,
             } => self.on_core_issue(core, access, replay, now),
             Event::RingArrive { msg, node } => self.on_ring_arrive(msg, node, now),
-            Event::SnoopDone { txn, node } => self.on_snoop_done(txn, node, now),
-            Event::WriteSnoopDone { txn, node } => self.on_write_snoop_done(txn, node, now),
+            Event::SnoopDone { txn, node, attempt } => self.on_snoop_done(txn, node, attempt, now),
+            Event::WriteSnoopDone { txn, node, attempt } => {
+                self.on_write_snoop_done(txn, node, attempt, now)
+            }
             Event::DataArrive { txn } => self.on_data_arrive(txn, now),
             Event::MemData { txn } => self.on_mem_data(txn, now),
+            Event::Timeout { txn, attempt } => self.on_timeout(txn, attempt, now),
         }
     }
 
@@ -822,6 +968,9 @@ impl Simulator {
             resumed: false,
             blocking,
             fill_state: CoherState::Sg,
+            attempt: 0,
+            emit_seq: 0,
+            seen_seqs: Vec::new(),
         });
         self.timeline
             .record(id, now, TxnEvent::Issued { node: requester });
@@ -831,15 +980,37 @@ impl Simulator {
             op,
             requester,
             kind: MsgKind::Combined(ReplyInfo::start()),
+            attempt: 0,
+            seq: 0,
         };
-        self.send_ring(msg, requester, now + self.cfg.timing.gateway_latency, op);
+        let leave = now + self.cfg.timing.gateway_latency;
+        self.send_ring(msg, requester, leave, op);
+        if self.unreliable && self.recovery {
+            self.sched.schedule_at(
+                leave + self.timeout_window(0),
+                Event::Timeout {
+                    txn: id,
+                    attempt: 0,
+                },
+            );
+        }
     }
 
     // ----- ring transport ----------------------------------------------------
 
     /// Sends `msg` over the ring link leaving `from` at `leave`, charging
     /// energy and counting the hop.
-    fn send_ring(&mut self, msg: RingMsg, from: CmpId, leave: Cycle, op: TxnOp) {
+    fn send_ring(&mut self, mut msg: RingMsg, from: CmpId, leave: Cycle, op: TxnOp) {
+        if self.unreliable {
+            // Stamp the current attempt and a fresh emission sequence
+            // number so arrivals can discard duplicates and superseded
+            // circulations.
+            if let Some(t) = self.txns.get_mut(msg.txn) {
+                msg.attempt = t.attempt;
+                msg.seq = t.emit_seq;
+                t.emit_seq += 1;
+            }
+        }
         self.timeline.record(
             msg.txn,
             leave,
@@ -849,21 +1020,157 @@ impl Simulator {
             },
         );
         let ring_id = self.ring.ring_for(msg.line);
-        let arrival = self.ring.send_hop(ring_id, from, leave);
-        if let Some(p) = self.probe.as_deref_mut() {
-            p.ring_hop(arrival - leave);
-        }
+        let out = self.ring.send_hop_outcome(ring_id, from, leave);
+        // The flit crossed (or occupied) the link either way: hops and
+        // link energy are charged even when the fault plan eats it.
         match op {
             TxnOp::Read => self.stats.read_ring_hops += 1,
             TxnOp::Write => self.stats.write_ring_hops += 1,
         }
         self.stats.energy.add(EnergyCategory::RingLink, 1);
+        if let Some(fault) = out.fault {
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.ring_fault(fault);
+            }
+        }
         let node = self.ring.next_node(from);
-        self.sched
-            .schedule_at(arrival, Event::RingArrive { msg, node });
+        match out.arrival {
+            Some(arrival) => {
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.ring_hop(arrival - leave);
+                }
+                self.sched
+                    .schedule_at(arrival, Event::RingArrive { msg, node });
+            }
+            None => {
+                self.timeline
+                    .record(msg.txn, leave, TxnEvent::Dropped { node: from });
+            }
+        }
+        if let Some(dup_at) = out.duplicate {
+            match op {
+                TxnOp::Read => self.stats.read_ring_hops += 1,
+                TxnOp::Write => self.stats.write_ring_hops += 1,
+            }
+            self.stats.energy.add(EnergyCategory::RingLink, 1);
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.ring_hop(dup_at - leave);
+            }
+            self.sched
+                .schedule_at(dup_at, Event::RingArrive { msg, node });
+        }
+    }
+
+    /// Gatekeeper for deliveries on an unreliable ring: discards messages
+    /// for retired transactions, messages from superseded attempts, and
+    /// injected duplicates (an `(attempt, seq)` pair seen before).
+    fn accept_delivery(&mut self, msg: &RingMsg) -> bool {
+        let stale = match self.txns.get_mut(msg.txn) {
+            None => true,
+            Some(txn) if msg.attempt != txn.attempt => true,
+            Some(txn) => {
+                if txn.seen(msg.seq) {
+                    self.stats.robustness.duplicates_suppressed += 1;
+                    if let Some(p) = self.probe.as_deref_mut() {
+                        p.delivery_suppressed(false);
+                    }
+                    return false;
+                }
+                txn.mark_seen(msg.seq);
+                return true;
+            }
+        };
+        debug_assert!(stale);
+        self.stats.robustness.stale_deliveries += 1;
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.delivery_suppressed(true);
+        }
+        false
+    }
+
+    /// The recovery timer for one circulation attempt fired. If the ring
+    /// phase already resolved (reply returned) or a newer attempt owns the
+    /// transaction, this is a no-op; otherwise the attempt is abandoned and
+    /// the request is re-issued after an exponential backoff. Past the
+    /// retry cap the line additionally enters degraded (Lazy-forwarding)
+    /// mode, removing the predictor-filtering hazard from the retried
+    /// circulations (§4.3.4's safe fallback).
+    fn on_timeout(&mut self, txn_id: TxnId, attempt: u32, now: Cycle) {
+        let Some(txn) = self.txns.get(txn_id) else {
+            return; // retired: the attempt completed before the timer fired
+        };
+        if txn.attempt != attempt || txn.reply_info.is_some() {
+            return;
+        }
+        let line = txn.line;
+        let op = txn.op;
+        let requester = txn.requester;
+        self.stats.robustness.timeouts += 1;
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.timeout_fired(attempt);
+        }
+        self.timeline
+            .record(txn_id, now, TxnEvent::TimedOut { attempt });
+        if attempt >= self.cfg.recovery.retry_cap && self.degraded_lines.insert(line) {
+            self.stats.robustness.degraded_entries += 1;
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.degraded_mode_entered();
+            }
+        }
+        let new_attempt = attempt + 1;
+        let txn = self.txns.get_mut(txn_id).expect("txn checked above");
+        txn.attempt = new_attempt;
+        txn.emit_seq = 0;
+        txn.seen_seqs.clear();
+        // The new circulation restarts Table 2's per-node bookkeeping;
+        // deliveries and snoop completions of the old one are discarded by
+        // their stale attempt tag.
+        for st in txn.node_states.iter_mut() {
+            *st = NodeState::Untouched;
+        }
+        self.stats.robustness.retries += 1;
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.retry_issued(new_attempt);
+        }
+        self.timeline.record(
+            txn_id,
+            now,
+            TxnEvent::Retried {
+                attempt: new_attempt,
+            },
+        );
+        let backoff = {
+            let base = self.cfg.recovery.backoff_base.0;
+            let shift = (new_attempt - 1).min(16);
+            Cycles(
+                base.saturating_mul(1u64 << shift)
+                    .min(self.cfg.recovery.backoff_cap.0),
+            )
+        };
+        let msg = RingMsg {
+            txn: txn_id,
+            line,
+            op,
+            requester,
+            kind: MsgKind::Combined(ReplyInfo::start()),
+            attempt: new_attempt,
+            seq: 0,
+        };
+        let leave = now + backoff + self.cfg.timing.gateway_latency;
+        self.send_ring(msg, requester, leave, op);
+        self.sched.schedule_at(
+            leave + self.timeout_window(new_attempt),
+            Event::Timeout {
+                txn: txn_id,
+                attempt: new_attempt,
+            },
+        );
     }
 
     fn on_ring_arrive(&mut self, msg: RingMsg, node: CmpId, now: Cycle) {
+        if self.unreliable && !self.accept_delivery(&msg) {
+            return;
+        }
         self.timeline.record(
             msg.txn,
             now,
@@ -938,7 +1245,13 @@ impl Simulator {
             _ => None,
         };
         let mut proc = self.cfg.timing.gateway_latency;
-        let action = if self.alg.uses_predictor() {
+        let action = if self.unreliable && self.degraded_lines.contains(&line) {
+            // Degraded mode (retry cap exhausted once for this line):
+            // always snoop-then-forward, Lazy's always-correct primitive,
+            // so no prediction can filter past a supplier while the ring
+            // is actively losing messages.
+            SnoopAction::SnoopThenForward
+        } else if self.alg.uses_predictor() {
             proc += self.cfg.timing.predictor_latency;
             let predicted = self.predictors[node.0].predict(line);
             let actual = self.cmps[node.0].supplier_of(line).is_some();
@@ -1009,10 +1322,10 @@ impl Simulator {
                     ..msg
                 };
                 self.send_ring(out, node, now + proc, TxnOp::Read);
-                self.begin_snoop(msg.txn, node, now + proc, false, acc);
+                self.begin_snoop(msg.txn, node, now + proc, false, acc, msg.attempt);
             }
             SnoopAction::SnoopThenForward => {
-                self.begin_snoop(msg.txn, node, now + proc, true, acc);
+                self.begin_snoop(msg.txn, node, now + proc, true, acc, msg.attempt);
             }
         }
     }
@@ -1024,6 +1337,7 @@ impl Simulator {
         start: Cycle,
         combine_out: bool,
         acc: Option<ReplyInfo>,
+        attempt: u32,
     ) {
         self.set_node_state(
             txn,
@@ -1039,16 +1353,22 @@ impl Simulator {
         let grant = self.snoop_ports[node.0].acquire(start, self.cfg.timing.snoop_occupancy);
         self.sched.schedule_at(
             grant.start + self.cfg.timing.snoop_time,
-            Event::SnoopDone { txn, node },
+            Event::SnoopDone { txn, node, attempt },
         );
     }
 
-    fn on_snoop_done(&mut self, txn_id: TxnId, node: CmpId, now: Cycle) {
+    fn on_snoop_done(&mut self, txn_id: TxnId, node: CmpId, attempt: u32, now: Cycle) {
         self.stats.read_snoops += 1;
         self.stats.energy.add(EnergyCategory::Snoop, 1);
         let Some(txn) = self.txns.get(txn_id) else {
             return; // transaction already retired (stale snoop)
         };
+        if self.unreliable && attempt != txn.attempt {
+            // The snoop belongs to a superseded circulation: the tag check
+            // keeps it from feeding the predictor, supplying data, or
+            // emitting messages. The work (and its energy) still happened.
+            return;
+        }
         let line = txn.line;
         let requester = txn.requester;
         let state = txn.node_states[node.0];
@@ -1146,6 +1466,8 @@ impl Simulator {
             op: txn.op,
             requester: txn.requester,
             kind,
+            attempt: 0, // restamped by send_ring on an unreliable ring
+            seq: 0,
         };
         self.send_ring(
             msg,
@@ -1206,7 +1528,17 @@ impl Simulator {
             }
             NodeState::Finished => { /* stale information: discard */ }
             NodeState::Untouched => {
-                unreachable!("reply overtook its request at {node} for {}", msg.txn)
+                // On an unreliable ring the leading request can be dropped
+                // mid-circulation while its trailing reply keeps going; the
+                // orphaned reply is useless past that point (downstream
+                // nodes never saw the request) and the requester's timeout
+                // recovers the transaction. Lossless rings can never
+                // reorder a reply ahead of its request.
+                assert!(
+                    self.unreliable,
+                    "reply overtook its request at {node} for {}",
+                    msg.txn
+                );
             }
         }
     }
@@ -1261,9 +1593,9 @@ impl Simulator {
                         ..msg
                     };
                     self.send_ring(out, node, now + proc, TxnOp::Write);
-                    self.begin_write_snoop(msg.txn, node, now + proc, false, acc);
+                    self.begin_write_snoop(msg.txn, node, now + proc, false, acc, msg.attempt);
                 } else {
-                    self.begin_write_snoop(msg.txn, node, now + proc, true, acc);
+                    self.begin_write_snoop(msg.txn, node, now + proc, true, acc, msg.attempt);
                 }
             }
         }
@@ -1276,6 +1608,7 @@ impl Simulator {
         start: Cycle,
         combine_out: bool,
         acc: Option<ReplyInfo>,
+        attempt: u32,
     ) {
         self.set_node_state(
             txn,
@@ -1291,16 +1624,19 @@ impl Simulator {
         let grant = self.snoop_ports[node.0].acquire(start, self.cfg.timing.snoop_occupancy);
         self.sched.schedule_at(
             grant.start + self.cfg.timing.snoop_time,
-            Event::WriteSnoopDone { txn, node },
+            Event::WriteSnoopDone { txn, node, attempt },
         );
     }
 
-    fn on_write_snoop_done(&mut self, txn_id: TxnId, node: CmpId, now: Cycle) {
+    fn on_write_snoop_done(&mut self, txn_id: TxnId, node: CmpId, attempt: u32, now: Cycle) {
         self.stats.write_snoops += 1;
         self.stats.energy.add(EnergyCategory::Snoop, 1);
         let Some(txn) = self.txns.get(txn_id) else {
             return;
         };
+        if self.unreliable && attempt != txn.attempt {
+            return; // superseded circulation: count the work, change nothing
+        }
         let line = txn.line;
         let requester = txn.requester;
         let needs_data = txn.write_data == WriteData::Remote && !txn.data_sent;
@@ -1387,6 +1723,8 @@ impl Simulator {
             op: TxnOp::Write,
             requester: txn.requester,
             kind,
+            attempt: 0, // restamped by send_ring on an unreliable ring
+            seq: 0,
         };
         self.send_ring(
             msg,
@@ -1441,7 +1779,12 @@ impl Simulator {
                 );
             }
             NodeState::Untouched => {
-                unreachable!("write reply overtook its request at {node}")
+                // Orphaned by a dropped leading request (see the read-side
+                // twin above): discard; the timeout re-issues the write.
+                assert!(
+                    self.unreliable,
+                    "write reply overtook its request at {node}"
+                );
             }
         }
     }

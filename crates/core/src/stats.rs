@@ -4,6 +4,44 @@ use flexsnoop_engine::Cycle;
 use flexsnoop_metrics::{EnergyAccount, EnergyModel, Histogram};
 use flexsnoop_predictor::AccuracyStats;
 
+/// Fault-injection and recovery counters (all zero on a lossless ring).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustnessStats {
+    /// Ring messages dropped by the fault plan.
+    pub ring_drops: u64,
+    /// Ring messages duplicated by the fault plan.
+    pub ring_duplicates: u64,
+    /// Ring messages delivered late by the fault plan.
+    pub ring_delays: u64,
+    /// Duplicate deliveries suppressed by sequence-number filtering.
+    pub duplicates_suppressed: u64,
+    /// Deliveries discarded because they belonged to a superseded
+    /// (retried) attempt of their transaction.
+    pub stale_deliveries: u64,
+    /// Requester-side timeouts that fired and found the ring phase
+    /// still unresolved.
+    pub timeouts: u64,
+    /// Transaction retries issued (re-circulations after a timeout).
+    pub retries: u64,
+    /// Lines that entered degraded (Lazy-forwarding) mode after a
+    /// transaction exhausted its retry cap.
+    pub degraded_entries: u64,
+    /// Cores whose access stream had not finished when the event queue
+    /// drained (only possible with recovery disabled; a lossy ring
+    /// without retries loses transactions).
+    pub unfinished_cores: u64,
+    /// Predictions corrupted by an armed
+    /// [`flexsnoop_predictor::FaultInjectingPredictor`].
+    pub injected_prediction_faults: u64,
+}
+
+impl RobustnessStats {
+    /// Whether any fault was injected or any recovery action taken.
+    pub fn is_quiet(&self) -> bool {
+        *self == RobustnessStats::default()
+    }
+}
+
 /// Statistics collected over one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
@@ -54,6 +92,8 @@ pub struct RunStats {
     pub energy: EnergyAccount,
     /// Supplier-predictor accuracy (summed over all nodes).
     pub accuracy: AccuracyStats,
+    /// Fault-injection and recovery counters.
+    pub robustness: RobustnessStats,
 }
 
 impl RunStats {
@@ -82,6 +122,7 @@ impl RunStats {
             exec_cycles: Cycle::ZERO,
             energy: EnergyAccount::new(model),
             accuracy: AccuracyStats::default(),
+            robustness: RobustnessStats::default(),
         }
     }
 

@@ -76,6 +76,21 @@ pub enum TxnEvent {
     Completed,
     /// The transaction retired (ring message returned, line released).
     Retired,
+    /// A ring message for this transaction was dropped by the fault plan.
+    Dropped {
+        /// The node whose outgoing link lost the message.
+        node: CmpId,
+    },
+    /// The requester's timeout fired with the ring phase unresolved.
+    TimedOut {
+        /// The attempt that timed out (0 = original issue).
+        attempt: u32,
+    },
+    /// The transaction was re-issued on the ring after a timeout.
+    Retried {
+        /// The new attempt number (1 = first retry).
+        attempt: u32,
+    },
 }
 
 impl std::fmt::Display for TxnEvent {
@@ -110,6 +125,9 @@ impl std::fmt::Display for TxnEvent {
             }
             TxnEvent::Completed => write!(f, "core resumes"),
             TxnEvent::Retired => write!(f, "retired"),
+            TxnEvent::Dropped { node } => write!(f, "message DROPPED leaving {node}"),
+            TxnEvent::TimedOut { attempt } => write!(f, "timeout (attempt {attempt})"),
+            TxnEvent::Retried { attempt } => write!(f, "retry: attempt {attempt} issued"),
         }
     }
 }

@@ -1,0 +1,459 @@
+//! Deterministic fault injection for the embedded ring.
+//!
+//! The paper's correctness argument (§4.3.4) assumes a lossless ring:
+//! every snoop request, reply and combined R/R message is delivered
+//! exactly once. Real ring NoCs drop, duplicate and delay messages. A
+//! [`FaultPlan`] describes a *bounded, seeded* schedule of such faults:
+//!
+//! * **drops** — a message crossing a link vanishes (per-link probability,
+//!   optionally overridden for designated lossy links);
+//! * **duplicates** — a second copy of the message serializes behind the
+//!   original on the same link and arrives later;
+//! * **delays** — the message arrives late by a bounded random amount
+//!   (transient latency degradation);
+//! * **stall windows** — a node is unable to forward for a fixed window
+//!   of cycles; messages leaving it wait for the window to close.
+//!
+//! Faults are drawn from the plan's own [`SplitMix64`] stream, so the
+//! schedule is a pure function of `(plan, traffic)` — identical across
+//! runs, queue backends and executor widths. The total number of
+//! randomized faults is capped by [`FaultPlan::budget`]; once spent the
+//! ring is lossless again, which both guarantees forward progress under
+//! retry and makes failing schedules shrinkable by lowering the budget
+//! (faults are consumed in draw order, so a smaller budget keeps a
+//! prefix of the same schedule).
+//!
+//! The default plan ([`FaultPlan::lossless`]) injects nothing and draws
+//! nothing: an unconfigured [`crate::RingNetwork`] behaves bit-for-bit
+//! as before this module existed.
+
+use flexsnoop_engine::{Cycle, Cycles, SplitMix64};
+
+/// A window of cycles during which one node cannot forward messages.
+///
+/// Messages leaving the node inside `[from, until)` depart at `until`
+/// instead (they still queue FIFO on the link afterwards). Stall windows
+/// are part of the deterministic schedule and do not consume the random
+/// fault budget — they end by construction, so they cannot threaten
+/// forward progress.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StallWindow {
+    /// The stalled node.
+    pub node: usize,
+    /// First stalled cycle.
+    pub from: Cycle,
+    /// First cycle after the stall (departures resume here).
+    pub until: Cycle,
+}
+
+impl StallWindow {
+    /// Whether a departure at `now` from `node` is inside this window.
+    pub fn covers(&self, node: usize, now: Cycle) -> bool {
+        self.node == node && now >= self.from && now < self.until
+    }
+}
+
+/// A per-link drop-probability override (a designated lossy link).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDrop {
+    /// Embedded ring index.
+    pub ring: usize,
+    /// Source node of the directed link.
+    pub node: usize,
+    /// Drop probability for messages crossing this link.
+    pub prob: f64,
+}
+
+/// A seeded, bounded schedule of ring faults.
+///
+/// See the [module docs](self) for the fault taxonomy. All probabilities
+/// are per link crossing. `budget` caps the total number of randomized
+/// faults (drops + duplicates + delays) the plan may ever inject; a
+/// budget of zero makes any plan lossless.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the plan's private fault stream.
+    pub seed: u64,
+    /// Baseline per-crossing drop probability.
+    pub drop: f64,
+    /// Per-link drop overrides (first match wins).
+    pub link_drops: Vec<LinkDrop>,
+    /// Per-crossing duplication probability.
+    pub duplicate: f64,
+    /// Per-crossing delay probability.
+    pub delay: f64,
+    /// Maximum injected delay; actual delays are uniform in `[1, max]`.
+    pub delay_max: Cycles,
+    /// Deterministic node-stall windows.
+    pub stalls: Vec<StallWindow>,
+    /// Maximum number of randomized faults ever injected.
+    pub budget: u64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::lossless()
+    }
+}
+
+impl FaultPlan {
+    /// The lossless plan: no faults, no RNG draws, zero overhead.
+    pub fn lossless() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop: 0.0,
+            link_drops: Vec::new(),
+            duplicate: 0.0,
+            delay: 0.0,
+            delay_max: Cycles(0),
+            stalls: Vec::new(),
+            budget: 0,
+        }
+    }
+
+    /// Whether this plan can never perturb a message.
+    pub fn is_lossless(&self) -> bool {
+        let random_faults = self.budget > 0
+            && (self.drop > 0.0
+                || self.duplicate > 0.0
+                || self.delay > 0.0
+                || self.link_drops.iter().any(|l| l.prob > 0.0));
+        !random_faults && self.stalls.is_empty()
+    }
+
+    /// Drop probability for the directed link leaving `node` on `ring`.
+    pub fn drop_for(&self, ring: usize, node: usize) -> f64 {
+        self.link_drops
+            .iter()
+            .find(|l| l.ring == ring && l.node == node)
+            .map_or(self.drop, |l| l.prob)
+    }
+
+    /// Draws a randomized plan for a `nodes × rings` ring, suitable for
+    /// chaos campaigns: small per-crossing probabilities, a bounded
+    /// budget in `[1, 30]`, and (each with probability one half) one
+    /// designated lossy link and one node-stall window.
+    pub fn random(seed: u64, nodes: usize, rings: usize) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let budget = 1 + rng.next_below(30);
+        let drop = rng.next_f64() * 0.03;
+        let duplicate = rng.next_f64() * 0.03;
+        let delay = rng.next_f64() * 0.06;
+        let delay_max = Cycles(50 + rng.next_below(450));
+        let mut link_drops = Vec::new();
+        if rng.chance(0.5) {
+            link_drops.push(LinkDrop {
+                ring: rng.next_below(rings as u64) as usize,
+                node: rng.next_below(nodes as u64) as usize,
+                prob: 0.1 + rng.next_f64() * 0.4,
+            });
+        }
+        let mut stalls = Vec::new();
+        if rng.chance(0.5) {
+            let from = Cycle::new(rng.next_below(20_000));
+            stalls.push(StallWindow {
+                node: rng.next_below(nodes as u64) as usize,
+                from,
+                until: from + Cycles(100 + rng.next_below(3_000)),
+            });
+        }
+        FaultPlan {
+            seed,
+            drop,
+            link_drops,
+            duplicate,
+            delay,
+            delay_max,
+            stalls,
+            budget,
+        }
+    }
+
+    /// Returns a copy with a smaller fault budget. Because randomized
+    /// faults are consumed in draw order, the copy injects a prefix of
+    /// this plan's fault schedule — the shrinking step of the chaos
+    /// campaign.
+    pub fn with_budget(&self, budget: u64) -> Self {
+        let mut plan = self.clone();
+        plan.budget = budget;
+        plan
+    }
+
+    /// One-line human description for logs and reproducer recipes.
+    pub fn describe(&self) -> String {
+        if self.is_lossless() {
+            return "lossless".into();
+        }
+        let mut s = format!(
+            "seed={} budget={} drop={:.4} dup={:.4} delay={:.4}x{}",
+            self.seed, self.budget, self.drop, self.duplicate, self.delay, self.delay_max.0
+        );
+        for l in &self.link_drops {
+            s.push_str(&format!(" lossy[r{}n{}]={:.3}", l.ring, l.node, l.prob));
+        }
+        for w in &self.stalls {
+            s.push_str(&format!(
+                " stall[n{}]={}..{}",
+                w.node,
+                w.from.as_u64(),
+                w.until.as_u64()
+            ));
+        }
+        s
+    }
+}
+
+/// Counters for faults actually injected by a ring network.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Messages dropped mid-link.
+    pub drops: u64,
+    /// Messages duplicated (one extra copy each).
+    pub duplicates: u64,
+    /// Messages delivered late.
+    pub delays: u64,
+    /// Total extra cycles added by injected delays.
+    pub delay_cycles: u64,
+    /// Departures deferred by a stall window.
+    pub stall_hits: u64,
+    /// Total cycles departures spent waiting out stall windows.
+    pub stall_cycles: u64,
+}
+
+impl FaultStats {
+    /// Randomized faults injected (drops + duplicates + delays); the
+    /// quantity bounded by [`FaultPlan::budget`].
+    pub fn injected(&self) -> u64 {
+        self.drops + self.duplicates + self.delays
+    }
+}
+
+/// What the fault layer did to one link crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingFault {
+    /// The message vanished; it will never arrive.
+    Dropped,
+    /// A second copy was enqueued behind the original.
+    Duplicated,
+    /// Delivery was deferred by the given extra cycles.
+    Delayed(Cycles),
+}
+
+/// The outcome of sending one message over one link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopOutcome {
+    /// Arrival time of the message at the downstream node, or `None` if
+    /// the message was dropped.
+    pub arrival: Option<Cycle>,
+    /// Arrival time of an injected duplicate copy, if one was created.
+    pub duplicate: Option<Cycle>,
+    /// The fault injected on this crossing, if any.
+    pub fault: Option<RingFault>,
+}
+
+impl HopOutcome {
+    /// A clean delivery at `at`.
+    pub fn delivered(at: Cycle) -> Self {
+        HopOutcome {
+            arrival: Some(at),
+            duplicate: None,
+            fault: None,
+        }
+    }
+}
+
+/// Live fault-injection state attached to a ring network: the plan, its
+/// private RNG stream, the remaining budget and the injected-fault
+/// counters.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    spent: u64,
+    stats: FaultStats,
+}
+
+impl FaultState {
+    /// Arms a plan. The RNG stream is derived from `plan.seed`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SplitMix64::new(plan.seed);
+        FaultState {
+            plan,
+            rng,
+            spent: 0,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// The armed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Counters for faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// Randomized-fault budget still available.
+    pub fn remaining_budget(&self) -> u64 {
+        self.plan.budget.saturating_sub(self.spent)
+    }
+
+    /// Adjusts a departure time for stall windows covering `node`.
+    pub fn departure(&mut self, node: usize, now: Cycle) -> Cycle {
+        let mut depart = now;
+        // Windows may abut; take the furthest `until` that still covers
+        // the (possibly already deferred) departure.
+        while let Some(w) = self
+            .plan
+            .stalls
+            .iter()
+            .find(|w| w.covers(node, depart))
+            .copied()
+        {
+            self.stats.stall_hits += 1;
+            self.stats.stall_cycles += (w.until - depart).0;
+            depart = w.until;
+        }
+        depart
+    }
+
+    /// Draws the fault decision for one crossing of the link leaving
+    /// `node` on `ring`. At most one randomized fault fires per
+    /// crossing; once the budget is spent every crossing is clean and no
+    /// RNG state advances.
+    pub fn decide(&mut self, ring: usize, node: usize) -> Option<RingFault> {
+        if self.spent >= self.plan.budget {
+            return None;
+        }
+        let p_drop = self.plan.drop_for(ring, node);
+        if p_drop > 0.0 && self.rng.chance(p_drop) {
+            self.spent += 1;
+            self.stats.drops += 1;
+            return Some(RingFault::Dropped);
+        }
+        if self.plan.duplicate > 0.0 && self.rng.chance(self.plan.duplicate) {
+            self.spent += 1;
+            self.stats.duplicates += 1;
+            return Some(RingFault::Duplicated);
+        }
+        if self.plan.delay > 0.0 && self.rng.chance(self.plan.delay) {
+            let extra = Cycles(1 + self.rng.next_below(self.plan.delay_max.0.max(1)));
+            self.spent += 1;
+            self.stats.delays += 1;
+            self.stats.delay_cycles += extra.0;
+            return Some(RingFault::Delayed(extra));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_is_lossless() {
+        assert!(FaultPlan::lossless().is_lossless());
+        assert!(FaultPlan::default().is_lossless());
+        // Nonzero probabilities with a zero budget still inject nothing.
+        let mut p = FaultPlan::lossless();
+        p.drop = 0.9;
+        assert!(p.is_lossless());
+        p.budget = 1;
+        assert!(!p.is_lossless());
+    }
+
+    #[test]
+    fn stall_window_coverage() {
+        let w = StallWindow {
+            node: 3,
+            from: Cycle::new(10),
+            until: Cycle::new(20),
+        };
+        assert!(!w.covers(3, Cycle::new(9)));
+        assert!(w.covers(3, Cycle::new(10)));
+        assert!(w.covers(3, Cycle::new(19)));
+        assert!(!w.covers(3, Cycle::new(20)));
+        assert!(!w.covers(4, Cycle::new(15)));
+    }
+
+    #[test]
+    fn link_drop_overrides_baseline() {
+        let mut p = FaultPlan::lossless();
+        p.drop = 0.1;
+        p.link_drops.push(LinkDrop {
+            ring: 0,
+            node: 2,
+            prob: 0.9,
+        });
+        assert_eq!(p.drop_for(0, 2), 0.9);
+        assert_eq!(p.drop_for(0, 3), 0.1);
+        assert_eq!(p.drop_for(1, 2), 0.1);
+    }
+
+    #[test]
+    fn budget_caps_randomized_faults() {
+        let mut p = FaultPlan::lossless();
+        p.drop = 1.0;
+        p.budget = 3;
+        let mut st = FaultState::new(p);
+        let mut drops = 0;
+        for _ in 0..100 {
+            if st.decide(0, 0).is_some() {
+                drops += 1;
+            }
+        }
+        assert_eq!(drops, 3);
+        assert_eq!(st.stats().drops, 3);
+        assert_eq!(st.remaining_budget(), 0);
+    }
+
+    #[test]
+    fn smaller_budget_is_a_prefix_of_the_schedule() {
+        let plan = FaultPlan::random(77, 8, 2);
+        let mut full = FaultState::new(plan.clone());
+        let mut cut = FaultState::new(plan.with_budget(plan.budget.min(2)));
+        let mut full_faults = Vec::new();
+        let mut cut_faults = Vec::new();
+        for i in 0..200_000u64 {
+            let (ring, node) = ((i % 2) as usize, (i % 8) as usize);
+            if let Some(f) = full.decide(ring, node) {
+                full_faults.push((i, f));
+            }
+            if let Some(f) = cut.decide(ring, node) {
+                cut_faults.push((i, f));
+            }
+        }
+        let k = cut_faults.len();
+        assert!(k <= 2);
+        assert_eq!(&full_faults[..k], &cut_faults[..]);
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_bounded() {
+        let a = FaultPlan::random(5, 8, 2);
+        let b = FaultPlan::random(5, 8, 2);
+        assert_eq!(a, b);
+        assert!((1..=30).contains(&a.budget));
+        assert!(!a.is_lossless());
+        assert!(a.describe().contains("seed=5"));
+    }
+
+    #[test]
+    fn stall_departure_defers_and_counts() {
+        let mut p = FaultPlan::lossless();
+        p.stalls.push(StallWindow {
+            node: 1,
+            from: Cycle::new(100),
+            until: Cycle::new(150),
+        });
+        let mut st = FaultState::new(p);
+        assert_eq!(st.departure(1, Cycle::new(120)), Cycle::new(150));
+        assert_eq!(st.departure(1, Cycle::new(99)), Cycle::new(99));
+        assert_eq!(st.departure(0, Cycle::new(120)), Cycle::new(120));
+        assert_eq!(st.stats().stall_hits, 1);
+        assert_eq!(st.stats().stall_cycles, 30);
+    }
+}

@@ -13,8 +13,10 @@
 //! ([`flexsnoop_engine::Resource`]): a message arriving at a busy link
 //! queues behind earlier traffic.
 
+pub mod fault;
 pub mod ring;
 pub mod torus;
 
+pub use fault::{FaultPlan, FaultStats, HopOutcome, LinkDrop, RingFault, StallWindow};
 pub use ring::{RingConfig, RingNetwork};
 pub use torus::{Torus, TorusConfig};

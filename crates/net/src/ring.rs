@@ -12,6 +12,8 @@
 use flexsnoop_engine::{Cycle, Cycles, Resource};
 use flexsnoop_mem::{CmpId, LineAddr};
 
+use crate::fault::{FaultPlan, FaultState, FaultStats, HopOutcome, RingFault};
+
 /// Static parameters of the embedded ring network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RingConfig {
@@ -69,6 +71,9 @@ pub struct RingNetwork {
     links: Vec<Vec<Resource>>,
     messages_sent: u64,
     link_crossings: u64,
+    /// Armed fault injection, if any (see [`crate::fault`]). `None` is
+    /// the lossless fast path: no RNG, no per-hop overhead.
+    faults: Option<FaultState>,
 }
 
 impl RingNetwork {
@@ -86,7 +91,36 @@ impl RingNetwork {
                 .collect(),
             messages_sent: 0,
             link_crossings: 0,
+            faults: None,
         }
+    }
+
+    /// Arms a fault plan; a lossless plan disarms injection entirely so
+    /// the hot path stays RNG-free.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = if plan.is_lossless() {
+            None
+        } else {
+            Some(FaultState::new(plan))
+        };
+    }
+
+    /// Whether a (non-lossless) fault plan is armed.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
+    }
+
+    /// Counters for faults injected so far (all zero when lossless).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
+            .as_ref()
+            .map(FaultState::stats)
+            .unwrap_or_default()
     }
 
     /// The configuration this network was built with.
@@ -103,15 +137,82 @@ impl RingNetwork {
     /// time `now`; returns its arrival time at the next node downstream,
     /// accounting for link occupancy (FIFO queueing) and propagation.
     ///
+    /// Only valid on a lossless ring; callers that armed a fault plan
+    /// must use [`Self::send_hop_outcome`] so drops and duplicates are
+    /// observable.
+    ///
     /// # Panics
     ///
-    /// Panics if `ring` or `from` are out of range.
+    /// Panics if `ring` or `from` are out of range, or if a fault plan
+    /// is armed.
     pub fn send_hop(&mut self, ring: usize, from: CmpId, now: Cycle) -> Cycle {
+        assert!(
+            self.faults.is_none(),
+            "send_hop on an unreliable ring; use send_hop_outcome"
+        );
         let link = &mut self.links[ring][from.0];
         let grant = link.acquire(now, self.config.link_service);
         self.messages_sent += 1;
         self.link_crossings += 1;
         grant.end + self.config.hop_latency
+    }
+
+    /// [`Self::send_hop`] with fault injection: the message may be
+    /// dropped, duplicated or delayed per the armed [`FaultPlan`], and a
+    /// stall window covering `from` defers its departure.
+    ///
+    /// Dropped messages still occupy the link and count as crossings
+    /// (the flit crosses part of the link before vanishing; energy is
+    /// spent either way); a duplicate serializes behind the original on
+    /// the same link. Without an armed plan this is exactly `send_hop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring` or `from` are out of range.
+    pub fn send_hop_outcome(&mut self, ring: usize, from: CmpId, now: Cycle) -> HopOutcome {
+        let Some(faults) = &mut self.faults else {
+            let link = &mut self.links[ring][from.0];
+            let grant = link.acquire(now, self.config.link_service);
+            self.messages_sent += 1;
+            self.link_crossings += 1;
+            return HopOutcome::delivered(grant.end + self.config.hop_latency);
+        };
+        let depart = faults.departure(from.0, now);
+        let fault = faults.decide(ring, from.0);
+        let link = &mut self.links[ring][from.0];
+        let grant = link.acquire(depart, self.config.link_service);
+        self.messages_sent += 1;
+        self.link_crossings += 1;
+        let base = grant.end + self.config.hop_latency;
+        match fault {
+            None => HopOutcome {
+                arrival: Some(base),
+                duplicate: None,
+                fault: None,
+            },
+            Some(RingFault::Dropped) => HopOutcome {
+                arrival: None,
+                duplicate: None,
+                fault: Some(RingFault::Dropped),
+            },
+            Some(RingFault::Duplicated) => {
+                // The copy is a second real message: it serializes
+                // behind the original and burns its own link crossing.
+                let copy = link.acquire(grant.end, self.config.link_service);
+                self.messages_sent += 1;
+                self.link_crossings += 1;
+                HopOutcome {
+                    arrival: Some(base),
+                    duplicate: Some(copy.end + self.config.hop_latency),
+                    fault: Some(RingFault::Duplicated),
+                }
+            }
+            Some(RingFault::Delayed(extra)) => HopOutcome {
+                arrival: Some(base + extra),
+                duplicate: None,
+                fault: Some(RingFault::Delayed(extra)),
+            },
+        }
     }
 
     /// The node downstream of `from`.
@@ -202,6 +303,79 @@ mod tests {
             n.send_hop(0, CmpId(i % 8), Cycle::new(i as u64 * 100));
         }
         assert_eq!(n.link_crossings(), 5);
+    }
+
+    #[test]
+    fn lossless_outcome_matches_send_hop() {
+        let mut a = net();
+        let mut b = net();
+        b.set_fault_plan(crate::fault::FaultPlan::lossless()); // stays disarmed
+        for i in 0..20u64 {
+            let from = CmpId((i % 8) as usize);
+            let t = Cycle::new(i * 13);
+            let plain = a.send_hop(0, from, t);
+            let out = b.send_hop_outcome(0, from, t);
+            assert_eq!(out, crate::fault::HopOutcome::delivered(plain));
+        }
+        assert_eq!(a.link_crossings(), b.link_crossings());
+    }
+
+    #[test]
+    fn always_drop_plan_drops_everything() {
+        let mut n = net();
+        let mut plan = crate::fault::FaultPlan::lossless();
+        plan.drop = 1.0;
+        plan.budget = u64::MAX;
+        n.set_fault_plan(plan);
+        let out = n.send_hop_outcome(0, CmpId(0), Cycle::new(0));
+        assert_eq!(out.arrival, None);
+        assert_eq!(out.fault, Some(crate::fault::RingFault::Dropped));
+        assert_eq!(n.fault_stats().drops, 1);
+        assert_eq!(n.link_crossings(), 1, "a dropped flit still crossed");
+    }
+
+    #[test]
+    fn duplicate_serializes_behind_original() {
+        let mut n = net();
+        let mut plan = crate::fault::FaultPlan::lossless();
+        plan.duplicate = 1.0;
+        plan.budget = 1;
+        n.set_fault_plan(plan);
+        let out = n.send_hop_outcome(0, CmpId(0), Cycle::new(0));
+        assert_eq!(out.arrival, Some(Cycle::new(43)));
+        assert_eq!(out.duplicate, Some(Cycle::new(47)));
+        assert_eq!(n.fault_stats().duplicates, 1);
+        assert_eq!(n.link_crossings(), 2, "the copy is a real crossing");
+        // Budget spent: the next crossing is clean.
+        let out = n.send_hop_outcome(0, CmpId(1), Cycle::new(0));
+        assert_eq!(out.fault, None);
+    }
+
+    #[test]
+    fn stall_window_defers_departure() {
+        let mut n = net();
+        let mut plan = crate::fault::FaultPlan::lossless();
+        plan.stalls.push(crate::fault::StallWindow {
+            node: 2,
+            from: Cycle::new(0),
+            until: Cycle::new(100),
+        });
+        n.set_fault_plan(plan);
+        let out = n.send_hop_outcome(0, CmpId(2), Cycle::new(10));
+        assert_eq!(out.arrival, Some(Cycle::new(143)));
+        assert_eq!(n.fault_stats().stall_hits, 1);
+        assert_eq!(n.fault_stats().stall_cycles, 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "send_hop on an unreliable ring")]
+    fn send_hop_rejects_armed_faults() {
+        let mut n = net();
+        let mut plan = crate::fault::FaultPlan::lossless();
+        plan.drop = 0.5;
+        plan.budget = 1;
+        n.set_fault_plan(plan);
+        n.send_hop(0, CmpId(0), Cycle::new(0));
     }
 
     #[test]

@@ -105,6 +105,10 @@ impl<P: SupplierPredictor> SupplierPredictor for FaultInjectingPredictor<P> {
     fn storage_bits(&self) -> usize {
         self.inner.storage_bits()
     }
+
+    fn injected_faults(&self) -> u64 {
+        self.injected + self.inner.injected_faults()
+    }
 }
 
 #[cfg(test)]

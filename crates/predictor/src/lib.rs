@@ -85,6 +85,46 @@ pub trait SupplierPredictor: std::fmt::Debug {
 
     /// Total storage the predictor occupies, in bits (for reporting).
     fn storage_bits(&self) -> usize;
+
+    /// Predictions this predictor deliberately corrupted (§4.3.4 studies).
+    /// Zero for every honest predictor; [`FaultInjectingPredictor`]
+    /// overrides it so run statistics can surface the injected count.
+    fn injected_faults(&self) -> u64 {
+        0
+    }
+}
+
+/// Boxed predictors forward every call, so wrappers generic over
+/// `P: SupplierPredictor` (such as [`FaultInjectingPredictor`]) can wrap a
+/// runtime-chosen `Box<dyn SupplierPredictor + Send>`.
+impl SupplierPredictor for Box<dyn SupplierPredictor + Send> {
+    fn predict(&mut self, line: LineAddr) -> bool {
+        (**self).predict(line)
+    }
+
+    fn supplier_gained(&mut self, line: LineAddr) -> Option<LineAddr> {
+        (**self).supplier_gained(line)
+    }
+
+    fn supplier_lost(&mut self, line: LineAddr) {
+        (**self).supplier_lost(line)
+    }
+
+    fn feedback(&mut self, line: LineAddr, was_supplier: bool) {
+        (**self).feedback(line, was_supplier)
+    }
+
+    fn counters(&self) -> PredictorCounters {
+        (**self).counters()
+    }
+
+    fn storage_bits(&self) -> usize {
+        (**self).storage_bits()
+    }
+
+    fn injected_faults(&self) -> u64 {
+        (**self).injected_faults()
+    }
 }
 
 /// Predictor stand-in for algorithms that never predict (Lazy, Eager,

@@ -218,6 +218,79 @@ fn random_workloads_stay_coherent() {
 }
 
 // ---------------------------------------------------------------------------
+// Fault tolerance: under ANY bounded random fault schedule, every Table 3
+// algorithm with recovery enabled still retires every transaction, keeps
+// the invariant oracle clean, and leaves a coherent machine.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bounded_fault_schedules_always_recover() {
+    use flexsnoop::{energy_model_for, Algorithm, FaultPlan, MachineConfig, Simulator, VecStream};
+    const TABLE3: [Algorithm; 4] = [
+        Algorithm::Subset,
+        Algorithm::SupersetCon,
+        Algorithm::SupersetAgg,
+        Algorithm::Exact,
+    ];
+    let mut rng = SplitMix64::new(0xFA17_5EED);
+    for case in 0..CASES {
+        let algorithm = TABLE3[(case % 4) as usize];
+        let machine = MachineConfig::isca2006(1);
+        let plan = FaultPlan::random(rng.next_u64(), machine.nodes, machine.ring.rings);
+        let mut scripts: Vec<Vec<MemAccess>> = vec![Vec::new(); machine.nodes];
+        let n = 8 + rng.next_below(112);
+        for i in 0..n {
+            scripts[(i as usize) % machine.nodes].push(MemAccess {
+                line: LineAddr(rng.next_below(64)),
+                write: rng.next_below(2) == 0,
+                think: Cycles(rng.next_below(8)),
+            });
+        }
+        let limit = scripts.iter().map(|s| s.len() as u64).max().unwrap().max(1);
+        let streams: Vec<Box<dyn AccessStream + Send>> = scripts
+            .into_iter()
+            .map(|s| Box::new(VecStream::new(s)) as Box<dyn AccessStream + Send>)
+            .collect();
+        let predictor = algorithm.default_predictor();
+        let mut sim = Simulator::new(
+            machine,
+            algorithm,
+            predictor,
+            energy_model_for(&predictor),
+            streams,
+            limit,
+        )
+        .unwrap();
+        sim.enable_invariant_checks();
+        sim.set_fault_plan(plan.clone());
+        sim.set_recovery_enabled(true);
+        let stats = sim.run();
+        let ctx = format!("{algorithm} under `{}`", plan.describe());
+        assert!(
+            sim.violations().is_empty(),
+            "{ctx}: oracle violation {}",
+            sim.violations()[0]
+        );
+        assert!(
+            sim.validate_coherence().is_ok(),
+            "{ctx}: {:?}",
+            sim.validate_coherence()
+        );
+        assert_eq!(sim.in_flight(), 0, "{ctx}: transactions lost on the ring");
+        assert_eq!(
+            stats.robustness.unfinished_cores, 0,
+            "{ctx}: cores stranded"
+        );
+        // Retried reads may be supplied once per surviving circulation, so
+        // the lossless equality relaxes to an inequality under faults.
+        assert!(
+            stats.reads_cache_supplied + stats.reads_from_memory >= stats.read_txns,
+            "{ctx}: some read retired without a supplier"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Coherence-state algebra: supply transitions always land in a supplier
 // state, downgrades always leave one.
 // ---------------------------------------------------------------------------

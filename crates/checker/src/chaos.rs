@@ -34,7 +34,10 @@
 //! strand transactions, proving the harness can see the failures the
 //! recovery layer prevents.
 
-use flexsnoop::{energy_model_for, Algorithm, FaultPlan, RunStats, Simulator, Violation};
+use flexsnoop::{
+    energy_model_for, Algorithm, FaultPlan, FaultStats, RunStats, Simulator, TimeoutPolicy,
+    Violation,
+};
 use flexsnoop_directory::DirSimulator;
 use flexsnoop_engine::{Executor, QueueKind, SplitMix64};
 use flexsnoop_mem::LineAddr;
@@ -71,6 +74,14 @@ pub struct ChaosOptions {
     /// Override the drawn plans' fault budget (replays a shrunk
     /// reproducer's prefix).
     pub budget: Option<u64>,
+    /// Strip every ring fault from the drawn plans and guarantee torus
+    /// drops instead: the campaign then exercises only the data-network
+    /// fault path (memory legs, cache supplies) and its recovery.
+    pub torus_only: bool,
+    /// Override the machine's requester-timeout policy (`None` keeps the
+    /// config default, [`TimeoutPolicy::Adaptive`]). `Static` replays the
+    /// pre-EWMA fixed-slack timeouts for A/B comparison.
+    pub timeout_policy: Option<TimeoutPolicy>,
 }
 
 impl Default for ChaosOptions {
@@ -86,6 +97,8 @@ impl Default for ChaosOptions {
             determinism_probes: 2,
             schedule: None,
             budget: None,
+            torus_only: false,
+            timeout_policy: None,
         }
     }
 }
@@ -106,6 +119,7 @@ impl ChaosOptions {
 #[derive(Debug, Clone)]
 struct ChaosOutcome {
     stats: RunStats,
+    fault_stats: FaultStats,
     violations: Vec<Violation>,
     coherence: Result<(), String>,
     in_flight: usize,
@@ -136,6 +150,8 @@ pub struct ChaosTotals {
     pub duplicates: u64,
     /// Messages delayed.
     pub delays: u64,
+    /// Torus data messages dropped by fault plans.
+    pub torus_drops: u64,
     /// Injected duplicates suppressed by sequence numbers.
     pub duplicates_suppressed: u64,
     /// Deliveries discarded as belonging to superseded attempts.
@@ -144,8 +160,16 @@ pub struct ChaosTotals {
     pub timeouts: u64,
     /// Retries issued.
     pub retries: u64,
+    /// Retries proven unnecessary by a late stale reply.
+    pub spurious_retries: u64,
+    /// Round-trip samples fed to the adaptive timeout estimators.
+    pub rtt_samples: u64,
     /// Lines that entered degraded (Lazy-forwarding) mode.
     pub degraded_entries: u64,
+    /// Degraded lines re-armed after a clean probation window.
+    pub probation_exits: u64,
+    /// Probation counters reset by a fresh fault burst.
+    pub probation_resets: u64,
 }
 
 impl ChaosTotals {
@@ -154,11 +178,121 @@ impl ChaosTotals {
         self.drops += r.ring_drops;
         self.duplicates += r.ring_duplicates;
         self.delays += r.ring_delays;
+        self.torus_drops += r.torus_drops;
         self.duplicates_suppressed += r.duplicates_suppressed;
         self.stale_deliveries += r.stale_deliveries;
         self.timeouts += r.timeouts;
         self.retries += r.retries;
+        self.spurious_retries += r.spurious_retries;
+        self.rtt_samples += r.rtt_samples;
         self.degraded_entries += r.degraded_entries;
+        self.probation_exits += r.probation_exits;
+        self.probation_resets += r.probation_resets;
+    }
+}
+
+/// The enabled fault kinds, in report/baseline order.
+pub const FAULT_KINDS: [&str; 5] = ["drop", "duplicate", "delay", "stall", "torus-drop"];
+
+/// Per-kind fault coverage: how many plans armed each fault kind and how
+/// many fault events each kind actually injected across the campaign.
+/// The coverage ratchet fails CI when a kind a baseline proves reachable
+/// silently stops injecting (`[ChaosCoverage::regressions]`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosCoverage {
+    /// `[plans that armed the kind, events the kind injected]`, indexed
+    /// like [`FAULT_KINDS`].
+    pub kinds: [[u64; 2]; 5],
+}
+
+impl ChaosCoverage {
+    fn absorb_plan(&mut self, plan: &FaultPlan) {
+        let ring = plan.budget > 0;
+        let armed = [
+            ring && plan.drop > 0.0,
+            ring && plan.duplicate > 0.0,
+            ring && plan.delay > 0.0,
+            !plan.stalls.is_empty(),
+            plan.torus_faults(),
+        ];
+        for (slot, on) in self.kinds.iter_mut().zip(armed) {
+            slot[0] += on as u64;
+        }
+    }
+
+    fn absorb_events(&mut self, f: &FaultStats) {
+        let injected = [f.drops, f.duplicates, f.delays, f.stall_hits, f.torus_drops];
+        for (slot, n) in self.kinds.iter_mut().zip(injected) {
+            slot[1] += n;
+        }
+    }
+
+    /// Events the named kind injected; panics on an unknown kind.
+    pub fn injected(&self, kind: &str) -> u64 {
+        let idx = FAULT_KINDS.iter().position(|&k| k == kind).expect("kind");
+        self.kinds[idx][1]
+    }
+
+    /// Kinds that at least one plan armed but that injected zero events —
+    /// the campaign silently lost coverage of them.
+    pub fn starved_kinds(&self) -> Vec<&'static str> {
+        FAULT_KINDS
+            .iter()
+            .zip(self.kinds)
+            .filter(|&(_, [armed, injected])| armed > 0 && injected == 0)
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    /// Serializes the per-kind injected counts as the checked-in
+    /// baseline format (`<kind> <count>` per line).
+    pub fn render_baseline(&self) -> String {
+        FAULT_KINDS
+            .iter()
+            .zip(self.kinds)
+            .map(|(k, [_, injected])| format!("{k} {injected}\n"))
+            .collect()
+    }
+
+    /// Parses a baseline produced by [`ChaosCoverage::render_baseline`]
+    /// (unknown kinds and blank lines are ignored, so baselines survive
+    /// kind additions).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for a line that is not `<kind> <count>`.
+    pub fn parse_baseline(text: &str) -> Result<ChaosCoverage, String> {
+        let mut cov = ChaosCoverage::default();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let mut parts = line.split_whitespace();
+            let (Some(kind), Some(count)) = (parts.next(), parts.next()) else {
+                return Err(format!("malformed coverage baseline line: `{line}`"));
+            };
+            let count: u64 = count
+                .parse()
+                .map_err(|e| format!("bad count in baseline line `{line}`: {e}"))?;
+            if let Some(idx) = FAULT_KINDS.iter().position(|&k| k == kind) {
+                cov.kinds[idx][1] = count;
+            }
+        }
+        Ok(cov)
+    }
+
+    /// The ratchet: every kind the baseline proves reachable (nonzero
+    /// injected count) must still inject at least one event. Returns one
+    /// line per regressed kind, empty when coverage held.
+    pub fn regressions(&self, baseline: &ChaosCoverage) -> Vec<String> {
+        FAULT_KINDS
+            .iter()
+            .zip(self.kinds.iter().zip(baseline.kinds))
+            .filter(|&(_, (now, base))| base[1] > 0 && now[1] == 0)
+            .map(|(k, (_, base))| {
+                format!(
+                    "fault kind `{k}` injected 0 events (baseline proved {})",
+                    base[1]
+                )
+            })
+            .collect()
     }
 }
 
@@ -183,6 +317,9 @@ pub struct ChaosReport {
     pub recovery: bool,
     /// Campaign-wide fault/recovery totals.
     pub totals: ChaosTotals,
+    /// Per-kind fault coverage (plans armed / events injected), the
+    /// quantity the CI coverage ratchet diffs against its baseline.
+    pub coverage: ChaosCoverage,
     /// Determinism cross-checks performed (and passed, unless listed in
     /// `failures`).
     pub determinism_checks: u64,
@@ -211,9 +348,10 @@ impl ChaosReport {
         out.push_str(&format!(
             "# Chaos campaign: {}\n\n\
              - schedules: {} (runs: {}, recovery: {})\n\
-             - faults injected: {} drops, {} duplicates, {} delays\n\
+             - faults injected: {} drops, {} duplicates, {} delays, {} torus drops\n\
              - recovery activity: {} dup-suppressed, {} stale discarded, \
-             {} timeouts, {} retries, {} degraded lines\n\
+             {} timeouts, {} retries ({} spurious), {} rtt samples, {} degraded lines, \
+             {} probation exits, {} probation resets\n\
              - determinism cross-checks: {}\n\
              - verdict: **{}**\n",
             self.profile,
@@ -223,11 +361,16 @@ impl ChaosReport {
             self.totals.drops,
             self.totals.duplicates,
             self.totals.delays,
+            self.totals.torus_drops,
             self.totals.duplicates_suppressed,
             self.totals.stale_deliveries,
             self.totals.timeouts,
             self.totals.retries,
+            self.totals.spurious_retries,
+            self.totals.rtt_samples,
             self.totals.degraded_entries,
+            self.totals.probation_exits,
+            self.totals.probation_resets,
             self.determinism_checks,
             if self.is_clean() {
                 "CLEAN".to_string()
@@ -238,6 +381,13 @@ impl ChaosReport {
                 )
             }
         ));
+        out.push_str(
+            "\n## Fault coverage\n\n| kind | plans armed | events injected |\n|---|---|---|\n",
+        );
+        for (kind, [armed, injected]) in FAULT_KINDS.iter().zip(self.coverage.kinds) {
+            out.push_str(&format!("| {kind} | {armed} | {injected} |\n"));
+        }
+        out.push('\n');
         if self.baseline_reasons.is_empty() {
             out.push_str("- directory baseline (fault-free): clean\n");
         } else {
@@ -285,7 +435,10 @@ fn run_one(
     kind: QueueKind,
     opts: &ChaosOptions,
 ) -> Result<ChaosOutcome, String> {
-    let machine = machine_for(trace, opts.nodes)?;
+    let mut machine = machine_for(trace, opts.nodes)?;
+    if let Some(policy) = opts.timeout_policy {
+        machine.recovery.timeout_policy = policy;
+    }
     let predictor = alg.default_predictor();
     let energy = energy_model_for(&predictor);
     let mut sim = Simulator::new(
@@ -303,6 +456,7 @@ fn run_one(
     let stats = sim.run();
     Ok(ChaosOutcome {
         stats,
+        fault_stats: sim.fault_stats(),
         violations: sim.violations().to_vec(),
         coherence: sim.validate_coherence(),
         in_flight: sim.in_flight(),
@@ -358,6 +512,29 @@ fn failure_reasons(out: &ChaosOutcome, written: &BTreeSet<LineAddr>) -> Vec<Stri
     reasons
 }
 
+/// Draws the fault plan for one schedule seed, applying the campaign's
+/// plan-level overrides (`torus_only`, pinned budget).
+fn draw_plan(seed: u64, opts: &ChaosOptions, rings: usize) -> FaultPlan {
+    let mut plan = FaultPlan::random(seed, opts.nodes, rings);
+    if opts.torus_only {
+        plan.drop = 0.0;
+        plan.duplicate = 0.0;
+        plan.delay = 0.0;
+        plan.link_drops.clear();
+        plan.stalls.clear();
+        if !plan.torus_faults() {
+            // The seed drew a ring-only plan; give it a deterministic
+            // torus schedule instead so every run exercises the path.
+            plan.torus_drop = 0.03 + (seed % 10) as f64 * 0.01;
+            plan.torus_budget = 2 + seed % 10;
+        }
+    }
+    if let Some(budget) = opts.budget {
+        plan.budget = budget;
+    }
+    plan
+}
+
 /// Shrinks a failing plan to a minimal reproducer: binary-search the
 /// smallest failing budget prefix, then drop whole fault kinds while the
 /// failure persists (fewest distinct faults, then fewest fault kinds).
@@ -393,7 +570,8 @@ fn shrink_plan(
         }
     }
     // Kind elimination: remove whole fault classes while still failing.
-    let simplifications: [fn(&mut FaultPlan); 5] = [
+    let simplifications: [fn(&mut FaultPlan); 6] = [
+        |p| p.torus_drop = 0.0,
         |p| p.stalls.clear(),
         |p| p.link_drops.clear(),
         |p| p.delay = 0.0,
@@ -472,10 +650,7 @@ pub fn run_chaos(profile: &WorkloadProfile, opts: &ChaosOptions) -> Result<Chaos
         .map(|&(seed, alg)| {
             let trace = &trace;
             move || {
-                let mut plan = FaultPlan::random(seed, opts.nodes, rings);
-                if let Some(budget) = opts.budget {
-                    plan.budget = budget;
-                }
+                let plan = draw_plan(seed, opts, rings);
                 run_one(trace, alg, &plan, QueueKind::Heap, opts).map(|out| (plan, out))
             }
         })
@@ -483,11 +658,14 @@ pub fn run_chaos(profile: &WorkloadProfile, opts: &ChaosOptions) -> Result<Chaos
     let results = Executor::new(opts.threads.max(1)).run(tasks);
 
     let mut totals = ChaosTotals::default();
+    let mut coverage = ChaosCoverage::default();
     let mut failures = Vec::new();
     let mut outcomes = Vec::with_capacity(configs.len());
     for (&(seed, alg), result) in configs.iter().zip(results) {
         let (plan, out) = result?;
         totals.absorb(&out.stats);
+        coverage.absorb_plan(&plan);
+        coverage.absorb_events(&out.fault_stats);
         let reasons = failure_reasons(&out, &written);
         if !reasons.is_empty() {
             let minimized = opts
@@ -532,6 +710,7 @@ pub fn run_chaos(profile: &WorkloadProfile, opts: &ChaosOptions) -> Result<Chaos
         runs: configs.len() as u64,
         recovery: opts.recovery,
         totals,
+        coverage,
         determinism_checks: probes as u64,
         baseline_reasons,
         failures,
@@ -632,6 +811,67 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("minimal reproducer"), "{rendered}");
         assert!(rendered.contains("--no-retry"), "{rendered}");
+    }
+
+    #[test]
+    fn torus_only_campaign_is_clean_and_drops_only_torus_messages() {
+        let opts = ChaosOptions {
+            torus_only: true,
+            ..tiny()
+        };
+        let report = run_chaos(&profiles::specweb(), &opts).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(
+            report.totals.torus_drops > 0,
+            "torus-only campaign must inject torus drops: {:?}",
+            report.totals
+        );
+        assert_eq!(
+            report.totals.drops + report.totals.duplicates + report.totals.delays,
+            0,
+            "torus-only plans must carry no ring faults"
+        );
+        for kind in ["drop", "duplicate", "delay", "stall"] {
+            assert_eq!(report.coverage.injected(kind), 0, "{kind}");
+        }
+        assert!(report.coverage.injected("torus-drop") > 0);
+    }
+
+    #[test]
+    fn static_timeout_override_changes_retry_behaviour_not_correctness() {
+        let static_opts = ChaosOptions {
+            timeout_policy: Some(TimeoutPolicy::Static),
+            ..tiny()
+        };
+        let report = run_chaos(&profiles::specweb(), &static_opts).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn coverage_baseline_roundtrip_and_ratchet() {
+        let cov = ChaosCoverage {
+            kinds: [[3, 30], [2, 20], [4, 40], [1, 5], [2, 7]],
+        };
+        let text = cov.render_baseline();
+        let parsed = ChaosCoverage::parse_baseline(&text).unwrap();
+        assert_eq!(parsed.injected("drop"), 30);
+        assert_eq!(parsed.injected("torus-drop"), 7);
+        assert!(cov.regressions(&parsed).is_empty());
+        // A kind the baseline proved reachable going silent is a failure…
+        let mut starved = cov;
+        starved.kinds[4][1] = 0;
+        let regs = starved.regressions(&parsed);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("torus-drop"), "{regs:?}");
+        // …but a kind the baseline never saw is not.
+        let mut sparse_base = parsed;
+        sparse_base.kinds[4][1] = 0;
+        assert!(starved.regressions(&sparse_base).is_empty());
+        assert!(
+            ChaosCoverage::parse_baseline("drop notanumber").is_err(),
+            "malformed counts must be rejected"
+        );
+        assert_eq!(starved.starved_kinds(), vec!["torus-drop"]);
     }
 
     #[test]

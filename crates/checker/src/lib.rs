@@ -42,7 +42,9 @@
 
 pub mod chaos;
 
-pub use chaos::{run_chaos, ChaosFailure, ChaosOptions, ChaosReport, ChaosTotals};
+pub use chaos::{
+    run_chaos, ChaosCoverage, ChaosFailure, ChaosOptions, ChaosReport, ChaosTotals, FAULT_KINDS,
+};
 
 use std::collections::{BTreeMap, BTreeSet};
 

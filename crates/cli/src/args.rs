@@ -79,6 +79,18 @@ pub struct Args {
     /// `--predictor-fault kind:period:budget` for `run`: wrap every
     /// node's predictor in a fault injector (§4.3.4 studies).
     pub predictor_fault: String,
+    /// `--torus-only` for `chaos`: strip ring faults from every drawn
+    /// plan and fault only torus data legs.
+    pub torus_only: bool,
+    /// `--static-timeouts` for `chaos`: replay the pre-EWMA fixed-slack
+    /// requester timeouts (A/B against the adaptive default).
+    pub static_timeouts: bool,
+    /// `--coverage-baseline FILE` for `chaos`: fail when a fault kind
+    /// with a nonzero injected count in FILE records zero draws now.
+    pub coverage_baseline: String,
+    /// `--coverage-out FILE` for `chaos`: write the per-kind injected
+    /// counts in the baseline format (the CI ratchet artifact).
+    pub coverage_out: String,
 }
 
 impl Default for Args {
@@ -105,6 +117,10 @@ impl Default for Args {
             budget: None,
             no_retry: false,
             predictor_fault: String::new(),
+            torus_only: false,
+            static_timeouts: false,
+            coverage_baseline: String::new(),
+            coverage_out: String::new(),
         }
     }
 }
@@ -158,6 +174,14 @@ impl Args {
                     args.no_retry = true;
                     continue;
                 }
+                "--torus-only" => {
+                    args.torus_only = true;
+                    continue;
+                }
+                "--static-timeouts" => {
+                    args.static_timeouts = true;
+                    continue;
+                }
                 _ => {}
             }
             let value = it
@@ -186,6 +210,8 @@ impl Args {
                 "--schedule" => args.schedule = Some(num("--schedule")?),
                 "--budget" => args.budget = Some(num("--budget")?),
                 "--predictor-fault" => args.predictor_fault = value.clone(),
+                "--coverage-baseline" => args.coverage_baseline = value.clone(),
+                "--coverage-out" => args.coverage_out = value.clone(),
                 other => return Err(format!("unknown option {other:?}; try `flexsnoop help`")),
             }
         }
@@ -260,6 +286,18 @@ mod tests {
         assert_eq!(b.schedule, Some(99));
         assert_eq!(b.budget, Some(4));
         assert!(!b.no_retry);
+        assert!(!b.torus_only);
+        assert!(!b.static_timeouts);
+
+        let c = Args::parse(&argv(
+            "chaos --torus-only --static-timeouts \
+             --coverage-baseline base.txt --coverage-out cov.txt",
+        ))
+        .unwrap();
+        assert!(c.torus_only);
+        assert!(c.static_timeouts);
+        assert_eq!(c.coverage_baseline, "base.txt");
+        assert_eq!(c.coverage_out, "cov.txt");
     }
 
     #[test]

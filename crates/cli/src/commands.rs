@@ -384,12 +384,39 @@ pub fn chaos(args: &Args) -> Result<String, String> {
         recovery: !args.no_retry,
         schedule: args.schedule,
         budget: args.budget,
+        torus_only: args.torus_only,
+        timeout_policy: args
+            .static_timeouts
+            .then_some(flexsnoop::TimeoutPolicy::Static),
         ..defaults
     };
     let report = flexsnoop_checker::run_chaos(&workload, &opts)?;
-    let text = report.render();
+    let mut text = report.render();
     if !args.out.is_empty() {
         std::fs::write(&args.out, &text).map_err(|e| format!("write {}: {e}", args.out))?;
+    }
+    if !args.coverage_out.is_empty() {
+        std::fs::write(&args.coverage_out, report.coverage.render_baseline())
+            .map_err(|e| format!("write {}: {e}", args.coverage_out))?;
+    }
+    // The coverage ratchet: every fault kind the checked-in baseline
+    // proved reachable must still inject at least one event.
+    if !args.coverage_baseline.is_empty() {
+        let baseline_text = std::fs::read_to_string(&args.coverage_baseline)
+            .map_err(|e| format!("read {}: {e}", args.coverage_baseline))?;
+        let baseline = flexsnoop_checker::ChaosCoverage::parse_baseline(&baseline_text)?;
+        let regressions = report.coverage.regressions(&baseline);
+        if !regressions.is_empty() {
+            return Err(format!(
+                "fault coverage regressed against {}:\n{}\n\n{text}",
+                args.coverage_baseline,
+                regressions.join("\n")
+            ));
+        }
+        text.push_str(&format!(
+            "- fault coverage ratchet vs {}: held\n",
+            args.coverage_baseline
+        ));
     }
     if report.is_clean() || args.no_retry {
         // --no-retry failures are the self-test's expected outcome.

@@ -86,6 +86,11 @@ OPTIONS (where applicable):
     --schedule SEED      `chaos`: replay exactly one schedule seed (reproducer)
     --budget N           `chaos`: override the plan's fault budget (shrunk prefix)
     --no-retry           `chaos`: disable timeout/retry recovery (self-test)
+    --torus-only         `chaos`: fault only torus data legs (no ring faults)
+    --static-timeouts    `chaos`: fixed-slack requester timeouts instead of EWMA
+    --coverage-out FILE  `chaos`: write per-kind injected-fault counts
+    --coverage-baseline FILE
+                         `chaos`: fail if a kind FILE proves reachable drew zero
     --predictor-fault K:P:B
                          `run`: corrupt every P-th prediction, B times; K is
                          force-negative (unsafe direction) or force-positive
@@ -170,6 +175,36 @@ mod tests {
         .unwrap();
         assert!(out.contains("Chaos campaign"), "{out}");
         assert!(out.contains("CLEAN"), "{out}");
+    }
+
+    #[test]
+    fn chaos_coverage_ratchet_roundtrip() {
+        let dir = std::env::temp_dir().join("flexsnoop-cov-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cov = dir.join("cov.txt").to_string_lossy().to_string();
+        let out = run(&argv(&format!(
+            "chaos --workload specjbb --schedules 2 --accesses 60 --nodes 4 --seed 5 \
+             --threads 2 --coverage-out {cov}"
+        )))
+        .unwrap();
+        assert!(out.contains("Fault coverage"), "{out}");
+        let written = std::fs::read_to_string(&cov).unwrap();
+        assert!(written.contains("drop "), "{written}");
+        // Re-running against its own coverage as baseline must hold.
+        let held = run(&argv(&format!(
+            "chaos --workload specjbb --schedules 2 --accesses 60 --nodes 4 --seed 5 \
+             --threads 2 --coverage-baseline {cov}"
+        )))
+        .unwrap();
+        assert!(held.contains("ratchet"), "{held}");
+        // A baseline proving a kind this campaign cannot draw must fail:
+        // torus-only runs inject zero ring drops.
+        let err = run(&argv(&format!(
+            "chaos --workload specjbb --schedules 2 --accesses 60 --nodes 4 --seed 5 \
+             --threads 2 --torus-only --coverage-baseline {cov}"
+        )))
+        .unwrap_err();
+        assert!(err.contains("coverage regressed"), "{err}");
     }
 
     #[test]

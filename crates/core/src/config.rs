@@ -105,6 +105,20 @@ pub struct PolicyParams {
     pub write_filtering: bool,
 }
 
+/// How the requester-side retransmission timeout is derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimeoutPolicy {
+    /// The PR-4 fixed formula: unloaded circulation + per-node
+    /// processing + `queueing_slack`, identical for every requester and
+    /// every point in the run.
+    Static,
+    /// Per-requester Jacobson/Karels EWMA over observed ring round
+    /// trips: `timeout = srtt + 4·rttvar`, clamped to never fall below
+    /// the unloaded floor. Adapts to congestion, eliminating most
+    /// spurious retries without giving up bounded recovery latency.
+    Adaptive,
+}
+
 /// Timeout/retry recovery parameters for an unreliable ring.
 ///
 /// These only take effect when a non-lossless fault plan is armed
@@ -112,9 +126,10 @@ pub struct PolicyParams {
 /// events are ever scheduled, so the defaults cannot perturb existing
 /// runs.
 ///
-/// The requester-side timeout for a transaction's ring phase is derived
-/// from the unloaded full-circulation latency plus per-node processing,
-/// padded by `queueing_slack` for contention:
+/// Under [`TimeoutPolicy::Static`] the requester-side timeout for a
+/// transaction's ring phase is derived from the unloaded
+/// full-circulation latency plus per-node processing, padded by
+/// `queueing_slack` for contention:
 ///
 /// ```text
 /// timeout = unloaded_latency(nodes)
@@ -122,16 +137,31 @@ pub struct PolicyParams {
 ///         + queueing_slack
 /// ```
 ///
-/// Retries back off exponentially: retry *k* waits
-/// `min(backoff_base × 2^(k−1), backoff_cap)` before re-issuing. After
-/// `retry_cap` retries of one transaction, the line enters *degraded
-/// mode*: further attempts use Lazy forwarding (snoop everywhere, filter
-/// nothing), trading latency for the strongest delivery redundancy the
-/// ring offers. Retries continue past the cap — the fault budget is
-/// bounded, so a retry eventually circulates cleanly.
+/// Under [`TimeoutPolicy::Adaptive`] (the default) each requester node
+/// tracks an EWMA of its observed ring round trips instead
+/// (Jacobson/Karels: `srtt += (R − srtt)/8`,
+/// `rttvar += (|R − srtt| − rttvar)/4`, `timeout = srtt + 4·rttvar`),
+/// seeded from the unloaded circulation latency and clamped so the
+/// estimate never falls below that floor. `queueing_slack` is unused in
+/// this mode.
+///
+/// In both modes the window doubles per retry attempt. Retries back off
+/// exponentially: retry *k* waits `min(backoff_base × 2^(k−1),
+/// backoff_cap)` before re-issuing. After `retry_cap` retries of one
+/// transaction, the line enters *degraded mode*: further attempts use
+/// Lazy forwarding (snoop everywhere, filter nothing), trading latency
+/// for the strongest delivery redundancy the ring offers. Retries
+/// continue past the cap — the fault budget is bounded, so a retry
+/// eventually circulates cleanly. A degraded line is on *probation*:
+/// after `probation_window` consecutive clean (retry-free) circulations
+/// it re-arms the configured Table 3 algorithm; any timeout on the line
+/// resets the count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryParams {
-    /// Contention padding added to the derived unloaded timeout.
+    /// Timeout derivation policy.
+    pub timeout_policy: TimeoutPolicy,
+    /// Contention padding added to the derived unloaded timeout
+    /// ([`TimeoutPolicy::Static`] only).
     pub queueing_slack: Cycles,
     /// Backoff before the first retry.
     pub backoff_base: Cycles,
@@ -139,11 +169,15 @@ pub struct RecoveryParams {
     pub backoff_cap: Cycles,
     /// Retries of one transaction before its line degrades to Lazy.
     pub retry_cap: u32,
+    /// Consecutive clean circulations before a degraded line re-arms
+    /// its Table 3 algorithm.
+    pub probation_window: u32,
 }
 
 impl Default for RecoveryParams {
     fn default() -> Self {
         RecoveryParams {
+            timeout_policy: TimeoutPolicy::Adaptive,
             // ~2 full unloaded circulations of headroom: generous enough
             // that congestion alone rarely trips a spurious (but still
             // harmless) retry, tight enough to bound recovery latency.
@@ -151,6 +185,10 @@ impl Default for RecoveryParams {
             backoff_base: Cycles(64),
             backoff_cap: Cycles(4096),
             retry_cap: 3,
+            // Long enough that one lucky circulation during a fault
+            // burst cannot re-arm filtering, short enough that a line
+            // does not serve Lazy latency long after the burst ends.
+            probation_window: 8,
         }
     }
 }
@@ -268,6 +306,9 @@ impl MachineConfig {
         if self.recovery.backoff_cap < self.recovery.backoff_base {
             return Err("retry backoff cap must be at least the base".into());
         }
+        if self.recovery.probation_window == 0 {
+            return Err("probation window must be at least one circulation".into());
+        }
         let l1_lines = self.caches.l1_bytes / self.caches.line_bytes;
         if !l1_lines.is_multiple_of(self.caches.l1_ways)
             || !(l1_lines / self.caches.l1_ways).is_power_of_two()
@@ -353,6 +394,16 @@ mod tests {
             nodes: 0,
             ..MachineConfig::default()
         };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn recovery_defaults_are_adaptive_with_probation() {
+        let r = RecoveryParams::default();
+        assert_eq!(r.timeout_policy, TimeoutPolicy::Adaptive);
+        assert!(r.probation_window > 0);
+        let mut c = MachineConfig::default();
+        c.recovery.probation_window = 0;
         assert!(c.validate().is_err());
     }
 

@@ -59,7 +59,7 @@ pub mod stats;
 pub mod timeline;
 
 pub use algorithm::{Algorithm, DynPolicy, SnoopAction};
-pub use config::{MachineConfig, RecoveryParams};
+pub use config::{MachineConfig, RecoveryParams, TimeoutPolicy};
 pub use experiments::{run_algorithms, run_workload, GroupAggregator, VecStream};
 pub use message::{MsgKind, ReplyInfo, RingMsg, TxnId, TxnOp};
 pub use oracle::{ProtocolMutation, Violation};

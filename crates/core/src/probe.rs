@@ -111,6 +111,28 @@ pub trait Probe: Send {
     /// transaction exhausted its retry cap.
     fn degraded_mode_entered(&mut self) {}
 
+    /// A degraded line completed its probation window of clean
+    /// circulations and re-armed the configured Table 3 algorithm.
+    fn probation_exited(&mut self) {}
+
+    /// A timeout on a degraded line reset its probation counter.
+    fn probation_reset(&mut self) {}
+
+    /// A stale reply from a superseded attempt reached the requester:
+    /// the retried circulation had actually completed, so the retry was
+    /// spurious in hindsight.
+    fn spurious_retry(&mut self) {}
+
+    /// The adaptive timeout estimator absorbed one observed ring round
+    /// trip; `rtt` is the sample, `estimate` the resulting timeout for
+    /// the next attempt-0 window at this requester.
+    fn rtt_sampled(&mut self, rtt: Cycles, estimate: Cycles) {
+        let _ = (rtt, estimate);
+    }
+
+    /// The fault plan dropped one torus data message.
+    fn torus_fault(&mut self) {}
+
     /// The aggregated report, if this probe produces one.
     ///
     /// The default returns `None`; [`CountingProbe`] overrides it. This
@@ -168,6 +190,18 @@ pub struct ProbeReport {
     pub retries: u64,
     /// Lines that entered degraded (Lazy-forwarding) mode.
     pub degraded_entries: u64,
+    /// Degraded lines that re-armed their algorithm after probation.
+    pub probation_exits: u64,
+    /// Probation counters reset by a timeout on the line.
+    pub probation_resets: u64,
+    /// Retries proven unnecessary by a late-arriving stale reply.
+    pub spurious_retries: u64,
+    /// Ring round trips fed to the adaptive timeout estimator.
+    pub rtt_samples: u64,
+    /// Timeout-estimate values after each sample, in cycles.
+    pub timeout_estimate: Histogram,
+    /// Torus data messages dropped by the fault plan.
+    pub torus_drops: u64,
 }
 
 impl ProbeReport {
@@ -283,6 +317,27 @@ impl Probe for CountingProbe {
         self.report.degraded_entries += 1;
     }
 
+    fn probation_exited(&mut self) {
+        self.report.probation_exits += 1;
+    }
+
+    fn probation_reset(&mut self) {
+        self.report.probation_resets += 1;
+    }
+
+    fn spurious_retry(&mut self) {
+        self.report.spurious_retries += 1;
+    }
+
+    fn rtt_sampled(&mut self, _rtt: Cycles, estimate: Cycles) {
+        self.report.rtt_samples += 1;
+        self.report.timeout_estimate.record(estimate.0);
+    }
+
+    fn torus_fault(&mut self) {
+        self.report.torus_drops += 1;
+    }
+
     fn report(&self) -> Option<ProbeReport> {
         Some(self.report.clone())
     }
@@ -319,6 +374,13 @@ mod tests {
         p.timeout_fired(0);
         p.retry_issued(1);
         p.degraded_mode_entered();
+        p.probation_exited();
+        p.probation_reset();
+        p.probation_reset();
+        p.spurious_retry();
+        p.rtt_sampled(Cycles(344), Cycles(430));
+        p.rtt_sampled(Cycles(500), Cycles(620));
+        p.torus_fault();
         let r = p.report().unwrap();
         assert_eq!(r.forwards, 2);
         assert_eq!(r.forward_then_snoop, 1);
@@ -344,6 +406,13 @@ mod tests {
         assert_eq!(r.timeouts, 1);
         assert_eq!(r.retries, 1);
         assert_eq!(r.degraded_entries, 1);
+        assert_eq!(r.probation_exits, 1);
+        assert_eq!(r.probation_resets, 2);
+        assert_eq!(r.spurious_retries, 1);
+        assert_eq!(r.rtt_samples, 2);
+        assert_eq!(r.timeout_estimate.count(), 2);
+        assert_eq!(r.timeout_estimate.max(), Some(620));
+        assert_eq!(r.torus_drops, 1);
     }
 
     #[test]
@@ -362,6 +431,11 @@ mod tests {
         s.timeout_fired(0);
         s.retry_issued(1);
         s.degraded_mode_entered();
+        s.probation_exited();
+        s.probation_reset();
+        s.spurious_retry();
+        s.rtt_sampled(Cycles(1), Cycles(2));
+        s.torus_fault();
         assert!(s.report().is_none());
     }
 

@@ -34,7 +34,7 @@ use flexsnoop_mem::invariants;
 
 use crate::algorithm::{Algorithm, DynPolicy, SnoopAction};
 use crate::arena::TxnArena;
-use crate::config::MachineConfig;
+use crate::config::{MachineConfig, TimeoutPolicy};
 use crate::message::{MsgKind, ReplyInfo, RingMsg, TxnId, TxnOp};
 use crate::oracle::{ProtocolMutation, Violation};
 use crate::probe::{CountingProbe, Probe, ProbeReport};
@@ -85,6 +85,47 @@ enum WriteData {
     Remote,
 }
 
+/// Per-requester ring round-trip estimator (Jacobson/Karels, integer
+/// shifts so it is exactly reproducible):
+///
+/// ```text
+/// err    = R − srtt
+/// srtt  += err >> 3            (gain 1/8)
+/// rttvar += (|err| − rttvar) >> 2   (gain 1/4)
+/// RTO    = max(srtt + 4·rttvar, floor)
+/// ```
+///
+/// Seeded from the unloaded circulation latency (`floor`), with an
+/// initial variance of `floor/4` so the first windows carry the same
+/// order of slack the static policy hard-codes. The clamp to `floor`
+/// guarantees the estimate never undercuts physics no matter what the
+/// congestion history looks like.
+#[derive(Debug, Clone, Copy)]
+struct RttEstimator {
+    srtt: i64,
+    rttvar: i64,
+}
+
+impl RttEstimator {
+    fn new(floor: Cycles) -> Self {
+        RttEstimator {
+            srtt: floor.0 as i64,
+            rttvar: (floor.0 / 4) as i64,
+        }
+    }
+
+    fn sample(&mut self, rtt: Cycles) {
+        let err = rtt.0 as i64 - self.srtt;
+        self.srtt += err >> 3;
+        self.rttvar += (err.abs() - self.rttvar) >> 2;
+    }
+
+    fn timeout(&self, floor: Cycles) -> Cycles {
+        let rto = self.srtt.saturating_add(4 * self.rttvar).max(0) as u64;
+        Cycles(rto.max(floor.0))
+    }
+}
+
 #[derive(Debug)]
 struct Txn {
     line: LineAddr,
@@ -108,6 +149,13 @@ struct Txn {
     /// The core has been resumed (or never blocked: writes drain from a
     /// store buffer and do not stall the core).
     resumed: bool,
+    /// Data events (`MemData` / `DataArrive`) scheduled for this
+    /// transaction and not yet fired. A live transaction whose reply has
+    /// returned is waiting on exactly these; with torus faults armed the
+    /// recovery timer stands down only while one is pending — `resumed` or
+    /// `data_arrived` may be stale leftovers of a superseded attempt and
+    /// must not be trusted.
+    data_pending: u32,
     /// Whether the issuing core blocks until this transaction completes
     /// (reads do; writes are fire-and-forget).
     blocking: bool,
@@ -116,6 +164,9 @@ struct Txn {
     /// Current circulation attempt (0 = original issue). Only advances on
     /// an unreliable ring with recovery enabled.
     attempt: u32,
+    /// Gateway departure time of the current attempt's request, the
+    /// epoch of the round-trip sample its return will contribute.
+    attempt_start: Cycle,
     /// Next emission sequence number for the current attempt.
     emit_seq: u32,
     /// Bitset of sequence numbers already delivered this attempt, for
@@ -236,18 +287,33 @@ pub struct Simulator {
     line_waiters: FxHashMap<LineAddr, VecDeque<(usize, MemAccess)>>,
     downgraded: FxHashSet<LineAddr>,
     /// Lines that exhausted their retry cap and now always use Lazy
-    /// forwarding (degraded mode; only populated on an unreliable ring).
-    degraded_lines: FxHashSet<LineAddr>,
+    /// forwarding (degraded mode; only populated on an unreliable ring),
+    /// mapped to their probation progress: consecutive clean (retry-free)
+    /// circulations observed since the last timeout on the line. At
+    /// `recovery.probation_window` the line re-arms its Table 3 algorithm.
+    degraded_lines: FxHashMap<LineAddr, u32>,
     /// A non-lossless fault plan is armed on the ring: sequence numbers
     /// are assigned and checked, and (with `recovery`) timeouts guard
     /// every transaction's ring phase.
     unreliable: bool,
+    /// The armed plan can drop torus data messages, so a returned ring
+    /// reply no longer proves the data phase will finish: timeouts then
+    /// guard the whole transaction, not just the ring circulation.
+    torus_faulty: bool,
     /// Timeout/retry recovery is active (default). Disabled only by
     /// [`Self::set_recovery_enabled`] for the chaos harness's
     /// self-test: a lossy ring without retries loses transactions.
     recovery: bool,
-    /// Derived ring-phase timeout (see [`crate::config::RecoveryParams`]).
+    /// Derived static ring-phase timeout (see
+    /// [`crate::config::RecoveryParams`]): floor + queueing slack.
     timeout_base: Cycles,
+    /// Unloaded circulation latency plus per-node processing — the
+    /// physical lower bound no timeout estimate may undercut.
+    timeout_floor: Cycles,
+    /// Per-requester round-trip estimators
+    /// ([`TimeoutPolicy::Adaptive`]); populated by
+    /// [`Self::set_fault_plan`].
+    rtt: Vec<RttEstimator>,
     /// Recycled `node_states` buffers from retired transactions, so the
     /// steady state allocates no per-transaction memory.
     node_state_pool: Vec<Vec<NodeState>>,
@@ -405,10 +471,13 @@ impl Simulator {
             line_busy: FxHashMap::default(),
             line_waiters: FxHashMap::default(),
             downgraded: FxHashSet::default(),
-            degraded_lines: FxHashSet::default(),
+            degraded_lines: FxHashMap::default(),
             unreliable: false,
+            torus_faulty: false,
             recovery: true,
             timeout_base: Cycles(0),
+            timeout_floor: Cycles(0),
+            rtt: Vec::new(),
             node_state_pool: Vec::new(),
             stats: RunStats::new(energy),
             timeline: Timeline::disabled(),
@@ -564,34 +633,74 @@ impl Simulator {
             "set_fault_plan() must be called before run()"
         );
         self.unreliable = !plan.is_lossless();
+        self.torus_faulty = plan.torus_faults();
+        self.torus.set_fault_plan(&plan);
         self.ring.set_fault_plan(plan);
         // Ring-phase worst case without contention: a full circulation
-        // of hops plus per-node gateway + snoop processing, padded by
-        // the configured queueing slack. A spurious timeout (pure
-        // congestion) is wasteful but never incorrect: the retry is a
-        // fresh attempt and stale deliveries are discarded. Later
-        // attempts widen this window exponentially (see
-        // [`Self::timeout_window`]) so sustained congestion cannot
-        // livelock the requester.
+        // of hops plus per-node gateway + snoop processing. The static
+        // policy pads this floor by the configured queueing slack; the
+        // adaptive policy seeds a per-requester estimator from it
+        // instead. A spurious timeout (pure congestion) is wasteful but
+        // never incorrect: the retry is a fresh attempt and stale
+        // deliveries are discarded. Later attempts widen the window
+        // exponentially (see [`Self::timeout_window`]) so sustained
+        // congestion cannot livelock the requester.
         let per_node = self.cfg.timing.snoop_time
             + self.cfg.timing.gateway_latency
             + self.cfg.timing.predictor_latency;
-        self.timeout_base = self.ring.unloaded_latency(self.cfg.nodes)
-            + per_node * self.cfg.nodes as u64
-            + self.cfg.recovery.queueing_slack;
+        self.timeout_floor =
+            self.ring.unloaded_latency(self.cfg.nodes) + per_node * self.cfg.nodes as u64;
+        self.timeout_base = self.timeout_floor + self.cfg.recovery.queueing_slack;
+        self.rtt = vec![RttEstimator::new(self.timeout_floor); self.cfg.nodes];
     }
 
-    /// Timeout window for circulation `attempt` of a transaction.
+    /// Timeout window for circulation `attempt` of a transaction issued
+    /// at `requester`.
     ///
-    /// Doubles per attempt: a window that only matched the uncongested
-    /// round trip could expire before *every* circulation under
-    /// sustained congestion (discarding each one as stale and retrying
-    /// forever). Widening guarantees some attempt's window exceeds the
-    /// actual transit time, because faults are budget-bounded and the
-    /// workload is finite. The shift cap only avoids overflow; at 2^16
-    /// windows the queue has long since drained.
-    fn timeout_window(&self, attempt: u32) -> Cycles {
-        Cycles(self.timeout_base.0.saturating_mul(1u64 << attempt.min(16)))
+    /// The attempt-0 window comes from the configured
+    /// [`TimeoutPolicy`]: the static base, or the requester's current
+    /// round-trip estimate. It doubles per attempt: a window that only
+    /// matched the uncongested round trip could expire before *every*
+    /// circulation under sustained congestion (discarding each one as
+    /// stale and retrying forever). Widening guarantees some attempt's
+    /// window exceeds the actual transit time, because faults are
+    /// budget-bounded and the workload is finite. The shift cap only
+    /// avoids overflow; at 2^16 windows the queue has long since
+    /// drained.
+    fn timeout_window(&self, requester: CmpId, attempt: u32) -> Cycles {
+        let base = match self.cfg.recovery.timeout_policy {
+            TimeoutPolicy::Static => self.timeout_base,
+            TimeoutPolicy::Adaptive => self.rtt[requester.0].timeout(self.timeout_floor),
+        };
+        Cycles(base.0.saturating_mul(1u64 << attempt.min(16)))
+    }
+
+    /// The current attempt-0 timeout estimate for transactions issued at
+    /// `node`: the static base under [`TimeoutPolicy::Static`], the
+    /// node's live round-trip estimate under [`TimeoutPolicy::Adaptive`].
+    /// Zero until a fault plan is armed.
+    pub fn timeout_estimate(&self, node: CmpId) -> Cycles {
+        match self.cfg.recovery.timeout_policy {
+            TimeoutPolicy::Static => self.timeout_base,
+            TimeoutPolicy::Adaptive => self
+                .rtt
+                .get(node.0)
+                .map_or(self.timeout_base, |e| e.timeout(self.timeout_floor)),
+        }
+    }
+
+    /// The physical lower bound on any timeout estimate: unloaded
+    /// circulation latency plus per-node processing. Zero until a fault
+    /// plan is armed.
+    pub fn timeout_floor(&self) -> Cycles {
+        self.timeout_floor
+    }
+
+    /// Overrides the requester-timeout policy (fixed slack vs adaptive
+    /// EWMA), for A/B studies on an otherwise identical configuration.
+    /// Takes effect from the next timeout scheduling decision.
+    pub fn set_timeout_policy(&mut self, policy: TimeoutPolicy) {
+        self.cfg.recovery.timeout_policy = policy;
     }
 
     /// Enables or disables timeout/retry recovery (on by default). Only
@@ -610,7 +719,9 @@ impl Simulator {
 
     /// Counters for ring faults injected so far (all zero when lossless).
     pub fn fault_stats(&self) -> FaultStats {
-        self.ring.fault_stats()
+        let mut stats = self.ring.fault_stats();
+        stats.torus_drops = self.torus.fault_drops();
+        stats
     }
 
     /// Lines currently in degraded (Lazy-forwarding) mode.
@@ -736,6 +847,7 @@ impl Simulator {
         self.stats.robustness.ring_drops = fault_stats.drops;
         self.stats.robustness.ring_duplicates = fault_stats.duplicates;
         self.stats.robustness.ring_delays = fault_stats.delays;
+        self.stats.robustness.torus_drops = self.torus.fault_drops();
         self.stats.robustness.injected_prediction_faults = self.injected_prediction_faults();
         // Fold predictor activity into the energy account.
         for p in &self.predictors {
@@ -953,6 +1065,7 @@ impl Simulator {
         let mut node_states = self.node_state_pool.pop().unwrap_or_default();
         node_states.clear();
         node_states.resize(self.cfg.nodes, NodeState::Untouched);
+        let leave = now + self.cfg.timing.gateway_latency;
         let id = self.txns.insert(Txn {
             line,
             op,
@@ -966,9 +1079,11 @@ impl Simulator {
             write_data,
             data_sent: false,
             resumed: false,
+            data_pending: 0,
             blocking,
             fill_state: CoherState::Sg,
             attempt: 0,
+            attempt_start: leave,
             emit_seq: 0,
             seen_seqs: Vec::new(),
         });
@@ -983,11 +1098,10 @@ impl Simulator {
             attempt: 0,
             seq: 0,
         };
-        let leave = now + self.cfg.timing.gateway_latency;
         self.send_ring(msg, requester, leave, op);
         if self.unreliable && self.recovery {
             self.sched.schedule_at(
-                leave + self.timeout_window(0),
+                leave + self.timeout_window(requester, 0),
                 Event::Timeout {
                     txn: id,
                     attempt: 0,
@@ -1064,10 +1178,19 @@ impl Simulator {
     /// Gatekeeper for deliveries on an unreliable ring: discards messages
     /// for retired transactions, messages from superseded attempts, and
     /// injected duplicates (an `(attempt, seq)` pair seen before).
-    fn accept_delivery(&mut self, msg: &RingMsg) -> bool {
-        let stale = match self.txns.get_mut(msg.txn) {
-            None => true,
-            Some(txn) if msg.attempt != txn.attempt => true,
+    ///
+    /// `node` is where the delivery landed: a stale *reply* reaching the
+    /// requester means the superseded circulation actually completed, so
+    /// the retry that superseded it was spurious — the hindsight signal
+    /// the adaptive timeout policy is built to minimize.
+    fn accept_delivery(&mut self, msg: &RingMsg, node: CmpId) -> bool {
+        let spurious = match self.txns.get_mut(msg.txn) {
+            None => false,
+            Some(txn) if msg.attempt != txn.attempt => {
+                msg.attempt < txn.attempt
+                    && node == msg.requester
+                    && matches!(msg.kind, MsgKind::Reply(_) | MsgKind::Combined(_))
+            }
             Some(txn) => {
                 if txn.seen(msg.seq) {
                     self.stats.robustness.duplicates_suppressed += 1;
@@ -1080,26 +1203,69 @@ impl Simulator {
                 return true;
             }
         };
-        debug_assert!(stale);
         self.stats.robustness.stale_deliveries += 1;
         if let Some(p) = self.probe.as_deref_mut() {
             p.delivery_suppressed(true);
         }
+        if spurious {
+            self.stats.robustness.spurious_retries += 1;
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.spurious_retry();
+            }
+        }
         false
     }
 
-    /// The recovery timer for one circulation attempt fired. If the ring
-    /// phase already resolved (reply returned) or a newer attempt owns the
-    /// transaction, this is a no-op; otherwise the attempt is abandoned and
-    /// the request is re-issued after an exponential backoff. Past the
-    /// retry cap the line additionally enters degraded (Lazy-forwarding)
-    /// mode, removing the predictor-filtering hazard from the retried
+    /// Observability for one torus data message the fault plan ate (the
+    /// authoritative count is folded from the torus itself at run end).
+    fn note_torus_drop(&mut self) {
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.torus_fault();
+        }
+    }
+
+    /// Bookkeeping for a `MemData` / `DataArrive` event just scheduled for
+    /// `txn_id`; see [`Txn::data_pending`].
+    fn note_data_scheduled(&mut self, txn_id: TxnId) {
+        if let Some(txn) = self.txns.get_mut(txn_id) {
+            txn.data_pending += 1;
+        }
+    }
+
+    /// Counterpart of [`Simulator::note_data_scheduled`], at event firing.
+    fn note_data_fired(&mut self, txn_id: TxnId) {
+        if let Some(txn) = self.txns.get_mut(txn_id) {
+            txn.data_pending = txn.data_pending.saturating_sub(1);
+        }
+    }
+
+    /// The recovery timer for one circulation attempt fired. If the
+    /// transaction already resolved or a newer attempt owns it, this is
+    /// a no-op; otherwise the attempt is abandoned and the request is
+    /// re-issued after an exponential backoff. Past the retry cap the
+    /// line additionally enters degraded (Lazy-forwarding) mode,
+    /// removing the predictor-filtering hazard from the retried
     /// circulations (§4.3.4's safe fallback).
+    ///
+    /// On a ring-only fault plan a returned reply stands the timer down:
+    /// the data phase rides the lossless torus and always finishes. With
+    /// torus faults armed the awaited data itself may have been dropped,
+    /// so the timer only stands down while a data event is actually
+    /// scheduled (`data_pending > 0` — such an event always retires the
+    /// transaction when it fires); otherwise the whole transaction — ring
+    /// phase and data phase — is retried from scratch. `resumed` and
+    /// `data_arrived` are deliberately not consulted: both can be stale
+    /// leftovers of a superseded attempt and would stand the timer down
+    /// with nothing left in flight to finish the transaction.
     fn on_timeout(&mut self, txn_id: TxnId, attempt: u32, now: Cycle) {
         let Some(txn) = self.txns.get(txn_id) else {
             return; // retired: the attempt completed before the timer fired
         };
-        if txn.attempt != attempt || txn.reply_info.is_some() {
+        if txn.attempt != attempt {
+            return;
+        }
+        let had_reply = txn.reply_info.is_some();
+        if had_reply && (!self.torus_faulty || txn.data_pending > 0) {
             return;
         }
         let line = txn.line;
@@ -1111,17 +1277,46 @@ impl Simulator {
         }
         self.timeline
             .record(txn_id, now, TxnEvent::TimedOut { attempt });
-        if attempt >= self.cfg.recovery.retry_cap && self.degraded_lines.insert(line) {
+        if attempt >= self.cfg.recovery.retry_cap && !self.degraded_lines.contains_key(&line) {
+            self.degraded_lines.insert(line, 0);
             self.stats.robustness.degraded_entries += 1;
             if let Some(p) = self.probe.as_deref_mut() {
                 p.degraded_mode_entered();
             }
+        } else if let Some(clean) = self.degraded_lines.get_mut(&line) {
+            // A fault burst interrupts probation: clean-circulation
+            // progress restarts from zero.
+            if *clean > 0 {
+                *clean = 0;
+                self.stats.robustness.probation_resets += 1;
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.probation_reset();
+                }
+            }
         }
         let new_attempt = attempt + 1;
+        let backoff = {
+            let base = self.cfg.recovery.backoff_base.0;
+            let shift = (new_attempt - 1).min(16);
+            Cycles(
+                base.saturating_mul(1u64 << shift)
+                    .min(self.cfg.recovery.backoff_cap.0),
+            )
+        };
+        let leave = now + backoff + self.cfg.timing.gateway_latency;
         let txn = self.txns.get_mut(txn_id).expect("txn checked above");
         txn.attempt = new_attempt;
+        txn.attempt_start = leave;
         txn.emit_seq = 0;
         txn.seen_seqs.clear();
+        if had_reply {
+            // Data-phase retry: the ring answered but the torus lost the
+            // data. Re-run the whole transaction; any straggler data from
+            // the old attempt is real (memory or a supplier sent it) and
+            // a double fill is benign.
+            txn.reply_info = None;
+            txn.data_sent = false;
+        }
         // The new circulation restarts Table 2's per-node bookkeeping;
         // deliveries and snoop completions of the old one are discarded by
         // their stale attempt tag.
@@ -1139,14 +1334,6 @@ impl Simulator {
                 attempt: new_attempt,
             },
         );
-        let backoff = {
-            let base = self.cfg.recovery.backoff_base.0;
-            let shift = (new_attempt - 1).min(16);
-            Cycles(
-                base.saturating_mul(1u64 << shift)
-                    .min(self.cfg.recovery.backoff_cap.0),
-            )
-        };
         let msg = RingMsg {
             txn: txn_id,
             line,
@@ -1156,10 +1343,9 @@ impl Simulator {
             attempt: new_attempt,
             seq: 0,
         };
-        let leave = now + backoff + self.cfg.timing.gateway_latency;
         self.send_ring(msg, requester, leave, op);
         self.sched.schedule_at(
-            leave + self.timeout_window(new_attempt),
+            leave + self.timeout_window(requester, new_attempt),
             Event::Timeout {
                 txn: txn_id,
                 attempt: new_attempt,
@@ -1168,7 +1354,7 @@ impl Simulator {
     }
 
     fn on_ring_arrive(&mut self, msg: RingMsg, node: CmpId, now: Cycle) {
-        if self.unreliable && !self.accept_delivery(&msg) {
+        if self.unreliable && !self.accept_delivery(&msg, node) {
             return;
         }
         self.timeline.record(
@@ -1245,11 +1431,13 @@ impl Simulator {
             _ => None,
         };
         let mut proc = self.cfg.timing.gateway_latency;
-        let action = if self.unreliable && self.degraded_lines.contains(&line) {
+        let action = if self.unreliable && self.degraded_lines.contains_key(&line) {
             // Degraded mode (retry cap exhausted once for this line):
             // always snoop-then-forward, Lazy's always-correct primitive,
             // so no prediction can filter past a supplier while the ring
-            // is actively losing messages.
+            // is actively losing messages. Probation (see
+            // [`Self::try_retire`]) lifts this once the line strings
+            // together enough clean circulations.
             SnoopAction::SnoopThenForward
         } else if self.alg.uses_predictor() {
             proc += self.cfg.timing.predictor_latency;
@@ -1408,9 +1596,17 @@ impl Simulator {
             self.stats.reads_cache_supplied += 1;
             self.timeline
                 .record(txn_id, now, TxnEvent::DataSent { node });
-            let data_at = self.torus.send(node, requester, now);
-            self.sched
-                .schedule_at(data_at, Event::DataArrive { txn: txn_id });
+            // Faultable: a read supply leaves the supplier's copy intact
+            // (it only moved to a shared supplier state), so a retried
+            // circulation finds it again and re-requests the data.
+            match self.torus.send_outcome(node, requester, now) {
+                Some(data_at) => {
+                    self.sched
+                        .schedule_at(data_at, Event::DataArrive { txn: txn_id });
+                    self.note_data_scheduled(txn_id);
+                }
+                None => self.note_torus_drop(),
+            }
             let mut info = acc.unwrap_or_else(ReplyInfo::start);
             info.merge_snoop(true, true);
             self.finish_node(txn_id, node, info, combine_out, now);
@@ -1662,11 +1858,16 @@ impl Simulator {
         );
         let mut sent_data = false;
         if needs_data && had_supplier {
+            // Deliberately NOT faultable: the invalidation just destroyed
+            // the (possibly dirty) supplier copy, so this donation is the
+            // only holder of the data — losing it is unrecoverable without
+            // a value-level ack protocol. Same for writebacks.
             let data_at = self.torus.send(node, requester, now);
             self.sched
                 .schedule_at(data_at, Event::DataArrive { txn: txn_id });
             if let Some(txn) = self.txns.get_mut(txn_id) {
                 txn.data_sent = true;
+                txn.data_pending += 1;
             }
             sent_data = true;
         }
@@ -1800,6 +2001,19 @@ impl Simulator {
             return;
         };
         txn.reply_info = Some(info);
+        if self.unreliable {
+            // One completed circulation = one round-trip observation for
+            // this requester's timeout estimator (fed in both policies so
+            // static-vs-adaptive runs report comparable sample counts).
+            let rtt = now - txn.attempt_start;
+            let requester = txn.requester;
+            self.rtt[requester.0].sample(rtt);
+            self.stats.robustness.rtt_samples += 1;
+            if let Some(p) = self.probe.as_deref_mut() {
+                let estimate = self.rtt[requester.0].timeout(self.timeout_floor);
+                p.rtt_sampled(rtt, estimate);
+            }
+        }
         match msg.op {
             TxnOp::Read => self.on_read_reply_returned(msg.txn, info, now),
             TxnOp::Write => self.on_write_reply_returned(msg.txn, info, now),
@@ -1830,32 +2044,41 @@ impl Simulator {
             self.stats.downgrade_rereads += 1;
             self.stats.energy.add(EnergyCategory::MemRead, 1);
         }
+        // Every leg of the memory path is an idempotent torus message:
+        // a retried circulation simply re-walks it, so all are faultable.
         let data_at = match prefetch {
             Some(ready) => {
                 // The home node anticipated this read; data leaves as soon
                 // as both the DRAM access and the decision are available.
                 let leave = now.max(ready);
-                self.torus.send(home, requester, leave)
+                self.torus.send_outcome(home, requester, leave)
             }
-            None => {
-                let at_home = self.torus.send(requester, home, now);
-                self.timeline.record(
-                    txn_id,
-                    at_home,
-                    TxnEvent::MemoryStarted {
-                        home,
-                        prefetch: false,
-                    },
-                );
-                let grant = self.mem_ports[home.0].acquire(at_home, self.cfg.memory.occupancy);
-                let done = grant.start
-                    + self.cfg.memory.dram_latency
-                    + self.cfg.memory.controller_overhead;
-                self.torus.send(home, requester, done)
-            }
+            None => match self.torus.send_outcome(requester, home, now) {
+                Some(at_home) => {
+                    self.timeline.record(
+                        txn_id,
+                        at_home,
+                        TxnEvent::MemoryStarted {
+                            home,
+                            prefetch: false,
+                        },
+                    );
+                    let grant = self.mem_ports[home.0].acquire(at_home, self.cfg.memory.occupancy);
+                    let done = grant.start
+                        + self.cfg.memory.dram_latency
+                        + self.cfg.memory.controller_overhead;
+                    self.torus.send_outcome(home, requester, done)
+                }
+                None => None,
+            },
         };
-        self.sched
-            .schedule_at(data_at, Event::MemData { txn: txn_id });
+        match data_at {
+            Some(at) => {
+                self.sched.schedule_at(at, Event::MemData { txn: txn_id });
+                self.note_data_scheduled(txn_id);
+            }
+            None => self.note_torus_drop(),
+        }
     }
 
     fn on_write_reply_returned(&mut self, txn_id: TxnId, info: ReplyInfo, now: Cycle) {
@@ -1891,20 +2114,29 @@ impl Simulator {
                         self.stats.downgrade_rereads += 1;
                         self.stats.energy.add(EnergyCategory::MemRead, 1);
                     }
+                    // Same idempotent memory path as the read side: every
+                    // leg is faultable; a timeout re-drives the write.
                     let data_at = match prefetch {
-                        Some(ready) => self.torus.send(home, node, now.max(ready)),
-                        None => {
-                            let at_home = self.torus.send(node, home, now);
-                            let grant =
-                                self.mem_ports[home.0].acquire(at_home, self.cfg.memory.occupancy);
-                            let done = grant.start
-                                + self.cfg.memory.dram_latency
-                                + self.cfg.memory.controller_overhead;
-                            self.torus.send(home, node, done)
-                        }
+                        Some(ready) => self.torus.send_outcome(home, node, now.max(ready)),
+                        None => match self.torus.send_outcome(node, home, now) {
+                            Some(at_home) => {
+                                let grant = self.mem_ports[home.0]
+                                    .acquire(at_home, self.cfg.memory.occupancy);
+                                let done = grant.start
+                                    + self.cfg.memory.dram_latency
+                                    + self.cfg.memory.controller_overhead;
+                                self.torus.send_outcome(home, node, done)
+                            }
+                            None => None,
+                        },
                     };
-                    self.sched
-                        .schedule_at(data_at, Event::MemData { txn: txn_id });
+                    match data_at {
+                        Some(at) => {
+                            self.sched.schedule_at(at, Event::MemData { txn: txn_id });
+                            self.note_data_scheduled(txn_id);
+                        }
+                        None => self.note_torus_drop(),
+                    }
                 }
             }
         }
@@ -1922,6 +2154,7 @@ impl Simulator {
         let Some(txn) = self.txns.get_mut(txn_id) else {
             return;
         };
+        txn.data_pending = txn.data_pending.saturating_sub(1);
         txn.data_arrived = Some(now);
         self.timeline.record(txn_id, now, TxnEvent::DataArrived);
         let op = txn.op;
@@ -1959,6 +2192,7 @@ impl Simulator {
     }
 
     fn on_mem_data(&mut self, txn_id: TxnId, now: Cycle) {
+        self.note_data_fired(txn_id);
         let Some(txn) = self.txns.get(txn_id) else {
             return;
         };
@@ -2074,7 +2308,24 @@ impl Simulator {
         }
         let line = txn.line;
         let op = txn.op;
+        let attempt = txn.attempt;
         self.timeline.record(txn_id, now, TxnEvent::Retired);
+        // Probation: a retry-free retirement on a degraded line is one
+        // clean circulation; a full window of them re-arms the Table 3
+        // algorithm for the line. Retired retries neither count nor
+        // reset — their timeouts already reset the counter.
+        if self.unreliable && attempt == 0 {
+            if let Some(clean) = self.degraded_lines.get_mut(&line) {
+                *clean += 1;
+                if *clean >= self.cfg.recovery.probation_window {
+                    self.degraded_lines.remove(&line);
+                    self.stats.robustness.probation_exits += 1;
+                    if let Some(p) = self.probe.as_deref_mut() {
+                        p.probation_exited();
+                    }
+                }
+            }
+        }
         // Oracle hook: at retirement the line's copies must satisfy the
         // Figure 2(b) invariants again (mid-flight windows are over).
         if self.checks {
@@ -2235,5 +2486,66 @@ pub fn energy_model_for(spec: &PredictorSpec) -> EnergyModel {
             EnergyModel::with_cache_predictor()
         }
         PredictorSpec::Superset { .. } => EnergyModel::with_bloom_predictor(),
+    }
+}
+
+#[cfg(test)]
+mod rtt_tests {
+    use super::RttEstimator;
+    use flexsnoop_engine::Cycles;
+
+    #[test]
+    fn seeded_estimator_matches_static_order_of_slack() {
+        // Fresh estimator: srtt = floor, rttvar = floor/4, so the first
+        // window is floor + 4·(floor/4) = 2·floor — the same ~two
+        // circulations of headroom the static slack hard-codes.
+        let floor = Cycles(320);
+        let e = RttEstimator::new(floor);
+        assert_eq!(e.timeout(floor), Cycles(640));
+    }
+
+    #[test]
+    fn estimate_never_undercuts_the_floor() {
+        // Feed absurdly short samples (faster than the unloaded ring —
+        // impossible physically, but the estimator must not trust them).
+        let floor = Cycles(300);
+        let mut e = RttEstimator::new(floor);
+        for _ in 0..1_000 {
+            e.sample(Cycles(1));
+        }
+        assert!(e.timeout(floor) >= floor, "estimate fell below physics");
+    }
+
+    #[test]
+    fn congestion_raises_and_calm_lowers_the_estimate() {
+        let floor = Cycles(300);
+        let mut e = RttEstimator::new(floor);
+        for _ in 0..64 {
+            e.sample(Cycles(2_000));
+        }
+        let congested = e.timeout(floor);
+        assert!(
+            congested >= Cycles(2_000),
+            "estimator ignored sustained congestion: {congested:?}"
+        );
+        for _ in 0..256 {
+            e.sample(Cycles(320));
+        }
+        let calm = e.timeout(floor);
+        assert!(calm < congested, "estimator never relaxed: {calm:?}");
+        assert!(calm >= floor);
+    }
+
+    #[test]
+    fn integer_arithmetic_is_exactly_reproducible() {
+        let floor = Cycles(311);
+        let mut a = RttEstimator::new(floor);
+        let mut b = RttEstimator::new(floor);
+        for i in 0..100u64 {
+            let s = Cycles(250 + (i * 97) % 900);
+            a.sample(s);
+            b.sample(s);
+        }
+        assert_eq!(a.timeout(floor), b.timeout(floor));
     }
 }

@@ -1005,3 +1005,151 @@ fn probe_disabled_reports_nothing() {
     let _ = sim.run();
     assert!(sim.probe_report().is_none());
 }
+
+/// Like [`run_script`] but arms a fault plan (and recovery) before the
+/// run, for the degraded-mode/probation scenarios. Returns the simulator
+/// so callers can inspect timeout estimates and probe counters.
+fn run_faulted_script(
+    algorithm: Algorithm,
+    script: &[&[(u64, bool)]],
+    plan: crate::FaultPlan,
+    tweak: impl FnOnce(&mut MachineConfig),
+) -> (Simulator, RunStats) {
+    let mut machine = MachineConfig::isca2006(1);
+    tweak(&mut machine);
+    let total = machine.total_cores();
+    let mut streams: Vec<Box<dyn AccessStream + Send>> = Vec::new();
+    let mut limit = 0;
+    for c in 0..total {
+        let accesses: Vec<MemAccess> = script
+            .get(c)
+            .map(|s| {
+                s.iter()
+                    .map(|&(line, write)| MemAccess {
+                        line: LineAddr(line),
+                        write,
+                        think: Cycles(10),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        limit = limit.max(accesses.len() as u64);
+        streams.push(Box::new(VecStream::new(accesses)));
+    }
+    let predictor = algorithm.default_predictor();
+    let mut sim = Simulator::new(
+        machine,
+        algorithm,
+        predictor,
+        energy_model_for(&predictor),
+        streams,
+        limit.max(1),
+    )
+    .expect("valid scenario");
+    sim.enable_invariant_checks();
+    sim.enable_probe();
+    sim.set_fault_plan(plan);
+    sim.set_recovery_enabled(true);
+    let stats = sim.run();
+    assert!(sim.violations().is_empty(), "{}", sim.violations()[0]);
+    assert_eq!(sim.in_flight(), 0, "transactions stranded");
+    sim.validate_coherence().expect("coherent final state");
+    (sim, stats)
+}
+
+/// Drops the first four ring crossings: the opening write to line 100
+/// times out past the retry cap and the line degrades to Lazy
+/// forwarding. The three reads that follow ride a clean ring.
+fn probation_script() -> (&'static [&'static [(u64, bool)]], crate::FaultPlan) {
+    let script: &[&[(u64, bool)]] = &[&[(100, WR)], &[(100, RD)], &[(100, RD)], &[(100, RD)]];
+    let mut plan = crate::FaultPlan::lossless();
+    plan.drop = 1.0;
+    plan.budget = 4;
+    (script, plan)
+}
+
+#[test]
+fn degraded_line_rearms_after_exactly_the_probation_window() {
+    let (script, plan) = probation_script();
+    // retry_cap = 3 (default): four consecutive drops of one
+    // transaction's request push it to attempt 3, degrading the line.
+    let (sim, stats) = run_faulted_script(Algorithm::SupersetCon, script, plan, |m| {
+        m.recovery.probation_window = 3;
+    });
+    let r = &stats.robustness;
+    assert_eq!(r.ring_drops, 4, "{r:?}");
+    assert_eq!(r.degraded_entries, 1, "{r:?}");
+    // Exactly three clean first-attempt circulations follow — the third
+    // completes the window and re-arms the line.
+    assert_eq!(r.probation_exits, 1, "{r:?}");
+    assert_eq!(r.probation_resets, 0, "{r:?}");
+    let probe = sim.probe_report().expect("probe attached");
+    assert_eq!(probe.probation_exits, 1);
+    assert_eq!(probe.degraded_entries, 1);
+}
+
+#[test]
+fn one_short_of_the_probation_window_stays_degraded() {
+    let (script, plan) = probation_script();
+    // Same traffic, window of four: the three clean circulations are one
+    // short, so the line must still be degraded at the end of the run.
+    let (_, stats) = run_faulted_script(Algorithm::SupersetCon, script, plan, |m| {
+        m.recovery.probation_window = 4;
+    });
+    let r = &stats.robustness;
+    assert_eq!(r.degraded_entries, 1, "{r:?}");
+    assert_eq!(r.probation_exits, 0, "{r:?}");
+}
+
+#[test]
+fn probation_transitions_are_identical_across_queue_backends() {
+    // The degrade → clean-circulations → re-arm sequence is protocol
+    // state; the event-queue implementation must not perturb it.
+    let (script, plan) = probation_script();
+    let mut runs = Vec::new();
+    for kind in [
+        flexsnoop_engine::QueueKind::Heap,
+        flexsnoop_engine::QueueKind::Bucketed,
+    ] {
+        let mut machine = MachineConfig::isca2006(1);
+        machine.recovery.probation_window = 3;
+        let total = machine.total_cores();
+        let mut streams: Vec<Box<dyn AccessStream + Send>> = Vec::new();
+        for c in 0..total {
+            let accesses: Vec<MemAccess> = script
+                .get(c)
+                .map(|s| {
+                    s.iter()
+                        .map(|&(line, write)| MemAccess {
+                            line: LineAddr(line),
+                            write,
+                            think: Cycles(10),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            streams.push(Box::new(VecStream::new(accesses)));
+        }
+        let alg = Algorithm::SupersetCon;
+        let predictor = alg.default_predictor();
+        let mut sim = Simulator::new(
+            machine,
+            alg,
+            predictor,
+            energy_model_for(&predictor),
+            streams,
+            1,
+        )
+        .expect("valid scenario");
+        sim.use_event_queue(kind);
+        sim.enable_probe();
+        sim.set_fault_plan(plan.clone());
+        sim.set_recovery_enabled(true);
+        let stats = sim.run();
+        runs.push((stats, sim.probe_report().expect("probe attached")));
+    }
+    assert_eq!(
+        runs[0], runs[1],
+        "queue backend changed probation behaviour"
+    );
+}

@@ -26,6 +26,19 @@ pub struct RobustnessStats {
     /// Lines that entered degraded (Lazy-forwarding) mode after a
     /// transaction exhausted its retry cap.
     pub degraded_entries: u64,
+    /// Degraded lines that re-armed their Table 3 algorithm after a full
+    /// probation window of clean circulations.
+    pub probation_exits: u64,
+    /// Probation counters reset to zero by a timeout on the line.
+    pub probation_resets: u64,
+    /// Retries proven unnecessary in hindsight: a stale reply from a
+    /// superseded attempt reached the requester, so the original
+    /// circulation had actually completed and the timeout was premature.
+    pub spurious_retries: u64,
+    /// Observed ring round trips fed to the adaptive timeout estimator.
+    pub rtt_samples: u64,
+    /// Torus data messages dropped by the fault plan.
+    pub torus_drops: u64,
     /// Cores whose access stream had not finished when the event queue
     /// drained (only possible with recovery disabled; a lossy ring
     /// without retries loses transactions).

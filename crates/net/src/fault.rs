@@ -26,6 +26,14 @@
 //! The default plan ([`FaultPlan::lossless`]) injects nothing and draws
 //! nothing: an unconfigured [`crate::RingNetwork`] behaves bit-for-bit
 //! as before this module existed.
+//!
+//! The plan also covers the **torus data network**: `torus_drop` gives a
+//! per-message drop probability for the idempotent data legs (memory
+//! requests/replies and clean cache supplies), bounded by its own
+//! `torus_budget` and drawn from a stream decorrelated from the ring's
+//! (see [`TorusFaultState`]). Write-donation and writeback messages stay
+//! reliable — losing them would silently discard dirty data, which no
+//! timeout/retry scheme can recover without a value-level ack protocol.
 
 use flexsnoop_engine::{Cycle, Cycles, SplitMix64};
 
@@ -88,6 +96,11 @@ pub struct FaultPlan {
     pub stalls: Vec<StallWindow>,
     /// Maximum number of randomized faults ever injected.
     pub budget: u64,
+    /// Per-message drop probability on faultable torus data legs.
+    pub torus_drop: f64,
+    /// Maximum number of torus drops ever injected (separate stream and
+    /// budget so ring schedules stay prefix-shrinkable on their own).
+    pub torus_budget: u64,
 }
 
 impl Default for FaultPlan {
@@ -108,6 +121,8 @@ impl FaultPlan {
             delay_max: Cycles(0),
             stalls: Vec::new(),
             budget: 0,
+            torus_drop: 0.0,
+            torus_budget: 0,
         }
     }
 
@@ -118,7 +133,12 @@ impl FaultPlan {
                 || self.duplicate > 0.0
                 || self.delay > 0.0
                 || self.link_drops.iter().any(|l| l.prob > 0.0));
-        !random_faults && self.stalls.is_empty()
+        !random_faults && self.stalls.is_empty() && !self.torus_faults()
+    }
+
+    /// Whether this plan can drop torus data messages.
+    pub fn torus_faults(&self) -> bool {
+        self.torus_budget > 0 && self.torus_drop > 0.0
     }
 
     /// Drop probability for the directed link leaving `node` on `ring`.
@@ -131,8 +151,12 @@ impl FaultPlan {
 
     /// Draws a randomized plan for a `nodes × rings` ring, suitable for
     /// chaos campaigns: small per-crossing probabilities, a bounded
-    /// budget in `[1, 30]`, and (each with probability one half) one
-    /// designated lossy link and one node-stall window.
+    /// budget in `[1, 30]`, (each with probability one half) one
+    /// designated lossy link and one node-stall window, and (with
+    /// probability one half) a torus drop probability with its own
+    /// budget in `[1, 12]`. Torus draws come last in the stream, so the
+    /// ring-side fields of a given seed are identical to plans drawn
+    /// before torus faults existed.
     pub fn random(seed: u64, nodes: usize, rings: usize) -> Self {
         let mut rng = SplitMix64::new(seed);
         let budget = 1 + rng.next_below(30);
@@ -157,6 +181,11 @@ impl FaultPlan {
                 until: from + Cycles(100 + rng.next_below(3_000)),
             });
         }
+        let (torus_drop, torus_budget) = if rng.chance(0.5) {
+            (0.02 + rng.next_f64() * 0.10, 1 + rng.next_below(12))
+        } else {
+            (0.0, 0)
+        };
         FaultPlan {
             seed,
             drop,
@@ -166,16 +195,20 @@ impl FaultPlan {
             delay_max,
             stalls,
             budget,
+            torus_drop,
+            torus_budget,
         }
     }
 
     /// Returns a copy with a smaller fault budget. Because randomized
     /// faults are consumed in draw order, the copy injects a prefix of
     /// this plan's fault schedule — the shrinking step of the chaos
-    /// campaign.
+    /// campaign. The torus budget (an independent stream) is clamped to
+    /// the same bound so shrinking converges on both networks at once.
     pub fn with_budget(&self, budget: u64) -> Self {
         let mut plan = self.clone();
         plan.budget = budget;
+        plan.torus_budget = plan.torus_budget.min(budget);
         plan
     }
 
@@ -199,6 +232,12 @@ impl FaultPlan {
                 w.until.as_u64()
             ));
         }
+        if self.torus_faults() {
+            s.push_str(&format!(
+                " torus={:.4}/bgt{}",
+                self.torus_drop, self.torus_budget
+            ));
+        }
         s
     }
 }
@@ -218,11 +257,14 @@ pub struct FaultStats {
     pub stall_hits: u64,
     /// Total cycles departures spent waiting out stall windows.
     pub stall_cycles: u64,
+    /// Torus data messages dropped (bounded by `torus_budget`).
+    pub torus_drops: u64,
 }
 
 impl FaultStats {
-    /// Randomized faults injected (drops + duplicates + delays); the
-    /// quantity bounded by [`FaultPlan::budget`].
+    /// Randomized ring faults injected (drops + duplicates + delays);
+    /// the quantity bounded by [`FaultPlan::budget`]. Torus drops are
+    /// counted separately in `torus_drops`.
     pub fn injected(&self) -> u64 {
         self.drops + self.duplicates + self.delays
     }
@@ -349,6 +391,68 @@ impl FaultState {
     }
 }
 
+/// Stream-splitting constant xor-ed into the plan seed for the torus
+/// fault stream, so ring and torus draw decorrelated sequences from the
+/// same plan.
+const TORUS_STREAM: u64 = 0x7052_D47A_5EED_CA05;
+
+/// Live fault-injection state for the torus data network.
+///
+/// The torus only ever *drops* messages (its point is to exercise the
+/// memory-path retry), drawn in message order from a private stream
+/// derived from the plan seed. Like the ring's [`FaultState`], once the
+/// torus budget is spent every send is clean and no RNG state advances,
+/// so lowering `torus_budget` keeps a prefix of the drop schedule.
+#[derive(Debug, Clone)]
+pub struct TorusFaultState {
+    plan: FaultPlan,
+    rng: SplitMix64,
+    spent: u64,
+    drops: u64,
+}
+
+impl TorusFaultState {
+    /// Arms a plan. The RNG stream is `plan.seed ^ TORUS_STREAM`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SplitMix64::new(plan.seed ^ TORUS_STREAM);
+        TorusFaultState {
+            plan,
+            rng,
+            spent: 0,
+            drops: 0,
+        }
+    }
+
+    /// The armed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Torus drops injected so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Torus-drop budget still available.
+    pub fn remaining_budget(&self) -> u64 {
+        self.plan.torus_budget.saturating_sub(self.spent)
+    }
+
+    /// Draws the drop decision for one faultable torus send. Returns
+    /// `true` if the message is lost.
+    pub fn decide(&mut self) -> bool {
+        if self.spent >= self.plan.torus_budget || self.plan.torus_drop <= 0.0 {
+            return false;
+        }
+        if self.rng.chance(self.plan.torus_drop) {
+            self.spent += 1;
+            self.drops += 1;
+            return true;
+        }
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +467,14 @@ mod tests {
         assert!(p.is_lossless());
         p.budget = 1;
         assert!(!p.is_lossless());
+        // Torus-only faults make a plan lossy too.
+        let mut t = FaultPlan::lossless();
+        t.torus_drop = 0.5;
+        assert!(t.is_lossless(), "zero torus budget injects nothing");
+        t.torus_budget = 1;
+        assert!(!t.is_lossless());
+        assert!(t.torus_faults());
+        assert!(t.describe().contains("torus=0.5000/bgt1"));
     }
 
     #[test]
@@ -439,6 +551,30 @@ mod tests {
         assert!((1..=30).contains(&a.budget));
         assert!(!a.is_lossless());
         assert!(a.describe().contains("seed=5"));
+    }
+
+    #[test]
+    fn torus_budget_caps_drops_and_shrinks_to_a_prefix() {
+        let mut p = FaultPlan::lossless();
+        p.seed = 9;
+        p.torus_drop = 1.0;
+        p.torus_budget = 5;
+        let mut st = TorusFaultState::new(p.clone());
+        let drops = (0..100).filter(|_| st.decide()).count();
+        assert_eq!(drops, 5);
+        assert_eq!(st.drops(), 5);
+        assert_eq!(st.remaining_budget(), 0);
+
+        // Lower torus_drop so not every draw fires; a smaller budget
+        // must keep a prefix of the full drop schedule.
+        p.torus_drop = 0.3;
+        p.torus_budget = 8;
+        let mut full = TorusFaultState::new(p.clone());
+        let mut cut = TorusFaultState::new(p.with_budget(2));
+        let full_hits: Vec<u64> = (0..10_000u64).filter(|_| full.decide()).collect();
+        let cut_hits: Vec<u64> = (0..10_000u64).filter(|_| cut.decide()).collect();
+        assert!(cut_hits.len() <= 2);
+        assert_eq!(&full_hits[..cut_hits.len()], &cut_hits[..]);
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub mod fault;
 pub mod ring;
 pub mod torus;
 
-pub use fault::{FaultPlan, FaultStats, HopOutcome, LinkDrop, RingFault, StallWindow};
+pub use fault::{
+    FaultPlan, FaultStats, HopOutcome, LinkDrop, RingFault, StallWindow, TorusFaultState,
+};
 pub use ring::{RingConfig, RingNetwork};
 pub use torus::{Torus, TorusConfig};

@@ -4,7 +4,14 @@
 //! snoop ring; they take the shortest path on the physical 2-D torus with
 //! dimension-order (X then Y) routing. Each directed link is a FIFO
 //! resource, so heavy data traffic between neighbouring nodes queues.
+//!
+//! A [`crate::FaultPlan`] with `torus_drop > 0` can be armed via
+//! [`Torus::set_fault_plan`]; idempotent data legs sent through
+//! [`Torus::send_outcome`] are then subject to seeded, budget-bounded
+//! drops. The lossless default leaves every code path bit-identical to
+//! the fault-free torus.
 
+use crate::fault::{FaultPlan, TorusFaultState};
 use flexsnoop_engine::{Cycle, Cycles, Resource};
 use flexsnoop_mem::CmpId;
 
@@ -91,6 +98,7 @@ pub struct Torus {
     /// One resource per (node, direction); directions: 0=+X, 1=-X, 2=+Y, 3=-Y.
     links: Vec<[Resource; 4]>,
     messages: u64,
+    faults: Option<TorusFaultState>,
 }
 
 impl Torus {
@@ -100,12 +108,35 @@ impl Torus {
             links: (0..config.nodes()).map(|_| Default::default()).collect(),
             config,
             messages: 0,
+            faults: None,
         }
     }
 
     /// The configuration this torus was built with.
     pub fn config(&self) -> &TorusConfig {
         &self.config
+    }
+
+    /// Arms (or clears, for a plan without torus faults) the fault layer.
+    /// Must be called before any traffic so the drop schedule is a pure
+    /// function of the plan.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan) {
+        assert_eq!(self.messages, 0, "fault plan must be armed before traffic");
+        self.faults = if plan.torus_faults() {
+            Some(TorusFaultState::new(plan.clone()))
+        } else {
+            None
+        };
+    }
+
+    /// Whether a fault plan with torus drops is armed.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Torus data messages dropped by the armed fault plan so far.
+    pub fn fault_drops(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.drops())
     }
 
     /// Sends one data message from `src` to `dst` starting at `now` using
@@ -133,6 +164,24 @@ impl Torus {
             y = ny;
         }
         t
+    }
+
+    /// Sends one *droppable* data message from `src` to `dst`: the
+    /// message traverses (and occupies) its route exactly like
+    /// [`Torus::send`], then the armed fault plan decides whether it is
+    /// lost on the final hop. Returns `None` when dropped. With no plan
+    /// armed this is exactly `Some(self.send(..))`, bit for bit.
+    ///
+    /// Only idempotent legs (memory requests/replies, speculative
+    /// prefetches, clean cache supplies) may go through here; dirty-data
+    /// donations and writebacks must use the reliable [`Torus::send`].
+    pub fn send_outcome(&mut self, src: CmpId, dst: CmpId, now: Cycle) -> Option<Cycle> {
+        let arrival = self.send(src, dst, now);
+        if self.faults.as_mut().is_some_and(|f| f.decide()) {
+            None
+        } else {
+            Some(arrival)
+        }
     }
 
     /// Chooses the direction (0 = increasing, 1 = decreasing) and next
@@ -235,5 +284,39 @@ mod tests {
         t.send(CmpId(0), CmpId(5), Cycle::new(0));
         t.send(CmpId(1), CmpId(2), Cycle::new(0));
         assert_eq!(t.messages(), 2);
+    }
+
+    #[test]
+    fn lossless_plan_keeps_send_outcome_identical() {
+        let mut plain = torus8();
+        let mut armed = torus8();
+        armed.set_fault_plan(&FaultPlan::default());
+        assert!(!armed.has_faults());
+        for i in 0..50usize {
+            let (src, dst) = (CmpId(i % 8), CmpId((i * 3) % 8));
+            let t = Cycle::new(i as u64 * 7);
+            assert_eq!(
+                armed.send_outcome(src, dst, t),
+                Some(plain.send(src, dst, t))
+            );
+        }
+        assert_eq!(armed.fault_drops(), 0);
+    }
+
+    #[test]
+    fn armed_plan_drops_within_budget() {
+        let mut plan = FaultPlan::lossless();
+        plan.seed = 3;
+        plan.torus_drop = 1.0;
+        plan.torus_budget = 2;
+        let mut t = torus8();
+        t.set_fault_plan(&plan);
+        assert!(t.has_faults());
+        assert_eq!(t.send_outcome(CmpId(0), CmpId(1), Cycle::new(0)), None);
+        assert_eq!(t.send_outcome(CmpId(0), CmpId(1), Cycle::new(0)), None);
+        assert!(t.send_outcome(CmpId(0), CmpId(1), Cycle::new(0)).is_some());
+        assert_eq!(t.fault_drops(), 2);
+        // Dropped messages still occupied their links and were counted.
+        assert_eq!(t.messages(), 3);
     }
 }

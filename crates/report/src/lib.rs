@@ -29,7 +29,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use flexsnoop::probe::ProbeReport;
-use flexsnoop::Algorithm;
+use flexsnoop::{Algorithm, FaultPlan, Simulator, StallWindow, TimeoutPolicy};
 use flexsnoop_bench::sweeps::{
     figure10_cases, figure10_sweep_on, figure11_accuracy_on, figure11_configs, render_table1,
     render_table3, table1_rows, table3_rows,
@@ -37,6 +37,7 @@ use flexsnoop_bench::sweeps::{
 use flexsnoop_bench::{
     aggregate, paper_workloads, render_aggregate, run_matrix_instrumented, CellResult, SEED,
 };
+use flexsnoop_engine::{Cycle, Cycles};
 use flexsnoop_metrics::{Histogram, Table};
 use flexsnoop_workload::WorkloadProfile;
 use json::Json;
@@ -479,6 +480,58 @@ pub fn generate(opts: &ReportOptions) -> GeneratedReport {
     });
     note(&mut summary, "figure 11", t.elapsed().as_millis());
 
+    // Recovery — the congested static-vs-EWMA timeout sweep.
+    let t = Instant::now();
+    let rec = recovery_rows(scale.figure_accesses);
+    let mut trec = Table::with_columns(&[
+        "algorithm",
+        "policy",
+        "timeouts",
+        "retries",
+        "spurious",
+        "rtt-samples",
+        "exec-cycles",
+    ]);
+    for r in &rec {
+        trec.row(vec![
+            r.algorithm.to_string(),
+            r.policy.to_string(),
+            r.timeouts.to_string(),
+            r.retries.to_string(),
+            r.spurious_retries.to_string(),
+            r.rtt_samples.to_string(),
+            r.exec_cycles.to_string(),
+        ]);
+    }
+    sections.push(Section {
+        slug: "recovery",
+        heading: "Recovery — spurious retries under congestion, static vs EWMA timeouts".into(),
+        body: trec.render(),
+        config: Json::obj([
+            ("seed", Json::from(SEED)),
+            ("accesses_per_core", Json::from(scale.figure_accesses)),
+            ("workload", Json::str(RECOVERY_WORKLOAD)),
+            ("plan", Json::str(recovery_plan().describe())),
+        ]),
+        rows: Json::arr(rec.iter().map(|r| {
+            Json::obj([
+                ("algorithm", Json::str(r.algorithm.to_string())),
+                ("policy", Json::str(r.policy)),
+                ("timeouts", Json::from(r.timeouts)),
+                ("retries", Json::from(r.retries)),
+                ("spurious_retries", Json::from(r.spurious_retries)),
+                ("rtt_samples", Json::from(r.rtt_samples)),
+                ("exec_cycles", Json::from(r.exec_cycles)),
+                ("violations", Json::from(r.violations)),
+                ("in_flight", Json::from(r.in_flight)),
+            ])
+        })),
+        extra: Vec::new(),
+        volatile_extra: Vec::new(),
+        wall_ms: t.elapsed().as_millis() as u64,
+    });
+    note(&mut summary, "recovery sweep", t.elapsed().as_millis());
+
     // Assemble report.md (deterministic: no timings, no SHA).
     let mut report_md = String::new();
     let _ = writeln!(
@@ -501,6 +554,87 @@ pub fn generate(opts: &ReportOptions) -> GeneratedReport {
         artifacts,
         summary,
     }
+}
+
+/// Workload driving the recovery congestion sweep.
+const RECOVERY_WORKLOAD: &str = "specweb";
+
+/// One measured cell of the recovery sweep.
+#[derive(Debug, Clone)]
+struct RecoveryRow {
+    algorithm: Algorithm,
+    policy: &'static str,
+    timeouts: u64,
+    retries: u64,
+    spurious_retries: u64,
+    rtt_samples: u64,
+    exec_cycles: u64,
+    violations: u64,
+    in_flight: u64,
+}
+
+/// The fixed congested-but-lossless schedule of the recovery sweep: no
+/// message is ever lost, but heavy injected delays plus rolling node
+/// stalls push round trips far past the static timeout's fixed queueing
+/// slack. Every timeout the static policy fires here is premature by
+/// construction; the EWMA policy should learn the congestion and fire
+/// (far) fewer.
+fn recovery_plan() -> FaultPlan {
+    let mut plan = FaultPlan::lossless();
+    plan.seed = 0x0C0261257;
+    plan.delay = 0.45;
+    plan.delay_max = Cycles(900);
+    plan.budget = u64::MAX;
+    for (i, node) in [1usize, 3, 5, 7].into_iter().enumerate() {
+        let from = Cycle::new(2_000 + 9_000 * i as u64);
+        plan.stalls.push(StallWindow {
+            node,
+            from,
+            until: from + Cycles(4_000),
+        });
+    }
+    plan
+}
+
+/// Runs the Table 3 algorithms under [`recovery_plan`] twice each —
+/// static and EWMA requester timeouts, interleaved so the two policies
+/// of one algorithm always run back to back on an identical setup.
+fn recovery_rows(accesses: u64) -> Vec<RecoveryRow> {
+    const POLICIES: [(TimeoutPolicy, &str); 2] = [
+        (TimeoutPolicy::Static, "static"),
+        (TimeoutPolicy::Adaptive, "ewma"),
+    ];
+    let algorithms = [
+        Algorithm::Subset,
+        Algorithm::SupersetCon,
+        Algorithm::SupersetAgg,
+        Algorithm::Exact,
+    ];
+    let profile = flexsnoop_workload::profiles::specweb().with_accesses(accesses);
+    let plan = recovery_plan();
+    let mut rows = Vec::new();
+    for alg in algorithms {
+        for (policy, label) in POLICIES {
+            let mut sim = Simulator::for_workload(&profile, alg, None, SEED)
+                .unwrap_or_else(|e| panic!("recovery sweep {alg}: {e}"));
+            sim.set_timeout_policy(policy);
+            sim.enable_invariant_checks();
+            sim.set_fault_plan(plan.clone());
+            let stats = sim.run();
+            rows.push(RecoveryRow {
+                algorithm: alg,
+                policy: label,
+                timeouts: stats.robustness.timeouts,
+                retries: stats.robustness.retries,
+                spurious_retries: stats.robustness.spurious_retries,
+                rtt_samples: stats.robustness.rtt_samples,
+                exec_cycles: stats.exec_cycles.as_u64(),
+                violations: sim.violations().len() as u64,
+                in_flight: sim.in_flight() as u64 + stats.robustness.unfinished_cores,
+            });
+        }
+    }
+    rows
 }
 
 /// One report section, pre-assembly.
@@ -694,10 +828,10 @@ mod tests {
     }
 
     #[test]
-    fn generates_eight_sections_and_artifacts() {
+    fn generates_nine_sections_and_artifacts() {
         let report = generate(&tiny_options());
-        assert_eq!(report.artifacts.len(), 8);
-        assert_eq!(report.report_md.matches("\n## ").count(), 8);
+        assert_eq!(report.artifacts.len(), 9);
+        assert_eq!(report.report_md.matches("\n## ").count(), 9);
         let names: Vec<&str> = report
             .artifacts
             .iter()
@@ -714,6 +848,7 @@ mod tests {
                 "bench_fig9.json",
                 "bench_fig10.json",
                 "bench_fig11.json",
+                "bench_recovery.json",
             ]
         );
         for a in &report.artifacts {
@@ -766,6 +901,33 @@ mod tests {
             .find(|a| a.filename == "bench_fig7.json")
             .unwrap();
         assert!(!fig7.contents.contains("\"probe\":"));
+    }
+
+    #[test]
+    fn recovery_sweep_ewma_beats_static_and_stays_clean() {
+        let rows = recovery_rows(400);
+        assert_eq!(rows.len(), 8);
+        let sum = |policy: &str, f: fn(&RecoveryRow) -> u64| -> u64 {
+            rows.iter().filter(|r| r.policy == policy).map(f).sum()
+        };
+        for r in &rows {
+            assert_eq!(r.violations, 0, "{} {} oracle", r.algorithm, r.policy);
+            assert_eq!(r.in_flight, 0, "{} {} retirement", r.algorithm, r.policy);
+        }
+        // The schedule is congested but lossless: every static timeout is
+        // premature, and the EWMA estimator must learn the congestion.
+        let static_spurious = sum("static", |r| r.spurious_retries);
+        let ewma_spurious = sum("ewma", |r| r.spurious_retries);
+        assert!(
+            static_spurious > 0,
+            "congestion must provoke the static policy into premature retries"
+        );
+        assert!(
+            ewma_spurious < static_spurious,
+            "adaptive timeouts must cut spurious retries: ewma {ewma_spurious} \
+             vs static {static_spurious}"
+        );
+        assert!(sum("ewma", |r| r.rtt_samples) > 0);
     }
 
     #[test]

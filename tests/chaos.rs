@@ -180,4 +180,92 @@ fn degradation_engages_under_sustained_loss() {
     );
     assert_eq!(probe.timeouts, r.timeouts, "probe missed timeouts");
     assert_eq!(probe.retries, r.retries, "probe missed retries");
+    assert_eq!(
+        probe.probation_exits, r.probation_exits,
+        "probe and stats disagree on probation exits"
+    );
+    assert_eq!(
+        probe.probation_resets, r.probation_resets,
+        "probe and stats disagree on probation resets"
+    );
+}
+
+#[test]
+fn campaign_covers_every_fault_kind() {
+    // Coverage ratchet (satellite of DESIGN.md §8): a healthy campaign
+    // must both arm and actually inject every fault kind the plan
+    // language can express — a kind that silently stops firing would
+    // turn its recovery path into dead, untested code.
+    let workload = profiles::specjbb();
+    let opts = ChaosOptions {
+        schedules: 12,
+        accesses_per_core: 100,
+        threads: 2,
+        ..ChaosOptions::default()
+    };
+    let report = run_chaos(&workload, &opts).expect("campaign runs");
+    assert!(report.is_clean(), "{}", report.render());
+    for (i, kind) in flexsnoop_checker::FAULT_KINDS.iter().enumerate() {
+        let [armed, injected] = report.coverage.kinds[i];
+        assert!(armed > 0, "no schedule armed {kind}:\n{}", report.render());
+        assert!(
+            injected > 0,
+            "{kind} was armed but never injected:\n{}",
+            report.render()
+        );
+    }
+    assert!(report.coverage.starved_kinds().is_empty());
+    // The render carries the per-kind table the CI artifact is built from.
+    assert!(
+        report.render().contains("Fault coverage"),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn torus_lossless_default_changes_nothing() {
+    // Torus mirror of `lossless_plan_changes_nothing`: arming a plan
+    // whose torus fields cannot fire (zero budget, like the default)
+    // must leave ring and memory paths bit-identical to a plain run.
+    let workload = profiles::specweb().with_accesses(300);
+    for algorithm in [Algorithm::Lazy, Algorithm::Exact] {
+        let mut plain =
+            Simulator::for_workload(&workload, algorithm, None, SEED).expect("valid config");
+        let baseline = plain.run();
+
+        let mut plan = FaultPlan::lossless();
+        plan.torus_drop = 0.8; // nonzero probability, but...
+        plan.torus_budget = 0; // ...a zero budget must inject nothing.
+        assert!(plan.is_lossless());
+        let mut armed =
+            Simulator::for_workload(&workload, algorithm, None, SEED).expect("valid config");
+        armed.set_fault_plan(plan);
+        armed.set_recovery_enabled(true);
+        let with_plan = armed.run();
+        assert_eq!(
+            baseline, with_plan,
+            "{algorithm}: lossless torus plan drifted"
+        );
+        assert_eq!(armed.fault_stats().torus_drops, 0);
+    }
+}
+
+#[test]
+fn torus_only_schedule_recovers() {
+    // Reply-data loss on the torus exercises the memory path: the ring
+    // answers, the data never arrives, and the whole transaction must be
+    // retried rather than stranding the requester core.
+    let mut plan = FaultPlan::lossless();
+    plan.seed = 31;
+    plan.torus_drop = 0.5;
+    plan.torus_budget = 8;
+    for kind in [QueueKind::Heap, QueueKind::Bucketed] {
+        let (stats, _) = faulted_run(Algorithm::SupersetCon, &plan, kind);
+        let r = &stats.robustness;
+        assert!(r.torus_drops > 0, "plan injected no torus drops: {r:?}");
+        assert_eq!(r.ring_drops, 0, "torus-only plan touched the ring: {r:?}");
+        assert!(r.retries > 0, "lost data never triggered a retry: {r:?}");
+        assert_eq!(r.unfinished_cores, 0, "data loss stranded a core");
+    }
 }

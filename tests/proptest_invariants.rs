@@ -309,3 +309,71 @@ fn supply_keeps_supplier_status() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Adaptive timeouts: whatever congestion a bounded fault schedule creates,
+// no requester's EWMA timeout estimate may fall below the unloaded ring
+// latency — the estimator is clamped to physics (DESIGN.md §8).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn ewma_timeout_estimates_never_undercut_the_ring_floor() {
+    use flexsnoop::{energy_model_for, Algorithm, FaultPlan, MachineConfig, Simulator, VecStream};
+    use flexsnoop_mem::CmpId;
+    const TABLE3: [Algorithm; 4] = [
+        Algorithm::Subset,
+        Algorithm::SupersetCon,
+        Algorithm::SupersetAgg,
+        Algorithm::Exact,
+    ];
+    let mut rng = SplitMix64::new(0xE3A4_F100);
+    for case in 0..CASES {
+        let algorithm = TABLE3[(case % 4) as usize];
+        let machine = MachineConfig::isca2006(1);
+        let plan = FaultPlan::random(rng.next_u64(), machine.nodes, machine.ring.rings);
+        let mut scripts: Vec<Vec<MemAccess>> = vec![Vec::new(); machine.nodes];
+        let n = 8 + rng.next_below(112);
+        for i in 0..n {
+            scripts[(i as usize) % machine.nodes].push(MemAccess {
+                line: LineAddr(rng.next_below(64)),
+                write: rng.next_below(2) == 0,
+                think: Cycles(rng.next_below(8)),
+            });
+        }
+        let limit = scripts.iter().map(|s| s.len() as u64).max().unwrap().max(1);
+        let streams: Vec<Box<dyn AccessStream + Send>> = scripts
+            .into_iter()
+            .map(|s| Box::new(VecStream::new(s)) as Box<dyn AccessStream + Send>)
+            .collect();
+        let predictor = algorithm.default_predictor();
+        let mut sim = Simulator::new(
+            machine,
+            algorithm,
+            predictor,
+            energy_model_for(&predictor),
+            streams,
+            limit,
+        )
+        .unwrap();
+        sim.set_fault_plan(plan.clone());
+        sim.set_recovery_enabled(true);
+        let stats = sim.run();
+        let ctx = format!("{algorithm} under `{}`", plan.describe());
+        assert_eq!(sim.in_flight(), 0, "{ctx}: transactions lost on the ring");
+        assert_eq!(
+            stats.robustness.unfinished_cores, 0,
+            "{ctx}: cores stranded"
+        );
+        let floor = sim.timeout_floor();
+        assert!(floor.0 > 0, "{ctx}: armed plan left the floor unset");
+        for node in 0..sim.config().nodes {
+            let estimate = sim.timeout_estimate(CmpId(node));
+            assert!(
+                estimate >= floor,
+                "{ctx}: node {node} estimate {estimate:?} fell below floor {floor:?} \
+                 after {} rtt samples",
+                stats.robustness.rtt_samples
+            );
+        }
+    }
+}

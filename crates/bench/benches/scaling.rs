@@ -1,0 +1,97 @@
+//! Microbenchmarks for the million-node scaling substrate: sharded
+//! event-wheel push/pop throughput and struct-of-arrays node-state
+//! access (the flat predictor bank and a full tiny-cache scale machine).
+//!
+//! Macro numbers (events/sec, bytes/node at 1k/128k/1M nodes) come from
+//! `flexsnoop bench --scale`; these benches isolate the two data
+//! structures that sweep leans on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flexsnoop::{energy_model_for, Algorithm, MachineConfig, Simulator, VecStream};
+use flexsnoop_engine::{Cycle, Cycles, QueueKind, ShardedScheduler, SplitMix64};
+use flexsnoop_predictor::PredictorSpec;
+use flexsnoop_workload::{AccessStream, LineAddr, MemAccess};
+
+const EVENTS: u64 = 20_000;
+
+/// Pushes `EVENTS` timestamped events round-robin across the shards,
+/// then pops them all back in global order.
+fn wheel_push_pop(segments: usize) -> u64 {
+    let mut sched: ShardedScheduler<u64> = ShardedScheduler::new(QueueKind::Bucketed, segments);
+    let mut rng = SplitMix64::new(0xFEED + segments as u64);
+    for i in 0..EVENTS {
+        let at = Cycle::new(rng.next_u64() % 10_000);
+        sched.schedule_at(i as usize % segments, at, i);
+    }
+    let mut sum = 0u64;
+    while let Some((_, _, ev)) = sched.pop() {
+        sum = sum.wrapping_add(ev);
+    }
+    sum
+}
+
+/// Sweeps predictions across a 100k-node flat Subset bank (the
+/// struct-of-arrays predictor layout).
+fn bank_sweep(nodes: usize, lookups: u64) -> u64 {
+    let mut bank = PredictorSpec::Subset { entries: 8 }.build_bank(nodes);
+    let mut hits = 0u64;
+    for i in 0..lookups {
+        let node = (i as usize * 7919) % nodes;
+        let line = LineAddr(i % 64);
+        if i % 3 == 0 {
+            bank.supplier_gained(node, line);
+        }
+        hits += u64::from(bank.predict(node, line));
+    }
+    hits
+}
+
+/// One full tiny-cache scale-machine run: 8 requesters on a 4096-node
+/// ring, exercising the sparse gateway map, residency counters and
+/// per-segment wheels together.
+fn scale_sim_run() -> u64 {
+    let nodes = 4096usize;
+    let accesses = 8u64;
+    let machine = MachineConfig::scale(nodes);
+    let streams: Vec<Box<dyn AccessStream + Send>> = (0..nodes)
+        .map(|core| {
+            let n = if core % (nodes / 8) == 0 { accesses } else { 0 };
+            let reads = (0..n)
+                .map(|k| MemAccess::read(LineAddr((core as u64 + k) % 32), Cycles(10)))
+                .collect();
+            Box::new(VecStream::new(reads)) as Box<dyn AccessStream + Send>
+        })
+        .collect();
+    let spec = PredictorSpec::None;
+    let mut sim = Simulator::new(
+        machine,
+        Algorithm::Lazy,
+        spec,
+        energy_model_for(&spec),
+        streams,
+        accesses,
+    )
+    .expect("scale machine configures");
+    sim.set_segments(4);
+    sim.run().events
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for segments in [1usize, 4, 16] {
+        group.bench_function(format!("wheel_push_pop_{segments}seg"), |b| {
+            b.iter(|| black_box(wheel_push_pop(segments)))
+        });
+    }
+    group.bench_function("soa_subset_bank_100k_nodes", |b| {
+        b.iter(|| black_box(bank_sweep(100_000, 50_000)))
+    });
+    group.bench_function("soa_scale_sim_4096_nodes", |b| {
+        b.iter(|| black_box(scale_sim_run()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

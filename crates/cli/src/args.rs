@@ -19,6 +19,8 @@ pub enum Command {
     Directory,
     /// Regenerate the paper-figure report and JSON artifacts.
     Report,
+    /// Throughput/memory benchmarks (`--scale`: the ring-scaling sweep).
+    Bench,
     /// Seeded unreliable-ring chaos campaign.
     Chaos,
     /// Print usage.
@@ -91,6 +93,11 @@ pub struct Args {
     /// `--coverage-out FILE` for `chaos`: write the per-kind injected
     /// counts in the baseline format (the CI ratchet artifact).
     pub coverage_out: String,
+    /// `--scale` flag for `bench`: run the ring-scaling sweep.
+    pub scale: bool,
+    /// `--max-nodes` for `bench --scale`: skip sweep points above this
+    /// ring size (the CI smoke job caps at 131072).
+    pub max_nodes: usize,
 }
 
 impl Default for Args {
@@ -121,6 +128,8 @@ impl Default for Args {
             static_timeouts: false,
             coverage_baseline: String::new(),
             coverage_out: String::new(),
+            scale: false,
+            max_nodes: 1 << 20,
         }
     }
 }
@@ -147,6 +156,7 @@ impl Args {
             "replay" => Command::Replay,
             "directory" => Command::Directory,
             "report" => Command::Report,
+            "bench" => Command::Bench,
             "chaos" => Command::Chaos,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(format!("unknown command {other:?}; try `flexsnoop help`")),
@@ -182,6 +192,10 @@ impl Args {
                     args.static_timeouts = true;
                     continue;
                 }
+                "--scale" => {
+                    args.scale = true;
+                    continue;
+                }
                 _ => {}
             }
             let value = it
@@ -212,6 +226,7 @@ impl Args {
                 "--predictor-fault" => args.predictor_fault = value.clone(),
                 "--coverage-baseline" => args.coverage_baseline = value.clone(),
                 "--coverage-out" => args.coverage_out = value.clone(),
+                "--max-nodes" => args.max_nodes = num("--max-nodes")? as usize,
                 other => return Err(format!("unknown option {other:?}; try `flexsnoop help`")),
             }
         }
@@ -298,6 +313,18 @@ mod tests {
         assert!(c.static_timeouts);
         assert_eq!(c.coverage_baseline, "base.txt");
         assert_eq!(c.coverage_out, "cov.txt");
+    }
+
+    #[test]
+    fn bench_options_parse() {
+        let a = Args::parse(&argv("bench --scale --max-nodes 131072 --out results")).unwrap();
+        assert_eq!(a.command, Command::Bench);
+        assert!(a.scale);
+        assert_eq!(a.max_nodes, 131072);
+        assert_eq!(a.out, "results");
+        let b = Args::parse(&argv("bench")).unwrap();
+        assert!(!b.scale);
+        assert_eq!(b.max_nodes, 1 << 20);
     }
 
     #[test]

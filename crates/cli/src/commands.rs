@@ -360,6 +360,28 @@ fn report_with(opts: &flexsnoop_report::ReportOptions, check: bool) -> Result<St
     }
 }
 
+/// `flexsnoop bench --scale`: the ring-scaling sweep (1k → 1M nodes),
+/// writing the versioned `results/bench_scale.json` artifact.
+pub fn bench(args: &Args) -> Result<String, String> {
+    if !args.scale {
+        return Err("bench currently requires --scale (the ring-scaling sweep)".to_string());
+    }
+    let mut opts = flexsnoop_report::scale::ScaleOptions {
+        max_nodes: args.max_nodes,
+        ..flexsnoop_report::scale::ScaleOptions::default()
+    };
+    if !args.out.is_empty() {
+        opts.out_dir = std::path::PathBuf::from(&args.out);
+    }
+    let report = flexsnoop_report::scale::run_scale(&opts);
+    report.write(&opts.out_dir)?;
+    Ok(format!(
+        "{}\nwrote {}\n",
+        report.summary,
+        opts.out_dir.join(&report.artifact.filename).display()
+    ))
+}
+
 /// `flexsnoop chaos`: the seeded unreliable-ring campaign
 /// (see `flexsnoop_checker::chaos`).
 pub fn chaos(args: &Args) -> Result<String, String> {
@@ -477,6 +499,13 @@ mod tests {
     #[test]
     fn replay_requires_trace_file() {
         assert!(replay(&base_args()).unwrap_err().contains("--trace"));
+    }
+
+    #[test]
+    fn bench_requires_scale_flag() {
+        let mut args = base_args();
+        args.command = Command::Bench;
+        assert!(bench(&args).unwrap_err().contains("--scale"));
     }
 
     #[test]

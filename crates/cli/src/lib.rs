@@ -42,6 +42,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Replay => commands::replay(&args),
         Command::Directory => commands::directory(&args),
         Command::Report => commands::report(&args),
+        Command::Bench => commands::bench(&args),
         Command::Chaos => commands::chaos(&args),
         Command::Help => Ok(usage()),
     }
@@ -64,6 +65,7 @@ COMMANDS:
     replay      Replay a recorded trace under one algorithm
     directory   Run the directory-protocol baseline (crates/directory)
     report      Regenerate results/report.md and the bench_*.json artifacts
+    bench       Throughput/memory benchmarks (--scale: 1k -> 1M node ring sweep)
     chaos       Sweep seeded ring-fault schedules across the Table 3 algorithms
     help        Show this message
 
@@ -82,6 +84,8 @@ OPTIONS (where applicable):
     --probe              `report`: attach observability counters to artifacts
     --check              `report`: fail if the committed report.md is stale
     --threads N          Worker threads for parallel runs [machine parallelism]
+    --scale              `bench`: run the ring-scaling sweep (bench_scale.json)
+    --max-nodes N        `bench --scale`: skip sweep points above N [1048576]
     --schedules N        `chaos`: randomized fault schedules to draw [40]
     --schedule SEED      `chaos`: replay exactly one schedule seed (reproducer)
     --budget N           `chaos`: override the plan's fault budget (shrunk prefix)

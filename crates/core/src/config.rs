@@ -274,6 +274,29 @@ impl MachineConfig {
         }
     }
 
+    /// A machine sized for ring-scaling sweeps (`flexsnoop bench
+    /// --scale`): `nodes` single-core CMPs with deliberately tiny caches
+    /// so per-node state — not cache capacity — dominates the footprint,
+    /// letting million-node rings fit in memory while still exercising
+    /// evictions and the full coherence protocol. Timing parameters stay
+    /// at the Table 4 values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn scale(nodes: usize) -> Self {
+        assert!(nodes > 0, "machine needs at least one CMP node");
+        let mut cfg = Self::isca2006(1);
+        cfg.nodes = nodes;
+        // 8-line L1 (2-way), 32-line L2 (4-way): both keep power-of-two
+        // set counts and force frequent evictions.
+        cfg.caches.l1_bytes = 8 * cfg.caches.line_bytes;
+        cfg.caches.l1_ways = 2;
+        cfg.caches.l2_bytes = 32 * cfg.caches.line_bytes;
+        cfg.caches.l2_ways = 4;
+        cfg
+    }
+
     /// Total cores in the machine.
     pub fn total_cores(&self) -> usize {
         self.nodes * self.cores_per_cmp
@@ -364,6 +387,17 @@ mod tests {
     #[test]
     fn default_is_valid() {
         assert!(MachineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn scale_machine_is_valid_at_any_size() {
+        for nodes in [1usize, 8, 1024, 1 << 20] {
+            let c = MachineConfig::scale(nodes);
+            assert!(c.validate().is_ok(), "{nodes} nodes");
+            assert_eq!(c.nodes, nodes);
+            assert_eq!(c.cores_per_cmp, 1);
+            assert!(c.caches.l2_bytes <= 32 * c.caches.line_bytes);
+        }
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub use experiments::{run_algorithms, run_workload, GroupAggregator, VecStream};
 pub use message::{MsgKind, ReplyInfo, RingMsg, TxnId, TxnOp};
 pub use oracle::{ProtocolMutation, Violation};
 pub use probe::{CountingProbe, Probe, ProbeReport};
-pub use sim::{energy_model_for, Simulator};
+pub use sim::{energy_model_for, MemoryFootprint, Simulator};
 pub use stats::{RobustnessStats, RunStats};
 pub use timeline::{Timeline, TxnEvent};
 

@@ -133,6 +133,14 @@ pub trait Probe: Send {
     /// The fault plan dropped one torus data message.
     fn torus_fault(&mut self) {}
 
+    /// End-of-run memory accounting: the simulator's estimated heap
+    /// footprint ([`crate::Simulator::memory_footprint`]) plus the
+    /// process's peak resident set (0 when the platform cannot report
+    /// it). Fired exactly once, after the event loop drains.
+    fn footprint(&mut self, bytes_per_node: u64, total_bytes: u64, peak_rss_bytes: u64) {
+        let _ = (bytes_per_node, total_bytes, peak_rss_bytes);
+    }
+
     /// The aggregated report, if this probe produces one.
     ///
     /// The default returns `None`; [`CountingProbe`] overrides it. This
@@ -202,6 +210,15 @@ pub struct ProbeReport {
     pub timeout_estimate: Histogram,
     /// Torus data messages dropped by the fault plan.
     pub torus_drops: u64,
+    /// Estimated simulator heap bytes per ring node (deterministic for a
+    /// fixed configuration and workload).
+    pub bytes_per_node: u64,
+    /// Estimated total simulator heap footprint in bytes.
+    pub footprint_total_bytes: u64,
+    /// Peak resident set of the whole process in bytes (`VmHWM`); 0 when
+    /// the platform cannot report it. Volatile: never serialized into
+    /// deterministic artifact sections.
+    pub peak_rss_bytes: u64,
 }
 
 impl ProbeReport {
@@ -338,9 +355,29 @@ impl Probe for CountingProbe {
         self.report.torus_drops += 1;
     }
 
+    fn footprint(&mut self, bytes_per_node: u64, total_bytes: u64, peak_rss_bytes: u64) {
+        self.report.bytes_per_node = bytes_per_node;
+        self.report.footprint_total_bytes = total_bytes;
+        self.report.peak_rss_bytes = peak_rss_bytes;
+    }
+
     fn report(&self) -> Option<ProbeReport> {
         Some(self.report.clone())
     }
+}
+
+/// Peak resident set of the current process in bytes, read from
+/// `/proc/self/status` (`VmHWM`). Returns `None` on platforms without
+/// procfs or when the field is missing — callers should treat the value
+/// as best-effort and volatile.
+pub fn peak_rss_bytes() -> Option<u64> {
+    if !cfg!(target_os = "linux") {
+        return None;
+    }
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }
 
 #[cfg(test)]
@@ -381,6 +418,7 @@ mod tests {
         p.rtt_sampled(Cycles(344), Cycles(430));
         p.rtt_sampled(Cycles(500), Cycles(620));
         p.torus_fault();
+        p.footprint(512, 4096, 1 << 20);
         let r = p.report().unwrap();
         assert_eq!(r.forwards, 2);
         assert_eq!(r.forward_then_snoop, 1);
@@ -413,6 +451,17 @@ mod tests {
         assert_eq!(r.timeout_estimate.count(), 2);
         assert_eq!(r.timeout_estimate.max(), Some(620));
         assert_eq!(r.torus_drops, 1);
+        assert_eq!(r.bytes_per_node, 512);
+        assert_eq!(r.footprint_total_bytes, 4096);
+        assert_eq!(r.peak_rss_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(rss) = peak_rss_bytes() {
+            // Any live process has touched at least a page.
+            assert!(rss >= 4096, "peak RSS {rss} implausibly small");
+        }
     }
 
     #[test]
@@ -436,6 +485,7 @@ mod tests {
         s.spurious_retry();
         s.rtt_sampled(Cycles(1), Cycles(2));
         s.torus_fault();
+        s.footprint(1, 2, 3);
         assert!(s.report().is_none());
     }
 

@@ -23,11 +23,16 @@
 
 use std::collections::VecDeque;
 
-use flexsnoop_engine::{Cycle, Cycles, FxHashMap, FxHashSet, QueueKind, Resource, Scheduler};
+use flexsnoop_engine::{
+    segment_of, Cycle, Cycles, FxHashMap, FxHashSet, QueueKind, Resource, Scheduler,
+    ShardedScheduler,
+};
 use flexsnoop_mem::{CacheGeometry, CmpCaches, CmpId, CoherState, InvalidateOutcome, LineAddr};
 use flexsnoop_metrics::{EnergyCategory, EnergyModel};
 use flexsnoop_net::{FaultPlan, FaultStats, RingConfig, RingNetwork, Torus, TorusConfig};
-use flexsnoop_predictor::{BloomFilter, BloomSpec, PredictorSpec, SupplierPredictor};
+use flexsnoop_predictor::{
+    BloomFilter, BloomSpec, PredictorBank, PredictorSpec, SupplierPredictor,
+};
 use flexsnoop_workload::{AccessStream, MemAccess, WorkloadProfile};
 
 use flexsnoop_mem::invariants;
@@ -50,10 +55,17 @@ fn kind_label(kind: &MsgKind) -> &'static str {
 }
 
 /// Per-node, per-transaction gateway state (Table 2's bookkeeping).
+///
+/// Stored sparsely in the simulator's `gateway` map, keyed by
+/// `(transaction, node)`. A missing entry means the node has either not
+/// seen the transaction yet or already finished with it (writing
+/// [`NodeState::Finished`] removes the entry): only the handful of nodes
+/// actively working on a transaction occupy memory, instead of a
+/// `Vec<NodeState>` of machine size per transaction — the difference
+/// between O(in-flight × touched) and O(in-flight × nodes) state on
+/// million-node rings.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NodeState {
-    /// No message for this transaction has been seen yet.
-    Untouched,
     /// The node chose `Forward`; a trailing reply (if any) is also passed
     /// through, marked as filtered.
     PassThrough,
@@ -73,7 +85,33 @@ enum NodeState {
     AwaitReply { combine_out: bool, any_copy: bool },
     /// This node's part is done; any further (trailing) reply is stale
     /// information and is discarded (Table 2: "Discard snoop reply").
+    /// Never stored: writing it removes the gateway entry.
     Finished,
+}
+
+/// Machine-wide copy counts for one resident line (the simulator's
+/// `residency` map), maintained incrementally by every L2 state change so
+/// memory-fill decisions are O(1) lookups instead of full-machine scans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct LineCopies {
+    /// Valid copies across all cores' L2s.
+    copies: u32,
+    /// Copies in `E`, `D` or `T` — the states whose presence makes
+    /// memory's own copy unusable for fills. A count (not a flag) so the
+    /// totals stay exact even when injected protocol mutations violate
+    /// the one-owner invariant.
+    strong: u32,
+}
+
+/// Estimated model-state memory footprint of a built simulator
+/// ([`Simulator::memory_footprint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Total estimated bytes across caches, predictors, filters, network
+    /// link FIFOs, ports and the dynamic protocol maps.
+    pub total_bytes: u64,
+    /// `total_bytes / nodes` — the scaling figure `bench --scale` tracks.
+    pub bytes_per_node: u64,
 }
 
 /// How the requesting core gets the data of a ring write transaction.
@@ -134,7 +172,11 @@ struct Txn {
     /// Global core id of the requester.
     core: usize,
     issue: Cycle,
-    node_states: Vec<NodeState>,
+    /// Nodes holding a gateway entry for this transaction, in insertion
+    /// order. Drained to clean up the sparse gateway map on retirement or
+    /// retry; duplicate-free because nodes are pushed only when their
+    /// entry is freshly inserted.
+    engaged: Vec<u32>,
     /// When cache-supplied data reached the requester.
     data_arrived: Option<Cycle>,
     /// The returned ring outcome.
@@ -236,6 +278,78 @@ enum Event {
     Timeout { txn: TxnId, attempt: u32 },
 }
 
+/// The simulator's event queue: one global [`Scheduler`] by default, or a
+/// [`ShardedScheduler`] with one timing wheel per ring segment
+/// ([`Simulator::set_segments`]). Both pop in the same global
+/// `(time, insertion seq)` order, so every segment count produces
+/// bit-identical results; sharding exists to keep each wheel's working
+/// set small at large node counts and to expose per-segment event streams
+/// to the conservative parallel driver in `flexsnoop-engine`.
+#[derive(Debug)]
+enum SimSched {
+    Single(Scheduler<Event>),
+    Sharded(ShardedScheduler<Event>),
+}
+
+impl SimSched {
+    fn build(kind: QueueKind, segments: usize) -> Self {
+        if segments > 1 {
+            SimSched::Sharded(ShardedScheduler::new(kind, segments))
+        } else {
+            SimSched::Single(Scheduler::with_queue(kind))
+        }
+    }
+
+    fn segments(&self) -> usize {
+        match self {
+            SimSched::Single(_) => 1,
+            SimSched::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    fn queue_kind(&self) -> QueueKind {
+        match self {
+            SimSched::Single(s) => s.queue_kind(),
+            SimSched::Sharded(s) => s.queue_kind(),
+        }
+    }
+
+    fn now(&self) -> Cycle {
+        match self {
+            SimSched::Single(s) => s.now(),
+            SimSched::Sharded(s) => s.now(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            SimSched::Single(s) => s.len(),
+            SimSched::Sharded(s) => s.len(),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            SimSched::Single(s) => s.is_empty(),
+            SimSched::Sharded(s) => s.is_empty(),
+        }
+    }
+
+    fn schedule_at(&mut self, shard: usize, at: Cycle, event: Event) {
+        match self {
+            SimSched::Single(s) => s.schedule_at(at, event),
+            SimSched::Sharded(s) => s.schedule_at(shard, at, event),
+        }
+    }
+
+    fn pop(&mut self) -> Option<(Cycle, Event)> {
+        match self {
+            SimSched::Single(s) => s.pop(),
+            SimSched::Sharded(s) => s.pop().map(|(t, _shard, e)| (t, e)),
+        }
+    }
+}
+
 /// The full-machine simulator for one (algorithm, predictor, workload) run.
 ///
 /// The typical flow — build from a workload profile, run to completion,
@@ -263,13 +377,15 @@ enum Event {
 pub struct Simulator {
     cfg: MachineConfig,
     alg: Algorithm,
-    sched: Scheduler<Event>,
+    sched: SimSched,
     cmps: Vec<CmpCaches>,
-    predictors: Vec<Box<dyn SupplierPredictor + Send>>,
-    /// Per-node presence filters (only maintained when write filtering is
-    /// on): a counting Bloom over every valid line in the CMP's L2s. No
-    /// false negatives, so a "definitely absent" answer makes skipping a
-    /// write invalidation safe (§5.3 extension).
+    predictors: PredictorBank,
+    /// Per-node presence filters, allocated and maintained only when
+    /// write filtering is on (empty otherwise — at ~1.2 KB per filter
+    /// they would dominate memory on large rings): a counting Bloom over
+    /// every valid line in the CMP's L2s. No false negatives, so a
+    /// "definitely absent" answer makes skipping a write invalidation
+    /// safe (§5.3 extension).
     presence: Vec<BloomFilter>,
     write_snoops_filtered: u64,
     ring: RingNetwork,
@@ -280,6 +396,15 @@ pub struct Simulator {
     mem_ports: Vec<Resource>,
     cores: Vec<CoreState>,
     txns: TxnArena<Txn>,
+    /// Sparse per-`(transaction, node)` gateway state (see [`NodeState`]):
+    /// absence means untouched-or-finished. Entries are created by
+    /// [`Self::set_node_state`] and reclaimed through each transaction's
+    /// `engaged` list on retirement and retry.
+    gateway: FxHashMap<(TxnId, u32), NodeState>,
+    /// Machine-wide copy counts per resident line (see [`LineCopies`]),
+    /// kept in sync by every L2 state change so
+    /// [`Self::memory_fill_state`] needs no O(nodes × cores) scan.
+    residency: FxHashMap<LineAddr, LineCopies>,
     /// In-flight transaction counts per line: `(readers, writers)`.
     /// Read–read concurrency is benign (no state is modified that another
     /// read could observe inconsistently); any write serializes.
@@ -314,9 +439,6 @@ pub struct Simulator {
     /// ([`TimeoutPolicy::Adaptive`]); populated by
     /// [`Self::set_fault_plan`].
     rtt: Vec<RttEstimator>,
-    /// Recycled `node_states` buffers from retired transactions, so the
-    /// steady state allocates no per-transaction memory.
-    node_state_pool: Vec<Vec<NodeState>>,
     stats: RunStats,
     timeline: Timeline,
     /// Observability sink (see [`crate::probe`]); `None` keeps every hook
@@ -376,8 +498,11 @@ impl Simulator {
                 "algorithm {algorithm} cannot use predictor {predictor}"
             ));
         }
-        let predictors = (0..machine.nodes).map(|_| predictor.build()).collect();
-        Self::with_predictors(machine, algorithm, predictors, energy, streams, limit)
+        // The bank picks the most compact machine-wide layout that keeps
+        // per-node semantics (flat shared tables for Subset, zero storage
+        // for None) instead of one boxed predictor per node.
+        let bank = predictor.build_bank(machine.nodes);
+        Self::build(machine, algorithm, bank, energy, streams, limit)
     }
 
     /// Builds a simulator with caller-supplied per-node predictors (one
@@ -396,6 +521,24 @@ impl Simulator {
         machine: MachineConfig,
         algorithm: Algorithm,
         predictors: Vec<Box<dyn SupplierPredictor + Send>>,
+        energy: EnergyModel,
+        streams: Vec<Box<dyn AccessStream + Send>>,
+        limit: u64,
+    ) -> Result<Self, String> {
+        Self::build(
+            machine,
+            algorithm,
+            PredictorBank::Boxed(predictors),
+            energy,
+            streams,
+            limit,
+        )
+    }
+
+    fn build(
+        machine: MachineConfig,
+        algorithm: Algorithm,
+        predictors: PredictorBank,
         energy: EnergyModel,
         streams: Vec<Box<dyn AccessStream + Send>>,
         limit: u64,
@@ -428,9 +571,13 @@ impl Simulator {
         let cmps = (0..machine.nodes)
             .map(|_| CmpCaches::new(machine.cores_per_cmp, l1, l2))
             .collect();
-        let presence = (0..machine.nodes)
-            .map(|_| BloomFilter::new(BloomSpec::y_filter()))
-            .collect();
+        let presence = if machine.policy.write_filtering {
+            (0..machine.nodes)
+                .map(|_| BloomFilter::new(BloomSpec::y_filter()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let ring = RingNetwork::new(RingConfig {
             nodes: machine.nodes,
             rings: machine.ring.rings,
@@ -457,7 +604,7 @@ impl Simulator {
             .collect();
         Ok(Self {
             alg: algorithm,
-            sched: Scheduler::new(),
+            sched: SimSched::Single(Scheduler::new()),
             cmps,
             predictors,
             presence,
@@ -468,6 +615,8 @@ impl Simulator {
             mem_ports: (0..machine.nodes).map(|_| Resource::new()).collect(),
             cores,
             txns: TxnArena::new(),
+            gateway: FxHashMap::default(),
+            residency: FxHashMap::default(),
             line_busy: FxHashMap::default(),
             line_waiters: FxHashMap::default(),
             downgraded: FxHashSet::default(),
@@ -478,7 +627,6 @@ impl Simulator {
             timeout_base: Cycles(0),
             timeout_floor: Cycles(0),
             rtt: Vec::new(),
-            node_state_pool: Vec::new(),
             stats: RunStats::new(energy),
             timeline: Timeline::disabled(),
             probe: None,
@@ -585,7 +733,38 @@ impl Simulator {
             !self.finished && self.sched.is_empty(),
             "use_event_queue() must be called before run()"
         );
-        self.sched = Scheduler::with_queue(kind);
+        self.sched = SimSched::build(kind, self.sched.segments());
+    }
+
+    /// Splits the event queue into `segments` per-ring-segment timing
+    /// wheels (see [`ShardedScheduler`]). Every event is routed to the
+    /// wheel of the node it acts on; pops interleave all wheels in global
+    /// `(time, insertion)` order, so **any** segment count produces
+    /// bit-identical results to the single-wheel default — only the
+    /// per-wheel working-set size changes. Call before
+    /// [`run`](Self::run); composes with
+    /// [`use_event_queue`](Self::use_event_queue) in either order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started, or if `segments` is
+    /// zero or exceeds the node count.
+    pub fn set_segments(&mut self, segments: usize) {
+        assert!(
+            !self.finished && self.sched.is_empty(),
+            "set_segments() must be called before run()"
+        );
+        assert!(
+            segments >= 1 && segments <= self.cfg.nodes,
+            "segment count ({segments}) must be in 1..={}",
+            self.cfg.nodes
+        );
+        self.sched = SimSched::build(self.sched.queue_kind(), segments);
+    }
+
+    /// The configured ring-segment (event-wheel) count.
+    pub fn segments(&self) -> usize {
+        self.sched.segments()
     }
 
     /// The recorded transaction timelines.
@@ -733,7 +912,7 @@ impl Simulator {
     /// [`flexsnoop_predictor::FaultInjectingPredictor`] wrappers, summed
     /// over all nodes.
     pub fn injected_prediction_faults(&self) -> u64 {
-        self.predictors.iter().map(|p| p.injected_faults()).sum()
+        self.predictors.injected_faults_total()
     }
 
     /// The coherence state of `line` in one core's L2 (for inspection and
@@ -850,8 +1029,8 @@ impl Simulator {
         self.stats.robustness.torus_drops = self.torus.fault_drops();
         self.stats.robustness.injected_prediction_faults = self.injected_prediction_faults();
         // Fold predictor activity into the energy account.
-        for p in &self.predictors {
-            let c = p.counters();
+        for node in 0..self.predictors.len() {
+            let c = self.predictors.counters(node);
             self.stats
                 .energy
                 .add(EnergyCategory::PredictorLookup, c.lookups);
@@ -862,7 +1041,41 @@ impl Simulator {
                 probe.predictor_trained(c.trainings);
             }
         }
+        if self.probe.is_some() {
+            let fp = self.memory_footprint();
+            let rss = crate::probe::peak_rss_bytes().unwrap_or(0);
+            if let Some(probe) = self.probe.as_deref_mut() {
+                probe.footprint(fp.bytes_per_node, fp.total_bytes, rss);
+            }
+        }
         self.stats.clone()
+    }
+
+    /// Schedules `ev` on the event wheel of the ring segment that will
+    /// act on it (a no-op choice with a single wheel). Every event
+    /// producer funnels through here so segment routing stays in one
+    /// place.
+    fn schedule_event(&mut self, at: Cycle, ev: Event) {
+        let shard = match self.sched.segments() {
+            1 => 0,
+            segments => segment_of(self.event_node(&ev), self.cfg.nodes, segments),
+        };
+        self.sched.schedule_at(shard, at, ev);
+    }
+
+    /// The node whose ring segment owns `ev`: where the event's handler
+    /// reads and writes node-local state. Requester-side events for a
+    /// transaction that already retired (possible only for stale
+    /// wake-ups) default to node 0; their handlers discard them.
+    fn event_node(&self, ev: &Event) -> usize {
+        match *ev {
+            Event::CoreIssue { core, .. } => core / self.cfg.cores_per_cmp,
+            Event::RingArrive { node, .. } => node.0,
+            Event::SnoopDone { node, .. } | Event::WriteSnoopDone { node, .. } => node.0,
+            Event::DataArrive { txn } | Event::MemData { txn } | Event::Timeout { txn, .. } => {
+                self.txns.get(txn).map_or(0, |t| t.requester.0)
+            }
+        }
     }
 
     /// Pulls the next access for `core` and schedules its issue, or marks
@@ -879,7 +1092,7 @@ impl Simulator {
         match c.stream.next_access() {
             Some(access) => {
                 c.issued += 1;
-                self.sched.schedule_at(
+                self.schedule_event(
                     at + access.think,
                     Event::CoreIssue {
                         core,
@@ -1062,9 +1275,6 @@ impl Simulator {
             TxnOp::Read => slot.0 += 1,
             TxnOp::Write => slot.1 += 1,
         }
-        let mut node_states = self.node_state_pool.pop().unwrap_or_default();
-        node_states.clear();
-        node_states.resize(self.cfg.nodes, NodeState::Untouched);
         let leave = now + self.cfg.timing.gateway_latency;
         let id = self.txns.insert(Txn {
             line,
@@ -1072,7 +1282,7 @@ impl Simulator {
             requester,
             core,
             issue: now,
-            node_states,
+            engaged: Vec::new(),
             data_arrived: None,
             reply_info: None,
             prefetch_ready: None,
@@ -1100,7 +1310,7 @@ impl Simulator {
         };
         self.send_ring(msg, requester, leave, op);
         if self.unreliable && self.recovery {
-            self.sched.schedule_at(
+            self.schedule_event(
                 leave + self.timeout_window(requester, 0),
                 Event::Timeout {
                     txn: id,
@@ -1153,8 +1363,7 @@ impl Simulator {
                 if let Some(p) = self.probe.as_deref_mut() {
                     p.ring_hop(arrival - leave);
                 }
-                self.sched
-                    .schedule_at(arrival, Event::RingArrive { msg, node });
+                self.schedule_event(arrival, Event::RingArrive { msg, node });
             }
             None => {
                 self.timeline
@@ -1170,8 +1379,7 @@ impl Simulator {
             if let Some(p) = self.probe.as_deref_mut() {
                 p.ring_hop(dup_at - leave);
             }
-            self.sched
-                .schedule_at(dup_at, Event::RingArrive { msg, node });
+            self.schedule_event(dup_at, Event::RingArrive { msg, node });
         }
     }
 
@@ -1320,8 +1528,8 @@ impl Simulator {
         // The new circulation restarts Table 2's per-node bookkeeping;
         // deliveries and snoop completions of the old one are discarded by
         // their stale attempt tag.
-        for st in txn.node_states.iter_mut() {
-            *st = NodeState::Untouched;
+        for node in txn.engaged.drain(..) {
+            self.gateway.remove(&(txn_id, node));
         }
         self.stats.robustness.retries += 1;
         if let Some(p) = self.probe.as_deref_mut() {
@@ -1344,7 +1552,7 @@ impl Simulator {
             seq: 0,
         };
         self.send_ring(msg, requester, leave, op);
-        self.sched.schedule_at(
+        self.schedule_event(
             leave + self.timeout_window(requester, new_attempt),
             Event::Timeout {
                 txn: txn_id,
@@ -1441,7 +1649,7 @@ impl Simulator {
             SnoopAction::SnoopThenForward
         } else if self.alg.uses_predictor() {
             proc += self.cfg.timing.predictor_latency;
-            let predicted = self.predictors[node.0].predict(line);
+            let predicted = self.predictors.predict(node.0, line);
             let actual = self.cmps[node.0].supplier_of(line).is_some();
             self.stats.accuracy.record(predicted, actual);
             if let Some(p) = self.probe.as_deref_mut() {
@@ -1539,7 +1747,7 @@ impl Simulator {
         self.timeline
             .record(txn, start, TxnEvent::SnoopStarted { node });
         let grant = self.snoop_ports[node.0].acquire(start, self.cfg.timing.snoop_occupancy);
-        self.sched.schedule_at(
+        self.schedule_event(
             grant.start + self.cfg.timing.snoop_time,
             Event::SnoopDone { txn, node, attempt },
         );
@@ -1559,23 +1767,25 @@ impl Simulator {
         }
         let line = txn.line;
         let requester = txn.requester;
-        let state = txn.node_states[node.0];
+        let state = self.gateway.get(&(txn_id, node.0 as u32)).copied();
         let result = self.cmps[node.0].snoop(line);
         if self.alg.uses_predictor() {
-            self.predictors[node.0].feedback(line, result.supplier.is_some());
+            self.predictors
+                .feedback(node.0, line, result.supplier.is_some());
         }
-        let NodeState::Snooping {
+        let Some(NodeState::Snooping {
             acc,
             combine_out,
             buffered,
-        } = state
+        }) = state
         else {
-            // A positive trailing reply was already forwarded mid-snoop;
-            // nothing remains to do (the snoop energy is already counted).
-            // An injected mutation legitimately leaves stray suppliers
-            // around, so the protocol-cleanliness assert stands down then —
-            // the invariant oracle is what reports the breakage.
-            debug_assert_eq!(state, NodeState::Finished);
+            // No gateway entry: a positive trailing reply was already
+            // forwarded mid-snoop and finished this node; nothing remains
+            // to do (the snoop energy is already counted). An injected
+            // mutation legitimately leaves stray suppliers around, so the
+            // protocol-cleanliness assert stands down then — the
+            // invariant oracle is what reports the breakage.
+            debug_assert_eq!(state, None);
             debug_assert!(self.mutation.is_some() || result.supplier.is_none());
             return;
         };
@@ -1601,8 +1811,7 @@ impl Simulator {
             // circulation finds it again and re-requests the data.
             match self.torus.send_outcome(node, requester, now) {
                 Some(data_at) => {
-                    self.sched
-                        .schedule_at(data_at, Event::DataArrive { txn: txn_id });
+                    self.schedule_event(data_at, Event::DataArrive { txn: txn_id });
                     self.note_data_scheduled(txn_id);
                 }
                 None => self.note_torus_drop(),
@@ -1675,12 +1884,12 @@ impl Simulator {
 
     /// A trailing reply arrives at an intermediate node.
     fn on_trailing_reply(&mut self, msg: RingMsg, node: CmpId, info: ReplyInfo, now: Cycle) {
-        let state = match self.txns.get(msg.txn) {
-            Some(t) => t.node_states[node.0],
-            None => return,
-        };
+        if self.txns.get(msg.txn).is_none() {
+            return;
+        }
+        let state = self.gateway.get(&(msg.txn, node.0 as u32)).copied();
         match state {
-            NodeState::PassThrough => {
+            Some(NodeState::PassThrough) => {
                 let mut info = info;
                 info.mark_filtered();
                 let out = RingMsg {
@@ -1694,9 +1903,9 @@ impl Simulator {
                     TxnOp::Read,
                 );
             }
-            NodeState::Snooping {
+            Some(NodeState::Snooping {
                 acc, combine_out, ..
-            } => {
+            }) => {
                 debug_assert!(acc.is_none(), "combined arrival cannot trail a reply");
                 if info.found {
                     // A supplier upstream: our pending snoop cannot also be
@@ -1714,27 +1923,26 @@ impl Simulator {
                     );
                 }
             }
-            NodeState::AwaitReply {
+            Some(NodeState::AwaitReply {
                 combine_out,
                 any_copy,
-            } => {
+            }) => {
                 let mut info = info;
                 info.merge_snoop(false, any_copy);
                 self.finish_node(msg.txn, node, info, combine_out, now);
             }
-            NodeState::Finished => { /* stale information: discard */ }
-            NodeState::Untouched => {
-                // On an unreliable ring the leading request can be dropped
-                // mid-circulation while its trailing reply keeps going; the
-                // orphaned reply is useless past that point (downstream
-                // nodes never saw the request) and the requester's timeout
-                // recovers the transaction. Lossless rings can never
-                // reorder a reply ahead of its request.
-                assert!(
-                    self.unreliable,
-                    "reply overtook its request at {node} for {}",
-                    msg.txn
-                );
+            Some(NodeState::Finished) => unreachable!("Finished is never stored"),
+            None => {
+                // No gateway entry. Either this node already finished —
+                // e.g. a Forward-Then-Snoop node whose snoop found the
+                // supplier emits its positive reply immediately, so the
+                // upstream trailing reply reaches it after the fact and
+                // is stale information (Table 2: "Discard snoop reply") —
+                // or, on an unreliable ring only, the leading request was
+                // dropped mid-circulation and this orphaned reply reached
+                // a node that never saw it; downstream nodes are useless
+                // to it either way and the requester's timeout recovers
+                // the transaction. Both cases: discard.
             }
         }
     }
@@ -1818,7 +2026,7 @@ impl Simulator {
         self.timeline
             .record(txn, start, TxnEvent::SnoopStarted { node });
         let grant = self.snoop_ports[node.0].acquire(start, self.cfg.timing.snoop_occupancy);
-        self.sched.schedule_at(
+        self.schedule_event(
             grant.start + self.cfg.timing.snoop_time,
             Event::WriteSnoopDone { txn, node, attempt },
         );
@@ -1836,13 +2044,14 @@ impl Simulator {
         let line = txn.line;
         let requester = txn.requester;
         let needs_data = txn.write_data == WriteData::Remote && !txn.data_sent;
-        let state = txn.node_states[node.0];
+        let state = self.gateway.get(&(txn_id, node.0 as u32)).copied();
         // Invalidate every copy in this CMP; a supplier-state copy donates
         // the data if the writer still needs it.
         let dropped = if self.mutation == Some(ProtocolMutation::SkipWriteInvalidation) {
             InvalidateOutcome {
                 copies: 0,
                 had_supplier: false,
+                strong_copies: 0,
             }
         } else {
             self.invalidate_cmp(node, line)
@@ -1863,21 +2072,22 @@ impl Simulator {
             // only holder of the data — losing it is unrecoverable without
             // a value-level ack protocol. Same for writebacks.
             let data_at = self.torus.send(node, requester, now);
-            self.sched
-                .schedule_at(data_at, Event::DataArrive { txn: txn_id });
+            self.schedule_event(data_at, Event::DataArrive { txn: txn_id });
             if let Some(txn) = self.txns.get_mut(txn_id) {
                 txn.data_sent = true;
                 txn.data_pending += 1;
             }
             sent_data = true;
         }
-        let NodeState::Snooping {
+        let Some(NodeState::Snooping {
             acc,
             combine_out,
             buffered,
-        } = state
+        }) = state
         else {
-            debug_assert_eq!(state, NodeState::Finished);
+            // Entry already removed: this node finished via the trailing
+            // reply path; the invalidation above still had to run.
+            debug_assert_eq!(state, None);
             return;
         };
         let any_copy = dropped.copies > 0;
@@ -1936,14 +2146,14 @@ impl Simulator {
     }
 
     fn on_write_trailing_reply(&mut self, msg: RingMsg, node: CmpId, info: ReplyInfo, now: Cycle) {
-        let state = match self.txns.get(msg.txn) {
-            Some(t) => t.node_states[node.0],
-            None => return,
-        };
+        if self.txns.get(msg.txn).is_none() {
+            return;
+        }
+        let state = self.gateway.get(&(msg.txn, node.0 as u32)).copied();
         match state {
-            NodeState::Snooping {
+            Some(NodeState::Snooping {
                 acc, combine_out, ..
-            } => {
+            }) => {
                 // The invalidation ack cannot be skipped: buffer until the
                 // local snoop completes.
                 self.set_node_state(
@@ -1956,16 +2166,16 @@ impl Simulator {
                     },
                 );
             }
-            NodeState::AwaitReply {
+            Some(NodeState::AwaitReply {
                 combine_out,
                 any_copy: sent_data,
-            } => {
+            }) => {
                 let mut info = info;
                 info.found |= sent_data;
                 self.finish_write_node(msg.txn, node, info, combine_out, now);
             }
-            NodeState::Finished => {}
-            NodeState::PassThrough => {
+            Some(NodeState::Finished) => unreachable!("Finished is never stored"),
+            Some(NodeState::PassThrough) => {
                 // This node filtered the write (presence says no copy);
                 // pass the trailing reply through untouched.
                 let out = RingMsg {
@@ -1979,13 +2189,11 @@ impl Simulator {
                     TxnOp::Write,
                 );
             }
-            NodeState::Untouched => {
-                // Orphaned by a dropped leading request (see the read-side
-                // twin above): discard; the timeout re-issues the write.
-                assert!(
-                    self.unreliable,
-                    "write reply overtook its request at {node}"
-                );
+            None => {
+                // Already finished here (stale information), or orphaned
+                // by a dropped leading request (see the read-side twin
+                // above): discard; a timeout re-issues the write if the
+                // circulation really was lost.
             }
         }
     }
@@ -2074,7 +2282,7 @@ impl Simulator {
         };
         match data_at {
             Some(at) => {
-                self.sched.schedule_at(at, Event::MemData { txn: txn_id });
+                self.schedule_event(at, Event::MemData { txn: txn_id });
                 self.note_data_scheduled(txn_id);
             }
             None => self.note_torus_drop(),
@@ -2132,7 +2340,7 @@ impl Simulator {
                     };
                     match data_at {
                         Some(at) => {
-                            self.sched.schedule_at(at, Event::MemData { txn: txn_id });
+                            self.schedule_event(at, Event::MemData { txn: txn_id });
                             self.note_data_scheduled(txn_id);
                         }
                         None => self.note_torus_drop(),
@@ -2218,7 +2426,7 @@ impl Simulator {
                         self.try_retire(txn_id, now);
                         // `replay: true`: the original issue already took
                         // the load-queue slot; the retry must not recount.
-                        self.sched.schedule_at(
+                        self.schedule_event(
                             now + Cycles(1),
                             Event::CoreIssue {
                                 core,
@@ -2243,7 +2451,40 @@ impl Simulator {
     ///
     /// Returns `None` if a dirty or exclusive copy exists (memory data is
     /// stale or the fill would violate exclusivity): the read must retry.
+    ///
+    /// Answered from the incremental [`Self::residency`] counters in O(1);
+    /// debug builds cross-check against the full-machine scan this
+    /// replaced.
     fn memory_fill_state(
+        &self,
+        node: CmpId,
+        line: LineAddr,
+        proven: CoherState,
+    ) -> Option<CoherState> {
+        let res = self.residency.get(&line).copied().unwrap_or_default();
+        let fill = if res.strong > 0 {
+            None
+        } else if res.copies == 0 {
+            Some(proven) // SG, or E when the ring proved exclusivity
+        } else if self.cmps[node.0].has_copy(line) {
+            // A racing SL in this CMP also forbids another local master.
+            Some(CoherState::S)
+        } else {
+            Some(CoherState::Sl)
+        };
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            fill,
+            self.memory_fill_state_scan(node, line, proven),
+            "residency counters drifted from cache state for {line}"
+        );
+        fill
+    }
+
+    /// The original full-machine scan, kept as ground truth for the
+    /// counter-based fast path in debug builds.
+    #[cfg(debug_assertions)]
+    fn memory_fill_state_scan(
         &self,
         node: CmpId,
         line: LineAddr,
@@ -2264,11 +2505,10 @@ impl Simulator {
                 if n == node.0 {
                     local_copy = true;
                 }
-                // A racing SL in this CMP also forbids another local master.
             }
         }
         Some(if !any_copy {
-            proven // SG, or E when the ring proved exclusivity
+            proven
         } else if local_copy {
             CoherState::S
         } else {
@@ -2334,7 +2574,9 @@ impl Simulator {
             }
         }
         if let Some(done) = self.txns.remove(txn_id) {
-            self.node_state_pool.push(done.node_states);
+            for node in done.engaged {
+                self.gateway.remove(&(txn_id, node));
+            }
         }
         if let Some(slot) = self.line_busy.get_mut(&line) {
             match op {
@@ -2349,7 +2591,7 @@ impl Simulator {
         // conflict rule (some may immediately re-queue).
         if let Some(waiters) = self.line_waiters.remove(&line) {
             for (core, access) in waiters {
-                self.sched.schedule_at(
+                self.schedule_event(
                     now + Cycles(1),
                     Event::CoreIssue {
                         core,
@@ -2361,9 +2603,20 @@ impl Simulator {
         }
     }
 
+    /// Writes one node's gateway state for `txn` into the sparse map.
+    /// `Finished` removes the entry (absence ≡ finished-or-untouched);
+    /// a fresh insert is recorded on the transaction's `engaged` list so
+    /// retirement and retries clean up in O(entries touched). No-op for
+    /// retired transactions, so stale events cannot leak entries.
     fn set_node_state(&mut self, txn: TxnId, node: CmpId, state: NodeState) {
-        if let Some(t) = self.txns.get_mut(txn) {
-            t.node_states[node.0] = state;
+        let Some(t) = self.txns.get_mut(txn) else {
+            return;
+        };
+        let key = (txn, node.0 as u32);
+        if state == NodeState::Finished {
+            self.gateway.remove(&key);
+        } else if self.gateway.insert(key, state).is_none() {
+            t.engaged.push(node.0 as u32);
         }
     }
 
@@ -2375,7 +2628,9 @@ impl Simulator {
         if self.cfg.policy.write_filtering {
             self.presence[node.0].insert(line);
         }
+        let old = self.cmps[node.0].l2(local).state_of(line);
         if let Some(victim) = self.cmps[node.0].fill(local, line, state) {
+            self.residency_change(victim.line, victim.state, CoherState::I);
             if self.cfg.policy.write_filtering {
                 self.presence[node.0].remove(victim.line);
             }
@@ -2391,6 +2646,7 @@ impl Simulator {
                 let _ = self.torus.send(node, home, now);
             }
         }
+        self.residency_change(line, old, state);
         if state.is_supplier() {
             self.predictor_gained(node, line);
         }
@@ -2404,6 +2660,7 @@ impl Simulator {
             return;
         }
         self.cmps[node.0].set_state(local, line, new);
+        self.residency_change(line, old, new);
         match (old.is_supplier(), new.is_supplier()) {
             (false, true) => self.predictor_gained(node, line),
             (true, false) => self.predictor_lost(node, line),
@@ -2416,6 +2673,17 @@ impl Simulator {
     /// runs once per write snoop).
     fn invalidate_cmp(&mut self, node: CmpId, line: LineAddr) -> InvalidateOutcome {
         let dropped = self.cmps[node.0].invalidate_all_counted(line);
+        if dropped.copies > 0 {
+            let entry = self
+                .residency
+                .get_mut(&line)
+                .expect("invalidated copies were never counted");
+            entry.copies -= dropped.copies;
+            entry.strong -= dropped.strong_copies;
+            if entry.copies == 0 {
+                self.residency.remove(&line);
+            }
+        }
         if self.cfg.policy.write_filtering {
             for _ in 0..dropped.copies {
                 self.presence[node.0].remove(line);
@@ -2427,14 +2695,37 @@ impl Simulator {
         dropped
     }
 
+    /// Maintains the machine-wide [`Self::residency`] counters across one
+    /// L2 state change of `line` (old → new at a single core).
+    fn residency_change(&mut self, line: LineAddr, old: CoherState, new: CoherState) {
+        let strong = |s: CoherState| matches!(s, CoherState::E | CoherState::D | CoherState::T);
+        let d_copies = new.is_valid() as i32 - old.is_valid() as i32;
+        let d_strong = strong(new) as i32 - strong(old) as i32;
+        if d_copies == 0 && d_strong == 0 {
+            return;
+        }
+        let entry = self.residency.entry(line).or_default();
+        entry.copies = entry
+            .copies
+            .checked_add_signed(d_copies)
+            .expect("residency copy count drifted");
+        entry.strong = entry
+            .strong
+            .checked_add_signed(d_strong)
+            .expect("residency strong count drifted");
+        if entry.copies == 0 {
+            self.residency.remove(&line);
+        }
+    }
+
     fn predictor_gained(&mut self, node: CmpId, line: LineAddr) {
-        if let Some(victim) = self.predictors[node.0].supplier_gained(line) {
+        if let Some(victim) = self.predictors.supplier_gained(node.0, line) {
             self.perform_downgrade(node, victim);
         }
     }
 
     fn predictor_lost(&mut self, node: CmpId, line: LineAddr) {
-        self.predictors[node.0].supplier_lost(line);
+        self.predictors.supplier_lost(node.0, line);
     }
 
     /// Executes an Exact-predictor downgrade (paper §4.3.3): the victim
@@ -2449,6 +2740,7 @@ impl Simulator {
         };
         let (new, writeback) = st.after_downgrade();
         self.cmps[node.0].set_state(core, line, new);
+        self.residency_change(line, st, new);
         self.stats.downgrades += 1;
         self.stats.energy.add(EnergyCategory::Downgrade, 1);
         self.downgraded.insert(line);
@@ -2458,6 +2750,38 @@ impl Simulator {
             let home = CmpId(line.home_node(self.cfg.nodes));
             let now = self.sched.now();
             let _ = self.torus.send(node, home, now);
+        }
+    }
+
+    // ----- memory accounting ---------------------------------------------------
+
+    /// Estimates the heap footprint of the model state: caches,
+    /// predictors, presence filters, ring/torus link FIFOs, per-node
+    /// ports, and the dynamic protocol maps at their current capacity. An
+    /// estimate (not an allocator census) — `bench --scale` reports it as
+    /// bytes/node to track how per-node cost grows with ring size.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let caches: u64 = self.cmps.iter().map(|c| c.footprint_bytes()).sum();
+        let presence: u64 = self
+            .presence
+            .iter()
+            .map(|b| b.storage_bits() as u64 / 8)
+            .sum();
+        let ports = ((self.snoop_ports.capacity() + self.mem_ports.capacity())
+            * size_of::<Resource>()) as u64;
+        let dynamic = (self.gateway.capacity() * (size_of::<((TxnId, u32), NodeState)>() + 16)
+            + self.residency.capacity() * (size_of::<(LineAddr, LineCopies)>() + 16)
+            + self.rtt.capacity() * size_of::<RttEstimator>()) as u64;
+        let total = caches
+            + presence
+            + ports
+            + dynamic
+            + self.predictors.footprint_bytes()
+            + self.ring.footprint_bytes()
+            + self.torus.footprint_bytes();
+        MemoryFootprint {
+            total_bytes: total,
+            bytes_per_node: total / self.cfg.nodes.max(1) as u64,
         }
     }
 

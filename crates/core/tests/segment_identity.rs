@@ -1,0 +1,84 @@
+//! Bit-identity across event-queue shardings and backends.
+//!
+//! The determinism contract of the sharded scheduler: every event is
+//! popped in global `(time, insertion seq)` order no matter how many
+//! per-segment wheels the queue is split into and no matter which queue
+//! backend each wheel uses. Consequently **any** combination of segment
+//! count and backend must produce bit-identical run statistics — the
+//! same property `flexsnoop report --check` relies on for the committed
+//! 8-node paper figures.
+
+use flexsnoop::{Algorithm, RunStats, Simulator};
+use flexsnoop_engine::{Executor, QueueKind};
+use flexsnoop_workload::{profiles, WorkloadProfile};
+
+const SEED: u64 = 42;
+const ACCESSES: u64 = 150;
+
+fn workload() -> WorkloadProfile {
+    profiles::specjbb().with_accesses(ACCESSES)
+}
+
+fn run_variant(algorithm: Algorithm, kind: QueueKind, segments: usize) -> RunStats {
+    let mut sim =
+        Simulator::for_workload(&workload(), algorithm, None, SEED).expect("workload configures");
+    sim.use_event_queue(kind);
+    sim.set_segments(segments);
+    assert_eq!(sim.segments(), segments);
+    let stats = sim.run();
+    sim.validate_coherence().expect("coherent final state");
+    stats
+}
+
+#[test]
+fn stats_identical_across_segments_and_backends() {
+    for algorithm in [Algorithm::Lazy, Algorithm::SupersetAgg] {
+        let baseline = run_variant(algorithm, QueueKind::Bucketed, 1);
+        assert!(baseline.events > 0);
+        for kind in [QueueKind::Heap, QueueKind::Bucketed] {
+            for segments in [1usize, 2, 4, 8] {
+                let stats = run_variant(algorithm, kind, segments);
+                assert_eq!(
+                    stats, baseline,
+                    "{algorithm} diverged at {kind:?} x {segments} segments"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn stats_identical_across_executor_widths() {
+    // The bounded work-stealing executor must not perturb results either:
+    // each task is an independent deterministic simulation, so any worker
+    // count yields the same row set.
+    let run_all = |threads: usize| -> Vec<RunStats> {
+        let tasks: Vec<_> = [1usize, 2, 4]
+            .into_iter()
+            .map(|segments| {
+                move || run_variant(Algorithm::SupersetCon, QueueKind::Bucketed, segments)
+            })
+            .collect();
+        Executor::new(threads).run(tasks)
+    };
+    let narrow = run_all(1);
+    let wide = run_all(3);
+    assert_eq!(narrow.len(), 3);
+    assert_eq!(narrow, wide, "executor width changed results");
+    assert!(
+        narrow.windows(2).all(|w| w[0] == w[1]),
+        "segment count changed results under the executor"
+    );
+}
+
+#[test]
+fn segment_guardrails_hold() {
+    let mut sim = Simulator::for_workload(&workload(), Algorithm::Lazy, None, SEED).unwrap();
+    // Order of configuration must not matter.
+    sim.set_segments(4);
+    sim.use_event_queue(QueueKind::Heap);
+    assert_eq!(sim.segments(), 4);
+    sim.use_event_queue(QueueKind::Bucketed);
+    sim.set_segments(2);
+    assert_eq!(sim.segments(), 2);
+}

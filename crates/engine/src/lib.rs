@@ -38,6 +38,7 @@ pub mod fxhash;
 pub mod queue;
 pub mod resource;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use executor::{Executor, ExecutorStats, WorkerStats};
@@ -45,6 +46,7 @@ pub use fxhash::{FxHashMap, FxHashSet};
 pub use queue::{EventQueue, QueueKind};
 pub use resource::Resource;
 pub use rng::SplitMix64;
+pub use shard::{run_conservative, segment_of, Outbox, RingSegment, ShardedScheduler};
 pub use time::{Cycle, Cycles};
 
 /// An event queue combined with a simulation clock.

@@ -126,35 +126,59 @@ impl<E> EventQueue<E> {
     }
 }
 
-/// Wheel span in cycles. Ring hops, snoops and cache round-trips are all
-/// tens of cycles and DRAM a few hundred, so nearly every event lands in
-/// the wheel; only workload think times (thousands of cycles) overflow to
-/// the heap.
+/// Near-wheel span in cycles. Ring hops, snoops and cache round-trips are
+/// all tens of cycles and DRAM a few hundred, so nearly every event lands
+/// in the near wheel.
 const WHEEL: u64 = 4096;
 
-/// A timing-wheel event queue with a heap fallback for events beyond the
-/// wheel horizon.
+/// Far-wheel bucket count. Each far bucket spans `WHEEL` cycles, so the
+/// far wheel covers `WHEEL * FAR_BUCKETS` ≈ 16.7M cycles beyond the near
+/// horizon — enough for cross-chip torus data legs and requester timeouts
+/// at million-node ring scale, which used to degrade to the heap fallback.
+const FAR_BUCKETS: u64 = 4096;
+
+/// Total horizon the two wheels cover before the heap fallback engages.
+const FAR_SPAN: u64 = WHEEL * FAR_BUCKETS;
+
+/// A hierarchical timing-wheel event queue with a heap fallback for events
+/// beyond both wheel horizons.
 ///
 /// Events within `WHEEL` cycles of the queue's clock go into per-cycle
-/// FIFO buckets (O(1)); later events go into an overflow heap. `pop`
-/// compares the earliest bucket against the heap top by
-/// `(time, insertion sequence)`, so the pop order is identical to
-/// [`EventQueue`]'s.
+/// FIFO *near* buckets (O(1)); events up to ~16.7M cycles out go into
+/// `WHEEL`-cycle-wide *far* buckets that cascade into the near wheel as
+/// the clock approaches them; only events beyond the far horizon go into
+/// an overflow heap. `pop` compares the earliest wheel entry against the
+/// heap top by `(time, insertion sequence)`, so the pop order is identical
+/// to [`EventQueue`]'s.
 ///
 /// **Contract:** pushes must not be earlier than the last popped time
 /// (enforced by [`crate::Scheduler`], which never schedules in the past).
-/// This is what lets the wheel advance a monotonic cursor instead of
+/// This is what lets the wheels advance monotonic cursors instead of
 /// re-scanning.
 #[derive(Debug, Clone)]
 pub struct BucketQueue<E> {
     /// `WHEEL` per-cycle buckets, indexed by `time % WHEEL`; each bucket
     /// holds the events of exactly one timestamp, in insertion order.
-    buckets: Vec<VecDeque<(u64, E)>>,
-    /// Lower bound on every wheel entry's time; advances on every pop.
+    /// Near entries lie in `[cursor, far_start)`, and the push/pop
+    /// invariant `far_start - cursor <= WHEEL` keeps the mapping
+    /// injective (at most one timestamp per bucket).
+    near: Vec<VecDeque<(u64, E)>>,
+    /// `FAR_BUCKETS` buckets of `WHEEL` cycles each, indexed by
+    /// `(time / WHEEL) % FAR_BUCKETS`; entries are *not* time-sorted
+    /// within a bucket (they carry their timestamp) and cascade into the
+    /// near wheel, in insertion order, when the clock reaches the bucket.
+    far: Vec<Vec<(u64, u64, E)>>,
+    /// Lower bound on every near entry's time; advances on every pop.
     cursor: u64,
-    /// Events currently in the wheel (not counting the overflow heap).
-    in_wheel: usize,
-    /// Events at or beyond `cursor + WHEEL` at push time.
+    /// Lower bound on every far entry's time; always a multiple of
+    /// `WHEEL`, advances one bucket per cascade. The far wheel covers
+    /// `[far_start, far_start + FAR_SPAN)`.
+    far_start: u64,
+    /// Events currently in the near wheel.
+    in_near: usize,
+    /// Events currently in the far wheel.
+    in_far: usize,
+    /// Events at or beyond `far_start + FAR_SPAN` at push time.
     overflow: BinaryHeap<Entry<E>>,
     seq: u64,
 }
@@ -169,17 +193,25 @@ impl<E> BucketQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         Self {
-            buckets: (0..WHEEL).map(|_| VecDeque::new()).collect(),
+            near: (0..WHEEL).map(|_| VecDeque::new()).collect(),
+            far: (0..FAR_BUCKETS).map(|_| Vec::new()).collect(),
             cursor: 0,
-            in_wheel: 0,
+            far_start: WHEEL,
+            in_near: 0,
+            in_far: 0,
             overflow: BinaryHeap::new(),
             seq: 0,
         }
     }
 
     #[inline]
-    fn bucket_index(t: u64) -> usize {
+    fn near_index(t: u64) -> usize {
         (t % WHEEL) as usize
+    }
+
+    #[inline]
+    fn far_index(t: u64) -> usize {
+        ((t / WHEEL) % FAR_BUCKETS) as usize
     }
 
     /// Inserts `event` with timestamp `time`.
@@ -200,88 +232,158 @@ impl<E> BucketQueue<E> {
         );
         let seq = self.seq;
         self.seq += 1;
-        if t < self.cursor + WHEEL {
-            self.buckets[Self::bucket_index(t)].push_back((seq, event));
-            self.in_wheel += 1;
+        if t < self.far_start {
+            self.near[Self::near_index(t)].push_back((seq, event));
+            self.in_near += 1;
+        } else if t < self.far_start + FAR_SPAN {
+            self.far[Self::far_index(t)].push((t, seq, event));
+            self.in_far += 1;
         } else {
             self.overflow.push(Entry { time, seq, event });
         }
     }
 
-    /// Time of the earliest non-empty bucket, scanning forward from the
-    /// cursor. `None` when the wheel is empty.
+    /// Time of the earliest non-empty near bucket, scanning forward from
+    /// the cursor. `None` when the near wheel is empty.
     #[inline]
-    fn earliest_wheel_time(&self) -> Option<u64> {
-        if self.in_wheel == 0 {
+    fn earliest_near_time(&self) -> Option<u64> {
+        if self.in_near == 0 {
             return None;
         }
-        // All wheel entries lie in [cursor, cursor + WHEEL), so the scan
-        // finds one within WHEEL steps; the cursor's monotonic advance
-        // makes the amortized cost O(1) per simulated cycle.
+        // All near entries lie in [cursor, far_start), so the scan finds
+        // one within WHEEL steps; the cursor's monotonic advance makes the
+        // amortized cost O(1) per simulated cycle.
         let mut t = self.cursor;
         loop {
-            if !self.buckets[Self::bucket_index(t)].is_empty() {
+            if !self.near[Self::near_index(t)].is_empty() {
                 return Some(t);
             }
             t += 1;
-            debug_assert!(t < self.cursor + WHEEL, "wheel count out of sync");
+            debug_assert!(t < self.cursor + WHEEL, "near wheel count out of sync");
+        }
+    }
+
+    /// Cascades far buckets into the near wheel until the near wheel is
+    /// non-empty (or the far wheel drains). Only called with an empty near
+    /// wheel, so the cascaded bucket `[far_start, far_start + WHEEL)` maps
+    /// injectively onto the near buckets. The cursor may only advance to
+    /// `far_start` if the overflow heap holds nothing earlier — a heap
+    /// entry below `far_start` is possible after long idle jumps, and
+    /// passing it would let a later push land behind the cursor.
+    fn cascade(&mut self) {
+        while self.in_near == 0 && self.in_far > 0 {
+            if let Some(top) = self.overflow.peek() {
+                if top.time.as_u64() < self.far_start {
+                    return; // the heap top pops first; do not pass it
+                }
+            }
+            debug_assert!(self.cursor <= self.far_start);
+            self.cursor = self.far_start;
+            let idx = Self::far_index(self.far_start);
+            self.far_start += WHEEL;
+            let drained = std::mem::take(&mut self.far[idx]);
+            self.in_far -= drained.len();
+            self.in_near += drained.len();
+            for (t, seq, event) in drained {
+                debug_assert!(t >= self.cursor && t < self.far_start);
+                self.near[Self::near_index(t)].push_back((seq, event));
+            }
         }
     }
 
     /// Removes and returns the earliest event (FIFO within a timestamp).
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
-        let wheel_t = self.earliest_wheel_time();
-        // Take the wheel entry unless the overflow heap holds something
-        // earlier — or equal-time with a smaller sequence number (cannot
-        // happen in practice: an overflow push predates, hence out-ranks,
-        // any same-time wheel push; compared anyway for strict equivalence
-        // with EventQueue).
-        let from_wheel = match (wheel_t, self.overflow.peek()) {
+        if self.in_near == 0 {
+            self.cascade();
+        }
+        let near_t = self.earliest_near_time();
+        // Take the near entry unless the overflow heap holds something
+        // earlier — or equal-time with a smaller sequence number (an
+        // overflow push predates, hence out-ranks, any same-time wheel
+        // push, because the far horizon only moves forward between them;
+        // compared by (time, seq) for strict equivalence with EventQueue).
+        let from_wheel = match (near_t, self.overflow.peek()) {
             (None, None) => return None,
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (Some(wt), Some(top)) => {
-                let wseq = self.buckets[Self::bucket_index(wt)][0].0;
+                let wseq = self.near[Self::near_index(wt)][0].0;
                 (wt, wseq) < (top.time.as_u64(), top.seq)
             }
         };
         if from_wheel {
-            let t = wheel_t.expect("wheel entry present");
-            let (_, event) = self.buckets[Self::bucket_index(t)]
+            let t = near_t.expect("near entry present");
+            let (_, event) = self.near[Self::near_index(t)]
                 .pop_front()
                 .expect("bucket non-empty");
-            self.in_wheel -= 1;
+            self.in_near -= 1;
             self.cursor = t;
             Some((Cycle::new(t), event))
         } else {
             let e = self.overflow.pop().expect("overflow entry present");
+            let t = e.time.as_u64();
             // The popped time is the global minimum, so it is still a
             // valid lower bound for every wheel entry.
-            self.cursor = e.time.as_u64();
+            self.cursor = t;
+            if self.in_near == 0 && self.in_far == 0 {
+                // Both wheels drained: re-anchor the far horizon next to
+                // the clock so follow-up events use the wheels again
+                // instead of raining into the heap.
+                self.far_start = (t / WHEEL + 1) * WHEEL;
+            }
             Some((e.time, e.event))
+        }
+    }
+
+    /// Minimum `(time, seq)` pending in the far wheel (scans the first
+    /// non-empty bucket; far entries within a bucket are unsorted).
+    fn earliest_far(&self) -> Option<(u64, u64)> {
+        if self.in_far == 0 {
+            return None;
+        }
+        let mut start = self.far_start;
+        loop {
+            let bucket = &self.far[Self::far_index(start)];
+            if !bucket.is_empty() {
+                return bucket.iter().map(|&(t, seq, _)| (t, seq)).min();
+            }
+            start += WHEEL;
+            debug_assert!(start < self.far_start + FAR_SPAN, "far count out of sync");
         }
     }
 
     /// Timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<Cycle> {
-        let wheel = self.earliest_wheel_time();
+        let near = self.earliest_near_time();
+        let far = self.earliest_far().map(|(t, _)| t);
         let heap = self.overflow.peek().map(|e| e.time.as_u64());
-        match (wheel, heap) {
-            (None, None) => None,
-            (Some(a), None) => Some(Cycle::new(a)),
-            (None, Some(b)) => Some(Cycle::new(b)),
-            (Some(a), Some(b)) => Some(Cycle::new(a.min(b))),
-        }
+        [near, far, heap]
+            .into_iter()
+            .flatten()
+            .min()
+            .map(Cycle::new)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.in_wheel + self.overflow.len()
+        self.in_near + self.in_far + self.overflow.len()
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Events currently in the overflow heap (beyond both wheel
+    /// horizons). Regression guard: simulator-scale latencies must land
+    /// in the wheels, not here.
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+
+    /// Events currently in the far wheel.
+    pub fn far_len(&self) -> usize {
+        self.in_far
     }
 }
 
@@ -360,30 +462,97 @@ mod tests {
     #[test]
     fn bucket_overflow_beyond_horizon_round_trips() {
         let mut q = BucketQueue::new();
-        // Far beyond the wheel: lands in the overflow heap.
+        // Beyond the near wheel: lands in the far wheel, not the heap.
         q.push(Cycle::new(10 * WHEEL), "far");
         q.push(Cycle::new(1), "near");
         q.push(Cycle::new(10 * WHEEL), "far2");
         assert_eq!(q.len(), 3);
+        assert_eq!(q.overflow_len(), 0);
+        assert_eq!(q.far_len(), 2);
         assert_eq!(q.pop(), Some((Cycle::new(1), "near")));
-        // FIFO survives the overflow path too.
+        // FIFO survives the cascade path too.
         assert_eq!(q.pop(), Some((Cycle::new(10 * WHEEL), "far")));
         assert_eq!(q.pop(), Some((Cycle::new(10 * WHEEL), "far2")));
         assert_eq!(q.pop(), None);
     }
 
     #[test]
-    fn bucket_overflow_and_wheel_merge_fifo_at_equal_time() {
+    fn bucket_far_and_near_merge_fifo_at_equal_time() {
         let mut q = BucketQueue::new();
-        // Pushed while 2*WHEEL is beyond the horizon: goes to overflow.
-        q.push(Cycle::new(2 * WHEEL), "heap-resident");
+        // Pushed while 2*WHEEL is beyond the near horizon: far-resident.
+        q.push(Cycle::new(2 * WHEEL), "far-resident");
         q.push(Cycle::new(WHEEL + 1), "mover");
         assert_eq!(q.pop(), Some((Cycle::new(WHEEL + 1), "mover")));
-        // Now 2*WHEEL is inside the horizon: same time, wheel-resident,
-        // pushed later — must pop after the overflow entry.
-        q.push(Cycle::new(2 * WHEEL), "wheel-resident");
-        assert_eq!(q.pop(), Some((Cycle::new(2 * WHEEL), "heap-resident")));
-        assert_eq!(q.pop(), Some((Cycle::new(2 * WHEEL), "wheel-resident")));
+        // Now 2*WHEEL is inside the near horizon: same time, pushed later
+        // — must pop after the far-wheel entry.
+        q.push(Cycle::new(2 * WHEEL), "near-resident");
+        assert_eq!(q.pop(), Some((Cycle::new(2 * WHEEL), "far-resident")));
+        assert_eq!(q.pop(), Some((Cycle::new(2 * WHEEL), "near-resident")));
+    }
+
+    #[test]
+    fn bucket_heap_and_wheel_merge_fifo_at_equal_time() {
+        let mut q = BucketQueue::new();
+        // Beyond even the far wheel at push time: goes to the heap.
+        let t = WHEEL + FAR_SPAN + 5;
+        q.push(Cycle::new(t), "heap-resident");
+        assert_eq!(q.overflow_len(), 1);
+        q.push(Cycle::new(WHEEL + 7), "mover");
+        assert_eq!(q.pop(), Some((Cycle::new(WHEEL + 7), "mover")));
+        // Now t fits the (advanced) far wheel: same time, pushed later —
+        // must pop after the heap entry.
+        q.push(Cycle::new(t), "wheel-resident");
+        assert_eq!(q.overflow_len(), 1);
+        assert_eq!(q.pop(), Some((Cycle::new(t), "heap-resident")));
+        assert_eq!(q.pop(), Some((Cycle::new(t), "wheel-resident")));
+    }
+
+    /// Regression for million-node horizons: torus data legs (~16k cycles
+    /// at a 1000×1000 mesh) and recovery timeouts (tens of thousands of
+    /// cycles) must stay in the wheels. Before the far wheel existed,
+    /// every event past 4096 cycles degraded to the heap fallback.
+    #[test]
+    fn bucket_million_node_latencies_avoid_heap_fallback() {
+        let mut q = BucketQueue::new();
+        let mut rng = crate::SplitMix64::new(0xabcde);
+        let mut now = 0u64;
+        for step in 0..20_000u64 {
+            // Million-node event mix: per-hop ring events, torus data
+            // legs crossing a kilonode mesh, and deep recovery timeouts.
+            let delay = match rng.next_below(4) {
+                0 => rng.next_below(64),
+                1 => 16_000 + rng.next_below(4_000),
+                2 => 100_000 + rng.next_below(50_000),
+                _ => 1_000_000 + rng.next_below(500_000),
+            };
+            q.push(Cycle::new(now + delay), step);
+            assert_eq!(q.overflow_len(), 0, "heap fallback engaged at {step}");
+            if rng.next_below(3) > 0 {
+                if let Some((t, _)) = q.pop() {
+                    now = t.as_u64();
+                }
+            }
+        }
+        while q.pop().is_some() {}
+    }
+
+    /// After an idle jump past the far horizon drains everything to the
+    /// heap, the far wheel must re-anchor so subsequent pushes use the
+    /// wheels again.
+    #[test]
+    fn bucket_reanchors_after_idle_jump() {
+        let mut q = BucketQueue::new();
+        let jump = 3 * FAR_SPAN + 17;
+        q.push(Cycle::new(jump), "sleeper");
+        assert_eq!(q.overflow_len(), 1);
+        assert_eq!(q.pop(), Some((Cycle::new(jump), "sleeper")));
+        // Wheels re-anchored at the new clock: nearby pushes stay out of
+        // the heap.
+        q.push(Cycle::new(jump + 10), "near");
+        q.push(Cycle::new(jump + 2 * WHEEL), "far");
+        assert_eq!(q.overflow_len(), 0);
+        assert_eq!(q.pop(), Some((Cycle::new(jump + 10), "near")));
+        assert_eq!(q.pop(), Some((Cycle::new(jump + 2 * WHEEL), "far")));
     }
 
     #[test]
@@ -418,11 +587,13 @@ mod tests {
         let mut now = 0u64;
         for step in 0..50_000u64 {
             // Mix of short hops, same-cycle events, and far think times.
-            let delay = match rng.next_below(10) {
+            let delay = match rng.next_below(12) {
                 0 => 0,
                 1..=7 => rng.next_below(300),
                 8 => rng.next_below(WHEEL * 2),
-                _ => WHEEL * 2 + rng.next_below(10_000),
+                9 => WHEEL * 2 + rng.next_below(10_000),
+                10 => rng.next_below(FAR_SPAN),
+                _ => FAR_SPAN + rng.next_below(FAR_SPAN),
             };
             heap.push(Cycle::new(now + delay), step);
             wheel.push(Cycle::new(now + delay), step);

@@ -1,0 +1,641 @@
+//! Sharded event scheduling for ring-segment parallelism.
+//!
+//! Two layers, usable independently:
+//!
+//! * [`ShardedScheduler`] — one timing wheel **per ring segment** instead
+//!   of a single global wheel. A global insertion-sequence counter spans
+//!   all shards, and `pop` merges shard heads by `(time, sequence)`, so
+//!   the pop order is **bit-identical** to a single [`crate::Scheduler`]
+//!   fed the same pushes — for any shard count and either queue backend.
+//!   This keeps per-shard wheels short and cache-resident at large node
+//!   counts while preserving the determinism contract.
+//! * [`run_conservative`] — a conservative (lookahead-synchronized)
+//!   parallel driver that executes the shards of a window concurrently on
+//!   the work-stealing [`Executor`]. Ring-hop latency is the natural
+//!   lookahead: a message emitted by segment A for segment B can never
+//!   arrive sooner than one hop, so all events inside a window of one
+//!   hop latency are causally independent across segments and no rollback
+//!   is ever needed.
+//!
+//! Cross-segment sends inside a window are rejected (asserted) rather
+//! than reordered; the barrier between windows sorts deferred sends by a
+//! caller-supplied `(time, key)` so the schedule is independent of the
+//! segment count and executor width.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::executor::Executor;
+use crate::time::{Cycle, Cycles};
+use crate::{QueueKind, Scheduler};
+
+/// Maps a ring node to its segment: `segments` contiguous arcs of
+/// (almost) equal length, in node order.
+#[inline]
+pub fn segment_of(node: usize, nodes: usize, segments: usize) -> usize {
+    debug_assert!(node < nodes && segments >= 1);
+    node * segments / nodes
+}
+
+/// A min-heap entry ordered by `(time, sequence)`.
+#[derive(Debug, Clone)]
+struct Pending<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> Ord for Pending<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> PartialOrd for Pending<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Pending<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Pending<E> {}
+
+/// One shard: an inner queue plus a popped-ahead front and a stash.
+///
+/// The front is the inner queue's minimum, popped ahead so the merge can
+/// compare shard heads without a general `peek` on the wheels. Pushes
+/// that undercut the front (legal: another shard may hold the global
+/// clock far behind this shard's earliest event) cannot re-enter the
+/// wheel — its cursor already advanced past them — so they wait in the
+/// stash heap, which is merged with the front on every pop.
+#[derive(Debug)]
+struct Shard<E> {
+    inner: Scheduler<(u64, E)>,
+    front: Option<Pending<E>>,
+    stash: BinaryHeap<Pending<E>>,
+}
+
+impl<E> Shard<E> {
+    fn new(kind: QueueKind) -> Self {
+        Self {
+            inner: Scheduler::with_queue(kind),
+            front: None,
+            stash: BinaryHeap::new(),
+        }
+    }
+
+    /// Refills the front from the inner queue if it was consumed.
+    #[inline]
+    fn ensure_front(&mut self) {
+        if self.front.is_none() {
+            self.front = self
+                .inner
+                .pop()
+                .map(|(time, (seq, event))| Pending { time, seq, event });
+        }
+    }
+
+    /// `(time, seq)` of this shard's earliest pending event.
+    #[inline]
+    fn min_key(&self) -> Option<(Cycle, u64)> {
+        let f = self.front.as_ref().map(|p| (p.time, p.seq));
+        let s = self.stash.peek().map(|p| (p.time, p.seq));
+        match (f, s) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (Some(a), Some(b)) => Some(a.min(b)),
+        }
+    }
+
+    /// Earliest pending timestamp without disturbing the front.
+    fn peek_time(&self) -> Option<Cycle> {
+        [
+            self.front.as_ref().map(|p| p.time),
+            self.stash.peek().map(|p| p.time),
+            self.inner.peek_time(),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
+    }
+}
+
+/// A set of per-segment event queues with a single global clock and a
+/// pop order bit-identical to an unsharded [`Scheduler`].
+///
+/// Every push is stamped with a globally monotonic sequence number;
+/// `pop` returns the minimum `(time, sequence)` across all shards. Since
+/// each shard preserves `(time, sequence)` order internally (both queue
+/// backends pop in insertion order within a timestamp), the merged order
+/// equals the order a single queue would produce for the same pushes —
+/// the shard count is purely a performance/layout choice.
+#[derive(Debug)]
+pub struct ShardedScheduler<E> {
+    now: Cycle,
+    shards: Vec<Shard<E>>,
+    kind: QueueKind,
+    seq: u64,
+    len: usize,
+}
+
+impl<E> ShardedScheduler<E> {
+    /// Creates an empty scheduler with `shards` independent queues.
+    pub fn new(kind: QueueKind, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        Self {
+            now: Cycle::ZERO,
+            shards: (0..shards).map(|_| Shard::new(kind)).collect(),
+            kind,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which queue implementation backs each shard.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.kind
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of pending events across all shards.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedules `event` on `shard` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current simulation time.
+    #[inline]
+    pub fn schedule_at(&mut self, shard: usize, at: Cycle, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        let sh = &mut self.shards[shard];
+        match &sh.front {
+            // The shard's wheel cursor sits at the front's timestamp; an
+            // earlier push waits in the stash instead.
+            Some(front) if at < front.time => sh.stash.push(Pending {
+                time: at,
+                seq,
+                event,
+            }),
+            _ => sh.inner.schedule_at(at, (seq, event)),
+        }
+        self.len += 1;
+    }
+
+    /// Schedules `event` on `shard` after `delay` cycles from now.
+    #[inline]
+    pub fn schedule_in(&mut self, shard: usize, delay: Cycles, event: E) {
+        self.schedule_at(shard, self.now + delay, event);
+    }
+
+    /// Pops the globally earliest event, advancing the clock; returns the
+    /// shard it was scheduled on.
+    pub fn pop(&mut self) -> Option<(Cycle, usize, E)> {
+        let mut best: Option<((Cycle, u64), usize)> = None;
+        for (i, sh) in self.shards.iter_mut().enumerate() {
+            sh.ensure_front();
+            if let Some(key) = sh.min_key() {
+                if best.map(|(bk, _)| key < bk).unwrap_or(true) {
+                    best = Some((key, i));
+                }
+            }
+        }
+        let ((time, seq), idx) = best?;
+        let sh = &mut self.shards[idx];
+        let take_stash = sh
+            .stash
+            .peek()
+            .map(|p| (p.time, p.seq) == (time, seq))
+            .unwrap_or(false);
+        let event = if take_stash {
+            sh.stash.pop().expect("stash entry present").event
+        } else {
+            let front = sh.front.take().expect("front entry present");
+            // A consumed front implies an empty stash: stash entries are
+            // strictly earlier than the front, so they win the merge.
+            debug_assert!(sh.stash.is_empty());
+            front.event
+        };
+        debug_assert!(time >= self.now, "shard returned a past event");
+        self.now = time;
+        self.len -= 1;
+        Some((time, idx, event))
+    }
+
+    /// Pops the next event only if it is strictly before `end`.
+    pub fn pop_before(&mut self, end: Cycle) -> Option<(Cycle, usize, E)> {
+        // ensure_front inside pop is what discovers the minimum; peek
+        // first via the cheap per-shard peeks to avoid consuming.
+        match self.peek_time() {
+            Some(t) if t < end => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.shards.iter().filter_map(|s| s.peek_time()).min()
+    }
+}
+
+/// One ring segment's event handler for the conservative parallel driver.
+///
+/// Implementations own the per-segment simulation state (the arc of nodes
+/// assigned to this shard) and react to events by mutating it and sending
+/// follow-up events through the [`Outbox`].
+pub trait RingSegment: Send {
+    /// The event type flowing between segments.
+    type Event: Send;
+
+    /// Handles one event at simulation time `now`.
+    fn handle(&mut self, now: Cycle, event: Self::Event, out: &mut Outbox<Self::Event>);
+}
+
+/// A deferred cross-window send, ordered at the barrier by `(at, key)`.
+#[derive(Debug)]
+struct Deferred<E> {
+    at: Cycle,
+    shard: usize,
+    key: u64,
+    event: E,
+}
+
+/// The send interface handed to [`RingSegment::handle`] during a window.
+///
+/// Same-segment sends landing inside the current window are processed
+/// immediately (in `(time, emission order)`) by the same task; everything
+/// else is deferred to the window barrier. Cross-segment sends must
+/// respect the lookahead — at least one ring-hop latency in the future —
+/// which is what makes the windows causally independent.
+#[derive(Debug)]
+pub struct Outbox<E> {
+    shard: usize,
+    now: Cycle,
+    window_end: Cycle,
+    lookahead: Cycles,
+    local: BinaryHeap<Pending<E>>,
+    local_seq: u64,
+    deferred: Vec<Deferred<E>>,
+}
+
+impl<E> Outbox<E> {
+    fn new(shard: usize, window_end: Cycle, lookahead: Cycles) -> Self {
+        Self {
+            shard,
+            now: Cycle::ZERO,
+            window_end,
+            lookahead,
+            local: BinaryHeap::new(),
+            local_seq: 0,
+            deferred: Vec::new(),
+        }
+    }
+
+    /// Current simulation time of the event being handled.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Sends `event` to `shard` at absolute time `at`.
+    ///
+    /// `key` must order deterministically and uniquely among all sends of
+    /// a window that share a timestamp (e.g. `source_node << 32 | per-node
+    /// counter`); the barrier sorts deferred sends by `(at, key)` so the
+    /// global schedule does not depend on the segment count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past, or if a cross-segment send violates
+    /// the lookahead (arrives sooner than one ring hop).
+    pub fn send(&mut self, shard: usize, at: Cycle, key: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "send into the past: at={at}, now={}",
+            self.now
+        );
+        if shard == self.shard && at < self.window_end {
+            let seq = self.local_seq;
+            self.local_seq += 1;
+            self.local.push(Pending {
+                time: at,
+                seq,
+                event,
+            });
+        } else {
+            if shard != self.shard {
+                assert!(
+                    at >= self.now + self.lookahead,
+                    "cross-segment send violates lookahead: at={at}, now={}, lookahead={:?}",
+                    self.now,
+                    self.lookahead
+                );
+            }
+            self.deferred.push(Deferred {
+                at,
+                shard,
+                key,
+                event,
+            });
+        }
+    }
+
+    /// Next in-window event for this segment, advancing the local clock.
+    fn next_local(&mut self) -> Option<(Cycle, E)> {
+        let p = self.local.pop()?;
+        debug_assert!(p.time >= self.now && p.time < self.window_end);
+        self.now = p.time;
+        Some((p.time, p.event))
+    }
+}
+
+/// Runs the scheduler to completion, executing each time window's
+/// segments in parallel on `executor`.
+///
+/// Windows span `lookahead` cycles starting at the earliest pending
+/// event. All events inside a window are drained, partitioned by shard,
+/// and handled concurrently — safe because cross-segment sends cannot
+/// land within the window (asserted in [`Outbox::send`]). At the barrier,
+/// deferred sends are sorted by `(time, key)` and re-scheduled, making
+/// the execution deterministic for any segment count and executor width
+/// (given well-formed keys).
+///
+/// Returns the number of events processed.
+pub fn run_conservative<S: RingSegment>(
+    sched: &mut ShardedScheduler<S::Event>,
+    segments: &mut [S],
+    executor: &Executor,
+    lookahead: Cycles,
+) -> u64 {
+    assert_eq!(
+        segments.len(),
+        sched.shard_count(),
+        "one segment per scheduler shard"
+    );
+    assert!(lookahead.0 > 0, "lookahead must be positive");
+    let mut processed = 0u64;
+    while let Some(t0) = sched.peek_time() {
+        let end = t0 + lookahead;
+        let mut batches: Vec<Vec<(Cycle, S::Event)>> =
+            (0..segments.len()).map(|_| Vec::new()).collect();
+        while let Some((t, shard, event)) = sched.pop_before(end) {
+            batches[shard].push((t, event));
+        }
+        let tasks: Vec<_> = segments
+            .iter_mut()
+            .zip(batches)
+            .enumerate()
+            .map(|(i, (seg, batch))| {
+                move || {
+                    let mut out = Outbox::new(i, end, lookahead);
+                    for (time, event) in batch {
+                        let seq = out.local_seq;
+                        out.local_seq += 1;
+                        out.local.push(Pending { time, seq, event });
+                    }
+                    let mut handled = 0u64;
+                    while let Some((t, event)) = out.next_local() {
+                        seg.handle(t, event, &mut out);
+                        handled += 1;
+                    }
+                    (out.deferred, handled)
+                }
+            })
+            .collect();
+        // Tasks borrow the segments; the executor joins them all before
+        // returning, and results come back in task (= shard) order.
+        let results = executor.run(tasks);
+        let mut outgoing: Vec<Deferred<S::Event>> = Vec::new();
+        for (deferred, handled) in results {
+            processed += handled;
+            outgoing.extend(deferred);
+        }
+        // (time, key) is required to be unique per window, so this sort
+        // yields one global order regardless of how many segments the
+        // sends came from.
+        outgoing.sort_by_key(|d| (d.at, d.key));
+        for d in outgoing {
+            sched.schedule_at(d.shard, d.at, d.event);
+        }
+    }
+    processed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitMix64;
+
+    /// The sharded merge must reproduce the single-queue pop order
+    /// exactly, for any shard count and either backend.
+    #[test]
+    fn sharded_order_matches_single_scheduler() {
+        for kind in [QueueKind::Heap, QueueKind::Bucketed] {
+            for shards in [1usize, 2, 4, 7] {
+                let mut rng = SplitMix64::new(0xfeed + shards as u64);
+                let mut single: Scheduler<u64> = Scheduler::with_queue(kind);
+                let mut sharded: ShardedScheduler<u64> = ShardedScheduler::new(kind, shards);
+                let mut now = 0u64;
+                for step in 0..20_000u64 {
+                    let delay = match rng.next_below(10) {
+                        0 => 0,
+                        1..=6 => rng.next_below(200),
+                        7..=8 => rng.next_below(5_000),
+                        _ => rng.next_below(100_000),
+                    };
+                    let node = rng.next_below(64) as usize;
+                    let at = Cycle::new(now + delay);
+                    single.schedule_at(at, step);
+                    sharded.schedule_at(segment_of(node, 64, shards), at, step);
+                    if rng.next_below(3) > 0 {
+                        let a = single.pop();
+                        let b = sharded.pop().map(|(t, _, e)| (t, e));
+                        assert_eq!(a, b, "diverged at step {step} (shards={shards})");
+                        if let Some((t, _)) = a {
+                            now = t.as_u64();
+                        }
+                    }
+                }
+                loop {
+                    let a = single.pop();
+                    let b = sharded.pop().map(|(t, _, e)| (t, e));
+                    assert_eq!(a, b);
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// A push earlier than a shard's popped-ahead front must take the
+    /// stash path and still pop in global order.
+    #[test]
+    fn stash_absorbs_pushes_behind_a_front() {
+        let mut s: ShardedScheduler<&str> = ShardedScheduler::new(QueueKind::Bucketed, 2);
+        s.schedule_at(0, Cycle::new(100), "late");
+        s.schedule_at(1, Cycle::new(5), "early");
+        // This pop establishes shard 0's front at t=100.
+        assert_eq!(s.pop(), Some((Cycle::new(5), 1, "early")));
+        // t=10 undercuts shard 0's front; the wheel cursor is past it.
+        s.schedule_at(0, Cycle::new(10), "stashed");
+        assert_eq!(s.pop(), Some((Cycle::new(10), 0, "stashed")));
+        assert_eq!(s.pop(), Some((Cycle::new(100), 0, "late")));
+        assert_eq!(s.pop(), None);
+    }
+
+    // ----- conservative driver on a synthetic embedded ring -------------
+
+    const NODES: usize = 24;
+    const HOP: u64 = 10;
+
+    /// A token circulating the ring, as in a snoop request's round trip.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Token {
+        node: usize,
+        id: u64,
+        hops_left: u32,
+    }
+
+    /// One arc of the ring: visit logs for its nodes plus per-node send
+    /// counters (segment-independent, so barrier keys are too).
+    struct Arc {
+        segments: usize,
+        /// (time, token id) per node, for the whole ring; only this
+        /// arc's rows are touched.
+        visits: Vec<Vec<(u64, u64)>>,
+        sends: Vec<u64>,
+    }
+
+    impl RingSegment for Arc {
+        type Event = Token;
+
+        fn handle(&mut self, now: Cycle, ev: Token, out: &mut Outbox<Token>) {
+            self.visits[ev.node].push((now.as_u64(), ev.id));
+            if ev.hops_left == 0 {
+                return;
+            }
+            let next = (ev.node + 1) % NODES;
+            // Jitter keeps windows non-trivial while never dipping below
+            // the one-hop lookahead.
+            let delay = HOP + (ev.id + next as u64) % 3;
+            let key = (ev.node as u64) << 32 | self.sends[ev.node];
+            self.sends[ev.node] += 1;
+            out.send(
+                segment_of(next, NODES, self.segments),
+                now + Cycles(delay),
+                key,
+                Token {
+                    node: next,
+                    id: ev.id,
+                    hops_left: ev.hops_left - 1,
+                },
+            );
+        }
+    }
+
+    fn drive(segments: usize, width: usize, kind: QueueKind) -> (u64, Vec<Vec<(u64, u64)>>) {
+        let mut sched: ShardedScheduler<Token> = ShardedScheduler::new(kind, segments);
+        for id in 0..6u64 {
+            let node = (id as usize * 5) % NODES;
+            sched.schedule_at(
+                segment_of(node, NODES, segments),
+                Cycle::new(id * 3),
+                Token {
+                    node,
+                    id,
+                    hops_left: 2 * NODES as u32 + id as u32,
+                },
+            );
+        }
+        let mut segs: Vec<Arc> = (0..segments)
+            .map(|_| Arc {
+                segments,
+                visits: vec![Vec::new(); NODES],
+                sends: vec![0; NODES],
+            })
+            .collect();
+        let executor = Executor::new(width);
+        let processed = run_conservative(&mut sched, &mut segs, &executor, Cycles(HOP));
+        // Merge the per-arc visit logs (each node belongs to one arc).
+        let mut visits = vec![Vec::new(); NODES];
+        for seg in segs {
+            for (n, log) in seg.visits.into_iter().enumerate() {
+                if !log.is_empty() {
+                    visits[n] = log;
+                }
+            }
+        }
+        (processed, visits)
+    }
+
+    /// The parallel conservative schedule must be bit-identical across
+    /// segment counts × executor widths × queue backends.
+    #[test]
+    fn conservative_driver_is_segment_and_width_invariant() {
+        let (baseline_n, baseline) = drive(1, 1, QueueKind::Bucketed);
+        assert!(baseline_n > 0);
+        let total: usize = baseline.iter().map(|v| v.len()).sum();
+        assert_eq!(baseline_n as usize, total);
+        for kind in [QueueKind::Heap, QueueKind::Bucketed] {
+            for segments in [1usize, 2, 4] {
+                for width in [1usize, 2, 4] {
+                    let (n, visits) = drive(segments, width, kind);
+                    assert_eq!(n, baseline_n, "segments={segments} width={width}");
+                    assert_eq!(
+                        visits, baseline,
+                        "timeline diverged: segments={segments} width={width} {kind:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Cross-segment sends below one hop of lookahead must be rejected.
+    #[test]
+    #[should_panic(expected = "violates lookahead")]
+    fn undercutting_lookahead_panics() {
+        struct Bad;
+        impl RingSegment for Bad {
+            type Event = ();
+            fn handle(&mut self, now: Cycle, _ev: (), out: &mut Outbox<()>) {
+                out.send(1, now + Cycles(1), 0, ());
+            }
+        }
+        let mut sched: ShardedScheduler<()> = ShardedScheduler::new(QueueKind::Bucketed, 2);
+        sched.schedule_at(0, Cycle::new(0), ());
+        let executor = Executor::new(1);
+        run_conservative(&mut sched, &mut [Bad, Bad], &executor, Cycles(HOP));
+    }
+}

@@ -96,10 +96,13 @@ pub struct SetAssocCache<V> {
 
 impl<V> SetAssocCache<V> {
     /// Creates an empty cache with the given geometry.
+    ///
+    /// Way storage is allocated lazily per set on first insert, so a
+    /// million cold caches (or one huge flat predictor bank) cost only
+    /// their set headers until touched — load-bearing for the
+    /// `bench --scale` node counts.
     pub fn new(geometry: CacheGeometry) -> Self {
-        let sets = (0..geometry.sets)
-            .map(|_| Vec::with_capacity(geometry.ways))
-            .collect();
+        let sets = (0..geometry.sets).map(|_| Vec::new()).collect();
         Self {
             geometry,
             sets,
@@ -199,6 +202,19 @@ impl<V> SetAssocCache<V> {
         let idx = set.iter().position(|w| w.line == line)?;
         self.occupied -= 1;
         Some(set.swap_remove(idx).value)
+    }
+
+    /// Estimated heap footprint of this array in bytes: the set headers
+    /// plus whatever way storage has actually been allocated. Feeds the
+    /// `bytes_per_node` figure reported by `bench --scale`.
+    pub fn footprint_bytes(&self) -> u64 {
+        let headers = self.sets.capacity() * size_of::<Vec<Way<V>>>();
+        let ways: usize = self
+            .sets
+            .iter()
+            .map(|set| set.capacity() * size_of::<Way<V>>())
+            .sum();
+        (size_of::<Self>() + headers + ways) as u64
     }
 
     /// Iterates over all `(line, value)` entries in unspecified order.

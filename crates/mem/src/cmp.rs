@@ -55,6 +55,12 @@ pub struct InvalidateOutcome {
     pub copies: u32,
     /// Whether one of them was in a supplier state (`SG`, `E`, `D`, `T`).
     pub had_supplier: bool,
+    /// How many dropped copies were in `E`, `D` or `T` — the states under
+    /// which memory's own copy must not be used for fills. Kept as a count
+    /// (not a flag) so callers maintaining machine-wide residency totals
+    /// stay exact even when fault-injection mutations violate the
+    /// one-owner invariant.
+    pub strong_copies: u32,
 }
 
 /// A line's presence summary within one CMP, kept in sync with the L2
@@ -103,12 +109,11 @@ impl CmpCaches {
                 .collect(),
             l2s: (0..cores).map(|_| L2Cache::new(l2_geometry)).collect(),
             // The index holds at most one entry per resident line, bounded
-            // by the CMP's total L2 capacity; sizing it up front avoids
-            // rehashing as the caches warm.
-            index: FxHashMap::with_capacity_and_hasher(
-                cores * l2_geometry.entries(),
-                Default::default(),
-            ),
+            // by the CMP's total L2 capacity. It starts empty and grows on
+            // demand: at million-node scale most CMPs never cache a line,
+            // and pre-sizing every CMP's map would dwarf the caches
+            // themselves.
+            index: FxHashMap::default(),
         }
     }
 
@@ -260,6 +265,7 @@ impl CmpCaches {
         let mut out = InvalidateOutcome {
             copies: 0,
             had_supplier: false,
+            strong_copies: 0,
         };
         if self.index.remove(&line).is_none() {
             return out;
@@ -269,6 +275,9 @@ impl CmpCaches {
             if let Some(state) = l2.invalidate(line) {
                 out.copies += 1;
                 out.had_supplier |= state.is_supplier();
+                if matches!(state, CoherState::E | CoherState::D | CoherState::T) {
+                    out.strong_copies += 1;
+                }
             }
         }
         out
@@ -308,6 +317,15 @@ impl CmpCaches {
             "residency index drifted for {line}"
         );
         self.index.contains_key(&line)
+    }
+
+    /// Estimated heap footprint of this CMP's cache structures in bytes:
+    /// L1 tag filters, L2 arrays, and the residency index.
+    pub fn footprint_bytes(&self) -> u64 {
+        let l1s: u64 = self.l1s.iter().map(SetAssocCache::footprint_bytes).sum();
+        let l2s: u64 = self.l2s.iter().map(L2Cache::footprint_bytes).sum();
+        let index = self.index.capacity() * (size_of::<(LineAddr, Residency)>() + 16);
+        size_of::<Self>() as u64 + l1s + l2s + index as u64
     }
 
     /// Debug check: the per-CMP storage invariants from Figure 2(b) —

@@ -105,6 +105,12 @@ impl L2Cache {
         self.array.is_empty()
     }
 
+    /// Estimated heap footprint in bytes (see
+    /// [`SetAssocCache::footprint_bytes`]).
+    pub fn footprint_bytes(&self) -> u64 {
+        self.array.footprint_bytes()
+    }
+
     /// Iterates over resident `(line, state)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, CoherState)> + '_ {
         self.array.iter().map(|(l, &s)| (l, s))

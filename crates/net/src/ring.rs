@@ -67,8 +67,11 @@ impl RingConfig {
 #[derive(Debug, Clone)]
 pub struct RingNetwork {
     config: RingConfig,
-    /// `links[ring][node]` is the directed link from `node` to its successor.
-    links: Vec<Vec<Resource>>,
+    /// Directed link from `node` to its successor on `ring`, stored flat
+    /// at index `ring * nodes + node`: one contiguous allocation instead
+    /// of a `Vec` per ring, so million-node networks stay cache-friendly
+    /// and cost no per-ring indirection.
+    links: Vec<Resource>,
     messages_sent: u64,
     link_crossings: u64,
     /// Armed fault injection, if any (see [`crate::fault`]). `None` is
@@ -86,13 +89,27 @@ impl RingNetwork {
         config.validate().expect("invalid ring config");
         Self {
             config,
-            links: (0..config.rings)
-                .map(|_| (0..config.nodes).map(|_| Resource::new()).collect())
+            links: (0..config.rings * config.nodes)
+                .map(|_| Resource::new())
                 .collect(),
             messages_sent: 0,
             link_crossings: 0,
             faults: None,
         }
+    }
+
+    /// The flat index of the link leaving `from` on `ring`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring` or `from` are out of range.
+    #[inline]
+    fn link_index(&self, ring: usize, from: CmpId) -> usize {
+        assert!(
+            ring < self.config.rings && from.0 < self.config.nodes,
+            "link ({ring}, {from}) out of range"
+        );
+        ring * self.config.nodes + from.0
     }
 
     /// Arms a fault plan; a lossless plan disarms injection entirely so
@@ -150,7 +167,8 @@ impl RingNetwork {
             self.faults.is_none(),
             "send_hop on an unreliable ring; use send_hop_outcome"
         );
-        let link = &mut self.links[ring][from.0];
+        let idx = self.link_index(ring, from);
+        let link = &mut self.links[idx];
         let grant = link.acquire(now, self.config.link_service);
         self.messages_sent += 1;
         self.link_crossings += 1;
@@ -170,8 +188,9 @@ impl RingNetwork {
     ///
     /// Panics if `ring` or `from` are out of range.
     pub fn send_hop_outcome(&mut self, ring: usize, from: CmpId, now: Cycle) -> HopOutcome {
+        let idx = self.link_index(ring, from);
         let Some(faults) = &mut self.faults else {
-            let link = &mut self.links[ring][from.0];
+            let link = &mut self.links[idx];
             let grant = link.acquire(now, self.config.link_service);
             self.messages_sent += 1;
             self.link_crossings += 1;
@@ -179,7 +198,7 @@ impl RingNetwork {
         };
         let depart = faults.departure(from.0, now);
         let fault = faults.decide(ring, from.0);
-        let link = &mut self.links[ring][from.0];
+        let link = &mut self.links[idx];
         let grant = link.acquire(depart, self.config.link_service);
         self.messages_sent += 1;
         self.link_crossings += 1;
@@ -233,7 +252,13 @@ impl RingNetwork {
 
     /// Total busy cycles over all links of all rings (for utilization).
     pub fn total_busy(&self) -> Cycles {
-        self.links.iter().flatten().map(|l| l.busy_cycles()).sum()
+        self.links.iter().map(|l| l.busy_cycles()).sum()
+    }
+
+    /// Estimated heap footprint of the network in bytes (the flat link
+    /// array dominates; fault state is bounded and ignored).
+    pub fn footprint_bytes(&self) -> u64 {
+        (size_of::<Self>() + self.links.capacity() * size_of::<Resource>()) as u64
     }
 }
 

@@ -117,6 +117,12 @@ impl Torus {
         &self.config
     }
 
+    /// Estimated heap footprint of the torus in bytes (the per-node link
+    /// array dominates).
+    pub fn footprint_bytes(&self) -> u64 {
+        (size_of::<Self>() + self.links.capacity() * size_of::<[Resource; 4]>()) as u64
+    }
+
     /// Arms (or clears, for a plan without torus faults) the fault layer.
     /// Must be called before any traffic so the drop schedule is a pure
     /// function of the plan.

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod bank;
 pub mod bloom;
 pub mod exact;
 pub mod fault;
@@ -32,6 +33,7 @@ pub mod subset;
 pub mod superset;
 
 pub use accuracy::AccuracyStats;
+pub use bank::{PredictorBank, SubsetBank};
 pub use bloom::{BloomFilter, BloomSpec};
 pub use exact::ExactPredictor;
 pub use fault::{FaultInjectingPredictor, FaultKind};

@@ -92,7 +92,7 @@ impl PredictorSpec {
 
     /// Tag width used by the paper for a table of `entries` entries
     /// (Table 4: 20, 18 or 16 bits for 512, 2K, 8K).
-    fn entry_bits(entries: usize) -> usize {
+    pub(crate) fn entry_bits(entries: usize) -> usize {
         match entries {
             0..=512 => 20,
             513..=2048 => 18,

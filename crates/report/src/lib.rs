@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod scale;
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -732,6 +733,9 @@ fn probe_rows(cells: &[CellResult], algorithms: &[Algorithm]) -> Json {
             total.queue_depth_high_water =
                 total.queue_depth_high_water.max(p.queue_depth_high_water);
             total.ring_hop_latency.merge(&p.ring_hop_latency);
+            // Footprints are per-run peaks, not additive across cells.
+            total.bytes_per_node = total.bytes_per_node.max(p.bytes_per_node);
+            total.footprint_total_bytes = total.footprint_total_bytes.max(p.footprint_total_bytes);
         }
         let mut pairs = vec![("algorithm".to_string(), Json::str(alg.to_string()))];
         match probe_json(&total) {
@@ -759,6 +763,10 @@ fn probe_json(p: &ProbeReport) -> Json {
             Json::from(p.queue_depth_high_water),
         ),
         ("ring_hop_latency", histogram_json(&p.ring_hop_latency)),
+        // `peak_rss_bytes` is deliberately absent: it is volatile and
+        // this section must stay deterministic across runs.
+        ("bytes_per_node", Json::from(p.bytes_per_node)),
+        ("footprint_total_bytes", Json::from(p.footprint_total_bytes)),
     ])
 }
 

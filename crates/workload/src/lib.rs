@@ -34,8 +34,11 @@ pub use gen::{AccessStream, SyntheticStream};
 pub use profiles::{WorkloadGroup, WorkloadProfile};
 pub use trace::Trace;
 
+// Re-exported because [`MemAccess::line`] is part of this crate's public
+// API; stream builders should not need a direct flexsnoop-mem dependency.
+pub use flexsnoop_mem::LineAddr;
+
 use flexsnoop_engine::Cycles;
-use flexsnoop_mem::LineAddr;
 
 /// One memory access issued by a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -39,12 +39,13 @@ use flexsnoop::{
     Violation,
 };
 use flexsnoop_directory::DirSimulator;
-use flexsnoop_engine::{Executor, QueueKind, SplitMix64};
+use flexsnoop_engine::{Cycle, Executor, QueueKind, SplitMix64};
 use flexsnoop_mem::LineAddr;
 use flexsnoop_workload::{Trace, WorkloadProfile};
 
 use crate::{boxed_streams, machine_for, written_lines, TABLE3_ALGORITHMS};
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// Knobs for one chaos campaign.
 #[derive(Debug, Clone)]
@@ -65,6 +66,14 @@ pub struct ChaosOptions {
     pub recovery: bool,
     /// Shrink every failure to a minimal reproducer.
     pub shrink: bool,
+    /// Resume the shrinker's budget-bisection probes from a mid-run
+    /// checkpoint of the failing run instead of replaying each probe
+    /// from cycle zero. Budgets at or above the faults already injected
+    /// at the checkpoint replay bit-identically (faults are consumed in
+    /// draw order), so the minimized plan is unchanged — only the wall
+    /// time drops. The winning prefix is always re-verified from
+    /// scratch before it is reported.
+    pub snapshot_bisect: bool,
     /// For the first N schedules, re-run each algorithm on the second
     /// queue backend and compare bit-for-bit (determinism under faults).
     pub determinism_probes: u64,
@@ -94,6 +103,7 @@ impl Default for ChaosOptions {
             threads: 4,
             recovery: true,
             shrink: true,
+            snapshot_bisect: true,
             determinism_probes: 2,
             schedule: None,
             budget: None,
@@ -139,6 +149,9 @@ pub struct ChaosFailure {
     pub reasons: Vec<String>,
     /// The shrunk plan (fewest faults still failing), when shrinking ran.
     pub minimized: Option<FaultPlan>,
+    /// How the shrink ran: wall time plus how many probes resumed from
+    /// the mid-run checkpoint versus replayed from cycle zero.
+    pub shrink_note: Option<String>,
 }
 
 /// Campaign-wide fault and recovery totals.
@@ -423,18 +436,23 @@ impl ChaosReport {
                     if self.recovery { "" } else { " --no-retry" },
                 ));
             }
+            if let Some(note) = &f.shrink_note {
+                out.push_str(&format!("({note})\n"));
+            }
         }
         out
     }
 }
 
-fn run_one(
+/// Builds (without running) the simulator for one faulted run — shared
+/// by the scratch runs and the shrinker's checkpoint-resumed probes.
+fn build_sim(
     trace: &Trace,
     alg: Algorithm,
     plan: &FaultPlan,
     kind: QueueKind,
     opts: &ChaosOptions,
-) -> Result<ChaosOutcome, String> {
+) -> Result<Simulator, String> {
     let mut machine = machine_for(trace, opts.nodes)?;
     if let Some(policy) = opts.timeout_policy {
         machine.recovery.timeout_policy = policy;
@@ -453,15 +471,30 @@ fn run_one(
     sim.enable_invariant_checks();
     sim.set_fault_plan(plan.clone());
     sim.set_recovery_enabled(opts.recovery);
-    let stats = sim.run();
-    Ok(ChaosOutcome {
+    Ok(sim)
+}
+
+fn collect_outcome(sim: Simulator, stats: RunStats) -> ChaosOutcome {
+    ChaosOutcome {
         stats,
         fault_stats: sim.fault_stats(),
         violations: sim.violations().to_vec(),
         coherence: sim.validate_coherence(),
         in_flight: sim.in_flight(),
         snapshot: sim.state_snapshot(),
-    })
+    }
+}
+
+fn run_one(
+    trace: &Trace,
+    alg: Algorithm,
+    plan: &FaultPlan,
+    kind: QueueKind,
+    opts: &ChaosOptions,
+) -> Result<ChaosOutcome, String> {
+    let mut sim = build_sim(trace, alg, plan, kind, opts)?;
+    let stats = sim.run();
+    Ok(collect_outcome(sim, stats))
 }
 
 /// The campaign's failure predicate: one line per broken property,
@@ -530,22 +563,80 @@ fn draw_plan(seed: u64, opts: &ChaosOptions, rings: usize) -> FaultPlan {
         }
     }
     if let Some(budget) = opts.budget {
-        plan.budget = budget;
+        // Mirror the shrinker's `with_budget` exactly (it also clamps the
+        // torus budget), so `--budget` replays the very plan the shrinker
+        // verified — not a look-alike with a longer torus drop schedule.
+        plan = plan.with_budget(budget);
     }
     plan
+}
+
+/// A mid-run checkpoint of the failing full-budget run, taken at half
+/// its execution time for budget bisection.
+struct BisectCheckpoint {
+    bytes: Vec<u8>,
+    /// Smallest budget that may legally resume the checkpoint: the
+    /// faults (ring and torus) already injected at the save point. A
+    /// probe at or above this budget behaves identically to a scratch
+    /// run up to the checkpoint, so resuming it is exact; below it the
+    /// probe must replay from cycle zero.
+    min_budget: u64,
+}
+
+/// Runs the failing plan to half of `exec_cycles` and checkpoints it.
+fn bisect_checkpoint(
+    trace: &Trace,
+    alg: Algorithm,
+    plan: &FaultPlan,
+    opts: &ChaosOptions,
+    exec_cycles: Cycle,
+) -> Option<BisectCheckpoint> {
+    let mut sim = build_sim(trace, alg, plan, QueueKind::Heap, opts).ok()?;
+    sim.run_until(Some(Cycle::new(exec_cycles.as_u64() / 2)));
+    let spent = sim.fault_stats();
+    Some(BisectCheckpoint {
+        bytes: sim.save_snapshot(),
+        min_budget: spent.injected().max(spent.torus_drops).max(1),
+    })
+}
+
+/// One budget probe resumed from the checkpoint instead of cycle zero.
+/// `None` means the resume path was unavailable (restore refused the
+/// plan); the caller falls back to a full run.
+fn resumed_probe_fails(
+    trace: &Trace,
+    alg: Algorithm,
+    plan: &FaultPlan,
+    opts: &ChaosOptions,
+    checkpoint: &BisectCheckpoint,
+    written: &BTreeSet<LineAddr>,
+) -> Option<bool> {
+    let mut sim = build_sim(trace, alg, plan, QueueKind::Heap, opts).ok()?;
+    sim.restore_snapshot(&checkpoint.bytes).ok()?;
+    sim.run_until(None);
+    let stats = sim.finalize();
+    let out = collect_outcome(sim, stats);
+    Some(!failure_reasons(&out, written).is_empty())
 }
 
 /// Shrinks a failing plan to a minimal reproducer: binary-search the
 /// smallest failing budget prefix, then drop whole fault kinds while the
 /// failure persists (fewest distinct faults, then fewest fault kinds).
+/// Returns the minimized plan plus a note recording the shrink wall time
+/// and how many probes resumed from the mid-run checkpoint.
 fn shrink_plan(
     trace: &Trace,
     alg: Algorithm,
     plan: &FaultPlan,
     opts: &ChaosOptions,
     written: &BTreeSet<LineAddr>,
-) -> FaultPlan {
-    let fails = |p: &FaultPlan| -> bool {
+    failing_exec_cycles: Cycle,
+) -> (FaultPlan, String) {
+    let started = Instant::now();
+    let mut full_runs = 0u32;
+    let mut resumed_runs = 0u32;
+    let mut fails = |p: &FaultPlan| -> bool {
+        full_runs += 1;
         run_one(trace, alg, p, QueueKind::Heap, opts)
             .map(|out| !failure_reasons(&out, written).is_empty())
             .unwrap_or(false)
@@ -555,15 +646,35 @@ fn shrink_plan(
     // replays the first b faults of the original schedule. `hi` is known
     // to fail; find the smallest failing prefix.
     if best.budget > 1 {
+        let checkpoint = if opts.snapshot_bisect {
+            bisect_checkpoint(trace, alg, &best, opts, failing_exec_cycles)
+        } else {
+            None
+        };
         let (mut lo, mut hi) = (1, best.budget);
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            if fails(&best.with_budget(mid)) {
+            let cand = best.with_budget(mid);
+            let failed = match &checkpoint {
+                Some(c) if mid >= c.min_budget => {
+                    match resumed_probe_fails(trace, alg, &cand, opts, c, written) {
+                        Some(failed) => {
+                            resumed_runs += 1;
+                            failed
+                        }
+                        None => fails(&cand),
+                    }
+                }
+                _ => fails(&cand),
+            };
+            if failed {
                 hi = mid;
             } else {
                 lo = mid + 1;
             }
         }
+        // The kept reproducer is always proven by a full run from cycle
+        // zero; checkpoint-resumed probes only guide the search.
         let cand = best.with_budget(lo);
         if fails(&cand) {
             best = cand;
@@ -585,7 +696,13 @@ fn shrink_plan(
             best = cand;
         }
     }
-    best
+    let note = format!(
+        "shrunk in {:.1?}: {} probe(s) resumed from a mid-run checkpoint, {} full run(s)",
+        started.elapsed(),
+        resumed_runs,
+        full_runs
+    );
+    (best, note)
 }
 
 /// Runs a seeded chaos campaign over one workload profile.
@@ -668,15 +785,20 @@ pub fn run_chaos(profile: &WorkloadProfile, opts: &ChaosOptions) -> Result<Chaos
         coverage.absorb_events(&out.fault_stats);
         let reasons = failure_reasons(&out, &written);
         if !reasons.is_empty() {
-            let minimized = opts
+            let (minimized, shrink_note) = match opts
                 .shrink
-                .then(|| shrink_plan(&trace, alg, &plan, opts, &written));
+                .then(|| shrink_plan(&trace, alg, &plan, opts, &written, out.stats.exec_cycles))
+            {
+                Some((min, note)) => (Some(min), Some(note)),
+                None => (None, None),
+            };
             failures.push(ChaosFailure {
                 seed,
                 algorithm: alg,
                 plan: plan.clone(),
                 reasons,
                 minimized,
+                shrink_note,
             });
         }
         outcomes.push((seed, alg, plan, out));
@@ -697,6 +819,7 @@ pub fn run_chaos(profile: &WorkloadProfile, opts: &ChaosOptions) -> Result<Chaos
                     "faulted run diverges across queue backends (must be bit-for-bit)".into(),
                 ],
                 minimized: None,
+                shrink_note: None,
             });
         }
     }
@@ -811,6 +934,100 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("minimal reproducer"), "{rendered}");
         assert!(rendered.contains("--no-retry"), "{rendered}");
+    }
+
+    #[test]
+    fn snapshot_bisection_matches_full_shrink() {
+        let bisect = ChaosOptions {
+            recovery: false,
+            schedules: 6,
+            ..tiny()
+        };
+        let scratch = ChaosOptions {
+            snapshot_bisect: false,
+            ..bisect.clone()
+        };
+        let fast = run_chaos(&profiles::specweb(), &bisect).unwrap();
+        let slow = run_chaos(&profiles::specweb(), &scratch).unwrap();
+        assert!(!fast.is_clean() && !slow.is_clean());
+        assert_eq!(fast.failures.len(), slow.failures.len());
+        for (a, b) in fast.failures.iter().zip(&slow.failures) {
+            assert_eq!(
+                a.minimized, b.minimized,
+                "checkpoint bisection changed the minimized plan for seed {}",
+                a.seed
+            );
+        }
+        // The speedup must be real, not a silent fallback: at least one
+        // shrink resumed probes from its checkpoint, and the report logs
+        // the wall time either way.
+        assert!(
+            fast.failures.iter().any(|f| f
+                .shrink_note
+                .as_deref()
+                .is_some_and(|n| !n.contains("0 probe(s) resumed"))),
+            "no shrink ever resumed from its checkpoint: {:?}",
+            fast.failures
+                .iter()
+                .map(|f| &f.shrink_note)
+                .collect::<Vec<_>>()
+        );
+        for report in [&fast, &slow] {
+            assert!(
+                report.render().contains("shrunk in"),
+                "shrink wall time missing from the report"
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_reproducer_replays_identical_verdict() {
+        let opts = ChaosOptions {
+            recovery: false,
+            schedules: 6,
+            ..tiny()
+        };
+        let report = run_chaos(&profiles::specweb(), &opts).unwrap();
+        let f = report
+            .failures
+            .iter()
+            .find(|f| f.minimized.is_some())
+            .expect("no-retry campaign must fail and shrink");
+        let min = f.minimized.as_ref().unwrap();
+
+        // The verdict the shrinker verified: the budget-truncated prefix
+        // of the drawn plan, run from scratch. (Kind eliminations are
+        // extra diagnosis; the reproducer line replays the prefix.)
+        let mut streams = profiles::specweb().streams(opts.base_seed);
+        let trace = Trace::record(&mut streams, opts.accesses_per_core);
+        let written = written_lines(&trace);
+        let rings = machine_for(&trace, opts.nodes).unwrap().ring.rings;
+        let prefix = FaultPlan::random(min.seed, opts.nodes, rings).with_budget(min.budget);
+        let direct = run_one(&trace, f.algorithm, &prefix, QueueKind::Heap, &opts).unwrap();
+        let expected = failure_reasons(&direct, &written);
+        assert!(!expected.is_empty(), "minimized prefix must still fail");
+
+        // The CLI reproducer path: the same campaign entry point with the
+        // schedule seed and budget pinned, exactly as the rendered
+        // `flexsnoop chaos --schedule … --budget …` line does.
+        let repro_opts = ChaosOptions {
+            schedule: Some(min.seed),
+            budget: Some(min.budget),
+            shrink: false,
+            determinism_probes: 0,
+            ..opts.clone()
+        };
+        let repro = run_chaos(&profiles::specweb(), &repro_opts).unwrap();
+        let again = repro
+            .failures
+            .iter()
+            .find(|g| g.algorithm == f.algorithm)
+            .expect("pinned reproducer must fail the same algorithm");
+        assert_eq!(
+            again.reasons, expected,
+            "reproducer verdict drifted from the shrunk probe (same oracle \
+             verdict and failing transaction id required)"
+        );
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! * × a 1-worker and an N-worker [`Executor`] sweep,
 //! * plus the directory-protocol baseline ([`DirSimulator`]).
 //!
-//! Every ring run executes with the per-retirement invariant oracle and a
-//! [`Timeline`](flexsnoop::Timeline) recorder enabled, and the harness
-//! diffs what is *guaranteed* invariant across configurations:
+//! Every ring run executes with the per-retirement invariant oracle
+//! enabled, and the harness diffs what is *guaranteed* invariant across
+//! configurations:
 //!
 //! * **bit-for-bit reproducibility** — the same (algorithm, trace) must
 //!   produce identical [`RunStats`] and identical final line-state
@@ -35,10 +35,16 @@
 //! invalidations and evictions, so state equality only holds per
 //! configuration (where determinism makes it exact).
 //!
-//! When a run records a violation, the report pinpoints the first
-//! divergent transaction and attaches its rendered Timeline walkthrough;
-//! [`ProtocolMutation`] injection (see [`DiffOptions::mutation`]) is the
-//! self-test proving this detection path works end to end.
+//! When a run records a violation, the harness **rewinds to just before
+//! the divergence**: it replays the run to shortly before the first
+//! violation's cycle, checkpoints it there ([`Simulator::save_snapshot`]),
+//! restores the checkpoint into a fresh simulator with a
+//! [`Timeline`](flexsnoop::Timeline) recorder enabled, and steps only the
+//! tail up to the violation — so the report attaches a pinpointed
+//! walkthrough of the first divergent transaction without paying for
+//! timeline recording on every (usually clean) run. [`ProtocolMutation`]
+//! injection (see [`DiffOptions::mutation`]) is the self-test proving
+//! this detection path works end to end.
 
 pub mod chaos;
 
@@ -53,7 +59,7 @@ use flexsnoop::{
     Violation, WorkloadProfile,
 };
 use flexsnoop_directory::DirSimulator;
-use flexsnoop_engine::{Executor, QueueKind};
+use flexsnoop_engine::{Cycle, Executor, QueueKind};
 use flexsnoop_mem::{CoherState, LineAddr};
 use flexsnoop_workload::{AccessStream, Trace};
 
@@ -77,8 +83,10 @@ pub struct DiffOptions {
     /// Worker count for the wide executor sweep (the narrow sweep always
     /// uses 1).
     pub threads: usize,
-    /// Transactions the per-run [`Timeline`](flexsnoop::Timeline)
-    /// recorder keeps, for violation walkthroughs.
+    /// Transactions the rewind replay's [`Timeline`](flexsnoop::Timeline)
+    /// recorder keeps, for violation walkthroughs. Primary runs record no
+    /// timeline; a recorder is only enabled on the checkpoint-restored
+    /// replay of a violating run's tail.
     pub timeline_limit: usize,
     /// Deliberate protocol bug injected into every **ring** run (testing
     /// the harness itself; see [`ProtocolMutation`]).
@@ -200,12 +208,12 @@ pub(crate) fn boxed_streams(trace: &Trace) -> Vec<Box<dyn AccessStream + Send>> 
         .collect()
 }
 
-fn run_ring(
+fn build_ring_sim(
     trace: &Trace,
     alg: Algorithm,
     kind: QueueKind,
     opts: &DiffOptions,
-) -> Result<RingOutcome, String> {
+) -> Result<Simulator, String> {
     let machine = machine_for(trace, opts.nodes)?;
     let predictor = alg.default_predictor();
     let energy = energy_model_for(&predictor);
@@ -219,18 +227,61 @@ fn run_ring(
     )?;
     sim.use_event_queue(kind);
     sim.enable_invariant_checks();
-    sim.enable_timeline(opts.timeline_limit);
     if let Some(m) = opts.mutation {
         sim.inject_mutation(m);
     }
+    Ok(sim)
+}
+
+/// Cycles before the first violation the rewind replay backs up to —
+/// generous enough to cover a lossless transaction's whole lifetime
+/// (ring round trip plus a memory access), so the walkthrough captures
+/// the divergent transaction from issue to retirement.
+const REWIND_WINDOW: u64 = 16_384;
+
+/// Time-travels a violating run: replays it to just before the first
+/// violation, checkpoints there, restores the checkpoint into a fresh
+/// simulator with the timeline recorder on, and steps the tail through
+/// the violation. Determinism makes the replay exact, so the rendered
+/// walkthrough is the one the original run would have recorded — without
+/// every clean run paying for a recorder.
+fn rewind_walkthrough(
+    trace: &Trace,
+    alg: Algorithm,
+    kind: QueueKind,
+    opts: &DiffOptions,
+    v: &Violation,
+) -> Option<String> {
+    let rewind_to = Cycle::new(v.at.as_u64().saturating_sub(REWIND_WINDOW));
+    let mut donor = build_ring_sim(trace, alg, kind, opts).ok()?;
+    donor.run_until(Some(rewind_to));
+    let checkpoint = donor.save_snapshot();
+    let mut replay = build_ring_sim(trace, alg, kind, opts).ok()?;
+    replay.enable_timeline(opts.timeline_limit);
+    replay.restore_snapshot(&checkpoint).ok()?;
+    // Step only the tail: everything up to and including the violation
+    // cycle (run_until stops before popping events at the stop cycle).
+    replay.run_until(Some(Cycle::new(v.at.as_u64() + 1)));
+    Some(format!(
+        "first divergent transaction (rewound to cycle {rewind_to} via checkpoint, \
+         violation at cycle {}):\n{}",
+        v.at,
+        replay.timeline().render(v.txn)
+    ))
+}
+
+fn run_ring(
+    trace: &Trace,
+    alg: Algorithm,
+    kind: QueueKind,
+    opts: &DiffOptions,
+) -> Result<RingOutcome, String> {
+    let mut sim = build_ring_sim(trace, alg, kind, opts)?;
     let stats = sim.run();
     let violations = sim.violations().to_vec();
-    let violation_walkthrough = violations.first().map(|v| {
-        format!(
-            "first divergent transaction:\n{}",
-            sim.timeline().render(v.txn)
-        )
-    });
+    let violation_walkthrough = violations
+        .first()
+        .and_then(|v| rewind_walkthrough(trace, alg, kind, opts, v));
     Ok(RingOutcome {
         stats,
         snapshot: sim.state_snapshot(),

@@ -98,6 +98,19 @@ pub struct Args {
     /// `--max-nodes` for `bench --scale`: skip sweep points above this
     /// ring size (the CI smoke job caps at 131072).
     pub max_nodes: usize,
+    /// `--save-at CYCLE` for `run`: checkpoint the simulation state at
+    /// the given cycle (requires `--snapshot`); the run then continues
+    /// to completion (saving is a semantic no-op on the live run).
+    pub save_at: Option<u64>,
+    /// `--snapshot FILE` for `run --save-at`: where the checkpoint is
+    /// written.
+    pub snapshot: String,
+    /// `--resume FILE` for `run`: restore a checkpoint written by
+    /// `--save-at` and run it to completion. The run parameters
+    /// (workload, algorithm, predictor, seed, nodes, accesses) are
+    /// embedded in the file; command-line overrides are rejected by the
+    /// configuration fingerprint if they disagree.
+    pub resume: String,
 }
 
 impl Default for Args {
@@ -130,6 +143,9 @@ impl Default for Args {
             coverage_out: String::new(),
             scale: false,
             max_nodes: 1 << 20,
+            save_at: None,
+            snapshot: String::new(),
+            resume: String::new(),
         }
     }
 }
@@ -227,6 +243,9 @@ impl Args {
                 "--coverage-baseline" => args.coverage_baseline = value.clone(),
                 "--coverage-out" => args.coverage_out = value.clone(),
                 "--max-nodes" => args.max_nodes = num("--max-nodes")? as usize,
+                "--save-at" => args.save_at = Some(num("--save-at")?),
+                "--snapshot" => args.snapshot = value.clone(),
+                "--resume" => args.resume = value.clone(),
                 other => return Err(format!("unknown option {other:?}; try `flexsnoop help`")),
             }
         }
@@ -325,6 +344,25 @@ mod tests {
         let b = Args::parse(&argv("bench")).unwrap();
         assert!(!b.scale);
         assert_eq!(b.max_nodes, 1 << 20);
+    }
+
+    #[test]
+    fn checkpoint_options_parse() {
+        let a = Args::parse(&argv("run --save-at 5000 --snapshot state.snap")).unwrap();
+        assert_eq!(a.save_at, Some(5000));
+        assert_eq!(a.snapshot, "state.snap");
+        assert!(a.resume.is_empty());
+
+        let b = Args::parse(&argv("run --resume state.snap")).unwrap();
+        assert_eq!(b.resume, "state.snap");
+        assert_eq!(b.save_at, None);
+
+        assert!(Args::parse(&argv("run --save-at soon"))
+            .unwrap_err()
+            .contains("number"));
+        assert!(Args::parse(&argv("run --resume"))
+            .unwrap_err()
+            .contains("expects a value"));
     }
 
     #[test]

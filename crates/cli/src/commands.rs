@@ -5,6 +5,8 @@ use flexsnoop::{
     energy_model_for, Algorithm, FaultInjectingPredictor, FaultKind, MachineConfig, RunStats,
     Simulator, SupplierPredictor, VecStream,
 };
+use flexsnoop_engine::snap::{self, SnapError, SnapReader, SnapWriter};
+use flexsnoop_engine::Cycle;
 use flexsnoop_metrics::Table;
 use flexsnoop_workload::{profiles, AccessStream, Trace, WorkloadProfile};
 
@@ -149,11 +151,101 @@ fn build_faulted_sim(
     )
 }
 
+/// A `run` checkpoint file: a sealed envelope embedding the run
+/// parameters (so `--resume` can rebuild the identical simulator from
+/// nothing but the file) followed by the simulator snapshot itself.
+fn write_checkpoint(args: &Args, sim: &mut Simulator) -> Vec<u8> {
+    let mut w = SnapWriter::new();
+    w.put_str("run");
+    w.put_str(&args.workload);
+    w.put_str(&args.algorithm);
+    w.put_str(&args.predictor);
+    w.put_u64(args.seed);
+    w.put_usize(args.nodes);
+    w.put_u64(args.accesses);
+    w.put_bytes(&sim.save_snapshot());
+    snap::seal(w.into_bytes())
+}
+
+fn snap_err(what: &str, e: SnapError) -> String {
+    format!("{what}: {e}")
+}
+
+/// `flexsnoop run --resume FILE`: rebuilds the simulator from the run
+/// parameters embedded in the checkpoint, restores the saved state and
+/// runs it to completion. The resumed run's statistics are bit-identical
+/// to the uninterrupted run's.
+fn resume_run(args: &Args) -> Result<String, String> {
+    let bytes = std::fs::read(&args.resume).map_err(|e| format!("read {}: {e}", args.resume))?;
+    let bad = |e| snap_err("bad checkpoint file", e);
+    let payload = snap::unseal(&bytes).map_err(bad)?;
+    let mut r = SnapReader::new(payload);
+    let kind = r.get_str().map_err(bad)?;
+    if kind != "run" {
+        return Err(format!(
+            "{} is not a `flexsnoop run` checkpoint (kind {kind:?})",
+            args.resume
+        ));
+    }
+    let mut rargs = args.clone();
+    rargs.workload = r.get_str().map_err(bad)?;
+    rargs.algorithm = r.get_str().map_err(bad)?;
+    rargs.predictor = r.get_str().map_err(bad)?;
+    rargs.seed = r.get_u64().map_err(bad)?;
+    rargs.nodes = r.get_usize().map_err(bad)?;
+    rargs.accesses = r.get_u64().map_err(bad)?;
+    let snapshot = r.get_bytes().map_err(bad)?.to_vec();
+    r.expect_eof().map_err(bad)?;
+    let algorithm = parse_algorithm(&rargs.algorithm)?;
+    let mut sim = build_sim(&rargs, algorithm)?;
+    sim.restore_snapshot(&snapshot)
+        .map_err(|e| snap_err("checkpoint does not match this configuration", e))?;
+    sim.run_until(None);
+    let stats = sim.finalize();
+    sim.validate_coherence()?;
+    let mut out = format!(
+        "resumed {} ({} / {} / seed {} / {} nodes / {} accesses)\n",
+        args.resume, rargs.workload, rargs.algorithm, rargs.seed, rargs.nodes, rargs.accesses
+    );
+    out.push_str(&stats_table(&[(algorithm, stats)], args.csv));
+    Ok(out)
+}
+
 /// `flexsnoop run`.
 pub fn run_one(args: &Args) -> Result<String, String> {
+    if !args.resume.is_empty() {
+        if args.save_at.is_some() || !args.predictor_fault.is_empty() {
+            return Err(
+                "--resume cannot be combined with --save-at or --predictor-fault".to_string(),
+            );
+        }
+        return resume_run(args);
+    }
+    if args.save_at.is_some() && !args.predictor_fault.is_empty() {
+        return Err("--save-at is not supported with --predictor-fault".to_string());
+    }
     let algorithm = parse_algorithm(&args.algorithm)?;
     if args.predictor_fault.is_empty() {
         let mut sim = build_sim(args, algorithm)?;
+        if let Some(at) = args.save_at {
+            if args.snapshot.is_empty() {
+                return Err("--save-at needs --snapshot FILE".to_string());
+            }
+            let reached = sim.run_until(Some(Cycle::new(at)));
+            let bytes = write_checkpoint(args, &mut sim);
+            std::fs::write(&args.snapshot, &bytes)
+                .map_err(|e| format!("write {}: {e}", args.snapshot))?;
+            let mut out = format!(
+                "checkpointed cycle {reached} to {} ({} bytes); continuing to completion\n",
+                args.snapshot,
+                bytes.len()
+            );
+            sim.run_until(None);
+            let stats = sim.finalize();
+            sim.validate_coherence()?;
+            out.push_str(&stats_table(&[(algorithm, stats)], args.csv));
+            return Ok(out);
+        }
         let stats = sim.run();
         sim.validate_coherence()?;
         return Ok(stats_table(&[(algorithm, stats)], args.csv));
@@ -487,6 +579,64 @@ mod tests {
         rargs.algorithm = "lazy".to_string();
         let out = replay(&rargs).unwrap();
         assert!(out.contains("Lazy"), "{out}");
+    }
+
+    #[test]
+    fn checkpoint_save_then_resume_matches_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("flexsnoop-cli-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("state.snap").to_string_lossy().to_string();
+
+        let baseline = run_one(&base_args()).unwrap();
+
+        // Saving mid-run must not perturb the donor run…
+        let mut save = base_args();
+        save.save_at = Some(3_000);
+        save.snapshot = file.clone();
+        let saved = run_one(&save).unwrap();
+        assert!(saved.contains("checkpointed cycle"), "{saved}");
+        assert!(
+            saved.ends_with(&baseline),
+            "saving perturbed the donor run:\n{saved}\nvs\n{baseline}"
+        );
+
+        // …and the resumed run is bit-identical to the uninterrupted one.
+        let mut resume = base_args();
+        resume.resume = file.clone();
+        let resumed = run_one(&resume).unwrap();
+        assert!(resumed.contains("resumed"), "{resumed}");
+        assert!(
+            resumed.ends_with(&baseline),
+            "resumed stats diverged:\n{resumed}\nvs\n{baseline}"
+        );
+
+        // A tampered checkpoint fails loudly, not with garbage stats.
+        let mut bytes = std::fs::read(&file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let bad_file = dir.join("bad.snap").to_string_lossy().to_string();
+        std::fs::write(&bad_file, &bytes).unwrap();
+        let mut bad = base_args();
+        bad.resume = bad_file;
+        assert!(run_one(&bad).unwrap_err().contains("checkpoint"));
+    }
+
+    #[test]
+    fn checkpoint_flags_are_validated() {
+        let mut no_file = base_args();
+        no_file.save_at = Some(10);
+        assert!(run_one(&no_file).unwrap_err().contains("--snapshot"));
+
+        let mut both = base_args();
+        both.resume = "state.snap".to_string();
+        both.save_at = Some(10);
+        assert!(run_one(&both).unwrap_err().contains("--resume"));
+
+        let mut faulted = base_args();
+        faulted.save_at = Some(10);
+        faulted.snapshot = "state.snap".to_string();
+        faulted.predictor_fault = "force-negative:2:5".to_string();
+        assert!(run_one(&faulted).unwrap_err().contains("--predictor-fault"));
     }
 
     #[test]

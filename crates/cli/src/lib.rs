@@ -10,6 +10,8 @@
 //! flexsnoop timeline --workload specweb --algorithm lazy --transactions 3
 //! flexsnoop trace    --workload specjbb --accesses 2000 --out trace.txt
 //! flexsnoop replay   --trace trace.txt --algorithm eager
+//! flexsnoop run      --workload specjbb --save-at 50000 --snapshot state.snap
+//! flexsnoop run      --resume state.snap
 //! flexsnoop report   --smoke --probe
 //! ```
 //!
@@ -98,6 +100,11 @@ OPTIONS (where applicable):
     --predictor-fault K:P:B
                          `run`: corrupt every P-th prediction, B times; K is
                          force-negative (unsafe direction) or force-positive
+    --save-at CYCLE      `run`: checkpoint the state at CYCLE (needs --snapshot);
+                         the run then continues to completion unchanged
+    --snapshot FILE      `run --save-at`: file the checkpoint is written to
+    --resume FILE        `run`: restore a checkpoint and run to completion
+                         (bit-identical statistics to the uninterrupted run)
 "
     .to_string()
 }

@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_predictor::PredictorSpec;
 use flexsnoop_workload::{AccessStream, MemAccess, Trace, WorkloadGroup, WorkloadProfile};
 
@@ -27,6 +28,22 @@ impl VecStream {
         (0..trace.cores())
             .map(|c| VecStream::new(trace.core(c).to_vec()))
             .collect()
+    }
+}
+
+/// Serializes only the replay cursor; the access vector is configuration.
+impl Snapshot for VecStream {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.pos);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let pos = r.get_usize()?;
+        if pos > self.accesses.len() {
+            return Err(SnapError::Corrupt("replay cursor is past the stream end"));
+        }
+        self.pos = pos;
+        Ok(())
     }
 }
 

@@ -6,6 +6,7 @@
 //! primitives split, merge and recombine these; the reply accumulator
 //! ([`ReplyInfo`]) rides inside `Reply` and `Combined` messages.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_mem::{CmpId, LineAddr};
 
 /// Unique transaction identifier.
@@ -46,6 +47,17 @@ impl std::fmt::Display for TxnId {
         } else {
             write!(f, "txn{}g{}", self.slot(), self.generation())
         }
+    }
+}
+
+impl Snapshot for TxnId {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.0);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.0 = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -105,6 +117,39 @@ impl ReplyInfo {
     }
 }
 
+impl Snapshot for TxnOp {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            TxnOp::Read => 0,
+            TxnOp::Write => 1,
+        });
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        *self = match r.get_u8()? {
+            0 => TxnOp::Read,
+            1 => TxnOp::Write,
+            _ => return Err(SnapError::Corrupt("transaction-op tag out of range")),
+        };
+        Ok(())
+    }
+}
+
+impl Snapshot for ReplyInfo {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_bool(self.found);
+        w.put_bool(self.all_snooped);
+        w.put_bool(self.any_copy);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.found = r.get_bool()?;
+        self.all_snooped = r.get_bool()?;
+        self.any_copy = r.get_bool()?;
+        Ok(())
+    }
+}
+
 /// What a ring message is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MsgKind {
@@ -158,6 +203,62 @@ pub struct RingMsg {
     /// repeated `(attempt, seq)` delivery is an injected duplicate and is
     /// suppressed. Always 0 on a lossless ring (never consulted).
     pub seq: u32,
+}
+
+impl Snapshot for MsgKind {
+    fn save_into(&self, w: &mut SnapWriter) {
+        match self {
+            MsgKind::Request => w.put_u8(0),
+            MsgKind::Reply(info) => {
+                w.put_u8(1);
+                info.save_into(w);
+            }
+            MsgKind::Combined(info) => {
+                w.put_u8(2);
+                info.save_into(w);
+            }
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let mut info = ReplyInfo::start();
+        *self = match r.get_u8()? {
+            0 => MsgKind::Request,
+            1 => {
+                info.restore_from(r)?;
+                MsgKind::Reply(info)
+            }
+            2 => {
+                info.restore_from(r)?;
+                MsgKind::Combined(info)
+            }
+            _ => return Err(SnapError::Corrupt("message-kind tag out of range")),
+        };
+        Ok(())
+    }
+}
+
+impl Snapshot for RingMsg {
+    fn save_into(&self, w: &mut SnapWriter) {
+        self.txn.save_into(w);
+        w.put_u64(self.line.0);
+        self.op.save_into(w);
+        w.put_usize(self.requester.0);
+        self.kind.save_into(w);
+        w.put_u32(self.attempt);
+        w.put_u32(self.seq);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.txn.restore_from(r)?;
+        self.line = LineAddr(r.get_u64()?);
+        self.op.restore_from(r)?;
+        self.requester = CmpId(r.get_usize()?);
+        self.kind.restore_from(r)?;
+        self.attempt = r.get_u32()?;
+        self.seq = r.get_u32()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

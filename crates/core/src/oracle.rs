@@ -17,6 +17,7 @@
 //! the class of bug it exists for. Mutations are for testing only and
 //! must never be enabled in experiments.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::Cycle;
 use flexsnoop_mem::LineAddr;
 
@@ -42,6 +43,23 @@ impl std::fmt::Display for Violation {
     }
 }
 
+impl Snapshot for Violation {
+    fn save_into(&self, w: &mut SnapWriter) {
+        self.txn.save_into(w);
+        w.put_cycle(self.at);
+        w.put_u64(self.line.0);
+        w.put_str(&self.what);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.txn.restore_from(r)?;
+        self.at = r.get_cycle()?;
+        self.line = LineAddr(r.get_u64()?);
+        self.what = r.get_str()?;
+        Ok(())
+    }
+}
+
 /// A deliberate protocol bug, injectable for oracle/harness self-tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolMutation {
@@ -53,6 +71,24 @@ pub enum ProtocolMutation {
     /// invalidating anything, leaving stale shared copies alongside the
     /// writer's new dirty line.
     SkipWriteInvalidation,
+}
+
+impl Snapshot for ProtocolMutation {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            ProtocolMutation::SkipSupplierDowngrade => 0,
+            ProtocolMutation::SkipWriteInvalidation => 1,
+        });
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        *self = match r.get_u8()? {
+            0 => ProtocolMutation::SkipSupplierDowngrade,
+            1 => ProtocolMutation::SkipWriteInvalidation,
+            _ => return Err(SnapError::Corrupt("protocol-mutation tag out of range")),
+        };
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -366,18 +366,35 @@ impl Probe for CountingProbe {
     }
 }
 
+/// Parses the `VmHWM` field out of a `/proc/self/status` dump.
+///
+/// The unit token is honoured explicitly instead of assuming kibibytes:
+/// a missing or unrecognized unit (or a value that overflows when
+/// scaled) yields `None` — "unavailable" beats a silently mis-scaled
+/// number in a benchmark artifact.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let mut fields = line["VmHWM:".len()..].split_whitespace();
+    let value: u64 = fields.next()?.parse().ok()?;
+    let scale: u64 = match fields.next()? {
+        "B" => 1,
+        "kB" | "KB" | "KiB" => 1 << 10,
+        "mB" | "MB" | "MiB" => 1 << 20,
+        "gB" | "GB" | "GiB" => 1 << 30,
+        _ => return None,
+    };
+    value.checked_mul(scale)
+}
+
 /// Peak resident set of the current process in bytes, read from
 /// `/proc/self/status` (`VmHWM`). Returns `None` on platforms without
-/// procfs or when the field is missing — callers should treat the value
-/// as best-effort and volatile.
+/// procfs or when the field is missing or malformed — callers should
+/// treat the value as best-effort and volatile.
 pub fn peak_rss_bytes() -> Option<u64> {
     if !cfg!(target_os = "linux") {
         return None;
     }
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kib * 1024)
+    parse_vm_hwm(&std::fs::read_to_string("/proc/self/status").ok()?)
 }
 
 #[cfg(test)]
@@ -462,6 +479,32 @@ mod tests {
             // Any live process has touched at least a page.
             assert!(rss >= 4096, "peak RSS {rss} implausibly small");
         }
+    }
+
+    #[test]
+    fn vm_hwm_parsing_honours_units() {
+        let status = "Name:\tflexsnoop\nVmPeak:\t  999 kB\nVmHWM:\t  131072 kB\n";
+        assert_eq!(parse_vm_hwm(status), Some(131072 * 1024));
+        assert_eq!(parse_vm_hwm("VmHWM:\t3 MB\n"), Some(3 << 20));
+        assert_eq!(parse_vm_hwm("VmHWM: 7 B\n"), Some(7));
+        assert_eq!(parse_vm_hwm("VmHWM: 2 GiB\n"), Some(2 << 30));
+    }
+
+    #[test]
+    fn vm_hwm_parsing_rejects_ambiguity_instead_of_guessing() {
+        // Missing line entirely.
+        assert_eq!(parse_vm_hwm("Name: x\nVmPeak: 10 kB\n"), None);
+        // No unit token: the scale would be a guess.
+        assert_eq!(parse_vm_hwm("VmHWM: 4096\n"), None);
+        // Unknown unit.
+        assert_eq!(parse_vm_hwm("VmHWM: 4096 pages\n"), None);
+        // Non-numeric value.
+        assert_eq!(parse_vm_hwm("VmHWM: lots kB\n"), None);
+        // Scaling overflow must not wrap to a plausible-looking number.
+        assert_eq!(
+            parse_vm_hwm(&format!("VmHWM: {} GiB\n", u64::MAX / 2)),
+            None
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use std::collections::VecDeque;
 
+use flexsnoop_engine::snap::{self, Fingerprint, SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::{
     segment_of, Cycle, Cycles, FxHashMap, FxHashSet, QueueKind, Resource, Scheduler,
     ShardedScheduler,
@@ -348,6 +349,20 @@ impl SimSched {
             SimSched::Sharded(s) => s.pop().map(|(t, _shard, e)| (t, e)),
         }
     }
+
+    fn peek_time(&self) -> Option<Cycle> {
+        match self {
+            SimSched::Single(s) => s.peek_time(),
+            SimSched::Sharded(s) => s.peek_time(),
+        }
+    }
+
+    fn restore_clock(&mut self, at: Cycle) {
+        match self {
+            SimSched::Single(s) => s.restore_clock(at),
+            SimSched::Sharded(s) => s.restore_clock(at),
+        }
+    }
 }
 
 /// The full-machine simulator for one (algorithm, predictor, workload) run.
@@ -451,6 +466,9 @@ pub struct Simulator {
     violations: Vec<Violation>,
     mutation: Option<ProtocolMutation>,
     active_cores: usize,
+    /// The first [`run_until`](Self::run_until) call primed the cores;
+    /// also set by a snapshot restore (the snapshot was taken mid-run).
+    started: bool,
     finished: bool,
 }
 
@@ -634,6 +652,7 @@ impl Simulator {
             violations: Vec::new(),
             mutation: None,
             active_cores,
+            started: false,
             finished: false,
             cfg: machine,
         })
@@ -998,19 +1017,64 @@ impl Simulator {
     ///
     /// Panics if called twice.
     pub fn run(&mut self) -> RunStats {
-        assert!(!self.finished, "run() may only be called once");
-        self.finished = true;
-        // Prime every core with its first access.
-        for core in 0..self.cores.len() {
-            self.advance_core(core, Cycle::ZERO);
+        self.run_until(None);
+        self.finalize()
+    }
+
+    /// Runs until the event queue drains or the next pending event is at
+    /// or past `stop_at`, whichever comes first; returns the reached
+    /// simulation time. The stopping point is a pure function of the
+    /// event schedule — never of wall-clock or queue internals — so a
+    /// [`save_snapshot`](Self::save_snapshot) taken here resumes
+    /// bit-identically. Call [`finalize`](Self::finalize) after the final
+    /// `run_until(None)` to close out the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was already finalized.
+    pub fn run_until(&mut self, stop_at: Option<Cycle>) -> Cycle {
+        assert!(!self.finished, "the run has already been finalized");
+        if !self.started {
+            self.started = true;
+            // Prime every core with its first access.
+            for core in 0..self.cores.len() {
+                self.advance_core(core, Cycle::ZERO);
+            }
         }
-        while let Some((now, ev)) = self.sched.pop() {
+        loop {
+            if let Some(stop) = stop_at {
+                match self.sched.peek_time() {
+                    Some(t) if t < stop => {}
+                    _ => break,
+                }
+            }
+            let Some((now, ev)) = self.sched.pop() else {
+                break;
+            };
             self.stats.events += 1;
             if let Some(p) = self.probe.as_deref_mut() {
                 p.event_dispatched(self.sched.len());
             }
             self.dispatch(now, ev);
         }
+        self.sched.now()
+    }
+
+    /// Closes out the run — checks for stranded cores, folds predictor
+    /// and fault counters into the statistics — and returns them. Called
+    /// automatically by [`run`](Self::run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are still pending or the run was already
+    /// finalized.
+    pub fn finalize(&mut self) -> RunStats {
+        assert!(!self.finished, "the run has already been finalized");
+        assert!(
+            self.sched.is_empty(),
+            "finalize() with events still pending; run_until(None) first"
+        );
+        self.finished = true;
         if self.active_cores > 0 {
             // Only a lossy ring without recovery may strand cores: a lost
             // message then hangs its transaction forever. Anywhere else
@@ -2800,6 +2864,680 @@ impl Simulator {
             false
         }
     }
+
+    // ----- checkpoint / restore ---------------------------------------------
+
+    /// Hashes every configuration input that shapes the dynamic state a
+    /// snapshot carries: the machine parameters, the algorithm, and the
+    /// per-core access limits. Deliberately *excluded* are the event-queue
+    /// backend, the segment count (snapshots re-route events through
+    /// [`Self::schedule_event`], so they are portable across both) and the
+    /// fault plan (a resumed run may widen the fault budget — the basis of
+    /// the chaos shrinker's snapshot bisection).
+    fn config_fingerprint(&self) -> u64 {
+        let c = &self.cfg;
+        let mut f = Fingerprint::new();
+        for v in [
+            c.nodes,
+            c.cores_per_cmp,
+            c.caches.l1_bytes,
+            c.caches.l1_ways,
+            c.caches.l2_bytes,
+            c.caches.l2_ways,
+            c.caches.line_bytes,
+        ] {
+            f.push_u64(v as u64);
+        }
+        for v in [
+            c.timing.l1_rt,
+            c.timing.l2_rt,
+            c.timing.cmp_bus_rt,
+            c.timing.snoop_time,
+            c.timing.snoop_occupancy,
+            c.timing.gateway_latency,
+            c.timing.predictor_latency,
+            c.memory.dram_latency,
+            c.memory.controller_overhead,
+            c.memory.occupancy,
+            c.ring.hop_latency,
+            c.ring.link_service,
+            c.data_net.hop_latency,
+            c.data_net.router_latency,
+            c.data_net.link_service,
+            c.recovery.queueing_slack,
+            c.recovery.backoff_base,
+            c.recovery.backoff_cap,
+        ] {
+            f.push_u64(v.as_u64());
+        }
+        f.push_u8(c.memory.home_prefetch as u8);
+        f.push_u64(c.ring.rings as u64);
+        f.push_u8(c.policy.exclusive_fill as u8);
+        f.push_u64(c.policy.max_outstanding_reads as u64);
+        f.push_u8(c.policy.write_filtering as u8);
+        f.push_u8(match c.recovery.timeout_policy {
+            TimeoutPolicy::Static => 0,
+            TimeoutPolicy::Adaptive => 1,
+        });
+        f.push_u64(c.recovery.retry_cap as u64);
+        f.push_u64(c.recovery.probation_window as u64);
+        f.push_str(&self.alg.to_string());
+        f.push_u64(self.cores.len() as u64);
+        for core in &self.cores {
+            f.push_u64(core.limit);
+        }
+        f.finish()
+    }
+
+    /// Serializes the complete dynamic state of a mid-run simulation into
+    /// a sealed, versioned byte stream: every pending event with its
+    /// global dispatch order, the caches, predictors, presence filters,
+    /// network link and port schedules, core cursors (including each
+    /// access stream's RNG), in-flight transactions with their arena
+    /// generations, the sparse gateway map, residency and collision
+    /// tables, recovery state (RTT estimators, degraded-line probation),
+    /// and the statistics so far. The timeline recorder and probe sink
+    /// are *not* captured — a restored run re-attaches its own (that is
+    /// what lets the differential harness rewind with recording enabled).
+    ///
+    /// Call between [`run_until`](Self::run_until) slices. Restoring
+    /// ([`Self::restore_snapshot`]) onto a freshly built simulator of the
+    /// same configuration and then running to completion produces
+    /// bit-identical [`RunStats`] to the uninterrupted run, regardless of
+    /// either side's event-queue backend or segment count.
+    ///
+    /// Takes `&mut self` because the event queue must be drained to
+    /// observe its global pop order; the queue is rebuilt in place and
+    /// the simulation can keep running as if nothing happened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was already finalized.
+    pub fn save_snapshot(&mut self) -> Vec<u8> {
+        assert!(!self.finished, "cannot snapshot a finalized run");
+        let mut w = SnapWriter::new();
+        w.put_u64(self.config_fingerprint());
+        w.put_bool(self.started);
+        w.put_usize(self.cmps.len());
+        for c in &self.cmps {
+            c.save_into(&mut w);
+        }
+        self.predictors.save_into(&mut w);
+        w.put_usize(self.presence.len());
+        for b in &self.presence {
+            b.save_into(&mut w);
+        }
+        w.put_u64(self.write_snoops_filtered);
+        self.ring.save_into(&mut w);
+        self.torus.save_into(&mut w);
+        w.put_usize(self.snoop_ports.len());
+        for p in &self.snoop_ports {
+            p.save_into(&mut w);
+        }
+        w.put_usize(self.mem_ports.len());
+        for p in &self.mem_ports {
+            p.save_into(&mut w);
+        }
+        w.put_usize(self.cores.len());
+        for c in &self.cores {
+            c.stream.save_into(&mut w);
+            w.put_u64(c.issued);
+            w.put_bool(c.done);
+            w.put_usize(c.outstanding_reads);
+            w.put_bool(c.stalled);
+        }
+        self.txns.save_into_with(&mut w, save_txn);
+        // Hash maps iterate in arbitrary order; serialize sorted by key so
+        // identical states produce identical bytes.
+        let mut gateway: Vec<_> = self.gateway.iter().collect();
+        gateway.sort_by_key(|&(&k, _)| k);
+        w.put_usize(gateway.len());
+        for (&(txn, node), st) in gateway {
+            txn.save_into(&mut w);
+            w.put_u32(node);
+            save_node_state(st, &mut w);
+        }
+        let mut residency: Vec<_> = self.residency.iter().collect();
+        residency.sort_by_key(|&(l, _)| l.0);
+        w.put_usize(residency.len());
+        for (line, copies) in residency {
+            w.put_u64(line.0);
+            copies.save_into(&mut w);
+        }
+        let mut busy: Vec<_> = self.line_busy.iter().collect();
+        busy.sort_by_key(|&(l, _)| l.0);
+        w.put_usize(busy.len());
+        for (line, &(readers, writers)) in busy {
+            w.put_u64(line.0);
+            w.put_u32(readers);
+            w.put_u32(writers);
+        }
+        let mut waiters: Vec<_> = self.line_waiters.iter().collect();
+        waiters.sort_by_key(|&(l, _)| l.0);
+        w.put_usize(waiters.len());
+        for (line, queue) in waiters {
+            w.put_u64(line.0);
+            w.put_usize(queue.len());
+            for (core, access) in queue {
+                w.put_usize(*core);
+                access.save_into(&mut w);
+            }
+        }
+        let mut downgraded: Vec<_> = self.downgraded.iter().collect();
+        downgraded.sort_by_key(|l| l.0);
+        w.put_usize(downgraded.len());
+        for line in downgraded {
+            w.put_u64(line.0);
+        }
+        let mut degraded: Vec<_> = self.degraded_lines.iter().collect();
+        degraded.sort_by_key(|&(l, _)| l.0);
+        w.put_usize(degraded.len());
+        for (line, &clean) in degraded {
+            w.put_u64(line.0);
+            w.put_u32(clean);
+        }
+        w.put_bool(self.unreliable);
+        w.put_bool(self.torus_faulty);
+        w.put_bool(self.recovery);
+        w.put_cycles(self.timeout_base);
+        w.put_cycles(self.timeout_floor);
+        w.put_usize(self.rtt.len());
+        for e in &self.rtt {
+            e.save_into(&mut w);
+        }
+        self.stats.save_into(&mut w);
+        w.put_bool(self.checks);
+        w.put_usize(self.violations.len());
+        for v in &self.violations {
+            v.save_into(&mut w);
+        }
+        w.put_bool(self.mutation.is_some());
+        if let Some(m) = &self.mutation {
+            m.save_into(&mut w);
+        }
+        w.put_usize(self.active_cores);
+        // The event queue comes last (restore needs the transaction table
+        // to route events to segments). Observing the global pop order
+        // requires draining; record the clock first — popping advances it.
+        let now0 = self.sched.now();
+        w.put_cycle(now0);
+        let mut events = Vec::with_capacity(self.sched.len());
+        while let Some((t, ev)) = self.sched.pop() {
+            events.push((t, ev));
+        }
+        w.put_usize(events.len());
+        for (t, ev) in &events {
+            w.put_cycle(*t);
+            save_event(ev, &mut w);
+        }
+        // Rebuild the queue and put everything back, restoring the pops.
+        self.sched = SimSched::build(self.sched.queue_kind(), self.sched.segments());
+        for (t, ev) in events {
+            self.schedule_event(t, ev);
+        }
+        self.sched.restore_clock(now0);
+        snap::seal(w.into_bytes())
+    }
+
+    /// Restores a [`save_snapshot`](Self::save_snapshot) stream onto this
+    /// simulator, which must be freshly built with the same machine
+    /// configuration, algorithm, predictor layout and per-core streams —
+    /// and, if the snapshot was taken with a fault plan armed, the same
+    /// plan (or one widened via `FaultPlan::with_budget`) armed via
+    /// [`set_fault_plan`](Self::set_fault_plan) *before* restoring.
+    /// Queue backend and segment count are free choices: events re-route
+    /// through the live queue's scheduling path on the way in.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError`] if the stream is malformed, was produced by
+    /// a different schema version, or does not match this simulator's
+    /// configuration fingerprint or fault-plan arming.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this simulator has already started running.
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        assert!(
+            !self.started && !self.finished && self.sched.is_empty(),
+            "restore_snapshot() needs a freshly built simulator"
+        );
+        let payload = snap::unseal(bytes)?;
+        let mut r = SnapReader::new(payload);
+        let expected = self.config_fingerprint();
+        let found = r.get_u64()?;
+        if found != expected {
+            return Err(SnapError::FingerprintMismatch { found, expected });
+        }
+        let started = r.get_bool()?;
+        if r.get_usize()? != self.cmps.len() {
+            return Err(SnapError::Corrupt("CMP count does not match config"));
+        }
+        for c in &mut self.cmps {
+            c.restore_from(&mut r)?;
+        }
+        self.predictors.restore_from(&mut r)?;
+        if r.get_usize()? != self.presence.len() {
+            return Err(SnapError::Corrupt(
+                "presence-filter count does not match config",
+            ));
+        }
+        for b in &mut self.presence {
+            b.restore_from(&mut r)?;
+        }
+        self.write_snoops_filtered = r.get_u64()?;
+        self.ring.restore_from(&mut r)?;
+        self.torus.restore_from(&mut r)?;
+        if r.get_usize()? != self.snoop_ports.len() {
+            return Err(SnapError::Corrupt("snoop-port count does not match config"));
+        }
+        for p in &mut self.snoop_ports {
+            p.restore_from(&mut r)?;
+        }
+        if r.get_usize()? != self.mem_ports.len() {
+            return Err(SnapError::Corrupt(
+                "memory-port count does not match config",
+            ));
+        }
+        for p in &mut self.mem_ports {
+            p.restore_from(&mut r)?;
+        }
+        if r.get_usize()? != self.cores.len() {
+            return Err(SnapError::Corrupt("core count does not match config"));
+        }
+        for c in &mut self.cores {
+            c.stream.restore_from(&mut r)?;
+            c.issued = r.get_u64()?;
+            c.done = r.get_bool()?;
+            c.outstanding_reads = r.get_usize()?;
+            c.stalled = r.get_bool()?;
+        }
+        self.txns.restore_from_with(&mut r, load_txn)?;
+        self.gateway.clear();
+        for _ in 0..r.get_usize()? {
+            let txn = TxnId(r.get_u64()?);
+            let node = r.get_u32()?;
+            let st = load_node_state(&mut r)?;
+            self.gateway.insert((txn, node), st);
+        }
+        self.residency.clear();
+        for _ in 0..r.get_usize()? {
+            let line = LineAddr(r.get_u64()?);
+            let mut copies = LineCopies::default();
+            copies.restore_from(&mut r)?;
+            self.residency.insert(line, copies);
+        }
+        self.line_busy.clear();
+        for _ in 0..r.get_usize()? {
+            let line = LineAddr(r.get_u64()?);
+            let readers = r.get_u32()?;
+            let writers = r.get_u32()?;
+            self.line_busy.insert(line, (readers, writers));
+        }
+        self.line_waiters.clear();
+        for _ in 0..r.get_usize()? {
+            let line = LineAddr(r.get_u64()?);
+            let n = r.get_usize()?;
+            let mut queue = VecDeque::with_capacity(n);
+            for _ in 0..n {
+                let core = r.get_usize()?;
+                queue.push_back((core, load_access(&mut r)?));
+            }
+            self.line_waiters.insert(line, queue);
+        }
+        self.downgraded.clear();
+        for _ in 0..r.get_usize()? {
+            self.downgraded.insert(LineAddr(r.get_u64()?));
+        }
+        self.degraded_lines.clear();
+        for _ in 0..r.get_usize()? {
+            let line = LineAddr(r.get_u64()?);
+            let clean = r.get_u32()?;
+            self.degraded_lines.insert(line, clean);
+        }
+        // The fault plan is armed on the restore target before restoring
+        // (it is not part of the snapshot); verify the arming agrees with
+        // what the snapshot was taken under.
+        let unreliable = r.get_bool()?;
+        let torus_faulty = r.get_bool()?;
+        let recovery = r.get_bool()?;
+        if unreliable != self.unreliable
+            || torus_faulty != self.torus_faulty
+            || recovery != self.recovery
+        {
+            return Err(SnapError::Corrupt(
+                "fault-plan arming does not match the snapshot",
+            ));
+        }
+        self.timeout_base = r.get_cycles()?;
+        self.timeout_floor = r.get_cycles()?;
+        if r.get_usize()? != self.rtt.len() {
+            return Err(SnapError::Corrupt(
+                "round-trip estimator count does not match the armed fault plan",
+            ));
+        }
+        for e in &mut self.rtt {
+            e.restore_from(&mut r)?;
+        }
+        self.stats.restore_from(&mut r)?;
+        self.checks = r.get_bool()? || cfg!(feature = "strict-invariants");
+        self.violations.clear();
+        for _ in 0..r.get_usize()? {
+            let mut v = Violation {
+                txn: TxnId(0),
+                at: Cycle::ZERO,
+                line: LineAddr(0),
+                what: String::new(),
+            };
+            v.restore_from(&mut r)?;
+            self.violations.push(v);
+        }
+        self.mutation = if r.get_bool()? {
+            let mut m = ProtocolMutation::SkipSupplierDowngrade;
+            m.restore_from(&mut r)?;
+            Some(m)
+        } else {
+            None
+        };
+        self.active_cores = r.get_usize()?;
+        let now0 = r.get_cycle()?;
+        for _ in 0..r.get_usize()? {
+            let t = r.get_cycle()?;
+            let ev = load_event(&mut r)?;
+            self.schedule_event(t, ev);
+        }
+        self.sched.restore_clock(now0);
+        self.started = started;
+        r.expect_eof()
+    }
+}
+
+// ----- checkpoint codecs for sim-private types ------------------------------
+
+impl Snapshot for RttEstimator {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_i64(self.srtt);
+        w.put_i64(self.rttvar);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.srtt = r.get_i64()?;
+        self.rttvar = r.get_i64()?;
+        Ok(())
+    }
+}
+
+impl Snapshot for LineCopies {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u32(self.copies);
+        w.put_u32(self.strong);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.copies = r.get_u32()?;
+        self.strong = r.get_u32()?;
+        Ok(())
+    }
+}
+
+fn load_access(r: &mut SnapReader<'_>) -> Result<MemAccess, SnapError> {
+    let mut a = MemAccess::read(LineAddr(0), Cycles(0));
+    a.restore_from(r)?;
+    Ok(a)
+}
+
+fn load_msg(r: &mut SnapReader<'_>) -> Result<RingMsg, SnapError> {
+    let mut m = RingMsg {
+        txn: TxnId(0),
+        line: LineAddr(0),
+        op: TxnOp::Read,
+        requester: CmpId(0),
+        kind: MsgKind::Request,
+        attempt: 0,
+        seq: 0,
+    };
+    m.restore_from(r)?;
+    Ok(m)
+}
+
+fn save_opt_cycle(c: &Option<Cycle>, w: &mut SnapWriter) {
+    w.put_bool(c.is_some());
+    if let Some(c) = c {
+        w.put_cycle(*c);
+    }
+}
+
+fn load_opt_cycle(r: &mut SnapReader<'_>) -> Result<Option<Cycle>, SnapError> {
+    Ok(if r.get_bool()? {
+        Some(r.get_cycle()?)
+    } else {
+        None
+    })
+}
+
+fn save_opt_info(i: &Option<ReplyInfo>, w: &mut SnapWriter) {
+    w.put_bool(i.is_some());
+    if let Some(i) = i {
+        i.save_into(w);
+    }
+}
+
+fn load_opt_info(r: &mut SnapReader<'_>) -> Result<Option<ReplyInfo>, SnapError> {
+    Ok(if r.get_bool()? {
+        let mut i = ReplyInfo::start();
+        i.restore_from(r)?;
+        Some(i)
+    } else {
+        None
+    })
+}
+
+fn save_node_state(st: &NodeState, w: &mut SnapWriter) {
+    match *st {
+        NodeState::PassThrough => w.put_u8(0),
+        NodeState::Snooping {
+            acc,
+            combine_out,
+            buffered,
+        } => {
+            w.put_u8(1);
+            save_opt_info(&acc, w);
+            w.put_bool(combine_out);
+            save_opt_info(&buffered, w);
+        }
+        NodeState::AwaitReply {
+            combine_out,
+            any_copy,
+        } => {
+            w.put_u8(2);
+            w.put_bool(combine_out);
+            w.put_bool(any_copy);
+        }
+        // Writing Finished removes the gateway entry; it is never stored.
+        NodeState::Finished => unreachable!("Finished never occupies the gateway map"),
+    }
+}
+
+fn load_node_state(r: &mut SnapReader<'_>) -> Result<NodeState, SnapError> {
+    Ok(match r.get_u8()? {
+        0 => NodeState::PassThrough,
+        1 => NodeState::Snooping {
+            acc: load_opt_info(r)?,
+            combine_out: r.get_bool()?,
+            buffered: load_opt_info(r)?,
+        },
+        2 => NodeState::AwaitReply {
+            combine_out: r.get_bool()?,
+            any_copy: r.get_bool()?,
+        },
+        _ => return Err(SnapError::Corrupt("gateway-state tag out of range")),
+    })
+}
+
+fn save_txn(t: &Txn, w: &mut SnapWriter) {
+    w.put_u64(t.line.0);
+    t.op.save_into(w);
+    w.put_usize(t.requester.0);
+    w.put_usize(t.core);
+    w.put_cycle(t.issue);
+    w.put_usize(t.engaged.len());
+    for &n in &t.engaged {
+        w.put_u32(n);
+    }
+    save_opt_cycle(&t.data_arrived, w);
+    save_opt_info(&t.reply_info, w);
+    save_opt_cycle(&t.prefetch_ready, w);
+    w.put_u8(match t.write_data {
+        WriteData::Local => 0,
+        WriteData::Remote => 1,
+    });
+    w.put_bool(t.data_sent);
+    w.put_bool(t.resumed);
+    w.put_u32(t.data_pending);
+    w.put_bool(t.blocking);
+    t.fill_state.save_into(w);
+    w.put_u32(t.attempt);
+    w.put_cycle(t.attempt_start);
+    w.put_u32(t.emit_seq);
+    w.put_usize(t.seen_seqs.len());
+    for &word in &t.seen_seqs {
+        w.put_u64(word);
+    }
+}
+
+fn load_txn(r: &mut SnapReader<'_>) -> Result<Txn, SnapError> {
+    let line = LineAddr(r.get_u64()?);
+    let mut op = TxnOp::Read;
+    op.restore_from(r)?;
+    let requester = CmpId(r.get_usize()?);
+    let core = r.get_usize()?;
+    let issue = r.get_cycle()?;
+    let mut engaged = Vec::with_capacity(r.get_usize()?);
+    for _ in 0..engaged.capacity() {
+        engaged.push(r.get_u32()?);
+    }
+    let data_arrived = load_opt_cycle(r)?;
+    let reply_info = load_opt_info(r)?;
+    let prefetch_ready = load_opt_cycle(r)?;
+    let write_data = match r.get_u8()? {
+        0 => WriteData::Local,
+        1 => WriteData::Remote,
+        _ => return Err(SnapError::Corrupt("write-data tag out of range")),
+    };
+    let data_sent = r.get_bool()?;
+    let resumed = r.get_bool()?;
+    let data_pending = r.get_u32()?;
+    let blocking = r.get_bool()?;
+    let mut fill_state = CoherState::ALL[0];
+    fill_state.restore_from(r)?;
+    let attempt = r.get_u32()?;
+    let attempt_start = r.get_cycle()?;
+    let emit_seq = r.get_u32()?;
+    let mut seen_seqs = Vec::with_capacity(r.get_usize()?);
+    for _ in 0..seen_seqs.capacity() {
+        seen_seqs.push(r.get_u64()?);
+    }
+    Ok(Txn {
+        line,
+        op,
+        requester,
+        core,
+        issue,
+        engaged,
+        data_arrived,
+        reply_info,
+        prefetch_ready,
+        write_data,
+        data_sent,
+        resumed,
+        data_pending,
+        blocking,
+        fill_state,
+        attempt,
+        attempt_start,
+        emit_seq,
+        seen_seqs,
+    })
+}
+
+fn save_event(ev: &Event, w: &mut SnapWriter) {
+    match *ev {
+        Event::CoreIssue {
+            core,
+            access,
+            replay,
+        } => {
+            w.put_u8(0);
+            w.put_usize(core);
+            access.save_into(w);
+            w.put_bool(replay);
+        }
+        Event::RingArrive { msg, node } => {
+            w.put_u8(1);
+            msg.save_into(w);
+            w.put_usize(node.0);
+        }
+        Event::SnoopDone { txn, node, attempt } => {
+            w.put_u8(2);
+            txn.save_into(w);
+            w.put_usize(node.0);
+            w.put_u32(attempt);
+        }
+        Event::WriteSnoopDone { txn, node, attempt } => {
+            w.put_u8(3);
+            txn.save_into(w);
+            w.put_usize(node.0);
+            w.put_u32(attempt);
+        }
+        Event::DataArrive { txn } => {
+            w.put_u8(4);
+            txn.save_into(w);
+        }
+        Event::MemData { txn } => {
+            w.put_u8(5);
+            txn.save_into(w);
+        }
+        Event::Timeout { txn, attempt } => {
+            w.put_u8(6);
+            txn.save_into(w);
+            w.put_u32(attempt);
+        }
+    }
+}
+
+fn load_event(r: &mut SnapReader<'_>) -> Result<Event, SnapError> {
+    Ok(match r.get_u8()? {
+        0 => Event::CoreIssue {
+            core: r.get_usize()?,
+            access: load_access(r)?,
+            replay: r.get_bool()?,
+        },
+        1 => Event::RingArrive {
+            msg: load_msg(r)?,
+            node: CmpId(r.get_usize()?),
+        },
+        2 => Event::SnoopDone {
+            txn: TxnId(r.get_u64()?),
+            node: CmpId(r.get_usize()?),
+            attempt: r.get_u32()?,
+        },
+        3 => Event::WriteSnoopDone {
+            txn: TxnId(r.get_u64()?),
+            node: CmpId(r.get_usize()?),
+            attempt: r.get_u32()?,
+        },
+        4 => Event::DataArrive {
+            txn: TxnId(r.get_u64()?),
+        },
+        5 => Event::MemData {
+            txn: TxnId(r.get_u64()?),
+        },
+        6 => Event::Timeout {
+            txn: TxnId(r.get_u64()?),
+            attempt: r.get_u32()?,
+        },
+        _ => return Err(SnapError::Corrupt("event tag out of range")),
+    })
 }
 
 /// Builds the energy model matching a predictor's structure class.

@@ -1,5 +1,6 @@
 //! Per-run statistics: everything the paper's figures report.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::Cycle;
 use flexsnoop_metrics::{EnergyAccount, EnergyModel, Histogram};
 use flexsnoop_predictor::AccuracyStats;
@@ -52,6 +53,53 @@ impl RobustnessStats {
     /// Whether any fault was injected or any recovery action taken.
     pub fn is_quiet(&self) -> bool {
         *self == RobustnessStats::default()
+    }
+}
+
+impl Snapshot for RobustnessStats {
+    fn save_into(&self, w: &mut SnapWriter) {
+        for v in [
+            self.ring_drops,
+            self.ring_duplicates,
+            self.ring_delays,
+            self.duplicates_suppressed,
+            self.stale_deliveries,
+            self.timeouts,
+            self.retries,
+            self.degraded_entries,
+            self.probation_exits,
+            self.probation_resets,
+            self.spurious_retries,
+            self.rtt_samples,
+            self.torus_drops,
+            self.unfinished_cores,
+            self.injected_prediction_faults,
+        ] {
+            w.put_u64(v);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for v in [
+            &mut self.ring_drops,
+            &mut self.ring_duplicates,
+            &mut self.ring_delays,
+            &mut self.duplicates_suppressed,
+            &mut self.stale_deliveries,
+            &mut self.timeouts,
+            &mut self.retries,
+            &mut self.degraded_entries,
+            &mut self.probation_exits,
+            &mut self.probation_resets,
+            &mut self.spurious_retries,
+            &mut self.rtt_samples,
+            &mut self.torus_drops,
+            &mut self.unfinished_cores,
+            &mut self.injected_prediction_faults,
+        ] {
+            *v = r.get_u64()?;
+        }
+        Ok(())
     }
 }
 
@@ -178,6 +226,71 @@ impl RunStats {
     }
 }
 
+/// Serializes every counter plus the latency histogram; the energy
+/// *model* (per-event costs) is configuration and stays with the freshly
+/// built record — only the event counts are carried.
+impl Snapshot for RunStats {
+    fn save_into(&self, w: &mut SnapWriter) {
+        for v in [
+            self.read_txns,
+            self.write_txns,
+            self.read_snoops,
+            self.write_snoops,
+            self.read_ring_hops,
+            self.write_ring_hops,
+            self.reads_cache_supplied,
+            self.reads_from_memory,
+            self.l1_hits,
+            self.l2_hits,
+            self.local_peer_hits,
+            self.silent_write_hits,
+            self.downgrades,
+            self.downgrade_writebacks,
+            self.downgrade_rereads,
+            self.collisions,
+            self.events,
+            self.eviction_writebacks,
+        ] {
+            w.put_u64(v);
+        }
+        self.read_latency.save_into(w);
+        w.put_cycle(self.exec_cycles);
+        self.energy.save_into(w);
+        self.accuracy.save_into(w);
+        self.robustness.save_into(w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for v in [
+            &mut self.read_txns,
+            &mut self.write_txns,
+            &mut self.read_snoops,
+            &mut self.write_snoops,
+            &mut self.read_ring_hops,
+            &mut self.write_ring_hops,
+            &mut self.reads_cache_supplied,
+            &mut self.reads_from_memory,
+            &mut self.l1_hits,
+            &mut self.l2_hits,
+            &mut self.local_peer_hits,
+            &mut self.silent_write_hits,
+            &mut self.downgrades,
+            &mut self.downgrade_writebacks,
+            &mut self.downgrade_rereads,
+            &mut self.collisions,
+            &mut self.events,
+            &mut self.eviction_writebacks,
+        ] {
+            *v = r.get_u64()?;
+        }
+        self.read_latency.restore_from(r)?;
+        self.exec_cycles = r.get_cycle()?;
+        self.energy.restore_from(r)?;
+        self.accuracy.restore_from(r)?;
+        self.robustness.restore_from(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,6 +302,24 @@ mod tests {
         assert_eq!(s.ring_hops_per_read(), 0.0);
         assert_eq!(s.cache_supply_fraction(), 0.0);
         assert_eq!(s.energy_nj(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_restores_counts() {
+        use flexsnoop_engine::snap::{restore_bytes, snapshot_bytes};
+        let mut s = RunStats::new(EnergyModel::paper_baseline());
+        s.read_txns = 10;
+        s.read_snoops = 35;
+        s.collisions = 2;
+        s.exec_cycles = Cycle::new(9999);
+        s.read_latency.record(100);
+        s.read_latency.record(300);
+        s.accuracy.record(true, true);
+        s.robustness.retries = 4;
+        let bytes = snapshot_bytes(&s);
+        let mut t = RunStats::new(EnergyModel::paper_baseline());
+        restore_bytes(&mut t, &bytes).expect("restore");
+        assert_eq!(t, s);
     }
 
     #[test]

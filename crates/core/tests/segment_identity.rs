@@ -71,6 +71,79 @@ fn stats_identical_across_executor_widths() {
     );
 }
 
+/// A zero-think-time storm over a tiny shared line pool: every core
+/// issues at cycle 0 and keeps issuing back-to-back, so each cycle of
+/// the run carries simultaneous events in *different* ring segments
+/// (issues, ring arrivals, snoop completions) plus same-line collisions.
+/// This is the adversarial case for segment sharding — same-cycle events
+/// whose wheels race each other — and must still pop in global insertion
+/// order on every backend.
+fn storm_variant(algorithm: Algorithm, kind: QueueKind, segments: usize) -> RunStats {
+    use flexsnoop::{energy_model_for, MachineConfig, VecStream};
+    use flexsnoop_engine::Cycles;
+    use flexsnoop_mem::LineAddr;
+    use flexsnoop_workload::{AccessStream, MemAccess};
+
+    const CORES: usize = 8;
+    const ACCESSES: usize = 40;
+    let machine = MachineConfig::scale(CORES);
+    let streams: Vec<Box<dyn AccessStream + Send>> = (0..CORES)
+        .map(|c| {
+            let accesses = (0..ACCESSES)
+                .map(|i| {
+                    // Five hot lines shared by all eight nodes; a third of
+                    // the accesses are writes, to force invalidations that
+                    // touch every segment at once.
+                    let line = LineAddr(((c + i) % 5) as u64);
+                    if (c + i) % 3 == 0 {
+                        MemAccess::write(line, Cycles(0))
+                    } else {
+                        MemAccess::read(line, Cycles(0))
+                    }
+                })
+                .collect();
+            Box::new(VecStream::new(accesses)) as Box<dyn AccessStream + Send>
+        })
+        .collect();
+    let predictor = algorithm.default_predictor();
+    let energy = energy_model_for(&predictor);
+    let mut sim = Simulator::new(
+        machine,
+        algorithm,
+        predictor,
+        energy,
+        streams,
+        ACCESSES as u64,
+    )
+    .expect("storm machine configures");
+    sim.use_event_queue(kind);
+    sim.set_segments(segments);
+    let stats = sim.run();
+    sim.validate_coherence().expect("coherent final state");
+    stats
+}
+
+#[test]
+fn same_cycle_cross_segment_storm_is_bit_identical() {
+    for algorithm in [Algorithm::Lazy, Algorithm::SupersetAgg] {
+        let baseline = storm_variant(algorithm, QueueKind::Bucketed, 1);
+        assert!(baseline.read_txns > 0);
+        assert!(
+            baseline.collisions > 0,
+            "{algorithm}: the storm failed to produce same-line collisions"
+        );
+        for kind in [QueueKind::Heap, QueueKind::Bucketed] {
+            for segments in [2usize, 4, 8] {
+                let stats = storm_variant(algorithm, kind, segments);
+                assert_eq!(
+                    stats, baseline,
+                    "{algorithm} storm diverged at {kind:?} x {segments} segments"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn segment_guardrails_hold() {
     let mut sim = Simulator::for_workload(&workload(), Algorithm::Lazy, None, SEED).unwrap();

@@ -1,13 +1,25 @@
 //! Scenario tests for the directory protocol.
 
 use flexsnoop::MachineConfig;
-use flexsnoop_engine::Cycles;
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter};
+use flexsnoop_engine::{Cycles, Snapshot};
 use flexsnoop_mem::{CmpId, CoherState, LineAddr};
 use flexsnoop_workload::{AccessStream, MemAccess};
 
 use crate::sim::{DirSimulator, DirStats};
 
 struct Script(Vec<MemAccess>, usize);
+
+impl Snapshot for Script {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.1);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.1 = r.get_usize()?;
+        Ok(())
+    }
+}
 
 impl AccessStream for Script {
     fn next_access(&mut self) -> Option<MemAccess> {

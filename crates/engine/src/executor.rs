@@ -221,14 +221,21 @@ impl Executor {
                 scope.spawn(move || {
                     let mut mine = WorkerStats::default();
                     loop {
-                        let job = lock_ignore_poison(&locals[w])
-                            .pop_front()
-                            .or_else(|| lock_ignore_poison(injector).pop_front())
-                            .or_else(|| {
-                                (1..workers).find_map(|off| {
-                                    lock_ignore_poison(&locals[(w + off) % workers]).pop_back()
-                                })
+                        // One lock at a time: binding each probe to its own
+                        // statement drops the guard before the next probe. A
+                        // single `.or_else` chain would keep the own-deque
+                        // guard alive across the steal (temporaries live to
+                        // the end of the statement), and two idle workers
+                        // stealing from each other then deadlock AB-BA.
+                        let mut job = lock_ignore_poison(&locals[w]).pop_front();
+                        if job.is_none() {
+                            job = lock_ignore_poison(injector).pop_front();
+                        }
+                        if job.is_none() {
+                            job = (1..workers).find_map(|off| {
+                                lock_ignore_poison(&locals[(w + off) % workers]).pop_back()
                             });
+                        }
                         match job {
                             Some((i, task)) => {
                                 // Capture the panic instead of unwinding through
@@ -453,6 +460,24 @@ mod tests {
         let (out, stats) = Executor::new(2).run_inner(vec![|| 1, || 2], false);
         assert_eq!(out, vec![1, 2]);
         assert!(stats.is_none());
+    }
+
+    #[test]
+    fn many_tiny_batches_never_deadlock() {
+        // Regression: the steal path used to probe sibling deques while
+        // still holding the guard on the worker's own (empty) deque — a
+        // single `.or_else` chain keeps that temporary alive for the whole
+        // statement — so two idle workers stealing from each other could
+        // deadlock AB-BA. Tiny batches on a wide pool (the shape the
+        // conservative ring driver produces every window) hit the race in
+        // a few thousand iterations; with one-lock-at-a-time probing this
+        // loop runs dry every time.
+        for round in 0..2_000u64 {
+            let n = (round % 3 + 2) as usize;
+            let tasks: Vec<_> = (0..n as u64).map(|i| move || round + i).collect();
+            let out = Executor::new(4).run(tasks);
+            assert_eq!(out.len(), n);
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod shard;
+pub mod snap;
 pub mod time;
 
 pub use executor::{Executor, ExecutorStats, WorkerStats};
@@ -47,6 +48,7 @@ pub use queue::{EventQueue, QueueKind};
 pub use resource::Resource;
 pub use rng::SplitMix64;
 pub use shard::{run_conservative, segment_of, Outbox, RingSegment, ShardedScheduler};
+pub use snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 pub use time::{Cycle, Cycles};
 
 /// An event queue combined with a simulation clock.
@@ -172,6 +174,27 @@ impl<E> Scheduler<E> {
             AnyQueue::Heap(q) => q.peek_time(),
             AnyQueue::Bucketed(q) => q.peek_time(),
         }
+    }
+
+    /// Forces the clock to `at` without popping an event.
+    ///
+    /// Checkpoint restore only: re-inserting a snapshot's pending events
+    /// into a fresh scheduler leaves the clock at zero (pushes never
+    /// advance it), so the restorer rewinds — or rather fast-forwards —
+    /// the clock to the snapshot's simulation time as the final step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pending event would end up in the past, which would
+    /// break the monotonic-clock contract the queues rely on.
+    pub fn restore_clock(&mut self, at: Cycle) {
+        if let Some(t) = self.peek_time() {
+            assert!(
+                t >= at,
+                "restore_clock({at}) would strand a pending event at {t}"
+            );
+        }
+        self.now = at;
     }
 }
 

@@ -577,6 +577,96 @@ mod tests {
         q.push(Cycle::new(99), 'b');
     }
 
+    /// Property sweep over non-power-of-two horizons: delays clustered
+    /// at `{0, 1, h-1, h, h+1}` for horizons straddling the near-wheel
+    /// (`WHEEL`) and far-wheel (`FAR_SPAN`) boundaries, plus uniform
+    /// fill, cross-checked element-wise against the heap backend. This
+    /// pins the bucket-sizing arithmetic exactly where an off-by-one in
+    /// `near_index`/`far_index`/`far_start` would bite.
+    #[test]
+    fn bucket_non_power_of_two_horizons_match_heap() {
+        let horizons = [
+            3u64,
+            1_000,
+            3_000,
+            WHEEL - 1,
+            WHEEL,
+            WHEEL + 1,
+            10_007, // prime
+            100_003,
+            FAR_SPAN - 1,
+            FAR_SPAN,
+            FAR_SPAN + 1,
+        ];
+        for &h in &horizons {
+            let mut rng = crate::SplitMix64::new(0x51ee7 ^ h);
+            let mut heap = EventQueue::new();
+            let mut wheel = BucketQueue::new();
+            let mut now = 0u64;
+            for step in 0..4_000u64 {
+                let delay = match rng.next_below(8) {
+                    0 => 0,
+                    1 => 1,
+                    2 => h - 1,
+                    3 => h,
+                    4 => h + 1,
+                    _ => rng.next_below(h + 1),
+                };
+                heap.push(Cycle::new(now + delay), step);
+                wheel.push(Cycle::new(now + delay), step);
+                if rng.next_below(2) > 0 {
+                    let a = heap.pop();
+                    let b = wheel.pop();
+                    assert_eq!(a, b, "diverged at step {step} (horizon {h})");
+                    if let Some((t, _)) = a {
+                        now = t.as_u64();
+                    }
+                }
+            }
+            loop {
+                let a = heap.pop();
+                let b = wheel.pop();
+                assert_eq!(a, b, "drain diverged (horizon {h})");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Zero-delay pushes landing exactly when the cursor sits on a
+    /// wheel-rotation boundary (a multiple of `WHEEL`, reached through
+    /// the cascade path) must keep FIFO order and match the heap.
+    #[test]
+    fn bucket_zero_delay_at_rotation_boundary_matches_heap() {
+        let mut heap = EventQueue::new();
+        let mut wheel = BucketQueue::new();
+        for k in 1..=6u64 {
+            heap.push(Cycle::new(k * WHEEL), (k, 0));
+            wheel.push(Cycle::new(k * WHEEL), (k, 0));
+        }
+        for k in 1..=6u64 {
+            // This pop cascades and parks the cursor exactly at k*WHEEL.
+            let a = heap.pop();
+            let b = wheel.pop();
+            assert_eq!(a, b, "boundary pop {k}");
+            // Zero-delay pushes at the boundary cycle itself; must pop
+            // immediately and in insertion order.
+            for i in 1..=3u64 {
+                heap.push(Cycle::new(k * WHEEL), (k, i));
+                wheel.push(Cycle::new(k * WHEEL), (k, i));
+            }
+            for i in 1..=3u64 {
+                let a = heap.pop();
+                let b = wheel.pop();
+                assert_eq!(a, b, "zero-delay at boundary {k} entry {i}");
+                assert_eq!(a, Some((Cycle::new(k * WHEEL), (k, i))));
+            }
+        }
+        assert_eq!(heap.pop(), None);
+        assert_eq!(wheel.pop(), None);
+    }
+
     /// The two queues must pop identically on a randomized near-monotonic
     /// schedule (the exact workload a simulator produces).
     #[test]

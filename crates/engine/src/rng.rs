@@ -29,6 +29,15 @@ impl SplitMix64 {
         Self { state: seed }
     }
 
+    /// The raw 64-bit generator state.
+    ///
+    /// For checkpointing: `SplitMix64::new(state)` reconstructs a
+    /// generator that continues the identical stream, because the seed
+    /// *is* the state — `new` stores it verbatim.
+    pub const fn state(&self) -> u64 {
+        self.state
+    }
+
     /// Derives an independent child generator; used to give each simulated
     /// core its own stream.
     pub fn split(&mut self) -> SplitMix64 {

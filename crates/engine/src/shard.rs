@@ -18,9 +18,16 @@
 //!   is ever needed.
 //!
 //! Cross-segment sends inside a window are rejected (asserted) rather
-//! than reordered; the barrier between windows sorts deferred sends by a
-//! caller-supplied `(time, key)` so the schedule is independent of the
-//! segment count and executor width.
+//! than reordered. At the barrier between windows, deferred sends are
+//! ordered by a **symbolic replay** of the reference single-queue
+//! schedule: each handler's emissions were recorded in emission order, so
+//! the barrier can reconstruct exactly which global sequence number every
+//! send would have received had the whole window run on one
+//! [`crate::Scheduler`]. The resulting schedule is therefore identical to
+//! the sequential one for any segment count and executor width —
+//! including the adversarial case of multiple cross-segment sends landing
+//! on the same cycle exactly at the lookahead boundary, where an
+//! arbitrary caller-supplied tie-break would diverge.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -268,6 +275,25 @@ impl<E> ShardedScheduler<E> {
     pub fn peek_time(&self) -> Option<Cycle> {
         self.shards.iter().filter_map(|s| s.peek_time()).min()
     }
+
+    /// Forces the clock to `at` without popping an event.
+    ///
+    /// Checkpoint restore only — see [`Scheduler::restore_clock`]: after
+    /// a snapshot's pending events are re-inserted into a fresh sharded
+    /// scheduler, the clock resumes from the snapshot's simulation time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pending event would end up in the past.
+    pub fn restore_clock(&mut self, at: Cycle) {
+        if let Some(t) = self.peek_time() {
+            assert!(
+                t >= at,
+                "restore_clock({at}) would strand a pending event at {t}"
+            );
+        }
+        self.now = at;
+    }
 }
 
 /// One ring segment's event handler for the conservative parallel driver.
@@ -283,13 +309,25 @@ pub trait RingSegment: Send {
     fn handle(&mut self, now: Cycle, event: Self::Event, out: &mut Outbox<Self::Event>);
 }
 
-/// A deferred cross-window send, ordered at the barrier by `(at, key)`.
+/// A send deferred to the window barrier, where the symbolic replay
+/// assigns it the sequence number the single-queue schedule would have.
 #[derive(Debug)]
 struct Deferred<E> {
     at: Cycle,
     shard: usize,
-    key: u64,
     event: E,
+}
+
+/// One emission recorded during a handler invocation, consumed by the
+/// barrier's symbolic replay in emission order.
+#[derive(Debug)]
+enum Emit {
+    /// Same-segment, in-window: re-entered this segment's local heap at
+    /// the recorded time.
+    Local { at: Cycle },
+    /// Deferred to the barrier; the payload lives at this index of the
+    /// outbox's deferred list.
+    Deferred { idx: usize },
 }
 
 /// The send interface handed to [`RingSegment::handle`] during a window.
@@ -299,6 +337,10 @@ struct Deferred<E> {
 /// else is deferred to the window barrier. Cross-segment sends must
 /// respect the lookahead — at least one ring-hop latency in the future —
 /// which is what makes the windows causally independent.
+///
+/// Every send is also recorded in a per-handler emission trace, which the
+/// barrier replays to reconstruct the exact global `(time, sequence)`
+/// order a single-queue run would have produced.
 #[derive(Debug)]
 pub struct Outbox<E> {
     shard: usize,
@@ -308,6 +350,9 @@ pub struct Outbox<E> {
     local: BinaryHeap<Pending<E>>,
     local_seq: u64,
     deferred: Vec<Deferred<E>>,
+    /// One record per handled event, in handling order; each record lists
+    /// that handler's emissions in emission order.
+    trace: Vec<Vec<Emit>>,
 }
 
 impl<E> Outbox<E> {
@@ -320,6 +365,7 @@ impl<E> Outbox<E> {
             local: BinaryHeap::new(),
             local_seq: 0,
             deferred: Vec::new(),
+            trace: Vec::new(),
         }
     }
 
@@ -330,24 +376,30 @@ impl<E> Outbox<E> {
 
     /// Sends `event` to `shard` at absolute time `at`.
     ///
-    /// `key` must order deterministically and uniquely among all sends of
-    /// a window that share a timestamp (e.g. `source_node << 32 | per-node
-    /// counter`); the barrier sorts deferred sends by `(at, key)` so the
-    /// global schedule does not depend on the segment count.
+    /// Emission order is significant and preserved: the barrier replays
+    /// each handler's sends in the order they were made, so sends sharing
+    /// a timestamp execute in exactly the order a sequential single-queue
+    /// run would execute them. No tie-break key is needed (or accepted)
+    /// from the caller.
     ///
     /// # Panics
     ///
     /// Panics if `at` is in the past, or if a cross-segment send violates
     /// the lookahead (arrives sooner than one ring hop).
-    pub fn send(&mut self, shard: usize, at: Cycle, key: u64, event: E) {
+    pub fn send(&mut self, shard: usize, at: Cycle, event: E) {
         assert!(
             at >= self.now,
             "send into the past: at={at}, now={}",
             self.now
         );
+        let rec = self
+            .trace
+            .last_mut()
+            .expect("Outbox::send called outside a handler");
         if shard == self.shard && at < self.window_end {
             let seq = self.local_seq;
             self.local_seq += 1;
+            rec.push(Emit::Local { at });
             self.local.push(Pending {
                 time: at,
                 seq,
@@ -362,12 +414,10 @@ impl<E> Outbox<E> {
                     self.lookahead
                 );
             }
-            self.deferred.push(Deferred {
-                at,
-                shard,
-                key,
-                event,
+            rec.push(Emit::Deferred {
+                idx: self.deferred.len(),
             });
+            self.deferred.push(Deferred { at, shard, event });
         }
     }
 
@@ -386,10 +436,18 @@ impl<E> Outbox<E> {
 /// Windows span `lookahead` cycles starting at the earliest pending
 /// event. All events inside a window are drained, partitioned by shard,
 /// and handled concurrently — safe because cross-segment sends cannot
-/// land within the window (asserted in [`Outbox::send`]). At the barrier,
-/// deferred sends are sorted by `(time, key)` and re-scheduled, making
-/// the execution deterministic for any segment count and executor width
-/// (given well-formed keys).
+/// land within the window (asserted in [`Outbox::send`]).
+///
+/// At the barrier, deferred sends are re-scheduled in the order a
+/// sequential single-queue run would have *emitted* them. That order is
+/// recovered by a symbolic replay: the window's batch events carry their
+/// global drain order, each handler's emission trace is consumed as the
+/// replay pops its event, and every emission receives the next global
+/// sequence number — exactly the bookkeeping one [`Scheduler`] would
+/// have done. The execution is therefore deterministic **and equal to
+/// the sequential schedule** for any segment count and executor width,
+/// even when several cross-segment sends tie on the same cycle exactly
+/// at the lookahead boundary.
 ///
 /// Returns the number of events processed.
 pub fn run_conservative<S: RingSegment>(
@@ -409,7 +467,11 @@ pub fn run_conservative<S: RingSegment>(
         let end = t0 + lookahead;
         let mut batches: Vec<Vec<(Cycle, S::Event)>> =
             (0..segments.len()).map(|_| Vec::new()).collect();
+        // The global drain order (time, seq) is the prefix of the
+        // reference schedule; remember it for the symbolic replay.
+        let mut order: Vec<(Cycle, usize)> = Vec::new();
         while let Some((t, shard, event)) = sched.pop_before(end) {
+            order.push((t, shard));
             batches[shard].push((t, event));
         }
         let tasks: Vec<_> = segments
@@ -426,26 +488,73 @@ pub fn run_conservative<S: RingSegment>(
                     }
                     let mut handled = 0u64;
                     while let Some((t, event)) = out.next_local() {
+                        out.trace.push(Vec::new());
                         seg.handle(t, event, &mut out);
                         handled += 1;
                     }
-                    (out.deferred, handled)
+                    (out.deferred, out.trace, handled)
                 }
             })
             .collect();
         // Tasks borrow the segments; the executor joins them all before
         // returning, and results come back in task (= shard) order.
         let results = executor.run(tasks);
-        let mut outgoing: Vec<Deferred<S::Event>> = Vec::new();
-        for (deferred, handled) in results {
+        let mut deferred: Vec<Vec<Deferred<S::Event>>> = Vec::with_capacity(results.len());
+        let mut traces: Vec<Vec<Vec<Emit>>> = Vec::with_capacity(results.len());
+        for (d, trace, handled) in results {
             processed += handled;
-            outgoing.extend(deferred);
+            deferred.push(d);
+            traces.push(trace);
         }
-        // (time, key) is required to be unique per window, so this sort
-        // yields one global order regardless of how many segments the
-        // sends came from.
-        outgoing.sort_by_key(|d| (d.at, d.key));
-        for d in outgoing {
+        // Symbolic replay: re-run the window's pop order with events as
+        // opaque tokens, assigning each emission the global sequence
+        // number a single shared Scheduler would have given it. Within a
+        // shard, handler execution order — (time, local seq) — matches
+        // the replay's (time, global seq) order restricted to that shard,
+        // so consuming the shard's trace records front-to-back stays
+        // aligned with the events the replay pops.
+        let mut heap: BinaryHeap<Pending<usize>> = BinaryHeap::new();
+        for (symseq, &(t, shard)) in order.iter().enumerate() {
+            heap.push(Pending {
+                time: t,
+                seq: symseq as u64,
+                event: shard,
+            });
+        }
+        let mut next_seq = order.len() as u64;
+        let mut cursor = vec![0usize; traces.len()];
+        let mut rank: Vec<Vec<u64>> = deferred.iter().map(|d| vec![0; d.len()]).collect();
+        while let Some(p) = heap.pop() {
+            let shard = p.event;
+            let rec = std::mem::take(&mut traces[shard][cursor[shard]]);
+            cursor[shard] += 1;
+            for emit in rec {
+                let seq = next_seq;
+                next_seq += 1;
+                match emit {
+                    Emit::Local { at } => heap.push(Pending {
+                        time: at,
+                        seq,
+                        event: shard,
+                    }),
+                    Emit::Deferred { idx } => rank[shard][idx] = seq,
+                }
+            }
+        }
+        debug_assert!(
+            cursor.iter().zip(&traces).all(|(c, t)| *c == t.len()),
+            "symbolic replay did not consume every trace record"
+        );
+        // Re-schedule deferrals in emission order; the scheduler's fresh
+        // sequence numbers then reproduce the reference tie-break.
+        let mut outgoing: Vec<(u64, Deferred<S::Event>)> = Vec::new();
+        for (shard, ds) in deferred.into_iter().enumerate() {
+            for (idx, d) in ds.into_iter().enumerate() {
+                outgoing.push((rank[shard][idx], d));
+            }
+        }
+        outgoing.sort_by_key(|&(r, _)| r);
+        for (_, d) in outgoing {
             sched.schedule_at(d.shard, d.at, d.event);
         }
     }
@@ -515,6 +624,25 @@ mod tests {
         assert_eq!(s.pop(), None);
     }
 
+    /// `restore_clock` fast-forwards without popping; the pending events
+    /// then pop at their original times.
+    #[test]
+    fn restore_clock_fast_forwards() {
+        let mut s: ShardedScheduler<&str> = ShardedScheduler::new(QueueKind::Bucketed, 2);
+        s.schedule_at(1, Cycle::new(50), "ev");
+        s.restore_clock(Cycle::new(50));
+        assert_eq!(s.now(), Cycle::new(50));
+        assert_eq!(s.pop(), Some((Cycle::new(50), 1, "ev")));
+    }
+
+    #[test]
+    #[should_panic(expected = "strand a pending event")]
+    fn restore_clock_rejects_stranding() {
+        let mut s: ShardedScheduler<&str> = ShardedScheduler::new(QueueKind::Heap, 1);
+        s.schedule_at(0, Cycle::new(10), "ev");
+        s.restore_clock(Cycle::new(11));
+    }
+
     // ----- conservative driver on a synthetic embedded ring -------------
 
     const NODES: usize = 24;
@@ -528,14 +656,34 @@ mod tests {
         hops_left: u32,
     }
 
-    /// One arc of the ring: visit logs for its nodes plus per-node send
-    /// counters (segment-independent, so barrier keys are too).
+    /// Advances one token: the follow-up send a handler makes, if any.
+    /// Shared between the parallel segments and the sequential reference
+    /// driver so both execute the identical model.
+    fn token_step(now: Cycle, ev: &Token) -> Option<(usize, Cycle, Token)> {
+        if ev.hops_left == 0 {
+            return None;
+        }
+        let next = (ev.node + 1) % NODES;
+        // Jitter keeps windows non-trivial while never dipping below
+        // the one-hop lookahead.
+        let delay = HOP + (ev.id + next as u64) % 3;
+        Some((
+            next,
+            now + Cycles(delay),
+            Token {
+                node: next,
+                id: ev.id,
+                hops_left: ev.hops_left - 1,
+            },
+        ))
+    }
+
+    /// One arc of the ring: visit logs for its nodes.
     struct Arc {
         segments: usize,
         /// (time, token id) per node, for the whole ring; only this
         /// arc's rows are touched.
         visits: Vec<Vec<(u64, u64)>>,
-        sends: Vec<u64>,
     }
 
     impl RingSegment for Arc {
@@ -543,47 +691,39 @@ mod tests {
 
         fn handle(&mut self, now: Cycle, ev: Token, out: &mut Outbox<Token>) {
             self.visits[ev.node].push((now.as_u64(), ev.id));
-            if ev.hops_left == 0 {
-                return;
+            if let Some((next, at, tok)) = token_step(now, &ev) {
+                out.send(segment_of(next, NODES, self.segments), at, tok);
             }
-            let next = (ev.node + 1) % NODES;
-            // Jitter keeps windows non-trivial while never dipping below
-            // the one-hop lookahead.
-            let delay = HOP + (ev.id + next as u64) % 3;
-            let key = (ev.node as u64) << 32 | self.sends[ev.node];
-            self.sends[ev.node] += 1;
-            out.send(
-                segment_of(next, NODES, self.segments),
-                now + Cycles(delay),
-                key,
-                Token {
-                    node: next,
-                    id: ev.id,
-                    hops_left: ev.hops_left - 1,
-                },
-            );
         }
+    }
+
+    /// Initial tokens, shared by every driver.
+    fn seed_tokens() -> Vec<(usize, Cycle, Token)> {
+        (0..6u64)
+            .map(|id| {
+                let node = (id as usize * 5) % NODES;
+                (
+                    node,
+                    Cycle::new(id * 3),
+                    Token {
+                        node,
+                        id,
+                        hops_left: 2 * NODES as u32 + id as u32,
+                    },
+                )
+            })
+            .collect()
     }
 
     fn drive(segments: usize, width: usize, kind: QueueKind) -> (u64, Vec<Vec<(u64, u64)>>) {
         let mut sched: ShardedScheduler<Token> = ShardedScheduler::new(kind, segments);
-        for id in 0..6u64 {
-            let node = (id as usize * 5) % NODES;
-            sched.schedule_at(
-                segment_of(node, NODES, segments),
-                Cycle::new(id * 3),
-                Token {
-                    node,
-                    id,
-                    hops_left: 2 * NODES as u32 + id as u32,
-                },
-            );
+        for (node, at, tok) in seed_tokens() {
+            sched.schedule_at(segment_of(node, NODES, segments), at, tok);
         }
         let mut segs: Vec<Arc> = (0..segments)
             .map(|_| Arc {
                 segments,
                 visits: vec![Vec::new(); NODES],
-                sends: vec![0; NODES],
             })
             .collect();
         let executor = Executor::new(width);
@@ -600,11 +740,31 @@ mod tests {
         (processed, visits)
     }
 
-    /// The parallel conservative schedule must be bit-identical across
-    /// segment counts × executor widths × queue backends.
+    /// The reference: the same token model on one sequential
+    /// [`Scheduler`], emissions scheduled immediately at handling time.
+    fn drive_sequential() -> (u64, Vec<Vec<(u64, u64)>>) {
+        let mut sched: Scheduler<Token> = Scheduler::with_queue(QueueKind::Heap);
+        for (_, at, tok) in seed_tokens() {
+            sched.schedule_at(at, tok);
+        }
+        let mut visits = vec![Vec::new(); NODES];
+        let mut n = 0u64;
+        while let Some((t, ev)) = sched.pop() {
+            visits[ev.node].push((t.as_u64(), ev.id));
+            n += 1;
+            if let Some((_, at, tok)) = token_step(t, &ev) {
+                sched.schedule_at(at, tok);
+            }
+        }
+        (n, visits)
+    }
+
+    /// The parallel conservative schedule must equal the sequential
+    /// single-queue schedule, across segment counts × executor widths ×
+    /// queue backends.
     #[test]
-    fn conservative_driver_is_segment_and_width_invariant() {
-        let (baseline_n, baseline) = drive(1, 1, QueueKind::Bucketed);
+    fn conservative_driver_matches_sequential_schedule() {
+        let (baseline_n, baseline) = drive_sequential();
         assert!(baseline_n > 0);
         let total: usize = baseline.iter().map(|v| v.len()).sum();
         assert_eq!(baseline_n as usize, total);
@@ -615,7 +775,139 @@ mod tests {
                     assert_eq!(n, baseline_n, "segments={segments} width={width}");
                     assert_eq!(
                         visits, baseline,
-                        "timeline diverged: segments={segments} width={width} {kind:?}"
+                        "timeline diverged from sequential reference: \
+                         segments={segments} width={width} {kind:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    // ----- adversarial lookahead-boundary ties ---------------------------
+
+    const CNODES: usize = 17;
+    const LOOK: u64 = 8;
+
+    /// A packet that always re-emits exactly one lookahead ahead, so
+    /// every send lands precisely on a window boundary, and whose target
+    /// mixing makes unrelated sources repeatedly collide on the same
+    /// node at the same cycle.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    struct Pkt {
+        node: usize,
+        id: u64,
+        hops_left: u32,
+    }
+
+    fn pkt_step(now: Cycle, ev: &Pkt) -> Option<(usize, Cycle, Pkt)> {
+        if ev.hops_left == 0 {
+            return None;
+        }
+        let next = (ev.node * 5 + ev.id as usize + 3) % CNODES;
+        Some((
+            next,
+            now + Cycles(LOOK),
+            Pkt {
+                node: next,
+                id: ev.id,
+                hops_left: ev.hops_left - 1,
+            },
+        ))
+    }
+
+    struct Collider {
+        segments: usize,
+        log: Vec<Vec<(u64, u64)>>,
+    }
+
+    impl RingSegment for Collider {
+        type Event = Pkt;
+
+        fn handle(&mut self, now: Cycle, ev: Pkt, out: &mut Outbox<Pkt>) {
+            self.log[ev.node].push((now.as_u64(), ev.id));
+            if let Some((next, at, pkt)) = pkt_step(now, &ev) {
+                out.send(segment_of(next, CNODES, self.segments), at, pkt);
+            }
+        }
+    }
+
+    /// Seeds chosen so the initial emission order (insertion order: 9,
+    /// 1, 6, 13, 4, 6) differs from the source-node sort order — the
+    /// exact pattern a caller-keyed barrier tie-break would mis-order.
+    fn seed_pkts() -> Vec<(usize, Pkt)> {
+        [9usize, 1, 6, 13, 4, 6]
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| {
+                (
+                    node,
+                    Pkt {
+                        node,
+                        id: i as u64,
+                        hops_left: 40,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn collide_sequential() -> Vec<Vec<(u64, u64)>> {
+        let mut sched: Scheduler<Pkt> = Scheduler::with_queue(QueueKind::Heap);
+        for (_, pkt) in seed_pkts() {
+            sched.schedule_at(Cycle::ZERO, pkt);
+        }
+        let mut log = vec![Vec::new(); CNODES];
+        while let Some((t, ev)) = sched.pop() {
+            log[ev.node].push((t.as_u64(), ev.id));
+            if let Some((_, at, pkt)) = pkt_step(t, &ev) {
+                sched.schedule_at(at, pkt);
+            }
+        }
+        log
+    }
+
+    /// Regression for the lookahead-boundary ordering bug: sends landing
+    /// exactly at `window_start + lookahead`, several per cycle, from
+    /// sources whose emission order differs from any per-node key order,
+    /// must still execute in the sequential single-queue order — on
+    /// every segment count, executor width, and backend.
+    #[test]
+    fn lookahead_boundary_ties_match_sequential_schedule() {
+        let baseline = collide_sequential();
+        // The mixing must actually produce same-node same-cycle ties, or
+        // this test guards nothing.
+        assert!(
+            baseline
+                .iter()
+                .any(|log| log.windows(2).any(|w| w[0].0 == w[1].0)),
+            "seed produced no same-node same-cycle collisions"
+        );
+        for kind in [QueueKind::Heap, QueueKind::Bucketed] {
+            for segments in [1usize, 2, 3, 4] {
+                for width in [1usize, 2, 4] {
+                    let mut sched: ShardedScheduler<Pkt> = ShardedScheduler::new(kind, segments);
+                    for (node, pkt) in seed_pkts() {
+                        sched.schedule_at(segment_of(node, CNODES, segments), Cycle::ZERO, pkt);
+                    }
+                    let mut segs: Vec<Collider> = (0..segments)
+                        .map(|_| Collider {
+                            segments,
+                            log: vec![Vec::new(); CNODES],
+                        })
+                        .collect();
+                    let executor = Executor::new(width);
+                    run_conservative(&mut sched, &mut segs, &executor, Cycles(LOOK));
+                    let mut log = vec![Vec::new(); CNODES];
+                    for seg in segs {
+                        for (n, l) in seg.log.into_iter().enumerate() {
+                            if !l.is_empty() {
+                                log[n] = l;
+                            }
+                        }
+                    }
+                    assert_eq!(
+                        log, baseline,
+                        "boundary ties diverged: segments={segments} width={width} {kind:?}"
                     );
                 }
             }
@@ -630,7 +922,7 @@ mod tests {
         impl RingSegment for Bad {
             type Event = ();
             fn handle(&mut self, now: Cycle, _ev: (), out: &mut Outbox<()>) {
-                out.send(1, now + Cycles(1), 0, ());
+                out.send(1, now + Cycles(1), ());
             }
         }
         let mut sched: ShardedScheduler<()> = ShardedScheduler::new(QueueKind::Bucketed, 2);

@@ -4,6 +4,8 @@
 //! supplier-predictor tables (paper §4.3.1), all of which are
 //! set-associative structures differing only in what they store per line.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter};
+
 use crate::addr::LineAddr;
 
 /// Geometry of a set-associative array.
@@ -223,6 +225,68 @@ impl<V> SetAssocCache<V> {
             .iter()
             .flat_map(|set| set.iter().map(|w| (w.line, &w.value)))
     }
+
+    /// Serializes the full array state — per-set way order (observable
+    /// through `swap_remove`-based eviction), per-way `last_use` stamps, and
+    /// the LRU clock — using `enc` to encode each stored value.
+    ///
+    /// Geometry is *not* serialized: per the `Snapshot` overlay contract the
+    /// restore target is freshly constructed from the same configuration,
+    /// and [`restore_from_with`](Self::restore_from_with) verifies the set
+    /// count matches.
+    pub fn save_into_with(&self, w: &mut SnapWriter, mut enc: impl FnMut(&V, &mut SnapWriter)) {
+        w.put_u64(self.clock);
+        w.put_usize(self.sets.len());
+        for set in &self.sets {
+            w.put_usize(set.len());
+            for way in set {
+                w.put_u64(way.line.0);
+                w.put_u64(way.last_use);
+                enc(&way.value, w);
+            }
+        }
+    }
+
+    /// Restores state written by [`save_into_with`](Self::save_into_with)
+    /// onto a cache built with the same geometry, using `dec` to decode each
+    /// stored value. Way order within each set is reproduced exactly, so
+    /// future evictions pick identical victims.
+    pub fn restore_from_with(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        mut dec: impl FnMut(&mut SnapReader<'_>) -> Result<V, SnapError>,
+    ) -> Result<(), SnapError> {
+        self.clock = r.get_u64()?;
+        let n_sets = r.get_usize()?;
+        if n_sets != self.geometry.sets {
+            return Err(SnapError::Corrupt("set count does not match geometry"));
+        }
+        self.occupied = 0;
+        for si in 0..n_sets {
+            let len = r.get_usize()?;
+            if len > self.geometry.ways {
+                return Err(SnapError::Corrupt(
+                    "set holds more ways than geometry allows",
+                ));
+            }
+            self.sets[si].clear();
+            for _ in 0..len {
+                let line = LineAddr(r.get_u64()?);
+                if self.geometry.set_of(line) != si {
+                    return Err(SnapError::Corrupt("line indexed into the wrong set"));
+                }
+                let last_use = r.get_u64()?;
+                let value = dec(r)?;
+                self.sets[si].push(Way {
+                    line,
+                    value,
+                    last_use,
+                });
+                self.occupied += 1;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +373,54 @@ mod tests {
         for i in 0..4u64 {
             assert!(c.contains(LineAddr(i)));
         }
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_lru_and_way_order() {
+        let mut c = small();
+        // Lines 0, 4, 8 map to set 0; build non-trivial LRU + way order
+        // (insert 0 and 4, promote 0, evict 4 via 8 — swap_remove reorders).
+        c.insert(LineAddr(0), 10);
+        c.insert(LineAddr(4), 20);
+        c.get(LineAddr(0));
+        c.insert(LineAddr(8), 30);
+        c.insert(LineAddr(1), 40); // second set, half full
+
+        let mut w = flexsnoop_engine::snap::SnapWriter::new();
+        c.save_into_with(&mut w, |v, w| w.put_u64(u64::from(*v)));
+        let bytes = w.into_bytes();
+        let mut fresh: SetAssocCache<u32> = SetAssocCache::new(CacheGeometry::from_entries(8, 2));
+        let mut r = flexsnoop_engine::snap::SnapReader::new(&bytes);
+        fresh
+            .restore_from_with(&mut r, |r| Ok(r.get_u64()? as u32))
+            .unwrap();
+        r.expect_eof().unwrap();
+
+        assert_eq!(fresh.len(), c.len());
+        // Identical future behavior: the same insert evicts the same victim
+        // from both the original and the restored array.
+        assert_eq!(c.insert(LineAddr(12), 50), fresh.insert(LineAddr(12), 50));
+        let mut a: Vec<_> = c.iter().map(|(l, &v)| (l.0, v)).collect();
+        let mut b: Vec<_> = fresh.iter().map(|(l, &v)| (l.0, v)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_geometry_mismatch() {
+        let mut c = small();
+        c.insert(LineAddr(3), 7);
+        let mut w = flexsnoop_engine::snap::SnapWriter::new();
+        c.save_into_with(&mut w, |v, w| w.put_u64(u64::from(*v)));
+        let bytes = w.into_bytes();
+        // 2 sets instead of 4: the restore must fail, not silently remap.
+        let mut fresh: SetAssocCache<u32> = SetAssocCache::new(CacheGeometry::from_entries(4, 2));
+        let mut r = flexsnoop_engine::snap::SnapReader::new(&bytes);
+        let err = fresh
+            .restore_from_with(&mut r, |r| Ok(r.get_u64()? as u32))
+            .unwrap_err();
+        assert!(matches!(err, SnapError::Corrupt(_)), "{err:?}");
     }
 
     #[test]

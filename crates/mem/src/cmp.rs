@@ -10,6 +10,7 @@
 //! * a **snoop** when a ring request arrives — does any L2 hold the line in
 //!   a *supplier state* (`SG, E, D, T`)? All L2s are probed in parallel.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::FxHashMap;
 
 use crate::addr::LineAddr;
@@ -348,6 +349,74 @@ impl CmpCaches {
     }
 }
 
+/// Serializes every L1 tag filter, every L2, and the residency index.
+///
+/// The index *could* be rebuilt from the L2 arrays, but it is serialized
+/// verbatim instead: under fault-injection mutations the one-supplier
+/// invariant may be violated, making the index's last-writer-wins `local`
+/// slot order-dependent — a rebuild could answer snoops differently than
+/// the live index did, breaking bit-identical resume. Keys are written in
+/// sorted order so snapshots are deterministic.
+impl Snapshot for CmpCaches {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.l1s.len());
+        for l1 in &self.l1s {
+            l1.save_into_with(w, |_, _| {});
+        }
+        for l2 in &self.l2s {
+            l2.save_into(w);
+        }
+        let mut lines: Vec<LineAddr> = self.index.keys().copied().collect();
+        lines.sort_unstable();
+        w.put_usize(lines.len());
+        for line in lines {
+            let entry = &self.index[&line];
+            w.put_u64(line.0);
+            w.put_u8(entry.copies);
+            match entry.local {
+                None => w.put_bool(false),
+                Some((core, state)) => {
+                    w.put_bool(true);
+                    w.put_u8(core);
+                    state.save_into(w);
+                }
+            }
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let cores = r.get_usize()?;
+        if cores != self.l1s.len() {
+            return Err(SnapError::Corrupt("CMP core count does not match config"));
+        }
+        for l1 in &mut self.l1s {
+            l1.restore_from_with(r, |_| Ok(()))?;
+        }
+        for l2 in &mut self.l2s {
+            l2.restore_from(r)?;
+        }
+        self.index.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            let line = LineAddr(r.get_u64()?);
+            let copies = r.get_u8()?;
+            if copies == 0 {
+                return Err(SnapError::Corrupt("residency entry with zero copies"));
+            }
+            let local = if r.get_bool()? {
+                let core = r.get_u8()?;
+                let mut state = CoherState::I;
+                state.restore_from(r)?;
+                Some((core, state))
+            } else {
+                None
+            };
+            self.index.insert(line, Residency { copies, local });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -444,6 +513,51 @@ mod tests {
         let ev = c.fill(0, LineAddr(16), S).expect("one way must be evicted");
         // The victim's L1 tag must be gone (inclusive hierarchy).
         assert!(c.l1s[0].peek(ev.line).is_none());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_lookups_and_future_behavior() {
+        let mut c = cmp();
+        c.fill(0, LineAddr(9), S);
+        c.fill(3, LineAddr(9), T);
+        c.fill(2, LineAddr(7), Sl);
+        c.fill(1, LineAddr(5), D);
+        c.invalidate_all(LineAddr(5));
+
+        let bytes = flexsnoop_engine::snap::snapshot_bytes(&c);
+        let mut fresh = cmp();
+        // Overlay: restoring replaces whatever the fresh CMP held.
+        fresh.fill(0, LineAddr(100), E);
+        flexsnoop_engine::snap::restore_bytes(&mut fresh, &bytes).unwrap();
+
+        assert_eq!(fresh.snoop(LineAddr(9)), c.snoop(LineAddr(9)));
+        assert_eq!(fresh.snoop(LineAddr(5)), c.snoop(LineAddr(5)));
+        assert!(!fresh.has_copy(LineAddr(100)));
+        assert_eq!(
+            fresh.local_lookup(0, LineAddr(7)),
+            LocalLookup::Peer { peer: 2, state: Sl }
+        );
+        // The residency index survives intact: mutating both copies
+        // identically keeps them in lock-step (debug builds cross-check the
+        // index against a full tag scan on every snoop).
+        assert_eq!(
+            c.invalidate_all_counted(LineAddr(9)),
+            fresh.invalidate_all_counted(LineAddr(9))
+        );
+        assert_eq!(fresh.snoop(LineAddr(9)), c.snoop(LineAddr(9)));
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_core_count_mismatch() {
+        let c = cmp();
+        let bytes = flexsnoop_engine::snap::snapshot_bytes(&c);
+        let mut fresh = CmpCaches::new(
+            2,
+            CacheGeometry::from_entries(4, 2),
+            CacheGeometry::from_entries(16, 4),
+        );
+        let err = flexsnoop_engine::snap::restore_bytes(&mut fresh, &bytes).unwrap_err();
+        assert!(matches!(err, SnapError::Corrupt(_)), "{err:?}");
     }
 
     #[test]

@@ -19,6 +19,8 @@
 
 use std::fmt;
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// A cache line's coherence state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CoherState {
@@ -150,6 +152,22 @@ impl CoherState {
             (Sl, Sl) | (Sl, Sg) | (Sl, T) => !same_cmp,
             _ => false,
         }
+    }
+}
+
+/// Encoded as a one-byte tag (the variant's position in
+/// [`CoherState::ALL`]); decoding rejects out-of-range tags.
+impl Snapshot for CoherState {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u8(*self as u8);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let tag = r.get_u8()? as usize;
+        *self = *CoherState::ALL
+            .get(tag)
+            .ok_or(SnapError::Corrupt("coherence-state tag out of range"))?;
+        Ok(())
     }
 }
 

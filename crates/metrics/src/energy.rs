@@ -20,6 +20,8 @@
 
 use std::fmt;
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// Per-event energy costs in nanojoules.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyModel {
@@ -225,6 +227,24 @@ impl EnergyAccount {
     }
 }
 
+/// Only the event counts are serialized: the model is constructor-derived
+/// configuration, reproduced by rebuilding the account from the same
+/// predictor spec (see the `Snapshot` overlay contract).
+impl Snapshot for EnergyAccount {
+    fn save_into(&self, w: &mut SnapWriter) {
+        for &c in &self.counts {
+            w.put_u64(c);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for c in &mut self.counts {
+            *c = r.get_u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +297,20 @@ mod tests {
         b.add(EnergyCategory::MemWrite, 3);
         a.merge(&b);
         assert_eq!(a.count(EnergyCategory::MemWrite), 5);
+    }
+
+    #[test]
+    fn account_snapshot_round_trips_counts() {
+        let mut a = EnergyAccount::new(EnergyModel::with_bloom_predictor());
+        a.add(EnergyCategory::RingLink, 7);
+        a.add(EnergyCategory::PredictorTrain, 3);
+        let bytes = flexsnoop_engine::snap::snapshot_bytes(&a);
+        // Overlay contract: restore onto an account rebuilt with the
+        // same model.
+        let mut fresh = EnergyAccount::new(EnergyModel::with_bloom_predictor());
+        flexsnoop_engine::snap::restore_bytes(&mut fresh, &bytes).unwrap();
+        assert_eq!(fresh, a);
+        assert!((fresh.total_nj() - a.total_nj()).abs() < 1e-12);
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! reliable — losing them would silently discard dirty data, which no
 //! timeout/retry scheme can recover without a value-level ack protocol.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::{Cycle, Cycles, SplitMix64};
 
 /// A window of cycles during which one node cannot forward messages.
@@ -270,6 +271,29 @@ impl FaultStats {
     }
 }
 
+impl Snapshot for FaultStats {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.drops);
+        w.put_u64(self.duplicates);
+        w.put_u64(self.delays);
+        w.put_u64(self.delay_cycles);
+        w.put_u64(self.stall_hits);
+        w.put_u64(self.stall_cycles);
+        w.put_u64(self.torus_drops);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.drops = r.get_u64()?;
+        self.duplicates = r.get_u64()?;
+        self.delays = r.get_u64()?;
+        self.delay_cycles = r.get_u64()?;
+        self.stall_hits = r.get_u64()?;
+        self.stall_cycles = r.get_u64()?;
+        self.torus_drops = r.get_u64()?;
+        Ok(())
+    }
+}
+
 /// What the fault layer did to one link crossing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RingFault {
@@ -391,6 +415,28 @@ impl FaultState {
     }
 }
 
+/// Serializes the RNG stream position, the spent budget, and the injected
+/// counters. The plan itself is *not* serialized — it is configuration,
+/// re-armed on the restore target before restoring (see the `Snapshot`
+/// overlay contract). Re-arming a plan with a different budget is legal as
+/// long as the budget covers the faults already spent: faults are consumed
+/// in draw order, so the resumed run continues the same fault schedule
+/// truncated at the new budget — the property chaos-shrinker bisection
+/// relies on.
+impl Snapshot for FaultState {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.rng.state());
+        w.put_u64(self.spent);
+        self.stats.save_into(w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rng = SplitMix64::new(r.get_u64()?);
+        self.spent = r.get_u64()?;
+        self.stats.restore_from(r)
+    }
+}
+
 /// Stream-splitting constant xor-ed into the plan seed for the torus
 /// fault stream, so ring and torus draw decorrelated sequences from the
 /// same plan.
@@ -450,6 +496,23 @@ impl TorusFaultState {
             return true;
         }
         false
+    }
+}
+
+/// Same contract as [`FaultState`]'s impl: stream position, spent budget
+/// and drop counter; the plan is re-armed from configuration.
+impl Snapshot for TorusFaultState {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.rng.state());
+        w.put_u64(self.spent);
+        w.put_u64(self.drops);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rng = SplitMix64::new(r.get_u64()?);
+        self.spent = r.get_u64()?;
+        self.drops = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -575,6 +638,79 @@ mod tests {
         let cut_hits: Vec<u64> = (0..10_000u64).filter(|_| cut.decide()).collect();
         assert!(cut_hits.len() <= 2);
         assert_eq!(&full_hits[..cut_hits.len()], &cut_hits[..]);
+    }
+
+    #[test]
+    fn fault_state_snapshot_resumes_identical_stream() {
+        let plan = FaultPlan::random(123, 8, 2);
+        let mut live = FaultState::new(plan.clone());
+        for i in 0..5_000u64 {
+            live.decide((i % 2) as usize, (i % 8) as usize);
+        }
+        let bytes = flexsnoop_engine::snap::snapshot_bytes(&live);
+        let mut resumed = FaultState::new(plan);
+        flexsnoop_engine::snap::restore_bytes(&mut resumed, &bytes).unwrap();
+        assert_eq!(resumed.stats(), live.stats());
+        assert_eq!(resumed.remaining_budget(), live.remaining_budget());
+        for i in 0..20_000u64 {
+            let (ring, node) = ((i % 2) as usize, (i % 8) as usize);
+            assert_eq!(live.decide(ring, node), resumed.decide(ring, node));
+        }
+    }
+
+    #[test]
+    fn torus_fault_state_snapshot_resumes_identical_stream() {
+        let mut p = FaultPlan::lossless();
+        p.seed = 41;
+        p.torus_drop = 0.2;
+        p.torus_budget = 10;
+        let mut live = TorusFaultState::new(p.clone());
+        for _ in 0..50 {
+            live.decide();
+        }
+        let bytes = flexsnoop_engine::snap::snapshot_bytes(&live);
+        let mut resumed = TorusFaultState::new(p);
+        flexsnoop_engine::snap::restore_bytes(&mut resumed, &bytes).unwrap();
+        assert_eq!(resumed.drops(), live.drops());
+        for _ in 0..1_000 {
+            assert_eq!(live.decide(), resumed.decide());
+        }
+    }
+
+    #[test]
+    fn snapshot_resume_under_smaller_budget_truncates_schedule() {
+        // The property chaos bisection relies on: resuming a snapshot into
+        // a plan with budget b >= spent behaves exactly like a from-scratch
+        // run with budget b.
+        let mut plan = FaultPlan::random(7, 8, 2);
+        plan.budget = 20;
+        let mut live = FaultState::new(plan.clone());
+        let mut step = 0u64;
+        // Run until 3 faults are spent, then snapshot.
+        while live.stats().injected() < 3 {
+            live.decide((step % 2) as usize, (step % 8) as usize);
+            step += 1;
+        }
+        let bytes = flexsnoop_engine::snap::snapshot_bytes(&live);
+
+        for b in [3u64, 5, 20] {
+            let mut resumed = FaultState::new(plan.with_budget(b));
+            flexsnoop_engine::snap::restore_bytes(&mut resumed, &bytes).unwrap();
+            let mut scratch = FaultState::new(plan.with_budget(b));
+            // Replay the pre-snapshot traffic into the scratch run.
+            for i in 0..step {
+                scratch.decide((i % 2) as usize, (i % 8) as usize);
+            }
+            assert_eq!(scratch.stats(), resumed.stats(), "budget {b}");
+            for i in step..step + 50_000 {
+                let (ring, node) = ((i % 2) as usize, (i % 8) as usize);
+                assert_eq!(
+                    scratch.decide(ring, node),
+                    resumed.decide(ring, node),
+                    "budget {b}, step {i}"
+                );
+            }
+        }
     }
 
     #[test]

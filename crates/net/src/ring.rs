@@ -9,6 +9,7 @@
 //! With `rings > 1` embedded rings, the line address picks the ring
 //! (`line % rings`), mirroring the paper's two address-interleaved rings.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::{Cycle, Cycles, Resource};
 use flexsnoop_mem::{CmpId, LineAddr};
 
@@ -262,6 +263,56 @@ impl RingNetwork {
     }
 }
 
+/// Serializes link occupancy, traffic counters, and the live fault-stream
+/// state. The config and fault *plan* are not serialized: the restore
+/// target must be built from the same `RingConfig` and have the matching
+/// fault plan armed first (lossless ⇔ lossless), which the restore checks.
+impl Snapshot for RingNetwork {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.links.len());
+        for link in &self.links {
+            link.save_into(w);
+        }
+        w.put_u64(self.messages_sent);
+        w.put_u64(self.link_crossings);
+        match &self.faults {
+            None => w.put_bool(false),
+            Some(f) => {
+                w.put_bool(true);
+                f.save_into(w);
+            }
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n != self.links.len() {
+            return Err(SnapError::Corrupt("ring link count does not match config"));
+        }
+        for link in &mut self.links {
+            link.restore_from(r)?;
+        }
+        self.messages_sent = r.get_u64()?;
+        self.link_crossings = r.get_u64()?;
+        let had_faults = r.get_bool()?;
+        match (&mut self.faults, had_faults) {
+            (None, false) => {}
+            (Some(f), true) => f.restore_from(r)?,
+            (None, true) => {
+                return Err(SnapError::Corrupt(
+                    "snapshot has ring fault state but no plan is armed",
+                ));
+            }
+            (Some(_), false) => {
+                return Err(SnapError::Corrupt(
+                    "a fault plan is armed but the snapshot ring was lossless",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +441,48 @@ mod tests {
         assert_eq!(out.arrival, Some(Cycle::new(143)));
         assert_eq!(n.fault_stats().stall_hits, 1);
         assert_eq!(n.fault_stats().stall_cycles, 90);
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_identical_traffic() {
+        let mut plan = crate::fault::FaultPlan::random(55, 8, 2);
+        plan.budget = 10;
+        let mut live = net();
+        live.set_fault_plan(plan.clone());
+        for i in 0..200u64 {
+            live.send_hop_outcome((i % 2) as usize, CmpId((i % 8) as usize), Cycle::new(i * 3));
+        }
+        let bytes = flexsnoop_engine::snap::snapshot_bytes(&live);
+        let mut resumed = net();
+        resumed.set_fault_plan(plan);
+        flexsnoop_engine::snap::restore_bytes(&mut resumed, &bytes).unwrap();
+        assert_eq!(resumed.link_crossings(), live.link_crossings());
+        assert_eq!(resumed.fault_stats(), live.fault_stats());
+        assert_eq!(resumed.total_busy(), live.total_busy());
+        // Future traffic is bit-identical: same queueing, same faults.
+        for i in 200..600u64 {
+            let (ring, from, t) = ((i % 2) as usize, CmpId((i % 8) as usize), Cycle::new(i * 3));
+            assert_eq!(
+                live.send_hop_outcome(ring, from, t),
+                resumed.send_hop_outcome(ring, from, t),
+                "step {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_fault_plan_mismatch() {
+        let mut live = net();
+        let mut plan = crate::fault::FaultPlan::lossless();
+        plan.drop = 0.5;
+        plan.budget = 5;
+        live.set_fault_plan(plan);
+        let bytes = flexsnoop_engine::snap::snapshot_bytes(&live);
+        // Restoring onto a lossless ring must fail loudly, not silently
+        // continue without the fault schedule.
+        let mut fresh = net();
+        let err = flexsnoop_engine::snap::restore_bytes(&mut fresh, &bytes).unwrap_err();
+        assert!(matches!(err, flexsnoop_engine::snap::SnapError::Corrupt(_)));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! the fault-free torus.
 
 use crate::fault::{FaultPlan, TorusFaultState};
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::{Cycle, Cycles, Resource};
 use flexsnoop_mem::CmpId;
 
@@ -221,6 +222,59 @@ impl Torus {
     }
 }
 
+/// Serializes per-link occupancy, the message counter, and the live
+/// torus fault stream. The restore target must be built from the same
+/// [`TorusConfig`] with the matching fault plan armed (arming happens
+/// before traffic, so [`Torus::set_fault_plan`]'s no-traffic assertion is
+/// naturally satisfied on a fresh torus).
+impl Snapshot for Torus {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.links.len());
+        for node in &self.links {
+            for link in node {
+                link.save_into(w);
+            }
+        }
+        w.put_u64(self.messages);
+        match &self.faults {
+            None => w.put_bool(false),
+            Some(f) => {
+                w.put_bool(true);
+                f.save_into(w);
+            }
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.get_usize()?;
+        if n != self.links.len() {
+            return Err(SnapError::Corrupt("torus node count does not match config"));
+        }
+        for node in &mut self.links {
+            for link in node {
+                link.restore_from(r)?;
+            }
+        }
+        self.messages = r.get_u64()?;
+        let had_faults = r.get_bool()?;
+        match (&mut self.faults, had_faults) {
+            (None, false) => {}
+            (Some(f), true) => f.restore_from(r)?,
+            (None, true) => {
+                return Err(SnapError::Corrupt(
+                    "snapshot has torus fault state but no plan is armed",
+                ));
+            }
+            (Some(_), false) => {
+                return Err(SnapError::Corrupt(
+                    "a torus fault plan is armed but the snapshot was lossless",
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +361,33 @@ mod tests {
             );
         }
         assert_eq!(armed.fault_drops(), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_identical_traffic() {
+        let mut plan = FaultPlan::lossless();
+        plan.seed = 17;
+        plan.torus_drop = 0.15;
+        plan.torus_budget = 6;
+        let mut live = torus8();
+        live.set_fault_plan(&plan);
+        for i in 0..100usize {
+            live.send_outcome(CmpId(i % 8), CmpId((i * 5) % 8), Cycle::new(i as u64 * 9));
+        }
+        let bytes = flexsnoop_engine::snap::snapshot_bytes(&live);
+        let mut resumed = torus8();
+        resumed.set_fault_plan(&plan);
+        flexsnoop_engine::snap::restore_bytes(&mut resumed, &bytes).unwrap();
+        assert_eq!(resumed.messages(), live.messages());
+        assert_eq!(resumed.fault_drops(), live.fault_drops());
+        for i in 100..400usize {
+            let (src, dst, t) = (CmpId(i % 8), CmpId((i * 5) % 8), Cycle::new(i as u64 * 9));
+            assert_eq!(
+                live.send_outcome(src, dst, t),
+                resumed.send_outcome(src, dst, t),
+                "step {i}"
+            );
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Prediction-accuracy bookkeeping for Figure 11.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// Counts of the four prediction outcomes.
 ///
 /// # Example
@@ -77,6 +79,23 @@ impl AccuracyStats {
         self.false_positives += other.false_positives;
         self.true_negatives += other.true_negatives;
         self.false_negatives += other.false_negatives;
+    }
+}
+
+impl Snapshot for AccuracyStats {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.true_positives);
+        w.put_u64(self.false_positives);
+        w.put_u64(self.true_negatives);
+        w.put_u64(self.false_negatives);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.true_positives = r.get_u64()?;
+        self.false_positives = r.get_u64()?;
+        self.true_negatives = r.get_u64()?;
+        self.false_negatives = r.get_u64()?;
+        Ok(())
     }
 }
 

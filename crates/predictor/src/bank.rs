@@ -21,6 +21,7 @@
 //! per-node table would. The equivalence property test at the bottom of
 //! this file pins that down against randomized op streams.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_mem::{CacheGeometry, LineAddr, SetAssocCache};
 
 use crate::spec::PredictorSpec;
@@ -119,6 +120,28 @@ impl SubsetBank {
     fn supplier_lost(&mut self, node: usize, line: LineAddr) {
         self.counters[node].trainings += 1;
         self.table.remove(self.key(node, line));
+    }
+}
+
+impl Snapshot for SubsetBank {
+    fn save_into(&self, w: &mut SnapWriter) {
+        self.table.save_into_with(w, |_, _| {});
+        w.put_usize(self.counters.len());
+        for c in &self.counters {
+            c.save_into(w);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.table.restore_from_with(r, |_| Ok(()))?;
+        let n = r.get_usize()?;
+        if n != self.counters.len() {
+            return Err(SnapError::Corrupt("bank node count does not match config"));
+        }
+        for c in &mut self.counters {
+            c.restore_from(r)?;
+        }
+        Ok(())
     }
 }
 
@@ -237,6 +260,56 @@ impl PredictorBank {
     }
 }
 
+/// Serializes the bank behind a one-byte layout tag so restoring onto a
+/// bank built from a different spec (or node count) fails loudly instead
+/// of silently misreading the stream.
+impl Snapshot for PredictorBank {
+    fn save_into(&self, w: &mut SnapWriter) {
+        match self {
+            PredictorBank::Null { nodes } => {
+                w.put_u8(0);
+                w.put_usize(*nodes);
+            }
+            PredictorBank::Subset(bank) => {
+                w.put_u8(1);
+                bank.save_into(w);
+            }
+            PredictorBank::Boxed(v) => {
+                w.put_u8(2);
+                w.put_usize(v.len());
+                for p in v {
+                    p.save_into(w);
+                }
+            }
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let tag = r.get_u8()?;
+        match (self, tag) {
+            (PredictorBank::Null { nodes }, 0) => {
+                if r.get_usize()? != *nodes {
+                    return Err(SnapError::Corrupt("bank node count does not match config"));
+                }
+                Ok(())
+            }
+            (PredictorBank::Subset(bank), 1) => bank.restore_from(r),
+            (PredictorBank::Boxed(v), 2) => {
+                if r.get_usize()? != v.len() {
+                    return Err(SnapError::Corrupt("bank node count does not match config"));
+                }
+                for p in v {
+                    p.restore_from(r)?;
+                }
+                Ok(())
+            }
+            _ => Err(SnapError::Corrupt(
+                "predictor bank layout does not match config",
+            )),
+        }
+    }
+}
+
 impl PredictorSpec {
     /// Builds predictors for all `nodes` CMPs at once, picking the most
     /// compact layout that preserves per-node semantics exactly.
@@ -349,6 +422,118 @@ mod tests {
                 "counters diverged at node {node}"
             );
         }
+    }
+
+    /// Snapshot/restore of a flat Subset bank must be invisible to future
+    /// behavior: restored and original banks answer identically forever.
+    #[test]
+    fn flat_subset_bank_snapshot_round_trip() {
+        use flexsnoop_engine::snap::{restore_bytes, snapshot_bytes};
+        const NODES: usize = 4;
+        let spec = PredictorSpec::Subset { entries: 16 };
+        let mut bank = spec.build_bank(NODES);
+        let mut rng = SplitMix64::new(0x5A9);
+        let drive = |bank: &mut PredictorBank, rng: &mut SplitMix64, n: usize| {
+            (0..n)
+                .map(|_| {
+                    let node = (rng.next_u64() % NODES as u64) as usize;
+                    let line = LineAddr(rng.next_u64() % 64);
+                    match rng.next_u64() % 3 {
+                        0 => bank.predict(node, line),
+                        1 => bank.supplier_gained(node, line).is_some(),
+                        _ => {
+                            bank.supplier_lost(node, line);
+                            false
+                        }
+                    }
+                })
+                .collect::<Vec<bool>>()
+        };
+        drive(&mut bank, &mut rng, 5_000);
+
+        let bytes = snapshot_bytes(&bank);
+        let mut restored = spec.build_bank(NODES);
+        restore_bytes(&mut restored, &bytes).expect("restore");
+
+        let mut rng_a = SplitMix64::new(0xFEED);
+        let mut rng_b = SplitMix64::new(0xFEED);
+        assert_eq!(
+            drive(&mut bank, &mut rng_a, 5_000),
+            drive(&mut restored, &mut rng_b, 5_000),
+            "restored bank diverged from the original"
+        );
+        for node in 0..NODES {
+            assert_eq!(bank.counters(node), restored.counters(node));
+        }
+    }
+
+    /// Boxed predictors round-trip through the trait-object forwarding
+    /// impl — including Superset's Bloom counters and Exclude cache.
+    #[test]
+    fn boxed_superset_bank_snapshot_round_trip() {
+        use flexsnoop_engine::snap::{restore_bytes, snapshot_bytes};
+        let spec = PredictorSpec::SUP_Y2K;
+        let mut bank = spec.build_bank(2);
+        let mut rng = SplitMix64::new(0xC0DE);
+        // Superset's Bloom filter forbids losing a line that was never
+        // gained, so track the gained multiset per node.
+        let mut gained: [Vec<LineAddr>; 2] = [Vec::new(), Vec::new()];
+        for _ in 0..4_000 {
+            let node = (rng.next_u64() & 1) as usize;
+            let line = LineAddr(rng.next_u64() % 512);
+            match rng.next_u64() % 4 {
+                0 => {
+                    bank.predict(node, line);
+                }
+                1 => {
+                    bank.supplier_gained(node, line);
+                    gained[node].push(line);
+                }
+                2 => {
+                    if let Some(l) = gained[node].pop() {
+                        bank.supplier_lost(node, l);
+                    }
+                }
+                // Trains the Exclude cache on false positives.
+                _ => bank.feedback(node, line, rng.next_u64() & 1 == 0),
+            }
+        }
+
+        let bytes = snapshot_bytes(&bank);
+        let mut restored = spec.build_bank(2);
+        restore_bytes(&mut restored, &bytes).expect("restore");
+
+        for i in 0..2_000u64 {
+            let node = (i & 1) as usize;
+            let line = LineAddr(i % 512);
+            assert_eq!(
+                bank.predict(node, line),
+                restored.predict(node, line),
+                "prediction diverged after restore at {node}/{line}"
+            );
+        }
+        assert_eq!(bank.counters(0), restored.counters(0));
+        assert_eq!(bank.counters(1), restored.counters(1));
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_layout_mismatch() {
+        use flexsnoop_engine::snap::{restore_bytes, snapshot_bytes};
+        let bank = PredictorSpec::SUB2K.build_bank(8);
+        let bytes = snapshot_bytes(&bank);
+        let mut wrong_layout = PredictorSpec::None.build_bank(8);
+        assert!(matches!(
+            restore_bytes(&mut wrong_layout, &bytes),
+            Err(SnapError::Corrupt(
+                "predictor bank layout does not match config"
+            ))
+        ));
+        let mut wrong_nodes = PredictorSpec::None.build_bank(8);
+        let none_bytes = snapshot_bytes(&PredictorSpec::None.build_bank(4));
+        assert!(matches!(
+            restore_bytes(&mut wrong_nodes, &none_bytes),
+            Err(SnapError::Corrupt("bank node count does not match config"))
+        ));
     }
 
     #[test]

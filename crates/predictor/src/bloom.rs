@@ -10,6 +10,7 @@
 //! fields of 10, 4 and 7 bits (2.5 KB) and the `n` filter with 9, 9 and
 //! 6 bits (2.3 KB); counters are 16 bits plus a zero-indicator bit.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_mem::LineAddr;
 
 /// Bit-field geometry of a Bloom filter.
@@ -168,6 +169,29 @@ impl BloomFilter {
     /// Total storage in bits.
     pub fn storage_bits(&self) -> usize {
         self.spec.storage_bits()
+    }
+}
+
+/// Serializes the counter tables; the spec (and the saturation bound it
+/// implies) is configuration, rebuilt on the restore target, which also
+/// fixes the table lengths — restoring onto a mismatched spec misaligns
+/// the stream and fails the enclosing snapshot's end-of-stream check.
+impl Snapshot for BloomFilter {
+    fn save_into(&self, w: &mut SnapWriter) {
+        for table in &self.tables {
+            for &c in table {
+                w.put_u32(c);
+            }
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for table in &mut self.tables {
+            for c in table {
+                *c = r.get_u32()?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@
 //! downgraded line must go to memory, and dirty victims pay a write-back
 //! plus eventual re-read (Figure 9's 3.2× energy on SPLASH-2).
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_mem::{CacheGeometry, LineAddr, SetAssocCache};
 
 use crate::{PredictorCounters, SupplierPredictor};
@@ -75,6 +76,21 @@ impl ExactPredictor {
     /// Whether no lines are tracked.
     pub fn is_empty(&self) -> bool {
         self.table.is_empty()
+    }
+}
+
+impl Snapshot for ExactPredictor {
+    fn save_into(&self, w: &mut SnapWriter) {
+        self.table.save_into_with(w, |_, _| {});
+        self.counters.save_into(w);
+        w.put_u64(self.downgrades);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.table.restore_from_with(r, |_| Ok(()))?;
+        self.counters.restore_from(r)?;
+        self.downgrades = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@
 //! number of its answers in a chosen direction, letting tests and studies
 //! observe exactly those two failure modes.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_mem::LineAddr;
 
 use crate::{PredictorCounters, SupplierPredictor};
@@ -66,6 +67,23 @@ impl<P: SupplierPredictor> FaultInjectingPredictor<P> {
     /// The wrapped predictor.
     pub fn inner(&self) -> &P {
         &self.inner
+    }
+}
+
+/// Serializes the wrapped predictor plus the fault-injection progress
+/// (`seen`, `injected`); the kind, period and budget are configuration.
+impl<P: SupplierPredictor> Snapshot for FaultInjectingPredictor<P> {
+    fn save_into(&self, w: &mut SnapWriter) {
+        self.inner.save_into(w);
+        w.put_u64(self.seen);
+        w.put_u64(self.injected);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.inner.restore_from(r)?;
+        self.seen = r.get_u64()?;
+        self.injected = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -157,6 +175,30 @@ mod tests {
         // negative anyway; no injection is recorded for a no-op flip.
         assert!(!p.predict(LineAddr(1)));
         assert_eq!(p.injected(), 0);
+    }
+
+    #[test]
+    fn snapshot_mid_budget_resumes_identical_injection() {
+        use flexsnoop_engine::snap::{restore_bytes, snapshot_bytes};
+        let mut inner = PerfectPredictor::new();
+        inner.supplier_gained(LineAddr(1));
+        let mut p = FaultInjectingPredictor::new(inner, FaultKind::ForceNegative, 3, 4);
+        // Burn part of the budget so `seen` and `injected` are mid-flight.
+        for _ in 0..7 {
+            p.predict(LineAddr(1));
+        }
+        assert_eq!(p.injected(), 2);
+
+        let bytes = snapshot_bytes(&p);
+        let mut fresh = PerfectPredictor::new();
+        fresh.supplier_gained(LineAddr(1));
+        let mut q = FaultInjectingPredictor::new(fresh, FaultKind::ForceNegative, 3, 4);
+        restore_bytes(&mut q, &bytes).expect("restore");
+
+        let a: Vec<bool> = (0..10).map(|_| p.predict(LineAddr(1))).collect();
+        let b: Vec<bool> = (0..10).map(|_| q.predict(LineAddr(1))).collect();
+        assert_eq!(a, b, "fault schedule diverged after restore");
+        assert_eq!(p.injected(), q.injected());
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub use spec::PredictorSpec;
 pub use subset::SubsetPredictor;
 pub use superset::SupersetPredictor;
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_mem::LineAddr;
 
 /// Event counters every predictor keeps, consumed by the energy model
@@ -55,13 +56,31 @@ pub struct PredictorCounters {
     pub trainings: u64,
 }
 
+impl Snapshot for PredictorCounters {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.lookups);
+        w.put_u64(self.trainings);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.lookups = r.get_u64()?;
+        self.trainings = r.get_u64()?;
+        Ok(())
+    }
+}
+
 /// A per-CMP supplier predictor (paper §4.3).
 ///
 /// Implementations must uphold their advertised error class: `Subset` and
 /// `Exact` must never return a positive for a line the CMP cannot supply,
 /// and `Superset`, `Exact` and `Perfect` must never return a negative for a
 /// line it can. The property tests in this crate enforce both.
-pub trait SupplierPredictor: std::fmt::Debug {
+///
+/// Every predictor is [`Snapshot`]: checkpoint/restore serializes its full
+/// mutable state (tables, filters, counters) so a resumed run predicts
+/// bit-identically. Configuration (geometries, Bloom specs, fault budgets)
+/// follows the overlay contract and is rebuilt, not serialized.
+pub trait SupplierPredictor: std::fmt::Debug + Snapshot {
     /// Predicts whether the CMP can supply `line`.
     fn predict(&mut self, line: LineAddr) -> bool;
 
@@ -129,10 +148,29 @@ impl SupplierPredictor for Box<dyn SupplierPredictor + Send> {
     }
 }
 
+impl Snapshot for Box<dyn SupplierPredictor + Send> {
+    fn save_into(&self, w: &mut SnapWriter) {
+        (**self).save_into(w)
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        (**self).restore_from(r)
+    }
+}
+
 /// Predictor stand-in for algorithms that never predict (Lazy, Eager,
 /// Oracle). Always answers `false` and is never charged energy.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullPredictor;
+
+/// Stateless: nothing to serialize.
+impl Snapshot for NullPredictor {
+    fn save_into(&self, _w: &mut SnapWriter) {}
+
+    fn restore_from(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
+}
 
 impl SupplierPredictor for NullPredictor {
     fn predict(&mut self, _line: LineAddr) -> bool {

@@ -5,6 +5,7 @@
 //! cost — the paper uses it for Figure 11's "Perfect" bars and the Oracle
 //! algorithm's lower bound; so do we.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::FxHashSet;
 use flexsnoop_mem::LineAddr;
 
@@ -44,6 +45,29 @@ impl PerfectPredictor {
     /// Whether no supplier lines are tracked.
     pub fn is_empty(&self) -> bool {
         self.lines.is_empty()
+    }
+}
+
+/// The tracked set is written in sorted order so snapshots of equal sets
+/// are byte-identical regardless of hash-map history.
+impl Snapshot for PerfectPredictor {
+    fn save_into(&self, w: &mut SnapWriter) {
+        let mut lines: Vec<LineAddr> = self.lines.iter().copied().collect();
+        lines.sort_unstable();
+        w.put_usize(lines.len());
+        for line in lines {
+            w.put_u64(line.0);
+        }
+        self.counters.save_into(w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.lines.clear();
+        let n = r.get_usize()?;
+        for _ in 0..n {
+            self.lines.insert(LineAddr(r.get_u64()?));
+        }
+        self.counters.restore_from(r)
     }
 }
 

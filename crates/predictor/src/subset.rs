@@ -6,6 +6,7 @@
 //! Evictions and invalidations remove the address, so a positive answer is
 //! always right: **no false positives**.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_mem::{CacheGeometry, LineAddr, SetAssocCache};
 
 use crate::{PredictorCounters, SupplierPredictor};
@@ -65,6 +66,18 @@ impl SubsetPredictor {
     /// Whether no lines are tracked.
     pub fn is_empty(&self) -> bool {
         self.table.is_empty()
+    }
+}
+
+impl Snapshot for SubsetPredictor {
+    fn save_into(&self, w: &mut SnapWriter) {
+        self.table.save_into_with(w, |_, _| {});
+        self.counters.save_into(w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.table.restore_from_with(r, |_| Ok(()))?;
+        self.counters.restore_from(r)
     }
 }
 

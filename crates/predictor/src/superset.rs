@@ -10,6 +10,7 @@
 //! there is never a window where both structures disagree toward a false
 //! negative).
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_mem::{CacheGeometry, LineAddr, SetAssocCache};
 
 use crate::bloom::{BloomFilter, BloomSpec};
@@ -78,6 +79,32 @@ impl SupersetPredictor {
     /// A bare Bloom filter with no Exclude cache (ablation configuration).
     pub fn bare(spec: BloomSpec) -> Self {
         Self::new(spec, None)
+    }
+}
+
+impl Snapshot for SupersetPredictor {
+    fn save_into(&self, w: &mut SnapWriter) {
+        self.bloom.save_into(w);
+        w.put_bool(self.exclude.is_some());
+        if let Some(exclude) = &self.exclude {
+            exclude.save_into_with(w, |_, _| {});
+        }
+        self.counters.save_into(w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.bloom.restore_from(r)?;
+        let had_exclude = r.get_bool()?;
+        match (&mut self.exclude, had_exclude) {
+            (None, false) => {}
+            (Some(exclude), true) => exclude.restore_from_with(r, |_| Ok(()))?,
+            _ => {
+                return Err(SnapError::Corrupt(
+                    "exclude-cache presence does not match config",
+                ));
+            }
+        }
+        self.counters.restore_from(r)
     }
 }
 

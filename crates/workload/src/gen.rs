@@ -1,5 +1,6 @@
 //! Deterministic synthetic access-stream generation.
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::{Cycles, SplitMix64};
 use flexsnoop_mem::LineAddr;
 
@@ -10,10 +11,27 @@ use crate::{MemAccess, PoolKind, PoolSpec};
 /// Streams are timing-independent: the sequence depends only on the seed,
 /// never on how fast the simulator consumes it, so different snooping
 /// algorithms observe identical traces.
-pub trait AccessStream {
+///
+/// Every stream is [`Snapshot`]: restoring a stream's progress onto a
+/// freshly built copy (same profile / trace, same seed) must make the copy
+/// emit exactly the accesses the original would have emitted next — this is
+/// what lets a checkpointed simulation resume mid-workload.
+pub trait AccessStream: Snapshot {
     /// The next access, or `None` when the stream is exhausted
     /// (synthetic streams are infinite; traces end).
     fn next_access(&mut self) -> Option<MemAccess>;
+}
+
+/// Forwards to the boxed stream so `Box<dyn AccessStream + Send>` fields
+/// participate in snapshots without unboxing.
+impl Snapshot for Box<dyn AccessStream + Send> {
+    fn save_into(&self, w: &mut SnapWriter) {
+        (**self).save_into(w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        (**self).restore_from(r)
+    }
 }
 
 /// Pool-address layout: each pool occupies a disjoint region.
@@ -146,6 +164,41 @@ impl SyntheticStream {
                 MemAccess::read(line, think)
             }
         }
+    }
+}
+
+/// Serializes the generator's progress: the RNG position, the queued half
+/// of a migratory read-modify-write pair, and the streaming cursors. The
+/// pool mix and knobs are configuration and stay with the constructor.
+impl Snapshot for SyntheticStream {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.rng.state());
+        w.put_bool(self.pending.is_some());
+        if let Some(p) = &self.pending {
+            p.save_into(w);
+        }
+        w.put_usize(self.stream_pos.len());
+        for &pos in &self.stream_pos {
+            w.put_u64(pos);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.rng = SplitMix64::new(r.get_u64()?);
+        self.pending = if r.get_bool()? {
+            let mut a = MemAccess::read(LineAddr(0), Cycles(0));
+            a.restore_from(r)?;
+            Some(a)
+        } else {
+            None
+        };
+        if r.get_usize()? != self.stream_pos.len() {
+            return Err(SnapError::Corrupt("pool count does not match config"));
+        }
+        for pos in &mut self.stream_pos {
+            *pos = r.get_u64()?;
+        }
+        Ok(())
     }
 }
 
@@ -286,5 +339,58 @@ mod tests {
     #[should_panic(expected = "at least one pool")]
     fn empty_pools_rejected() {
         SyntheticStream::new(0, 1, vec![], 0.0, (0, 0), 1);
+    }
+
+    /// Restoring onto a fresh stream (same config) must continue exactly
+    /// where the original left off — including a half-emitted migratory
+    /// read-modify-write pair and streaming cursors.
+    #[test]
+    fn snapshot_round_trip_resumes_identical_stream() {
+        use flexsnoop_engine::snap::{restore_bytes, snapshot_bytes};
+        let pools = vec![
+            PoolSpec {
+                kind: PoolKind::Migratory,
+                lines: 32,
+                weight: 1.0,
+                hot_fraction: 0.2,
+            },
+            PoolSpec {
+                kind: PoolKind::Streaming,
+                lines: 100,
+                weight: 1.0,
+                hot_fraction: 0.0,
+            },
+        ];
+        let mut s = SyntheticStream::new(1, 4, pools.clone(), 0.3, (10, 20), 42);
+        // Odd count so a migratory pair is likely split at the snapshot.
+        for _ in 0..501 {
+            s.next_access();
+        }
+
+        let bytes = snapshot_bytes(&s);
+        let mut fresh = SyntheticStream::new(1, 4, pools, 0.3, (10, 20), 42);
+        restore_bytes(&mut fresh, &bytes).expect("restore");
+
+        for i in 0..1000 {
+            assert_eq!(s.next_access(), fresh.next_access(), "access {i} diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_pool_count_mismatch() {
+        use flexsnoop_engine::snap::{restore_bytes, snapshot_bytes};
+        let s = stream(0, one_pool(PoolKind::Private, 64), 7);
+        let bytes = snapshot_bytes(&s);
+        let two_pools = vec![
+            PoolSpec {
+                kind: PoolKind::Private,
+                lines: 64,
+                weight: 1.0,
+                hot_fraction: 0.0,
+            };
+            2
+        ];
+        let mut other = stream(0, two_pools, 7);
+        assert!(restore_bytes(&mut other, &bytes).is_err());
     }
 }

@@ -38,6 +38,7 @@ pub use trace::Trace;
 // API; stream builders should not need a direct flexsnoop-mem dependency.
 pub use flexsnoop_mem::LineAddr;
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::Cycles;
 
 /// One memory access issued by a core.
@@ -68,6 +69,21 @@ impl MemAccess {
             write: true,
             think,
         }
+    }
+}
+
+impl Snapshot for MemAccess {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u64(self.line.0);
+        w.put_bool(self.write);
+        w.put_cycles(self.think);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.line = LineAddr(r.get_u64()?);
+        self.write = r.get_bool()?;
+        self.think = r.get_cycles()?;
+        Ok(())
     }
 }
 

@@ -9,6 +9,7 @@
 
 use std::str::FromStr;
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::Cycles;
 use flexsnoop_mem::LineAddr;
 
@@ -140,6 +141,22 @@ pub struct TracePlayer<'a> {
     pos: usize,
 }
 
+/// Serializes only the replay cursor; the trace itself is configuration.
+impl Snapshot for TracePlayer<'_> {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.pos);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let pos = r.get_usize()?;
+        if pos > self.accesses.len() {
+            return Err(SnapError::Corrupt("replay cursor is past the trace end"));
+        }
+        self.pos = pos;
+        Ok(())
+    }
+}
+
 impl AccessStream for TracePlayer<'_> {
     fn next_access(&mut self) -> Option<MemAccess> {
         let a = self.accesses.get(self.pos).copied();
@@ -198,6 +215,34 @@ mod tests {
         assert!("0 r zz 5".parse::<Trace>().is_err());
         assert!("0 r 0x10".parse::<Trace>().is_err());
         assert!("0 r 0x10 5 extra".parse::<Trace>().is_err());
+    }
+
+    #[test]
+    fn player_snapshot_round_trip_resumes_and_rejects_overrun() {
+        use flexsnoop_engine::snap::{restore_bytes, snapshot_bytes};
+        let profile = profiles::specweb();
+        let mut streams = profile.streams(5);
+        let trace = Trace::record(&mut streams, 20);
+
+        let mut player = trace.players().remove(0);
+        for _ in 0..7 {
+            player.next_access();
+        }
+        let bytes = snapshot_bytes(&player);
+        let mut fresh = trace.players().remove(0);
+        restore_bytes(&mut fresh, &bytes).expect("restore");
+        loop {
+            let (a, b) = (player.next_access(), fresh.next_access());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+
+        // A cursor past the end of a shorter trace must be rejected.
+        let short = Trace::record(&mut profile.streams(5), 3);
+        let mut short_player = short.players().remove(0);
+        assert!(restore_bytes(&mut short_player, &bytes).is_err());
     }
 
     #[test]

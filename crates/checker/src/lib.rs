@@ -46,6 +46,7 @@
 //! injection (see [`DiffOptions::mutation`]) is the self-test proving
 //! this detection path works end to end.
 
+pub mod cachecheck;
 pub mod chaos;
 
 pub use chaos::{

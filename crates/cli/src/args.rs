@@ -23,6 +23,10 @@ pub enum Command {
     Bench,
     /// Seeded unreliable-ring chaos campaign.
     Chaos,
+    /// Host the sweep service on a Unix socket.
+    Serve,
+    /// Submit a request line to a serving socket.
+    Submit,
     /// Print usage.
     Help,
 }
@@ -111,6 +115,26 @@ pub struct Args {
     /// embedded in the file; command-line overrides are rejected by the
     /// configuration fingerprint if they disagree.
     pub resume: String,
+    /// `--socket PATH` for `serve`/`submit`: the Unix socket the service
+    /// listens on.
+    pub socket: String,
+    /// `--cache-dir DIR` for `serve`: persist the results cache here
+    /// (in-memory only when empty).
+    pub cache_dir: String,
+    /// `--workloads LIST` for `submit`: comma-separated workload names.
+    pub workloads: String,
+    /// `--algorithms LIST` for `submit`: comma-separated algorithm names.
+    pub algorithms: String,
+    /// `--seeds LIST` for `submit`: comma-separated seeds.
+    pub seeds: String,
+    /// `--shutdown` for `submit`: stop the server instead of sweeping.
+    pub shutdown: bool,
+    /// `--self-check` for `serve`: run the cache-determinism cross-check
+    /// (checker crate) instead of listening.
+    pub self_check: bool,
+    /// `--via-serve` for `report`: route the figure matrix through the
+    /// sweep service's scheduler and results cache.
+    pub via_serve: bool,
 }
 
 impl Default for Args {
@@ -146,6 +170,14 @@ impl Default for Args {
             save_at: None,
             snapshot: String::new(),
             resume: String::new(),
+            socket: String::new(),
+            cache_dir: String::new(),
+            workloads: String::new(),
+            algorithms: String::new(),
+            seeds: String::new(),
+            shutdown: false,
+            self_check: false,
+            via_serve: false,
         }
     }
 }
@@ -174,6 +206,8 @@ impl Args {
             "report" => Command::Report,
             "bench" => Command::Bench,
             "chaos" => Command::Chaos,
+            "serve" => Command::Serve,
+            "submit" => Command::Submit,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(format!("unknown command {other:?}; try `flexsnoop help`")),
         };
@@ -212,6 +246,18 @@ impl Args {
                     args.scale = true;
                     continue;
                 }
+                "--shutdown" => {
+                    args.shutdown = true;
+                    continue;
+                }
+                "--self-check" => {
+                    args.self_check = true;
+                    continue;
+                }
+                "--via-serve" => {
+                    args.via_serve = true;
+                    continue;
+                }
                 _ => {}
             }
             let value = it
@@ -246,6 +292,11 @@ impl Args {
                 "--save-at" => args.save_at = Some(num("--save-at")?),
                 "--snapshot" => args.snapshot = value.clone(),
                 "--resume" => args.resume = value.clone(),
+                "--socket" => args.socket = value.clone(),
+                "--cache-dir" => args.cache_dir = value.clone(),
+                "--workloads" => args.workloads = value.clone(),
+                "--algorithms" => args.algorithms = value.clone(),
+                "--seeds" => args.seeds = value.clone(),
                 other => return Err(format!("unknown option {other:?}; try `flexsnoop help`")),
             }
         }
@@ -363,6 +414,41 @@ mod tests {
         assert!(Args::parse(&argv("run --resume"))
             .unwrap_err()
             .contains("expects a value"));
+    }
+
+    #[test]
+    fn serve_and_submit_options_parse() {
+        let a = Args::parse(&argv(
+            "serve --socket /tmp/fs.sock --cache-dir results/cache --threads 2",
+        ))
+        .unwrap();
+        assert_eq!(a.command, Command::Serve);
+        assert_eq!(a.socket, "/tmp/fs.sock");
+        assert_eq!(a.cache_dir, "results/cache");
+        assert!(!a.self_check);
+
+        let b = Args::parse(&argv(
+            "submit --socket /tmp/fs.sock --workloads specjbb,specweb \
+             --algorithms lazy,eager --seeds 1,2 --accesses 200 --probe",
+        ))
+        .unwrap();
+        assert_eq!(b.command, Command::Submit);
+        assert_eq!(b.workloads, "specjbb,specweb");
+        assert_eq!(b.algorithms, "lazy,eager");
+        assert_eq!(b.seeds, "1,2");
+        assert!(b.probe);
+        assert!(!b.shutdown);
+
+        let c = Args::parse(&argv("submit --socket /tmp/fs.sock --shutdown")).unwrap();
+        assert!(c.shutdown);
+        let d = Args::parse(&argv("serve --self-check")).unwrap();
+        assert!(d.self_check);
+        let e = Args::parse(&argv(
+            "report --smoke --via-serve --cache-dir results/cache",
+        ))
+        .unwrap();
+        assert!(e.via_serve);
+        assert_eq!(e.cache_dir, "results/cache");
     }
 
     #[test]

@@ -414,7 +414,11 @@ pub fn directory(args: &Args) -> Result<String, String> {
 /// Runs the Figure 6–11 and Table 1/3 sweep matrix, then either writes
 /// `report.md` plus the `bench_*.json` artifacts (default) or, with
 /// `--check`, compares the regenerated report against the committed copy
-/// and fails if it is stale.
+/// and fails if it is stale. `--via-serve` routes the figure matrix
+/// through the sweep service's scheduler and results cache
+/// (`--cache-dir` persists it across runs); everything outside the
+/// artifacts' volatile lines is byte-identical to a direct run, so
+/// `--check --via-serve` never reports false staleness.
 pub fn report(args: &Args) -> Result<String, String> {
     let mut opts = if args.smoke {
         flexsnoop_report::ReportOptions::smoke()
@@ -422,6 +426,13 @@ pub fn report(args: &Args) -> Result<String, String> {
         flexsnoop_report::ReportOptions::full()
     };
     opts.probe = args.probe;
+    opts.via_serve = args.via_serve;
+    if !args.cache_dir.is_empty() {
+        if !args.via_serve {
+            return Err("--cache-dir on report requires --via-serve".to_string());
+        }
+        opts.serve_cache = Some(std::path::PathBuf::from(&args.cache_dir));
+    }
     if !args.out.is_empty() {
         opts.out_dir = std::path::PathBuf::from(&args.out);
     }
@@ -472,6 +483,88 @@ pub fn bench(args: &Args) -> Result<String, String> {
         report.summary,
         opts.out_dir.join(&report.artifact.filename).display()
     ))
+}
+
+/// `flexsnoop serve`: host the sweep service on a Unix socket (or run
+/// the cache-determinism self-check with `--self-check`).
+///
+/// Blocks until a client sends `shutdown`, then reports what was served.
+pub fn serve(args: &Args) -> Result<String, String> {
+    if args.self_check {
+        return flexsnoop_checker::cachecheck::self_check(args.threads);
+    }
+    if args.socket.is_empty() {
+        return Err("serve needs --socket PATH (or --self-check)".to_string());
+    }
+    let cache = if args.cache_dir.is_empty() {
+        flexsnoop_serve::ResultsCache::in_memory()
+    } else {
+        flexsnoop_serve::ResultsCache::persistent(&args.cache_dir)
+            .map_err(|e| format!("cache dir {}: {e}", args.cache_dir))?
+    };
+    let options = flexsnoop_serve::ServiceOptions {
+        threads: args.threads,
+        ..flexsnoop_serve::ServiceOptions::default()
+    };
+    let service = flexsnoop_serve::SweepService::new(options, cache);
+    let summary = flexsnoop_serve::serve_blocking(std::path::Path::new(&args.socket), &service)?;
+    let stats = service.stats();
+    Ok(format!(
+        "served {} connections ({} sweeps, {} jobs): {} executed, {} cache hits, \
+         {} coalesced, {} failed\n",
+        summary.connections,
+        summary.sweeps,
+        summary.jobs,
+        stats.executed,
+        stats.cache.hits,
+        stats.coalesced,
+        stats.failed,
+    ))
+}
+
+/// `flexsnoop submit`: send one sweep (or a shutdown) to a serving
+/// socket and return the streamed NDJSON response.
+pub fn submit(args: &Args) -> Result<String, String> {
+    if args.socket.is_empty() {
+        return Err("submit needs --socket PATH".to_string());
+    }
+    let path = std::path::Path::new(&args.socket);
+    if args.shutdown {
+        flexsnoop_serve::request_shutdown(path)?;
+        return Ok("server shut down\n".to_string());
+    }
+    if args.workloads.is_empty() || args.algorithms.is_empty() {
+        return Err("submit needs --workloads and --algorithms (or --shutdown)".to_string());
+    }
+    let seeds = if args.seeds.is_empty() {
+        vec![args.seed]
+    } else {
+        args.seeds
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse::<u64>()
+                    .map_err(|_| format!("--seeds expects numbers, got {s:?}"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let request = flexsnoop_serve::SweepRequest {
+        workloads: split_names(&args.workloads),
+        algorithms: split_names(&args.algorithms),
+        predictor: args.predictor.clone(),
+        seeds,
+        nodes: args.nodes,
+        accesses: args.accesses,
+        probe: args.probe,
+    };
+    flexsnoop_serve::request(path, &request.render_line())
+}
+
+fn split_names(list: &str) -> Vec<String> {
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::to_string)
+        .collect()
 }
 
 /// `flexsnoop chaos`: the seeded unreliable-ring campaign
@@ -678,6 +771,7 @@ mod tests {
             probe: true,
             out_dir: dir.clone(),
             workloads: Some(workloads),
+            ..flexsnoop_report::ReportOptions::smoke()
         };
         let wrote = report_with(&opts, false).unwrap();
         assert!(wrote.contains("report.md"), "{wrote}");
@@ -685,6 +779,17 @@ mod tests {
         let checked = report_with(&opts, true).unwrap();
         assert!(checked.contains("up to date"), "{checked}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_cache_dir_requires_via_serve() {
+        let args = Args {
+            command: Command::Report,
+            cache_dir: "results/cache".to_string(),
+            ..Args::default()
+        };
+        let err = report(&args).unwrap_err();
+        assert!(err.contains("--via-serve"), "{err}");
     }
 
     #[test]
@@ -699,6 +804,8 @@ mod tests {
             },
             probe: false,
             out_dir: dir,
+            via_serve: false,
+            serve_cache: None,
             workloads: Some(
                 profiles::all()
                     .into_iter()

@@ -13,6 +13,8 @@
 //! flexsnoop run      --workload specjbb --save-at 50000 --snapshot state.snap
 //! flexsnoop run      --resume state.snap
 //! flexsnoop report   --smoke --probe
+//! flexsnoop serve    --socket /tmp/flexsnoop.sock --cache-dir results/cache
+//! flexsnoop submit   --socket /tmp/flexsnoop.sock --workloads specjbb --algorithms lazy,eager
 //! ```
 //!
 //! Argument parsing is hand-rolled (no CLI dependency): every option is a
@@ -46,6 +48,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Report => commands::report(&args),
         Command::Bench => commands::bench(&args),
         Command::Chaos => commands::chaos(&args),
+        Command::Serve => commands::serve(&args),
+        Command::Submit => commands::submit(&args),
         Command::Help => Ok(usage()),
     }
 }
@@ -69,6 +73,8 @@ COMMANDS:
     report      Regenerate results/report.md and the bench_*.json artifacts
     bench       Throughput/memory benchmarks (--scale: 1k -> 1M node ring sweep)
     chaos       Sweep seeded ring-fault schedules across the Table 3 algorithms
+    serve       Host the sweep service on a Unix socket (NDJSON result stream)
+    submit      Send a parameter sweep to a serving socket
     help        Show this message
 
 OPTIONS (where applicable):
@@ -85,6 +91,9 @@ OPTIONS (where applicable):
     --smoke              `report`: fast scale (the committed report.md scale)
     --probe              `report`: attach observability counters to artifacts
     --check              `report`: fail if the committed report.md is stale
+    --via-serve          `report`: run the figure matrix through the sweep
+                         service's scheduler and results cache (same bytes
+                         modulo the volatile line; --cache-dir persists it)
     --threads N          Worker threads for parallel runs [machine parallelism]
     --scale              `bench`: run the ring-scaling sweep (bench_scale.json)
     --max-nodes N        `bench --scale`: skip sweep points above N [1048576]
@@ -105,6 +114,16 @@ OPTIONS (where applicable):
     --snapshot FILE      `run --save-at`: file the checkpoint is written to
     --resume FILE        `run`: restore a checkpoint and run to completion
                          (bit-identical statistics to the uninterrupted run)
+    --socket PATH        `serve`/`submit`: the service's Unix socket
+    --cache-dir DIR      `serve`/`report --via-serve`: persist the results
+                         cache here (one sealed file per job key; survives
+                         restarts)
+    --workloads LIST     `submit`: comma-separated workload names
+    --algorithms LIST    `submit`: comma-separated algorithm names
+    --seeds LIST         `submit`: comma-separated seeds [--seed]
+    --shutdown           `submit`: stop the server instead of sweeping
+    --self-check         `serve`: verify cached results match recomputation
+                         across queue backends and executor widths, then exit
 "
     .to_string()
 }
@@ -228,6 +247,52 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("--no-retry"), "{out}");
+    }
+
+    #[test]
+    fn serve_and_submit_round_trip_over_a_socket() {
+        let sock = std::env::temp_dir().join(format!("flexsnoop-cli-{}.sock", std::process::id()));
+        let sock_str = sock.to_string_lossy().to_string();
+        let server = std::thread::spawn({
+            let line = format!("serve --socket {sock_str}");
+            move || run(&argv(&line))
+        });
+        while !sock.exists() {
+            std::thread::yield_now();
+        }
+        let out = run(&argv(&format!(
+            "submit --socket {sock_str} --workloads specjbb --algorithms lazy,eager \
+             --seeds 3 --accesses 60"
+        )))
+        .unwrap();
+        assert!(out.contains("\"event\": \"result\""), "{out}");
+        assert!(out.contains("\"computed\": 2"), "{out}");
+        let again = run(&argv(&format!(
+            "submit --socket {sock_str} --workloads specjbb --algorithms lazy,eager \
+             --seeds 3 --accesses 60"
+        )))
+        .unwrap();
+        assert!(again.contains("\"cached\": 2"), "{again}");
+        let down = run(&argv(&format!("submit --socket {sock_str} --shutdown"))).unwrap();
+        assert!(down.contains("shut down"), "{down}");
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("2 sweeps"), "{summary}");
+        assert!(summary.contains("2 cache hits"), "{summary}");
+    }
+
+    #[test]
+    fn serve_self_check_passes() {
+        let out = run(&argv("serve --self-check --threads 2")).unwrap();
+        assert!(out.contains("cache determinism"), "{out}");
+    }
+
+    #[test]
+    fn submit_requires_a_socket_and_matrix() {
+        assert!(run(&argv("submit")).unwrap_err().contains("--socket"));
+        assert!(run(&argv("submit --socket /tmp/x.sock"))
+            .unwrap_err()
+            .contains("--workloads"));
+        assert!(run(&argv("serve")).unwrap_err().contains("--socket"));
     }
 
     #[test]

@@ -1,133 +1,8 @@
 //! Name ↔ type mappings for workloads, algorithms and predictors.
+//!
+//! The mappings themselves live in [`flexsnoop_serve::names`] — the sweep
+//! service replays job specs from plain strings and needs them without
+//! depending on the CLI. Re-exported here so `flexsnoop_cli::names::*`
+//! keeps working.
 
-use flexsnoop::{Algorithm, DynPolicy, PredictorSpec};
-use flexsnoop_workload::{profiles, WorkloadProfile};
-
-/// The algorithm names the CLI accepts, with their parsed values.
-pub fn algorithm_names() -> Vec<(&'static str, Algorithm)> {
-    vec![
-        ("lazy", Algorithm::Lazy),
-        ("eager", Algorithm::Eager),
-        ("oracle", Algorithm::Oracle),
-        ("subset", Algorithm::Subset),
-        ("superset-con", Algorithm::SupersetCon),
-        ("superset-agg", Algorithm::SupersetAgg),
-        ("exact", Algorithm::Exact),
-        (
-            "superset-dyn",
-            Algorithm::SupersetDyn(DynPolicy::PerformanceFirst),
-        ),
-    ]
-}
-
-/// The predictor configuration names of §5.2.
-pub fn predictor_names() -> Vec<(&'static str, PredictorSpec)> {
-    vec![
-        ("none", PredictorSpec::None),
-        ("sub512", PredictorSpec::SUB512),
-        ("sub2k", PredictorSpec::SUB2K),
-        ("sub8k", PredictorSpec::SUB8K),
-        ("supy512", PredictorSpec::SUP_Y512),
-        ("supy2k", PredictorSpec::SUP_Y2K),
-        ("supn2k", PredictorSpec::SUP_N2K),
-        ("exa512", PredictorSpec::EXA512),
-        ("exa2k", PredictorSpec::EXA2K),
-        ("exa8k", PredictorSpec::EXA8K),
-        ("perfect", PredictorSpec::Perfect),
-    ]
-}
-
-/// Parses an algorithm name.
-///
-/// # Errors
-///
-/// Lists the accepted names on failure.
-pub fn parse_algorithm(name: &str) -> Result<Algorithm, String> {
-    algorithm_names()
-        .into_iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, a)| a)
-        .ok_or_else(|| {
-            let names: Vec<&str> = algorithm_names().iter().map(|(n, _)| *n).collect();
-            format!("unknown algorithm {name:?}; one of: {}", names.join(", "))
-        })
-}
-
-/// Parses a predictor configuration name (empty = `None`, meaning "use the
-/// algorithm's default").
-///
-/// # Errors
-///
-/// Lists the accepted names on failure.
-pub fn parse_predictor(name: &str) -> Result<Option<PredictorSpec>, String> {
-    if name.is_empty() {
-        return Ok(None);
-    }
-    predictor_names()
-        .into_iter()
-        .find(|(n, _)| *n == name)
-        .map(|(_, p)| Some(p))
-        .ok_or_else(|| {
-            let names: Vec<&str> = predictor_names().iter().map(|(n, _)| *n).collect();
-            format!("unknown predictor {name:?}; one of: {}", names.join(", "))
-        })
-}
-
-/// Parses a workload name against the built-in profiles (plus the
-/// `uniform` microbenchmark, sized to `nodes` cores).
-///
-/// # Errors
-///
-/// Lists the accepted names on failure.
-pub fn parse_workload(name: &str, nodes: usize) -> Result<WorkloadProfile, String> {
-    if name == "uniform" {
-        return Ok(profiles::uniform_microbench(nodes, 4_000));
-    }
-    profiles::all()
-        .into_iter()
-        .find(|p| p.name == name)
-        .ok_or_else(|| {
-            let mut names: Vec<String> = profiles::all().into_iter().map(|p| p.name).collect();
-            names.push("uniform".to_string());
-            format!("unknown workload {name:?}; one of: {}", names.join(", "))
-        })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn all_algorithm_names_parse() {
-        for (name, alg) in algorithm_names() {
-            assert_eq!(parse_algorithm(name).unwrap().to_string(), alg.to_string());
-        }
-        assert!(parse_algorithm("bogus").is_err());
-    }
-
-    #[test]
-    fn all_predictor_names_parse() {
-        for (name, _) in predictor_names() {
-            assert!(parse_predictor(name).unwrap().is_some());
-        }
-        assert_eq!(parse_predictor("").unwrap(), None);
-        assert!(parse_predictor("bogus").is_err());
-    }
-
-    #[test]
-    fn all_workloads_parse() {
-        for p in profiles::all() {
-            assert_eq!(parse_workload(&p.name, 8).unwrap().name, p.name);
-        }
-        assert_eq!(parse_workload("uniform", 4).unwrap().cores, 4);
-        let err = parse_workload("bogus", 8).unwrap_err();
-        assert!(err.contains("specjbb"), "{err}");
-    }
-
-    #[test]
-    fn every_algorithm_accepts_its_default_via_cli_names() {
-        for (_, alg) in algorithm_names() {
-            assert!(alg.accepts_predictor(&alg.default_predictor()));
-        }
-    }
-}
+pub use flexsnoop_serve::names::*;

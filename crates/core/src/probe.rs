@@ -31,6 +31,7 @@
 //! # }
 //! ```
 
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::Cycles;
 use flexsnoop_metrics::Histogram;
 use flexsnoop_net::RingFault;
@@ -366,6 +367,86 @@ impl Probe for CountingProbe {
     }
 }
 
+/// Serializes every deterministic counter and histogram.
+/// `peak_rss_bytes` is deliberately *not* carried: it is volatile by
+/// contract (see its field docs), and the sweep service's results cache
+/// byte-compares serialized reports across runs — a resident-set number
+/// would make two identical simulations encode differently.
+impl Snapshot for ProbeReport {
+    fn save_into(&self, w: &mut SnapWriter) {
+        for v in [
+            self.forwards,
+            self.forward_then_snoop,
+            self.snoop_then_forward,
+            self.write_filter_hits,
+            self.write_filter_misses,
+            self.predictor_lookups,
+            self.predictor_positive,
+            self.predictor_trains,
+            self.events,
+            self.queue_depth_high_water as u64,
+            self.ring_drops,
+            self.ring_duplicates,
+            self.ring_delays,
+            self.duplicates_suppressed,
+            self.stale_deliveries,
+            self.timeouts,
+            self.retries,
+            self.degraded_entries,
+            self.probation_exits,
+            self.probation_resets,
+            self.spurious_retries,
+            self.rtt_samples,
+            self.torus_drops,
+            self.bytes_per_node,
+            self.footprint_total_bytes,
+        ] {
+            w.put_u64(v);
+        }
+        self.ring_hop_latency.save_into(w);
+        self.timeout_estimate.save_into(w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        for v in [
+            &mut self.forwards,
+            &mut self.forward_then_snoop,
+            &mut self.snoop_then_forward,
+            &mut self.write_filter_hits,
+            &mut self.write_filter_misses,
+            &mut self.predictor_lookups,
+            &mut self.predictor_positive,
+            &mut self.predictor_trains,
+            &mut self.events,
+        ] {
+            *v = r.get_u64()?;
+        }
+        self.queue_depth_high_water = r.get_u64()? as usize;
+        for v in [
+            &mut self.ring_drops,
+            &mut self.ring_duplicates,
+            &mut self.ring_delays,
+            &mut self.duplicates_suppressed,
+            &mut self.stale_deliveries,
+            &mut self.timeouts,
+            &mut self.retries,
+            &mut self.degraded_entries,
+            &mut self.probation_exits,
+            &mut self.probation_resets,
+            &mut self.spurious_retries,
+            &mut self.rtt_samples,
+            &mut self.torus_drops,
+            &mut self.bytes_per_node,
+            &mut self.footprint_total_bytes,
+        ] {
+            *v = r.get_u64()?;
+        }
+        self.peak_rss_bytes = 0;
+        self.ring_hop_latency.restore_from(r)?;
+        self.timeout_estimate.restore_from(r)
+    }
+}
+
 /// Parses the `VmHWM` field out of a `/proc/self/status` dump.
 ///
 /// The unit token is honoured explicitly instead of assuming kibibytes:
@@ -471,6 +552,33 @@ mod tests {
         assert_eq!(r.bytes_per_node, 512);
         assert_eq!(r.footprint_total_bytes, 4096);
         assert_eq!(r.peak_rss_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn probe_report_snapshot_round_trips_without_peak_rss() {
+        use flexsnoop_engine::snap::{restore_bytes, snapshot_bytes};
+        let mut p = CountingProbe::new();
+        p.snoop_action(SnoopAction::Forward);
+        p.write_filter(true);
+        p.predictor_lookup(true);
+        p.ring_hop(Cycles(9));
+        p.event_dispatched(4);
+        p.rtt_sampled(Cycles(100), Cycles(150));
+        p.footprint(256, 2048, 1 << 22);
+        let original = p.report().unwrap();
+        let bytes = snapshot_bytes(&original);
+        let mut restored = ProbeReport::default();
+        restore_bytes(&mut restored, &bytes).expect("restore");
+        // Everything deterministic survives; the volatile resident-set
+        // peak is deliberately dropped.
+        let mut expected = original.clone();
+        expected.peak_rss_bytes = 0;
+        assert_eq!(restored, expected);
+        // Two reports differing only in peak RSS encode identically —
+        // the property the results cache's byte comparison relies on.
+        let mut other = original.clone();
+        other.peak_rss_bytes = 123_456_789;
+        assert_eq!(snapshot_bytes(&other), bytes);
     }
 
     #[test]

@@ -915,6 +915,16 @@ impl Simulator {
         self.txns.len()
     }
 
+    /// Events still pending in the scheduler. Zero after
+    /// [`run_until`](Self::run_until) means the run is complete and
+    /// [`finalize`](Self::finalize) may be called; callers slicing a run
+    /// into preemptible chunks (the sweep service) use this to tell "hit
+    /// the stop cycle" apart from "drained the queue". Note the queue is
+    /// also empty *before* the first `run_until` call primes the cores.
+    pub fn pending_events(&self) -> usize {
+        self.sched.len()
+    }
+
     /// Counters for ring faults injected so far (all zero when lossless).
     pub fn fault_stats(&self) -> FaultStats {
         let mut stats = self.ring.fault_stats();
@@ -2871,10 +2881,19 @@ impl Simulator {
     /// snapshot carries: the machine parameters, the algorithm, and the
     /// per-core access limits. Deliberately *excluded* are the event-queue
     /// backend, the segment count (snapshots re-route events through
-    /// [`Self::schedule_event`], so they are portable across both) and the
+    /// `schedule_event`, so they are portable across both) and the
     /// fault plan (a resumed run may widen the fault budget — the basis of
     /// the chaos shrinker's snapshot bisection).
-    fn config_fingerprint(&self) -> u64 {
+    ///
+    /// Public because the sweep service (`flexsnoop-serve`) keys its
+    /// results cache on this value: two simulators with equal
+    /// fingerprints run the same machine under the same algorithm, and
+    /// the excluded inputs (backend, segments) are exactly the ones the
+    /// segment-identity tests prove result-neutral. Inputs the snapshot
+    /// codec treats as constructor data — the workload identity, the
+    /// predictor spec, the seed — are *not* covered and must be mixed in
+    /// by the caller when the key has to distinguish them.
+    pub fn config_fingerprint(&self) -> u64 {
         let c = &self.cfg;
         let mut f = Fingerprint::new();
         for v in [

@@ -24,9 +24,10 @@
 //! `FLEXSNOOP_THREADS` environment variable.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex, MutexGuard, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Locks a deque mutex, ignoring poisoning. The queues only hold plain
@@ -300,6 +301,159 @@ impl Default for Executor {
     }
 }
 
+/// A cooperative cancellation flag shared between a controller and the
+/// tasks it scheduled.
+///
+/// Cancellation is advisory: a task observes
+/// [`is_cancelled`](CancelToken::is_cancelled) at its own safe points (e.g. between
+/// `run_until` slices of a simulation) and winds down cleanly — typically
+/// by checkpointing its progress so a later run can resume. Cloning the
+/// token shares the flag; [`reset`](CancelToken::reset) re-arms it for
+/// the next round.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+
+    /// Clears the flag so the token can gate another round of work.
+    pub fn reset(&self) {
+        self.flag.store(false, Ordering::SeqCst);
+    }
+}
+
+/// What the shared service queue holds: erased, one-shot task closures.
+type ServiceTask = Box<dyn FnOnce() + Send + 'static>;
+
+struct ServiceShared {
+    queue: Mutex<VecDeque<ServiceTask>>,
+    /// Signalled when a task is queued or shutdown is requested.
+    available: Condvar,
+    /// Once set, workers drain the remaining queue and exit.
+    shutdown: AtomicBool,
+}
+
+/// A long-lived worker pool accepting **incremental** task submission —
+/// the service-shaped counterpart to [`Executor::run`]'s batch mode.
+///
+/// [`Executor::run`] is built for sweeps whose task list is known up
+/// front: it distributes the batch, joins, and returns ordered results.
+/// A job-queue *service* instead receives work over its whole lifetime,
+/// so `ExecutorService` keeps a fixed pool of workers parked on a shared
+/// queue: [`spawn`](Self::spawn) enqueues a task and wakes one worker;
+/// [`shutdown`](Self::shutdown) drains what was already queued and joins
+/// the pool. Ordering across tasks is the caller's business (the sweep
+/// service sequences its own result stream per submission).
+///
+/// A task that panics poisons nothing: the panic is caught and the
+/// worker moves on (the sweep service reports job failures through its
+/// own event stream, not through unwinding).
+pub struct ExecutorService {
+    shared: Arc<ServiceShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for ExecutorService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecutorService")
+            .field("workers", &self.workers.len())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl ExecutorService {
+    /// Starts a pool of `threads` workers (clamped to at least 1).
+    pub fn start(threads: usize) -> Self {
+        let shared = Arc::new(ServiceShared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..threads.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let task = {
+                        let mut queue = lock_ignore_poison(&shared.queue);
+                        loop {
+                            if let Some(task) = queue.pop_front() {
+                                break task;
+                            }
+                            if shared.shutdown.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            queue = shared
+                                .available
+                                .wait(queue)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                    };
+                    // A panicking job must not take its worker down with
+                    // it; the job's own error channel reports the failure.
+                    let _ = catch_unwind(AssertUnwindSafe(task));
+                })
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// A pool sized like this executor (see [`Executor::threads`]).
+    pub fn from_executor(exec: &Executor) -> Self {
+        Self::start(exec.threads())
+    }
+
+    /// Enqueues one task; a parked worker picks it up.
+    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
+        lock_ignore_poison(&self.shared.queue).push_back(Box::new(task));
+        self.shared.available.notify_one();
+    }
+
+    /// Tasks queued but not yet claimed by a worker.
+    pub fn queued(&self) -> usize {
+        lock_ignore_poison(&self.shared.queue).len()
+    }
+
+    /// The number of workers in the pool.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Drains every task already queued, then joins the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ExecutorService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +632,62 @@ mod tests {
             let out = Executor::new(4).run(tasks);
             assert_eq!(out.len(), n);
         }
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_resettable() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        clone.cancel();
+        assert!(token.is_cancelled() && clone.is_cancelled());
+        token.reset();
+        assert!(!clone.is_cancelled());
+    }
+
+    #[test]
+    fn service_runs_incrementally_submitted_tasks() {
+        let service = ExecutorService::start(3);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..50u64 {
+            let tx = tx.clone();
+            service.spawn(move || tx.send(i).unwrap());
+        }
+        // A second wave after the first may already be in flight.
+        for i in 50..100u64 {
+            let tx = tx.clone();
+            service.spawn(move || tx.send(i).unwrap());
+        }
+        drop(tx);
+        let mut seen: Vec<u64> = rx.iter().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        service.shutdown();
+    }
+
+    #[test]
+    fn service_shutdown_drains_queued_tasks() {
+        static DONE: AtomicUsize = AtomicUsize::new(0);
+        DONE.store(0, Ordering::SeqCst);
+        let service = ExecutorService::start(1);
+        for _ in 0..20 {
+            service.spawn(|| {
+                std::thread::sleep(Duration::from_micros(100));
+                DONE.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        service.shutdown();
+        assert_eq!(DONE.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn service_survives_a_panicking_task() {
+        let service = ExecutorService::start(1);
+        let (tx, rx) = mpsc::channel();
+        service.spawn(|| panic!("job exploded"));
+        service.spawn(move || tx.send(7u32).unwrap());
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 7);
+        service.shutdown();
     }
 
     #[test]

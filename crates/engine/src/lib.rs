@@ -42,7 +42,7 @@ pub mod shard;
 pub mod snap;
 pub mod time;
 
-pub use executor::{Executor, ExecutorStats, WorkerStats};
+pub use executor::{CancelToken, Executor, ExecutorService, ExecutorStats, WorkerStats};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use queue::{EventQueue, QueueKind};
 pub use resource::Resource;

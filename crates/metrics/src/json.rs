@@ -10,7 +10,7 @@
 //! # Example
 //!
 //! ```
-//! use flexsnoop_report::json::Json;
+//! use flexsnoop_metrics::json::Json;
 //!
 //! let doc = Json::obj([
 //!     ("schema", Json::str("demo/v1")),

@@ -6,13 +6,17 @@
 //!   that tallies events into nanojoules, broken down by category.
 //! * [`table`] — plain-text and CSV table rendering used by the benchmark
 //!   harness to print paper-style rows.
+//! * [`json`] — the deterministic JSON emitter shared by the benchmark
+//!   artifacts and the sweep service's result stream.
 
 #![warn(missing_docs)]
 
 pub mod energy;
+pub mod json;
 pub mod stats;
 pub mod table;
 
 pub use energy::{EnergyAccount, EnergyCategory, EnergyModel};
+pub use json::Json;
 pub use stats::{geomean, mean, normalize_to, Histogram};
 pub use table::Table;

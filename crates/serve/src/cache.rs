@@ -1,0 +1,188 @@
+//! The fingerprint-keyed results cache.
+//!
+//! Maps a [`JobKey`] to the sealed [`JobOutput`](crate::JobOutput) bytes
+//! of a completed run. Always memory-backed; optionally persisted to a
+//! directory with one file per key
+//! (`job-{config:016x}-{seed:016x}.snap`), written atomically via a
+//! temporary file so a crashed service never leaves a torn entry. Reads
+//! validate the seal (magic, version, checksum) before trusting a file;
+//! a damaged entry is treated as a miss and recomputed, never misread.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use flexsnoop_engine::snap;
+
+use crate::job::JobKey;
+
+/// Hit/miss/store counters, all monotonic over the cache's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered (from memory or a valid persistent file).
+    pub hits: u64,
+    /// Lookups that found nothing (or a damaged file).
+    pub misses: u64,
+    /// Results inserted.
+    pub stores: u64,
+}
+
+/// A concurrent results cache keyed on [`JobKey`].
+#[derive(Debug)]
+pub struct ResultsCache {
+    dir: Option<PathBuf>,
+    map: Mutex<HashMap<JobKey, Arc<Vec<u8>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl ResultsCache {
+    /// A memory-only cache (lives as long as the service).
+    pub fn in_memory() -> ResultsCache {
+        ResultsCache {
+            dir: None,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache persisted under `dir` (created if missing). Entries
+    /// written by earlier service runs are visible immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn persistent(dir: impl Into<PathBuf>) -> io::Result<ResultsCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultsCache {
+            dir: Some(dir),
+            ..ResultsCache::in_memory()
+        })
+    }
+
+    /// The persistence directory, when there is one.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Looks up a result, falling back to the persistence directory on a
+    /// memory miss. Damaged files count as misses.
+    pub fn get(&self, key: &JobKey) -> Option<Arc<Vec<u8>>> {
+        if let Some(bytes) = lock_ignore_poison(&self.map).get(key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(bytes);
+        }
+        if let Some(dir) = &self.dir {
+            if let Ok(bytes) = std::fs::read(dir.join(file_name(key))) {
+                if snap::unseal(&bytes).is_ok() {
+                    let bytes = Arc::new(bytes);
+                    lock_ignore_poison(&self.map).insert(*key, bytes.clone());
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(bytes);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Inserts a result, persisting it when a directory is configured.
+    /// Persistence failures are swallowed: the memory entry still serves
+    /// this process, and the next service run simply recomputes.
+    pub fn put(&self, key: JobKey, bytes: Arc<Vec<u8>>) {
+        if let Some(dir) = &self.dir {
+            let tmp = dir.join(format!(".{}.tmp", file_name(&key)));
+            if std::fs::write(&tmp, bytes.as_slice()).is_ok() {
+                let _ = std::fs::rename(&tmp, dir.join(file_name(&key)));
+            }
+        }
+        lock_ignore_poison(&self.map).insert(key, bytes);
+        self.stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Entries currently held in memory.
+    pub fn len(&self) -> usize {
+        lock_ignore_poison(&self.map).len()
+    }
+
+    /// Whether the in-memory map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The persistent file name for a key.
+fn file_name(key: &JobKey) -> String {
+    format!("job-{}.snap", key.render())
+}
+
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(config: u64, seed: u64) -> JobKey {
+        JobKey { config, seed }
+    }
+
+    fn sealed(tag: u8) -> Arc<Vec<u8>> {
+        Arc::new(snap::seal(vec![tag; 16]))
+    }
+
+    #[test]
+    fn memory_cache_counts_hits_and_misses() {
+        let cache = ResultsCache::in_memory();
+        assert!(cache.get(&key(1, 2)).is_none());
+        cache.put(key(1, 2), sealed(7));
+        assert_eq!(cache.get(&key(1, 2)).unwrap(), sealed(7));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                stores: 1
+            }
+        );
+    }
+
+    #[test]
+    fn persistent_cache_survives_a_new_instance_and_rejects_damage() {
+        let dir = std::env::temp_dir().join(format!("flexsnoop-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let cache = ResultsCache::persistent(&dir).unwrap();
+            cache.put(key(3, 4), sealed(9));
+        }
+        let fresh = ResultsCache::persistent(&dir).unwrap();
+        assert_eq!(
+            fresh.get(&key(3, 4)).unwrap(),
+            sealed(9),
+            "reloaded from disk"
+        );
+        // Truncate the file: the entry must degrade to a miss.
+        let path = dir.join(file_name(&key(3, 4)));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let damaged = ResultsCache::persistent(&dir).unwrap();
+        assert!(damaged.get(&key(3, 4)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,137 @@
+//! Sweep-service integration tests: the fingerprint-keyed results cache
+//! must be a pure function of the job key across every axis the service
+//! can vary — executor width, queue backend, service restarts, and the
+//! socket transport — and concurrent duplicate submissions must coalesce
+//! onto one execution instead of racing.
+
+use std::thread;
+
+use flexsnoop_serve::{
+    request, request_shutdown, result_lines, serve_blocking, ResultsCache, ServiceOptions,
+    SweepRequest, SweepService,
+};
+
+const SEED: u64 = 20060617;
+
+fn small_request() -> SweepRequest {
+    SweepRequest {
+        workloads: vec!["specjbb".to_string()],
+        algorithms: vec!["superset-agg".to_string(), "exact".to_string()],
+        seeds: vec![SEED],
+        accesses: 150,
+        ..SweepRequest::default()
+    }
+}
+
+fn collect_bytes(service: &SweepService, request: &SweepRequest) -> Vec<Vec<u8>> {
+    service
+        .submit(request)
+        .expect("valid sweep")
+        .collect()
+        .results
+        .into_iter()
+        .map(|r| r.expect("job succeeds").bytes.to_vec())
+        .collect()
+}
+
+#[test]
+fn cached_results_survive_a_service_restart() {
+    let dir = std::env::temp_dir().join(format!("flexsnoop-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let request = small_request();
+
+    let first = SweepService::new(
+        ServiceOptions::default(),
+        ResultsCache::persistent(&dir).expect("cache dir"),
+    );
+    let cold = collect_bytes(&first, &request);
+    assert_eq!(first.stats().executed, 2, "cold run executes every job");
+    drop(first);
+
+    // A fresh service over the same directory answers everything from the
+    // sealed files, byte-for-byte, without executing a single job.
+    let second = SweepService::new(
+        ServiceOptions::default(),
+        ResultsCache::persistent(&dir).expect("cache dir"),
+    );
+    let warm = collect_bytes(&second, &request);
+    assert_eq!(second.stats().executed, 0, "warm run is pure cache");
+    assert_eq!(second.stats().cache.hits, 2);
+    assert_eq!(cold, warm, "restart changed cached bytes");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_duplicate_submissions_coalesce_onto_one_execution() {
+    let request = SweepRequest {
+        algorithms: vec!["exact".to_string()],
+        ..small_request()
+    };
+    let service = SweepService::new(ServiceOptions::default(), ResultsCache::in_memory());
+    // Hold admission so every duplicate lands while the job is still
+    // in flight — otherwise late submissions would hit the cache and the
+    // dedup counter would be racy.
+    service.hold();
+    let all: Vec<Vec<Vec<u8>>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let submission = service.submit(&request).expect("valid sweep");
+                s.spawn(move || {
+                    submission
+                        .collect()
+                        .results
+                        .into_iter()
+                        .map(|r| r.expect("job succeeds").bytes.to_vec())
+                        .collect()
+                })
+            })
+            .collect();
+        service.release();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let stats = service.stats();
+    assert_eq!(stats.executed, 1, "one execution serves all four waiters");
+    assert_eq!(stats.coalesced, 3, "the other three submissions coalesce");
+    for other in &all[1..] {
+        assert_eq!(&all[0], other, "coalesced waiters got different bytes");
+    }
+}
+
+#[test]
+fn cache_is_sound_across_executor_widths_and_queue_backends() {
+    // The checker's cross-check: same sweep through 1-wide and 3-wide
+    // services, a warm pass with zero re-runs, and direct service-free
+    // recomputation under both event-queue backends.
+    let summary = flexsnoop_checker::cachecheck::check_request(&small_request(), &[1, 3])
+        .expect("cache determinism holds");
+    assert!(summary.contains("0 re-runs"), "{summary}");
+}
+
+#[test]
+fn socket_round_trip_streams_identical_results_cold_and_warm() {
+    let sock = std::env::temp_dir().join(format!("flexsnoop-serve-it-{}.sock", std::process::id()));
+    let service = SweepService::new(ServiceOptions::default(), ResultsCache::in_memory());
+    let server = {
+        let path = sock.clone();
+        thread::spawn(move || serve_blocking(&path, &service))
+    };
+    let line = small_request().render_line();
+    // Wait for the listener to bind, then sweep twice.
+    let cold = loop {
+        match request(&sock, &line) {
+            Ok(reply) => break reply,
+            Err(_) => thread::yield_now(),
+        }
+    };
+    let warm = request(&sock, &line).expect("second sweep");
+    assert!(cold.contains("\"computed\": 2"), "{cold}");
+    assert!(warm.contains("\"cached\": 2"), "{warm}");
+    assert_eq!(
+        result_lines(&cold),
+        result_lines(&warm),
+        "cache hits changed the result stream"
+    );
+    request_shutdown(&sock).expect("shutdown");
+    let summary = server.join().unwrap().expect("server exits cleanly");
+    assert_eq!(summary.sweeps, 2);
+}

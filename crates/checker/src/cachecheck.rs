@@ -49,10 +49,7 @@ fn run_through_service(
     Ok((service, bytes))
 }
 
-fn collect_bytes(
-    service: &SweepService,
-    request: &SweepRequest,
-) -> Result<SealedResults, String> {
+fn collect_bytes(service: &SweepService, request: &SweepRequest) -> Result<SealedResults, String> {
     service
         .submit(request)?
         .collect()

@@ -41,6 +41,7 @@ use flexsnoop::{
 use flexsnoop_directory::DirSimulator;
 use flexsnoop_engine::{Cycle, Executor, QueueKind, SplitMix64};
 use flexsnoop_mem::LineAddr;
+use flexsnoop_scenario::{chaos_expectations, RunOutcome};
 use flexsnoop_workload::{Trace, WorkloadProfile};
 
 use crate::{boxed_streams, machine_for, written_lines, TABLE3_ALGORITHMS};
@@ -165,6 +166,8 @@ pub struct ChaosTotals {
     pub delays: u64,
     /// Torus data messages dropped by fault plans.
     pub torus_drops: u64,
+    /// Ring hops refused by partition windows.
+    pub partition_blocked: u64,
     /// Injected duplicates suppressed by sequence numbers.
     pub duplicates_suppressed: u64,
     /// Deliveries discarded as belonging to superseded attempts.
@@ -192,6 +195,7 @@ impl ChaosTotals {
         self.duplicates += r.ring_duplicates;
         self.delays += r.ring_delays;
         self.torus_drops += r.torus_drops;
+        self.partition_blocked += r.partition_blocked;
         self.duplicates_suppressed += r.duplicates_suppressed;
         self.stale_deliveries += r.stale_deliveries;
         self.timeouts += r.timeouts;
@@ -205,7 +209,14 @@ impl ChaosTotals {
 }
 
 /// The enabled fault kinds, in report/baseline order.
-pub const FAULT_KINDS: [&str; 5] = ["drop", "duplicate", "delay", "stall", "torus-drop"];
+pub const FAULT_KINDS: [&str; 6] = [
+    "drop",
+    "duplicate",
+    "delay",
+    "stall",
+    "torus-drop",
+    "partition",
+];
 
 /// Per-kind fault coverage: how many plans armed each fault kind and how
 /// many fault events each kind actually injected across the campaign.
@@ -215,7 +226,7 @@ pub const FAULT_KINDS: [&str; 5] = ["drop", "duplicate", "delay", "stall", "toru
 pub struct ChaosCoverage {
     /// `[plans that armed the kind, events the kind injected]`, indexed
     /// like [`FAULT_KINDS`].
-    pub kinds: [[u64; 2]; 5],
+    pub kinds: [[u64; 2]; 6],
 }
 
 impl ChaosCoverage {
@@ -227,6 +238,7 @@ impl ChaosCoverage {
             ring && plan.delay > 0.0,
             !plan.stalls.is_empty(),
             plan.torus_faults(),
+            !plan.partitions.is_empty(),
         ];
         for (slot, on) in self.kinds.iter_mut().zip(armed) {
             slot[0] += on as u64;
@@ -234,7 +246,14 @@ impl ChaosCoverage {
     }
 
     fn absorb_events(&mut self, f: &FaultStats) {
-        let injected = [f.drops, f.duplicates, f.delays, f.stall_hits, f.torus_drops];
+        let injected = [
+            f.drops,
+            f.duplicates,
+            f.delays,
+            f.stall_hits,
+            f.torus_drops,
+            f.partition_blocked,
+        ];
         for (slot, n) in self.kinds.iter_mut().zip(injected) {
             slot[1] += n;
         }
@@ -361,7 +380,8 @@ impl ChaosReport {
         out.push_str(&format!(
             "# Chaos campaign: {}\n\n\
              - schedules: {} (runs: {}, recovery: {})\n\
-             - faults injected: {} drops, {} duplicates, {} delays, {} torus drops\n\
+             - faults injected: {} drops, {} duplicates, {} delays, {} torus drops, \
+             {} partition-blocked hops\n\
              - recovery activity: {} dup-suppressed, {} stale discarded, \
              {} timeouts, {} retries ({} spurious), {} rtt samples, {} degraded lines, \
              {} probation exits, {} probation resets\n\
@@ -375,6 +395,7 @@ impl ChaosReport {
             self.totals.duplicates,
             self.totals.delays,
             self.totals.torus_drops,
+            self.totals.partition_blocked,
             self.totals.duplicates_suppressed,
             self.totals.stale_deliveries,
             self.totals.timeouts,
@@ -498,51 +519,36 @@ fn run_one(
 }
 
 /// The campaign's failure predicate: one line per broken property,
-/// empty when the run survived the schedule.
+/// empty when the run survived the schedule. The properties themselves
+/// live in the scenario crate ([`chaos_expectations`] evaluates the
+/// historical set, in the historical report order — the same checks a
+/// declarative scenario can mix with recovery expectations), so
+/// reproducer verdicts are byte-identical across the port.
 fn failure_reasons(out: &ChaosOutcome, written: &BTreeSet<LineAddr>) -> Vec<String> {
-    let mut reasons = Vec::new();
-    if let Some(v) = out.violations.first() {
-        reasons.push(format!(
-            "invariant oracle recorded {} violation(s); first: {v}",
-            out.violations.len()
-        ));
-    }
-    if let Err(e) = &out.coherence {
-        reasons.push(format!("final coherence sweep failed: {e}"));
-    }
-    if out.in_flight > 0 {
-        reasons.push(format!(
-            "{} transaction(s) never retired (lost on the ring)",
-            out.in_flight
-        ));
-    }
-    let s = &out.stats;
-    if s.robustness.unfinished_cores > 0 {
-        reasons.push(format!(
-            "{} core(s) stranded mid-stream",
-            s.robustness.unfinished_cores
-        ));
-    }
     // Under faults a retried read may be supplied twice (once per
-    // surviving circulation), so the lossless equality relaxes to "at
+    // surviving circulation), so the supply expectation relaxes to "at
     // least one supply per read" — but never fewer.
-    if s.reads_cache_supplied + s.reads_from_memory < s.read_txns {
-        reasons.push(format!(
-            "read supply accounting broken: {} txns > {} cache + {} memory",
-            s.read_txns, s.reads_cache_supplied, s.reads_from_memory
-        ));
-    }
-    let rogue: Vec<_> = out
-        .snapshot
+    let outcome = RunOutcome {
+        stats: out.stats.clone(),
+        violations: out.violations.clone(),
+        coherence: out.coherence.clone(),
+        in_flight: out.in_flight,
+        // The chaos expectation set carries no degradation budget — a
+        // schedule may legitimately leave lines degraded.
+        degraded_lines: 0,
+        dirty_lines: out
+            .snapshot
+            .iter()
+            .filter(|(_, _, _, st)| st.is_dirty())
+            .map(|&(line, _, _, _)| line)
+            .collect(),
+        written: written.clone(),
+        last_disruption_end: 0,
+    };
+    chaos_expectations()
         .iter()
-        .filter(|(_, _, _, st)| st.is_dirty())
-        .map(|&(line, _, _, _)| line)
-        .filter(|l| !written.contains(l))
-        .collect();
-    if !rogue.is_empty() {
-        reasons.push(format!("dirty lines never written by the trace: {rogue:?}"));
-    }
-    reasons
+        .flat_map(|e| e.check(&outcome))
+        .collect()
 }
 
 /// Draws the fault plan for one schedule seed, applying the campaign's
@@ -681,7 +687,11 @@ fn shrink_plan(
         }
     }
     // Kind elimination: remove whole fault classes while still failing.
-    let simplifications: [fn(&mut FaultPlan); 6] = [
+    // Partition windows shrink first: they are the scenario-scheduled
+    // disruption, and a reproducer that fails without them points
+    // straight at the randomized faults.
+    let simplifications: [fn(&mut FaultPlan); 7] = [
+        |p| p.partitions.clear(),
         |p| p.torus_drop = 0.0,
         |p| p.stalls.clear(),
         |p| p.link_drops.clear(),
@@ -1067,12 +1077,22 @@ mod tests {
     #[test]
     fn coverage_baseline_roundtrip_and_ratchet() {
         let cov = ChaosCoverage {
-            kinds: [[3, 30], [2, 20], [4, 40], [1, 5], [2, 7]],
+            kinds: [[3, 30], [2, 20], [4, 40], [1, 5], [2, 7], [1, 11]],
         };
         let text = cov.render_baseline();
         let parsed = ChaosCoverage::parse_baseline(&text).unwrap();
         assert_eq!(parsed.injected("drop"), 30);
         assert_eq!(parsed.injected("torus-drop"), 7);
+        assert_eq!(parsed.injected("partition"), 11);
+        // Baselines written before the partition kind existed parse fine
+        // (unknown-kind lines are the symmetric case, also ignored).
+        let old = "drop 30\nduplicate 20\ndelay 40\nstall 5\ntorus-drop 7\n";
+        assert_eq!(
+            ChaosCoverage::parse_baseline(old)
+                .unwrap()
+                .injected("partition"),
+            0
+        );
         assert!(cov.regressions(&parsed).is_empty());
         // A kind the baseline proved reachable going silent is a failure…
         let mut starved = cov;

@@ -27,6 +27,8 @@ pub enum Command {
     Serve,
     /// Submit a request line to a serving socket.
     Submit,
+    /// Run a declarative robustness scenario (builtin or file).
+    Scenario,
     /// Print usage.
     Help,
 }
@@ -135,6 +137,8 @@ pub struct Args {
     /// `--via-serve` for `report`: route the figure matrix through the
     /// sweep service's scheduler and results cache.
     pub via_serve: bool,
+    /// Positional scenario name or file for `scenario run`.
+    pub scenario: String,
 }
 
 impl Default for Args {
@@ -178,6 +182,7 @@ impl Default for Args {
             shutdown: false,
             self_check: false,
             via_serve: false,
+            scenario: String::new(),
         }
     }
 }
@@ -208,10 +213,26 @@ impl Args {
             "chaos" => Command::Chaos,
             "serve" => Command::Serve,
             "submit" => Command::Submit,
+            "scenario" => Command::Scenario,
             "help" | "--help" | "-h" => Command::Help,
             other => return Err(format!("unknown command {other:?}; try `flexsnoop help`")),
         };
+        let mut scenario_verb = false;
         while let Some(key) = it.next() {
+            // `scenario` takes positionals: an optional `run` verb, then
+            // the builtin name or scenario file.
+            if args.command == Command::Scenario && !key.starts_with("--") {
+                if key == "run" && !scenario_verb {
+                    scenario_verb = true;
+                } else if args.scenario.is_empty() {
+                    args.scenario = key.clone();
+                } else {
+                    return Err(format!(
+                        "scenario takes one name or file, got extra argument {key:?}"
+                    ));
+                }
+                continue;
+            }
             // Boolean flags take no value.
             match key.as_str() {
                 "--csv" => {
@@ -457,6 +478,28 @@ mod tests {
         assert_eq!(a.predictor_fault, "force-negative:3:5");
         let b = Args::parse(&argv("run --accesses 77")).unwrap();
         assert!(b.accesses_explicit);
+    }
+
+    #[test]
+    fn scenario_options_parse() {
+        let a = Args::parse(&argv("scenario run partition-heal --smoke")).unwrap();
+        assert_eq!(a.command, Command::Scenario);
+        assert_eq!(a.scenario, "partition-heal");
+        assert!(a.smoke);
+
+        // The `run` verb is optional; a bare file works too.
+        let b = Args::parse(&argv("scenario cases/heal.scn --threads 2")).unwrap();
+        assert_eq!(b.scenario, "cases/heal.scn");
+        assert_eq!(b.threads, 2);
+
+        // A scenario literally named `run` still resolves: the first
+        // `run` is the verb, the second the name.
+        let c = Args::parse(&argv("scenario run run")).unwrap();
+        assert_eq!(c.scenario, "run");
+
+        assert!(Args::parse(&argv("scenario run a b"))
+            .unwrap_err()
+            .contains("extra argument"));
     }
 
     #[test]

@@ -511,7 +511,7 @@ pub fn serve(args: &Args) -> Result<String, String> {
     let stats = service.stats();
     Ok(format!(
         "served {} connections ({} sweeps, {} jobs): {} executed, {} cache hits, \
-         {} coalesced, {} failed\n",
+         {} coalesced, {} failed, {} client disconnects\n",
         summary.connections,
         summary.sweeps,
         summary.jobs,
@@ -519,6 +519,7 @@ pub fn serve(args: &Args) -> Result<String, String> {
         stats.cache.hits,
         stats.coalesced,
         stats.failed,
+        summary.disconnects,
     ))
 }
 
@@ -570,6 +571,20 @@ fn split_names(list: &str) -> Vec<String> {
 /// `flexsnoop chaos`: the seeded unreliable-ring campaign
 /// (see `flexsnoop_checker::chaos`).
 pub fn chaos(args: &Args) -> Result<String, String> {
+    if args.budget == Some(0) {
+        return Err(
+            "--budget 0 disarms every fault in the plan; a reproducer needs a budget of \
+             at least 1 (omit --budget to keep the schedule's own)"
+                .to_string(),
+        );
+    }
+    if args.schedules == 0 && args.schedule.is_none() {
+        return Err(
+            "--schedules 0 draws no fault schedules; give --schedules N (N >= 1) or pin \
+             one with --schedule SEED"
+                .to_string(),
+        );
+    }
     let workload = parse_workload(&args.workload, args.nodes)?;
     let defaults = flexsnoop_checker::ChaosOptions::default();
     let opts = flexsnoop_checker::ChaosOptions {
@@ -627,6 +642,68 @@ pub fn chaos(args: &Args) -> Result<String, String> {
     }
     if report.is_clean() || args.no_retry {
         // --no-retry failures are the self-test's expected outcome.
+        Ok(text)
+    } else {
+        Err(text)
+    }
+}
+
+/// `flexsnoop scenario run <builtin|file>`.
+pub fn scenario(args: &Args) -> Result<String, String> {
+    if args.scenario.is_empty() {
+        return Err(format!(
+            "scenario run needs a builtin name or a scenario file; builtins: {}",
+            flexsnoop_scenario::builtin_names().join(", ")
+        ));
+    }
+    let spec = match flexsnoop_scenario::builtin(&args.scenario) {
+        Some(s) => s,
+        None => {
+            let path = std::path::Path::new(&args.scenario);
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                format!(
+                    "{:?} is not a builtin scenario ({}) and not a readable file: {e}",
+                    args.scenario,
+                    flexsnoop_scenario::builtin_names().join(", ")
+                )
+            })?;
+            // Trace phases name files relative to the scenario file.
+            let dir = path
+                .parent()
+                .map(std::path::Path::to_path_buf)
+                .unwrap_or_default();
+            flexsnoop_scenario::Scenario::parse_with(&text, &mut |trace_path| {
+                std::fs::read_to_string(dir.join(trace_path))
+                    .map_err(|e| format!("cannot read trace file {trace_path:?}: {e}"))
+            })
+            .map_err(|e| format!("{}: {e}", args.scenario))?
+        }
+    };
+    let algorithms = if args.algorithms.is_empty() {
+        flexsnoop_scenario::default_algorithms().to_vec()
+    } else {
+        let mut parsed = Vec::new();
+        for name in args.algorithms.split(',').filter(|s| !s.is_empty()) {
+            parsed.push(parse_algorithm(name)?);
+        }
+        parsed
+    };
+    let opts = flexsnoop_scenario::RunOptions {
+        algorithms,
+        smoke: args.smoke,
+        threads: if args.threads > 0 {
+            args.threads
+        } else {
+            flexsnoop_scenario::RunOptions::default().threads
+        },
+    };
+    let report = flexsnoop_scenario::run_scenario(&spec, &opts)?;
+    let text = report.render();
+    if !args.out.is_empty() {
+        std::fs::write(&args.out, &text).map_err(|e| format!("write {}: {e}", args.out))?;
+    }
+    // A failed expectation is a non-zero exit: CI gates on it.
+    if report.is_clean() {
         Ok(text)
     } else {
         Err(text)

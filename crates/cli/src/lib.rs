@@ -50,6 +50,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         Command::Chaos => commands::chaos(&args),
         Command::Serve => commands::serve(&args),
         Command::Submit => commands::submit(&args),
+        Command::Scenario => commands::scenario(&args),
         Command::Help => Ok(usage()),
     }
 }
@@ -75,6 +76,9 @@ COMMANDS:
     chaos       Sweep seeded ring-fault schedules across the Table 3 algorithms
     serve       Host the sweep service on a Unix socket (NDJSON result stream)
     submit      Send a parameter sweep to a serving socket
+    scenario    Run a declarative robustness scenario: `scenario run <name|file>`
+                (builtins: partition-heal, churn; see DESIGN.md §12 for the
+                scenario file format)
     help        Show this message
 
 OPTIONS (where applicable):
@@ -124,6 +128,13 @@ OPTIONS (where applicable):
     --shutdown           `submit`: stop the server instead of sweeping
     --self-check         `serve`: verify cached results match recomputation
                          across queue backends and executor widths, then exit
+
+SCENARIO OPTIONS:
+    --algorithms LIST    restrict the algorithm matrix (comma-separated names)
+                         [subset,superset-con,superset-agg,exact]
+    --smoke              first two algorithms only, skip the cross-backend
+                         determinism replay (fast CI gate)
+    --out FILE           also write the expectation report to FILE
 "
     .to_string()
 }
@@ -247,6 +258,60 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("--no-retry"), "{out}");
+    }
+
+    #[test]
+    fn scenario_builtins_run_clean_in_smoke_mode() {
+        for name in ["partition-heal", "churn"] {
+            let out = run(&argv(&format!("scenario run {name} --smoke --threads 2"))).unwrap();
+            assert!(out.contains("CLEAN"), "{name}:\n{out}");
+            assert!(out.contains("skipped (smoke)"), "{name}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn scenario_runs_a_file_and_fails_failed_expectations() {
+        let dir = std::env::temp_dir().join("flexsnoop-scn-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("impossible.scn");
+        // A real partition window with a zero-slack recovery deadline:
+        // blocked requests time out after the heal, so this must fail.
+        std::fs::write(
+            &path,
+            "name impossible\nnodes 8\nseed 42\n\
+             phase migratory accesses=400 lines=64 hot=0.6 writes=0.5\n\
+             partition 0-3|4-7 from=4000 until=12000\n\
+             expect recovers-within 0\n",
+        )
+        .unwrap();
+        let err = run(&argv(&format!(
+            "scenario run {} --smoke --threads 2",
+            path.display()
+        )))
+        .unwrap_err();
+        assert!(err.contains("recovery not settled"), "{err}");
+        assert!(err.contains("FAILURE"), "{err}");
+    }
+
+    #[test]
+    fn scenario_rejects_unknown_names_and_empty_invocations() {
+        let err = run(&argv("scenario run no-such-thing")).unwrap_err();
+        assert!(err.contains("not a builtin"), "{err}");
+        assert!(err.contains("partition-heal"), "{err}");
+        let err = run(&argv("scenario")).unwrap_err();
+        assert!(err.contains("builtins"), "{err}");
+        let err = run(&argv("scenario run churn --algorithms bogus --smoke")).unwrap_err();
+        assert!(err.contains("unknown algorithm"), "{err}");
+    }
+
+    #[test]
+    fn chaos_rejects_zero_budget_and_zero_schedules() {
+        let err = run(&argv("chaos --budget 0 --schedule 7")).unwrap_err();
+        assert!(err.contains("--budget 0"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+        let err = run(&argv("chaos --schedules 0")).unwrap_err();
+        assert!(err.contains("--schedules 0"), "{err}");
+        assert!(err.contains("--schedule SEED"), "{err}");
     }
 
     #[test]

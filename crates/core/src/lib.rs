@@ -64,13 +64,13 @@ pub use experiments::{run_algorithms, run_workload, GroupAggregator, VecStream};
 pub use message::{MsgKind, ReplyInfo, RingMsg, TxnId, TxnOp};
 pub use oracle::{ProtocolMutation, Violation};
 pub use probe::{CountingProbe, Probe, ProbeReport};
-pub use sim::{energy_model_for, MemoryFootprint, Simulator};
+pub use sim::{energy_model_for, ChurnWindow, MemoryFootprint, Simulator};
 pub use stats::{RobustnessStats, RunStats};
 pub use timeline::{Timeline, TxnEvent};
 
 // Re-export the substrate types that appear in this crate's public API so
 // downstream users need only one dependency.
-pub use flexsnoop_net::{FaultPlan, FaultStats, LinkDrop, RingFault, StallWindow};
+pub use flexsnoop_net::{FaultPlan, FaultStats, LinkDrop, PartitionWindow, RingFault, StallWindow};
 pub use flexsnoop_predictor::{
     FaultInjectingPredictor, FaultKind, PredictorSpec, SupplierPredictor,
 };

@@ -277,6 +277,42 @@ enum Event {
     /// The requester-side recovery timer for one circulation attempt
     /// expired (only scheduled on an unreliable ring with recovery on).
     Timeout { txn: TxnId, attempt: u32 },
+    /// A CMP leaves the machine (node churn): its cores quiesce and its
+    /// caches are flushed (`warm: false`) or demoted to non-supplier
+    /// states (`warm: true`). See [`ChurnWindow`].
+    ChurnDetach { node: CmpId, warm: bool },
+    /// A churned-out CMP rejoins the machine and its cores resume.
+    ChurnReadd { node: CmpId },
+}
+
+/// One scheduled hot-remove / re-add of a CMP (node churn).
+///
+/// At `remove_at` the node *detaches*: its cores stop issuing (accesses
+/// already pulled from their streams are deferred, not lost) while its
+/// gateway hardware keeps forwarding and snooping — the ring stays
+/// closed. A **cold** removal (`warm: false`) flushes the CMP's caches:
+/// dirty lines write back to their home node over the torus and every
+/// copy is invalidated, so the node rejoins with nothing resident. A
+/// **warm** removal keeps the caches but demotes any supplier-state copy
+/// (`Sg`/`E`/`D`/`T`) to locally-shared `Sl` — writing dirty data back —
+/// so no remote request can depend on the detached node for data; the
+/// kept copies stay coherent because the gateway still applies write
+/// invalidations. At `readd_at` the node re-attaches and its deferred
+/// accesses issue.
+///
+/// In-flight transactions are never cancelled: snoop outcomes are read
+/// from the live caches at snoop time, so a purged line simply produces
+/// a negative snoop and the requester falls through to memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnWindow {
+    /// The CMP that leaves and rejoins.
+    pub node: CmpId,
+    /// Cycle at which the node detaches.
+    pub remove_at: Cycle,
+    /// Cycle at which the node re-attaches (must be after `remove_at`).
+    pub readd_at: Cycle,
+    /// Keep the caches across the window (demoted), instead of flushing.
+    pub warm: bool,
 }
 
 /// The simulator's event queue: one global [`Scheduler`] by default, or a
@@ -444,6 +480,12 @@ pub struct Simulator {
     /// [`Self::set_recovery_enabled`] for the chaos harness's
     /// self-test: a lossy ring without retries loses transactions.
     recovery: bool,
+    /// Armed node-churn windows ([`Self::set_churn_plan`]); like the
+    /// fault plan, re-armed (not serialized) across snapshot restore.
+    churn: Vec<ChurnWindow>,
+    /// Per-node churn state: `true` while the CMP is detached. Core
+    /// issues on a detached node are deferred to its re-add cycle.
+    detached: Vec<bool>,
     /// Derived static ring-phase timeout (see
     /// [`crate::config::RecoveryParams`]): floor + queueing slack.
     timeout_base: Cycles,
@@ -642,6 +684,8 @@ impl Simulator {
             unreliable: false,
             torus_faulty: false,
             recovery: true,
+            churn: Vec::new(),
+            detached: vec![false; machine.nodes],
             timeout_base: Cycles(0),
             timeout_floor: Cycles(0),
             rtt: Vec::new(),
@@ -852,6 +896,68 @@ impl Simulator {
         self.rtt = vec![RttEstimator::new(self.timeout_floor); self.cfg.nodes];
     }
 
+    /// Arms node-churn windows (see [`ChurnWindow`]): each detaches one
+    /// CMP at `remove_at` and re-attaches it at `readd_at`. The detach
+    /// and re-add events are scheduled up front when the run is primed,
+    /// so their order relative to same-cycle traffic is fixed by
+    /// insertion sequence and every queue backend replays it
+    /// identically. Call before [`run`](Self::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a window names a node outside the machine,
+    /// re-adds at or before its removal, or overlaps another window on
+    /// the same node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn set_churn_plan(&mut self, windows: Vec<ChurnWindow>) -> Result<(), String> {
+        assert!(
+            !self.started && !self.finished && self.sched.is_empty(),
+            "set_churn_plan() must be called before run()"
+        );
+        for w in &windows {
+            if w.node.0 >= self.cfg.nodes {
+                return Err(format!(
+                    "churn window names node {} but the machine has {} nodes",
+                    w.node.0, self.cfg.nodes
+                ));
+            }
+            if w.remove_at >= w.readd_at {
+                return Err(format!(
+                    "churn window on node {} must re-add after it removes ({} >= {})",
+                    w.node.0,
+                    w.remove_at.as_u64(),
+                    w.readd_at.as_u64()
+                ));
+            }
+        }
+        let mut spans: Vec<(usize, Cycle, Cycle)> = windows
+            .iter()
+            .map(|w| (w.node.0, w.remove_at, w.readd_at))
+            .collect();
+        spans.sort_unstable();
+        for pair in spans.windows(2) {
+            if pair[0].0 == pair[1].0 && pair[1].1 < pair[0].2 {
+                return Err(format!("churn windows on node {} overlap", pair[0].0));
+            }
+        }
+        self.churn = windows;
+        Ok(())
+    }
+
+    /// The armed churn windows (empty unless [`Self::set_churn_plan`]
+    /// was called).
+    pub fn churn_plan(&self) -> &[ChurnWindow] {
+        &self.churn
+    }
+
+    /// Whether `node` is currently detached by a churn window.
+    pub fn is_detached(&self, node: CmpId) -> bool {
+        self.detached.get(node.0).copied().unwrap_or(false)
+    }
+
     /// Timeout window for circulation `attempt` of a transaction issued
     /// at `requester`.
     ///
@@ -1050,6 +1156,21 @@ impl Simulator {
             for core in 0..self.cores.len() {
                 self.advance_core(core, Cycle::ZERO);
             }
+            // Arm churn windows after the cores: a re-add's priming-time
+            // insertion sequence precedes any event the run schedules
+            // later, so deferred issues parked at `readd_at` always
+            // dispatch after the node re-attached.
+            for i in 0..self.churn.len() {
+                let w = self.churn[i];
+                self.schedule_event(
+                    w.remove_at,
+                    Event::ChurnDetach {
+                        node: w.node,
+                        warm: w.warm,
+                    },
+                );
+                self.schedule_event(w.readd_at, Event::ChurnReadd { node: w.node });
+            }
         }
         loop {
             if let Some(stop) = stop_at {
@@ -1100,6 +1221,7 @@ impl Simulator {
         self.stats.robustness.ring_drops = fault_stats.drops;
         self.stats.robustness.ring_duplicates = fault_stats.duplicates;
         self.stats.robustness.ring_delays = fault_stats.delays;
+        self.stats.robustness.partition_blocked = fault_stats.partition_blocked;
         self.stats.robustness.torus_drops = self.torus.fault_drops();
         self.stats.robustness.injected_prediction_faults = self.injected_prediction_faults();
         // Fold predictor activity into the energy account.
@@ -1146,6 +1268,7 @@ impl Simulator {
             Event::CoreIssue { core, .. } => core / self.cfg.cores_per_cmp,
             Event::RingArrive { node, .. } => node.0,
             Event::SnoopDone { node, .. } | Event::WriteSnoopDone { node, .. } => node.0,
+            Event::ChurnDetach { node, .. } | Event::ChurnReadd { node } => node.0,
             Event::DataArrive { txn } | Event::MemData { txn } | Event::Timeout { txn, .. } => {
                 self.txns.get(txn).map_or(0, |t| t.requester.0)
             }
@@ -1197,17 +1320,83 @@ impl Simulator {
             Event::DataArrive { txn } => self.on_data_arrive(txn, now),
             Event::MemData { txn } => self.on_mem_data(txn, now),
             Event::Timeout { txn, attempt } => self.on_timeout(txn, attempt, now),
+            Event::ChurnDetach { node, warm } => self.on_churn_detach(node, warm, now),
+            Event::ChurnReadd { node } => self.on_churn_readd(node),
         }
     }
 
     // ----- core-side handling ----------------------------------------------
 
     fn on_core_issue(&mut self, core: usize, access: MemAccess, replay: bool, now: Cycle) {
+        let node = self.cmp_of(core);
+        if self.detached[node.0] {
+            // The node is churned out and its cores are quiesced: park
+            // the access (verbatim) at the re-add cycle. The matching
+            // ChurnReadd event carries an earlier insertion sequence, so
+            // the deferred issue dispatches on an attached node.
+            let readd = self
+                .churn
+                .iter()
+                .filter(|w| w.node == node && w.readd_at >= now)
+                .map(|w| w.readd_at)
+                .min()
+                .expect("detached node has no pending re-add");
+            self.schedule_event(
+                readd,
+                Event::CoreIssue {
+                    core,
+                    access,
+                    replay,
+                },
+            );
+            return;
+        }
         if access.write {
             self.handle_write(core, access, replay, now);
         } else {
             self.handle_read(core, access, replay, now);
         }
+    }
+
+    /// Hot-removes a CMP (see [`ChurnWindow`]). Cold: flush — write back
+    /// every dirty line to its home over the torus, invalidate every
+    /// copy. Warm: demote — supplier-state copies step down to `Sl`
+    /// (writing back if dirty) so the machine never depends on the
+    /// detached node for data, while clean sharers stay resident.
+    /// Either way the predictor bank and presence filters are kept in
+    /// sync through the usual mutation helpers, so other nodes stop
+    /// predicting this node as a supplier immediately.
+    fn on_churn_detach(&mut self, node: CmpId, warm: bool, now: Cycle) {
+        self.detached[node.0] = true;
+        self.stats.robustness.churn_detaches += 1;
+        for line in self.cmps[node.0].resident_lines() {
+            let supplier = self.cmps[node.0].supplier_of(line);
+            if let Some((_, st)) = supplier {
+                if st.is_dirty() {
+                    // Churn write-backs are program traffic, like capacity
+                    // evictions — not charged to the snoop-energy account.
+                    self.stats.eviction_writebacks += 1;
+                    let home = CmpId(line.home_node(self.cfg.nodes));
+                    let _ = self.torus.send(node, home, now);
+                }
+            }
+            if warm {
+                if let Some((core, st)) = supplier {
+                    let (new, _) = st.after_downgrade();
+                    self.transition(node, core, line, new);
+                }
+            } else {
+                self.invalidate_cmp(node, line);
+            }
+        }
+    }
+
+    /// Re-attaches a churned-out CMP; the deferred core issues parked at
+    /// this cycle dispatch right after (they were scheduled later, so
+    /// they pop later).
+    fn on_churn_readd(&mut self, node: CmpId) {
+        self.detached[node.0] = false;
+        self.stats.robustness.churn_readds += 1;
     }
 
     /// Returns a load-queue slot after a read completes (or a replayed
@@ -1491,6 +1680,10 @@ impl Simulator {
         }
         if spurious {
             self.stats.robustness.spurious_retries += 1;
+            // The scheduler clock is the dispatch time of the arrival
+            // being judged (`accept_delivery` is always called from an
+            // event handler).
+            self.stats.robustness.last_spurious_retry_cycle = self.sched.now().as_u64();
             if let Some(p) = self.probe.as_deref_mut() {
                 p.spurious_retry();
             }
@@ -1554,6 +1747,7 @@ impl Simulator {
         let op = txn.op;
         let requester = txn.requester;
         self.stats.robustness.timeouts += 1;
+        self.stats.robustness.last_timeout_cycle = now.as_u64();
         if let Some(p) = self.probe.as_deref_mut() {
             p.timeout_fired(attempt);
         }
@@ -2634,6 +2828,7 @@ impl Simulator {
                 if *clean >= self.cfg.recovery.probation_window {
                     self.degraded_lines.remove(&line);
                     self.stats.robustness.probation_exits += 1;
+                    self.stats.robustness.last_probation_exit_cycle = now.as_u64();
                     if let Some(p) = self.probe.as_deref_mut() {
                         p.probation_exited();
                     }
@@ -3058,6 +3253,11 @@ impl Simulator {
         w.put_bool(self.unreliable);
         w.put_bool(self.torus_faulty);
         w.put_bool(self.recovery);
+        w.put_bool(!self.churn.is_empty());
+        w.put_usize(self.detached.len());
+        for &d in &self.detached {
+            w.put_bool(d);
+        }
         w.put_cycles(self.timeout_base);
         w.put_cycles(self.timeout_floor);
         w.put_usize(self.rtt.len());
@@ -3227,6 +3427,23 @@ impl Simulator {
             return Err(SnapError::Corrupt(
                 "fault-plan arming does not match the snapshot",
             ));
+        }
+        // Churn windows are likewise re-armed (set_churn_plan) before
+        // restoring: pending detach/re-add events in the snapshot's
+        // queue and deferred issues both assume the plan is present.
+        let churned = r.get_bool()?;
+        if churned == self.churn.is_empty() {
+            return Err(SnapError::Corrupt(
+                "churn-plan arming does not match the snapshot",
+            ));
+        }
+        if r.get_usize()? != self.detached.len() {
+            return Err(SnapError::Corrupt(
+                "detached-node count does not match config",
+            ));
+        }
+        for d in &mut self.detached {
+            *d = r.get_bool()?;
         }
         self.timeout_base = r.get_cycles()?;
         self.timeout_floor = r.get_cycles()?;
@@ -3521,6 +3738,15 @@ fn save_event(ev: &Event, w: &mut SnapWriter) {
             txn.save_into(w);
             w.put_u32(attempt);
         }
+        Event::ChurnDetach { node, warm } => {
+            w.put_u8(7);
+            w.put_usize(node.0);
+            w.put_bool(warm);
+        }
+        Event::ChurnReadd { node } => {
+            w.put_u8(8);
+            w.put_usize(node.0);
+        }
     }
 }
 
@@ -3554,6 +3780,13 @@ fn load_event(r: &mut SnapReader<'_>) -> Result<Event, SnapError> {
         6 => Event::Timeout {
             txn: TxnId(r.get_u64()?),
             attempt: r.get_u32()?,
+        },
+        7 => Event::ChurnDetach {
+            node: CmpId(r.get_usize()?),
+            warm: r.get_bool()?,
+        },
+        8 => Event::ChurnReadd {
+            node: CmpId(r.get_usize()?),
         },
         _ => return Err(SnapError::Corrupt("event tag out of range")),
     })

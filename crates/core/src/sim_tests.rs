@@ -1153,3 +1153,204 @@ fn probation_transitions_are_identical_across_queue_backends() {
         "queue backend changed probation behaviour"
     );
 }
+
+// ----- node churn -----------------------------------------------------------
+
+mod churn {
+    use super::*;
+    use crate::sim::ChurnWindow;
+    use flexsnoop_engine::Cycle;
+
+    /// 8 CMPs × 1 core; each script entry is `(line, write, think)`.
+    fn build(script: &[&[(u64, bool, u64)]], windows: Vec<ChurnWindow>) -> Simulator {
+        let machine = MachineConfig::isca2006(1);
+        let total = machine.total_cores();
+        let mut streams: Vec<Box<dyn AccessStream + Send>> = Vec::new();
+        let mut limit = 0;
+        for c in 0..total {
+            let accesses: Vec<MemAccess> = script
+                .get(c)
+                .map(|s| {
+                    s.iter()
+                        .map(|&(line, write, think)| MemAccess {
+                            line: LineAddr(line),
+                            write,
+                            think: Cycles(think),
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            limit = limit.max(accesses.len() as u64);
+            streams.push(Box::new(VecStream::new(accesses)));
+        }
+        let alg = Algorithm::Lazy;
+        let predictor = PredictorSpec::None;
+        let mut sim = Simulator::new(
+            machine,
+            alg,
+            predictor,
+            energy_model_for(&predictor),
+            streams,
+            limit.max(1),
+        )
+        .expect("valid scenario");
+        sim.set_churn_plan(windows).expect("valid churn plan");
+        sim
+    }
+
+    fn window(node: usize, remove_at: u64, readd_at: u64, warm: bool) -> ChurnWindow {
+        ChurnWindow {
+            node: CmpId(node),
+            remove_at: Cycle::new(remove_at),
+            readd_at: Cycle::new(readd_at),
+            warm,
+        }
+    }
+
+    #[test]
+    fn cold_churn_flushes_the_cmp_and_writes_dirty_lines_back() {
+        // Core 0 dirties line 100 (state D) well before the window.
+        let mut sim = build(&[&[(100, WR, 10)]], vec![window(0, 2_000, 3_000, false)]);
+        let stats = sim.run();
+        sim.validate_coherence().expect("coherent final state");
+        assert_eq!(stats.robustness.churn_detaches, 1);
+        assert_eq!(stats.robustness.churn_readds, 1);
+        assert_eq!(
+            sim.line_state(CmpId(0), 0, LineAddr(100)),
+            CoherState::I,
+            "cold churn must leave nothing resident"
+        );
+        assert_eq!(stats.eviction_writebacks, 1, "dirty line flushed to home");
+    }
+
+    #[test]
+    fn warm_churn_demotes_the_supplier_but_keeps_the_copy() {
+        let mut sim = build(&[&[(100, WR, 10)]], vec![window(0, 2_000, 3_000, true)]);
+        let stats = sim.run();
+        sim.validate_coherence().expect("coherent final state");
+        assert_eq!(
+            sim.line_state(CmpId(0), 0, LineAddr(100)),
+            CoherState::Sl,
+            "warm churn demotes D to Sl"
+        );
+        assert_eq!(stats.eviction_writebacks, 1, "dirty data written back");
+    }
+
+    #[test]
+    fn clean_warm_churn_writes_nothing_back() {
+        // A read fill installs Sg (clean supplier): demotion is free.
+        let mut sim = build(&[&[(100, RD, 10)]], vec![window(0, 2_000, 3_000, true)]);
+        let stats = sim.run();
+        assert_eq!(sim.line_state(CmpId(0), 0, LineAddr(100)), CoherState::Sl);
+        assert_eq!(stats.eviction_writebacks, 0);
+    }
+
+    #[test]
+    fn issues_on_a_detached_node_are_deferred_to_the_readd() {
+        // Core 0's second access thinks long enough to land inside the
+        // window; it must issue after the re-add, not be lost.
+        let mut sim = build(
+            &[&[(100, RD, 10), (200, RD, 2_000)]],
+            vec![window(0, 1_000, 50_000, false)],
+        );
+        let stats = sim.run();
+        sim.validate_coherence().expect("coherent final state");
+        assert_eq!(stats.read_txns, 2, "deferred access still issued");
+        assert_eq!(stats.robustness.unfinished_cores, 0);
+        assert!(
+            stats.exec_cycles >= Cycle::new(50_000),
+            "the deferred issue ran after the re-add ({:?})",
+            stats.exec_cycles
+        );
+        assert!(!sim.is_detached(CmpId(0)));
+    }
+
+    #[test]
+    fn remote_read_to_a_purged_line_falls_back_to_memory() {
+        // Core 0 caches line 100 as supplier; node 0 then churns out
+        // cold; core 1 reads the line mid-window and must be served by
+        // memory (a negative snoop at node 0, not a stranded request).
+        let mut sim = build(
+            &[&[(100, RD, 10)], &[(100, RD, 2_500)]],
+            vec![window(0, 2_000, 10_000, false)],
+        );
+        let stats = sim.run();
+        sim.validate_coherence().expect("coherent final state");
+        assert_eq!(stats.read_txns, 2);
+        assert_eq!(stats.reads_from_memory, 2, "no cache supply after purge");
+        assert_eq!(stats.reads_cache_supplied, 0);
+    }
+
+    #[test]
+    fn remote_read_to_a_demoted_line_falls_back_to_memory() {
+        // Warm churn keeps the copy but demotes it to Sl, which never
+        // supplies remote requests.
+        let mut sim = build(
+            &[&[(100, RD, 10)], &[(100, RD, 2_500)]],
+            vec![window(0, 2_000, 10_000, true)],
+        );
+        let stats = sim.run();
+        sim.validate_coherence().expect("coherent final state");
+        assert_eq!(stats.reads_from_memory, 2);
+        assert_eq!(stats.reads_cache_supplied, 0);
+        assert_eq!(sim.line_state(CmpId(0), 0, LineAddr(100)), CoherState::Sl);
+    }
+
+    #[test]
+    fn churn_plan_validation_rejects_bad_windows() {
+        let build_with = |windows: Vec<ChurnWindow>| {
+            let machine = MachineConfig::isca2006(1);
+            let total = machine.total_cores();
+            let streams: Vec<Box<dyn AccessStream + Send>> = (0..total)
+                .map(|_| Box::new(VecStream::new(Vec::new())) as _)
+                .collect();
+            let mut sim = Simulator::new(
+                machine,
+                Algorithm::Lazy,
+                PredictorSpec::None,
+                energy_model_for(&PredictorSpec::None),
+                streams,
+                1,
+            )
+            .unwrap();
+            sim.set_churn_plan(windows)
+        };
+        assert!(build_with(vec![window(99, 10, 20, false)])
+            .unwrap_err()
+            .contains("node 99"));
+        assert!(build_with(vec![window(0, 20, 20, false)])
+            .unwrap_err()
+            .contains("re-add after"));
+        assert!(
+            build_with(vec![window(0, 10, 100, false), window(0, 50, 200, true)])
+                .unwrap_err()
+                .contains("overlap")
+        );
+        // Adjacent windows on one node and overlapping windows on
+        // different nodes are both fine.
+        assert!(build_with(vec![window(0, 10, 100, false), window(0, 100, 200, true)]).is_ok());
+        assert!(build_with(vec![window(0, 10, 100, false), window(1, 50, 200, true)]).is_ok());
+    }
+
+    #[test]
+    fn churn_is_deterministic_across_queue_backends() {
+        use flexsnoop_engine::QueueKind;
+        let mut runs = Vec::new();
+        for kind in [QueueKind::Heap, QueueKind::Bucketed] {
+            let mut sim = build(
+                &[
+                    &[(100, WR, 10), (200, RD, 1_500), (100, RD, 3_000)],
+                    &[(100, RD, 700), (300, WR, 1_200)],
+                    &[(100, RD, 2_100)],
+                ],
+                vec![
+                    window(0, 1_000, 4_000, false),
+                    window(2, 2_000, 5_000, true),
+                ],
+            );
+            sim.use_event_queue(kind);
+            runs.push(sim.run());
+        }
+        assert_eq!(runs[0], runs[1], "queue backend changed churn behaviour");
+    }
+}

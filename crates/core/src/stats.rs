@@ -47,6 +47,20 @@ pub struct RobustnessStats {
     /// Predictions corrupted by an armed
     /// [`flexsnoop_predictor::FaultInjectingPredictor`].
     pub injected_prediction_faults: u64,
+    /// Ring hops refused because their link crossed a partition boundary.
+    pub partition_blocked: u64,
+    /// CMPs hot-removed by a churn plan.
+    pub churn_detaches: u64,
+    /// CMPs re-added by a churn plan.
+    pub churn_readds: u64,
+    /// Cycle of the most recent requester timeout (0 if none fired).
+    /// Together with the last disruption's end, this bounds recovery
+    /// time: once past the window no timeout fired again.
+    pub last_timeout_cycle: u64,
+    /// Cycle of the most recent hindsight-spurious retry (0 if none).
+    pub last_spurious_retry_cycle: u64,
+    /// Cycle of the most recent probation exit (0 if none).
+    pub last_probation_exit_cycle: u64,
 }
 
 impl RobustnessStats {
@@ -74,6 +88,12 @@ impl Snapshot for RobustnessStats {
             self.torus_drops,
             self.unfinished_cores,
             self.injected_prediction_faults,
+            self.partition_blocked,
+            self.churn_detaches,
+            self.churn_readds,
+            self.last_timeout_cycle,
+            self.last_spurious_retry_cycle,
+            self.last_probation_exit_cycle,
         ] {
             w.put_u64(v);
         }
@@ -96,6 +116,12 @@ impl Snapshot for RobustnessStats {
             &mut self.torus_drops,
             &mut self.unfinished_cores,
             &mut self.injected_prediction_faults,
+            &mut self.partition_blocked,
+            &mut self.churn_detaches,
+            &mut self.churn_readds,
+            &mut self.last_timeout_cycle,
+            &mut self.last_spurious_retry_cycle,
+            &mut self.last_probation_exit_cycle,
         ] {
             *v = r.get_u64()?;
         }

@@ -8,7 +8,7 @@
 //! be a semantic no-op on the live simulator (it drains and rebuilds the
 //! event queue in place).
 
-use flexsnoop::{Algorithm, FaultPlan, RunStats, Simulator};
+use flexsnoop::{Algorithm, FaultPlan, PartitionWindow, RunStats, Simulator};
 use flexsnoop_engine::snap::SnapError;
 use flexsnoop_engine::{Cycle, Executor, QueueKind};
 use flexsnoop_workload::{profiles, WorkloadProfile};
@@ -107,6 +107,56 @@ fn faulty_run_resumes_bit_identically() {
     resumed.restore_snapshot(&snapshot).expect("restore");
     resumed.run_until(None);
     assert_eq!(resumed.finalize(), baseline, "faulty resume diverged");
+}
+
+#[test]
+fn partitioned_run_saved_inside_the_window_resumes_bit_identically() {
+    // A scheduled partition is pure fault-plan state (no RNG), but a
+    // snapshot taken *inside* the window must carry the blocked-hop
+    // counters, the refused requests' retry state, and the window
+    // itself, or the resumed half heals differently.
+    let rough = fresh(Algorithm::SupersetAgg).run().exec_cycles.as_u64();
+    let window = PartitionWindow {
+        islands: vec![0, 0, 0, 0, 1, 1, 1, 1],
+        from: Cycle::new(rough / 4),
+        until: Cycle::new(rough / 2),
+    };
+    let plan = FaultPlan {
+        partitions: vec![window.clone()],
+        ..FaultPlan::lossless()
+    };
+    let arm = |sim: &mut Simulator| sim.set_fault_plan(plan.clone());
+
+    let mut reference = fresh(Algorithm::SupersetAgg);
+    arm(&mut reference);
+    let baseline = reference.run();
+    assert!(
+        reference.fault_stats().partition_blocked > 0,
+        "the window never blocked a hop; the test exercises nothing"
+    );
+
+    // Save in the middle of the partition window.
+    let save_at = Cycle::new((window.from.as_u64() + window.until.as_u64()) / 2);
+    let mut donor = fresh(Algorithm::SupersetAgg);
+    arm(&mut donor);
+    donor.run_until(Some(save_at));
+    let snapshot = donor.save_snapshot();
+    donor.run_until(None);
+    assert_eq!(donor.finalize(), baseline, "saving perturbed the donor");
+
+    for kind in [QueueKind::Heap, QueueKind::Bucketed] {
+        let mut resumed = fresh(Algorithm::SupersetAgg);
+        resumed.use_event_queue(kind);
+        arm(&mut resumed);
+        resumed.restore_snapshot(&snapshot).expect("restore");
+        resumed.run_until(None);
+        resumed.validate_coherence().expect("coherent final state");
+        assert_eq!(
+            resumed.finalize(),
+            baseline,
+            "resume across the partition window diverged on {kind:?}"
+        );
+    }
 }
 
 #[test]

@@ -33,7 +33,8 @@ use crate::time::{Cycle, Cycles};
 pub const SNAP_MAGIC: [u8; 4] = *b"FSNP";
 
 /// Current snapshot schema version. Bump on any layout change.
-pub const SNAP_VERSION: u32 = 1;
+/// v2: partition-blocked fault counter, churn state, recovery timestamps.
+pub const SNAP_VERSION: u32 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;

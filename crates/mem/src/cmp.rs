@@ -241,6 +241,20 @@ impl CmpCaches {
         self.snoop(line).supplier
     }
 
+    /// Every line with at least one valid copy somewhere in this CMP,
+    /// sorted so iteration order is deterministic (the residency index is
+    /// a hash map). Used by node churn to purge or demote a whole CMP.
+    pub fn resident_lines(&self) -> Vec<LineAddr> {
+        let mut lines: Vec<LineAddr> = self
+            .index
+            .iter()
+            .filter(|(_, entry)| entry.copies > 0)
+            .map(|(&line, _)| line)
+            .collect();
+        lines.sort_unstable();
+        lines
+    }
+
     /// Invalidates `line` everywhere in this CMP (a write snoop hit).
     /// Returns the states the copies were in (empty if none were resident).
     pub fn invalidate_all(&mut self, line: LineAddr) -> Vec<CoherState> {

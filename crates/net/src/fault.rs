@@ -13,6 +13,10 @@
 //!   (transient latency degradation);
 //! * **stall windows** — a node is unable to forward for a fixed window
 //!   of cycles; messages leaving it wait for the window to close.
+//! * **partition windows** — the ring splits into islands for a fixed
+//!   window of cycles; hops whose link crosses an island boundary are
+//!   refused (the message is lost like a drop) until the partition
+//!   heals. Recovery rides the same timeout/retry path as drops.
 //!
 //! Faults are drawn from the plan's own [`SplitMix64`] stream, so the
 //! schedule is a pure function of `(plan, traffic)` — identical across
@@ -62,6 +66,39 @@ impl StallWindow {
     }
 }
 
+/// A window of cycles during which the ring is split into islands.
+///
+/// `islands[node]` is the island id of each node; nodes past the end of
+/// the vector belong to island 0. While `now` is inside `[from, until)`,
+/// any hop whose directed link leaves one island for another is refused:
+/// the message is lost exactly like a dropped flit, and the requester
+/// recovers through the ordinary timeout/retry path. At `until` the
+/// partition heals and the ring is whole again. Like stall windows,
+/// partitions are part of the deterministic schedule and consume no
+/// random fault budget — they end by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionWindow {
+    /// Island id per node (index = node id; missing entries are island 0).
+    pub islands: Vec<usize>,
+    /// First partitioned cycle.
+    pub from: Cycle,
+    /// First cycle after the heal (cross-island hops resume here).
+    pub until: Cycle,
+}
+
+impl PartitionWindow {
+    /// The island a node belongs to under this window.
+    pub fn island_of(&self, node: usize) -> usize {
+        self.islands.get(node).copied().unwrap_or(0)
+    }
+
+    /// Whether a hop from `from_node` to `to_node` departing at `now` is
+    /// refused by this window.
+    pub fn blocks(&self, from_node: usize, to_node: usize, now: Cycle) -> bool {
+        now >= self.from && now < self.until && self.island_of(from_node) != self.island_of(to_node)
+    }
+}
+
 /// A per-link drop-probability override (a designated lossy link).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkDrop {
@@ -102,6 +139,8 @@ pub struct FaultPlan {
     /// Maximum number of torus drops ever injected (separate stream and
     /// budget so ring schedules stay prefix-shrinkable on their own).
     pub torus_budget: u64,
+    /// Deterministic ring-partition windows (islands that later heal).
+    pub partitions: Vec<PartitionWindow>,
 }
 
 impl Default for FaultPlan {
@@ -124,6 +163,7 @@ impl FaultPlan {
             budget: 0,
             torus_drop: 0.0,
             torus_budget: 0,
+            partitions: Vec::new(),
         }
     }
 
@@ -134,7 +174,10 @@ impl FaultPlan {
                 || self.duplicate > 0.0
                 || self.delay > 0.0
                 || self.link_drops.iter().any(|l| l.prob > 0.0));
-        !random_faults && self.stalls.is_empty() && !self.torus_faults()
+        !random_faults
+            && self.stalls.is_empty()
+            && self.partitions.is_empty()
+            && !self.torus_faults()
     }
 
     /// Whether this plan can drop torus data messages.
@@ -198,6 +241,10 @@ impl FaultPlan {
             budget,
             torus_drop,
             torus_budget,
+            // Partition windows are never drawn randomly: adding a draw
+            // here would shift the stream and change every pinned chaos
+            // reproducer. Scenarios supply partitions explicitly.
+            partitions: Vec::new(),
         }
     }
 
@@ -239,6 +286,15 @@ impl FaultPlan {
                 self.torus_drop, self.torus_budget
             ));
         }
+        for p in &self.partitions {
+            let islands: Vec<String> = p.islands.iter().map(usize::to_string).collect();
+            s.push_str(&format!(
+                " partition[{}]={}..{}",
+                islands.join(""),
+                p.from.as_u64(),
+                p.until.as_u64()
+            ));
+        }
         s
     }
 }
@@ -260,6 +316,8 @@ pub struct FaultStats {
     pub stall_cycles: u64,
     /// Torus data messages dropped (bounded by `torus_budget`).
     pub torus_drops: u64,
+    /// Hops refused because the link crossed a partition boundary.
+    pub partition_blocked: u64,
 }
 
 impl FaultStats {
@@ -280,6 +338,7 @@ impl Snapshot for FaultStats {
         w.put_u64(self.stall_hits);
         w.put_u64(self.stall_cycles);
         w.put_u64(self.torus_drops);
+        w.put_u64(self.partition_blocked);
     }
 
     fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
@@ -290,6 +349,7 @@ impl Snapshot for FaultStats {
         self.stall_hits = r.get_u64()?;
         self.stall_cycles = r.get_u64()?;
         self.torus_drops = r.get_u64()?;
+        self.partition_blocked = r.get_u64()?;
         Ok(())
     }
 }
@@ -383,6 +443,22 @@ impl FaultState {
             depart = w.until;
         }
         depart
+    }
+
+    /// Whether a hop from `from_node` to `to_node` departing at `now`
+    /// crosses a partition boundary. Counts refused hops; draws no RNG
+    /// and spends no budget (partitions are deterministic, like stalls).
+    pub fn partition_blocks(&mut self, from_node: usize, to_node: usize, now: Cycle) -> bool {
+        if self
+            .plan
+            .partitions
+            .iter()
+            .any(|p| p.blocks(from_node, to_node, now))
+        {
+            self.stats.partition_blocked += 1;
+            return true;
+        }
+        false
     }
 
     /// Draws the fault decision for one crossing of the link leaving
@@ -711,6 +787,62 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn partition_window_blocks_only_cross_island_hops_in_window() {
+        let w = PartitionWindow {
+            islands: vec![0, 0, 0, 0, 1, 1, 1, 1],
+            from: Cycle::new(100),
+            until: Cycle::new(200),
+        };
+        // Hop 3 -> 4 crosses the boundary; 0 -> 1 stays inside island 0.
+        assert!(w.blocks(3, 4, Cycle::new(100)));
+        assert!(w.blocks(7, 0, Cycle::new(199)), "wraparound link crosses");
+        assert!(!w.blocks(0, 1, Cycle::new(150)));
+        assert!(!w.blocks(3, 4, Cycle::new(99)));
+        assert!(!w.blocks(3, 4, Cycle::new(200)), "healed at until");
+        // Nodes past the islands vector belong to island 0.
+        assert!(w.blocks(4, 9, Cycle::new(150)));
+        assert!(!w.blocks(0, 9, Cycle::new(150)));
+    }
+
+    #[test]
+    fn partitioned_plan_is_not_lossless_and_describes_itself() {
+        let mut p = FaultPlan::lossless();
+        p.partitions.push(PartitionWindow {
+            islands: vec![0, 0, 1, 1],
+            from: Cycle::new(10),
+            until: Cycle::new(20),
+        });
+        assert!(!p.is_lossless());
+        assert!(
+            p.describe().contains("partition[0011]=10..20"),
+            "{}",
+            p.describe()
+        );
+        // with_budget leaves the deterministic windows intact.
+        assert_eq!(p.with_budget(0).partitions, p.partitions);
+    }
+
+    #[test]
+    fn partition_blocks_counts_without_spending_budget() {
+        let mut p = FaultPlan::lossless();
+        p.drop = 1.0;
+        p.budget = 1;
+        p.partitions.push(PartitionWindow {
+            islands: vec![0, 1],
+            from: Cycle::new(0),
+            until: Cycle::new(100),
+        });
+        let mut st = FaultState::new(p);
+        assert!(st.partition_blocks(0, 1, Cycle::new(50)));
+        assert!(st.partition_blocks(1, 0, Cycle::new(50)));
+        assert!(!st.partition_blocks(0, 1, Cycle::new(100)));
+        assert_eq!(st.stats().partition_blocked, 2);
+        assert_eq!(st.remaining_budget(), 1, "no budget spent on refusals");
+        // The randomized budget is still available afterwards.
+        assert_eq!(st.decide(0, 0), Some(RingFault::Dropped));
     }
 
     #[test]

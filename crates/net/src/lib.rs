@@ -18,7 +18,8 @@ pub mod ring;
 pub mod torus;
 
 pub use fault::{
-    FaultPlan, FaultStats, HopOutcome, LinkDrop, RingFault, StallWindow, TorusFaultState,
+    FaultPlan, FaultStats, HopOutcome, LinkDrop, PartitionWindow, RingFault, StallWindow,
+    TorusFaultState,
 };
 pub use ring::{RingConfig, RingNetwork};
 pub use torus::{Torus, TorusConfig};

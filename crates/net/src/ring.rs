@@ -183,7 +183,11 @@ impl RingNetwork {
     /// Dropped messages still occupy the link and count as crossings
     /// (the flit crosses part of the link before vanishing; energy is
     /// spent either way); a duplicate serializes behind the original on
-    /// the same link. Without an armed plan this is exactly `send_hop`.
+    /// the same link. A hop whose link crosses an active partition
+    /// boundary is refused: it occupies the link and counts, but never
+    /// arrives, and no randomized fault is drawn for it (partitions are
+    /// deterministic and budget-free). Without an armed plan this is
+    /// exactly `send_hop`.
     ///
     /// # Panics
     ///
@@ -198,6 +202,26 @@ impl RingNetwork {
             return HopOutcome::delivered(grant.end + self.config.hop_latency);
         };
         let depart = faults.departure(from.0, now);
+        let to = from.next_on_ring(self.config.nodes);
+        if faults.partition_blocks(from.0, to.0, depart) {
+            // The flit enters the link and is refused at the boundary:
+            // occupancy and energy are real, delivery never happens. The
+            // RNG stream does not advance, so a plan's randomized fault
+            // schedule is identical with and without partition windows.
+            let link = &mut self.links[idx];
+            link.acquire(depart, self.config.link_service);
+            self.messages_sent += 1;
+            self.link_crossings += 1;
+            // `fault: None`: a refusal is not a randomized fault, so the
+            // probe's per-kind fault counters stay equal to the plan's
+            // drop/duplicate/delay stats; the loss itself shows up in
+            // `FaultStats::partition_blocked` and the timeline.
+            return HopOutcome {
+                arrival: None,
+                duplicate: None,
+                fault: None,
+            };
+        }
         let fault = faults.decide(ring, from.0);
         let link = &mut self.links[idx];
         let grant = link.acquire(depart, self.config.link_service);
@@ -441,6 +465,60 @@ mod tests {
         assert_eq!(out.arrival, Some(Cycle::new(143)));
         assert_eq!(n.fault_stats().stall_hits, 1);
         assert_eq!(n.fault_stats().stall_cycles, 90);
+    }
+
+    #[test]
+    fn partition_refuses_cross_island_hops_until_heal() {
+        let mut n = net();
+        let mut plan = crate::fault::FaultPlan::lossless();
+        plan.partitions.push(crate::fault::PartitionWindow {
+            islands: vec![0, 0, 0, 0, 1, 1, 1, 1],
+            from: Cycle::new(0),
+            until: Cycle::new(1_000),
+        });
+        n.set_fault_plan(plan);
+        // Boundary link 3 -> 4 is refused while partitioned.
+        let out = n.send_hop_outcome(0, CmpId(3), Cycle::new(10));
+        assert_eq!(out.arrival, None);
+        assert_eq!(out.fault, None, "a refusal is not a randomized fault");
+        assert_eq!(n.link_crossings(), 1, "the refused flit still crossed");
+        // Intra-island hops are untouched.
+        let out = n.send_hop_outcome(0, CmpId(0), Cycle::new(10));
+        assert_eq!(out.arrival, Some(Cycle::new(53)));
+        // After the heal the boundary link delivers again.
+        let out = n.send_hop_outcome(0, CmpId(3), Cycle::new(1_000));
+        assert!(out.arrival.is_some());
+        assert_eq!(n.fault_stats().partition_blocked, 1);
+    }
+
+    #[test]
+    fn partition_refusal_does_not_shift_the_fault_stream() {
+        // A plan with partitions injects exactly the same randomized
+        // faults, at the same crossings, as the same plan without them.
+        let mut base = crate::fault::FaultPlan::random(55, 8, 2);
+        base.budget = 6;
+        let mut split = base.clone();
+        split.partitions.push(crate::fault::PartitionWindow {
+            islands: vec![0, 0, 0, 0, 1, 1, 1, 1],
+            from: Cycle::new(0),
+            until: Cycle::new(500),
+        });
+        let mut a = net();
+        a.set_fault_plan(base);
+        let mut b = net();
+        b.set_fault_plan(split);
+        // Drive only intra-island links so both rings see identical
+        // deliverable traffic; the RNG streams must stay in lockstep.
+        for i in 0..2_000u64 {
+            let from = CmpId((i % 3) as usize); // links 0,1,2 stay in island 0
+            let t = Cycle::new(i * 3);
+            assert_eq!(
+                a.send_hop_outcome(0, from, t),
+                b.send_hop_outcome(0, from, t),
+                "step {i}"
+            );
+        }
+        assert_eq!(a.fault_stats().injected(), b.fault_stats().injected());
     }
 
     #[test]

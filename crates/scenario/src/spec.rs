@@ -1,0 +1,535 @@
+//! The scenario model and its builder DSL.
+//!
+//! A [`Scenario`] is a complete robustness experiment stated up front:
+//! a topology, a sequence of workload phases, a disruption schedule
+//! (partitions, node churn, randomized chaos), and the expectations the
+//! finished run must satisfy. Scenarios are plain data — they can be
+//! built in code ([`Scenario::builder`]), parsed from the line-oriented
+//! text format ([`Scenario::parse`](crate::Scenario::parse)), or taken
+//! from the [`builtin`] library — and are executed by
+//! [`run_scenario`](crate::run_scenario).
+
+use flexsnoop::ChurnWindow;
+use flexsnoop_engine::Cycle;
+use flexsnoop_mem::CmpId;
+use flexsnoop_net::PartitionWindow;
+use flexsnoop_workload::{PoolKind, Trace};
+
+use crate::Expectation;
+
+/// Randomized ring chaos as a scenario ingredient: the same seeded
+/// [`FaultPlan::random`](flexsnoop::FaultPlan::random) schedule the
+/// chaos campaign draws, truncated to `budget` faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Schedule seed (the `flexsnoop chaos --schedule` value).
+    pub seed: u64,
+    /// Maximum randomized faults injected (the `--budget` value).
+    pub budget: u64,
+}
+
+/// One workload phase. Phases run back to back per core: each emits its
+/// access budget, then the next takes over
+/// ([`PhasedStream`](flexsnoop_workload::PhasedStream)).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhaseSpec {
+    /// A synthetic single-pool phase.
+    Pool {
+        /// The sharing pattern.
+        kind: PoolKind,
+        /// Accesses each core issues in this phase.
+        accesses: u64,
+        /// Pool size in cache lines.
+        lines: u64,
+        /// Fraction of accesses concentrated on a hot eighth of the pool.
+        hot: f64,
+        /// Store fraction (`Private` pools only; other kinds fix their
+        /// own read/write mix).
+        writes: f64,
+        /// Uniform think-time range between accesses, in cycles.
+        think: (u64, u64),
+    },
+    /// A named workload profile's pool mix (e.g. `specjbb`), re-cored to
+    /// the scenario's topology.
+    Profile {
+        /// The profile name (see `flexsnoop list`).
+        name: String,
+        /// Accesses each core issues in this phase.
+        accesses: u64,
+    },
+    /// A recorded trace replayed verbatim (cores past the trace's core
+    /// count idle through this phase).
+    Trace {
+        /// Where the trace came from (kept for rendering; `<inline>` for
+        /// traces attached in code).
+        path: String,
+        /// The loaded trace.
+        trace: Trace,
+    },
+}
+
+impl PhaseSpec {
+    /// Accesses this phase contributes per core (the phase budget; trace
+    /// phases contribute their longest core stream).
+    pub fn accesses(&self, trace_core: usize) -> u64 {
+        match self {
+            PhaseSpec::Pool { accesses, .. } | PhaseSpec::Profile { accesses, .. } => *accesses,
+            PhaseSpec::Trace { trace, .. } => {
+                if trace_core < trace.cores() {
+                    trace.core(trace_core).len() as u64
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+/// A declarative robustness experiment: topology, workload phases,
+/// disruption schedule, and expectations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (report heading, builtin key).
+    pub name: String,
+    /// Ring nodes (one core per CMP).
+    pub nodes: usize,
+    /// Workload seed; every algorithm replays the identical trace
+    /// recorded from it.
+    pub seed: u64,
+    /// The workload phases, in order.
+    pub phases: Vec<PhaseSpec>,
+    /// Randomized ring chaos, if any.
+    pub chaos: Option<ChaosSpec>,
+    /// Deterministic ring-partition windows.
+    pub partitions: Vec<PartitionWindow>,
+    /// Node churn windows (hot-remove, later re-add).
+    pub churn: Vec<ChurnWindow>,
+    /// The post-run health checks every algorithm's run must satisfy.
+    pub expectations: Vec<Expectation>,
+}
+
+impl Scenario {
+    /// Starts the builder DSL (topology → workloads → disruptions →
+    /// expectations).
+    pub fn builder(name: &str) -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                name: name.to_string(),
+                nodes: 8,
+                seed: 42,
+                phases: Vec::new(),
+                chaos: None,
+                partitions: Vec::new(),
+                churn: Vec::new(),
+                expectations: Vec::new(),
+            },
+        }
+    }
+
+    /// Cycle at which the last scheduled disruption ends (latest
+    /// partition heal or churn re-add); 0 when nothing is scheduled.
+    pub fn last_disruption_end(&self) -> u64 {
+        let heal = self.partitions.iter().map(|p| p.until.as_u64()).max();
+        let readd = self.churn.iter().map(|w| w.readd_at.as_u64()).max();
+        heal.into_iter().chain(readd).max().unwrap_or(0)
+    }
+
+    /// Validates cross-field constraints (the builder and the parser
+    /// both finish through here).
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message for the first broken constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("a scenario needs a name".into());
+        }
+        if self.nodes == 0 {
+            return Err("a scenario needs at least one node".into());
+        }
+        if self.phases.is_empty() {
+            return Err("a scenario needs at least one workload phase".into());
+        }
+        if self.expectations.is_empty() {
+            return Err(
+                "a scenario needs at least one expectation (it would otherwise check nothing)"
+                    .into(),
+            );
+        }
+        for p in &self.partitions {
+            if p.islands.len() != self.nodes {
+                return Err(format!(
+                    "partition window names {} nodes but the scenario has {}",
+                    p.islands.len(),
+                    self.nodes
+                ));
+            }
+            if p.from >= p.until {
+                return Err(format!(
+                    "partition window must heal after it forms ({} >= {})",
+                    p.from.as_u64(),
+                    p.until.as_u64()
+                ));
+            }
+            if p.islands.iter().all(|&i| i == p.islands[0]) {
+                return Err("partition window puts every node on one island (no-op)".into());
+            }
+        }
+        for w in &self.churn {
+            if w.node.0 >= self.nodes {
+                return Err(format!(
+                    "churn window names node {} but the scenario has {} nodes",
+                    w.node.0, self.nodes
+                ));
+            }
+            if w.remove_at >= w.readd_at {
+                return Err(format!(
+                    "churn window on node {} must re-add after it removes ({} >= {})",
+                    w.node.0,
+                    w.remove_at.as_u64(),
+                    w.readd_at.as_u64()
+                ));
+            }
+        }
+        if let Some(chaos) = &self.chaos {
+            if chaos.budget == 0 {
+                return Err(
+                    "chaos budget must be at least 1 (a zero-fault plan is lossless)".into(),
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent construction of a [`Scenario`], in the canonical order:
+/// topology, then workload phases, then disruptions, then expectations.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+/// The topology step of the builder (`nodes`, `seed`).
+#[derive(Debug)]
+pub struct TopologyBuilder<'a> {
+    s: &'a mut Scenario,
+}
+
+impl TopologyBuilder<'_> {
+    /// Ring nodes (one core per CMP). Default: 8 (the paper machine).
+    pub fn nodes(&mut self, nodes: usize) -> &mut Self {
+        self.s.nodes = nodes;
+        self
+    }
+
+    /// Workload seed. Default: 42.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.s.seed = seed;
+        self
+    }
+}
+
+/// The workload step of the builder: appends phases in order.
+#[derive(Debug)]
+pub struct WorkloadBuilder<'a> {
+    s: &'a mut Scenario,
+}
+
+impl WorkloadBuilder<'_> {
+    /// Appends an explicit phase.
+    pub fn phase(&mut self, phase: PhaseSpec) -> &mut Self {
+        self.s.phases.push(phase);
+        self
+    }
+
+    /// A single-pool synthetic phase with the scenario defaults
+    /// (64 lines, uniform locality, 30% stores, think 20..60).
+    pub fn pool(&mut self, kind: PoolKind, accesses: u64) -> &mut Self {
+        self.phase(PhaseSpec::Pool {
+            kind,
+            accesses,
+            lines: 64,
+            hot: 0.0,
+            writes: 0.3,
+            think: (20, 60),
+        })
+    }
+
+    /// A migratory burst: read-modify-write lines bouncing between
+    /// cores — the traffic that keeps suppliers moving around the ring.
+    pub fn migratory_burst(&mut self, accesses: u64) -> &mut Self {
+        self.pool(PoolKind::Migratory, accesses)
+    }
+
+    /// Contended hot lines: a tiny producer–consumer pool with most
+    /// accesses concentrated on its hot eighth.
+    pub fn hot_lines(&mut self, accesses: u64) -> &mut Self {
+        self.phase(PhaseSpec::Pool {
+            kind: PoolKind::ProducerConsumer,
+            accesses,
+            lines: 16,
+            hot: 0.8,
+            writes: 0.3,
+            think: (20, 60),
+        })
+    }
+
+    /// A named workload profile's pool mix, re-cored to the scenario.
+    pub fn profile(&mut self, name: &str, accesses: u64) -> &mut Self {
+        self.phase(PhaseSpec::Profile {
+            name: name.to_string(),
+            accesses,
+        })
+    }
+
+    /// A recorded trace replayed verbatim.
+    pub fn trace(&mut self, trace: Trace) -> &mut Self {
+        self.phase(PhaseSpec::Trace {
+            path: "<inline>".to_string(),
+            trace,
+        })
+    }
+}
+
+impl ScenarioBuilder {
+    /// The topology step.
+    pub fn topology_with(mut self, f: impl FnOnce(&mut TopologyBuilder<'_>)) -> Self {
+        f(&mut TopologyBuilder {
+            s: &mut self.scenario,
+        });
+        self
+    }
+
+    /// The workload step: phases appended in call order.
+    pub fn workloads_with(mut self, f: impl FnOnce(&mut WorkloadBuilder<'_>)) -> Self {
+        f(&mut WorkloadBuilder {
+            s: &mut self.scenario,
+        });
+        self
+    }
+
+    /// Adds a partition window: `islands[node]` is each node's island id
+    /// during `[from, until)`.
+    pub fn partition(mut self, islands: &[usize], from: u64, until: u64) -> Self {
+        self.scenario.partitions.push(PartitionWindow {
+            islands: islands.to_vec(),
+            from: Cycle::new(from),
+            until: Cycle::new(until),
+        });
+        self
+    }
+
+    /// Adds a churn window: `node` detaches at `remove_at` and rejoins
+    /// at `readd_at`, cold (flushed) or warm (demoted).
+    pub fn churn_window(mut self, node: usize, remove_at: u64, readd_at: u64, warm: bool) -> Self {
+        self.scenario.churn.push(ChurnWindow {
+            node: CmpId(node),
+            remove_at: Cycle::new(remove_at),
+            readd_at: Cycle::new(readd_at),
+            warm,
+        });
+        self
+    }
+
+    /// Arms randomized ring chaos (a seeded schedule with a fault
+    /// budget) as part of the scenario.
+    pub fn chaos(mut self, seed: u64, budget: u64) -> Self {
+        self.scenario.chaos = Some(ChaosSpec { seed, budget });
+        self
+    }
+
+    /// Appends an expectation.
+    pub fn expect(mut self, e: Expectation) -> Self {
+        self.scenario.expectations.push(e);
+        self
+    }
+
+    /// Expects every transaction to retire and every core to finish.
+    pub fn expect_all_retired(self) -> Self {
+        self.expect(Expectation::AllRetired)
+    }
+
+    /// Expects a clean oracle and final coherence sweep.
+    pub fn expect_coherence_clean(self) -> Self {
+        self.expect(Expectation::CoherenceClean)
+    }
+
+    /// Expects at-least-once read supply accounting.
+    pub fn expect_supply_accounting(self) -> Self {
+        self.expect(Expectation::SupplyAccounting)
+    }
+
+    /// Expects only trace-written lines to end dirty.
+    pub fn expect_no_rogue_dirty(self) -> Self {
+        self.expect(Expectation::NoRogueDirty)
+    }
+
+    /// Expects no recovery timeout later than `slack` cycles after the
+    /// last scheduled disruption ends.
+    pub fn expect_recovers_within(self, slack: u64) -> Self {
+        self.expect(Expectation::RecoversWithin(slack))
+    }
+
+    /// Expects at most `n` lines still degraded at the end.
+    pub fn expect_max_degraded_lines(self, n: u64) -> Self {
+        self.expect(Expectation::MaxDegradedLines(n))
+    }
+
+    /// Expects no spurious retry after the last probation exit.
+    pub fn expect_no_spurious_retries_after_probation(self) -> Self {
+        self.expect(Expectation::NoSpuriousRetriesAfterProbation)
+    }
+
+    /// Validates and returns the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first broken constraint (see [`Scenario::validate`]).
+    pub fn build(self) -> Result<Scenario, String> {
+        self.scenario.validate()?;
+        Ok(self.scenario)
+    }
+}
+
+/// Names of the builtin scenarios, in listing order.
+pub fn builtin_names() -> &'static [&'static str] {
+    &["partition-heal", "churn"]
+}
+
+/// Looks up a builtin scenario by name.
+///
+/// `partition-heal` splits the paper's 8-node ring into two 4-node
+/// islands mid-run and demands full recovery after the heal; `churn`
+/// hot-removes one node cold and another warm on a lossless ring and
+/// demands the machine absorbs both without a single timeout.
+pub fn builtin(name: &str) -> Option<Scenario> {
+    let scenario = match name {
+        "partition-heal" => Scenario::builder("partition-heal")
+            .topology_with(|t| {
+                t.nodes(8).seed(42);
+            })
+            .workloads_with(|w| {
+                w.migratory_burst(600).hot_lines(400);
+            })
+            .partition(&[0, 0, 0, 0, 1, 1, 1, 1], 8_000, 20_000)
+            .expect_all_retired()
+            .expect_coherence_clean()
+            .expect_supply_accounting()
+            .expect_no_rogue_dirty()
+            .expect_recovers_within(40_000)
+            .expect_max_degraded_lines(64)
+            .expect_no_spurious_retries_after_probation()
+            .build(),
+        "churn" => Scenario::builder("churn")
+            .topology_with(|t| {
+                t.nodes(8).seed(42);
+            })
+            .workloads_with(|w| {
+                w.migratory_burst(500).hot_lines(500);
+            })
+            .churn_window(2, 6_000, 14_000, false)
+            .churn_window(5, 9_000, 18_000, true)
+            .expect_all_retired()
+            .expect_coherence_clean()
+            .expect_supply_accounting()
+            .expect_no_rogue_dirty()
+            .expect_recovers_within(0)
+            .expect_max_degraded_lines(0)
+            .build(),
+        _ => return None,
+    };
+    Some(scenario.expect("builtin scenarios always validate"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_follows_the_canonical_order() {
+        let s = Scenario::builder("demo")
+            .topology_with(|t| {
+                t.nodes(4).seed(7);
+            })
+            .workloads_with(|w| {
+                w.migratory_burst(100).profile("specweb", 50);
+            })
+            .partition(&[0, 1, 0, 1], 1_000, 2_000)
+            .churn_window(3, 500, 900, true)
+            .chaos(9, 12)
+            .expect_all_retired()
+            .expect_recovers_within(5_000)
+            .build()
+            .unwrap();
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.phases.len(), 2);
+        assert_eq!(s.partitions.len(), 1);
+        assert_eq!(s.churn.len(), 1);
+        assert_eq!(
+            s.chaos,
+            Some(ChaosSpec {
+                seed: 9,
+                budget: 12
+            })
+        );
+        assert_eq!(s.expectations.len(), 2);
+        assert_eq!(s.last_disruption_end(), 2_000);
+    }
+
+    #[test]
+    fn validation_rejects_broken_scenarios() {
+        let base = || {
+            Scenario::builder("demo")
+                .workloads_with(|w| {
+                    w.migratory_burst(10);
+                })
+                .expect_all_retired()
+        };
+        assert!(base().build().is_ok());
+        // No phases.
+        let err = Scenario::builder("x").expect_all_retired().build();
+        assert!(err.unwrap_err().contains("workload phase"));
+        // No expectations.
+        let err = Scenario::builder("x")
+            .workloads_with(|w| {
+                w.pool(PoolKind::Private, 10);
+            })
+            .build();
+        assert!(err.unwrap_err().contains("expectation"));
+        // Partition island count mismatch.
+        let err = base().partition(&[0, 1], 10, 20).build();
+        assert!(err.unwrap_err().contains("names 2 nodes"));
+        // Partition that never heals.
+        let err = base().partition(&[0, 0, 0, 0, 1, 1, 1, 1], 20, 20).build();
+        assert!(err.unwrap_err().contains("heal after"));
+        // Single-island partition is a no-op.
+        let err = base().partition(&[0; 8], 10, 20).build();
+        assert!(err.unwrap_err().contains("one island"));
+        // Churn node out of range.
+        let err = base().churn_window(8, 10, 20, false).build();
+        assert!(err.unwrap_err().contains("names node 8"));
+        // Churn that never re-adds.
+        let err = base().churn_window(1, 20, 20, false).build();
+        assert!(err.unwrap_err().contains("re-add after"));
+        // Zero-budget chaos.
+        let err = base().chaos(1, 0).build();
+        assert!(err.unwrap_err().contains("budget"));
+    }
+
+    #[test]
+    fn builtins_resolve_and_validate() {
+        for name in builtin_names() {
+            let s = builtin(name).unwrap();
+            assert_eq!(&s.name, name);
+            assert!(s.validate().is_ok());
+        }
+        assert!(builtin("no-such-scenario").is_none());
+        let heal = builtin("partition-heal").unwrap();
+        assert_eq!(heal.partitions.len(), 1);
+        assert_eq!(heal.last_disruption_end(), 20_000);
+        let churn = builtin("churn").unwrap();
+        assert_eq!(churn.churn.len(), 2);
+        assert!(churn.partitions.is_empty());
+    }
+}

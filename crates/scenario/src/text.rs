@@ -1,0 +1,490 @@
+//! The line-oriented scenario text format.
+//!
+//! One directive per line; `#` starts a comment. The grammar mirrors
+//! the builder exactly:
+//!
+//! ```text
+//! name partition-heal
+//! nodes 8
+//! seed 42
+//! phase migratory accesses=600 lines=64 hot=0 writes=0.3 think=20..60
+//! phase profile specweb accesses=200
+//! phase trace recorded.trace
+//! chaos seed=9 budget=12
+//! partition 0-3|4-7 from=8000 until=20000
+//! churn node=2 remove=6000 readd=14000
+//! churn node=5 remove=9000 readd=18000 warm
+//! expect all-retired
+//! expect recovers-within 40000
+//! ```
+//!
+//! Partition islands are `|`-separated node groups (group order is the
+//! island id); each group is a comma list of nodes or `a-b` ranges.
+//! Nodes not named by any group stay on island 0.
+
+use std::str::FromStr;
+
+use flexsnoop::ChurnWindow;
+use flexsnoop_engine::Cycle;
+use flexsnoop_mem::CmpId;
+use flexsnoop_net::PartitionWindow;
+use flexsnoop_workload::{PoolKind, Trace};
+
+use crate::{ChaosSpec, Expectation, PhaseSpec, Scenario};
+
+fn pool_kind_name(kind: PoolKind) -> &'static str {
+    match kind {
+        PoolKind::Private => "private",
+        PoolKind::SharedRo => "shared-ro",
+        PoolKind::ProducerConsumer => "producer-consumer",
+        PoolKind::Migratory => "migratory",
+        PoolKind::Streaming => "streaming",
+    }
+}
+
+fn parse_pool_kind(name: &str) -> Option<PoolKind> {
+    Some(match name {
+        "private" => PoolKind::Private,
+        "shared-ro" => PoolKind::SharedRo,
+        "producer-consumer" => PoolKind::ProducerConsumer,
+        "migratory" => PoolKind::Migratory,
+        "streaming" => PoolKind::Streaming,
+        _ => return None,
+    })
+}
+
+/// `key=value` tokens (plus bare flags) after a directive keyword.
+struct KvArgs<'a> {
+    directive: &'a str,
+    pairs: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> KvArgs<'a> {
+    fn parse(directive: &'a str, tokens: &[&'a str]) -> Self {
+        let pairs = tokens
+            .iter()
+            .map(|t| match t.split_once('=') {
+                Some((k, v)) => (k, Some(v)),
+                None => (*t, None),
+            })
+            .collect();
+        Self { directive, pairs }
+    }
+
+    fn value(&self, key: &str) -> Result<&'a str, String> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .and_then(|(_, v)| *v)
+            .ok_or_else(|| format!("`{}` needs `{key}=…`", self.directive))
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        self.value(key)?
+            .parse()
+            .map_err(|_| format!("`{}`: {key} expects a number", self.directive))
+    }
+
+    fn u64_or(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.pairs.iter().find(|(k, _)| *k == key) {
+            Some(_) => self.u64(key),
+            None => Ok(default),
+        }
+    }
+
+    fn f64_or(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.pairs.iter().find(|(k, _)| *k == key) {
+            Some((_, Some(v))) => v
+                .parse()
+                .map_err(|_| format!("`{}`: {key} expects a number", self.directive)),
+            Some((_, None)) => Err(format!("`{}` needs `{key}=…`", self.directive)),
+            None => Ok(default),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.pairs.iter().any(|(k, v)| *k == key && v.is_none())
+    }
+}
+
+/// Parses `a..b` think ranges.
+fn parse_think(text: &str) -> Result<(u64, u64), String> {
+    let (lo, hi) = text
+        .split_once("..")
+        .ok_or_else(|| format!("think range expects `lo..hi`, got `{text}`"))?;
+    let parse = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|_| format!("bad think range `{text}`"))
+    };
+    Ok((parse(lo)?, parse(hi)?))
+}
+
+/// Parses `0-3|4-7` island groups into the per-node island vector
+/// (group order is the island id).
+fn parse_islands(text: &str) -> Result<Vec<usize>, String> {
+    let mut islands: Vec<usize> = Vec::new();
+    for (island, group) in text.split('|').enumerate() {
+        for item in group.split(',') {
+            let (lo, hi) = match item.split_once('-') {
+                Some((a, b)) => (a, b),
+                None => (item, item),
+            };
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad partition group `{text}`"))
+            };
+            let (lo, hi) = (parse(lo)?, parse(hi)?);
+            if lo > hi {
+                return Err(format!("bad partition range `{item}`"));
+            }
+            for node in lo..=hi {
+                if islands.len() <= node {
+                    islands.resize(node + 1, 0);
+                }
+                islands[node] = island;
+            }
+        }
+    }
+    Ok(islands)
+}
+
+/// Renders the island vector back into `|`-separated groups with
+/// compact ranges. Empty islands are skipped, so island ids are
+/// canonicalized to group order.
+fn render_islands(islands: &[usize]) -> String {
+    let max = islands.iter().copied().max().unwrap_or(0);
+    let mut groups = Vec::new();
+    for island in 0..=max {
+        let nodes: Vec<usize> = (0..islands.len())
+            .filter(|&n| islands[n] == island)
+            .collect();
+        if nodes.is_empty() {
+            continue;
+        }
+        let mut runs: Vec<String> = Vec::new();
+        let mut i = 0;
+        while i < nodes.len() {
+            let start = nodes[i];
+            let mut end = start;
+            while i + 1 < nodes.len() && nodes[i + 1] == end + 1 {
+                i += 1;
+                end = nodes[i];
+            }
+            runs.push(if start == end {
+                format!("{start}")
+            } else {
+                format!("{start}-{end}")
+            });
+            i += 1;
+        }
+        groups.push(runs.join(","));
+    }
+    groups.join("|")
+}
+
+impl Scenario {
+    /// Parses the text format. Trace phases are rejected — use
+    /// [`Scenario::parse_with`] and supply a loader (the CLI loads them
+    /// relative to the scenario file).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        Self::parse_with(text, &mut |path| {
+            Err(format!(
+                "trace phase `{path}` needs a loader (parse the scenario through the CLI)"
+            ))
+        })
+    }
+
+    /// Parses the text format, loading trace phases through `load`
+    /// (path → trace text).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line, or the
+    /// loader's error for an unreadable trace.
+    pub fn parse_with(
+        text: &str,
+        load: &mut dyn FnMut(&str) -> Result<String, String>,
+    ) -> Result<Scenario, String> {
+        let mut s = Scenario {
+            name: String::new(),
+            nodes: 8,
+            seed: 42,
+            phases: Vec::new(),
+            chaos: None,
+            partitions: Vec::new(),
+            churn: Vec::new(),
+            expectations: Vec::new(),
+        };
+        for (no, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |e: String| format!("line {}: {e}", no + 1);
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            let rest = &tokens[1..];
+            match tokens[0] {
+                "name" => s.name = rest.join(" "),
+                "nodes" => {
+                    s.nodes = rest
+                        .first()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("`nodes` expects a number".into()))?;
+                }
+                "seed" => {
+                    s.seed = rest
+                        .first()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| err("`seed` expects a number".into()))?;
+                }
+                "phase" => {
+                    let kind = rest
+                        .first()
+                        .ok_or_else(|| err("`phase` needs a kind".into()))?;
+                    let phase = match *kind {
+                        "profile" => {
+                            let name = rest
+                                .get(1)
+                                .ok_or_else(|| err("`phase profile` needs a name".into()))?;
+                            let kv = KvArgs::parse("phase profile", &rest[2..]);
+                            PhaseSpec::Profile {
+                                name: name.to_string(),
+                                accesses: kv.u64("accesses").map_err(err)?,
+                            }
+                        }
+                        "trace" => {
+                            let path = rest
+                                .get(1)
+                                .ok_or_else(|| err("`phase trace` needs a path".into()))?;
+                            let trace_text = load(path).map_err(err)?;
+                            PhaseSpec::Trace {
+                                path: path.to_string(),
+                                trace: Trace::from_str(&trace_text).map_err(err)?,
+                            }
+                        }
+                        pool => {
+                            let kind = parse_pool_kind(pool)
+                                .ok_or_else(|| err(format!("unknown phase kind `{pool}`")))?;
+                            let kv = KvArgs::parse("phase", &rest[1..]);
+                            PhaseSpec::Pool {
+                                kind,
+                                accesses: kv.u64("accesses").map_err(err)?,
+                                lines: kv.u64_or("lines", 64).map_err(err)?,
+                                hot: kv.f64_or("hot", 0.0).map_err(err)?,
+                                writes: kv.f64_or("writes", 0.3).map_err(err)?,
+                                think: match kv.value("think") {
+                                    Ok(t) => parse_think(t).map_err(err)?,
+                                    Err(_) => (20, 60),
+                                },
+                            }
+                        }
+                    };
+                    s.phases.push(phase);
+                }
+                "chaos" => {
+                    let kv = KvArgs::parse("chaos", rest);
+                    s.chaos = Some(ChaosSpec {
+                        seed: kv.u64("seed").map_err(err)?,
+                        budget: kv.u64("budget").map_err(err)?,
+                    });
+                }
+                "partition" => {
+                    let groups = rest
+                        .first()
+                        .ok_or_else(|| err("`partition` needs island groups".into()))?;
+                    let kv = KvArgs::parse("partition", &rest[1..]);
+                    s.partitions.push(PartitionWindow {
+                        islands: parse_islands(groups).map_err(err)?,
+                        from: Cycle::new(kv.u64("from").map_err(err)?),
+                        until: Cycle::new(kv.u64("until").map_err(err)?),
+                    });
+                }
+                "churn" => {
+                    let kv = KvArgs::parse("churn", rest);
+                    s.churn.push(ChurnWindow {
+                        node: CmpId(kv.u64("node").map_err(err)? as usize),
+                        remove_at: Cycle::new(kv.u64("remove").map_err(err)?),
+                        readd_at: Cycle::new(kv.u64("readd").map_err(err)?),
+                        warm: kv.flag("warm"),
+                    });
+                }
+                "expect" => {
+                    s.expectations
+                        .push(Expectation::parse(&rest.join(" ")).map_err(err)?);
+                }
+                other => return Err(err(format!("unknown directive `{other}`"))),
+            }
+        }
+        // Nodes a partition line left unnamed stay on island 0.
+        for p in &mut s.partitions {
+            if p.islands.len() < s.nodes {
+                p.islands.resize(s.nodes, 0);
+            }
+        }
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Renders the text format [`Scenario::parse`] accepts (trace
+    /// phases render their recorded path).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("name {}\n", self.name));
+        out.push_str(&format!("nodes {}\n", self.nodes));
+        out.push_str(&format!("seed {}\n", self.seed));
+        for phase in &self.phases {
+            match phase {
+                PhaseSpec::Pool {
+                    kind,
+                    accesses,
+                    lines,
+                    hot,
+                    writes,
+                    think,
+                } => out.push_str(&format!(
+                    "phase {} accesses={accesses} lines={lines} hot={hot} \
+                     writes={writes} think={}..{}\n",
+                    pool_kind_name(*kind),
+                    think.0,
+                    think.1
+                )),
+                PhaseSpec::Profile { name, accesses } => {
+                    out.push_str(&format!("phase profile {name} accesses={accesses}\n"));
+                }
+                PhaseSpec::Trace { path, .. } => {
+                    out.push_str(&format!("phase trace {path}\n"));
+                }
+            }
+        }
+        if let Some(chaos) = &self.chaos {
+            out.push_str(&format!(
+                "chaos seed={} budget={}\n",
+                chaos.seed, chaos.budget
+            ));
+        }
+        for p in &self.partitions {
+            out.push_str(&format!(
+                "partition {} from={} until={}\n",
+                render_islands(&p.islands),
+                p.from.as_u64(),
+                p.until.as_u64()
+            ));
+        }
+        for w in &self.churn {
+            out.push_str(&format!(
+                "churn node={} remove={} readd={}{}\n",
+                w.node.0,
+                w.remove_at.as_u64(),
+                w.readd_at.as_u64(),
+                if w.warm { " warm" } else { "" }
+            ));
+        }
+        for e in &self.expectations {
+            out.push_str(&format!("expect {e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+
+    #[test]
+    fn builtins_round_trip_through_the_text_format() {
+        for name in crate::builtin_names() {
+            let s = builtin(name).unwrap();
+            let parsed = Scenario::parse(&s.render()).unwrap();
+            assert_eq!(parsed, s, "{name} round trip");
+        }
+    }
+
+    #[test]
+    fn parses_the_documented_grammar() {
+        let text = "\
+            # a demo scenario\n\
+            name demo\n\
+            nodes 8\n\
+            seed 7\n\
+            phase migratory accesses=100\n\
+            phase producer-consumer accesses=50 lines=16 hot=0.8 writes=0.4 think=10..30\n\
+            phase profile specweb accesses=25\n\
+            chaos seed=3 budget=9\n\
+            partition 0-3|4-7 from=1000 until=2000\n\
+            churn node=2 remove=500 readd=900 warm\n\
+            expect all-retired\n\
+            expect recovers-within 5000\n";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.name, "demo");
+        assert_eq!(s.phases.len(), 3);
+        assert_eq!(
+            s.phases[1],
+            PhaseSpec::Pool {
+                kind: PoolKind::ProducerConsumer,
+                accesses: 50,
+                lines: 16,
+                hot: 0.8,
+                writes: 0.4,
+                think: (10, 30),
+            }
+        );
+        assert_eq!(s.chaos, Some(ChaosSpec { seed: 3, budget: 9 }));
+        assert_eq!(s.partitions[0].islands, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+        assert!(s.churn[0].warm);
+        assert_eq!(s.expectations.len(), 2);
+        // Render → parse is stable.
+        assert_eq!(Scenario::parse(&s.render()).unwrap(), s);
+    }
+
+    #[test]
+    fn trace_phases_go_through_the_loader() {
+        let text = "name t\nphase trace demo.trace\nexpect all-retired\n";
+        let mut load = |path: &str| {
+            assert_eq!(path, "demo.trace");
+            Ok("0 r 0x40 5\n1 w 0x80 7\n".to_string())
+        };
+        let s = Scenario::parse_with(text, &mut load).unwrap();
+        match &s.phases[0] {
+            PhaseSpec::Trace { path, trace } => {
+                assert_eq!(path, "demo.trace");
+                assert_eq!(trace.cores(), 2);
+            }
+            other => panic!("wrong phase: {other:?}"),
+        }
+        // Without a loader the parse refuses trace phases.
+        assert!(Scenario::parse(text).unwrap_err().contains("loader"));
+    }
+
+    #[test]
+    fn malformed_lines_are_named() {
+        let check = |text: &str, needle: &str| {
+            let err = Scenario::parse(text).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        };
+        check("name x\nfrobnicate 3\n", "unknown directive");
+        check("name x\nphase bogus accesses=3\n", "unknown phase kind");
+        check("name x\nphase migratory\n", "accesses");
+        check("name x\nphase migratory accesses=ten\n", "number");
+        check(
+            "name x\nphase migratory accesses=1 think=fast\n",
+            "think range",
+        );
+        check("name x\npartition 3-1 from=1 until=2\n", "partition range");
+        check("name x\nchurn node=1 remove=5\n", "readd");
+        check("name x\nexpect retires\n", "unknown expectation");
+    }
+
+    #[test]
+    fn island_rendering_is_compact() {
+        assert_eq!(render_islands(&[0, 0, 0, 0, 1, 1, 1, 1]), "0-3|4-7");
+        assert_eq!(render_islands(&[0, 1, 0, 1]), "0,2|1,3");
+        assert_eq!(render_islands(&[1, 0, 0, 0]), "1-3|0");
+        assert_eq!(parse_islands("1-3|0").unwrap(), vec![1, 0, 0, 0]);
+    }
+}

@@ -38,6 +38,9 @@ pub struct ServerSummary {
     pub sweeps: u64,
     /// Jobs across all sweeps.
     pub jobs: u64,
+    /// Clients that vanished mid-stream (broken pipe). Their jobs still
+    /// ran to completion and populated the results cache.
+    pub disconnects: u64,
 }
 
 /// Binds `path` and serves connections until a client sends `shutdown`.
@@ -56,15 +59,16 @@ pub fn serve_blocking(path: &Path, service: &SweepService) -> Result<ServerSumma
     let connections = AtomicU64::new(0);
     let sweeps = AtomicU64::new(0);
     let jobs = AtomicU64::new(0);
+    let disconnects = AtomicU64::new(0);
     std::thread::scope(|scope| {
         while !stop.load(Ordering::SeqCst) {
             match listener.accept() {
                 Ok((stream, _)) => {
                     connections.fetch_add(1, Ordering::Relaxed);
-                    let (stop, sweeps, jobs) = (&stop, &sweeps, &jobs);
+                    let (stop, sweeps, jobs, disconnects) = (&stop, &sweeps, &jobs, &disconnects);
                     scope.spawn(move || {
                         let _ = stream.set_nonblocking(false);
-                        handle_connection(stream, service, stop, sweeps, jobs);
+                        handle_connection(stream, service, stop, sweeps, jobs, disconnects);
                     });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -84,6 +88,7 @@ pub fn serve_blocking(path: &Path, service: &SweepService) -> Result<ServerSumma
         connections: connections.load(Ordering::Relaxed),
         sweeps: sweeps.load(Ordering::Relaxed),
         jobs: jobs.load(Ordering::Relaxed),
+        disconnects: disconnects.load(Ordering::Relaxed),
     })
 }
 
@@ -93,6 +98,7 @@ fn handle_connection(
     stop: &AtomicBool,
     sweeps: &AtomicU64,
     jobs: &AtomicU64,
+    disconnects: &AtomicU64,
 ) {
     let mut reader = BufReader::new(match stream.try_clone() {
         Ok(s) => s,
@@ -117,7 +123,13 @@ fn handle_connection(
                     jobs.fetch_add(n, Ordering::Relaxed);
                     return; // stream_sweep wrote everything already
                 }
-                Err(message) => event_line(&[
+                // The client went away mid-stream. Only this connection
+                // dies; its jobs finish and land in the results cache.
+                Err(StreamEnd::Disconnected) => {
+                    disconnects.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Err(StreamEnd::Request(message)) => event_line(&[
                     ("event", Json::str("error")),
                     ("message", Json::str(message)),
                 ]),
@@ -136,12 +148,35 @@ fn handle_connection(
     let _ = writer.write_all(reply.as_bytes());
 }
 
+/// Why a sweep stream ended before its `done` line.
+enum StreamEnd {
+    /// The request was bad or a result failed to decode; the connection
+    /// is still writable and gets an error event.
+    Request(String),
+    /// A write failed (broken pipe): the client is gone and nothing
+    /// more can reach it.
+    Disconnected,
+}
+
+impl From<String> for StreamEnd {
+    fn from(message: String) -> StreamEnd {
+        StreamEnd::Request(message)
+    }
+}
+
+/// Writes one event line; a failed write means the client disconnected.
+fn send(writer: &mut UnixStream, line: &str) -> Result<(), StreamEnd> {
+    writer
+        .write_all(line.as_bytes())
+        .map_err(|_| StreamEnd::Disconnected)
+}
+
 /// Runs one sweep and streams its events; returns the job count.
 fn stream_sweep(
     line: &str,
     service: &SweepService,
     writer: &mut UnixStream,
-) -> Result<u64, String> {
+) -> Result<u64, StreamEnd> {
     let request = SweepRequest::parse_line(line)?;
     let submission = service.submit(&request)?;
     let total = submission.jobs();
@@ -154,15 +189,15 @@ fn stream_sweep(
     for event in submission.events.iter() {
         match event {
             JobEvent::Status { index, key, state } => {
-                let _ = writer.write_all(
-                    event_line(&[
+                send(
+                    writer,
+                    &event_line(&[
                         ("event", Json::str("status")),
                         ("job", Json::from(index)),
                         ("key", Json::str(key.render())),
                         ("state", Json::str(state.as_str())),
-                    ])
-                    .as_bytes(),
-                );
+                    ]),
+                )?;
             }
             JobEvent::Result {
                 index,
@@ -176,7 +211,7 @@ fn stream_sweep(
                     crate::service::ResultSource::Coalesced => coalesced += 1,
                 }
                 let output = JobOutput::decode(&bytes, &submission.specs[index])
-                    .map_err(|e| format!("job {index}: {e}"))?;
+                    .map_err(|e| StreamEnd::Request(format!("job {index}: {e}")))?;
                 pending.insert(
                     index,
                     event_line(&[
@@ -190,39 +225,39 @@ fn stream_sweep(
             }
             JobEvent::Failed { index, key, error } => {
                 failed += 1;
-                let _ = writer.write_all(
-                    event_line(&[
+                send(
+                    writer,
+                    &event_line(&[
                         ("event", Json::str("error")),
                         ("job", Json::from(index)),
                         ("key", Json::str(key.render())),
                         ("message", Json::str(error)),
-                    ])
-                    .as_bytes(),
-                );
+                    ]),
+                )?;
                 // No result line will come for this index.
                 pending.insert(index, String::new());
                 resolved += 1;
             }
         }
         while let Some(line) = pending.remove(&next_result) {
-            let _ = writer.write_all(line.as_bytes());
+            send(writer, &line)?;
             next_result += 1;
         }
         if resolved == total {
             break;
         }
     }
-    let _ = writer.write_all(
-        event_line(&[
+    send(
+        writer,
+        &event_line(&[
             ("event", Json::str("done")),
             ("jobs", Json::from(total)),
             ("computed", Json::from(computed)),
             ("cached", Json::from(cached)),
             ("coalesced", Json::from(coalesced)),
             ("failed", Json::from(failed)),
-        ])
-        .as_bytes(),
-    );
+        ]),
+    )?;
     Ok(total as u64)
 }
 
@@ -332,6 +367,48 @@ mod tests {
         assert_eq!(summary.sweeps, 2);
         assert_eq!(summary.jobs, 4);
         assert!(!path.exists(), "socket file cleaned up");
+    }
+
+    #[test]
+    fn client_disconnect_mid_stream_fails_only_that_connection() {
+        let path = socket_path("drop");
+        let service = SweepService::new(
+            ServiceOptions {
+                threads: 1,
+                slice_cycles: 2_000,
+            },
+            ResultsCache::in_memory(),
+        );
+        let summary = std::thread::scope(|scope| {
+            let server = scope.spawn(|| serve_blocking(&path, &service));
+            while !path.exists() {
+                std::thread::yield_now();
+            }
+            // A sweep wide enough (8 jobs, 1 worker) that results are
+            // still streaming when the client vanishes: read one byte to
+            // be sure the stream started, then drop the socket.
+            {
+                let mut s = UnixStream::connect(&path).unwrap();
+                s.write_all(
+                    b"sweep workloads=specjbb algorithms=lazy,eager seeds=1,2,3,4 accesses=200\n",
+                )
+                .unwrap();
+                let mut one = [0u8; 1];
+                s.read_exact(&mut one).unwrap();
+            }
+            // The abandoned sweep's jobs still run and fill the cache;
+            // a second submission on a fresh connection completes.
+            let line = "sweep workloads=specjbb algorithms=lazy,eager seeds=1,2,3,4 accesses=200";
+            let out = request(&path, line).unwrap();
+            assert!(out.contains("\"event\": \"done\""), "{out}");
+            assert_eq!(result_lines(&out).lines().count(), 8, "{out}");
+            request_shutdown(&path).unwrap();
+            server.join().unwrap().unwrap()
+        });
+        assert_eq!(summary.disconnects, 1, "{summary:?}");
+        assert_eq!(summary.sweeps, 2);
+        // Only the completed sweep's jobs are counted as served.
+        assert_eq!(summary.jobs, 8);
     }
 
     #[test]

@@ -27,10 +27,12 @@
 //! same methodology the paper uses for its trace-driven SPEC runs.
 
 pub mod gen;
+pub mod phase;
 pub mod profiles;
 pub mod trace;
 
 pub use gen::{AccessStream, SyntheticStream};
+pub use phase::{PhasedStream, StreamPhase};
 pub use profiles::{WorkloadGroup, WorkloadProfile};
 pub use trace::Trace;
 

@@ -1,0 +1,218 @@
+//! Composable multi-phase access streams.
+//!
+//! A [`PhasedStream`] chains per-core streams end to end: each phase
+//! emits a bounded number of accesses (its *budget*), then the next
+//! phase takes over. This is how a scenario expresses "a migratory
+//! burst, then contended hot lines, then a trace replay" as one stream
+//! per core — the simulator sees an ordinary [`AccessStream`] and stays
+//! oblivious to phase boundaries.
+//!
+//! Phases are timing-independent like every stream: the boundary is an
+//! access *count*, not a cycle, so every snooping algorithm observes the
+//! same access sequence.
+
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+
+use crate::{AccessStream, MemAccess};
+
+/// One phase of a [`PhasedStream`]: an inner stream and the number of
+/// accesses it contributes before the next phase starts.
+pub struct StreamPhase {
+    /// The stream driving this phase.
+    pub stream: Box<dyn AccessStream + Send>,
+    /// Accesses this phase emits. A budget of `u64::MAX` (see
+    /// [`StreamPhase::unbounded`]) lets the phase run until its stream
+    /// ends — only useful for the final phase or finite streams.
+    pub budget: u64,
+}
+
+impl StreamPhase {
+    /// A phase emitting exactly `budget` accesses (fewer if the inner
+    /// stream ends first).
+    pub fn new(stream: Box<dyn AccessStream + Send>, budget: u64) -> Self {
+        Self { stream, budget }
+    }
+
+    /// A phase that runs until its inner stream is exhausted.
+    pub fn unbounded(stream: Box<dyn AccessStream + Send>) -> Self {
+        Self {
+            stream,
+            budget: u64::MAX,
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamPhase")
+            .field("budget", &self.budget)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Chains phases into one per-core access stream.
+///
+/// The stream ends when the last phase's budget or inner stream runs
+/// out. An inner stream ending early simply hands over to the next
+/// phase (a short trace followed by synthetic filler is a feature, not
+/// an error).
+#[derive(Debug)]
+pub struct PhasedStream {
+    phases: Vec<StreamPhase>,
+    /// Index of the phase currently emitting.
+    current: usize,
+    /// Accesses the current phase has emitted so far.
+    emitted: u64,
+}
+
+impl PhasedStream {
+    /// Builds the chain. An empty phase list is a valid, empty stream.
+    pub fn new(phases: Vec<StreamPhase>) -> Self {
+        Self {
+            phases,
+            current: 0,
+            emitted: 0,
+        }
+    }
+
+    /// The phase currently emitting (== phase count when exhausted).
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+
+    /// Total number of phases in the chain.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+}
+
+impl AccessStream for PhasedStream {
+    fn next_access(&mut self) -> Option<MemAccess> {
+        while let Some(phase) = self.phases.get_mut(self.current) {
+            if self.emitted < phase.budget {
+                if let Some(access) = phase.stream.next_access() {
+                    self.emitted += 1;
+                    return Some(access);
+                }
+            }
+            self.current += 1;
+            self.emitted = 0;
+        }
+        None
+    }
+}
+
+/// Serializes the cursor (phase index, accesses emitted) and every
+/// phase's inner stream. All phases are saved — not just the current
+/// one — so a restored chain replays later phases from the same state
+/// their streams were constructed in.
+impl Snapshot for PhasedStream {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.current);
+        w.put_u64(self.emitted);
+        w.put_usize(self.phases.len());
+        for phase in &self.phases {
+            w.put_u64(phase.budget);
+            phase.stream.save_into(w);
+        }
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.current = r.get_usize()?;
+        self.emitted = r.get_u64()?;
+        if r.get_usize()? != self.phases.len() {
+            return Err(SnapError::Corrupt("phase count does not match config"));
+        }
+        for phase in &mut self.phases {
+            if r.get_u64()? != phase.budget {
+                return Err(SnapError::Corrupt("phase budget does not match config"));
+            }
+            phase.stream.restore_from(r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PoolKind, PoolSpec, SyntheticStream};
+    use flexsnoop_engine::snap::{restore_bytes, snapshot_bytes};
+
+    fn synth(kind: PoolKind, seed: u64) -> Box<dyn AccessStream + Send> {
+        let pools = vec![PoolSpec {
+            kind,
+            lines: 64,
+            weight: 1.0,
+            hot_fraction: 0.0,
+        }];
+        Box::new(SyntheticStream::new(0, 4, pools, 0.3, (10, 20), seed))
+    }
+
+    fn two_phase(seed: u64) -> PhasedStream {
+        PhasedStream::new(vec![
+            StreamPhase::new(synth(PoolKind::Migratory, seed), 100),
+            StreamPhase::new(synth(PoolKind::SharedRo, seed + 1), 50),
+        ])
+    }
+
+    #[test]
+    fn phases_hand_over_at_the_budget() {
+        let mut s = two_phase(7);
+        for i in 0..150 {
+            assert!(s.next_access().is_some(), "access {i} missing");
+            // The hand-over is lazy: access 100 is the first one pulled
+            // from phase 1's stream.
+            assert_eq!(s.current_phase(), usize::from(i >= 100));
+        }
+        assert!(s.next_access().is_none(), "chain must end after budgets");
+        assert_eq!(s.current_phase(), 2);
+    }
+
+    #[test]
+    fn second_phase_traffic_matches_its_own_stream() {
+        // Phase 2 is read-only (SharedRo): once phase 1's budget is
+        // spent, no writes may appear.
+        let mut s = two_phase(9);
+        for _ in 0..100 {
+            s.next_access();
+        }
+        for _ in 0..50 {
+            assert!(!s.next_access().unwrap().write);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = two_phase(11);
+        let mut b = two_phase(11);
+        for _ in 0..150 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_mid_phase() {
+        let mut s = two_phase(42);
+        // Stop inside phase 1, close to the boundary, so the restored
+        // copy must replay the hand-over too.
+        for _ in 0..97 {
+            s.next_access();
+        }
+        let bytes = snapshot_bytes(&s);
+        let mut fresh = two_phase(42);
+        restore_bytes(&mut fresh, &bytes).expect("restore");
+        for i in 0..53 {
+            assert_eq!(s.next_access(), fresh.next_access(), "access {i} diverged");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_rejects_mismatched_chain() {
+        let s = two_phase(1);
+        let bytes = snapshot_bytes(&s);
+        let mut one_phase =
+            PhasedStream::new(vec![StreamPhase::new(synth(PoolKind::Migratory, 1), 100)]);
+        assert!(restore_bytes(&mut one_phase, &bytes).is_err());
+    }
+}

@@ -29,6 +29,7 @@ fn unloaded_workload() -> WorkloadProfile {
         write_fraction: 0.0,
         // Long think times keep at most one request in flight on average.
         think: (2_000, 3_000),
+        cluster: 0,
         pools: vec![PoolSpec {
             kind: PoolKind::SharedRo,
             lines: 1_024,

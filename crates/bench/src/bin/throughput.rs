@@ -24,6 +24,7 @@ fn unloaded_workload(accesses: u64) -> WorkloadProfile {
         accesses_per_core: accesses,
         write_fraction: 0.0,
         think: (2_000, 3_000),
+        cluster: 0,
         pools: vec![PoolSpec {
             kind: PoolKind::SharedRo,
             lines: 1_024,

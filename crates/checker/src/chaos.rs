@@ -60,6 +60,11 @@ pub struct ChaosOptions {
     pub accesses_per_core: u64,
     /// Machine nodes; must divide the profile's core count.
     pub nodes: usize,
+    /// Hierarchical shape `(local, groups)`; `None` runs the flat ring.
+    /// When set, `local × groups` must equal [`ChaosOptions::nodes`],
+    /// and the drawn plans' bridge-link drop schedules become live
+    /// (flat rings have no bridge links and never consult them).
+    pub hier: Option<(usize, usize)>,
     /// Worker threads for the campaign sweep.
     pub threads: usize,
     /// Timeout/retry recovery on (the default). `false` is the harness
@@ -101,6 +106,7 @@ impl Default for ChaosOptions {
             base_seed: 0x00C0FFEE,
             accesses_per_core: 150,
             nodes: 4,
+            hier: None,
             threads: 4,
             recovery: true,
             shrink: true,
@@ -166,6 +172,8 @@ pub struct ChaosTotals {
     pub delays: u64,
     /// Torus data messages dropped by fault plans.
     pub torus_drops: u64,
+    /// Hierarchical bridge-link messages dropped by fault plans.
+    pub bridge_drops: u64,
     /// Ring hops refused by partition windows.
     pub partition_blocked: u64,
     /// Injected duplicates suppressed by sequence numbers.
@@ -195,6 +203,7 @@ impl ChaosTotals {
         self.duplicates += r.ring_duplicates;
         self.delays += r.ring_delays;
         self.torus_drops += r.torus_drops;
+        self.bridge_drops += r.bridge_drops;
         self.partition_blocked += r.partition_blocked;
         self.duplicates_suppressed += r.duplicates_suppressed;
         self.stale_deliveries += r.stale_deliveries;
@@ -208,14 +217,17 @@ impl ChaosTotals {
     }
 }
 
-/// The enabled fault kinds, in report/baseline order.
-pub const FAULT_KINDS: [&str; 6] = [
+/// The enabled fault kinds, in report/baseline order. `bridge` (drops on
+/// the global-ring links of hierarchical topologies) was appended last,
+/// so baselines written before it existed still parse.
+pub const FAULT_KINDS: [&str; 7] = [
     "drop",
     "duplicate",
     "delay",
     "stall",
     "torus-drop",
     "partition",
+    "bridge",
 ];
 
 /// Per-kind fault coverage: how many plans armed each fault kind and how
@@ -226,11 +238,11 @@ pub const FAULT_KINDS: [&str; 6] = [
 pub struct ChaosCoverage {
     /// `[plans that armed the kind, events the kind injected]`, indexed
     /// like [`FAULT_KINDS`].
-    pub kinds: [[u64; 2]; 6],
+    pub kinds: [[u64; 2]; 7],
 }
 
 impl ChaosCoverage {
-    fn absorb_plan(&mut self, plan: &FaultPlan) {
+    fn absorb_plan(&mut self, plan: &FaultPlan, hier: bool) {
         let ring = plan.budget > 0;
         let armed = [
             ring && plan.drop > 0.0,
@@ -239,6 +251,9 @@ impl ChaosCoverage {
             !plan.stalls.is_empty(),
             plan.torus_faults(),
             !plan.partitions.is_empty(),
+            // A flat machine has no bridge links: the schedule is drawn
+            // but can never fire, so it does not count as armed.
+            hier && plan.bridge_faults(),
         ];
         for (slot, on) in self.kinds.iter_mut().zip(armed) {
             slot[0] += on as u64;
@@ -253,6 +268,7 @@ impl ChaosCoverage {
             f.stall_hits,
             f.torus_drops,
             f.partition_blocked,
+            f.bridge_drops,
         ];
         for (slot, n) in self.kinds.iter_mut().zip(injected) {
             slot[1] += n;
@@ -339,6 +355,8 @@ pub struct ChaosReport {
     pub base_seed: u64,
     /// Ring nodes each run simulated.
     pub nodes: usize,
+    /// Hierarchical shape the campaign ran on (`None` = flat ring).
+    pub hier: Option<(usize, usize)>,
     /// Accesses recorded per core.
     pub accesses_per_core: u64,
     /// Schedules drawn.
@@ -381,7 +399,7 @@ impl ChaosReport {
             "# Chaos campaign: {}\n\n\
              - schedules: {} (runs: {}, recovery: {})\n\
              - faults injected: {} drops, {} duplicates, {} delays, {} torus drops, \
-             {} partition-blocked hops\n\
+             {} bridge drops, {} partition-blocked hops\n\
              - recovery activity: {} dup-suppressed, {} stale discarded, \
              {} timeouts, {} retries ({} spurious), {} rtt samples, {} degraded lines, \
              {} probation exits, {} probation resets\n\
@@ -395,6 +413,7 @@ impl ChaosReport {
             self.totals.duplicates,
             self.totals.delays,
             self.totals.torus_drops,
+            self.totals.bridge_drops,
             self.totals.partition_blocked,
             self.totals.duplicates_suppressed,
             self.totals.stale_deliveries,
@@ -446,7 +465,7 @@ impl ChaosReport {
                 // prefix already failed before elimination).
                 out.push_str(&format!(
                     "\nminimal reproducer: `{}`\n(reproduce: `flexsnoop chaos --workload {} \
-                     --seed {} --nodes {} --accesses {} --schedule {} --budget {}{}`)\n",
+                     --seed {} --nodes {} --accesses {} --schedule {} --budget {}{}{}`)\n",
                     min.describe(),
                     self.profile,
                     self.base_seed,
@@ -454,6 +473,10 @@ impl ChaosReport {
                     self.accesses_per_core,
                     min.seed,
                     min.budget,
+                    match self.hier {
+                        Some((l, g)) => format!(" --topology hier:{l}x{g}"),
+                        None => String::new(),
+                    },
                     if self.recovery { "" } else { " --no-retry" },
                 ));
             }
@@ -474,7 +497,7 @@ fn build_sim(
     kind: QueueKind,
     opts: &ChaosOptions,
 ) -> Result<Simulator, String> {
-    let mut machine = machine_for(trace, opts.nodes)?;
+    let mut machine = machine_for(trace, opts.nodes, opts.hier)?;
     if let Some(policy) = opts.timeout_policy {
         machine.recovery.timeout_policy = policy;
     }
@@ -561,6 +584,7 @@ fn draw_plan(seed: u64, opts: &ChaosOptions, rings: usize) -> FaultPlan {
         plan.delay = 0.0;
         plan.link_drops.clear();
         plan.stalls.clear();
+        plan.bridge_drop = 0.0;
         if !plan.torus_faults() {
             // The seed drew a ring-only plan; give it a deterministic
             // torus schedule instead so every run exercises the path.
@@ -690,8 +714,9 @@ fn shrink_plan(
     // Partition windows shrink first: they are the scenario-scheduled
     // disruption, and a reproducer that fails without them points
     // straight at the randomized faults.
-    let simplifications: [fn(&mut FaultPlan); 7] = [
+    let simplifications: [fn(&mut FaultPlan); 8] = [
         |p| p.partitions.clear(),
+        |p| p.bridge_drop = 0.0,
         |p| p.torus_drop = 0.0,
         |p| p.stalls.clear(),
         |p| p.link_drops.clear(),
@@ -749,7 +774,7 @@ pub fn run_chaos(profile: &WorkloadProfile, opts: &ChaosOptions) -> Result<Chaos
     let mut streams = profile.streams(opts.base_seed);
     let trace = Trace::record(&mut streams, opts.accesses_per_core);
     let written = written_lines(&trace);
-    let machine = machine_for(&trace, opts.nodes)?;
+    let machine = machine_for(&trace, opts.nodes, opts.hier)?;
     let rings = machine.ring.rings;
 
     // The fault-free directory baseline over the identical trace: the
@@ -791,7 +816,7 @@ pub fn run_chaos(profile: &WorkloadProfile, opts: &ChaosOptions) -> Result<Chaos
     for (&(seed, alg), result) in configs.iter().zip(results) {
         let (plan, out) = result?;
         totals.absorb(&out.stats);
-        coverage.absorb_plan(&plan);
+        coverage.absorb_plan(&plan, opts.hier.is_some());
         coverage.absorb_events(&out.fault_stats);
         let reasons = failure_reasons(&out, &written);
         if !reasons.is_empty() {
@@ -838,6 +863,7 @@ pub fn run_chaos(profile: &WorkloadProfile, opts: &ChaosOptions) -> Result<Chaos
         profile: profile.name.clone(),
         base_seed: opts.base_seed,
         nodes: opts.nodes,
+        hier: opts.hier,
         accesses_per_core: opts.accesses_per_core,
         schedules: seeds.len() as u64,
         runs: configs.len() as u64,
@@ -858,7 +884,7 @@ fn directory_baseline(
     opts: &ChaosOptions,
     written: &BTreeSet<LineAddr>,
 ) -> Result<Vec<String>, String> {
-    let machine = machine_for(trace, opts.nodes)?;
+    let machine = machine_for(trace, opts.nodes, opts.hier)?;
     let mut dsim = DirSimulator::new(machine, boxed_streams(trace), opts.accesses_per_core)?;
     dsim.enable_invariant_checks();
     let dstats = dsim.run();
@@ -1011,7 +1037,10 @@ mod tests {
         let mut streams = profiles::specweb().streams(opts.base_seed);
         let trace = Trace::record(&mut streams, opts.accesses_per_core);
         let written = written_lines(&trace);
-        let rings = machine_for(&trace, opts.nodes).unwrap().ring.rings;
+        let rings = machine_for(&trace, opts.nodes, opts.hier)
+            .unwrap()
+            .ring
+            .rings;
         let prefix = FaultPlan::random(min.seed, opts.nodes, rings).with_budget(min.budget);
         let direct = run_one(&trace, f.algorithm, &prefix, QueueKind::Heap, &opts).unwrap();
         let expected = failure_reasons(&direct, &written);
@@ -1077,22 +1106,21 @@ mod tests {
     #[test]
     fn coverage_baseline_roundtrip_and_ratchet() {
         let cov = ChaosCoverage {
-            kinds: [[3, 30], [2, 20], [4, 40], [1, 5], [2, 7], [1, 11]],
+            kinds: [[3, 30], [2, 20], [4, 40], [1, 5], [2, 7], [1, 11], [2, 9]],
         };
         let text = cov.render_baseline();
         let parsed = ChaosCoverage::parse_baseline(&text).unwrap();
         assert_eq!(parsed.injected("drop"), 30);
         assert_eq!(parsed.injected("torus-drop"), 7);
         assert_eq!(parsed.injected("partition"), 11);
-        // Baselines written before the partition kind existed parse fine
-        // (unknown-kind lines are the symmetric case, also ignored).
+        assert_eq!(parsed.injected("bridge"), 9);
+        // Baselines written before the partition and bridge kinds
+        // existed parse fine (unknown-kind lines are the symmetric case,
+        // also ignored).
         let old = "drop 30\nduplicate 20\ndelay 40\nstall 5\ntorus-drop 7\n";
-        assert_eq!(
-            ChaosCoverage::parse_baseline(old)
-                .unwrap()
-                .injected("partition"),
-            0
-        );
+        let old_cov = ChaosCoverage::parse_baseline(old).unwrap();
+        assert_eq!(old_cov.injected("partition"), 0);
+        assert_eq!(old_cov.injected("bridge"), 0);
         assert!(cov.regressions(&parsed).is_empty());
         // A kind the baseline proved reachable going silent is a failure…
         let mut starved = cov;
@@ -1109,6 +1137,48 @@ mod tests {
             "malformed counts must be rejected"
         );
         assert_eq!(starved.starved_kinds(), vec!["torus-drop"]);
+    }
+
+    #[test]
+    fn hier_campaign_survives_and_injects_bridge_drops() {
+        // On a hierarchical machine the drawn plans' bridge schedules go
+        // live: global-ring crossings get dropped and the timeout/retry
+        // layer must still retire everything, on every Table 3 algorithm.
+        let opts = ChaosOptions {
+            nodes: 8,
+            hier: Some((2, 4)),
+            schedules: 6,
+            ..tiny()
+        };
+        let report = run_chaos(&profiles::specweb(), &opts).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(
+            report.totals.bridge_drops > 0,
+            "campaign never dropped a bridge crossing: {:?}",
+            report.totals
+        );
+        assert!(report.coverage.injected("bridge") > 0);
+        assert!(report.render().contains("bridge drops"));
+    }
+
+    #[test]
+    fn hier_reproducer_line_pins_the_topology() {
+        // A failure found on a hierarchical machine must replay on one:
+        // the rendered reproducer carries the shape.
+        let opts = ChaosOptions {
+            nodes: 8,
+            hier: Some((2, 4)),
+            recovery: false,
+            schedules: 6,
+            ..tiny()
+        };
+        let report = run_chaos(&profiles::specweb(), &opts).unwrap();
+        assert!(!report.is_clean(), "no-retry hier campaign must fail");
+        let rendered = report.render();
+        assert!(
+            rendered.contains("--topology hier:2x4"),
+            "reproducer line must pin the hier shape:\n{rendered}"
+        );
     }
 
     #[test]

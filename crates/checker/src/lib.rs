@@ -11,6 +11,12 @@
 //! * × a 1-worker and an N-worker [`Executor`] sweep,
 //! * plus the directory-protocol baseline ([`DirSimulator`]).
 //!
+//! The matrix runs on a flat ring by default; [`DiffOptions::hier`]
+//! switches every ring run to a hierarchical multi-ring shape
+//! (`local × groups` with bridge nodes and the locality predictor)
+//! while the directory baseline stays topology-blind — one oracle
+//! validates both topologies against the identical trace.
+//!
 //! Every ring run executes with the per-retirement invariant oracle
 //! enabled, and the harness diffs what is *guaranteed* invariant across
 //! configurations:
@@ -81,6 +87,12 @@ pub struct DiffOptions {
     pub accesses_per_core: u64,
     /// Machine nodes; must divide the profile's core count.
     pub nodes: usize,
+    /// Hierarchical shape `(local, groups)`; `None` runs the flat ring.
+    /// When set, `local × groups` must equal [`DiffOptions::nodes`] —
+    /// the same trace then circulates over local rings joined by bridge
+    /// nodes on a global ring, with the locality predictor deciding the
+    /// initial scope.
+    pub hier: Option<(usize, usize)>,
     /// Worker count for the wide executor sweep (the narrow sweep always
     /// uses 1).
     pub threads: usize,
@@ -99,6 +111,7 @@ impl Default for DiffOptions {
         Self {
             accesses_per_core: 400,
             nodes: 4,
+            hier: None,
             threads: 4,
             timeline_limit: 4096,
             mutation: None,
@@ -114,6 +127,16 @@ impl DiffOptions {
             accesses_per_core: 2000,
             nodes: 8,
             threads: 8,
+            ..Self::default()
+        }
+    }
+
+    /// A hierarchical matrix over `local × groups` nodes (the node count
+    /// is implied by the shape; every other knob keeps its default).
+    pub fn hier(local: usize, groups: usize) -> Self {
+        Self {
+            nodes: local * groups,
+            hier: Some((local, groups)),
             ..Self::default()
         }
     }
@@ -189,17 +212,30 @@ struct RingOutcome {
     coherence: Result<(), String>,
 }
 
-pub(crate) fn machine_for(trace: &Trace, nodes: usize) -> Result<MachineConfig, String> {
+pub(crate) fn machine_for(
+    trace: &Trace,
+    nodes: usize,
+    hier: Option<(usize, usize)>,
+) -> Result<MachineConfig, String> {
     let cores = trace.cores();
     if nodes == 0 || !cores.is_multiple_of(nodes) {
         return Err(format!(
             "trace cores ({cores}) must be a multiple of {nodes} nodes"
         ));
     }
-    Ok(MachineConfig {
+    let mut machine = MachineConfig {
         nodes,
         ..MachineConfig::isca2006(cores / nodes)
-    })
+    };
+    if let Some((local, groups)) = hier {
+        if local * groups != nodes {
+            return Err(format!(
+                "hier shape {local}x{groups} does not cover {nodes} nodes"
+            ));
+        }
+        machine.ring.hier = Some(flexsnoop::default_hier(local, groups));
+    }
+    Ok(machine)
 }
 
 pub(crate) fn boxed_streams(trace: &Trace) -> Vec<Box<dyn AccessStream + Send>> {
@@ -215,7 +251,7 @@ fn build_ring_sim(
     kind: QueueKind,
     opts: &DiffOptions,
 ) -> Result<Simulator, String> {
-    let machine = machine_for(trace, opts.nodes)?;
+    let machine = machine_for(trace, opts.nodes, opts.hier)?;
     let predictor = alg.default_predictor();
     let energy = energy_model_for(&predictor);
     let mut sim = Simulator::new(
@@ -503,8 +539,11 @@ pub fn run_differential(
         );
     }
 
-    // The directory baseline over the identical trace.
-    let machine = machine_for(&trace, opts.nodes)?;
+    // The directory baseline over the identical trace. The directory
+    // protocol never touches the ring, so the hierarchical shape changes
+    // nothing on this side — which is exactly the point: the oracle is
+    // topology-blind.
+    let machine = machine_for(&trace, opts.nodes, opts.hier)?;
     let mut dsim = DirSimulator::new(machine, boxed_streams(&trace), opts.accesses_per_core)?;
     dsim.enable_invariant_checks();
     let dstats = dsim.run();
@@ -635,5 +674,53 @@ mod tests {
         let opts = DiffOptions { nodes: 3, ..tiny() };
         let err = run_differential(&profiles::specweb(), 1, &opts).unwrap_err();
         assert!(err.contains("multiple"), "{err}");
+    }
+
+    #[test]
+    fn mismatched_hier_shape_is_rejected() {
+        let opts = DiffOptions {
+            hier: Some((3, 3)),
+            ..tiny()
+        };
+        let err = run_differential(&profiles::specweb(), 1, &opts).unwrap_err();
+        assert!(err.contains("shape"), "{err}");
+    }
+
+    #[test]
+    fn hier_shapes_match_the_directory_baseline() {
+        // The ISSUE's hierarchical net: 2×4, 4×4 and 8×8, each through
+        // the full Table 3 × backend × width matrix plus the directory
+        // oracle over the identical trace.
+        for (local, groups, accesses) in [(2usize, 4usize, 60u64), (4, 4, 40), (8, 8, 25)] {
+            let profile = profiles::specweb().with_cores(local * groups);
+            let opts = DiffOptions {
+                accesses_per_core: accesses,
+                threads: 2,
+                ..DiffOptions::hier(local, groups)
+            };
+            let report = run_differential(&profile, 11, &opts).unwrap();
+            assert!(report.is_clean(), "{local}x{groups}:\n{}", report.render());
+            assert_eq!(report.ring_runs, 16);
+        }
+    }
+
+    #[test]
+    fn hier_divergence_is_pinpointed_via_rewind() {
+        // The checkpoint time-travel walkthrough must work unchanged on
+        // a hierarchical topology: inject a protocol bug and demand the
+        // first divergent transaction's timeline in the report.
+        let opts = DiffOptions {
+            accesses_per_core: 60,
+            threads: 2,
+            mutation: Some(ProtocolMutation::SkipSupplierDowngrade),
+            ..DiffOptions::hier(2, 4)
+        };
+        let report = run_differential(&profiles::specweb(), 11, &opts).unwrap();
+        assert!(!report.is_clean(), "mutation must be detected on hier");
+        let rendered = report.render();
+        assert!(
+            rendered.contains("first divergent transaction"),
+            "report must pinpoint the transaction:\n{rendered}"
+        );
     }
 }

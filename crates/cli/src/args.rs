@@ -139,6 +139,20 @@ pub struct Args {
     pub via_serve: bool,
     /// Positional scenario name or file for `scenario run`.
     pub scenario: String,
+    /// `--cluster N`: scope the workload's shared pools to clusters of N
+    /// consecutive cores (0 = the profile's own scope). Pairing N with a
+    /// `hier` topology's local-ring size pins each instance's sharing
+    /// inside one ring.
+    pub cluster: usize,
+    /// `--topology flat|hier:<local>x<rings>`: `None` is the flat ring,
+    /// `Some((local, rings))` groups the nodes into `rings` local rings
+    /// of `local` nodes joined by bridges on a global ring. A `hier`
+    /// topology fixes the node count to `local × rings`; an explicit
+    /// `--nodes` must agree.
+    pub topology: Option<(usize, usize)>,
+    /// Whether `--nodes` was given explicitly (used to reconcile with
+    /// `--topology`, which implies its own node count).
+    pub nodes_explicit: bool,
 }
 
 impl Default for Args {
@@ -183,8 +197,37 @@ impl Default for Args {
             self_check: false,
             via_serve: false,
             scenario: String::new(),
+            cluster: 0,
+            topology: None,
+            nodes_explicit: false,
         }
     }
+}
+
+/// Parses a `--topology` value: `flat` or `hier:<local>x<rings>` with
+/// both factors at least 2 (a single-node local ring is just its bridge,
+/// and a single ring is the flat topology).
+fn parse_topology(value: &str) -> Result<Option<(usize, usize)>, String> {
+    if value == "flat" {
+        return Ok(None);
+    }
+    let spec = value.strip_prefix("hier:").ok_or_else(|| {
+        format!("--topology expects `flat` or `hier:<local>x<rings>`, got {value:?}")
+    })?;
+    let (local, rings) = spec.split_once('x').ok_or_else(|| {
+        format!("--topology hier expects `<local>x<rings>` (e.g. hier:4x4), got {spec:?}")
+    })?;
+    let parse = |what: &str, v: &str| -> Result<usize, String> {
+        v.parse::<usize>()
+            .map_err(|_| format!("--topology {what} expects a number, got {v:?}"))
+    };
+    let (local, rings) = (parse("local size", local)?, parse("ring count", rings)?);
+    if local < 2 || rings < 2 {
+        return Err(format!(
+            "--topology hier:{local}x{rings} is degenerate; both factors must be >= 2"
+        ));
+    }
+    Ok(Some((local, rings)))
 }
 
 impl Args {
@@ -298,7 +341,12 @@ impl Args {
                     args.accesses_explicit = true;
                 }
                 "--seed" => args.seed = num("--seed")?,
-                "--nodes" => args.nodes = num("--nodes")? as usize,
+                "--nodes" => {
+                    args.nodes = num("--nodes")? as usize;
+                    args.nodes_explicit = true;
+                }
+                "--topology" => args.topology = parse_topology(value)?,
+                "--cluster" => args.cluster = num("--cluster")? as usize,
                 "--transactions" => args.transactions = num("--transactions")? as usize,
                 "--trace" => args.trace = value.clone(),
                 "--out" => args.out = value.clone(),
@@ -320,6 +368,19 @@ impl Args {
                 "--seeds" => args.seeds = value.clone(),
                 other => return Err(format!("unknown option {other:?}; try `flexsnoop help`")),
             }
+        }
+        // A hierarchical topology implies its node count; an explicit
+        // --nodes must agree with it.
+        if let Some((local, rings)) = args.topology {
+            let covered = local * rings;
+            if args.nodes_explicit && args.nodes != covered {
+                return Err(format!(
+                    "--topology hier:{local}x{rings} covers {covered} nodes, \
+                     but --nodes {} was given",
+                    args.nodes
+                ));
+            }
+            args.nodes = covered;
         }
         Ok(args)
     }
@@ -500,6 +561,38 @@ mod tests {
         assert!(Args::parse(&argv("scenario run a b"))
             .unwrap_err()
             .contains("extra argument"));
+    }
+
+    #[test]
+    fn topology_option_parses_and_fixes_the_node_count() {
+        let a = Args::parse(&argv("run --topology hier:4x4 --cluster 4")).unwrap();
+        assert_eq!(a.topology, Some((4, 4)));
+        assert_eq!(a.nodes, 16, "hier topology implies its node count");
+        assert_eq!(a.cluster, 4);
+
+        let b = Args::parse(&argv("run --topology flat --nodes 4")).unwrap();
+        assert_eq!(b.topology, None);
+        assert_eq!(b.nodes, 4);
+
+        // An agreeing explicit --nodes is fine, in either order.
+        let c = Args::parse(&argv("chaos --nodes 8 --topology hier:2x4")).unwrap();
+        assert_eq!(c.topology, Some((2, 4)));
+        assert_eq!(c.nodes, 8);
+
+        let err = Args::parse(&argv("run --topology hier:2x4 --nodes 16")).unwrap_err();
+        assert!(err.contains("covers 8 nodes"), "{err}");
+        assert!(Args::parse(&argv("run --topology hier:1x4"))
+            .unwrap_err()
+            .contains("degenerate"));
+        assert!(Args::parse(&argv("run --topology hier:4"))
+            .unwrap_err()
+            .contains("<local>x<rings>"));
+        assert!(Args::parse(&argv("run --topology ring"))
+            .unwrap_err()
+            .contains("flat"));
+        assert!(Args::parse(&argv("run --topology hier:axb"))
+            .unwrap_err()
+            .contains("number"));
     }
 
     #[test]

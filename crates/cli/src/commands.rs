@@ -27,7 +27,10 @@ pub fn list() -> Result<String, String> {
             p.pools.len()
         ));
     }
-    out.push_str("  uniform      (microbenchmark, sized by --nodes)\n\nalgorithms:\n");
+    out.push_str(
+        "  uniform      (microbenchmark, sized by --nodes)\n  consolidated (clustered-sharing \
+         server mix, sized by --nodes; pair with --topology hier and --cluster)\n\nalgorithms:\n",
+    );
     for (name, _) in algorithm_names() {
         out.push_str(&format!("  {name}\n"));
     }
@@ -38,10 +41,25 @@ pub fn list() -> Result<String, String> {
     Ok(out)
 }
 
+/// The workload named by `args`, with `--accesses` and `--cluster`
+/// applied (`--cluster 0` keeps the profile's own sharing scope).
+fn workload_for(args: &Args) -> Result<WorkloadProfile, String> {
+    let mut workload = parse_workload(&args.workload, args.nodes)?.with_accesses(args.accesses);
+    if args.cluster > 0 {
+        workload = workload.with_cluster(args.cluster);
+    }
+    Ok(workload)
+}
+
 fn build_sim(args: &Args, algorithm: Algorithm) -> Result<Simulator, String> {
-    let workload = parse_workload(&args.workload, args.nodes)?.with_accesses(args.accesses);
+    let workload = workload_for(args)?;
     let predictor = parse_predictor(&args.predictor)?;
-    Simulator::for_workload_on(&workload, algorithm, predictor, args.seed, args.nodes)
+    match args.topology {
+        Some((local, rings)) => {
+            Simulator::for_workload_hier(&workload, algorithm, predictor, args.seed, local, rings)
+        }
+        None => Simulator::for_workload_on(&workload, algorithm, predictor, args.seed, args.nodes),
+    }
 }
 
 fn stats_table(rows: &[(Algorithm, RunStats)], csv: bool) -> String {
@@ -110,7 +128,7 @@ fn build_faulted_sim(
     period: u64,
     budget: u64,
 ) -> Result<Simulator, String> {
-    let workload = parse_workload(&args.workload, args.nodes)?.with_accesses(args.accesses);
+    let workload = workload_for(args)?;
     if args.nodes == 0 || !workload.cores.is_multiple_of(args.nodes) {
         return Err(format!(
             "workload cores ({}) must be a multiple of {} nodes",
@@ -121,10 +139,13 @@ fn build_faulted_sim(
     if !algorithm.accepts_predictor(&spec) {
         return Err(format!("algorithm {algorithm} cannot use predictor {spec}"));
     }
-    let machine = MachineConfig {
+    let mut machine = MachineConfig {
         nodes: args.nodes,
         ..MachineConfig::isca2006(workload.cores / args.nodes)
     };
+    if let Some((local, rings)) = args.topology {
+        machine.ring.hier = Some(flexsnoop::default_hier(local, rings));
+    }
     let energy = energy_model_for(&spec);
     let streams: Vec<Box<dyn AccessStream + Send>> = workload
         .streams(args.seed)
@@ -163,6 +184,11 @@ fn write_checkpoint(args: &Args, sim: &mut Simulator) -> Vec<u8> {
     w.put_u64(args.seed);
     w.put_usize(args.nodes);
     w.put_u64(args.accesses);
+    // Topology: `0 x 0` encodes the flat ring.
+    let (local, rings) = args.topology.unwrap_or((0, 0));
+    w.put_usize(local);
+    w.put_usize(rings);
+    w.put_usize(args.cluster);
     w.put_bytes(&sim.save_snapshot());
     snap::seal(w.into_bytes())
 }
@@ -194,6 +220,9 @@ fn resume_run(args: &Args) -> Result<String, String> {
     rargs.seed = r.get_u64().map_err(bad)?;
     rargs.nodes = r.get_usize().map_err(bad)?;
     rargs.accesses = r.get_u64().map_err(bad)?;
+    let (local, rings) = (r.get_usize().map_err(bad)?, r.get_usize().map_err(bad)?);
+    rargs.topology = (local > 0 && rings > 0).then_some((local, rings));
+    rargs.cluster = r.get_usize().map_err(bad)?;
     let snapshot = r.get_bytes().map_err(bad)?.to_vec();
     r.expect_eof().map_err(bad)?;
     let algorithm = parse_algorithm(&rargs.algorithm)?;
@@ -318,7 +347,10 @@ fn record_trace(workload: &WorkloadProfile, accesses: u64, seed: u64) -> Trace {
 
 /// `flexsnoop trace`.
 pub fn trace(args: &Args) -> Result<String, String> {
-    let workload = parse_workload(&args.workload, args.nodes)?;
+    let mut workload = parse_workload(&args.workload, args.nodes)?;
+    if args.cluster > 0 {
+        workload = workload.with_cluster(args.cluster);
+    }
     let trace = record_trace(&workload, args.accesses, args.seed);
     let text = trace.to_text();
     if args.out.is_empty() {
@@ -350,10 +382,13 @@ pub fn replay(args: &Args) -> Result<String, String> {
             args.nodes
         ));
     }
-    let machine = flexsnoop::MachineConfig {
+    let mut machine = flexsnoop::MachineConfig {
         nodes: args.nodes,
         ..flexsnoop::MachineConfig::isca2006(trace.cores() / args.nodes)
     };
+    if let Some((local, rings)) = args.topology {
+        machine.ring.hier = Some(flexsnoop::default_hier(local, rings));
+    }
     let limit = (0..trace.cores())
         .map(|c| trace.core(c).len() as u64)
         .max()
@@ -379,7 +414,7 @@ pub fn replay(args: &Args) -> Result<String, String> {
 
 /// `flexsnoop directory`: the §2.1.2 baseline on the same workload.
 pub fn directory(args: &Args) -> Result<String, String> {
-    let workload = parse_workload(&args.workload, args.nodes)?.with_accesses(args.accesses);
+    let workload = workload_for(args)?;
     let mut sim =
         flexsnoop_directory::DirSimulator::for_workload(&workload, args.seed, args.nodes)?;
     let s = sim.run();
@@ -585,7 +620,10 @@ pub fn chaos(args: &Args) -> Result<String, String> {
                 .to_string(),
         );
     }
-    let workload = parse_workload(&args.workload, args.nodes)?;
+    let mut workload = parse_workload(&args.workload, args.nodes)?;
+    if args.cluster > 0 {
+        workload = workload.with_cluster(args.cluster);
+    }
     let defaults = flexsnoop_checker::ChaosOptions::default();
     let opts = flexsnoop_checker::ChaosOptions {
         schedules: args.schedules,
@@ -607,6 +645,7 @@ pub fn chaos(args: &Args) -> Result<String, String> {
         schedule: args.schedule,
         budget: args.budget,
         torus_only: args.torus_only,
+        hier: args.topology,
         timeout_policy: args
             .static_timeouts
             .then_some(flexsnoop::TimeoutPolicy::Static),

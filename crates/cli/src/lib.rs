@@ -77,8 +77,8 @@ COMMANDS:
     serve       Host the sweep service on a Unix socket (NDJSON result stream)
     submit      Send a parameter sweep to a serving socket
     scenario    Run a declarative robustness scenario: `scenario run <name|file>`
-                (builtins: partition-heal, churn; see DESIGN.md §12 for the
-                scenario file format)
+                (builtins: partition-heal, churn, hierarchy-partition; see
+                DESIGN.md §12 for the scenario file format)
     help        Show this message
 
 OPTIONS (where applicable):
@@ -88,6 +88,14 @@ OPTIONS (where applicable):
     --accesses N         Accesses per core [4000]
     --seed N             Simulation seed [42]
     --nodes N            CMP nodes on the ring [8]
+    --topology T         flat, or hier:<local>x<rings> — group the nodes into
+                         <rings> local rings of <local> nodes joined by bridge
+                         nodes on a global ring (implies --nodes local*rings);
+                         applies to run/compare/timeline/replay/chaos [flat]
+    --cluster N          scope the workload's shared pools to clusters of N
+                         consecutive cores (0 = the profile's own scope); set
+                         N to the hier local-ring size to pin each instance's
+                         sharing inside one ring [0]
     --transactions N     Transactions to record for `timeline` [3]
     --trace FILE         Trace file for `replay`
     --out PATH           Output file for `trace`; output dir for `report` [results]
@@ -262,11 +270,17 @@ mod tests {
 
     #[test]
     fn scenario_builtins_run_clean_in_smoke_mode() {
-        for name in ["partition-heal", "churn"] {
+        for name in flexsnoop_scenario::builtin_names() {
             let out = run(&argv(&format!("scenario run {name} --smoke --threads 2"))).unwrap();
             assert!(out.contains("CLEAN"), "{name}:\n{out}");
             assert!(out.contains("skipped (smoke)"), "{name}:\n{out}");
         }
+        // The hierarchical builtin reports its shape.
+        let out = run(&argv(
+            "scenario run hierarchy-partition --smoke --threads 2",
+        ))
+        .unwrap();
+        assert!(out.contains("hier:4x4"), "{out}");
     }
 
     #[test]
@@ -376,6 +390,37 @@ mod tests {
         assert!(run(&argv("run --predictor-fault bogus:2:5")).is_err());
         assert!(run(&argv("run --predictor-fault force-negative:0:5")).is_err());
         assert!(run(&argv("run --predictor-fault force-negative")).is_err());
+    }
+
+    #[test]
+    fn hierarchical_run_localizes_circulations() {
+        // The consolidated workload clustered at the local-ring size must
+        // complete circulations in-ring; the identical flat run must not
+        // even know the accounting.
+        let hier = run(&argv(
+            "run --workload consolidated --algorithm subset --accesses 150 --seed 3 \
+             --topology hier:4x4 --cluster 4",
+        ))
+        .unwrap();
+        assert!(hier.contains("Subset"), "{hier}");
+        let flat = run(&argv(
+            "run --workload consolidated --algorithm subset --accesses 150 --seed 3 \
+             --nodes 16 --cluster 4",
+        ))
+        .unwrap();
+        assert!(flat.contains("Subset"), "{flat}");
+        assert_ne!(hier, flat, "topology must change the measured run");
+    }
+
+    #[test]
+    fn chaos_accepts_a_hier_topology() {
+        let out = run(&argv(
+            "chaos --workload consolidated --schedules 2 --accesses 60 --seed 5 \
+             --topology hier:2x4 --cluster 2 --threads 2",
+        ))
+        .unwrap();
+        assert!(out.contains("CLEAN"), "{out}");
+        assert!(out.contains("bridge drops"), "{out}");
     }
 
     #[test]

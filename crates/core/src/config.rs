@@ -7,6 +7,7 @@
 //! trips. All cycle counts are 6 GHz processor cycles.
 
 use flexsnoop_engine::Cycles;
+use flexsnoop_net::HierParams;
 
 /// Cache geometry parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +72,23 @@ pub struct RingParams {
     pub hop_latency: Cycles,
     /// Link occupancy per snoop message (bandwidth model).
     pub link_service: Cycles,
+    /// Two-level (local rings + global bridge ring) topology, or `None`
+    /// for the paper's flat ring. See [`default_hier`] for the standard
+    /// shape used by sweeps and the CLI.
+    pub hier: Option<HierParams>,
+}
+
+/// The standard hierarchical shape for a `local × groups` machine:
+/// global-ring wires span whole local rings, so a bridge hop costs twice
+/// the local propagation at the same serialization (54 + 12 cycles
+/// against the flat ring's 27 + 12).
+pub fn default_hier(local: usize, groups: usize) -> HierParams {
+    HierParams {
+        local,
+        groups,
+        bridge_latency: Cycles(54),
+        bridge_service: Cycles(12),
+    }
 }
 
 /// Data-network (torus) parameters.
@@ -259,6 +277,7 @@ impl MachineConfig {
                 rings: 2,
                 hop_latency: Cycles(27),
                 link_service: Cycles(12),
+                hier: None,
             },
             data_net: DataNetParams {
                 hop_latency: Cycles(10),
@@ -297,6 +316,19 @@ impl MachineConfig {
         cfg
     }
 
+    /// A [`Self::scale`] machine arranged as `groups` hierarchical local
+    /// rings of `local` nodes each (`nodes = local × groups`) with the
+    /// [`default_hier`] bridge timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn hier_scale(local: usize, groups: usize) -> Self {
+        let mut cfg = Self::scale(local * groups);
+        cfg.ring.hier = Some(default_hier(local, groups));
+        cfg
+    }
+
     /// Total cores in the machine.
     pub fn total_cores(&self) -> usize {
         self.nodes * self.cores_per_cmp
@@ -319,6 +351,17 @@ impl MachineConfig {
         }
         if self.ring.rings == 0 {
             return Err("at least one embedded ring is required".into());
+        }
+        if let Some(h) = self.ring.hier {
+            if h.local < 2 || h.groups < 2 {
+                return Err("hierarchical shapes need at least 2 nodes in at least 2 rings".into());
+            }
+            if h.local * h.groups != self.nodes {
+                return Err(format!(
+                    "hierarchy {}x{} does not tile {} nodes",
+                    h.local, h.groups, self.nodes
+                ));
+            }
         }
         if self.policy.max_outstanding_reads == 0 {
             return Err("cores need at least one outstanding read".into());
@@ -429,6 +472,21 @@ mod tests {
             ..MachineConfig::default()
         };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hier_shape_must_tile_the_machine() {
+        let c = MachineConfig::hier_scale(4, 4);
+        assert_eq!(c.nodes, 16);
+        assert!(c.validate().is_ok());
+
+        let mut c = MachineConfig::hier_scale(4, 4);
+        c.nodes = 8;
+        assert!(c.validate().is_err(), "4x4 does not tile 8 nodes");
+
+        let mut c = MachineConfig::isca2006(1);
+        c.ring.hier = Some(default_hier(1, 8));
+        assert!(c.validate().is_err(), "single-node local rings rejected");
     }
 
     #[test]

@@ -59,9 +59,9 @@ pub mod stats;
 pub mod timeline;
 
 pub use algorithm::{Algorithm, DynPolicy, SnoopAction};
-pub use config::{MachineConfig, RecoveryParams, TimeoutPolicy};
+pub use config::{default_hier, MachineConfig, RecoveryParams, TimeoutPolicy};
 pub use experiments::{run_algorithms, run_workload, GroupAggregator, VecStream};
-pub use message::{MsgKind, ReplyInfo, RingMsg, TxnId, TxnOp};
+pub use message::{MsgKind, ReplyInfo, RingMsg, SnoopScope, TxnId, TxnOp};
 pub use oracle::{ProtocolMutation, Violation};
 pub use probe::{CountingProbe, Probe, ProbeReport};
 pub use sim::{energy_model_for, ChurnWindow, MemoryFootprint, Simulator};
@@ -70,7 +70,9 @@ pub use timeline::{Timeline, TxnEvent};
 
 // Re-export the substrate types that appear in this crate's public API so
 // downstream users need only one dependency.
-pub use flexsnoop_net::{FaultPlan, FaultStats, LinkDrop, PartitionWindow, RingFault, StallWindow};
+pub use flexsnoop_net::{
+    FaultPlan, FaultStats, HierParams, LinkDrop, PartitionWindow, RingFault, StallWindow,
+};
 pub use flexsnoop_predictor::{
     FaultInjectingPredictor, FaultKind, PredictorSpec, SupplierPredictor,
 };

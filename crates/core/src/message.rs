@@ -181,6 +181,39 @@ impl MsgKind {
     }
 }
 
+/// How far a snoop circulation is allowed to travel on a hierarchical
+/// topology. Flat rings always run [`SnoopScope::Global`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnoopScope {
+    /// The circulation stays inside the requester's local ring; a
+    /// negative outcome escalates to a fresh global circulation instead
+    /// of going to memory (the locality predictor was wrong).
+    Local,
+    /// The circulation visits every node in the machine: all local rings,
+    /// stitched together through the global bridge ring. This is the
+    /// scope that preserves the paper's eventually-visits-every-supplier
+    /// guarantee; a negative global outcome may go to memory.
+    Global,
+}
+
+impl Snapshot for SnoopScope {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            SnoopScope::Local => 0,
+            SnoopScope::Global => 1,
+        });
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        *self = match r.get_u8()? {
+            0 => SnoopScope::Local,
+            1 => SnoopScope::Global,
+            _ => return Err(SnapError::Corrupt("snoop-scope tag out of range")),
+        };
+        Ok(())
+    }
+}
+
 /// One message on the embedded ring.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RingMsg {
@@ -203,6 +236,13 @@ pub struct RingMsg {
     /// repeated `(attempt, seq)` delivery is an injected duplicate and is
     /// suppressed. Always 0 on a lossless ring (never consulted).
     pub seq: u32,
+    /// Circulation scope (always [`SnoopScope::Global`] on a flat ring).
+    pub scope: SnoopScope,
+    /// Whether the last hop this message took was a global (bridge) link.
+    /// Nodes reached over the global ring act as pure switches: they
+    /// inject the message into their local ring without snooping, so a
+    /// global circulation snoops every node exactly once.
+    pub via_global: bool,
 }
 
 impl Snapshot for MsgKind {
@@ -247,6 +287,8 @@ impl Snapshot for RingMsg {
         self.kind.save_into(w);
         w.put_u32(self.attempt);
         w.put_u32(self.seq);
+        self.scope.save_into(w);
+        w.put_bool(self.via_global);
     }
 
     fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
@@ -257,6 +299,8 @@ impl Snapshot for RingMsg {
         self.kind.restore_from(r)?;
         self.attempt = r.get_u32()?;
         self.seq = r.get_u32()?;
+        self.scope.restore_from(r)?;
+        self.via_global = r.get_bool()?;
         Ok(())
     }
 }

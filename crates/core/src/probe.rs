@@ -134,6 +134,25 @@ pub trait Probe: Send {
     /// The fault plan dropped one torus data message.
     fn torus_fault(&mut self) {}
 
+    /// A per-group locality table was consulted for an open read on a
+    /// hierarchical topology; `local` is its answer (true = circulate
+    /// locally). Never fired on a flat ring.
+    fn locality_lookup(&mut self, local: bool) {
+        let _ = local;
+    }
+
+    /// A local-scope circulation came back empty-handed and was
+    /// escalated to a full global circulation (hierarchical topologies
+    /// only; this is a misprediction, not a fault retry).
+    fn escalation(&mut self) {}
+
+    /// A request-carrier crossed one bridge link on the global ring;
+    /// `latency` is the full leave-to-arrival time including bridge
+    /// contention. Never fired on a flat ring.
+    fn bridge_hop(&mut self, latency: Cycles) {
+        let _ = latency;
+    }
+
     /// End-of-run memory accounting: the simulator's estimated heap
     /// footprint ([`crate::Simulator::memory_footprint`]) plus the
     /// process's peak resident set (0 when the platform cannot report
@@ -220,6 +239,16 @@ pub struct ProbeReport {
     /// the platform cannot report it. Volatile: never serialized into
     /// deterministic artifact sections.
     pub peak_rss_bytes: u64,
+    /// Locality-table consultations (hierarchical topologies only).
+    pub locality_lookups: u64,
+    /// Consultations that predicted an in-ring supplier.
+    pub locality_local: u64,
+    /// Local circulations escalated to global after missing in-ring.
+    pub escalations: u64,
+    /// Bridge-link crossings on the global ring.
+    pub bridge_hops: u64,
+    /// Leave-to-arrival latency of every bridge hop, in cycles.
+    pub bridge_hop_latency: Histogram,
 }
 
 impl ProbeReport {
@@ -356,6 +385,22 @@ impl Probe for CountingProbe {
         self.report.torus_drops += 1;
     }
 
+    fn locality_lookup(&mut self, local: bool) {
+        self.report.locality_lookups += 1;
+        if local {
+            self.report.locality_local += 1;
+        }
+    }
+
+    fn escalation(&mut self) {
+        self.report.escalations += 1;
+    }
+
+    fn bridge_hop(&mut self, latency: Cycles) {
+        self.report.bridge_hops += 1;
+        self.report.bridge_hop_latency.record(latency.0);
+    }
+
     fn footprint(&mut self, bytes_per_node: u64, total_bytes: u64, peak_rss_bytes: u64) {
         self.report.bytes_per_node = bytes_per_node;
         self.report.footprint_total_bytes = total_bytes;
@@ -400,11 +445,16 @@ impl Snapshot for ProbeReport {
             self.torus_drops,
             self.bytes_per_node,
             self.footprint_total_bytes,
+            self.locality_lookups,
+            self.locality_local,
+            self.escalations,
+            self.bridge_hops,
         ] {
             w.put_u64(v);
         }
         self.ring_hop_latency.save_into(w);
         self.timeout_estimate.save_into(w);
+        self.bridge_hop_latency.save_into(w);
     }
 
     fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
@@ -438,12 +488,17 @@ impl Snapshot for ProbeReport {
             &mut self.torus_drops,
             &mut self.bytes_per_node,
             &mut self.footprint_total_bytes,
+            &mut self.locality_lookups,
+            &mut self.locality_local,
+            &mut self.escalations,
+            &mut self.bridge_hops,
         ] {
             *v = r.get_u64()?;
         }
         self.peak_rss_bytes = 0;
         self.ring_hop_latency.restore_from(r)?;
-        self.timeout_estimate.restore_from(r)
+        self.timeout_estimate.restore_from(r)?;
+        self.bridge_hop_latency.restore_from(r)
     }
 }
 
@@ -516,6 +571,12 @@ mod tests {
         p.rtt_sampled(Cycles(344), Cycles(430));
         p.rtt_sampled(Cycles(500), Cycles(620));
         p.torus_fault();
+        p.locality_lookup(true);
+        p.locality_lookup(false);
+        p.locality_lookup(true);
+        p.escalation();
+        p.bridge_hop(Cycles(66));
+        p.bridge_hop(Cycles(80));
         p.footprint(512, 4096, 1 << 20);
         let r = p.report().unwrap();
         assert_eq!(r.forwards, 2);
@@ -549,6 +610,12 @@ mod tests {
         assert_eq!(r.timeout_estimate.count(), 2);
         assert_eq!(r.timeout_estimate.max(), Some(620));
         assert_eq!(r.torus_drops, 1);
+        assert_eq!(r.locality_lookups, 3);
+        assert_eq!(r.locality_local, 2);
+        assert_eq!(r.escalations, 1);
+        assert_eq!(r.bridge_hops, 2);
+        assert_eq!(r.bridge_hop_latency.count(), 2);
+        assert_eq!(r.bridge_hop_latency.max(), Some(80));
         assert_eq!(r.bytes_per_node, 512);
         assert_eq!(r.footprint_total_bytes, 4096);
         assert_eq!(r.peak_rss_bytes, 1 << 20);
@@ -564,6 +631,9 @@ mod tests {
         p.ring_hop(Cycles(9));
         p.event_dispatched(4);
         p.rtt_sampled(Cycles(100), Cycles(150));
+        p.locality_lookup(true);
+        p.escalation();
+        p.bridge_hop(Cycles(66));
         p.footprint(256, 2048, 1 << 22);
         let original = p.report().unwrap();
         let bytes = snapshot_bytes(&original);
@@ -636,6 +706,9 @@ mod tests {
         s.spurious_retry();
         s.rtt_sampled(Cycles(1), Cycles(2));
         s.torus_fault();
+        s.locality_lookup(true);
+        s.escalation();
+        s.bridge_hop(Cycles(1));
         s.footprint(1, 2, 3);
         assert!(s.report().is_none());
     }

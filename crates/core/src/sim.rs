@@ -32,7 +32,8 @@ use flexsnoop_mem::{CacheGeometry, CmpCaches, CmpId, CoherState, InvalidateOutco
 use flexsnoop_metrics::{EnergyCategory, EnergyModel};
 use flexsnoop_net::{FaultPlan, FaultStats, RingConfig, RingNetwork, Torus, TorusConfig};
 use flexsnoop_predictor::{
-    BloomFilter, BloomSpec, PredictorBank, PredictorSpec, SupplierPredictor,
+    BloomFilter, BloomSpec, LocalityTable, PredictorBank, PredictorSpec, SupplierPredictor,
+    DEFAULT_LOCALITY_ENTRIES,
 };
 use flexsnoop_workload::{AccessStream, MemAccess, WorkloadProfile};
 
@@ -41,7 +42,7 @@ use flexsnoop_mem::invariants;
 use crate::algorithm::{Algorithm, DynPolicy, SnoopAction};
 use crate::arena::TxnArena;
 use crate::config::{MachineConfig, TimeoutPolicy};
-use crate::message::{MsgKind, ReplyInfo, RingMsg, TxnId, TxnOp};
+use crate::message::{MsgKind, ReplyInfo, RingMsg, SnoopScope, TxnId, TxnOp};
 use crate::oracle::{ProtocolMutation, Violation};
 use crate::probe::{CountingProbe, Probe, ProbeReport};
 use crate::stats::RunStats;
@@ -215,6 +216,13 @@ struct Txn {
     /// Bitset of sequence numbers already delivered this attempt, for
     /// duplicate suppression. Empty (never allocated) on a lossless ring.
     seen_seqs: Vec<u64>,
+    /// Current circulation scope. Always `Global` on a flat topology;
+    /// hierarchical reads may start `Local` and escalate on a miss.
+    scope: SnoopScope,
+    /// The transaction has been re-issued by a timeout at least once:
+    /// all its subsequent ring traffic is charged to recovery overhead.
+    /// Escalations (locality mispredictions) do not set this.
+    retried: bool,
 }
 
 impl Txn {
@@ -431,6 +439,11 @@ pub struct Simulator {
     sched: SimSched,
     cmps: Vec<CmpCaches>,
     predictors: PredictorBank,
+    /// Per-group supplier-locality tables (hierarchical topologies only;
+    /// empty when flat). Consulted at the requester to pick the initial
+    /// circulation scope, trained by observed supplier positions,
+    /// escalations and memory fills.
+    locality: Vec<LocalityTable>,
     /// Per-node presence filters, allocated and maintained only when
     /// write filtering is on (empty otherwise — at ~1.2 KB per filter
     /// they would dominate memory on large rings): a counting Bloom over
@@ -643,7 +656,14 @@ impl Simulator {
             rings: machine.ring.rings,
             hop_latency: machine.ring.hop_latency,
             link_service: machine.ring.link_service,
+            hier: machine.ring.hier,
         });
+        let locality = match machine.ring.hier {
+            Some(h) => (0..h.groups)
+                .map(|_| LocalityTable::new(DEFAULT_LOCALITY_ENTRIES))
+                .collect(),
+            None => Vec::new(),
+        };
         let torus = Torus::new(TorusConfig::near_square(
             machine.nodes,
             machine.data_net.hop_latency,
@@ -667,6 +687,7 @@ impl Simulator {
             sched: SimSched::Single(Scheduler::new()),
             cmps,
             predictors,
+            locality,
             presence,
             write_snoops_filtered: 0,
             ring,
@@ -742,6 +763,55 @@ impl Simulator {
         }
         let machine = MachineConfig {
             nodes,
+            ..MachineConfig::isca2006(profile.cores / nodes)
+        };
+        let predictor = predictor.unwrap_or_else(|| algorithm.default_predictor());
+        let energy = energy_model_for(&predictor);
+        let streams: Vec<Box<dyn AccessStream + Send>> = profile
+            .streams(seed)
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn AccessStream + Send>)
+            .collect();
+        Self::new(
+            machine,
+            algorithm,
+            predictor,
+            energy,
+            streams,
+            profile.accesses_per_core,
+        )
+    }
+
+    /// Like [`for_workload_on`](Self::for_workload_on) but arranging the
+    /// `local × groups` nodes as a hierarchical multi-ring machine with
+    /// the [`crate::config::default_hier`] bridge timing and a per-group
+    /// locality table steering read circulations.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the profile's core count is not divisible by
+    /// `local * groups` or the configuration is otherwise invalid.
+    pub fn for_workload_hier(
+        profile: &WorkloadProfile,
+        algorithm: Algorithm,
+        predictor: Option<PredictorSpec>,
+        seed: u64,
+        local: usize,
+        groups: usize,
+    ) -> Result<Self, String> {
+        let nodes = local * groups;
+        if nodes == 0 || !profile.cores.is_multiple_of(nodes) {
+            return Err(format!(
+                "workload cores ({}) must be a multiple of {local}x{groups} nodes",
+                profile.cores
+            ));
+        }
+        let machine = MachineConfig {
+            nodes,
+            ring: crate::config::RingParams {
+                hier: Some(crate::config::default_hier(local, groups)),
+                ..MachineConfig::isca2006(1).ring
+            },
             ..MachineConfig::isca2006(profile.cores / nodes)
         };
         let predictor = predictor.unwrap_or_else(|| algorithm.default_predictor());
@@ -891,7 +961,7 @@ impl Simulator {
             + self.cfg.timing.gateway_latency
             + self.cfg.timing.predictor_latency;
         self.timeout_floor =
-            self.ring.unloaded_latency(self.cfg.nodes) + per_node * self.cfg.nodes as u64;
+            self.ring.unloaded_circulation_latency() + per_node * self.cfg.nodes as u64;
         self.timeout_base = self.timeout_floor + self.cfg.recovery.queueing_slack;
         self.rtt = vec![RttEstimator::new(self.timeout_floor); self.cfg.nodes];
     }
@@ -1224,6 +1294,7 @@ impl Simulator {
         self.stats.robustness.partition_blocked = fault_stats.partition_blocked;
         self.stats.robustness.torus_drops = self.torus.fault_drops();
         self.stats.robustness.injected_prediction_faults = self.injected_prediction_faults();
+        self.stats.robustness.bridge_drops = fault_stats.bridge_drops;
         // Fold predictor activity into the energy account.
         for node in 0..self.predictors.len() {
             let c = self.predictors.counters(node);
@@ -1236,6 +1307,17 @@ impl Simulator {
             if let Some(probe) = self.probe.as_deref_mut() {
                 probe.predictor_trained(c.trainings);
             }
+        }
+        // Locality tables are predictor hardware too: charge their
+        // activity to the same energy categories.
+        for table in &self.locality {
+            let c = table.counters();
+            self.stats
+                .energy
+                .add(EnergyCategory::PredictorLookup, c.lookups);
+            self.stats
+                .energy
+                .add(EnergyCategory::PredictorTrain, c.trainings);
         }
         if self.probe.is_some() {
             let fp = self.memory_footprint();
@@ -1538,6 +1620,24 @@ impl Simulator {
             TxnOp::Read => slot.0 += 1,
             TxnOp::Write => slot.1 += 1,
         }
+        // Hierarchical reads consult the requester group's locality
+        // table: a local prediction lets the snoop circulate inside the
+        // group only (escalating on a miss); writes always invalidate
+        // machine-wide. Flat topologies have no table and stay Global.
+        let scope = if op == TxnOp::Read && !self.locality.is_empty() {
+            let group = self.ring.group_of(requester);
+            let local = self.locality[group].predict_local(line);
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.locality_lookup(local);
+            }
+            if local {
+                SnoopScope::Local
+            } else {
+                SnoopScope::Global
+            }
+        } else {
+            SnoopScope::Global
+        };
         let leave = now + self.cfg.timing.gateway_latency;
         let id = self.txns.insert(Txn {
             line,
@@ -1559,6 +1659,8 @@ impl Simulator {
             attempt_start: leave,
             emit_seq: 0,
             seen_seqs: Vec::new(),
+            scope,
+            retried: false,
         });
         self.timeline
             .record(id, now, TxnEvent::Issued { node: requester });
@@ -1570,6 +1672,8 @@ impl Simulator {
             kind: MsgKind::Combined(ReplyInfo::start()),
             attempt: 0,
             seq: 0,
+            scope,
+            via_global: false,
         };
         self.send_ring(msg, requester, leave, op);
         if self.unreliable && self.recovery {
@@ -1587,6 +1691,14 @@ impl Simulator {
 
     /// Sends `msg` over the ring link leaving `from` at `leave`, charging
     /// energy and counting the hop.
+    ///
+    /// On a hierarchical topology a global-scope message leaving a bridge
+    /// it reached over the *local* ring departs on the **global** link to
+    /// the next group's bridge (`via_global` is set for the arrival
+    /// handler); everything else — local-scope circulations, non-bridge
+    /// nodes, and the switch hop a bridge makes after a global arrival —
+    /// stays on the local ring. Flat topologies have no bridges, so the
+    /// routing collapses to the plain successor hop.
     fn send_ring(&mut self, mut msg: RingMsg, from: CmpId, leave: Cycle, op: TxnOp) {
         if self.unreliable {
             // Stamp the current attempt and a fresh emission sequence
@@ -1596,6 +1708,12 @@ impl Simulator {
                 msg.attempt = t.attempt;
                 msg.seq = t.emit_seq;
                 t.emit_seq += 1;
+                if t.retried {
+                    // Every hop of a timeout-retried transaction is
+                    // recovery overhead (the report's fault-aware energy
+                    // split charges these separately).
+                    self.stats.retry_ring_hops += 1;
+                }
             }
         }
         self.timeline.record(
@@ -1606,8 +1724,17 @@ impl Simulator {
                 kind: kind_label(&msg.kind),
             },
         );
+        let go_global =
+            msg.scope == SnoopScope::Global && !msg.via_global && self.ring.is_bridge(from);
         let ring_id = self.ring.ring_for(msg.line);
-        let out = self.ring.send_hop_outcome(ring_id, from, leave);
+        let out = if go_global {
+            msg.via_global = true;
+            self.stats.bridge_hops += 1;
+            self.ring.send_global_hop_outcome(ring_id, from, leave)
+        } else {
+            msg.via_global = false;
+            self.ring.send_hop_outcome(ring_id, from, leave)
+        };
         // The flit crossed (or occupied) the link either way: hops and
         // link energy are charged even when the fault plan eats it.
         match op {
@@ -1620,7 +1747,16 @@ impl Simulator {
                 p.ring_fault(fault);
             }
         }
-        let node = self.ring.next_node(from);
+        let node = if go_global {
+            self.ring.global_next(from)
+        } else {
+            self.ring.next_node(from)
+        };
+        if go_global {
+            if let (Some(p), Some(arrival)) = (self.probe.as_deref_mut(), out.arrival) {
+                p.bridge_hop(arrival - leave);
+            }
+        }
         match out.arrival {
             Some(arrival) => {
                 if let Some(p) = self.probe.as_deref_mut() {
@@ -1785,6 +1921,11 @@ impl Simulator {
         txn.attempt_start = leave;
         txn.emit_seq = 0;
         txn.seen_seqs.clear();
+        // Retries always circulate globally: recovery must reach every
+        // potential supplier, and their ring hops are charged to the
+        // recovery-overhead energy bucket.
+        txn.scope = SnoopScope::Global;
+        txn.retried = true;
         if had_reply {
             // Data-phase retry: the ring answered but the torus lost the
             // data. Re-run the whole transaction; any straggler data from
@@ -1818,6 +1959,8 @@ impl Simulator {
             kind: MsgKind::Combined(ReplyInfo::start()),
             attempt: new_attempt,
             seq: 0,
+            scope: SnoopScope::Global,
+            via_global: false,
         };
         self.send_ring(msg, requester, leave, op);
         self.schedule_event(
@@ -1827,6 +1970,61 @@ impl Simulator {
                 attempt: new_attempt,
             },
         );
+    }
+
+    /// A local-scope circulation returned to the requester without
+    /// finding a supplier. The locality prediction was wrong (or the
+    /// line lives in memory): abandon the local attempt and re-issue a
+    /// full global circulation so every potential supplier is still
+    /// visited — the paper's correctness guarantee. This is not a fault
+    /// retry: `retried` stays false and no robustness counters move,
+    /// but the attempt number bumps so any stale per-attempt events of
+    /// the local lap are discarded on unreliable rings.
+    fn escalate(&mut self, txn_id: TxnId, now: Cycle) {
+        let txn = self.txns.get(txn_id).expect("escalating a live txn");
+        let line = txn.line;
+        let requester = txn.requester;
+        let op = txn.op;
+        self.stats.escalations += 1;
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.escalation();
+        }
+        let group = self.ring.group_of(requester);
+        self.locality[group].train(line, false);
+        self.timeline.record(txn_id, now, TxnEvent::Escalated);
+        let leave = now + self.cfg.timing.gateway_latency;
+        let txn = self.txns.get_mut(txn_id).expect("txn checked above");
+        txn.scope = SnoopScope::Global;
+        txn.attempt += 1;
+        txn.attempt_start = leave;
+        txn.emit_seq = 0;
+        txn.seen_seqs.clear();
+        txn.reply_info = None;
+        let attempt = txn.attempt;
+        for node in txn.engaged.drain(..) {
+            self.gateway.remove(&(txn_id, node));
+        }
+        let msg = RingMsg {
+            txn: txn_id,
+            line,
+            op,
+            requester,
+            kind: MsgKind::Combined(ReplyInfo::start()),
+            attempt,
+            seq: 0,
+            scope: SnoopScope::Global,
+            via_global: false,
+        };
+        self.send_ring(msg, requester, leave, op);
+        if self.unreliable && self.recovery {
+            self.schedule_event(
+                leave + self.timeout_window(requester, attempt),
+                Event::Timeout {
+                    txn: txn_id,
+                    attempt,
+                },
+            );
+        }
     }
 
     fn on_ring_arrive(&mut self, msg: RingMsg, node: CmpId, now: Cycle) {
@@ -1841,6 +2039,18 @@ impl Simulator {
                 kind: kind_label(&msg.kind),
             },
         );
+        if msg.via_global {
+            // Global-ring arrival (hierarchical topologies only): the
+            // receiving gateway acts as a pure switch and puts the
+            // message onto its local ring without snooping — the node is
+            // snooped when the local walk reaches it over a local link.
+            // This holds even at the requester (a bridge requester's
+            // tour passes its own gateway over the global ring before
+            // the closing local walk): termination is always a
+            // local-link arrival at the requester.
+            self.send_ring(msg, node, now + self.cfg.timing.gateway_latency, msg.op);
+            return;
+        }
         if node == msg.requester {
             self.on_ring_return(msg, now);
             return;
@@ -2071,6 +2281,13 @@ impl Simulator {
             if self.mutation != Some(ProtocolMutation::SkipSupplierDowngrade) {
                 self.transition(node, supplier_core, line, st.after_remote_supply());
             }
+            if !self.locality.is_empty() {
+                // Ground truth for the requester group's locality table:
+                // the supplier was (not) inside the requester's ring.
+                let group = self.ring.group_of(requester);
+                let was_local = self.ring.group_of(node) == group;
+                self.locality[group].train(line, was_local);
+            }
             self.stats.reads_cache_supplied += 1;
             self.timeline
                 .record(txn_id, now, TxnEvent::DataSent { node });
@@ -2141,6 +2358,8 @@ impl Simulator {
             kind,
             attempt: 0, // restamped by send_ring on an unreliable ring
             seq: 0,
+            scope: txn.scope,
+            via_global: false,
         };
         self.send_ring(
             msg,
@@ -2404,6 +2623,8 @@ impl Simulator {
             kind,
             attempt: 0, // restamped by send_ring on an unreliable ring
             seq: 0,
+            scope: txn.scope,
+            via_global: false,
         };
         self.send_ring(
             msg,
@@ -2502,8 +2723,29 @@ impl Simulator {
             self.try_retire(txn_id, now);
             return;
         }
+        if self
+            .txns
+            .get(txn_id)
+            .is_some_and(|t| t.scope == SnoopScope::Local)
+        {
+            // A local circulation came back empty-handed: the supplier —
+            // if one exists — is in another ring. Escalate before
+            // touching memory so a memory fill only ever follows a full
+            // circulation (preserving `proves_exclusive` for E fills).
+            self.escalate(txn_id, now);
+            return;
+        }
         // Negative response: fetch from memory (paper §2.2).
         self.stats.reads_from_memory += 1;
+        if !self.locality.is_empty() {
+            // No cache supplier anywhere: train the requester group
+            // remote so the line keeps circulating globally until a
+            // local supply proves otherwise.
+            let t = self.txns.get(txn_id).expect("txn exists");
+            let (requester, line) = (t.requester, t.line);
+            let group = self.ring.group_of(requester);
+            self.locality[group].train(line, false);
+        }
         let txn = self.txns.get_mut(txn_id).expect("txn exists");
         txn.fill_state = if self.cfg.policy.exclusive_fill && info.proves_exclusive() {
             CoherState::E
@@ -2817,6 +3059,16 @@ impl Simulator {
         let line = txn.line;
         let op = txn.op;
         let attempt = txn.attempt;
+        // Two-level accounting: a read that retires still at Local scope
+        // completed inside its group; anything else circled the global
+        // ring at least once. Writes always circulate globally and are
+        // not counted here.
+        if !self.locality.is_empty() && op == TxnOp::Read {
+            match txn.scope {
+                SnoopScope::Local => self.stats.local_circulations += 1,
+                SnoopScope::Global => self.stats.global_circulations += 1,
+            }
+        }
         self.timeline.record(txn_id, now, TxnEvent::Retired);
         // Probation: a retry-free retirement on a degraded line is one
         // clean circulation; a full window of them re-arms the Table 3
@@ -3041,10 +3293,12 @@ impl Simulator {
         let dynamic = (self.gateway.capacity() * (size_of::<((TxnId, u32), NodeState)>() + 16)
             + self.residency.capacity() * (size_of::<(LineAddr, LineCopies)>() + 16)
             + self.rtt.capacity() * size_of::<RttEstimator>()) as u64;
+        let locality: u64 = self.locality.iter().map(|t| t.footprint_bytes()).sum();
         let total = caches
             + presence
             + ports
             + dynamic
+            + locality
             + self.predictors.footprint_bytes()
             + self.ring.footprint_bytes()
             + self.torus.footprint_bytes();
@@ -3135,6 +3389,16 @@ impl Simulator {
         });
         f.push_u64(c.recovery.retry_cap as u64);
         f.push_u64(c.recovery.probation_window as u64);
+        // Hierarchy folds in only when configured, so every flat-ring
+        // fingerprint is byte-identical to what it was before the
+        // hierarchical extension existed (cache keys, committed
+        // artifacts, and flat snapshots all stay valid).
+        if let Some(h) = c.ring.hier {
+            f.push_u64(h.local as u64);
+            f.push_u64(h.groups as u64);
+            f.push_u64(h.bridge_latency.as_u64());
+            f.push_u64(h.bridge_service.as_u64());
+        }
         f.push_str(&self.alg.to_string());
         f.push_u64(self.cores.len() as u64);
         for core in &self.cores {
@@ -3263,6 +3527,10 @@ impl Simulator {
         w.put_usize(self.rtt.len());
         for e in &self.rtt {
             e.save_into(&mut w);
+        }
+        w.put_usize(self.locality.len());
+        for table in &self.locality {
+            table.save_into(&mut w);
         }
         self.stats.save_into(&mut w);
         w.put_bool(self.checks);
@@ -3455,6 +3723,14 @@ impl Simulator {
         for e in &mut self.rtt {
             e.restore_from(&mut r)?;
         }
+        if r.get_usize()? != self.locality.len() {
+            return Err(SnapError::Corrupt(
+                "locality-table count does not match config",
+            ));
+        }
+        for table in &mut self.locality {
+            table.restore_from(&mut r)?;
+        }
         self.stats.restore_from(&mut r)?;
         self.checks = r.get_bool()? || cfg!(feature = "strict-invariants");
         self.violations.clear();
@@ -3531,6 +3807,8 @@ fn load_msg(r: &mut SnapReader<'_>) -> Result<RingMsg, SnapError> {
         kind: MsgKind::Request,
         attempt: 0,
         seq: 0,
+        scope: SnoopScope::Global,
+        via_global: false,
     };
     m.restore_from(r)?;
     Ok(m)
@@ -3639,6 +3917,8 @@ fn save_txn(t: &Txn, w: &mut SnapWriter) {
     for &word in &t.seen_seqs {
         w.put_u64(word);
     }
+    t.scope.save_into(w);
+    w.put_bool(t.retried);
 }
 
 fn load_txn(r: &mut SnapReader<'_>) -> Result<Txn, SnapError> {
@@ -3673,6 +3953,9 @@ fn load_txn(r: &mut SnapReader<'_>) -> Result<Txn, SnapError> {
     for _ in 0..seen_seqs.capacity() {
         seen_seqs.push(r.get_u64()?);
     }
+    let mut scope = SnoopScope::Global;
+    scope.restore_from(r)?;
+    let retried = r.get_bool()?;
     Ok(Txn {
         line,
         op,
@@ -3693,6 +3976,8 @@ fn load_txn(r: &mut SnapReader<'_>) -> Result<Txn, SnapError> {
         attempt_start,
         emit_seq,
         seen_seqs,
+        scope,
+        retried,
     })
 }
 

@@ -61,6 +61,8 @@ pub struct RobustnessStats {
     pub last_spurious_retry_cycle: u64,
     /// Cycle of the most recent probation exit (0 if none).
     pub last_probation_exit_cycle: u64,
+    /// Messages dropped on hierarchical bridge links by the fault plan.
+    pub bridge_drops: u64,
 }
 
 impl RobustnessStats {
@@ -94,6 +96,7 @@ impl Snapshot for RobustnessStats {
             self.last_timeout_cycle,
             self.last_spurious_retry_cycle,
             self.last_probation_exit_cycle,
+            self.bridge_drops,
         ] {
             w.put_u64(v);
         }
@@ -122,6 +125,7 @@ impl Snapshot for RobustnessStats {
             &mut self.last_timeout_cycle,
             &mut self.last_spurious_retry_cycle,
             &mut self.last_probation_exit_cycle,
+            &mut self.bridge_drops,
         ] {
             *v = r.get_u64()?;
         }
@@ -171,6 +175,23 @@ pub struct RunStats {
     pub events: u64,
     /// Cache-eviction write-backs of dirty lines.
     pub eviction_writebacks: u64,
+    /// Read circulations that retired at local scope on a hierarchical
+    /// topology (the supplier was found without leaving the requester's
+    /// local ring). Zero when flat.
+    pub local_circulations: u64,
+    /// Circulations that visited the whole machine: every global-scope
+    /// read circulation retired, flat or hierarchical.
+    pub global_circulations: u64,
+    /// Local circulations that came back empty and escalated to a fresh
+    /// global circulation (the locality table mispredicted).
+    pub escalations: u64,
+    /// Ring link crossings over global (bridge) links; a subset of the
+    /// read+write ring-hop counts. Zero when flat.
+    pub bridge_hops: u64,
+    /// Ring link crossings belonging to timeout-retried circulations —
+    /// the traffic the fault-aware energy split charges to recovery
+    /// overhead. Zero on a lossless ring.
+    pub retry_ring_hops: u64,
     /// Read-transaction latency, issue to data arrival.
     pub read_latency: Histogram,
     /// Simulated cycles until every core finished its stream.
@@ -205,6 +226,11 @@ impl RunStats {
             collisions: 0,
             events: 0,
             eviction_writebacks: 0,
+            local_circulations: 0,
+            global_circulations: 0,
+            escalations: 0,
+            bridge_hops: 0,
+            retry_ring_hops: 0,
             read_latency: Histogram::new(),
             exec_cycles: Cycle::ZERO,
             energy: EnergyAccount::new(model),
@@ -276,6 +302,11 @@ impl Snapshot for RunStats {
             self.collisions,
             self.events,
             self.eviction_writebacks,
+            self.local_circulations,
+            self.global_circulations,
+            self.escalations,
+            self.bridge_hops,
+            self.retry_ring_hops,
         ] {
             w.put_u64(v);
         }
@@ -306,6 +337,11 @@ impl Snapshot for RunStats {
             &mut self.collisions,
             &mut self.events,
             &mut self.eviction_writebacks,
+            &mut self.local_circulations,
+            &mut self.global_circulations,
+            &mut self.escalations,
+            &mut self.bridge_hops,
+            &mut self.retry_ring_hops,
         ] {
             *v = r.get_u64()?;
         }

@@ -91,6 +91,9 @@ pub enum TxnEvent {
         /// The new attempt number (1 = first retry).
         attempt: u32,
     },
+    /// A local-scope circulation (hierarchical topologies) missed in-ring
+    /// and was escalated to a full global circulation.
+    Escalated,
 }
 
 impl std::fmt::Display for TxnEvent {
@@ -128,6 +131,7 @@ impl std::fmt::Display for TxnEvent {
             TxnEvent::Dropped { node } => write!(f, "message DROPPED leaving {node}"),
             TxnEvent::TimedOut { attempt } => write!(f, "timeout (attempt {attempt})"),
             TxnEvent::Retried { attempt } => write!(f, "retry: attempt {attempt} issued"),
+            TxnEvent::Escalated => write!(f, "local miss: escalated to global"),
         }
     }
 }

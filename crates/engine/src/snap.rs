@@ -34,7 +34,9 @@ pub const SNAP_MAGIC: [u8; 4] = *b"FSNP";
 
 /// Current snapshot schema version. Bump on any layout change.
 /// v2: partition-blocked fault counter, churn state, recovery timestamps.
-pub const SNAP_VERSION: u32 = 2;
+/// v3: hierarchical topologies — message scope/via-global, bridge
+/// crossings and bridge fault stream, locality tables, hier counters.
+pub const SNAP_VERSION: u32 = 3;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;

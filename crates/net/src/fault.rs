@@ -38,6 +38,13 @@
 //! (see [`TorusFaultState`]). Write-donation and writeback messages stay
 //! reliable — losing them would silently discard dirty data, which no
 //! timeout/retry scheme can recover without a value-level ack protocol.
+//!
+//! On hierarchical topologies the **bridge links** of the global ring
+//! get their own drop stream: `bridge_drop` / `bridge_budget` bound a
+//! drop schedule drawn from a third decorrelated stream
+//! (`seed ^ BRIDGE_STREAM`), so lossy local rings and lossy bridges can
+//! be injected — and shrunk — independently. Flat rings have no bridge
+//! links and never consult this stream.
 
 use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::{Cycle, Cycles, SplitMix64};
@@ -141,6 +148,11 @@ pub struct FaultPlan {
     pub torus_budget: u64,
     /// Deterministic ring-partition windows (islands that later heal).
     pub partitions: Vec<PartitionWindow>,
+    /// Per-crossing drop probability on hierarchical bridge links.
+    pub bridge_drop: f64,
+    /// Maximum number of bridge drops ever injected (own stream and
+    /// budget, decorrelated from the local-ring and torus schedules).
+    pub bridge_budget: u64,
 }
 
 impl Default for FaultPlan {
@@ -164,6 +176,8 @@ impl FaultPlan {
             torus_drop: 0.0,
             torus_budget: 0,
             partitions: Vec::new(),
+            bridge_drop: 0.0,
+            bridge_budget: 0,
         }
     }
 
@@ -178,11 +192,17 @@ impl FaultPlan {
             && self.stalls.is_empty()
             && self.partitions.is_empty()
             && !self.torus_faults()
+            && !self.bridge_faults()
     }
 
     /// Whether this plan can drop torus data messages.
     pub fn torus_faults(&self) -> bool {
         self.torus_budget > 0 && self.torus_drop > 0.0
+    }
+
+    /// Whether this plan can drop messages on hierarchical bridge links.
+    pub fn bridge_faults(&self) -> bool {
+        self.bridge_budget > 0 && self.bridge_drop > 0.0
     }
 
     /// Drop probability for the directed link leaving `node` on `ring`.
@@ -198,9 +218,11 @@ impl FaultPlan {
     /// budget in `[1, 30]`, (each with probability one half) one
     /// designated lossy link and one node-stall window, and (with
     /// probability one half) a torus drop probability with its own
-    /// budget in `[1, 12]`. Torus draws come last in the stream, so the
-    /// ring-side fields of a given seed are identical to plans drawn
-    /// before torus faults existed.
+    /// budget in `[1, 12]`. Torus draws come after every ring draw, and
+    /// bridge draws (probability one half: a bridge drop probability
+    /// with its own budget in `[1, 10]`) come last of all, so the
+    /// earlier fields of a given seed are identical to plans drawn
+    /// before the later fault classes existed.
     pub fn random(seed: u64, nodes: usize, rings: usize) -> Self {
         let mut rng = SplitMix64::new(seed);
         let budget = 1 + rng.next_below(30);
@@ -230,6 +252,11 @@ impl FaultPlan {
         } else {
             (0.0, 0)
         };
+        let (bridge_drop, bridge_budget) = if rng.chance(0.5) {
+            (0.05 + rng.next_f64() * 0.20, 1 + rng.next_below(10))
+        } else {
+            (0.0, 0)
+        };
         FaultPlan {
             seed,
             drop,
@@ -245,6 +272,8 @@ impl FaultPlan {
             // here would shift the stream and change every pinned chaos
             // reproducer. Scenarios supply partitions explicitly.
             partitions: Vec::new(),
+            bridge_drop,
+            bridge_budget,
         }
     }
 
@@ -257,6 +286,7 @@ impl FaultPlan {
         let mut plan = self.clone();
         plan.budget = budget;
         plan.torus_budget = plan.torus_budget.min(budget);
+        plan.bridge_budget = plan.bridge_budget.min(budget);
         plan
     }
 
@@ -284,6 +314,12 @@ impl FaultPlan {
             s.push_str(&format!(
                 " torus={:.4}/bgt{}",
                 self.torus_drop, self.torus_budget
+            ));
+        }
+        if self.bridge_faults() {
+            s.push_str(&format!(
+                " bridge={:.4}/bgt{}",
+                self.bridge_drop, self.bridge_budget
             ));
         }
         for p in &self.partitions {
@@ -318,6 +354,9 @@ pub struct FaultStats {
     pub torus_drops: u64,
     /// Hops refused because the link crossed a partition boundary.
     pub partition_blocked: u64,
+    /// Messages dropped on hierarchical bridge links (bounded by
+    /// `bridge_budget`; not part of [`FaultStats::injected`]).
+    pub bridge_drops: u64,
 }
 
 impl FaultStats {
@@ -339,6 +378,7 @@ impl Snapshot for FaultStats {
         w.put_u64(self.stall_cycles);
         w.put_u64(self.torus_drops);
         w.put_u64(self.partition_blocked);
+        w.put_u64(self.bridge_drops);
     }
 
     fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
@@ -350,6 +390,7 @@ impl Snapshot for FaultStats {
         self.stall_cycles = r.get_u64()?;
         self.torus_drops = r.get_u64()?;
         self.partition_blocked = r.get_u64()?;
+        self.bridge_drops = r.get_u64()?;
         Ok(())
     }
 }
@@ -397,17 +438,23 @@ pub struct FaultState {
     rng: SplitMix64,
     spent: u64,
     stats: FaultStats,
+    bridge_rng: SplitMix64,
+    bridge_spent: u64,
 }
 
 impl FaultState {
-    /// Arms a plan. The RNG stream is derived from `plan.seed`.
+    /// Arms a plan. The RNG stream is derived from `plan.seed`; bridge
+    /// drops draw from the decorrelated `plan.seed ^ BRIDGE_STREAM`.
     pub fn new(plan: FaultPlan) -> Self {
         let rng = SplitMix64::new(plan.seed);
+        let bridge_rng = SplitMix64::new(plan.seed ^ BRIDGE_STREAM);
         FaultState {
             plan,
             rng,
             spent: 0,
             stats: FaultStats::default(),
+            bridge_rng,
+            bridge_spent: 0,
         }
     }
 
@@ -489,6 +536,30 @@ impl FaultState {
         }
         None
     }
+
+    /// Bridge-drop budget still available.
+    pub fn remaining_bridge_budget(&self) -> u64 {
+        self.plan.bridge_budget.saturating_sub(self.bridge_spent)
+    }
+
+    /// Draws the fault decision for one crossing of a hierarchical
+    /// bridge link. Bridges only ever drop (their point is to exercise
+    /// global-ring escalation retry); the drop schedule is drawn from
+    /// its own stream with its own budget, so shrinking bridge faults
+    /// never shifts the local-ring schedule and vice versa. Once the
+    /// bridge budget is spent every crossing is clean and no RNG state
+    /// advances.
+    pub fn decide_bridge(&mut self) -> Option<RingFault> {
+        if self.bridge_spent >= self.plan.bridge_budget || self.plan.bridge_drop <= 0.0 {
+            return None;
+        }
+        if self.bridge_rng.chance(self.plan.bridge_drop) {
+            self.bridge_spent += 1;
+            self.stats.bridge_drops += 1;
+            return Some(RingFault::Dropped);
+        }
+        None
+    }
 }
 
 /// Serializes the RNG stream position, the spent budget, and the injected
@@ -504,12 +575,17 @@ impl Snapshot for FaultState {
         w.put_u64(self.rng.state());
         w.put_u64(self.spent);
         self.stats.save_into(w);
+        w.put_u64(self.bridge_rng.state());
+        w.put_u64(self.bridge_spent);
     }
 
     fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
         self.rng = SplitMix64::new(r.get_u64()?);
         self.spent = r.get_u64()?;
-        self.stats.restore_from(r)
+        self.stats.restore_from(r)?;
+        self.bridge_rng = SplitMix64::new(r.get_u64()?);
+        self.bridge_spent = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -517,6 +593,10 @@ impl Snapshot for FaultState {
 /// fault stream, so ring and torus draw decorrelated sequences from the
 /// same plan.
 const TORUS_STREAM: u64 = 0x7052_D47A_5EED_CA05;
+
+/// Stream-splitting constant xor-ed into the plan seed for the
+/// bridge-link fault stream of hierarchical topologies.
+const BRIDGE_STREAM: u64 = 0xB21D_6E5A_10CA_17E5;
 
 /// Live fault-injection state for the torus data network.
 ///
@@ -843,6 +923,80 @@ mod tests {
         assert_eq!(st.remaining_budget(), 1, "no budget spent on refusals");
         // The randomized budget is still available afterwards.
         assert_eq!(st.decide(0, 0), Some(RingFault::Dropped));
+    }
+
+    #[test]
+    fn bridge_budget_caps_drops_and_shrinks_to_a_prefix() {
+        let mut p = FaultPlan::lossless();
+        p.seed = 13;
+        p.bridge_drop = 1.0;
+        p.bridge_budget = 4;
+        assert!(!p.is_lossless());
+        assert!(p.bridge_faults());
+        assert!(p.describe().contains("bridge=1.0000/bgt4"));
+        let mut st = FaultState::new(p.clone());
+        let drops = (0..100).filter(|_| st.decide_bridge().is_some()).count();
+        assert_eq!(drops, 4);
+        assert_eq!(st.stats().bridge_drops, 4);
+        assert_eq!(st.remaining_bridge_budget(), 0);
+        // Bridge drops are not part of injected() (ring-budget quantity).
+        assert_eq!(st.stats().injected(), 0);
+
+        // A smaller bridge budget keeps a prefix of the drop schedule.
+        p.bridge_drop = 0.3;
+        p.bridge_budget = 8;
+        let mut full = FaultState::new(p.clone());
+        let mut cut = FaultState::new(p.with_budget(2));
+        let full_hits: Vec<u64> = (0..10_000u64)
+            .filter(|_| full.decide_bridge().is_some())
+            .collect();
+        let cut_hits: Vec<u64> = (0..10_000u64)
+            .filter(|_| cut.decide_bridge().is_some())
+            .collect();
+        assert!(cut_hits.len() <= 2);
+        assert_eq!(&full_hits[..cut_hits.len()], &cut_hits[..]);
+    }
+
+    #[test]
+    fn bridge_stream_is_decorrelated_from_ring_stream() {
+        // Interleaving bridge draws must not perturb the ring schedule:
+        // run the same ring traffic with and without bridge draws mixed
+        // in and require identical ring fault sequences.
+        let mut p = FaultPlan::random(21, 8, 2);
+        p.bridge_drop = 0.5;
+        p.bridge_budget = 1_000;
+        let mut plain = FaultState::new(p.clone());
+        let mut mixed = FaultState::new(p);
+        for i in 0..50_000u64 {
+            let (ring, node) = ((i % 2) as usize, (i % 8) as usize);
+            if i % 3 == 0 {
+                mixed.decide_bridge();
+            }
+            assert_eq!(plain.decide(ring, node), mixed.decide(ring, node));
+        }
+    }
+
+    #[test]
+    fn fault_state_snapshot_resumes_bridge_stream() {
+        let mut p = FaultPlan::lossless();
+        p.seed = 99;
+        p.bridge_drop = 0.2;
+        p.bridge_budget = 50;
+        let mut live = FaultState::new(p.clone());
+        for _ in 0..200 {
+            live.decide_bridge();
+        }
+        let bytes = flexsnoop_engine::snap::snapshot_bytes(&live);
+        let mut resumed = FaultState::new(p);
+        flexsnoop_engine::snap::restore_bytes(&mut resumed, &bytes).unwrap();
+        assert_eq!(resumed.stats(), live.stats());
+        assert_eq!(
+            resumed.remaining_bridge_budget(),
+            live.remaining_bridge_budget()
+        );
+        for _ in 0..2_000 {
+            assert_eq!(live.decide_bridge(), resumed.decide_bridge());
+        }
     }
 
     #[test]

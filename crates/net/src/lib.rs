@@ -21,5 +21,5 @@ pub use fault::{
     FaultPlan, FaultStats, HopOutcome, LinkDrop, PartitionWindow, RingFault, StallWindow,
     TorusFaultState,
 };
-pub use ring::{RingConfig, RingNetwork};
+pub use ring::{HierParams, RingConfig, RingNetwork};
 pub use torus::{Torus, TorusConfig};

@@ -8,12 +8,43 @@
 //!
 //! With `rings > 1` embedded rings, the line address picks the ring
 //! (`line % rings`), mirroring the paper's two address-interleaved rings.
+//!
+//! ## Hierarchical topologies
+//!
+//! With [`RingConfig::hier`] set, the nodes are grouped into `groups`
+//! local rings of `local` nodes each (`local × groups == nodes`), joined
+//! by a unidirectional **global ring** whose members are the *bridge*
+//! nodes — the first node of every group (`group * local`). Each
+//! embedded ring keeps this same two-level shape, so address
+//! interleaving composes with the hierarchy. Local hops use the flat
+//! ring's `hop_latency`/`link_service`; global hops between bridges use
+//! the (typically longer) `bridge_latency`/`bridge_service`. The flat
+//! topology is exactly `hier: None`: same link layout, same latencies,
+//! bit-identical behavior.
 
 use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
 use flexsnoop_engine::{Cycle, Cycles, Resource};
 use flexsnoop_mem::{CmpId, LineAddr};
 
 use crate::fault::{FaultPlan, FaultState, FaultStats, HopOutcome, RingFault};
+
+/// Shape and timing of a hierarchical (two-level) ring topology.
+///
+/// `local * groups` must equal the network's node count; node `n`
+/// belongs to local ring `n / local`, and the first node of every group
+/// (`group * local`) doubles as that group's **bridge** onto the global
+/// ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierParams {
+    /// Nodes per local ring.
+    pub local: usize,
+    /// Number of local rings (= number of bridge nodes on the global ring).
+    pub groups: usize,
+    /// Propagation latency of one bridge-to-bridge hop on the global ring.
+    pub bridge_latency: Cycles,
+    /// Link occupancy per message on a global-ring link.
+    pub bridge_service: Cycles,
+}
 
 /// Static parameters of the embedded ring network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,6 +57,8 @@ pub struct RingConfig {
     pub hop_latency: Cycles,
     /// Link occupancy per message (serialization; limits ring bandwidth).
     pub link_service: Cycles,
+    /// Two-level topology, or `None` for the paper's flat ring.
+    pub hier: Option<HierParams>,
 }
 
 impl RingConfig {
@@ -34,13 +67,27 @@ impl RingConfig {
     /// # Errors
     ///
     /// Returns a description of the first violated constraint (zero nodes
-    /// or zero rings).
+    /// or zero rings, or a hierarchy whose shape does not tile the nodes).
     pub fn validate(&self) -> Result<(), String> {
         if self.nodes == 0 {
             return Err("ring must have at least one node".into());
         }
         if self.rings == 0 {
             return Err("at least one embedded ring is required".into());
+        }
+        if let Some(h) = self.hier {
+            if h.local < 2 {
+                return Err("hierarchical local rings need at least two nodes".into());
+            }
+            if h.groups < 2 {
+                return Err("a hierarchy needs at least two local rings".into());
+            }
+            if h.local * h.groups != self.nodes {
+                return Err(format!(
+                    "hierarchy {}x{} does not tile {} nodes",
+                    h.local, h.groups, self.nodes
+                ));
+            }
         }
         Ok(())
     }
@@ -60,6 +107,7 @@ impl RingConfig {
 ///     rings: 2,
 ///     hop_latency: Cycles(39),
 ///     link_service: Cycles(4),
+///     hier: None,
 /// });
 /// let ring = net.ring_for(LineAddr(5));
 /// let arrival = net.send_hop(ring, CmpId(3), Cycle::new(100));
@@ -69,12 +117,18 @@ impl RingConfig {
 pub struct RingNetwork {
     config: RingConfig,
     /// Directed link from `node` to its successor on `ring`, stored flat
-    /// at index `ring * nodes + node`: one contiguous allocation instead
+    /// at index `ring * stride + node`: one contiguous allocation instead
     /// of a `Vec` per ring, so million-node networks stay cache-friendly
-    /// and cost no per-ring indirection.
+    /// and cost no per-ring indirection. On a hierarchical topology each
+    /// ring's slice is `stride = nodes + groups` wide: the local links
+    /// first, then the `groups` global-ring links (link `nodes + g`
+    /// leaves the bridge of group `g`). Flat rings have `stride = nodes`
+    /// — the exact layout this field always had.
     links: Vec<Resource>,
     messages_sent: u64,
     link_crossings: u64,
+    /// Crossings of global-ring (bridge) links only; zero when flat.
+    bridge_crossings: u64,
     /// Armed fault injection, if any (see [`crate::fault`]). `None` is
     /// the lossless fast path: no RNG, no per-hop overhead.
     faults: Option<FaultState>,
@@ -88,15 +142,24 @@ impl RingNetwork {
     /// Panics if `config` is invalid (see [`RingConfig::validate`]).
     pub fn new(config: RingConfig) -> Self {
         config.validate().expect("invalid ring config");
+        let stride = config.nodes + config.hier.map_or(0, |h| h.groups);
         Self {
             config,
-            links: (0..config.rings * config.nodes)
+            links: (0..config.rings * stride)
                 .map(|_| Resource::new())
                 .collect(),
             messages_sent: 0,
             link_crossings: 0,
+            bridge_crossings: 0,
             faults: None,
         }
+    }
+
+    /// Links per embedded ring: the local links plus (when hierarchical)
+    /// one global link per group.
+    #[inline]
+    fn stride(&self) -> usize {
+        self.config.nodes + self.config.hier.map_or(0, |h| h.groups)
     }
 
     /// The flat index of the link leaving `from` on `ring`.
@@ -110,7 +173,23 @@ impl RingNetwork {
             ring < self.config.rings && from.0 < self.config.nodes,
             "link ({ring}, {from}) out of range"
         );
-        ring * self.config.nodes + from.0
+        ring * self.stride() + from.0
+    }
+
+    /// The flat index of the global-ring link leaving the bridge of
+    /// `from`'s group on `ring`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is flat or the indices are out of range.
+    #[inline]
+    fn global_link_index(&self, ring: usize, from: CmpId) -> usize {
+        let h = self.config.hier.expect("global link on a flat ring");
+        assert!(
+            ring < self.config.rings && from.0 < self.config.nodes,
+            "global link ({ring}, {from}) out of range"
+        );
+        ring * self.stride() + self.config.nodes + from.0 / h.local
     }
 
     /// Arms a fault plan; a lossless plan disarms injection entirely so
@@ -194,6 +273,9 @@ impl RingNetwork {
     /// Panics if `ring` or `from` are out of range.
     pub fn send_hop_outcome(&mut self, ring: usize, from: CmpId, now: Cycle) -> HopOutcome {
         let idx = self.link_index(ring, from);
+        // On a hierarchical topology the link leaving `from` stays inside
+        // its group, so partition islands see the true local endpoints.
+        let to = self.next_node(from);
         let Some(faults) = &mut self.faults else {
             let link = &mut self.links[idx];
             let grant = link.acquire(now, self.config.link_service);
@@ -202,7 +284,6 @@ impl RingNetwork {
             return HopOutcome::delivered(grant.end + self.config.hop_latency);
         };
         let depart = faults.departure(from.0, now);
-        let to = from.next_on_ring(self.config.nodes);
         if faults.partition_blocks(from.0, to.0, depart) {
             // The flit enters the link and is refused at the boundary:
             // occupancy and energy are real, delivery never happens. The
@@ -259,14 +340,109 @@ impl RingNetwork {
         }
     }
 
-    /// The node downstream of `from`.
+    /// The node downstream of `from` on its **local** ring: the next node
+    /// within `from`'s group (wrapping at the group boundary) on a
+    /// hierarchical topology, the flat-ring successor otherwise.
     pub fn next_node(&self, from: CmpId) -> CmpId {
-        from.next_on_ring(self.config.nodes)
+        match self.config.hier {
+            None => from.next_on_ring(self.config.nodes),
+            Some(h) => {
+                let group = from.0 / h.local;
+                CmpId(group * h.local + (from.0 % h.local + 1) % h.local)
+            }
+        }
+    }
+
+    /// Whether `node` is a bridge (the global-ring member of its group).
+    /// Always `false` on a flat topology.
+    pub fn is_bridge(&self, node: CmpId) -> bool {
+        self.config
+            .hier
+            .is_some_and(|h| node.0.is_multiple_of(h.local))
+    }
+
+    /// The local ring `node` belongs to (`0` on a flat topology).
+    pub fn group_of(&self, node: CmpId) -> usize {
+        self.config.hier.map_or(0, |h| node.0 / h.local)
+    }
+
+    /// The bridge node downstream of `from`'s group on the global ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is flat.
+    pub fn global_next(&self, from: CmpId) -> CmpId {
+        let h = self.config.hier.expect("global hop on a flat ring");
+        let group = from.0 / h.local;
+        CmpId((group + 1) % h.groups * h.local)
     }
 
     /// Unloaded latency for a message to travel `hops` consecutive hops.
     pub fn unloaded_latency(&self, hops: usize) -> Cycles {
         (self.config.link_service + self.config.hop_latency) * hops as u64
+    }
+
+    /// Unloaded network latency of one full snoop circulation: every
+    /// local hop of every group plus — on a hierarchical topology — one
+    /// lap of the global ring. On a flat ring this is exactly
+    /// `unloaded_latency(nodes)`, so recovery timeout floors derived
+    /// from it are unchanged for existing configurations.
+    pub fn unloaded_circulation_latency(&self) -> Cycles {
+        let local = self.unloaded_latency(self.config.nodes);
+        match self.config.hier {
+            None => local,
+            Some(h) => local + (h.bridge_service + h.bridge_latency) * h.groups as u64,
+        }
+    }
+
+    /// Sends one message over the global-ring link leaving the bridge of
+    /// `from`'s group at time `now`. Stall windows covering the bridge
+    /// defer the departure, partition windows between the two bridge
+    /// endpoints refuse the hop, and the bridge fault stream
+    /// ([`FaultPlan::bridge_drop`]) may drop it; bridges never duplicate
+    /// or delay. Counts toward [`Self::bridge_crossings`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is flat or the indices are out of range.
+    pub fn send_global_hop_outcome(&mut self, ring: usize, from: CmpId, now: Cycle) -> HopOutcome {
+        let h = self.config.hier.expect("global hop on a flat ring");
+        let idx = self.global_link_index(ring, from);
+        let bridge = CmpId(from.0 / h.local * h.local);
+        let to = self.global_next(from);
+        self.messages_sent += 1;
+        self.link_crossings += 1;
+        self.bridge_crossings += 1;
+        let Some(faults) = &mut self.faults else {
+            let grant = self.links[idx].acquire(now, h.bridge_service);
+            return HopOutcome::delivered(grant.end + h.bridge_latency);
+        };
+        let depart = faults.departure(bridge.0, now);
+        if faults.partition_blocks(bridge.0, to.0, depart) {
+            // Same contract as the local-ring refusal: occupancy and
+            // energy are real, delivery never happens, no RNG advances.
+            self.links[idx].acquire(depart, h.bridge_service);
+            return HopOutcome {
+                arrival: None,
+                duplicate: None,
+                fault: None,
+            };
+        }
+        let fault = faults.decide_bridge();
+        let grant = self.links[idx].acquire(depart, h.bridge_service);
+        match fault {
+            None => HopOutcome::delivered(grant.end + h.bridge_latency),
+            Some(f) => HopOutcome {
+                arrival: None,
+                duplicate: None,
+                fault: Some(f),
+            },
+        }
+    }
+
+    /// Total crossings of global-ring (bridge) links; zero when flat.
+    pub fn bridge_crossings(&self) -> u64 {
+        self.bridge_crossings
     }
 
     /// Total messages sent over any link (each hop counts once); this is
@@ -299,6 +475,7 @@ impl Snapshot for RingNetwork {
         }
         w.put_u64(self.messages_sent);
         w.put_u64(self.link_crossings);
+        w.put_u64(self.bridge_crossings);
         match &self.faults {
             None => w.put_bool(false),
             Some(f) => {
@@ -318,6 +495,7 @@ impl Snapshot for RingNetwork {
         }
         self.messages_sent = r.get_u64()?;
         self.link_crossings = r.get_u64()?;
+        self.bridge_crossings = r.get_u64()?;
         let had_faults = r.get_bool()?;
         match (&mut self.faults, had_faults) {
             (None, false) => {}
@@ -347,7 +525,78 @@ mod tests {
             rings: 2,
             hop_latency: Cycles(39),
             link_service: Cycles(4),
+            hier: None,
         })
+    }
+
+    fn hier_net() -> RingNetwork {
+        RingNetwork::new(RingConfig {
+            nodes: 8,
+            rings: 2,
+            hop_latency: Cycles(39),
+            link_service: Cycles(4),
+            hier: Some(HierParams {
+                local: 4,
+                groups: 2,
+                bridge_latency: Cycles(60),
+                bridge_service: Cycles(8),
+            }),
+        })
+    }
+
+    #[test]
+    fn every_node_belongs_to_exactly_one_local_ring() {
+        // Ownership partition: the local rings tile the machine with no
+        // overlap and no gap, each group's local orbit stays inside the
+        // group with full period, and one global lap visits every
+        // group's bridge exactly once.
+        for (local, groups) in [(2usize, 4usize), (4, 4), (8, 8), (3, 5)] {
+            let nodes = local * groups;
+            let n = RingNetwork::new(RingConfig {
+                nodes,
+                rings: 1,
+                hop_latency: Cycles(39),
+                link_service: Cycles(4),
+                hier: Some(HierParams {
+                    local,
+                    groups,
+                    bridge_latency: Cycles(60),
+                    bridge_service: Cycles(8),
+                }),
+            });
+            for g in 0..groups {
+                let members: Vec<usize> =
+                    (0..nodes).filter(|&i| n.group_of(CmpId(i)) == g).collect();
+                assert_eq!(members.len(), local, "{local}x{groups}: group {g} size");
+                assert_eq!(
+                    members.iter().filter(|&&i| n.is_bridge(CmpId(i))).count(),
+                    1,
+                    "{local}x{groups}: group {g} has exactly one bridge"
+                );
+                // The local orbit from any member cycles through exactly
+                // the group, returning home after `local` hops.
+                let start = CmpId(members[0]);
+                let mut at = start;
+                let mut visited = std::collections::HashSet::new();
+                for _ in 0..local {
+                    assert!(visited.insert(at.0), "local orbit revisited {at}");
+                    assert_eq!(n.group_of(at), g, "local orbit left group {g}");
+                    at = n.next_node(at);
+                }
+                assert_eq!(at, start, "{local}x{groups}: orbit period is `local`");
+            }
+            // One global lap from any bridge visits every group once.
+            let first_bridge = (0..nodes).map(CmpId).find(|&i| n.is_bridge(i)).unwrap();
+            let mut at = first_bridge;
+            let mut groups_seen = std::collections::HashSet::new();
+            for _ in 0..groups {
+                assert!(n.is_bridge(at), "global lap landed off-bridge at {at}");
+                assert!(groups_seen.insert(n.group_of(at)), "global lap revisited");
+                at = n.global_next(at);
+            }
+            assert_eq!(at, first_bridge, "{local}x{groups}: global lap closes");
+            assert_eq!(groups_seen.len(), groups);
+        }
     }
 
     #[test]
@@ -582,6 +831,180 @@ mod tests {
             rings: 0,
             hop_latency: Cycles(39),
             link_service: Cycles(4),
+            hier: None,
         });
+    }
+
+    #[test]
+    fn hier_shape_must_tile_the_nodes() {
+        let mut cfg = RingConfig {
+            nodes: 8,
+            rings: 1,
+            hop_latency: Cycles(39),
+            link_service: Cycles(4),
+            hier: Some(HierParams {
+                local: 3,
+                groups: 2,
+                bridge_latency: Cycles(60),
+                bridge_service: Cycles(8),
+            }),
+        };
+        assert!(cfg.validate().is_err(), "3x2 does not tile 8 nodes");
+        cfg.hier = Some(HierParams {
+            local: 4,
+            groups: 2,
+            bridge_latency: Cycles(60),
+            bridge_service: Cycles(8),
+        });
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn hier_topology_helpers() {
+        let n = hier_net();
+        // Groups: {0..4} and {4..8}; bridges are 0 and 4.
+        assert!(n.is_bridge(CmpId(0)));
+        assert!(n.is_bridge(CmpId(4)));
+        assert!(!n.is_bridge(CmpId(1)));
+        assert_eq!(n.group_of(CmpId(3)), 0);
+        assert_eq!(n.group_of(CmpId(4)), 1);
+        // Local successor wraps inside the group.
+        assert_eq!(n.next_node(CmpId(2)), CmpId(3));
+        assert_eq!(n.next_node(CmpId(3)), CmpId(0));
+        assert_eq!(n.next_node(CmpId(7)), CmpId(4));
+        // Global successor hops bridge-to-bridge.
+        assert_eq!(n.global_next(CmpId(0)), CmpId(4));
+        assert_eq!(n.global_next(CmpId(6)), CmpId(0));
+        // Flat networks have no bridges and group 0 everywhere.
+        let flat = net();
+        assert!(!flat.is_bridge(CmpId(0)));
+        assert_eq!(flat.group_of(CmpId(7)), 0);
+        assert_eq!(flat.next_node(CmpId(7)), CmpId(0));
+    }
+
+    #[test]
+    fn global_hop_uses_bridge_timing_and_counts() {
+        let mut n = hier_net();
+        let out = n.send_global_hop_outcome(0, CmpId(2), Cycle::new(0));
+        assert_eq!(out, HopOutcome::delivered(Cycle::new(8 + 60)));
+        assert_eq!(n.bridge_crossings(), 1);
+        assert_eq!(n.link_crossings(), 1);
+        // The two bridges' global links are distinct resources; the
+        // local link leaving node 0 is yet another.
+        let other = n.send_global_hop_outcome(0, CmpId(5), Cycle::new(0));
+        assert_eq!(other, HopOutcome::delivered(Cycle::new(68)));
+        let local = n.send_hop(0, CmpId(0), Cycle::new(0));
+        assert_eq!(
+            local,
+            Cycle::new(43),
+            "local links do not contend with bridges"
+        );
+        // Same group's global link queues FIFO.
+        let queued = n.send_global_hop_outcome(0, CmpId(3), Cycle::new(0));
+        assert_eq!(queued, HopOutcome::delivered(Cycle::new(16 + 60)));
+    }
+
+    #[test]
+    fn hier_circulation_latency_adds_the_global_lap() {
+        let n = hier_net();
+        assert_eq!(
+            n.unloaded_circulation_latency(),
+            Cycles(8 * 43 + 2 * 68),
+            "8 local hops plus 2 bridge hops"
+        );
+        let flat = net();
+        assert_eq!(
+            flat.unloaded_circulation_latency(),
+            flat.unloaded_latency(8)
+        );
+    }
+
+    #[test]
+    fn bridge_drops_come_from_their_own_stream() {
+        let mut n = hier_net();
+        let mut plan = crate::fault::FaultPlan::lossless();
+        plan.seed = 5;
+        plan.bridge_drop = 1.0;
+        plan.bridge_budget = 2;
+        n.set_fault_plan(plan);
+        // Local hops are untouched by a bridge-only plan.
+        let local = n.send_hop_outcome(0, CmpId(1), Cycle::new(0));
+        assert!(local.arrival.is_some());
+        // The first two global hops drop, then the budget is spent.
+        let a = n.send_global_hop_outcome(0, CmpId(0), Cycle::new(0));
+        assert_eq!(a.fault, Some(crate::fault::RingFault::Dropped));
+        assert_eq!(a.arrival, None);
+        let b = n.send_global_hop_outcome(0, CmpId(4), Cycle::new(0));
+        assert_eq!(b.fault, Some(crate::fault::RingFault::Dropped));
+        let c = n.send_global_hop_outcome(0, CmpId(0), Cycle::new(100));
+        assert_eq!(c.fault, None);
+        assert!(c.arrival.is_some());
+        assert_eq!(n.fault_stats().bridge_drops, 2);
+        assert_eq!(
+            n.fault_stats().injected(),
+            0,
+            "bridge drops have their own budget"
+        );
+    }
+
+    #[test]
+    fn partition_between_groups_refuses_global_hops() {
+        let mut n = hier_net();
+        let mut plan = crate::fault::FaultPlan::lossless();
+        plan.partitions.push(crate::fault::PartitionWindow {
+            islands: vec![0, 0, 0, 0, 1, 1, 1, 1],
+            from: Cycle::new(0),
+            until: Cycle::new(1_000),
+        });
+        n.set_fault_plan(plan);
+        // Local hops never cross the island boundary (groups align with
+        // islands), so they all deliver.
+        for node in 0..8 {
+            let out = n.send_hop_outcome(0, CmpId(node), Cycle::new(10));
+            assert!(out.arrival.is_some(), "local hop {node} refused");
+        }
+        // Every global hop crosses it and is refused until the heal.
+        let out = n.send_global_hop_outcome(0, CmpId(0), Cycle::new(10));
+        assert_eq!(out.arrival, None);
+        assert_eq!(out.fault, None);
+        let out = n.send_global_hop_outcome(0, CmpId(4), Cycle::new(10));
+        assert_eq!(out.arrival, None);
+        assert_eq!(n.fault_stats().partition_blocked, 2);
+        let out = n.send_global_hop_outcome(0, CmpId(0), Cycle::new(1_000));
+        assert!(out.arrival.is_some(), "heals at until");
+    }
+
+    #[test]
+    fn hier_snapshot_round_trip_preserves_bridge_state() {
+        let mut plan = crate::fault::FaultPlan::lossless();
+        plan.seed = 31;
+        plan.bridge_drop = 0.4;
+        plan.bridge_budget = 6;
+        let mut live = hier_net();
+        live.set_fault_plan(plan.clone());
+        for i in 0..100u64 {
+            live.send_hop_outcome((i % 2) as usize, CmpId((i % 8) as usize), Cycle::new(i * 3));
+            if i % 4 == 0 {
+                live.send_global_hop_outcome(
+                    (i % 2) as usize,
+                    CmpId((i % 8) as usize),
+                    Cycle::new(i * 3),
+                );
+            }
+        }
+        let bytes = flexsnoop_engine::snap::snapshot_bytes(&live);
+        let mut resumed = hier_net();
+        resumed.set_fault_plan(plan);
+        flexsnoop_engine::snap::restore_bytes(&mut resumed, &bytes).unwrap();
+        assert_eq!(resumed.bridge_crossings(), live.bridge_crossings());
+        assert_eq!(resumed.fault_stats(), live.fault_stats());
+        for i in 100..400u64 {
+            let (ring, from, t) = ((i % 2) as usize, CmpId((i % 8) as usize), Cycle::new(i * 3));
+            assert_eq!(
+                live.send_global_hop_outcome(ring, from, t),
+                resumed.send_global_hop_outcome(ring, from, t),
+                "step {i}"
+            );
+        }
     }
 }

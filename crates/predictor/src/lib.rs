@@ -27,6 +27,7 @@ pub mod bank;
 pub mod bloom;
 pub mod exact;
 pub mod fault;
+pub mod locality;
 pub mod perfect;
 pub mod spec;
 pub mod subset;
@@ -37,6 +38,7 @@ pub use bank::{PredictorBank, SubsetBank};
 pub use bloom::{BloomFilter, BloomSpec};
 pub use exact::ExactPredictor;
 pub use fault::{FaultInjectingPredictor, FaultKind};
+pub use locality::{LocalityTable, DEFAULT_LOCALITY_ENTRIES};
 pub use perfect::PerfectPredictor;
 pub use spec::PredictorSpec;
 pub use subset::SubsetPredictor;

@@ -1,0 +1,194 @@
+//! Per-ring supplier **locality** table for hierarchical topologies.
+//!
+//! Where the Table 3 predictors answer "*can this CMP supply line X?*",
+//! the locality table answers a coarser routing question at the
+//! requester: "*is line X's supplier probably inside my local ring?*" A
+//! positive answer lets the snoop circulation complete locally (a few
+//! hops); a negative sends it through the bridge onto the global ring.
+//!
+//! The table is a direct-mapped array of 2-bit saturating counters
+//! indexed by a hash of the line address — the classic bimodal design,
+//! sized so a whole group's table costs a few hundred bytes. Counters
+//! start *weakly remote*: an untrained line predicts global, which is
+//! the correct-by-default direction (a global circulation is always
+//! sufficient; a wrong local one costs an extra escalation lap).
+//! Training is ground truth observed by the protocol: every supplied
+//! read trains toward local or remote depending on where the supplier
+//! actually was, and every escalation or memory fill trains remote.
+//!
+//! Mispredictions are never a correctness problem — a wrong *local*
+//! prediction escalates to a full global circulation, preserving the
+//! paper's guarantee that a snoop eventually visits every potential
+//! supplier — they only cost latency and snoop energy.
+
+use flexsnoop_engine::snap::{SnapError, SnapReader, SnapWriter, Snapshot};
+use flexsnoop_mem::LineAddr;
+
+use crate::PredictorCounters;
+
+/// Default number of counters per table (512 B of 2-bit state).
+pub const DEFAULT_LOCALITY_ENTRIES: usize = 2048;
+
+/// Counter value a fresh table starts at: weakly remote.
+const WEAK_REMOTE: u8 = 1;
+/// Counter values `>= LOCAL_THRESHOLD` predict local.
+const LOCAL_THRESHOLD: u8 = 2;
+/// Saturation bound of the 2-bit counters.
+const MAX_COUNT: u8 = 3;
+
+/// A per-group locality table of 2-bit saturating counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalityTable {
+    counters: Vec<u8>,
+    stats: PredictorCounters,
+}
+
+impl LocalityTable {
+    /// Creates a table of `entries` counters, all weakly remote.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two (the index is a mask).
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "locality table size must be a power of two"
+        );
+        LocalityTable {
+            counters: vec![WEAK_REMOTE; entries],
+            stats: PredictorCounters::default(),
+        }
+    }
+
+    /// The counter index for `line` (Fibonacci multiplicative hash).
+    #[inline]
+    fn index(&self, line: LineAddr) -> usize {
+        let h = line.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize & (self.counters.len() - 1)
+    }
+
+    /// Whether the supplier of `line` is predicted to be in-ring.
+    pub fn predict_local(&mut self, line: LineAddr) -> bool {
+        self.stats.lookups += 1;
+        self.counters[self.index(line)] >= LOCAL_THRESHOLD
+    }
+
+    /// Trains the counter for `line` toward the observed outcome.
+    pub fn train(&mut self, line: LineAddr, was_local: bool) {
+        self.stats.trainings += 1;
+        let idx = self.index(line);
+        let c = &mut self.counters[idx];
+        if was_local {
+            *c = (*c + 1).min(MAX_COUNT);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Lookup/training event counts (for the energy model).
+    pub fn counters(&self) -> PredictorCounters {
+        self.stats
+    }
+
+    /// Modeled hardware cost: 2 bits per counter.
+    pub fn storage_bits(&self) -> u64 {
+        self.counters.len() as u64 * 2
+    }
+
+    /// Estimated heap footprint of the model (one byte per counter).
+    pub fn footprint_bytes(&self) -> u64 {
+        (size_of::<Self>() + self.counters.capacity()) as u64
+    }
+}
+
+impl Snapshot for LocalityTable {
+    fn save_into(&self, w: &mut SnapWriter) {
+        w.put_usize(self.counters.len());
+        for &c in &self.counters {
+            w.put_u8(c);
+        }
+        self.stats.save_into(w);
+    }
+
+    fn restore_from(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if r.get_usize()? != self.counters.len() {
+            return Err(SnapError::Corrupt(
+                "locality-table size does not match config",
+            ));
+        }
+        for c in &mut self.counters {
+            *c = r.get_u8()?;
+            if *c > MAX_COUNT {
+                return Err(SnapError::Corrupt("locality counter out of range"));
+            }
+        }
+        self.stats.restore_from(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_table_predicts_remote() {
+        let mut t = LocalityTable::new(64);
+        for line in 0..200 {
+            assert!(!t.predict_local(LineAddr(line)), "line {line}");
+        }
+        assert_eq!(t.counters().lookups, 200);
+    }
+
+    #[test]
+    fn one_local_observation_flips_the_prediction() {
+        // Weakly-remote start: a single local supply crosses the
+        // threshold, a single remote observation drops back below it.
+        let mut t = LocalityTable::new(64);
+        let line = LineAddr(7);
+        t.train(line, true);
+        assert!(t.predict_local(line));
+        t.train(line, false);
+        assert!(!t.predict_local(line));
+        assert_eq!(t.counters().trainings, 2);
+    }
+
+    #[test]
+    fn counters_saturate_in_both_directions() {
+        let mut t = LocalityTable::new(64);
+        let line = LineAddr(42);
+        for _ in 0..10 {
+            t.train(line, true);
+        }
+        // Saturated local: takes two remote observations to flip.
+        t.train(line, false);
+        assert!(t.predict_local(line), "hysteresis after saturation");
+        t.train(line, false);
+        assert!(!t.predict_local(line));
+        for _ in 0..10 {
+            t.train(line, false);
+        }
+        assert!(!t.predict_local(line), "saturates at zero without wrap");
+    }
+
+    #[test]
+    fn snapshot_round_trips_counters_and_stats() {
+        let mut t = LocalityTable::new(128);
+        for line in 0..500u64 {
+            t.train(LineAddr(line), line % 3 == 0);
+            t.predict_local(LineAddr(line));
+        }
+        let bytes = flexsnoop_engine::snap::snapshot_bytes(&t);
+        let mut fresh = LocalityTable::new(128);
+        flexsnoop_engine::snap::restore_bytes(&mut fresh, &bytes).unwrap();
+        assert_eq!(fresh, t);
+        // A differently-sized table refuses the stream.
+        let mut wrong = LocalityTable::new(64);
+        assert!(flexsnoop_engine::snap::restore_bytes(&mut wrong, &bytes).is_err());
+    }
+
+    #[test]
+    fn storage_is_two_bits_per_entry() {
+        let t = LocalityTable::new(DEFAULT_LOCALITY_ENTRIES);
+        assert_eq!(t.storage_bits(), 2 * DEFAULT_LOCALITY_ENTRIES as u64);
+    }
+}

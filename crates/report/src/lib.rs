@@ -539,6 +539,82 @@ pub fn generate(opts: &ReportOptions) -> GeneratedReport {
     });
     note(&mut summary, "recovery sweep", t.elapsed().as_millis());
 
+    // Hierarchy — flat vs hierarchical multi-ring at 16–64 nodes.
+    let t = Instant::now();
+    let hier = hierarchy_rows(scale.figure_accesses);
+    let mut thier = Table::with_columns(&[
+        "nodes",
+        "topology",
+        "snoops/read",
+        "hops/read",
+        "bridge-hops",
+        "exec-cycles",
+        "energy-nj",
+        "recovery-nj",
+        "local",
+        "global",
+        "escalations",
+    ]);
+    for r in &hier {
+        thier.row(vec![
+            r.nodes.to_string(),
+            r.topology.clone(),
+            format!("{:.3}", r.snoops_per_read),
+            format!("{:.3}", r.hops_per_read),
+            r.bridge_hops.to_string(),
+            r.exec_cycles.to_string(),
+            format!("{:.1}", r.energy_nj),
+            format!("{:.1}", r.recovery_overhead_nj),
+            r.local_circulations.to_string(),
+            r.global_circulations.to_string(),
+            r.escalations.to_string(),
+        ]);
+    }
+    sections.push(Section {
+        slug: "hierarchy",
+        heading: "Hierarchy — flat vs multi-ring topologies, locality-aware circulation".into(),
+        body: thier.render(),
+        config: Json::obj([
+            ("seed", Json::from(SEED)),
+            ("accesses_per_core", Json::from(scale.figure_accesses)),
+            ("workload", Json::str(HIERARCHY_WORKLOAD)),
+            ("cluster", Json::str("local-ring size")),
+            ("algorithm", Json::str(Algorithm::Subset.to_string())),
+            (
+                "shapes",
+                Json::arr(
+                    HIERARCHY_SHAPES
+                        .iter()
+                        .map(|(l, g)| Json::str(format!("{l}x{g}"))),
+                ),
+            ),
+            ("lossy_plan", Json::str(hierarchy_plan().describe())),
+        ]),
+        rows: Json::arr(hier.iter().map(|r| {
+            Json::obj([
+                ("nodes", Json::from(r.nodes as u64)),
+                ("topology", Json::str(r.topology.clone())),
+                ("snoops_per_read", Json::from(r.snoops_per_read)),
+                ("ring_hops_per_read", Json::from(r.hops_per_read)),
+                ("bridge_hops", Json::from(r.bridge_hops)),
+                ("exec_cycles", Json::from(r.exec_cycles)),
+                ("mean_read_latency", Json::from(r.mean_read_latency)),
+                ("energy_nj", Json::from(r.energy_nj)),
+                ("recovery_overhead_nj", Json::from(r.recovery_overhead_nj)),
+                ("local_circulations", Json::from(r.local_circulations)),
+                ("global_circulations", Json::from(r.global_circulations)),
+                ("escalations", Json::from(r.escalations)),
+                ("retries", Json::from(r.retries)),
+                ("violations", Json::from(r.violations)),
+                ("in_flight", Json::from(r.in_flight)),
+            ])
+        })),
+        extra: Vec::new(),
+        volatile_extra: Vec::new(),
+        wall_ms: t.elapsed().as_millis() as u64,
+    });
+    note(&mut summary, "hierarchy sweep", t.elapsed().as_millis());
+
     // Assemble report.md (deterministic: no timings, no SHA).
     let mut report_md = String::new();
     let _ = writeln!(
@@ -636,6 +712,115 @@ fn recovery_rows(accesses: u64) -> Vec<RecoveryRow> {
                 spurious_retries: stats.robustness.spurious_retries,
                 rtt_samples: stats.robustness.rtt_samples,
                 exec_cycles: stats.exec_cycles.as_u64(),
+                violations: sim.violations().len() as u64,
+                in_flight: sim.in_flight() as u64 + stats.robustness.unfinished_cores,
+            });
+        }
+    }
+    rows
+}
+
+/// Workload driving the hierarchy comparison sweep: the consolidated
+/// profile with its shared pools clustered at the local-ring size, so
+/// suppliers sit inside the requester's group — the sharing structure
+/// the locality table exists to exploit. The flat baseline runs the
+/// *identical* clustered workload; only the topology differs.
+const HIERARCHY_WORKLOAD: &str = "consolidated";
+
+/// The `local × groups` shapes of the hierarchy sweep (16–64 nodes).
+const HIERARCHY_SHAPES: [(usize, usize); 3] = [(4, 4), (8, 4), (8, 8)];
+
+/// One measured cell of the hierarchy sweep.
+#[derive(Debug, Clone)]
+struct HierarchyRow {
+    nodes: usize,
+    /// `flat`, `hier:<local>x<groups>` or `hier-lossy:<local>x<groups>`.
+    topology: String,
+    snoops_per_read: f64,
+    hops_per_read: f64,
+    bridge_hops: u64,
+    exec_cycles: u64,
+    mean_read_latency: f64,
+    energy_nj: f64,
+    /// Energy spent on timeout-retried circulations (ring-link hops of
+    /// superseded attempts × the per-hop link energy) — the fault-aware
+    /// split charges these to recovery overhead, not to the protocol.
+    recovery_overhead_nj: f64,
+    local_circulations: u64,
+    global_circulations: u64,
+    escalations: u64,
+    retries: u64,
+    violations: u64,
+    in_flight: u64,
+}
+
+/// The fixed lossy-bridge schedule of the hierarchy sweep: a bounded
+/// number of global-ring crossings are dropped, forcing timeout retries
+/// whose hops land in [`flexsnoop::RunStats::retry_ring_hops`].
+fn hierarchy_plan() -> FaultPlan {
+    let mut plan = FaultPlan::lossless();
+    plan.seed = 0xB21D_6E5A;
+    plan.bridge_drop = 0.25;
+    plan.bridge_budget = 30;
+    plan
+}
+
+/// Accesses per core for a hierarchy run of `nodes` cores: the sweep
+/// holds total work roughly constant across sizes (the 8-node figure
+/// budget spread over `nodes` requesters), never fewer than 8 so every
+/// size still exercises sharing and re-reads.
+fn hierarchy_accesses(nodes: usize, accesses: u64) -> u64 {
+    (accesses * 8 / nodes as u64).max(8)
+}
+
+/// Runs the flat ring, the hierarchical ring, and the hierarchical ring
+/// under the lossy-bridge plan for each [`HIERARCHY_SHAPES`] entry, all
+/// on the identical workload (one core per node, same seed).
+fn hierarchy_rows(accesses: u64) -> Vec<HierarchyRow> {
+    let algorithm = Algorithm::Subset;
+    let mut rows = Vec::new();
+    for (local, groups) in HIERARCHY_SHAPES {
+        let nodes = local * groups;
+        let profile = flexsnoop_workload::profiles::consolidated()
+            .with_cores(nodes)
+            .with_cluster(local)
+            .with_accesses(hierarchy_accesses(nodes, accesses));
+        let variants: [(String, Option<FaultPlan>, bool); 3] = [
+            ("flat".into(), None, false),
+            (format!("hier:{local}x{groups}"), None, true),
+            (
+                format!("hier-lossy:{local}x{groups}"),
+                Some(hierarchy_plan()),
+                true,
+            ),
+        ];
+        for (topology, plan, hier) in variants {
+            let mut sim = if hier {
+                Simulator::for_workload_hier(&profile, algorithm, None, SEED, local, groups)
+            } else {
+                Simulator::for_workload_on(&profile, algorithm, None, SEED, nodes)
+            }
+            .unwrap_or_else(|e| panic!("hierarchy sweep {topology}: {e}"));
+            sim.enable_invariant_checks();
+            if let Some(plan) = plan {
+                sim.set_fault_plan(plan);
+            }
+            let stats = sim.run();
+            rows.push(HierarchyRow {
+                nodes,
+                topology,
+                snoops_per_read: stats.snoops_per_read(),
+                hops_per_read: stats.ring_hops_per_read(),
+                bridge_hops: stats.bridge_hops,
+                exec_cycles: stats.exec_cycles.as_u64(),
+                mean_read_latency: stats.read_latency.mean(),
+                energy_nj: stats.energy_nj(),
+                recovery_overhead_nj: stats.retry_ring_hops as f64
+                    * stats.energy.model().ring_link_nj,
+                local_circulations: stats.local_circulations,
+                global_circulations: stats.global_circulations,
+                escalations: stats.escalations,
+                retries: stats.robustness.retries,
                 violations: sim.violations().len() as u64,
                 in_flight: sim.in_flight() as u64 + stats.robustness.unfinished_cores,
             });
@@ -958,10 +1143,10 @@ mod tests {
     }
 
     #[test]
-    fn generates_nine_sections_and_artifacts() {
+    fn generates_ten_sections_and_artifacts() {
         let report = generate(&tiny_options());
-        assert_eq!(report.artifacts.len(), 9);
-        assert_eq!(report.report_md.matches("\n## ").count(), 9);
+        assert_eq!(report.artifacts.len(), 10);
+        assert_eq!(report.report_md.matches("\n## ").count(), 10);
         let names: Vec<&str> = report
             .artifacts
             .iter()
@@ -979,6 +1164,7 @@ mod tests {
                 "bench_fig10.json",
                 "bench_fig11.json",
                 "bench_recovery.json",
+                "bench_hierarchy.json",
             ]
         );
         for a in &report.artifacts {
@@ -1141,6 +1327,45 @@ mod tests {
              vs static {static_spurious}"
         );
         assert!(sum("ewma", |r| r.rtt_samples) > 0);
+    }
+
+    #[test]
+    fn hierarchy_sweep_localizes_snoops_and_splits_recovery_energy() {
+        let rows = hierarchy_rows(240);
+        // Three topology variants per shape, flat first.
+        assert_eq!(rows.len(), 3 * HIERARCHY_SHAPES.len());
+        for chunk in rows.chunks(3) {
+            let (flat, hier, lossy) = (&chunk[0], &chunk[1], &chunk[2]);
+            assert_eq!(flat.topology, "flat");
+            assert!(hier.topology.starts_with("hier:"));
+            assert!(lossy.topology.starts_with("hier-lossy:"));
+            for r in chunk {
+                assert_eq!(r.violations, 0, "{} oracle", r.topology);
+                assert_eq!(r.in_flight, 0, "{} retirement", r.topology);
+            }
+            // The flat ring has no two-level accounting; the hierarchy
+            // completes some circulations in-ring, and every one it
+            // cannot is covered by a global lap.
+            assert_eq!(flat.local_circulations + flat.global_circulations, 0);
+            assert_eq!(flat.bridge_hops, 0);
+            assert!(hier.local_circulations > 0, "{}", hier.topology);
+            assert!(hier.bridge_hops > 0);
+            // In-ring completion must cut snoops per read vs flat.
+            assert!(
+                hier.snoops_per_read < flat.snoops_per_read,
+                "{}: hier {} !< flat {}",
+                hier.topology,
+                hier.snoops_per_read,
+                flat.snoops_per_read
+            );
+            // Lossless runs charge nothing to recovery; the lossy-bridge
+            // run retries and the split charges those hops separately.
+            assert_eq!(flat.recovery_overhead_nj, 0.0);
+            assert_eq!(hier.recovery_overhead_nj, 0.0);
+            assert!(lossy.retries > 0, "{} must retry", lossy.topology);
+            assert!(lossy.recovery_overhead_nj > 0.0);
+            assert!(lossy.recovery_overhead_nj < lossy.energy_nj);
+        }
     }
 
     #[test]

@@ -12,7 +12,8 @@
 use std::collections::BTreeSet;
 
 use flexsnoop::{
-    energy_model_for, Algorithm, FaultPlan, MachineConfig, RunStats, Simulator, VecStream,
+    default_hier, energy_model_for, Algorithm, FaultPlan, MachineConfig, RunStats, Simulator,
+    VecStream,
 };
 use flexsnoop_engine::{Executor, QueueKind};
 use flexsnoop_mem::{CoherState, LineAddr};
@@ -78,6 +79,8 @@ pub struct ScenarioReport {
     pub name: String,
     /// Ring nodes simulated.
     pub nodes: usize,
+    /// Hierarchical shape `(local, groups)`, or `None` for a flat ring.
+    pub hier: Option<(usize, usize)>,
     /// Workload seed the trace was recorded from.
     pub seed: u64,
     /// Longest per-core access stream the phases produced.
@@ -101,9 +104,13 @@ impl ScenarioReport {
 
     /// Renders the markdown expectation report.
     pub fn render(&self) -> String {
+        let topology = match self.hier {
+            Some((local, groups)) => format!("hier:{local}x{groups}"),
+            None => "flat".to_string(),
+        };
         let mut out = format!(
             "# Scenario: {}\n\n\
-             - nodes: {}, seed: {}, accesses/core: {}, mode: {}\n\
+             - nodes: {} ({topology}), seed: {}, accesses/core: {}, mode: {}\n\
              - verdict: **{}**\n\n\
              | algorithm | partition blocked | churn (out/in) | timeouts | retries | \
              degraded | expectations | determinism |\n\
@@ -323,10 +330,13 @@ pub fn run_scenario(s: &Scenario, opts: &RunOptions) -> Result<ScenarioReport, S
         .filter(|a| a.write)
         .map(|a| a.line)
         .collect();
-    let machine = MachineConfig {
+    let mut machine = MachineConfig {
         nodes: s.nodes,
         ..MachineConfig::isca2006(1)
     };
+    if let Some((local, groups)) = s.hier {
+        machine.ring.hier = Some(default_hier(local, groups));
+    }
     let mut plan = match &s.chaos {
         Some(c) => FaultPlan::random(c.seed, s.nodes, machine.ring.rings).with_budget(c.budget),
         None => FaultPlan::lossless(),
@@ -395,6 +405,7 @@ pub fn run_scenario(s: &Scenario, opts: &RunOptions) -> Result<ScenarioReport, S
     Ok(ScenarioReport {
         name: s.name.clone(),
         nodes: s.nodes,
+        hier: s.hier,
         seed: s.seed,
         accesses_per_core: limit,
         smoke: opts.smoke,
@@ -435,6 +446,33 @@ mod tests {
             assert!(!v.determinism_checked, "smoke skips the second backend");
         }
         assert!(report.render().contains("CLEAN"));
+    }
+
+    #[test]
+    fn hierarchy_partition_builtin_recovers_in_smoke_mode() {
+        let s = builtin("hierarchy-partition").unwrap();
+        let report = run_scenario(&s, &smoke()).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(report.nodes, 16);
+        for v in &report.verdicts {
+            assert!(
+                v.stats.robustness.partition_blocked > 0,
+                "{}: the severed bridge links must actually refuse hops",
+                v.algorithm
+            );
+            assert!(
+                v.stats.global_circulations > 0,
+                "{}: cross-group traffic must escalate onto the global ring",
+                v.algorithm
+            );
+            assert_eq!(
+                v.stats.local_circulations + v.stats.global_circulations,
+                v.stats.read_txns,
+                "{}: two-level circulation accounting leaks",
+                v.algorithm
+            );
+        }
+        assert!(report.render().contains("hier:4x4"));
     }
 
     #[test]

@@ -93,6 +93,10 @@ pub struct Scenario {
     pub name: String,
     /// Ring nodes (one core per CMP).
     pub nodes: usize,
+    /// Hierarchical topology as `(local, groups)` — local rings of
+    /// `local` nodes bridged by a global ring — or `None` for the
+    /// paper's flat ring. When set, `nodes == local × groups`.
+    pub hier: Option<(usize, usize)>,
     /// Workload seed; every algorithm replays the identical trace
     /// recorded from it.
     pub seed: u64,
@@ -116,6 +120,7 @@ impl Scenario {
             scenario: Scenario {
                 name: name.to_string(),
                 nodes: 8,
+                hier: None,
                 seed: 42,
                 phases: Vec::new(),
                 chaos: None,
@@ -149,6 +154,22 @@ impl Scenario {
         }
         if self.phases.is_empty() {
             return Err("a scenario needs at least one workload phase".into());
+        }
+        if let Some((local, groups)) = self.hier {
+            if local < 2 || groups < 2 {
+                return Err(format!(
+                    "hierarchical topology {local}x{groups} is degenerate \
+                     (both factors must be at least 2)"
+                ));
+            }
+            if local * groups != self.nodes {
+                return Err(format!(
+                    "hierarchical topology {local}x{groups} covers {} nodes \
+                     but the scenario has {}",
+                    local * groups,
+                    self.nodes
+                ));
+            }
         }
         if self.expectations.is_empty() {
             return Err(
@@ -219,6 +240,15 @@ impl TopologyBuilder<'_> {
     /// Ring nodes (one core per CMP). Default: 8 (the paper machine).
     pub fn nodes(&mut self, nodes: usize) -> &mut Self {
         self.s.nodes = nodes;
+        self
+    }
+
+    /// Hierarchical topology: `groups` local rings of `local` nodes
+    /// each, bridged by a global ring. Also fixes the node count to
+    /// `local × groups`.
+    pub fn hier(&mut self, local: usize, groups: usize) -> &mut Self {
+        self.s.hier = Some((local, groups));
+        self.s.nodes = local * groups;
         self
     }
 
@@ -393,7 +423,7 @@ impl ScenarioBuilder {
 
 /// Names of the builtin scenarios, in listing order.
 pub fn builtin_names() -> &'static [&'static str] {
-    &["partition-heal", "churn"]
+    &["partition-heal", "churn", "hierarchy-partition"]
 }
 
 /// Looks up a builtin scenario by name.
@@ -401,7 +431,11 @@ pub fn builtin_names() -> &'static [&'static str] {
 /// `partition-heal` splits the paper's 8-node ring into two 4-node
 /// islands mid-run and demands full recovery after the heal; `churn`
 /// hot-removes one node cold and another warm on a lossless ring and
-/// demands the machine absorbs both without a single timeout.
+/// demands the machine absorbs both without a single timeout;
+/// `hierarchy-partition` severs the global ring of a 4×4 hierarchical
+/// machine along group boundaries (local rings keep circulating, every
+/// escalation is refused at the bridge) and demands full recovery once
+/// the bridge links heal.
 pub fn builtin(name: &str) -> Option<Scenario> {
     let scenario = match name {
         "partition-heal" => Scenario::builder("partition-heal")
@@ -435,6 +469,48 @@ pub fn builtin(name: &str) -> Option<Scenario> {
             .expect_no_rogue_dirty()
             .expect_recovers_within(0)
             .expect_max_degraded_lines(0)
+            .build(),
+        "hierarchy-partition" => Scenario::builder("hierarchy-partition")
+            .topology_with(|t| {
+                t.hier(4, 4).seed(42);
+            })
+            // Longer think times than the flat builtins: at 16 nodes the
+            // default (20, 60) saturates the ring and pure-congestion
+            // timeouts would keep firing long after the heal, drowning
+            // the recovery deadline this scenario is about.
+            .workloads_with(|w| {
+                w.phase(PhaseSpec::Pool {
+                    kind: PoolKind::Migratory,
+                    accesses: 400,
+                    lines: 64,
+                    hot: 0.0,
+                    writes: 0.3,
+                    think: (80, 240),
+                })
+                .phase(PhaseSpec::Pool {
+                    kind: PoolKind::ProducerConsumer,
+                    accesses: 300,
+                    lines: 16,
+                    hot: 0.8,
+                    writes: 0.3,
+                    think: (80, 240),
+                });
+            })
+            // Groups {0,1} against {2,3}: every local-ring hop stays
+            // inside its island, so only the two bridge links that
+            // cross the cut (4→8 and 12→0) are refused.
+            .partition(
+                &[0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1],
+                8_000,
+                20_000,
+            )
+            .expect_all_retired()
+            .expect_coherence_clean()
+            .expect_supply_accounting()
+            .expect_no_rogue_dirty()
+            .expect_recovers_within(40_000)
+            .expect_max_degraded_lines(64)
+            .expect_no_spurious_retries_after_probation()
             .build(),
         _ => return None,
     };
@@ -531,5 +607,54 @@ mod tests {
         let churn = builtin("churn").unwrap();
         assert_eq!(churn.churn.len(), 2);
         assert!(churn.partitions.is_empty());
+        let hp = builtin("hierarchy-partition").unwrap();
+        assert_eq!(hp.hier, Some((4, 4)));
+        assert_eq!(hp.nodes, 16);
+        assert_eq!(hp.partitions.len(), 1);
+        // The cut follows group boundaries: nodes of one local ring
+        // never straddle islands.
+        let islands = &hp.partitions[0].islands;
+        for group in 0..4 {
+            let first = islands[group * 4];
+            assert!(
+                (0..4).all(|n| islands[group * 4 + n] == first),
+                "group {group} straddles the partition cut"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_broken_hierarchies() {
+        let base = |f: fn(&mut TopologyBuilder<'_>)| {
+            Scenario::builder("h")
+                .topology_with(f)
+                .workloads_with(|w| {
+                    w.migratory_burst(10);
+                })
+                .expect_all_retired()
+                .build()
+        };
+        assert_eq!(
+            base(|t| {
+                t.hier(4, 4);
+            })
+            .unwrap()
+            .nodes,
+            16
+        );
+        // A later explicit node count that disagrees with the shape.
+        let err = base(|t| {
+            t.hier(4, 4).nodes(8);
+        });
+        assert!(err.unwrap_err().contains("covers 16 nodes"));
+        // Degenerate single-node local rings / single-ring hierarchies.
+        let err = base(|t| {
+            t.hier(1, 8);
+        });
+        assert!(err.unwrap_err().contains("degenerate"));
+        let err = base(|t| {
+            t.hier(8, 1);
+        });
+        assert!(err.unwrap_err().contains("degenerate"));
     }
 }

@@ -6,6 +6,7 @@
 //! ```text
 //! name partition-heal
 //! nodes 8
+//! topology hier:4x4
 //! seed 42
 //! phase migratory accesses=600 lines=64 hot=0 writes=0.3 think=20..60
 //! phase profile specweb accesses=200
@@ -20,7 +21,9 @@
 //!
 //! Partition islands are `|`-separated node groups (group order is the
 //! island id); each group is a comma list of nodes or `a-b` ranges.
-//! Nodes not named by any group stay on island 0.
+//! Nodes not named by any group stay on island 0. `topology` accepts
+//! `flat` (the default) or `hier:<local>x<groups>`; the hierarchical
+//! form also fixes the node count to `local × groups`.
 
 use std::str::FromStr;
 
@@ -105,6 +108,25 @@ impl<'a> KvArgs<'a> {
     fn flag(&self, key: &str) -> bool {
         self.pairs.iter().any(|(k, v)| *k == key && v.is_none())
     }
+}
+
+/// Parses a `topology` value: `flat` means no hierarchy, `hier:<l>x<g>`
+/// means `g` local rings of `l` nodes bridged by a global ring.
+fn parse_topology(value: &str) -> Result<Option<(usize, usize)>, String> {
+    if value == "flat" {
+        return Ok(None);
+    }
+    let shape = value
+        .strip_prefix("hier:")
+        .ok_or_else(|| format!("topology expects `flat` or `hier:<l>x<g>`, got `{value}`"))?;
+    let (local, groups) = shape
+        .split_once('x')
+        .ok_or_else(|| format!("bad hierarchy shape `{shape}` (expected `<l>x<g>`)"))?;
+    let parse = |s: &str| {
+        s.parse::<usize>()
+            .map_err(|_| format!("bad hierarchy shape `{shape}` (expected `<l>x<g>`)"))
+    };
+    Ok(Some((parse(local)?, parse(groups)?)))
 }
 
 /// Parses `a..b` think ranges.
@@ -213,6 +235,7 @@ impl Scenario {
         let mut s = Scenario {
             name: String::new(),
             nodes: 8,
+            hier: None,
             seed: 42,
             phases: Vec::new(),
             chaos: None,
@@ -235,6 +258,15 @@ impl Scenario {
                         .first()
                         .and_then(|t| t.parse().ok())
                         .ok_or_else(|| err("`nodes` expects a number".into()))?;
+                }
+                "topology" => {
+                    let value = rest
+                        .first()
+                        .ok_or_else(|| err("`topology` expects `flat` or `hier:<l>x<g>`".into()))?;
+                    s.hier = parse_topology(value).map_err(err)?;
+                    if let Some((local, groups)) = s.hier {
+                        s.nodes = local * groups;
+                    }
                 }
                 "seed" => {
                     s.seed = rest
@@ -336,6 +368,9 @@ impl Scenario {
         let mut out = String::new();
         out.push_str(&format!("name {}\n", self.name));
         out.push_str(&format!("nodes {}\n", self.nodes));
+        if let Some((local, groups)) = self.hier {
+            out.push_str(&format!("topology hier:{local}x{groups}\n"));
+        }
         out.push_str(&format!("seed {}\n", self.seed));
         for phase in &self.phases {
             match phase {
@@ -440,6 +475,33 @@ mod tests {
         assert_eq!(s.expectations.len(), 2);
         // Render → parse is stable.
         assert_eq!(Scenario::parse(&s.render()).unwrap(), s);
+    }
+
+    #[test]
+    fn topology_directive_parses_and_fixes_the_node_count() {
+        let text = "\
+            name h\n\
+            topology hier:4x4\n\
+            phase migratory accesses=10\n\
+            expect all-retired\n";
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.hier, Some((4, 4)));
+        assert_eq!(s.nodes, 16, "the shape implies the node count");
+        assert_eq!(Scenario::parse(&s.render()).unwrap(), s);
+        // `topology flat` is the explicit default.
+        let flat = Scenario::parse(&text.replace("hier:4x4", "flat")).unwrap();
+        assert_eq!(flat.hier, None);
+        assert_eq!(flat.nodes, 8);
+        // Malformed and degenerate shapes are named.
+        for (bad, needle) in [
+            ("topology ring", "flat"),
+            ("topology hier:4", "<l>x<g>"),
+            ("topology hier:axb", "<l>x<g>"),
+            ("topology hier:1x8", "degenerate"),
+        ] {
+            let err = Scenario::parse(&text.replace("topology hier:4x4", bad)).unwrap_err();
+            assert!(err.contains(needle), "{bad}: {err:?}");
+        }
     }
 
     #[test]

@@ -79,7 +79,8 @@ pub fn parse_predictor(name: &str) -> Result<Option<PredictorSpec>, String> {
 }
 
 /// Parses a workload name against the built-in profiles (plus the
-/// `uniform` microbenchmark, sized to `nodes` cores).
+/// `uniform` microbenchmark and the `consolidated` hierarchical-topology
+/// workload, both sized to `nodes` cores).
 ///
 /// # Errors
 ///
@@ -88,12 +89,16 @@ pub fn parse_workload(name: &str, nodes: usize) -> Result<WorkloadProfile, Strin
     if name == "uniform" {
         return Ok(profiles::uniform_microbench(nodes, 4_000));
     }
+    if name == "consolidated" {
+        return Ok(profiles::consolidated().with_cores(nodes));
+    }
     profiles::all()
         .into_iter()
         .find(|p| p.name == name)
         .ok_or_else(|| {
             let mut names: Vec<String> = profiles::all().into_iter().map(|p| p.name).collect();
             names.push("uniform".to_string());
+            names.push("consolidated".to_string());
             format!("unknown workload {name:?}; one of: {}", names.join(", "))
         })
 }

@@ -36,9 +36,12 @@ impl Snapshot for Box<dyn AccessStream + Send> {
 
 /// Pool-address layout: each pool occupies a disjoint region.
 ///
-/// Regions are spaced far apart so pools can grow without overlapping;
-/// within a region, lines are consecutive, which spreads home nodes evenly
-/// across the ring (home = line mod nodes).
+/// Regions are spaced far apart so pools can grow without overlapping
+/// (clustered streams carve one `lines`-sized slice per cluster out of
+/// the region, so a pool's footprint is `lines × clusters` — still tiny
+/// against the 2³⁴-line spacing); within a region, lines are consecutive,
+/// which spreads home nodes evenly across the ring (home = line mod
+/// nodes).
 fn pool_base(pool_idx: usize) -> u64 {
     (pool_idx as u64 + 1) << 34
 }
@@ -56,6 +59,10 @@ pub struct SyntheticStream {
     write_fraction: f64,
     think_min: u64,
     think_max: u64,
+    /// Shared-pool scope: `0` shares across all cores; `n > 0` scopes the
+    /// shared pool kinds to clusters of `n` consecutive cores (see
+    /// [`SyntheticStream::with_cluster`]).
+    cluster: usize,
     rng: SplitMix64,
     /// Second half of a migratory read-modify-write pair.
     pending: Option<MemAccess>,
@@ -92,10 +99,43 @@ impl SyntheticStream {
             write_fraction,
             think_min: think_range.0,
             think_max: think_range.1,
+            cluster: 0,
             rng: SplitMix64::new(seed),
             pending: None,
             stream_pos,
         }
+    }
+
+    /// Scopes the shared pool kinds (`SharedRo`, `ProducerConsumer`,
+    /// `Migratory`) to clusters of `cluster` consecutive cores: each
+    /// cluster gets its own `lines`-sized slice of the pool region and
+    /// producer roles rotate within the cluster only. This models
+    /// consolidated servers — independent application instances pinned to
+    /// neighbouring cores — which is the sharing structure a hierarchical
+    /// ring's locality table is built to exploit.
+    ///
+    /// `0` (the default) keeps the historical behaviour: one pool shared
+    /// by all cores. A cluster of `self.cores` is bit-identical to `0`
+    /// (one cluster spanning the machine). `Private` and `Streaming`
+    /// pools are already per-core and are unaffected. The RNG draw
+    /// sequence does not depend on the cluster, so clustered and flat
+    /// streams stay in lockstep except for the line addresses.
+    pub fn with_cluster(mut self, cluster: usize) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// `(slice, first_peer, peers)` for this core's sharing scope:
+    /// which per-cluster pool slice it uses, the first core of its
+    /// cluster, and how many cores the cluster holds (the last cluster
+    /// may be short when `cores % cluster != 0`).
+    fn cluster_scope(&self) -> (u64, usize, usize) {
+        if self.cluster == 0 || self.cluster >= self.cores {
+            return (0, 0, self.cores);
+        }
+        let idx = self.core / self.cluster;
+        let first = idx * self.cluster;
+        (idx as u64, first, self.cluster.min(self.cores - first))
     }
 
     fn think(&mut self) -> Cycles {
@@ -134,13 +174,15 @@ impl SyntheticStream {
                 }
             }
             PoolKind::SharedRo => {
+                let (slice, _, _) = self.cluster_scope();
                 let off = self.pick_offset(pool.lines, pool.hot_fraction);
-                MemAccess::read(LineAddr(base + off), think)
+                MemAccess::read(LineAddr(base + slice * pool.lines + off), think)
             }
             PoolKind::ProducerConsumer => {
+                let (slice, first_peer, peers) = self.cluster_scope();
                 let off = self.pick_offset(pool.lines, pool.hot_fraction);
-                let line = LineAddr(base + off);
-                let producer = (off % self.cores as u64) as usize;
+                let line = LineAddr(base + slice * pool.lines + off);
+                let producer = first_peer + (off % peers as u64) as usize;
                 if producer == self.core {
                     // The producer refreshes the line (sometimes re-reading
                     // its own data first, which is an L2 hit and harmless).
@@ -151,8 +193,9 @@ impl SyntheticStream {
             }
             PoolKind::Migratory => {
                 // Read-modify-write: emit the read now, queue the write.
+                let (slice, _, _) = self.cluster_scope();
                 let off = self.pick_offset(pool.lines, pool.hot_fraction);
-                let line = LineAddr(base + off);
+                let line = LineAddr(base + slice * pool.lines + off);
                 self.pending = Some(MemAccess::write(line, Cycles(self.think_min)));
                 MemAccess::read(line, think)
             }
@@ -319,6 +362,45 @@ mod tests {
             .count();
         // ~90% hot picks + ~(10% * 1/8) uniform picks that land hot ≈ 91%.
         assert!(hot_hits > 8_500, "hot hits: {hot_hits}");
+    }
+
+    #[test]
+    fn clustered_shared_pools_are_disjoint_across_clusters() {
+        // 4 cores, 2-wide clusters: cores 0/1 share one slice, cores 2/3
+        // another — in-cluster sharing survives, cross-cluster vanishes.
+        let mk = |core: usize| stream(core, one_pool(PoolKind::SharedRo, 64), 21).with_cluster(2);
+        let touched = |mut s: SyntheticStream| -> std::collections::HashSet<u64> {
+            (0..500).map(|_| s.next_access().unwrap().line.0).collect()
+        };
+        let (a, b, c) = (touched(mk(0)), touched(mk(1)), touched(mk(2)));
+        assert!(!a.is_disjoint(&b), "cluster peers share lines");
+        assert!(a.is_disjoint(&c), "clusters own disjoint slices");
+    }
+
+    #[test]
+    fn clustered_producer_roles_stay_in_cluster() {
+        // Core 2's cluster is {2, 3}: it produces (writes) exactly the
+        // even offsets of its slice and consumes the odd ones — core 0,
+        // in another cluster, never appears as a producer here.
+        let mut s = stream(2, one_pool(PoolKind::ProducerConsumer, 64), 23).with_cluster(2);
+        for _ in 0..1000 {
+            let a = s.next_access().unwrap();
+            let off = (a.line.0 & 0xffff_ffff) - 64; // slice 1 of the region
+            assert!(off < 64, "stays within the cluster's slice");
+            let producer = 2 + off % 2;
+            assert_eq!(a.write, producer == 2, "role follows the slice offset");
+        }
+    }
+
+    #[test]
+    fn machine_wide_cluster_is_bit_identical_to_flat() {
+        // One cluster spanning all cores is the flat sharing pattern: the
+        // knob must not perturb addresses, roles or the RNG sequence.
+        let mut flat = stream(1, one_pool(PoolKind::Migratory, 32), 9);
+        let mut wide = stream(1, one_pool(PoolKind::Migratory, 32), 9).with_cluster(4);
+        for i in 0..1000 {
+            assert_eq!(flat.next_access(), wide.next_access(), "access {i}");
+        }
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct WorkloadProfile {
     pub write_fraction: f64,
     /// Uniform compute-time range between accesses, in cycles.
     pub think: (u64, u64),
+    /// Shared-pool scope: `0` shares across all cores, `n > 0` scopes the
+    /// shared pool kinds to clusters of `n` consecutive cores (see
+    /// [`SyntheticStream::with_cluster`]).
+    pub cluster: usize,
     /// The weighted pool mix.
     pub pools: Vec<PoolSpec>,
 }
@@ -78,6 +82,7 @@ impl WorkloadProfile {
             self.think,
             core_seed,
         )
+        .with_cluster(self.cluster)
     }
 
     /// Streams for all cores.
@@ -89,6 +94,24 @@ impl WorkloadProfile {
     /// (benchmarks shorten runs; accuracy studies lengthen them).
     pub fn with_accesses(mut self, accesses_per_core: u64) -> Self {
         self.accesses_per_core = accesses_per_core;
+        self
+    }
+
+    /// Returns this profile spread over a different core count (machine
+    /// scaling and topology studies). The pool mix is per-core, so the
+    /// sharing pattern scales with the machine.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Returns this profile with the shared pools scoped to clusters of
+    /// `cluster` consecutive cores (`0` restores machine-wide sharing).
+    /// On a hierarchical machine, setting the cluster to the local-ring
+    /// size pins each application instance's sharing inside one ring —
+    /// the consolidated-server scenario the locality table targets.
+    pub fn with_cluster(mut self, cluster: usize) -> Self {
+        self.cluster = cluster;
         self
     }
 }
@@ -130,6 +153,7 @@ fn splash_app(
         accesses_per_core: 12_000,
         write_fraction,
         think: (120, 400),
+        cluster: 0,
         pools: vec![
             pool(PoolKind::Private, private_lines, private_w, hot),
             pool(PoolKind::SharedRo, 2_048, shared_ro_w, 0.8),
@@ -176,6 +200,7 @@ pub fn specjbb() -> WorkloadProfile {
         accesses_per_core: 30_000,
         write_fraction: 0.30,
         think: (350, 850),
+        cluster: 0,
         pools: vec![
             pool(PoolKind::Private, 16_384, 0.80, 0.55),
             pool(PoolKind::Streaming, 32_768, 0.08, 0.0),
@@ -196,12 +221,44 @@ pub fn specweb() -> WorkloadProfile {
         accesses_per_core: 30_000,
         write_fraction: 0.20,
         think: (700, 1500),
+        cluster: 0,
         pools: vec![
             pool(PoolKind::Private, 8_192, 0.42, 0.6),
             pool(PoolKind::SharedRo, 4_096, 0.30, 0.7),
             pool(PoolKind::ProducerConsumer, 1_024, 0.15, 0.6),
             pool(PoolKind::Streaming, 16_384, 0.08, 0.0),
             pool(PoolKind::Migratory, 128, 0.05, 0.5),
+        ],
+    }
+}
+
+/// A consolidated-server workload for hierarchical-topology studies:
+/// independent commercial-server instances (à la SPECjbb warehouses or
+/// virtualized SPECweb front-ends) pinned to clusters of neighbouring
+/// cores. Unlike [`specjbb`], sharing is *strong* but *scoped*: most
+/// misses find a cache supplier, and once the profile is clustered
+/// (`with_cluster`) that supplier sits inside the requester's own
+/// cluster. Mapping one cluster per local ring is the case the
+/// hierarchical locality table is designed for; the same profile on a
+/// flat ring shows what the machine pays without the hierarchy.
+///
+/// Not part of [`all`] — the paper's Table 1 / figure sweeps predate
+/// hierarchical topologies and their artifacts must stay bit-identical.
+pub fn consolidated() -> WorkloadProfile {
+    WorkloadProfile {
+        name: "consolidated".to_string(),
+        group: WorkloadGroup::SpecJbb,
+        cores: 16,
+        accesses_per_core: 4_000,
+        write_fraction: 0.25,
+        think: (80, 240),
+        cluster: 0,
+        pools: vec![
+            pool(PoolKind::Private, 1_024, 0.15, 0.6),
+            pool(PoolKind::SharedRo, 256, 0.30, 0.8),
+            pool(PoolKind::ProducerConsumer, 128, 0.30, 0.8),
+            pool(PoolKind::Migratory, 32, 0.20, 0.6),
+            pool(PoolKind::Streaming, 2_048, 0.05, 0.0),
         ],
     }
 }
@@ -225,6 +282,7 @@ pub fn uniform_microbench(cores: usize, accesses_per_core: u64) -> WorkloadProfi
         accesses_per_core,
         write_fraction: 0.0,
         think: (20, 40),
+        cluster: 0,
         pools: vec![pool(PoolKind::SharedRo, 2_048, 1.0, 0.0)],
     }
 }
@@ -297,6 +355,36 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn stream_for_bad_core_panics() {
         specjbb().stream(8, 0);
+    }
+
+    #[test]
+    fn consolidated_clusters_scope_the_sharing() {
+        // Clustered at 4: a core's shared accesses stay within its
+        // cluster's slices, so two cores from different clusters only
+        // ever overlap on nothing (their private/streaming regions are
+        // per-core disjoint already).
+        let p = consolidated().with_cluster(4);
+        assert_eq!(p.cluster, 4);
+        let touched = |core: usize| -> std::collections::HashSet<u64> {
+            let mut s = p.stream(core, 7);
+            (0..2_000)
+                .map(|_| s.next_access().unwrap().line.0)
+                .collect()
+        };
+        let (a, b, far) = (touched(0), touched(1), touched(4));
+        assert!(!a.is_disjoint(&b), "cluster peers share a working set");
+        assert!(a.is_disjoint(&far), "no sharing across clusters");
+        // Unclustered, the same two cores do share.
+        let q = consolidated();
+        let mut s0 = q.stream(0, 7);
+        let mut s4 = q.stream(4, 7);
+        let t0: std::collections::HashSet<u64> = (0..2_000)
+            .map(|_| s0.next_access().unwrap().line.0)
+            .collect();
+        let t4: std::collections::HashSet<u64> = (0..2_000)
+            .map(|_| s4.next_access().unwrap().line.0)
+            .collect();
+        assert!(!t0.is_disjoint(&t4), "flat profile shares machine-wide");
     }
 
     #[test]
